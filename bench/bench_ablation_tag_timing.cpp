@@ -1,0 +1,86 @@
+// Ablation: WHEN is the label available? DN-Hunter vs DPI-style labeling.
+//
+// The paper's key operational claim (Sec. 1): DN-Hunter identifies a flow
+// before it begins — the DNS response precedes the SYN — so policy can
+// cover the whole flow including the handshake. A DPI box must wait for
+// payload: the HTTP request or the TLS ClientHello/certificate, i.e. at
+// least one RTT after the handshake, and gets nothing at all from resumed
+// TLS without SNI or from non-web protocols.
+//
+// Also ablates the multi-label extension (lookup_all, paper Sec. 6): how
+// often the (client,server) key carried more than one recent label, i.e.
+// how often last-write-wins had alternatives.
+#include <span>
+
+#include "bench/common.hpp"
+#include "core/resolver.hpp"
+
+int main() {
+  using namespace dnh;
+  bench::print_header(
+      "Ablation: label availability — DN-Hunter vs DPI (EU1-ADSL2)",
+      "DN-Hunter labels at the first packet; DPI labels only after "
+      "payload, and misses SNI-less TLS entirely");
+
+  const auto trace = bench::load_trace(trafficgen::profile_eu1_adsl2());
+
+  std::uint64_t web = 0;
+  std::uint64_t dns_at_syn = 0;       // label known at first packet
+  std::uint64_t dpi_any = 0;          // DPI extracted Host/SNI eventually
+  std::uint64_t dns_only = 0;         // DN-Hunter labeled, DPI blind
+  std::uint64_t dpi_only = 0;         // DPI labeled, DN-Hunter missed
+  for (const auto& flow : trace.db().flows()) {
+    if (flow.protocol != flow::ProtocolClass::kHttp &&
+        flow.protocol != flow::ProtocolClass::kTls)
+      continue;
+    ++web;
+    const bool dns = flow.labeled();
+    const bool dpi = !flow.dpi_label.empty();
+    dns_at_syn += dns && flow.tagged_at_start;
+    dpi_any += dpi;
+    dns_only += dns && !dpi;
+    dpi_only += dpi && !dns;
+  }
+
+  util::TextTable table{{"labeling", "coverage", "available at"}};
+  table.add_row({"DN-Hunter (DNS)",
+                 util::percent(static_cast<double>(dns_at_syn) / web),
+                 "first packet (SYN)"});
+  table.add_row({"DPI (Host/SNI)",
+                 util::percent(static_cast<double>(dpi_any) / web),
+                 "after >=1 RTT of payload"});
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nDN-Hunter-only labels (DPI blind, e.g. SNI-less TLS): %s of web "
+      "flows\nDPI-only labels (DNS unseen, e.g. roaming clients): %s\n",
+      util::percent(static_cast<double>(dns_only) / web).c_str(),
+      util::percent(static_cast<double>(dpi_only) / web).c_str());
+
+  // ---- multi-label ablation: replay the DNS log and measure how often a
+  // flow's (client,server) key held 2+ distinct recent labels.
+  core::DnsResolver resolver{1 << 20};
+  std::size_t dns_index = 0;
+  const auto& dns_log = trace.sniffer->dns_log();
+  std::uint64_t looked_up = 0, ambiguous = 0;
+  for (const auto& flow : trace.db().flows()) {
+    while (dns_index < dns_log.size() &&
+           dns_log[dns_index].time <= flow.first_packet) {
+      const auto& event = dns_log[dns_index++];
+      resolver.insert(event.client, event.fqdn, std::span{event.servers},
+                      event.time);
+    }
+    const auto labels =
+        resolver.lookup_all(flow.key.client_ip, flow.key.server_ip);
+    if (labels.empty()) continue;
+    ++looked_up;
+    ambiguous += labels.size() > 1;
+  }
+  std::printf(
+      "\nmulti-label extension (lookup_all): %s of labelable flows had "
+      ">=2 recent candidate FQDNs\n(paper Sec. 6: last-write-wins "
+      "confusion <4%% after excluding redirects; the extension surfaces "
+      "the alternatives instead of guessing)\n",
+      util::percent(static_cast<double>(ambiguous) /
+                    static_cast<double>(looked_up)).c_str());
+  return 0;
+}

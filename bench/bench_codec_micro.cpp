@@ -1,0 +1,161 @@
+// Microbenchmarks of the sniffer's per-packet hot path (the paper's
+// real-time constraint, Sec. 3.1.1): frame decoding, DNS message
+// decoding, TLS handshake parsing, flow-table updates, and the end-to-end
+// Sniffer::on_frame cost. A deployment is viable when the per-frame cost
+// times the link's packet rate stays under one core.
+#include <benchmark/benchmark.h>
+
+#include "core/sniffer.hpp"
+#include "dns/message.hpp"
+#include "flow/table.hpp"
+#include "http/http.hpp"
+#include "packet/build.hpp"
+#include "packet/decode.hpp"
+#include "tls/handshake.hpp"
+#include "tls/x509.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dnh;
+
+packet::FrameSpec web_spec() {
+  packet::FrameSpec spec;
+  spec.src_ip = net::Ipv4Address{10, 0, 0, 1};
+  spec.dst_ip = net::Ipv4Address{93, 184, 216, 34};
+  spec.src_port = 50123;
+  spec.dst_port = 80;
+  return spec;
+}
+
+void frame_decode(benchmark::State& state) {
+  const auto frame = packet::build_tcp_frame(
+      web_spec(), packet::tcpflags::kAck | packet::tcpflags::kPsh, 1, 1,
+      net::as_bytes(std::string_view{"GET / HTTP/1.1\r\nHost: x.com\r\n\r\n"}));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(packet::decode_frame(frame, {}));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations() * frame.size()));
+}
+
+void dns_decode(benchmark::State& state) {
+  std::vector<net::Ipv4Address> answers;
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i)
+    answers.emplace_back(static_cast<std::uint32_t>(0x17000000 + i));
+  const auto wire = dns::make_a_response(
+      7, *dns::DnsName::from_string("photos-a.ak.fbcdn.net"), answers, 30)
+                        .encode();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dns::DnsMessage::decode(wire));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void dns_encode(benchmark::State& state) {
+  const auto msg = dns::make_a_response(
+      7, *dns::DnsName::from_string("photos-a.ak.fbcdn.net"),
+      {net::Ipv4Address{23, 0, 0, 1}, net::Ipv4Address{23, 0, 0, 2}}, 30);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(msg.encode());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void tls_client_hello_parse(benchmark::State& state) {
+  const auto wire = tls::build_client_hello("mail.google.com");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tls::parse_client_hello(wire));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void tls_certificate_parse(benchmark::State& state) {
+  const auto wire = tls::build_server_flight(
+      {tls::build_certificate("*.zynga.com", "DigiCert",
+                              {"*.zynga.com", "zynga.com"})});
+  for (auto _ : state) {
+    const auto flight = tls::parse_server_flight(wire);
+    benchmark::DoNotOptimize(flight->leaf_info());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void flow_table_update(benchmark::State& state) {
+  // Steady-state mid-flow packets across many live flows.
+  flow::FlowTable table;
+  util::Rng rng{3};
+  std::vector<packet::DecodedPacket> packets;
+  std::vector<net::Bytes> frames;
+  for (int i = 0; i < 1024; ++i) {
+    auto spec = web_spec();
+    spec.src_port = static_cast<std::uint16_t>(49152 + i % 512);
+    frames.push_back(
+        packet::build_tcp_frame(spec, packet::tcpflags::kAck, 100, 1, {},
+                                1460));
+  }
+  for (const auto& frame : frames)
+    packets.push_back(*packet::decode_frame(frame, {}));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    table.on_packet(packets[i++ % packets.size()]);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void sniffer_end_to_end(benchmark::State& state) {
+  // A repeating mix: DNS response + handshake + request + teardown.
+  std::vector<net::Bytes> frames;
+  {
+    auto spec = web_spec();
+    packet::FrameSpec dns_spec;
+    dns_spec.src_ip = net::Ipv4Address{10, 200, 0, 1};
+    dns_spec.dst_ip = spec.src_ip;
+    dns_spec.src_port = 53;
+    dns_spec.dst_port = 33333;
+    frames.push_back(packet::build_udp_frame(
+        dns_spec,
+        dns::make_a_response(1, *dns::DnsName::from_string("x.example.com"),
+                             {spec.dst_ip}, 60)
+            .encode()));
+    frames.push_back(
+        packet::build_tcp_frame(spec, packet::tcpflags::kSyn, 0, 0, {}));
+    frames.push_back(packet::build_tcp_frame(
+        spec, packet::tcpflags::kAck | packet::tcpflags::kPsh, 1, 1,
+        net::as_bytes(std::string_view{
+            "GET / HTTP/1.1\r\nHost: x.example.com\r\n\r\n"})));
+    frames.push_back(packet::build_tcp_frame(
+        spec, packet::tcpflags::kFin | packet::tcpflags::kAck, 40, 1, {}));
+    packet::FrameSpec back = spec;
+    std::swap(back.src_ip, back.dst_ip);
+    std::swap(back.src_port, back.dst_port);
+    frames.push_back(packet::build_tcp_frame(
+        back, packet::tcpflags::kFin | packet::tcpflags::kAck, 1, 41, {}));
+  }
+  core::SnifferConfig config;
+  config.record_dns_log = false;
+  core::Sniffer sniffer{config};
+  std::size_t i = 0;
+  std::uint64_t bytes = 0;
+  for (auto _ : state) {
+    const auto& frame = frames[i++ % frames.size()];
+    sniffer.on_frame(frame, util::Timestamp::from_micros(
+                                static_cast<std::int64_t>(i)));
+    bytes += frame.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+
+}  // namespace
+
+BENCHMARK(frame_decode);
+BENCHMARK(dns_decode)->Arg(1)->Arg(4)->Arg(16);
+BENCHMARK(dns_encode);
+BENCHMARK(tls_client_hello_parse);
+BENCHMARK(tls_certificate_parse);
+BENCHMARK(flow_table_update);
+BENCHMARK(sniffer_end_to_end);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,50 @@
+// Fig. 11: temporal activity of the BitTorrent trackers running on
+// appspot.com over the 18-day live window, 4-hour bins; tracker ids
+// assigned by first observation.
+//
+// Shape targets: roughly the first third of trackers stays active through
+// all 18 days; a group exhibits synchronized on/off windows; later ids
+// appear over time and zombie trackers are still poked sporadically.
+#include "analytics/temporal.hpp"
+#include "bench/common.hpp"
+#include "trafficgen/world.hpp"
+
+int main() {
+  using namespace dnh;
+  bench::print_header(
+      "Fig 11: appspot tracker activity, 4h bins over 18 days "
+      "(EU1-ADSL2 live)",
+      "~1/3 of trackers always on; ids 26-31 synchronized on/off; zombies "
+      "still probed (45 trackers in the paper, 12 at our scale)");
+
+  const auto live = trafficgen::profile_eu1_adsl2_live();
+  trafficgen::Simulator sim{live.base};
+  const auto trace = sim.run_live(live);
+
+  // The tracker FQDN list comes from the world model (the analyst in the
+  // paper identified them via the DPI ground truth).
+  std::vector<std::string> trackers;
+  const auto* appspot = sim.world().find("appspot.com");
+  for (const auto& svc : appspot->services) {
+    if (svc.scheme == trafficgen::Service::Scheme::kTracker)
+      trackers.push_back(svc.fqdn);
+  }
+
+  const auto timeline = analytics::tracker_timeline(
+      trace.db, trackers, trace.start, trace.end, util::Duration::hours(4));
+
+  for (std::size_t row = 0; row < timeline.fqdns.size(); ++row) {
+    std::string line;
+    std::size_t active_bins = 0;
+    for (const bool on : timeline.active[row]) {
+      line += on ? '#' : '.';
+      active_bins += on;
+    }
+    std::printf("id %2zu %-20s %s (%zu/%zu bins)\n", row + 1,
+                timeline.fqdns[row].substr(0, 20).c_str(), line.c_str(),
+                active_bins, timeline.active[row].size());
+  }
+  std::printf("(x-axis: %zu four-hour bins across 18 days)\n",
+              timeline.bin_start_seconds.size());
+  return 0;
+}

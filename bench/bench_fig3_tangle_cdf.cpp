@@ -1,0 +1,61 @@
+// Fig. 3: the tangle — CDF of serverIPs per FQDN (top) and FQDNs per
+// serverIP (bottom), EU2-ADSL.
+//
+// Paper anchors: 82% of FQDNs map to exactly one serverIP; 73% of
+// serverIPs serve exactly one FQDN; both tails stretch into the hundreds.
+#include <map>
+#include <set>
+
+#include "bench/common.hpp"
+#include "util/stats.hpp"
+
+int main() {
+  using namespace dnh;
+  bench::print_header(
+      "Fig 3: #serverIP per FQDN (top) / #FQDN per serverIP (bottom), "
+      "EU2-ADSL",
+      "82% of FQDNs -> 1 IP; 73% of IPs -> 1 FQDN; tails reach hundreds");
+
+  const auto trace = bench::load_trace(trafficgen::profile_eu2_adsl());
+
+  std::map<std::string, std::set<net::Ipv4Address>> ips_per_fqdn;
+  std::map<net::Ipv4Address, std::set<std::string>> fqdns_per_ip;
+  for (const auto& flow : trace.db().flows()) {
+    if (!flow.labeled()) continue;
+    ips_per_fqdn[flow.fqdn].insert(flow.key.server_ip);
+    fqdns_per_ip[flow.key.server_ip].insert(flow.fqdn);
+  }
+
+  util::CdfAccumulator ip_counts;
+  for (const auto& [_, ips] : ips_per_fqdn)
+    ip_counts.add(static_cast<double>(ips.size()));
+  util::CdfAccumulator fqdn_counts;
+  for (const auto& [_, fqdns] : fqdns_per_ip)
+    fqdn_counts.add(static_cast<double>(fqdns.size()));
+
+  const std::vector<double> xs{1, 2, 3, 5, 10, 20, 50, 100, 200, 1000};
+  std::printf("top: CDF of #serverIP associated to a FQDN (N=%zu FQDNs)\n",
+              ips_per_fqdn.size());
+  for (const double x : xs)
+    std::printf("  #IP <= %-5.0f : %s\n", x,
+                util::percent(ip_counts.cdf_at(x)).c_str());
+  std::printf("  measured P[#IP=1] = %s (paper: 82%%), max=%.0f\n\n",
+              util::percent(ip_counts.cdf_at(1)).c_str(), ip_counts.max());
+
+  std::printf("bottom: CDF of #FQDN served by a serverIP (N=%zu IPs)\n",
+              fqdns_per_ip.size());
+  for (const double x : xs)
+    std::printf("  #FQDN <= %-5.0f : %s\n", x,
+                util::percent(fqdn_counts.cdf_at(x)).c_str());
+  std::printf("  measured P[#FQDN=1] = %s (paper: 73%%), max=%.0f\n",
+              util::percent(fqdn_counts.cdf_at(1)).c_str(),
+              fqdn_counts.max());
+
+  std::vector<std::vector<double>> rows;
+  for (const double x : xs)
+    rows.push_back({x, ip_counts.cdf_at(x), fqdn_counts.cdf_at(x)});
+  bench::maybe_write_csv("fig3_tangle_cdf",
+                         {"x", "cdf_ips_per_fqdn", "cdf_fqdns_per_ip"},
+                         rows);
+  return 0;
+}

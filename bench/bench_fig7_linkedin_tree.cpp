@@ -1,0 +1,23 @@
+// Fig. 7: linkedin.com domain-structure tree (US-3G): token branches of
+// the FQDNs grouped by hosting CDN.
+//
+// Paper anchors: mediaN.linkedin.com on Akamai (2 servers, 17% of flows);
+// media/platform/staticN on CDNetworks (15 servers, 3%); static on
+// EdgeCast (1 server, 59%); www + 7 more on LinkedIn's own 3 servers
+// (22%).
+#include "analytics/domain_tree.hpp"
+#include "bench/common.hpp"
+
+int main() {
+  using namespace dnh;
+  bench::print_header(
+      "Fig 7: linkedin.com domain structure (US-3G)",
+      "akamai 2 srv/17% | cdnetworks 15 srv/3% | edgecast 1 srv/59% | "
+      "self 3 srv/22%");
+
+  const auto trace = bench::load_trace(trafficgen::profile_us_3g());
+  const auto tree =
+      analytics::build_domain_tree(trace.db(), trace.orgs(), "linkedin.com");
+  std::printf("%s", analytics::render_domain_tree(tree).c_str());
+  return 0;
+}

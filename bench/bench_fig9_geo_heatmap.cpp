@@ -1,0 +1,50 @@
+// Fig. 9: which CDNs serve facebook.com / twitter.com / dailymotion.com as
+// seen from the three vantage points — the access-pattern "heatmap".
+//
+// Shape targets: Facebook is self-hosted everywhere with a little Akamai;
+// Twitter leans on Akamai in Europe far more than in the US; Dailymotion
+// rides Dedibox in both geographies, adding self/meta/ntt servers in the
+// US and a bit of EdgeCast in Europe.
+#include "analytics/spatial.hpp"
+#include "bench/common.hpp"
+
+namespace {
+
+void print_row(const dnh::bench::SniffedTrace& trace, const char* trace_name,
+               const std::string& sld) {
+  using namespace dnh;
+  const auto breakdown =
+      analytics::hosting_breakdown(trace.db(), trace.orgs(), sld);
+  std::printf("  %-10s: ", trace_name);
+  const std::string self_host = std::string{util::split(sld, '.').front()};
+  for (const auto& host : breakdown) {
+    const bool self = host.host_org == self_host;
+    std::printf("%s[%zu srv] %s   ", (self ? "SELF" : host.host_org).c_str(),
+                host.servers, util::percent(host.flow_share, 0).c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  using namespace dnh;
+  bench::print_header(
+      "Fig 9: organizations served by several CDNs, per vantage point",
+      "facebook: SELF+akamai everywhere; twitter: akamai-heavy in EU only; "
+      "dailymotion: dedibox, plus SELF/meta/ntt in the US");
+
+  const auto us = bench::load_trace(trafficgen::profile_us_3g());
+  const auto eu1 = bench::load_trace(trafficgen::profile_eu1_adsl1());
+  const auto eu2 = bench::load_trace(trafficgen::profile_eu2_adsl());
+
+  for (const char* sld :
+       {"facebook.com", "twitter.com", "dailymotion.com"}) {
+    std::printf("%s\n", sld);
+    print_row(eu1, "EU1-ADSL1", sld);
+    print_row(eu2, "EU2-ADSL", sld);
+    print_row(us, "US-3G", sld);
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Microbenchmark of the DNS Resolver's real-time path (Sec. 3.1.1): insert
+// and lookup cost as the monitored client population Nc grows, for both
+// map policies (ordered maps as in the paper, hash maps per footnote 2).
+//
+// The paper's complexity claim is O(log Nc + log Ns(c)) per operation with
+// ordered maps; hash maps trade ordering for O(1) expected.
+#include <benchmark/benchmark.h>
+
+#include <span>
+#include <vector>
+
+#include "core/resolver.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using dnh::core::BasicDnsResolver;
+using dnh::core::OrderedMapPolicy;
+using dnh::core::UnorderedMapPolicy;
+using dnh::net::Ipv4Address;
+
+struct Workload {
+  std::vector<Ipv4Address> clients;
+  std::vector<Ipv4Address> servers;
+  std::vector<std::string> fqdns;
+};
+
+Workload make_workload(std::size_t n_clients) {
+  Workload w;
+  dnh::util::Rng rng{7};
+  for (std::size_t i = 0; i < n_clients; ++i)
+    w.clients.emplace_back(static_cast<std::uint32_t>(0x0A000000 + i));
+  for (std::size_t i = 0; i < 512; ++i)
+    w.servers.emplace_back(static_cast<std::uint32_t>(0x17000000 + i));
+  for (std::size_t i = 0; i < 1024; ++i)
+    w.fqdns.push_back("svc" + std::to_string(i) + ".example.com");
+  return w;
+}
+
+template <typename Policy>
+void resolver_insert(benchmark::State& state) {
+  const auto workload =
+      make_workload(static_cast<std::size_t>(state.range(0)));
+  BasicDnsResolver<Policy> resolver{1 << 20};
+  dnh::util::Rng rng{13};
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const auto& client = workload.clients[i % workload.clients.size()];
+    const Ipv4Address answers[2] = {
+        workload.servers[rng.index(workload.servers.size())],
+        workload.servers[rng.index(workload.servers.size())]};
+    resolver.insert(client, workload.fqdns[i % workload.fqdns.size()],
+                    std::span{answers},
+                    dnh::util::Timestamp::from_micros(
+                        static_cast<std::int64_t>(i)));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(i));
+}
+
+template <typename Policy>
+void resolver_lookup(benchmark::State& state) {
+  const auto workload =
+      make_workload(static_cast<std::size_t>(state.range(0)));
+  BasicDnsResolver<Policy> resolver{1 << 20};
+  dnh::util::Rng rng{17};
+  // Preload: every client knows ~32 servers.
+  for (const auto& client : workload.clients) {
+    for (int s = 0; s < 32; ++s) {
+      const Ipv4Address answers[1] = {
+          workload.servers[rng.index(workload.servers.size())]};
+      resolver.insert(client, workload.fqdns[rng.index(workload.fqdns.size())],
+                      std::span{answers}, {});
+    }
+  }
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const auto& client = workload.clients[i % workload.clients.size()];
+    const auto& server = workload.servers[i % workload.servers.size()];
+    benchmark::DoNotOptimize(resolver.lookup(client, server));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(i));
+}
+
+void ordered_insert(benchmark::State& s) { resolver_insert<OrderedMapPolicy>(s); }
+void unordered_insert(benchmark::State& s) {
+  resolver_insert<UnorderedMapPolicy>(s);
+}
+void ordered_lookup(benchmark::State& s) { resolver_lookup<OrderedMapPolicy>(s); }
+void unordered_lookup(benchmark::State& s) {
+  resolver_lookup<UnorderedMapPolicy>(s);
+}
+
+}  // namespace
+
+BENCHMARK(ordered_insert)->Arg(64)->Arg(1024)->Arg(16384);
+BENCHMARK(unordered_insert)->Arg(64)->Arg(1024)->Arg(16384);
+BENCHMARK(ordered_lookup)->Arg(64)->Arg(1024)->Arg(16384);
+BENCHMARK(unordered_lookup)->Arg(64)->Arg(1024)->Arg(16384);
+
+BENCHMARK_MAIN();

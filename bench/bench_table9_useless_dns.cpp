@@ -1,0 +1,29 @@
+// Table 9: fraction of "useless" DNS responses — resolutions never
+// followed by any TCP flow, driven by browser prefetching.
+//
+// Paper: 46-50% on fixed-line traces, 30% on mobile (mobile browsers
+// prefetch less aggressively).
+#include "analytics/delay.hpp"
+#include "bench/common.hpp"
+
+int main() {
+  using namespace dnh;
+  bench::print_header(
+      "Table 9: fraction of useless DNS resolutions",
+      "EU1-ADSL1 46% / EU1-ADSL2 47% / EU1-FTTH 50% / EU2-ADSL 47% / "
+      "US-3G 30%");
+
+  const char* paper[] = {"30%", "47%", "46%", "47%", "50%"};
+  util::TextTable table{{"Trace", "Useless DNS", "paper"}};
+  int row = 0;
+  for (const auto& profile : trafficgen::all_table1_profiles()) {
+    const auto trace = bench::load_trace(profile);
+    const auto report =
+        analytics::analyze_delays(trace.sniffer->dns_log(), trace.db());
+    table.add_row({profile.name,
+                   util::percent(report.useless_fraction(), 0),
+                   paper[row++]});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}

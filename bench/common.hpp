@@ -1,0 +1,130 @@
+// Shared scaffolding for the experiment benches: trace generation with an
+// on-disk pcap cache, the generate->sniff pipeline, and report helpers.
+//
+// Every bench prints the paper's reported values next to the measured
+// ones; absolute counts differ by the documented ~1/400 scale, percentages
+// and shapes are the reproduction targets.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/sniffer.hpp"
+#include "trafficgen/profiles.hpp"
+#include "trafficgen/simulator.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace dnh::bench {
+
+/// A generated-and-sniffed trace: the world (whois + PTR databases), the
+/// generator stats, and the DN-Hunter sniffer state after processing.
+struct SniffedTrace {
+  std::unique_ptr<trafficgen::Simulator> sim;
+  std::unique_ptr<core::Sniffer> sniffer;
+  trafficgen::PcapStats gen_stats;
+  std::string pcap_path;
+
+  const core::FlowDatabase& db() const { return sniffer->database(); }
+  const orgdb::OrgDb& orgs() const { return sim->world().org_db(); }
+  util::Timestamp start() const { return sim->start_time(); }
+  util::Timestamp end() const {
+    return sim->start_time() + sim->profile().duration;
+  }
+};
+
+inline std::string trace_cache_dir() {
+  if (const char* dir = std::getenv("DNH_TRACE_CACHE")) return dir;
+  return "/tmp/dnh_traces";
+}
+
+/// Generates (or reuses a cached) pcap for `profile` and runs the sniffer
+/// over it. The cache key includes name and seed, so edits to profile
+/// parameters should bump the seed.
+inline SniffedTrace load_trace(const trafficgen::TraceProfile& profile) {
+  namespace fs = std::filesystem;
+  SniffedTrace trace;
+  trace.sim = std::make_unique<trafficgen::Simulator>(profile);
+
+  fs::create_directories(trace_cache_dir());
+  trace.pcap_path = trace_cache_dir() + "/" + profile.name + "-" +
+                    std::to_string(profile.seed) + ".pcap";
+  if (!fs::exists(trace.pcap_path)) {
+    std::fprintf(stderr, "[bench] generating %s ...\n",
+                 trace.pcap_path.c_str());
+    const auto stats = trace.sim->write_pcap(trace.pcap_path);
+    if (!stats) {
+      std::fprintf(stderr, "cannot write %s\n", trace.pcap_path.c_str());
+      std::exit(1);
+    }
+    trace.gen_stats = *stats;
+  } else {
+    std::fprintf(stderr, "[bench] reusing %s\n", trace.pcap_path.c_str());
+  }
+
+  trace.sniffer = std::make_unique<core::Sniffer>();
+  if (!trace.sniffer->process_pcap(trace.pcap_path)) {
+    std::fprintf(stderr, "sniffer failed: %s\n",
+                 trace.sniffer->error().c_str());
+    std::exit(1);
+  }
+  trace.sniffer->finish();
+  if (trace.gen_stats.frames == 0) {  // cached file: fill from sniffer
+    trace.gen_stats.frames = trace.sniffer->stats().frames;
+    trace.gen_stats.tcp_flows = trace.sniffer->stats().flows_exported;
+    trace.gen_stats.dns_responses = trace.sniffer->stats().dns_responses;
+    std::map<std::int64_t, std::uint64_t> per_min;
+    for (const auto& event : trace.sniffer->dns_log())
+      ++per_min[event.time.seconds_since_epoch() / 60];
+    for (const auto& [minute, count] : per_min)
+      trace.gen_stats.peak_dns_per_min =
+          std::max(trace.gen_stats.peak_dns_per_min, count);
+  }
+  return trace;
+}
+
+inline void print_header(const std::string& experiment,
+                         const std::string& paper_claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("Paper: %s\n", paper_claim.c_str());
+  std::printf("==============================================================\n");
+}
+
+/// "92.3% (paper: 92%)" convenience.
+inline std::string vs_paper(double measured_ratio, const char* paper) {
+  return util::percent(measured_ratio) + "  (paper: " + paper + ")";
+}
+
+}  // namespace dnh::bench
+
+namespace dnh::bench {
+
+/// When DNH_CSV_DIR is set, figure benches also dump their series as CSV
+/// (one file per series) so the plots can be regenerated with any tool.
+inline void maybe_write_csv(const std::string& name,
+                            const std::vector<std::string>& header,
+                            const std::vector<std::vector<double>>& rows) {
+  const char* dir = std::getenv("DNH_CSV_DIR");
+  if (!dir) return;
+  std::filesystem::create_directories(dir);
+  const std::string path = std::string{dir} + "/" + name + ".csv";
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (!out) return;
+  for (std::size_t i = 0; i < header.size(); ++i)
+    std::fprintf(out, "%s%s", i ? "," : "", header[i].c_str());
+  std::fprintf(out, "\n");
+  for (const auto& row : rows) {
+    for (std::size_t i = 0; i < row.size(); ++i)
+      std::fprintf(out, "%s%.6g", i ? "," : "", row[i]);
+    std::fprintf(out, "\n");
+  }
+  std::fclose(out);
+  std::fprintf(stderr, "[bench] wrote %s\n", path.c_str());
+}
+
+}  // namespace dnh::bench

@@ -1,0 +1,64 @@
+#include "analytics/anomaly.hpp"
+
+namespace dnh::analytics {
+
+DnsAnomalyDetector::DnsAnomalyDetector(const orgdb::OrgDb& orgs,
+                                       AnomalyConfig config)
+    : orgs_{orgs}, config_{config} {}
+
+std::string DnsAnomalyDetector::network_of(net::Ipv4Address address) const {
+  if (const auto org = orgs_.lookup(address)) return std::string{*org};
+  const auto range = net::cidr(address, config_.fallback_prefix_len);
+  return range.first.to_string() + "/" +
+         std::to_string(config_.fallback_prefix_len);
+}
+
+std::optional<DnsAnomaly> DnsAnomalyDetector::observe(
+    const core::DnsEvent& event) {
+  ++responses_;
+  if (event.servers.empty()) return std::nullopt;
+  Profile& profile = profiles_[event.fqdn];
+
+  std::optional<DnsAnomaly> anomaly;
+  if (profile.responses >= config_.min_history) {
+    // Anomalous only when NO answer falls inside the learned profile: a
+    // partial overlap is normal multi-CDN behaviour.
+    bool any_known = false;
+    net::Ipv4Address first_unknown;
+    for (const auto server : event.servers) {
+      if (profile.networks.count(network_of(server))) {
+        any_known = true;
+        break;
+      }
+      if (first_unknown == net::Ipv4Address{}) first_unknown = server;
+    }
+    if (!any_known) {
+      DnsAnomaly report;
+      report.time = event.time;
+      report.client = event.client;
+      report.fqdn = event.fqdn;
+      report.suspicious_server = first_unknown;
+      report.observed_org = network_of(first_unknown);
+      report.known_orgs.assign(profile.networks.begin(),
+                               profile.networks.end());
+      anomaly = std::move(report);
+    }
+  }
+
+  // Learn the response either way (legitimate migrations fire once).
+  ++profile.responses;
+  for (const auto server : event.servers)
+    profile.networks.insert(network_of(server));
+  return anomaly;
+}
+
+std::vector<DnsAnomaly> DnsAnomalyDetector::scan(
+    const std::vector<core::DnsEvent>& log) {
+  std::vector<DnsAnomaly> out;
+  for (const auto& event : log) {
+    if (auto anomaly = observe(event)) out.push_back(std::move(*anomaly));
+  }
+  return out;
+}
+
+}  // namespace dnh::analytics

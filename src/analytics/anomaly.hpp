@@ -1,0 +1,73 @@
+// DNS anomaly detection (paper Sec. 4.1, closing note): DN-Hunter's
+// continuous FQDN -> serverIP tracking makes sudden mapping changes —
+// e.g. a cache-poisoning response pointing a known domain at an address
+// in a never-before-seen network — stand out against the learned history.
+//
+// The detector builds a per-FQDN profile of the organizations/prefixes
+// that historically answered for it, then scores each new response:
+// answers landing entirely outside the profile after a stable history are
+// flagged. CDN rotation inside known allocations stays silent.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/sniffer.hpp"
+#include "net/ip.hpp"
+#include "orgdb/orgdb.hpp"
+
+namespace dnh::analytics {
+
+struct AnomalyConfig {
+  /// Responses observed for an FQDN before its profile counts as stable.
+  std::uint32_t min_history = 5;
+  /// Prefix length used to coarsen "same network" when the org database
+  /// has no entry for an address.
+  int fallback_prefix_len = 16;
+};
+
+struct DnsAnomaly {
+  util::Timestamp time;
+  net::Ipv4Address client;
+  std::string fqdn;
+  net::Ipv4Address suspicious_server;   ///< first out-of-profile answer
+  std::string observed_org;             ///< where the new answer lives
+  std::vector<std::string> known_orgs;  ///< the FQDN's historical profile
+};
+
+/// Streaming detector: feed DNS events in time order.
+class DnsAnomalyDetector {
+ public:
+  explicit DnsAnomalyDetector(const orgdb::OrgDb& orgs,
+                              AnomalyConfig config = {});
+
+  /// Consumes one response; returns an anomaly report if it broke the
+  /// FQDN's profile (the response is still learned afterwards, so a real
+  /// migration only fires once).
+  std::optional<DnsAnomaly> observe(const core::DnsEvent& event);
+
+  /// Convenience: runs a whole DNS log, returning all anomalies.
+  std::vector<DnsAnomaly> scan(const std::vector<core::DnsEvent>& log);
+
+  std::uint64_t responses_seen() const noexcept { return responses_; }
+
+ private:
+  /// "Network identity" of an address: its org name, or its /N prefix
+  /// rendered as text when unallocated.
+  std::string network_of(net::Ipv4Address address) const;
+
+  struct Profile {
+    std::unordered_set<std::string> networks;
+    std::uint32_t responses = 0;
+  };
+
+  const orgdb::OrgDb& orgs_;
+  AnomalyConfig config_;
+  std::unordered_map<std::string, Profile> profiles_;
+  std::uint64_t responses_ = 0;
+};
+
+}  // namespace dnh::analytics

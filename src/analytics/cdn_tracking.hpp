@@ -1,0 +1,56 @@
+// CDN-assignment tracking over time (paper Sec. 4.1 question iii: "Do the
+// CDNs catering the resource change over time and geography?").
+//
+// For one organization (2LD), bins its labeled flows over time and reports
+// the hosting-organization mix per bin, plus the detected switch events —
+// bins where the dominant host differs from the previous bin's. This is
+// the temporal complement of `hosting_breakdown`, and the machinery behind
+// the paper's claim that DN-Hunter "automatically keeps track of any
+// changes over time in serverIP addresses that satisfy a given FQDN".
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/flowdb.hpp"
+#include "orgdb/orgdb.hpp"
+#include "util/time.hpp"
+
+namespace dnh::analytics {
+
+struct HostingBin {
+  std::int64_t start_seconds = 0;
+  std::uint64_t flows = 0;
+  /// host org -> flow count in this bin.
+  std::map<std::string, std::uint64_t> hosts;
+
+  /// The busiest host of the bin ("" when the bin is empty).
+  std::string dominant() const;
+};
+
+struct HostingSwitch {
+  std::int64_t at_seconds = 0;
+  std::string from;
+  std::string to;
+};
+
+struct CdnTrackingReport {
+  std::string sld;
+  std::vector<HostingBin> bins;
+  /// Dominant-host changes between consecutive non-empty bins.
+  std::vector<HostingSwitch> switches;
+  /// Every host org observed over the window.
+  std::vector<std::string> hosts_seen;
+};
+
+/// Tracks `sld`'s hosting mix between `start` and `end` in `bin`-sized
+/// windows.
+CdnTrackingReport track_hosting(const core::FlowDatabase& db,
+                                const orgdb::OrgDb& orgs,
+                                const std::string& sld,
+                                util::Timestamp start, util::Timestamp end,
+                                util::Duration bin = util::Duration::hours(1));
+
+}  // namespace dnh::analytics

@@ -1,0 +1,43 @@
+#include "analytics/delay.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace dnh::analytics {
+
+DelayReport analyze_delays(const std::vector<core::DnsEvent>& dns_log,
+                           const core::FlowDatabase& db) {
+  DelayReport report;
+  report.responses = dns_log.size();
+
+  // Response identity: (client, response micros). The tagger propagated
+  // the response timestamp into each flow it labeled, so grouping flows by
+  // it reconstructs exactly which response produced which flows.
+  std::map<std::pair<std::uint32_t, std::int64_t>,
+           std::vector<std::int64_t>>
+      flow_starts;
+  for (const auto& flow : db.flows()) {
+    if (!flow.labeled() || !flow.tagged_at_start) continue;
+    flow_starts[{flow.key.client_ip.value(),
+                 flow.dns_response_time.micros_since_epoch()}]
+        .push_back(flow.first_packet.micros_since_epoch());
+  }
+  for (auto& [_, starts] : flow_starts) std::sort(starts.begin(), starts.end());
+
+  for (const auto& event : dns_log) {
+    const auto it = flow_starts.find(
+        {event.client.value(), event.time.micros_since_epoch()});
+    if (it == flow_starts.end() || it->second.empty()) {
+      ++report.useless_responses;
+      continue;
+    }
+    const std::int64_t t0 = event.time.micros_since_epoch();
+    report.first_flow_delay.add(
+        static_cast<double>(it->second.front() - t0) / 1e6);
+    for (const auto start : it->second)
+      report.any_flow_delay.add(static_cast<double>(start - t0) / 1e6);
+  }
+  return report;
+}
+
+}  // namespace dnh::analytics

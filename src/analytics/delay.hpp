@@ -1,0 +1,36 @@
+// DNS-response-to-flow delay analysis (paper Sec. 6): the first-flow delay
+// CDF (Fig. 12), the any-flow delay CDF reflecting client cache lifetime
+// (Fig. 13), and the "useless DNS" fraction (Table 9).
+#pragma once
+
+#include <vector>
+
+#include "core/flowdb.hpp"
+#include "core/sniffer.hpp"
+#include "util/stats.hpp"
+
+namespace dnh::analytics {
+
+struct DelayReport {
+  /// Delay from each DNS response to the FIRST flow it produced (Fig. 12).
+  util::CdfAccumulator first_flow_delay;
+  /// Delay from the labeling response to EVERY flow (Fig. 13).
+  util::CdfAccumulator any_flow_delay;
+  std::uint64_t responses = 0;
+  std::uint64_t useless_responses = 0;  ///< never followed by any flow
+
+  double useless_fraction() const noexcept {
+    return responses ? static_cast<double>(useless_responses) /
+                           static_cast<double>(responses)
+                     : 0.0;
+  }
+};
+
+/// Correlates the DNS log with the labeled flows. A response is matched to
+/// flows from the same client labeled with the same FQDN whose labeling
+/// response time equals the response's timestamp (the resolver stamps each
+/// tag with its originating response).
+DelayReport analyze_delays(const std::vector<core::DnsEvent>& dns_log,
+                           const core::FlowDatabase& db);
+
+}  // namespace dnh::analytics

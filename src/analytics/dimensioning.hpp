@@ -1,0 +1,60 @@
+// Clist dimensioning study (paper Sec. 6): how resolver efficiency varies
+// with the circular-list size L, the answers-per-response distribution,
+// and the label-confusion rate (same client + serverIP carrying different
+// FQDNs, mostly HTTP redirects within one organization).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/flowdb.hpp"
+#include "core/sniffer.hpp"
+
+namespace dnh::analytics {
+
+struct DimensioningPoint {
+  std::size_t clist_size = 0;
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;
+  double efficiency = 0.0;  ///< hits / lookups among resolvable flows
+};
+
+/// Replays the DNS log + flow starts through fresh resolvers of each size
+/// in `sizes`. Only flows the unlimited resolver can label count in the
+/// denominator, isolating the eviction effect the paper dimensions.
+std::vector<DimensioningPoint> clist_efficiency_sweep(
+    const std::vector<core::DnsEvent>& dns_log, const core::FlowDatabase& db,
+    const std::vector<std::size_t>& sizes);
+
+/// Histogram of A-record counts per response: index i holds the number of
+/// responses with i answers (index 0 unused; capped at `max_bucket`).
+std::vector<std::uint64_t> answers_per_response(
+    const std::vector<core::DnsEvent>& dns_log, std::size_t max_bucket = 40);
+
+struct ConfusionReport {
+  std::uint64_t replacements = 0;           ///< (client,server) re-pointed
+  std::uint64_t different_fqdn = 0;         ///< ... to a different FQDN
+  std::uint64_t different_organization = 0; ///< ... across 2LDs (true risk)
+  std::uint64_t lookups = 0;
+
+  /// Fraction of lookups at risk of a wrong label, counting same-2LD
+  /// replacements (HTTP redirects) as harmless — the paper's "<4% after
+  /// excluding redirections".
+  double confusion_rate() const noexcept {
+    return lookups ? static_cast<double>(different_organization) /
+                         static_cast<double>(lookups)
+                   : 0.0;
+  }
+  double raw_replacement_rate() const noexcept {
+    return lookups ? static_cast<double>(different_fqdn) /
+                         static_cast<double>(lookups)
+                   : 0.0;
+  }
+};
+
+/// Replays the DNS log tracking (client,server)->FQDN rebinding.
+ConfusionReport confusion_analysis(
+    const std::vector<core::DnsEvent>& dns_log,
+    const core::FlowDatabase& db);
+
+}  // namespace dnh::analytics

@@ -1,0 +1,47 @@
+// Domain-structure trees (paper Figs. 7-8): the token tree of an
+// organization's FQDNs, with each leaf branch attributed to the CDN
+// hosting it (server count + flow share).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/flowdb.hpp"
+#include "orgdb/orgdb.hpp"
+
+namespace dnh::analytics {
+
+/// One node of the token tree. Children keyed by normalized token.
+struct DomainTreeNode {
+  std::string token;
+  std::uint64_t flows = 0;
+  std::map<std::string, std::unique_ptr<DomainTreeNode>> children;
+};
+
+struct DomainTree {
+  std::string sld;
+  std::uint64_t total_flows = 0;
+  DomainTreeNode root;  ///< root token == the 2LD itself
+  /// Hosting groups: CDN -> {server count, flows, FQDN branches}.
+  struct HostingGroup {
+    std::size_t servers = 0;
+    std::uint64_t flows = 0;
+    std::set<std::string> fqdns;  ///< normalized sub-domain branches
+  };
+  std::map<std::string, HostingGroup> hosting;
+};
+
+/// Builds the tree for one organization from labeled flows.
+DomainTree build_domain_tree(const core::FlowDatabase& db,
+                             const orgdb::OrgDb& orgs,
+                             const std::string& sld);
+
+/// ASCII rendering in the spirit of Figs. 7-8: hosting groups with server
+/// counts and flow shares, then the token tree.
+std::string render_domain_tree(const DomainTree& tree,
+                               std::size_t max_branches_per_group = 12);
+
+}  // namespace dnh::analytics

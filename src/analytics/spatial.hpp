@@ -1,0 +1,48 @@
+// Spatial Discovery of Servers (paper Sec. 4.1, Algorithm 2): given a
+// resource (FQDN), find every server delivering it and everything its
+// organization is served by, ranked by observed flow volume.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/flowdb.hpp"
+#include "net/ip.hpp"
+#include "orgdb/orgdb.hpp"
+
+namespace dnh::analytics {
+
+struct RankedServer {
+  net::Ipv4Address server;
+  std::uint64_t flows = 0;
+  std::string organization;  ///< hosting org (whois/orgdb join)
+};
+
+struct SpatialReport {
+  std::string fqdn;
+  std::string second_level;
+  /// Servers observed for the exact FQDN, most flows first.
+  std::vector<RankedServer> fqdn_servers;
+  /// Servers observed for the whole organization (2LD), most flows first.
+  std::vector<RankedServer> organization_servers;
+};
+
+/// SPATIAL_DISCOVERY(FQDN).
+SpatialReport spatial_discovery(const core::FlowDatabase& db,
+                                const orgdb::OrgDb& orgs,
+                                const std::string& fqdn);
+
+/// Per-hosting-organization rollup of an organization's servers (the
+/// "rectangular node" summaries of Figs. 7-8 and the Fig. 9 rows).
+struct HostingSummary {
+  std::string host_org;
+  std::size_t servers = 0;
+  std::uint64_t flows = 0;
+  double flow_share = 0.0;
+};
+
+std::vector<HostingSummary> hosting_breakdown(const core::FlowDatabase& db,
+                                              const orgdb::OrgDb& orgs,
+                                              const std::string& sld);
+
+}  // namespace dnh::analytics

@@ -1,0 +1,58 @@
+#include "analytics/tangle.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace dnh::analytics {
+
+TangleReport tangle_graph(const core::FlowDatabase& db, std::size_t top_k,
+                          std::size_t min_shared) {
+  // server IP -> set of orgs; org -> set of servers.
+  std::map<net::Ipv4Address, std::set<std::string>> orgs_on_server;
+  std::map<std::string, std::set<net::Ipv4Address>> servers_of_org;
+  for (const auto& flow : db.flows()) {
+    if (!flow.labeled()) continue;
+    const std::string sld{flow.second_level()};
+    orgs_on_server[flow.key.server_ip].insert(sld);
+    servers_of_org[sld].insert(flow.key.server_ip);
+  }
+
+  TangleReport report;
+  report.organizations = servers_of_org.size();
+
+  std::map<std::pair<std::string, std::string>, std::size_t> shared;
+  std::set<std::string> entangled;
+  for (const auto& [server, orgs] : orgs_on_server) {
+    if (orgs.size() < 2) continue;
+    ++report.multi_tenant_servers;
+    for (auto a = orgs.begin(); a != orgs.end(); ++a) {
+      entangled.insert(*a);
+      for (auto b = std::next(a); b != orgs.end(); ++b)
+        ++shared[{*a, *b}];
+    }
+  }
+  report.entangled_orgs = entangled.size();
+
+  report.pairs.reserve(shared.size());
+  for (const auto& [pair, count] : shared) {
+    if (count < min_shared) continue;
+    TanglePair edge;
+    edge.org_a = pair.first;
+    edge.org_b = pair.second;
+    edge.shared_servers = count;
+    edge.servers_a = servers_of_org[pair.first].size();
+    edge.servers_b = servers_of_org[pair.second].size();
+    report.pairs.push_back(std::move(edge));
+  }
+  std::sort(report.pairs.begin(), report.pairs.end(),
+            [](const TanglePair& a, const TanglePair& b) {
+              if (a.shared_servers != b.shared_servers)
+                return a.shared_servers > b.shared_servers;
+              return std::tie(a.org_a, a.org_b) < std::tie(b.org_a, b.org_b);
+            });
+  if (top_k > 0 && report.pairs.size() > top_k) report.pairs.resize(top_k);
+  return report;
+}
+
+}  // namespace dnh::analytics

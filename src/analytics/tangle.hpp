@@ -1,0 +1,57 @@
+// The tangle graph: which organizations share serving infrastructure.
+//
+// The paper's opening motif is that content owners and content hosts are
+// decoupled — "the server IP-address for both of these services can be
+// the same" (Zynga and Dropbox on EC2). This module quantifies that
+// entanglement from the labeled flow database: for every pair of
+// organizations observed on at least one common server IP, the number of
+// shared servers and the Jaccard overlap of their server sets; plus a
+// per-organization entanglement summary. It is the measurement behind
+// the claim that IP-based policy cannot separate services.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/flowdb.hpp"
+
+namespace dnh::analytics {
+
+struct TanglePair {
+  std::string org_a;   ///< 2nd-level domains, org_a < org_b
+  std::string org_b;
+  std::size_t shared_servers = 0;
+  std::size_t servers_a = 0;
+  std::size_t servers_b = 0;
+
+  /// |A ∩ B| / |A ∪ B|.
+  double jaccard() const noexcept {
+    const std::size_t uni = servers_a + servers_b - shared_servers;
+    return uni ? static_cast<double>(shared_servers) /
+                     static_cast<double>(uni)
+               : 0.0;
+  }
+};
+
+struct TangleReport {
+  /// Pairs with >= 1 shared server, most shared servers first.
+  std::vector<TanglePair> pairs;
+  std::size_t organizations = 0;     ///< orgs with labeled flows
+  std::size_t entangled_orgs = 0;    ///< orgs sharing >= 1 server
+  std::size_t multi_tenant_servers = 0;  ///< IPs serving >= 2 orgs
+
+  /// Fraction of organizations that cannot be isolated by IP filters.
+  double entangled_fraction() const noexcept {
+    return organizations ? static_cast<double>(entangled_orgs) /
+                               static_cast<double>(organizations)
+                         : 0.0;
+  }
+};
+
+/// Builds the tangle graph over all labeled flows. `top_k` truncates the
+/// pair list (0 = all); `min_shared` drops weaker edges.
+TangleReport tangle_graph(const core::FlowDatabase& db, std::size_t top_k = 20,
+                          std::size_t min_shared = 1);
+
+}  // namespace dnh::analytics

@@ -1,0 +1,70 @@
+// Temporal analytics: the timeline and birth-process figures.
+//  - Fig. 4: distinct serverIPs serving a 2LD per 10-min bin
+//  - Fig. 5: distinct FQDNs served by a CDN per 10-min bin
+//  - Fig. 6: cumulative unique FQDN / 2LD / serverIP birth processes
+//  - Fig. 11: per-tracker activity matrix over 4-hour bins
+//  - Fig. 14: DNS responses per 10-min bin
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/flowdb.hpp"
+#include "core/sniffer.hpp"
+#include "orgdb/orgdb.hpp"
+#include "util/stats.hpp"
+#include "util/time.hpp"
+
+namespace dnh::analytics {
+
+/// Distinct serverIPs observed in flows labeled with `sld`, per bin.
+util::TimeBinSeries distinct_servers_timeline(
+    const core::FlowDatabase& db, const std::string& sld,
+    util::Timestamp start, util::Timestamp end,
+    util::Duration bin = util::Duration::minutes(10));
+
+/// Distinct FQDNs observed on servers belonging to `provider`, per bin.
+util::TimeBinSeries distinct_fqdns_timeline(
+    const core::FlowDatabase& db, const orgdb::OrgDb& orgs,
+    const std::string& provider, util::Timestamp start, util::Timestamp end,
+    util::Duration bin = util::Duration::minutes(10));
+
+/// Total distinct FQDNs a provider served over the whole window (the
+/// "Amazon served 7995 FQDN in the whole day" number).
+std::size_t distinct_fqdns_total(const core::FlowDatabase& db,
+                                 const orgdb::OrgDb& orgs,
+                                 const std::string& provider);
+
+/// Cumulative unique-entity counts sampled per bin (Fig. 6).
+struct BirthProcess {
+  std::vector<std::int64_t> bin_start_seconds;
+  std::vector<std::uint64_t> unique_fqdns;
+  std::vector<std::uint64_t> unique_slds;
+  std::vector<std::uint64_t> unique_servers;
+};
+
+BirthProcess birth_process(const core::FlowDatabase& db,
+                           util::Timestamp start, util::Timestamp end,
+                           util::Duration bin = util::Duration::hours(6));
+
+/// Per-tracker activity matrix (Fig. 11): rows ordered by first activity;
+/// a cell is true when the tracker saw >= 1 flow in that bin.
+struct TrackerTimeline {
+  std::vector<std::string> fqdns;            ///< row id -> tracker FQDN
+  std::vector<std::vector<bool>> active;     ///< [row][bin]
+  std::vector<std::int64_t> bin_start_seconds;
+};
+
+TrackerTimeline tracker_timeline(
+    const core::FlowDatabase& db, const std::vector<std::string>& trackers,
+    util::Timestamp start, util::Timestamp end,
+    util::Duration bin = util::Duration::hours(4));
+
+/// DNS responses per bin from the sniffer's DNS log (Fig. 14).
+util::TimeBinSeries dns_response_rate(
+    const std::vector<core::DnsEvent>& dns_log, util::Timestamp start,
+    util::Timestamp end, util::Duration bin = util::Duration::minutes(10));
+
+}  // namespace dnh::analytics

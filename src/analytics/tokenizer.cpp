@@ -1,0 +1,43 @@
+#include "analytics/tokenizer.hpp"
+
+#include <cctype>
+
+#include "dns/domain.hpp"
+#include "util/strings.hpp"
+
+namespace dnh::analytics {
+
+std::string normalize_digits(std::string_view token) {
+  std::string out;
+  out.reserve(token.size());
+  bool in_digits = false;
+  for (const char c : token) {
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      if (!in_digits) out += 'N';
+      in_digits = true;
+    } else {
+      // 'N' is the generic digit marker and must survive re-normalization
+      // (idempotence); everything else is lower-cased.
+      out += c == 'N' ? 'N'
+                      : static_cast<char>(
+                            std::tolower(static_cast<unsigned char>(c)));
+      in_digits = false;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> fqdn_tokens(std::string_view fqdn) {
+  std::vector<std::string> out;
+  const std::string_view sub = dns::subdomain_part(fqdn);
+  if (sub.empty()) return out;
+  // Labels first, then non-alphanumeric separators inside each label.
+  for (const auto label : util::split(sub, '.')) {
+    for (const auto piece : util::split_any(label, "-_~")) {
+      if (!piece.empty()) out.push_back(normalize_digits(piece));
+    }
+  }
+  return out;
+}
+
+}  // namespace dnh::analytics

@@ -1,0 +1,21 @@
+// FQDN tokenization for the Service Tag Extraction analytics (paper
+// Sec. 4.3): sub-domain labels (TLD and 2nd-level domain stripped) are
+// split on non-alphanumeric characters and digit runs are replaced by the
+// generic letter 'N', so "smtp2.mail.google.com" -> {"smtpN", "mail"}.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dnh::analytics {
+
+/// Collapses every maximal digit run in `token` to a single 'N'
+/// ("media4" -> "mediaN", "12" -> "N").
+std::string normalize_digits(std::string_view token);
+
+/// Tokens of one FQDN per the paper's rule. The TLD and second-level
+/// domain are excluded; remaining labels are split on non-alphanumerics.
+std::vector<std::string> fqdn_tokens(std::string_view fqdn);
+
+}  // namespace dnh::analytics

@@ -1,0 +1,93 @@
+#include "analytics/volume.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "dns/domain.hpp"
+#include "util/strings.hpp"
+
+namespace dnh::analytics {
+namespace {
+
+/// The last `depth` labels of `fqdn`, anchored at the effective TLD:
+/// depth 1 -> "com", depth 2 -> "google.com", depth 3 -> "mail.google.com".
+std::string name_at_depth(std::string_view fqdn, int depth) {
+  const std::string_view sld = dns::second_level_domain(fqdn);
+  if (depth <= 1) return std::string{dns::effective_tld(fqdn)};
+  if (depth == 2 || sld.size() == fqdn.size()) return std::string{sld};
+  // Take (depth - 2) further labels from the subdomain part, right to
+  // left.
+  const std::string_view sub = dns::subdomain_part(fqdn);
+  const auto labels = util::split(sub, '.');
+  const int extra = std::min<int>(depth - 2, static_cast<int>(labels.size()));
+  std::string out{sld};
+  for (int i = 0; i < extra; ++i) {
+    out.insert(0, ".");
+    out.insert(0, labels[labels.size() - 1 - i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+VolumeReport traffic_by_domain(const core::FlowDatabase& db, int depth,
+                               std::size_t top_k) {
+  VolumeReport report;
+  std::map<std::string, VolumeRow> rows;
+  for (const auto& flow : db.flows()) {
+    const std::uint64_t bytes = flow.bytes_c2s + flow.bytes_s2c;
+    if (!flow.labeled()) {
+      ++report.unlabeled_flows;
+      report.unlabeled_bytes += bytes;
+      continue;
+    }
+    ++report.total_flows;
+    report.total_bytes += bytes;
+    VolumeRow& row = rows[name_at_depth(flow.fqdn, depth)];
+    ++row.flows;
+    row.bytes += bytes;
+  }
+  report.rows.reserve(rows.size());
+  for (auto& [name, row] : rows) {
+    row.name = name;
+    row.byte_share = report.total_bytes
+                         ? static_cast<double>(row.bytes) /
+                               static_cast<double>(report.total_bytes)
+                         : 0.0;
+    report.rows.push_back(std::move(row));
+  }
+  std::sort(report.rows.begin(), report.rows.end(),
+            [](const VolumeRow& a, const VolumeRow& b) {
+              if (a.bytes != b.bytes) return a.bytes > b.bytes;
+              return a.name < b.name;
+            });
+  if (top_k > 0 && report.rows.size() > top_k) report.rows.resize(top_k);
+  return report;
+}
+
+std::vector<std::pair<flow::ProtocolClass, VolumeRow>> traffic_by_protocol(
+    const core::FlowDatabase& db) {
+  std::map<flow::ProtocolClass, VolumeRow> rows;
+  std::uint64_t total_bytes = 0;
+  for (const auto& flow : db.flows()) {
+    const std::uint64_t bytes = flow.bytes_c2s + flow.bytes_s2c;
+    VolumeRow& row = rows[flow.protocol];
+    ++row.flows;
+    row.bytes += bytes;
+    total_bytes += bytes;
+  }
+  std::vector<std::pair<flow::ProtocolClass, VolumeRow>> out;
+  for (auto& [cls, row] : rows) {
+    row.name = std::string{flow::protocol_class_name(cls)};
+    row.byte_share = total_bytes ? static_cast<double>(row.bytes) /
+                                       static_cast<double>(total_bytes)
+                                 : 0.0;
+    out.emplace_back(cls, std::move(row));
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.second.bytes > b.second.bytes;
+  });
+  return out;
+}
+
+}  // namespace dnh::analytics

@@ -1,0 +1,40 @@
+// Traffic-volume breakdown by DNS name hierarchy — the "TreeTop"-style
+// view of the paper's related work ([12-13], Plonka & Barford): what share
+// of bytes/flows goes to .com, to google.com, to an arbitrary label depth.
+// DN-Hunter computes it directly from the labeled flow database.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/flowdb.hpp"
+
+namespace dnh::analytics {
+
+struct VolumeRow {
+  std::string name;  ///< TLD, 2LD, or deeper label path
+  std::uint64_t flows = 0;
+  std::uint64_t bytes = 0;       ///< both directions
+  double byte_share = 0.0;       ///< of all LABELED traffic
+};
+
+struct VolumeReport {
+  std::uint64_t total_flows = 0;       ///< labeled flows
+  std::uint64_t total_bytes = 0;
+  std::uint64_t unlabeled_flows = 0;
+  std::uint64_t unlabeled_bytes = 0;
+  std::vector<VolumeRow> rows;         ///< ranked by bytes
+};
+
+/// Aggregation depth: 1 = effective TLD ("com"), 2 = organization
+/// ("google.com"), 3 = one more label ("mail.google.com"), ...
+VolumeReport traffic_by_domain(const core::FlowDatabase& db, int depth,
+                               std::size_t top_k = 20);
+
+/// Byte/flow shares per protocol class (HTTP/TLS/P2P/...), labeled and
+/// unlabeled together — the operator's first question about a link.
+std::vector<std::pair<flow::ProtocolClass, VolumeRow>> traffic_by_protocol(
+    const core::FlowDatabase& db);
+
+}  // namespace dnh::analytics

@@ -1,0 +1,53 @@
+#include "baseline/cert_inspection.hpp"
+
+#include "dns/domain.hpp"
+#include "tls/handshake.hpp"
+#include "util/strings.hpp"
+
+namespace dnh::baseline {
+
+std::string_view cert_outcome_name(CertOutcome o) noexcept {
+  switch (o) {
+    case CertOutcome::kEqualFqdn: return "Certificate equal FQDN";
+    case CertOutcome::kGeneric: return "Generic certificate";
+    case CertOutcome::kTotallyDifferent: return "Totally different certificate";
+    case CertOutcome::kNoCertificate: return "No certificate";
+  }
+  return "?";
+}
+
+std::optional<tls::CertificateInfo> inspect_certificate(
+    const flow::FlowRecord& flow) {
+  const auto flight = tls::parse_server_flight(flow.head_s2c);
+  if (!flight) return std::nullopt;
+  return flight->leaf_info();
+}
+
+CertOutcome compare_names(const tls::CertificateInfo& info,
+                          std::string_view fqdn) {
+  // Exact equality of the CN or a SAN with the FQDN.
+  for (const auto& name : info.all_names()) {
+    if (util::iequals(name, fqdn)) return CertOutcome::kEqualFqdn;
+  }
+  // Generic: a wildcard match, or any name sharing the 2LD — e.g.
+  // "*.google.com" for mail.google.com, or "www.google.com" presented for
+  // docs.google.com. The operator learns the organization, not the service.
+  const std::string_view fqdn_sld = dns::second_level_domain(fqdn);
+  for (const auto& name : info.all_names()) {
+    if (tls::wildcard_match(name, fqdn)) return CertOutcome::kGeneric;
+    std::string_view pattern = name;
+    if (pattern.substr(0, 2) == "*.") pattern.remove_prefix(2);
+    if (util::iequals(dns::second_level_domain(pattern), fqdn_sld))
+      return CertOutcome::kGeneric;
+  }
+  return CertOutcome::kTotallyDifferent;
+}
+
+CertOutcome compare_certificate(const flow::FlowRecord& flow,
+                                std::string_view fqdn) {
+  const auto info = inspect_certificate(flow);
+  if (!info) return CertOutcome::kNoCertificate;
+  return compare_names(*info, fqdn);
+}
+
+}  // namespace dnh::baseline

@@ -1,0 +1,41 @@
+// TLS certificate-inspection baseline (paper Sec. 5.2.1, Table 4).
+//
+// The conventional augmentation of a DPI box for encrypted traffic: read
+// the server Certificate from the TLS handshake and use its subject name
+// as the flow label. The paper shows four outcome classes when comparing
+// this against DN-Hunter's FQDN; this module reproduces the comparison.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "flow/flow.hpp"
+#include "tls/x509.hpp"
+
+namespace dnh::baseline {
+
+/// Table 4's rows.
+enum class CertOutcome {
+  kEqualFqdn,        ///< certificate name equals the FQDN exactly
+  kGeneric,          ///< wildcard / 2LD-only match ("*.google.com")
+  kTotallyDifferent, ///< names share nothing with the FQDN
+  kNoCertificate,    ///< no certificate on the wire (e.g. resumed session)
+};
+
+std::string_view cert_outcome_name(CertOutcome o) noexcept;
+
+/// Extracts the leaf-certificate names from a TLS flow's server payload;
+/// nullopt when the flow carries no certificate.
+std::optional<tls::CertificateInfo> inspect_certificate(
+    const flow::FlowRecord& flow);
+
+/// Classifies the certificate-vs-FQDN comparison for one flow labeled
+/// `fqdn` by DN-Hunter.
+CertOutcome compare_certificate(const flow::FlowRecord& flow,
+                                std::string_view fqdn);
+
+/// Classifies a certificate (already parsed) against `fqdn`.
+CertOutcome compare_names(const tls::CertificateInfo& info,
+                          std::string_view fqdn);
+
+}  // namespace dnh::baseline

@@ -1,0 +1,79 @@
+#include "baseline/dpi.hpp"
+
+#include "dns/message.hpp"
+#include "http/http.hpp"
+#include "tls/handshake.hpp"
+
+namespace dnh::baseline {
+namespace {
+
+constexpr std::string_view kBtHandshakePrefix = "\x13"
+                                                "BitTorrent protocol";
+
+std::string_view as_text(net::BytesView b) {
+  return {reinterpret_cast<const char*>(b.data()), b.size()};
+}
+
+}  // namespace
+
+bool looks_like_bittorrent(net::BytesView payload) noexcept {
+  const auto text = as_text(payload);
+  return text.size() >= kBtHandshakePrefix.size() &&
+         text.substr(0, kBtHandshakePrefix.size()) == kBtHandshakePrefix;
+}
+
+bool looks_like_tracker_announce(net::BytesView payload) noexcept {
+  const auto text = as_text(payload);
+  return text.substr(0, 4) == "GET " &&
+         text.find("/announce") != std::string_view::npos &&
+         text.find("info_hash=") != std::string_view::npos;
+}
+
+flow::ProtocolClass classify(const flow::FlowRecord& flow) {
+  if (flow.key.transport == flow::Transport::kUdp &&
+      (flow.key.server_port == dns::kDnsPort))
+    return flow::ProtocolClass::kDns;
+
+  const net::BytesView c2s{flow.head_c2s};
+  const net::BytesView s2c{flow.head_s2c};
+
+  if (looks_like_bittorrent(c2s) || looks_like_bittorrent(s2c))
+    return flow::ProtocolClass::kP2p;
+  // Tracker announces are HTTP-framed but belong to the BitTorrent
+  // ecosystem; the paper buckets them as P2P (its footnote 4: the few P2P
+  // resolver hits "are related to BitTorrent tracker traffic mainly").
+  if (looks_like_tracker_announce(c2s)) return flow::ProtocolClass::kP2p;
+  if (http::looks_like_http_request(c2s)) return flow::ProtocolClass::kHttp;
+  if (tls::looks_like_tls(c2s) || tls::looks_like_tls(s2c))
+    return flow::ProtocolClass::kTls;
+
+  if (c2s.empty() && s2c.empty()) {
+    // No payload captured: fall back to ports.
+    switch (flow.key.server_port) {
+      case 80:
+      case 8080:
+        return flow::ProtocolClass::kHttp;
+      case 443:
+        return flow::ProtocolClass::kTls;
+      default:
+        return flow::ProtocolClass::kUnknown;
+    }
+  }
+  return flow::ProtocolClass::kOther;
+}
+
+std::optional<std::string> dpi_label(const flow::FlowRecord& flow) {
+  const net::BytesView c2s{flow.head_c2s};
+  if (http::looks_like_http_request(c2s)) {
+    const auto req = http::parse_request(c2s);
+    if (req) return req->host();
+    return std::nullopt;
+  }
+  if (tls::looks_like_tls(c2s)) {
+    const auto hello = tls::parse_client_hello(c2s);
+    if (hello && hello->sni) return hello->sni;
+  }
+  return std::nullopt;
+}
+
+}  // namespace dnh::baseline

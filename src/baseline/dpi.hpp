@@ -1,0 +1,32 @@
+// DPI-lite protocol classifier.
+//
+// Plays the role Tstat's DPI plays in the paper: a payload-signature
+// classifier used (a) to bucket flows into HTTP / TLS / P2P for the hit-
+// ratio evaluation (Tab. 2) and (b) as the conventional alternative that
+// DN-Hunter is compared against. Signatures inspect only the first
+// captured payload bytes of each direction.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "flow/flow.hpp"
+
+namespace dnh::baseline {
+
+/// Classifies a reconstructed flow from its payload heads and ports.
+flow::ProtocolClass classify(const flow::FlowRecord& flow);
+
+/// The label a DPI box would attach to the flow, when the payload exposes
+/// one: the HTTP Host header, or the TLS SNI. Encrypted flows without SNI
+/// and opaque protocols yield nullopt — exactly the visibility gap the
+/// paper describes.
+std::optional<std::string> dpi_label(const flow::FlowRecord& flow);
+
+/// True if the payload looks like a BitTorrent peer-wire handshake.
+bool looks_like_bittorrent(net::BytesView payload) noexcept;
+
+/// True if the payload is an HTTP tracker announce request.
+bool looks_like_tracker_announce(net::BytesView payload) noexcept;
+
+}  // namespace dnh::baseline

@@ -1,0 +1,39 @@
+#include "baseline/reverse_dns.hpp"
+
+#include "dns/domain.hpp"
+#include "util/strings.hpp"
+
+namespace dnh::baseline {
+
+std::string_view reverse_outcome_name(ReverseLookupOutcome o) noexcept {
+  switch (o) {
+    case ReverseLookupOutcome::kSameFqdn: return "Same FQDN";
+    case ReverseLookupOutcome::kSameSecondLevel: return "Same 2nd-level domain";
+    case ReverseLookupOutcome::kTotallyDifferent: return "Totally different";
+    case ReverseLookupOutcome::kNoAnswer: return "No-answer";
+  }
+  return "?";
+}
+
+void PtrDatabase::add(net::Ipv4Address address, std::string ptr_name) {
+  records_[address] = util::to_lower(ptr_name);
+}
+
+std::optional<std::string_view> PtrDatabase::query(
+    net::Ipv4Address address) const {
+  const auto it = records_.find(address);
+  if (it == records_.end()) return std::nullopt;
+  return std::string_view{it->second};
+}
+
+ReverseLookupOutcome compare_reverse_lookup(
+    const std::optional<std::string_view>& ptr_name, std::string_view fqdn) {
+  if (!ptr_name || ptr_name->empty()) return ReverseLookupOutcome::kNoAnswer;
+  if (util::iequals(*ptr_name, fqdn)) return ReverseLookupOutcome::kSameFqdn;
+  if (util::iequals(dns::second_level_domain(*ptr_name),
+                    dns::second_level_domain(fqdn)))
+    return ReverseLookupOutcome::kSameSecondLevel;
+  return ReverseLookupOutcome::kTotallyDifferent;
+}
+
+}  // namespace dnh::baseline

@@ -1,0 +1,47 @@
+// Active reverse-DNS (PTR) lookup baseline (paper Sec. 3.1.3, Table 3).
+//
+// The paper issues live PTR queries for 1,000 tagged server IPs and scores
+// the answers against the sniffer's FQDNs. Offline, we model the PTR zone
+// as a database the trace generator populates with the naming policies real
+// operators use (CDN-internal rDNS names, missing PTR records, 2LD-matching
+// names for self-hosted servers), then run the identical comparison.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "net/ip.hpp"
+
+namespace dnh::baseline {
+
+/// Table 3's rows.
+enum class ReverseLookupOutcome {
+  kSameFqdn,         ///< PTR name equals the sniffer's FQDN
+  kSameSecondLevel,  ///< PTR shares only the 2nd-level domain
+  kTotallyDifferent, ///< unrelated name (typical CDN rDNS)
+  kNoAnswer,         ///< NXDOMAIN / no PTR record
+};
+
+std::string_view reverse_outcome_name(ReverseLookupOutcome o) noexcept;
+
+/// The simulated PTR zone: serverIP -> designated rDNS name.
+class PtrDatabase {
+ public:
+  void add(net::Ipv4Address address, std::string ptr_name);
+
+  /// The PTR record for `address`, or nullopt (NXDOMAIN).
+  std::optional<std::string_view> query(net::Ipv4Address address) const;
+
+  std::size_t size() const noexcept { return records_.size(); }
+
+ private:
+  std::unordered_map<net::Ipv4Address, std::string> records_;
+};
+
+/// Scores one reverse lookup against the FQDN DN-Hunter associated with
+/// the same serverIP.
+ReverseLookupOutcome compare_reverse_lookup(
+    const std::optional<std::string_view>& ptr_name, std::string_view fqdn);
+
+}  // namespace dnh::baseline

@@ -1,0 +1,94 @@
+#include "core/flowdb.hpp"
+
+#include <algorithm>
+
+#include "dns/domain.hpp"
+
+namespace dnh::core {
+
+const std::vector<FlowDatabase::FlowIndex> FlowDatabase::kEmpty{};
+
+std::string_view TaggedFlow::second_level() const {
+  return dns::second_level_domain(fqdn);
+}
+
+FlowDatabase::FlowIndex FlowDatabase::add(TaggedFlow flow) {
+  const FlowIndex index = static_cast<FlowIndex>(flows_.size());
+  if (flow.labeled()) {
+    fqdn_index_[flow.fqdn].push_back(index);
+    sld_index_[std::string{flow.second_level()}].push_back(index);
+  }
+  server_index_[flow.key.server_ip].push_back(index);
+  port_index_[flow.key.server_port].push_back(index);
+  flows_.push_back(std::move(flow));
+  return index;
+}
+
+const std::vector<FlowDatabase::FlowIndex>& FlowDatabase::by_second_level(
+    const std::string& sld) const {
+  const auto it = sld_index_.find(sld);
+  return it == sld_index_.end() ? kEmpty : it->second;
+}
+
+const std::vector<FlowDatabase::FlowIndex>& FlowDatabase::by_fqdn(
+    const std::string& fqdn) const {
+  const auto it = fqdn_index_.find(fqdn);
+  return it == fqdn_index_.end() ? kEmpty : it->second;
+}
+
+const std::vector<FlowDatabase::FlowIndex>& FlowDatabase::by_server(
+    net::Ipv4Address server) const {
+  const auto it = server_index_.find(server);
+  return it == server_index_.end() ? kEmpty : it->second;
+}
+
+const std::vector<FlowDatabase::FlowIndex>& FlowDatabase::by_server_port(
+    std::uint16_t port) const {
+  const auto it = port_index_.find(port);
+  return it == port_index_.end() ? kEmpty : it->second;
+}
+
+std::set<net::Ipv4Address> FlowDatabase::servers_for_fqdn(
+    const std::string& fqdn) const {
+  std::set<net::Ipv4Address> out;
+  for (const auto i : by_fqdn(fqdn)) out.insert(flows_[i].key.server_ip);
+  return out;
+}
+
+std::set<net::Ipv4Address> FlowDatabase::servers_for_second_level(
+    const std::string& sld) const {
+  std::set<net::Ipv4Address> out;
+  for (const auto i : by_second_level(sld))
+    out.insert(flows_[i].key.server_ip);
+  return out;
+}
+
+std::set<std::string> FlowDatabase::fqdns_on_server(
+    net::Ipv4Address server) const {
+  std::set<std::string> out;
+  for (const auto i : by_server(server)) {
+    if (flows_[i].labeled()) out.insert(flows_[i].fqdn);
+  }
+  return out;
+}
+
+std::set<std::string> FlowDatabase::distinct_fqdns() const {
+  std::set<std::string> out;
+  for (const auto& [fqdn, _] : fqdn_index_) out.insert(fqdn);
+  return out;
+}
+
+std::vector<std::pair<std::uint16_t, std::size_t>>
+FlowDatabase::ports_by_flow_count() const {
+  std::vector<std::pair<std::uint16_t, std::size_t>> out;
+  out.reserve(port_index_.size());
+  for (const auto& [port, flows] : port_index_)
+    out.emplace_back(port, flows.size());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return out;
+}
+
+}  // namespace dnh::core

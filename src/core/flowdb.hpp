@@ -1,0 +1,108 @@
+// The labeled Flow Database (paper Fig. 1): the sniffer's output store that
+// the off-line analyzer mines. Holds each finished flow with its FQDN tag
+// and protocol class, with secondary indexes matching the analytics
+// algorithms' query patterns (by 2nd-level domain for Alg. 2, by serverIP
+// for Alg. 3, by destination port for Alg. 4).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "flow/flow.hpp"
+#include "net/ip.hpp"
+#include "util/time.hpp"
+
+namespace dnh::core {
+
+/// One finished, labeled flow.
+struct TaggedFlow {
+  flow::FlowKey key;
+  util::Timestamp first_packet;
+  util::Timestamp last_packet;
+  std::uint64_t packets_c2s = 0;
+  std::uint64_t packets_s2c = 0;
+  std::uint64_t bytes_c2s = 0;
+  std::uint64_t bytes_s2c = 0;
+  flow::ProtocolClass protocol = flow::ProtocolClass::kUnknown;
+
+  std::string fqdn;  ///< DN-Hunter label; empty when the lookup missed
+  /// When the DNS response that produced the label was sniffed; only
+  /// meaningful when `fqdn` is non-empty.
+  util::Timestamp dns_response_time;
+  /// True when the label was already available at the flow's first packet
+  /// (the "identify flows before they begin" property).
+  bool tagged_at_start = false;
+
+  // Baseline-derived fields, filled by the sniffer at export time so the
+  // analyzer does not need to retain payload bytes:
+  /// What a DPI box would label the flow (HTTP Host / TLS SNI); empty when
+  /// the payload exposes nothing.
+  std::string dpi_label;
+  /// Leaf-certificate subject CN from the TLS handshake, if one was seen.
+  std::string cert_cn;
+  /// Leaf-certificate subjectAltName dNSNames.
+  std::vector<std::string> cert_san;
+  /// True if the server sent a certificate (false for resumed sessions).
+  bool has_certificate = false;
+
+  bool labeled() const noexcept { return !fqdn.empty(); }
+  /// The organization part of the label ("scholar.google.com"->"google.com").
+  std::string_view second_level() const;
+};
+
+/// Append-only store with lazily usable secondary indexes. Indexes are
+/// built incrementally on add(); queries return stable flow indices.
+class FlowDatabase {
+ public:
+  using FlowIndex = std::uint32_t;
+
+  /// Adds a flow and indexes it. Returns its index.
+  FlowIndex add(TaggedFlow flow);
+
+  const std::vector<TaggedFlow>& flows() const noexcept { return flows_; }
+  const TaggedFlow& flow(FlowIndex i) const { return flows_.at(i); }
+  std::size_t size() const noexcept { return flows_.size(); }
+
+  /// Flows whose label's 2nd-level domain is `sld` (Alg. 2 line 5).
+  const std::vector<FlowIndex>& by_second_level(const std::string& sld) const;
+
+  /// Flows labeled exactly `fqdn`.
+  const std::vector<FlowIndex>& by_fqdn(const std::string& fqdn) const;
+
+  /// Flows to a given server address (Alg. 3 line 4).
+  const std::vector<FlowIndex>& by_server(net::Ipv4Address server) const;
+
+  /// Flows to a given destination (server) port (Alg. 4 line 4).
+  const std::vector<FlowIndex>& by_server_port(std::uint16_t port) const;
+
+  /// Distinct server IPs observed serving `fqdn`.
+  std::set<net::Ipv4Address> servers_for_fqdn(const std::string& fqdn) const;
+
+  /// Distinct server IPs observed for a whole organization (2LD).
+  std::set<net::Ipv4Address> servers_for_second_level(
+      const std::string& sld) const;
+
+  /// Distinct FQDNs observed on a server.
+  std::set<std::string> fqdns_on_server(net::Ipv4Address server) const;
+
+  /// All distinct labels in the database.
+  std::set<std::string> distinct_fqdns() const;
+
+  /// Ports seen, most flows first.
+  std::vector<std::pair<std::uint16_t, std::size_t>> ports_by_flow_count()
+      const;
+
+ private:
+  std::vector<TaggedFlow> flows_;
+  std::unordered_map<std::string, std::vector<FlowIndex>> fqdn_index_;
+  std::unordered_map<std::string, std::vector<FlowIndex>> sld_index_;
+  std::unordered_map<net::Ipv4Address, std::vector<FlowIndex>> server_index_;
+  std::map<std::uint16_t, std::vector<FlowIndex>> port_index_;
+  static const std::vector<FlowIndex> kEmpty;
+};
+
+}  // namespace dnh::core

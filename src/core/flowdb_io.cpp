@@ -1,0 +1,127 @@
+#include "core/flowdb_io.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace dnh::core {
+namespace {
+
+constexpr std::string_view kHeader = "#dnhunter-flows v1";
+
+std::string join_san(const std::vector<std::string>& san) {
+  std::string out;
+  for (const auto& name : san) {
+    if (!out.empty()) out += ',';
+    out += name;
+  }
+  return out;
+}
+
+template <typename T>
+bool parse_int(std::string_view field, T& out) {
+  const auto result =
+      std::from_chars(field.data(), field.data() + field.size(), out);
+  return result.ec == std::errc{} &&
+         result.ptr == field.data() + field.size();
+}
+
+}  // namespace
+
+std::size_t write_flow_tsv(const FlowDatabase& db, std::ostream& out) {
+  out << kHeader << '\n'
+      << "#client_ip\tserver_ip\tclient_port\tserver_port\ttransport\t"
+         "first_us\tlast_us\tpkts_c2s\tpkts_s2c\tbytes_c2s\tbytes_s2c\t"
+         "protocol\tfqdn\tdns_response_us\ttagged_at_start\tdpi_label\t"
+         "cert_cn\tcert_san\thas_certificate\n";
+  for (const auto& flow : db.flows()) {
+    out << flow.key.client_ip.to_string() << '\t'
+        << flow.key.server_ip.to_string() << '\t' << flow.key.client_port
+        << '\t' << flow.key.server_port << '\t'
+        << (flow.key.transport == flow::Transport::kTcp ? "tcp" : "udp")
+        << '\t' << flow.first_packet.micros_since_epoch() << '\t'
+        << flow.last_packet.micros_since_epoch() << '\t' << flow.packets_c2s
+        << '\t' << flow.packets_s2c << '\t' << flow.bytes_c2s << '\t'
+        << flow.bytes_s2c << '\t' << static_cast<int>(flow.protocol) << '\t'
+        << flow.fqdn << '\t' << flow.dns_response_time.micros_since_epoch()
+        << '\t' << (flow.tagged_at_start ? 1 : 0) << '\t' << flow.dpi_label
+        << '\t' << flow.cert_cn << '\t' << join_san(flow.cert_san) << '\t'
+        << (flow.has_certificate ? 1 : 0) << '\n';
+  }
+  return db.size();
+}
+
+std::size_t write_flow_tsv(const FlowDatabase& db, const std::string& path) {
+  std::ofstream out{path};
+  if (!out) return 0;
+  return write_flow_tsv(db, out);
+}
+
+std::optional<FlowDatabase> read_flow_tsv(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || line != kHeader) return std::nullopt;
+
+  FlowDatabase db;
+  while (std::getline(in, line)) {
+    if (line.empty() || line.front() == '#') continue;
+    const auto fields = util::split(line, '\t');
+    if (fields.size() != 19) return std::nullopt;
+
+    TaggedFlow flow;
+    const auto client = net::Ipv4Address::parse(fields[0]);
+    const auto server = net::Ipv4Address::parse(fields[1]);
+    if (!client || !server) return std::nullopt;
+    flow.key.client_ip = *client;
+    flow.key.server_ip = *server;
+
+    std::int64_t first_us = 0, last_us = 0, dns_us = 0;
+    int protocol = 0, tagged = 0, has_cert = 0;
+    if (!parse_int(fields[2], flow.key.client_port) ||
+        !parse_int(fields[3], flow.key.server_port) ||
+        !parse_int(fields[5], first_us) || !parse_int(fields[6], last_us) ||
+        !parse_int(fields[7], flow.packets_c2s) ||
+        !parse_int(fields[8], flow.packets_s2c) ||
+        !parse_int(fields[9], flow.bytes_c2s) ||
+        !parse_int(fields[10], flow.bytes_s2c) ||
+        !parse_int(fields[11], protocol) ||
+        !parse_int(fields[13], dns_us) || !parse_int(fields[14], tagged) ||
+        !parse_int(fields[18], has_cert))
+      return std::nullopt;
+    if (fields[4] == "tcp") {
+      flow.key.transport = flow::Transport::kTcp;
+    } else if (fields[4] == "udp") {
+      flow.key.transport = flow::Transport::kUdp;
+    } else {
+      return std::nullopt;
+    }
+    if (protocol < 0 ||
+        protocol > static_cast<int>(flow::ProtocolClass::kOther))
+      return std::nullopt;
+    flow.protocol = static_cast<flow::ProtocolClass>(protocol);
+    flow.first_packet = util::Timestamp::from_micros(first_us);
+    flow.last_packet = util::Timestamp::from_micros(last_us);
+    flow.dns_response_time = util::Timestamp::from_micros(dns_us);
+    flow.tagged_at_start = tagged != 0;
+    flow.fqdn = std::string{fields[12]};
+    flow.dpi_label = std::string{fields[15]};
+    flow.cert_cn = std::string{fields[16]};
+    if (!fields[17].empty()) {
+      for (const auto san : util::split(fields[17], ','))
+        flow.cert_san.emplace_back(san);
+    }
+    flow.has_certificate = has_cert != 0;
+    db.add(std::move(flow));
+  }
+  return db;
+}
+
+std::optional<FlowDatabase> read_flow_tsv(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) return std::nullopt;
+  return read_flow_tsv(in);
+}
+
+}  // namespace dnh::core

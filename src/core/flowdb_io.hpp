@@ -1,0 +1,25 @@
+// FlowDatabase serialization: the paper's architecture (Fig. 1) stores
+// labeled flows in a database for the off-line analyzer; this is the
+// interchange format — a versioned TSV that round-trips every TaggedFlow
+// field, loadable by the analyzer, the CLI, or anything that reads TSV.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "core/flowdb.hpp"
+
+namespace dnh::core {
+
+/// Writes `db` as TSV with a "#dnhunter-flows v1" header line and one
+/// column-documenting comment line. Returns the number of flows written.
+std::size_t write_flow_tsv(const FlowDatabase& db, std::ostream& out);
+std::size_t write_flow_tsv(const FlowDatabase& db, const std::string& path);
+
+/// Reads a TSV produced by write_flow_tsv. Returns nullopt on a missing
+/// file, bad header, or any malformed row (all-or-nothing).
+std::optional<FlowDatabase> read_flow_tsv(std::istream& in);
+std::optional<FlowDatabase> read_flow_tsv(const std::string& path);
+
+}  // namespace dnh::core

@@ -1,0 +1,45 @@
+#include "core/live.hpp"
+
+namespace dnh::core {
+
+LiveAnalyzer::LiveAnalyzer(LiveConfig config, WindowSink sink)
+    : config_{config}, sink_{std::move(sink)} {
+  sniffer_ = std::make_unique<Sniffer>(config_.sniffer);
+}
+
+void LiveAnalyzer::set_flow_start_hook(Sniffer::FlowStartHook hook) {
+  sniffer_->set_flow_start_hook(std::move(hook));
+}
+
+void LiveAnalyzer::rotate(util::Timestamp boundary) {
+  AnalysisWindow window;
+  window.start = window_start_;
+  window.end = boundary;
+  window.db = sniffer_->take_database();
+  window.dns_log = sniffer_->take_dns_log();
+  window_start_ = boundary;
+  ++windows_;
+  if (sink_) sink_(std::move(window));
+}
+
+void LiveAnalyzer::on_frame(net::BytesView frame, util::Timestamp ts) {
+  if (!started_) {
+    // Align the first window to a clean multiple of the window length.
+    const std::int64_t width = config_.window.total_micros();
+    window_start_ = util::Timestamp::from_micros(
+        ts.micros_since_epoch() / width * width);
+    started_ = true;
+  }
+  // Deliver every completed window the clock has passed. Flows still open
+  // in the flow table stay live and land in the window they complete in.
+  while (ts >= window_start_ + config_.window)
+    rotate(window_start_ + config_.window);
+  sniffer_->on_frame(frame, ts);
+}
+
+void LiveAnalyzer::finish() {
+  sniffer_->finish();
+  if (started_) rotate(window_start_ + config_.window);
+}
+
+}  // namespace dnh::core

@@ -1,0 +1,56 @@
+#include "core/policy.hpp"
+
+#include "util/strings.hpp"
+
+namespace dnh::core {
+
+std::string_view policy_action_name(PolicyAction a) noexcept {
+  switch (a) {
+    case PolicyAction::kAllow: return "allow";
+    case PolicyAction::kBlock: return "block";
+    case PolicyAction::kPrioritize: return "prioritize";
+    case PolicyAction::kDeprioritize: return "deprioritize";
+    case PolicyAction::kRateLimit: return "rate-limit";
+  }
+  return "?";
+}
+
+bool domain_suffix_match(std::string_view fqdn,
+                         std::string_view suffix) noexcept {
+  if (suffix.empty() || fqdn.size() < suffix.size()) return false;
+  if (!util::iends_with(fqdn, suffix)) return false;
+  if (fqdn.size() == suffix.size()) return true;
+  return fqdn[fqdn.size() - suffix.size() - 1] == '.';
+}
+
+void PolicyEnforcer::add_rule(std::string domain_suffix,
+                              PolicyAction action) {
+  rules_.push_back({util::to_lower(domain_suffix), action});
+}
+
+PolicyAction PolicyEnforcer::decide(std::string_view fqdn) const {
+  ++stats_.decisions;
+  PolicyAction action = default_action_;
+  if (fqdn.empty()) {
+    ++stats_.unlabeled;
+  } else {
+    std::size_t best_len = 0;
+    for (const auto& rule : rules_) {
+      if (rule.domain_suffix.size() > best_len &&
+          domain_suffix_match(fqdn, rule.domain_suffix)) {
+        best_len = rule.domain_suffix.size();
+        action = rule.action;
+      }
+    }
+  }
+  switch (action) {
+    case PolicyAction::kBlock: ++stats_.blocked; break;
+    case PolicyAction::kPrioritize: ++stats_.prioritized; break;
+    case PolicyAction::kDeprioritize: ++stats_.deprioritized; break;
+    case PolicyAction::kRateLimit: ++stats_.rate_limited; break;
+    case PolicyAction::kAllow: ++stats_.allowed; break;
+  }
+  return action;
+}
+
+}  // namespace dnh::core

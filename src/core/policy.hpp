@@ -1,0 +1,70 @@
+// FQDN-based policy enforcement (paper Fig. 1's "Policy Enforcer").
+//
+// The paper's motivating scenario: block zynga.com while prioritizing
+// dropbox.com even though both resolve to the same Amazon EC2 addresses —
+// impossible with IP filters, trivial with flow labels. Rules match FQDN
+// suffixes at domain-label boundaries; the most specific (longest) matching
+// rule wins. Because DN-Hunter tags at the first packet, decisions cover
+// the whole flow including the TCP handshake.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dnh::core {
+
+enum class PolicyAction : std::uint8_t {
+  kAllow,
+  kBlock,
+  kPrioritize,
+  kDeprioritize,
+  kRateLimit,
+};
+
+std::string_view policy_action_name(PolicyAction a) noexcept;
+
+struct PolicyRule {
+  std::string domain_suffix;  ///< "zynga.com" matches it and *.zynga.com
+  PolicyAction action = PolicyAction::kAllow;
+};
+
+struct PolicyStats {
+  std::uint64_t decisions = 0;
+  std::uint64_t blocked = 0;
+  std::uint64_t prioritized = 0;
+  std::uint64_t deprioritized = 0;
+  std::uint64_t rate_limited = 0;
+  std::uint64_t allowed = 0;  ///< default or explicit allow
+  std::uint64_t unlabeled = 0;  ///< flows with no FQDN (default action)
+};
+
+class PolicyEnforcer {
+ public:
+  /// Action applied when no rule matches (or the flow has no label).
+  explicit PolicyEnforcer(PolicyAction default_action = PolicyAction::kAllow)
+      : default_action_{default_action} {}
+
+  void add_rule(std::string domain_suffix, PolicyAction action);
+
+  /// Decides the action for a flow labeled `fqdn` (empty = unlabeled).
+  /// Longest matching suffix wins; matching is at label boundaries, so the
+  /// rule "zynga.com" does NOT match "notzynga.com".
+  PolicyAction decide(std::string_view fqdn) const;
+
+  const PolicyStats& stats() const noexcept { return stats_; }
+  std::size_t rule_count() const noexcept { return rules_.size(); }
+
+ private:
+  std::vector<PolicyRule> rules_;
+  PolicyAction default_action_;
+  mutable PolicyStats stats_;
+};
+
+/// True if `fqdn` equals `suffix` or ends with "." + suffix.
+bool domain_suffix_match(std::string_view fqdn,
+                         std::string_view suffix) noexcept;
+
+}  // namespace dnh::core

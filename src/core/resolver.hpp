@@ -1,0 +1,230 @@
+// The DN-Hunter DNS Resolver (paper Sec. 3.1.1, Algorithm 1).
+//
+// A replica of the clients' DNS caches built purely from sniffed responses:
+//  - FQDN entries live in a fixed-size circular FIFO (the "Clist" of size
+//    L), which bounds memory and implicitly ages entries out — L must be
+//    dimensioned against the monitored hosts' cache lifetime (Sec. 6).
+//  - Two nested maps implement lookup: clientIP -> (serverIP -> entry),
+//    giving O(log Nc + log Ns(c)) with ordered maps.
+//  - Entries keep back-references to their map slots so an overwritten
+//    Clist slot (line 23-25 of Alg. 1) can remove exactly its own keys.
+//
+// The map container is a policy template parameter because the paper's
+// footnote 2 notes hash tables as an alternative; `bench_resolver_micro`
+// compares the two.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "net/ip.hpp"
+#include "util/time.hpp"
+
+namespace dnh::core {
+
+/// Ordered maps: the paper's primary design (strict weak ordering on IPs).
+struct OrderedMapPolicy {
+  template <typename K, typename V>
+  using Map = std::map<K, V>;
+};
+
+/// Hash maps: the footnote-2 alternative.
+struct UnorderedMapPolicy {
+  template <typename K, typename V>
+  using Map = std::unordered_map<K, V>;
+};
+
+/// Result of a successful lookup: the FQDN plus when its DNS response was
+/// observed (used for first-flow-delay analytics, Figs. 12-13).
+struct ResolverHit {
+  std::string_view fqdn;
+  util::Timestamp response_time;
+};
+
+/// How many historical labels a (client,server) key retains for the
+/// multi-label extension (paper Sec. 6: "DN-Hunter could easily be
+/// extended to return all possible labels").
+inline constexpr std::size_t kMaxLabelsPerKey = 4;
+
+/// Counters exposed for dimensioning studies (Sec. 6).
+struct ResolverStats {
+  std::uint64_t inserts = 0;        ///< DNS responses inserted
+  std::uint64_t evictions = 0;      ///< Clist slots recycled
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  /// (client,server) key re-pointed to a NEW FQDN — the label-confusion
+  /// situation discussed in Sec. 6.
+  std::uint64_t replaced_different_fqdn = 0;
+  /// Same key re-pointed to the same FQDN (TTL refresh; harmless).
+  std::uint64_t replaced_same_fqdn = 0;
+};
+
+template <typename MapPolicy = OrderedMapPolicy>
+class BasicDnsResolver {
+ public:
+  /// `clist_size` is the paper's L; it bounds live entries.
+  explicit BasicDnsResolver(std::size_t clist_size)
+      : clist_(clist_size > 0 ? clist_size : 1) {}
+
+  /// INSERT(DNSresponse): records that `client` resolved `fqdn` to
+  /// `servers` at time `now`.
+  void insert(net::Ipv4Address client, std::string fqdn,
+              std::span<const net::Ipv4Address> servers,
+              util::Timestamp now) {
+    ++stats_.inserts;
+
+    // Recycle the next Clist slot (Alg. 1 lines 22-25): drop the old
+    // entry's keys from the maps before reusing the slot.
+    Entry& slot = clist_[next_];
+    if (slot.in_use) {
+      ++stats_.evictions;
+      delete_back_references(slot);
+    }
+    const std::uint32_t index = static_cast<std::uint32_t>(next_);
+    next_ = (next_ + 1) % clist_.size();
+
+    slot.in_use = true;
+    slot.generation += 1;
+    slot.fqdn = std::move(fqdn);
+    slot.response_time = now;
+    slot.references.clear();
+
+    auto& server_map = client_map_[client];
+    for (const auto server : servers) {
+      // Push the new reference in front of any older ones for this
+      // (client,server) key (Alg. 1 lines 11-15; older labels are kept
+      // for the lookup_all extension instead of being dropped).
+      auto [it, inserted] = server_map.try_emplace(server, RefChain{});
+      RefChain& chain = it->second;
+      if (!inserted && !chain.empty()) {
+        const Entry& newest = clist_[chain.front().index];
+        if (newest.in_use &&
+            newest.generation == chain.front().generation) {
+          if (newest.fqdn == slot.fqdn)
+            ++stats_.replaced_same_fqdn;
+          else
+            ++stats_.replaced_different_fqdn;
+        }
+      }
+      chain.insert(chain.begin(), EntryRef{index, slot.generation});
+      if (chain.size() > kMaxLabelsPerKey) chain.resize(kMaxLabelsPerKey);
+      slot.references.push_back({client, server});
+    }
+    if (slot.references.empty()) {
+      // Response with no A records: keep the slot unused.
+      slot.in_use = false;
+    }
+  }
+
+  /// LOOKUP(ClientIP, ServerIP): the FQDN `client` most recently resolved
+  /// for `server`, or nullopt. The returned view is valid until the entry
+  /// is evicted — callers copy it into their flow records immediately.
+  std::optional<ResolverHit> lookup(net::Ipv4Address client,
+                                    net::Ipv4Address server) const {
+    ++stats_.lookups;
+    const RefChain* chain = find_chain(client, server);
+    if (chain) {
+      for (const auto& ref : *chain) {
+        const Entry& entry = clist_[ref.index];
+        if (entry.in_use && entry.generation == ref.generation) {
+          ++stats_.hits;
+          return ResolverHit{entry.fqdn, entry.response_time};
+        }
+      }
+    }
+    ++stats_.misses;
+    return std::nullopt;
+  }
+
+  /// The multi-label extension: every FQDN this (client,server) key was
+  /// recently bound to, newest first, duplicates removed. The first
+  /// element equals lookup()'s answer. Does not touch hit/miss counters.
+  std::vector<ResolverHit> lookup_all(net::Ipv4Address client,
+                                      net::Ipv4Address server) const {
+    std::vector<ResolverHit> out;
+    const RefChain* chain = find_chain(client, server);
+    if (!chain) return out;
+    for (const auto& ref : *chain) {
+      const Entry& entry = clist_[ref.index];
+      if (!entry.in_use || entry.generation != ref.generation) continue;
+      bool duplicate = false;
+      for (const auto& hit : out) duplicate |= hit.fqdn == entry.fqdn;
+      if (!duplicate)
+        out.push_back(ResolverHit{entry.fqdn, entry.response_time});
+    }
+    return out;
+  }
+
+  const ResolverStats& stats() const noexcept { return stats_; }
+  std::size_t capacity() const noexcept { return clist_.size(); }
+
+  /// Number of clients currently present in the client map.
+  std::size_t client_count() const noexcept { return client_map_.size(); }
+
+ private:
+  struct Entry {
+    std::string fqdn;
+    util::Timestamp response_time;
+    std::vector<std::pair<net::Ipv4Address, net::Ipv4Address>> references;
+    std::uint32_t generation = 0;
+    bool in_use = false;
+  };
+  /// Map value element: Clist index plus the generation it was created
+  /// for, so a stale mapping to a recycled slot is detected instead of
+  /// mislabeling.
+  struct EntryRef {
+    std::uint32_t index = 0;
+    std::uint32_t generation = 0;
+  };
+  /// Newest-first bounded history of labels for one (client,server) key.
+  using RefChain = std::vector<EntryRef>;
+  template <typename K, typename V>
+  using Map = typename MapPolicy::template Map<K, V>;
+  using ServerMap = Map<net::Ipv4Address, RefChain>;
+
+  const RefChain* find_chain(net::Ipv4Address client,
+                             net::Ipv4Address server) const {
+    const auto client_it = client_map_.find(client);
+    if (client_it == client_map_.end()) return nullptr;
+    const auto server_it = client_it->second.find(server);
+    if (server_it == client_it->second.end()) return nullptr;
+    return &server_it->second;
+  }
+
+  void delete_back_references(Entry& entry) {
+    for (const auto& [client, server] : entry.references) {
+      const auto client_it = client_map_.find(client);
+      if (client_it == client_map_.end()) continue;
+      const auto server_it = client_it->second.find(server);
+      if (server_it == client_it->second.end()) continue;
+      RefChain& chain = server_it->second;
+      std::erase_if(chain, [&](const EntryRef& ref) {
+        return &clist_[ref.index] == &entry &&
+               ref.generation == entry.generation;
+      });
+      if (chain.empty()) {
+        client_it->second.erase(server_it);
+        if (client_it->second.empty()) client_map_.erase(client_it);
+      }
+    }
+    entry.references.clear();
+    entry.in_use = false;
+  }
+
+  std::vector<Entry> clist_;
+  std::size_t next_ = 0;
+  Map<net::Ipv4Address, ServerMap> client_map_;
+  mutable ResolverStats stats_;
+};
+
+using DnsResolver = BasicDnsResolver<OrderedMapPolicy>;
+using DnsResolverUnordered = BasicDnsResolver<UnorderedMapPolicy>;
+
+}  // namespace dnh::core

@@ -1,0 +1,162 @@
+#include "core/sniffer.hpp"
+
+#include "baseline/cert_inspection.hpp"
+#include "baseline/dpi.hpp"
+#include "dns/message.hpp"
+#include "packet/decode.hpp"
+#include "pcap/pcapng.hpp"
+
+namespace dnh::core {
+
+Sniffer::Sniffer(SnifferConfig config)
+    : config_{config}, resolver_{config.clist_size}, table_{config.table} {
+  table_.set_flow_start_observer(
+      [this](const flow::FlowRecord& flow) { on_flow_start(flow); });
+  table_.set_exporter(
+      [this](flow::FlowRecord&& flow) { on_flow_export(std::move(flow)); });
+}
+
+void Sniffer::on_frame(net::BytesView frame, util::Timestamp ts) {
+  ++stats_.frames;
+  const auto pkt = packet::decode_frame(frame, ts);
+  if (!pkt) {
+    ++stats_.decode_failures;
+    return;
+  }
+  if (!pkt->is_ipv4()) return;  // the generator emits IPv4 only
+
+  if (pkt->is_udp()) {
+    if (pkt->udp().src_port == dns::kDnsPort) {
+      on_dns_packet(*pkt);
+      return;
+    }
+    if (pkt->udp().dst_port == dns::kDnsPort) {
+      ++stats_.dns_queries;  // queries carry no answers; nothing to store
+      return;
+    }
+  }
+  if (pkt->is_tcp() && (pkt->tcp().src_port == dns::kDnsPort ||
+                        pkt->tcp().dst_port == dns::kDnsPort)) {
+    // DNS over TCP (truncated-response retries): responses are labeled
+    // input, not traffic to tag.
+    if (pkt->tcp().src_port == dns::kDnsPort) on_tcp_dns_segment(*pkt);
+    else ++stats_.dns_queries;
+    return;
+  }
+  table_.on_packet(*pkt);
+}
+
+void Sniffer::handle_dns_message(net::BytesView wire,
+                                 net::Ipv4Address client,
+                                 util::Timestamp ts) {
+  const auto msg = dns::DnsMessage::decode(wire);
+  if (!msg || !msg->is_response) {
+    ++stats_.dns_parse_failures;
+    return;
+  }
+  ++stats_.dns_responses;
+  const std::string fqdn = msg->canonical_query_name().to_string();
+  if (fqdn == ".") return;  // no question section: nothing to key on
+  const auto servers = msg->answer_addresses();
+
+  resolver_.insert(client, fqdn, servers, ts);
+  if (config_.record_dns_log)
+    dns_log_.push_back({ts, client, fqdn, servers});
+}
+
+void Sniffer::on_dns_packet(const packet::DecodedPacket& pkt) {
+  handle_dns_message(pkt.payload, pkt.dst_v4(), pkt.timestamp);
+}
+
+void Sniffer::on_tcp_dns_segment(const packet::DecodedPacket& pkt) {
+  if (pkt.payload.empty()) return;  // handshake/teardown segments
+  const net::Ipv4Address client = pkt.dst_v4();
+  const std::uint64_t key =
+      (std::uint64_t{client.value()} << 16) | pkt.dst_port();
+  net::Bytes& buffer = tcp_dns_buffers_[key];
+  if (buffer.size() + pkt.payload.size() > 65536 + 2) {
+    buffer.clear();  // runaway stream: drop and resync
+    return;
+  }
+  buffer.insert(buffer.end(), pkt.payload.begin(), pkt.payload.end());
+
+  // Drain complete length-prefixed messages (RFC 1035 4.2.2).
+  while (buffer.size() >= 2) {
+    const std::size_t length =
+        (std::size_t{buffer[0]} << 8) | buffer[1];
+    if (buffer.size() < 2 + length) break;
+    handle_dns_message(net::BytesView{buffer.data() + 2, length}, client,
+                       pkt.timestamp);
+    ++stats_.dns_tcp_messages;
+    buffer.erase(buffer.begin(), buffer.begin() + 2 + length);
+  }
+  if (buffer.empty()) tcp_dns_buffers_.erase(key);
+}
+
+void Sniffer::on_flow_start(const flow::FlowRecord& flow) {
+  const auto hit = resolver_.lookup(flow.key.client_ip, flow.key.server_ip);
+  if (hit) {
+    pending_tags_[flow.key] =
+        PendingTag{std::string{hit->fqdn}, hit->response_time};
+  }
+  if (flow_start_hook_)
+    flow_start_hook_(flow, hit ? hit->fqdn : std::string_view{});
+}
+
+void Sniffer::on_flow_export(flow::FlowRecord&& flow) {
+  ++stats_.flows_exported;
+  TaggedFlow tagged;
+  tagged.key = flow.key;
+  tagged.first_packet = flow.first_packet;
+  tagged.last_packet = flow.last_packet;
+  tagged.packets_c2s = flow.packets_c2s;
+  tagged.packets_s2c = flow.packets_s2c;
+  tagged.bytes_c2s = flow.bytes_c2s;
+  tagged.bytes_s2c = flow.bytes_s2c;
+
+  const auto pending = pending_tags_.find(flow.key);
+  if (pending != pending_tags_.end()) {
+    tagged.fqdn = std::move(pending->second.fqdn);
+    tagged.dns_response_time = pending->second.response_time;
+    tagged.tagged_at_start = true;
+    ++stats_.flows_tagged_at_start;
+    pending_tags_.erase(pending);
+  } else {
+    // Late retry: the response may have been sniffed after the first
+    // packet (e.g. flow start raced the DNS answer).
+    const auto hit =
+        resolver_.lookup(flow.key.client_ip, flow.key.server_ip);
+    if (hit) {
+      tagged.fqdn = std::string{hit->fqdn};
+      tagged.dns_response_time = hit->response_time;
+      ++stats_.flows_tagged_at_export;
+    }
+  }
+
+  tagged.protocol = baseline::classify(flow);
+  if (auto label = baseline::dpi_label(flow)) {
+    tagged.dpi_label = std::move(*label);
+  }
+  if (tagged.protocol == flow::ProtocolClass::kTls) {
+    if (const auto info = baseline::inspect_certificate(flow)) {
+      tagged.has_certificate = true;
+      tagged.cert_cn = info->subject_cn;
+      tagged.cert_san = info->san_dns;
+    }
+  }
+  database_.add(std::move(tagged));
+}
+
+bool Sniffer::process_pcap(const std::string& path) {
+  // Accepts classic pcap and pcapng transparently.
+  return pcap::read_any_capture(
+      path,
+      [this](const pcap::Frame& frame) {
+        on_frame(frame.data, frame.timestamp);
+      },
+      error_);
+}
+
+void Sniffer::finish() { table_.flush(); }
+
+}  // namespace dnh::core

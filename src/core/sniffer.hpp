@@ -1,0 +1,128 @@
+// The DN-Hunter Real-Time Sniffer (paper Fig. 1): DNS Response Sniffer +
+// Flow Sniffer + Flow Tagger feeding the labeled Flow Database.
+//
+// Consumes a packet stream (live, or a pcap file — identical code path),
+// maintains the DNS Resolver replica of client caches, tags each flow at
+// its FIRST packet when the resolver already knows the (client, server)
+// pair — the property that enables proactive per-flow policy — and exports
+// finished flows into the FlowDatabase enriched with DPI/cert-inspection
+// baseline fields for the comparison analytics.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/flowdb.hpp"
+#include "core/resolver.hpp"
+#include "flow/table.hpp"
+#include "net/bytes.hpp"
+#include "util/time.hpp"
+
+namespace dnh::core {
+
+/// One sniffed DNS response, retained for the off-line delay/dimensioning
+/// analytics (Figs. 12-14, Tab. 9, Sec. 6).
+struct DnsEvent {
+  util::Timestamp time;
+  net::Ipv4Address client;
+  std::string fqdn;
+  std::vector<net::Ipv4Address> servers;
+};
+
+struct SnifferConfig {
+  /// Clist size L (paper Sec. 6 dimensions this against cache lifetime).
+  std::size_t clist_size = 1 << 20;
+  flow::TableConfig table;
+  /// Retain the DNS event log for off-line analytics (costs memory).
+  bool record_dns_log = true;
+};
+
+struct SnifferStats {
+  std::uint64_t frames = 0;
+  std::uint64_t decode_failures = 0;  ///< non-IP/TCP/UDP or malformed
+  std::uint64_t dns_responses = 0;
+  std::uint64_t dns_parse_failures = 0;
+  std::uint64_t dns_queries = 0;  ///< client->server DNS packets (not stored)
+  std::uint64_t dns_tcp_messages = 0;  ///< responses carried over TCP
+  std::uint64_t flows_exported = 0;
+  std::uint64_t flows_tagged_at_start = 0;
+  std::uint64_t flows_tagged_at_export = 0;  ///< late tag (rare)
+};
+
+class Sniffer {
+ public:
+  /// Invoked at each flow's first packet with the label DN-Hunter already
+  /// has ("" when unknown) — the hook a live policy enforcer attaches to.
+  using FlowStartHook =
+      std::function<void(const flow::FlowRecord&, std::string_view fqdn)>;
+
+  explicit Sniffer(SnifferConfig config = {});
+
+  /// Feeds one link-layer frame.
+  void on_frame(net::BytesView frame, util::Timestamp ts);
+
+  /// Streams a pcap file through the sniffer. Returns false if the file
+  /// cannot be opened or is corrupt (partial processing may have occurred;
+  /// see `error()`).
+  bool process_pcap(const std::string& path);
+
+  /// Flushes still-open flows into the database (end of capture).
+  void finish();
+
+  void set_flow_start_hook(FlowStartHook hook) {
+    flow_start_hook_ = std::move(hook);
+  }
+
+  const FlowDatabase& database() const noexcept { return database_; }
+  FlowDatabase& database() noexcept { return database_; }
+
+  /// Moves the accumulated flow database out and starts a fresh one; the
+  /// resolver and live flow table are untouched (window rotation for
+  /// long-running deployments — see core/live.hpp).
+  FlowDatabase take_database() {
+    FlowDatabase out = std::move(database_);
+    database_ = FlowDatabase{};
+    return out;
+  }
+
+  /// Moves the DNS event log out and starts a fresh one.
+  std::vector<DnsEvent> take_dns_log() {
+    std::vector<DnsEvent> out = std::move(dns_log_);
+    dns_log_.clear();
+    return out;
+  }
+  const DnsResolver& resolver() const noexcept { return resolver_; }
+  const std::vector<DnsEvent>& dns_log() const noexcept { return dns_log_; }
+  const SnifferStats& stats() const noexcept { return stats_; }
+  const std::string& error() const noexcept { return error_; }
+
+ private:
+  struct PendingTag {
+    std::string fqdn;
+    util::Timestamp response_time;
+  };
+
+  void on_dns_packet(const packet::DecodedPacket& pkt);
+  void on_tcp_dns_segment(const packet::DecodedPacket& pkt);
+  void handle_dns_message(net::BytesView wire, net::Ipv4Address client,
+                          util::Timestamp ts);
+  void on_flow_start(const flow::FlowRecord& flow);
+  void on_flow_export(flow::FlowRecord&& flow);
+
+  SnifferConfig config_;
+  DnsResolver resolver_;
+  flow::FlowTable table_;
+  FlowDatabase database_;
+  std::vector<DnsEvent> dns_log_;
+  std::unordered_map<flow::FlowKey, PendingTag> pending_tags_;
+  /// Per-connection reassembly of length-prefixed DNS-over-TCP responses,
+  /// keyed by (clientIP, client port).
+  std::unordered_map<std::uint64_t, net::Bytes> tcp_dns_buffers_;
+  FlowStartHook flow_start_hook_;
+  SnifferStats stats_;
+  std::string error_;
+};
+
+}  // namespace dnh::core

@@ -1,0 +1,56 @@
+#include "dns/domain.hpp"
+
+#include <array>
+
+#include "util/strings.hpp"
+
+namespace dnh::dns {
+namespace {
+
+// Two-label public suffixes that occur in the traces we model. A full
+// public-suffix list is overkill for label analytics; unlisted two-label
+// suffixes degrade gracefully (the 2LD is just one label shorter).
+constexpr std::array<std::string_view, 12> kTwoLabelSuffixes{
+    "co.uk", "org.uk", "ac.uk", "gov.uk", "com.br", "com.au",
+    "co.jp", "co.kr", "com.cn", "com.tr", "co.in", "com.mx",
+};
+
+/// Position of the label that starts the effective TLD, or npos.
+std::size_t tld_start(std::string_view fqdn) {
+  const std::size_t last_dot = fqdn.rfind('.');
+  if (last_dot == std::string_view::npos) return std::string_view::npos;
+  const std::size_t prev_dot = fqdn.rfind('.', last_dot - 1);
+  if (prev_dot != std::string_view::npos) {
+    const std::string_view two = fqdn.substr(prev_dot + 1);
+    for (const auto suffix : kTwoLabelSuffixes) {
+      if (util::iequals(two, suffix)) return prev_dot + 1;
+    }
+  }
+  return last_dot + 1;
+}
+
+}  // namespace
+
+std::string_view effective_tld(std::string_view fqdn) {
+  const std::size_t start = tld_start(fqdn);
+  if (start == std::string_view::npos) return {};
+  return fqdn.substr(start);
+}
+
+std::string_view second_level_domain(std::string_view fqdn) {
+  const std::size_t start = tld_start(fqdn);
+  if (start == std::string_view::npos) return fqdn;
+  // The label immediately before the TLD.
+  if (start < 2) return fqdn;  // degenerate ".com"
+  const std::size_t dot_before = fqdn.rfind('.', start - 2);
+  if (dot_before == std::string_view::npos) return fqdn;
+  return fqdn.substr(dot_before + 1);
+}
+
+std::string_view subdomain_part(std::string_view fqdn) {
+  const std::string_view sld = second_level_domain(fqdn);
+  if (sld.size() >= fqdn.size()) return {};
+  return fqdn.substr(0, fqdn.size() - sld.size() - 1);
+}
+
+}  // namespace dnh::dns

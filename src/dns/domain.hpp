@@ -1,0 +1,24 @@
+// Domain-name structure helpers: TLD / second-level-domain extraction as
+// the paper uses them ("we refer to the first sub-domain after the TLD as
+// second level domain", Sec. 2.2), with a small embedded public-suffix list
+// so "bbc.co.uk" yields "bbc.co.uk" rather than "co.uk".
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace dnh::dns {
+
+/// Effective TLD of `fqdn` ("com", "co.uk"); empty for single-label names.
+std::string_view effective_tld(std::string_view fqdn);
+
+/// Second-level domain: the organization part, e.g.
+/// "www.example.com" -> "example.com"; "a.b.example.co.uk" ->
+/// "example.co.uk". Returns `fqdn` itself when it has no sub-domain depth.
+std::string_view second_level_domain(std::string_view fqdn);
+
+/// The sub-domain labels before the second-level domain
+/// ("smtp2.mail.google.com" -> "smtp2.mail"); empty when none.
+std::string_view subdomain_part(std::string_view fqdn);
+
+}  // namespace dnh::dns

@@ -1,0 +1,314 @@
+#include "dns/message.hpp"
+
+namespace dnh::dns {
+namespace {
+
+constexpr std::size_t kMaxRecordsPerSection = 4096;  // corrupt-count guard
+
+void encode_rdata(const DnsResourceRecord& rr, net::ByteWriter& w,
+                  CompressionMap& compression) {
+  const std::size_t len_pos = w.size();
+  w.write_u16(0);  // RDLENGTH placeholder
+  const std::size_t start = w.size();
+
+  std::visit(
+      [&](const auto& data) {
+        using T = std::decay_t<decltype(data)>;
+        if constexpr (std::is_same_v<T, net::Ipv4Address>) {
+          w.write_ipv4(data);
+        } else if constexpr (std::is_same_v<T, net::Ipv6Address>) {
+          w.write_ipv6(data);
+        } else if constexpr (std::is_same_v<T, DnsName>) {
+          data.encode(w, compression);
+        } else if constexpr (std::is_same_v<T, MxData>) {
+          w.write_u16(data.preference);
+          data.exchange.encode(w, compression);
+        } else if constexpr (std::is_same_v<T, SrvData>) {
+          w.write_u16(data.priority);
+          w.write_u16(data.weight);
+          w.write_u16(data.port);
+          // RFC 2782: SRV targets must not be compressed.
+          data.target.encode(w);
+        } else if constexpr (std::is_same_v<T, SoaData>) {
+          data.mname.encode(w, compression);
+          data.rname.encode(w, compression);
+          w.write_u32(data.serial);
+          w.write_u32(data.refresh);
+          w.write_u32(data.retry);
+          w.write_u32(data.expire);
+          w.write_u32(data.minimum);
+        } else if constexpr (std::is_same_v<T, TxtData>) {
+          for (const auto& s : data.strings) {
+            w.write_u8(static_cast<std::uint8_t>(
+                std::min<std::size_t>(s.size(), 255)));
+            w.write_string(std::string_view{s}.substr(0, 255));
+          }
+        } else {  // raw bytes
+          w.write_bytes(net::BytesView{data});
+        }
+      },
+      rr.rdata);
+
+  w.patch_u16(len_pos, static_cast<std::uint16_t>(w.size() - start));
+}
+
+std::optional<Rdata> decode_rdata(RecordType type, net::ByteReader& r,
+                                  std::size_t rdlength) {
+  const std::size_t end = r.position() + rdlength;
+  if (end > r.buffer().size()) return std::nullopt;
+
+  auto finish = [&](Rdata value) -> std::optional<Rdata> {
+    if (!r.ok() || r.position() > end) return std::nullopt;
+    r.seek(end);
+    return value;
+  };
+
+  switch (type) {
+    case RecordType::kA: {
+      if (rdlength != 4) return std::nullopt;
+      return finish(r.read_ipv4());
+    }
+    case RecordType::kAaaa: {
+      if (rdlength != 16) return std::nullopt;
+      return finish(r.read_ipv6());
+    }
+    case RecordType::kCname:
+    case RecordType::kNs:
+    case RecordType::kPtr: {
+      auto name = DnsName::decode(r);
+      if (!name) return std::nullopt;
+      return finish(std::move(*name));
+    }
+    case RecordType::kMx: {
+      MxData mx;
+      mx.preference = r.read_u16();
+      auto name = DnsName::decode(r);
+      if (!name) return std::nullopt;
+      mx.exchange = std::move(*name);
+      return finish(std::move(mx));
+    }
+    case RecordType::kSrv: {
+      SrvData srv;
+      srv.priority = r.read_u16();
+      srv.weight = r.read_u16();
+      srv.port = r.read_u16();
+      auto name = DnsName::decode(r);
+      if (!name) return std::nullopt;
+      srv.target = std::move(*name);
+      return finish(std::move(srv));
+    }
+    case RecordType::kSoa: {
+      SoaData soa;
+      auto mname = DnsName::decode(r);
+      auto rname = mname ? DnsName::decode(r) : std::nullopt;
+      if (!mname || !rname) return std::nullopt;
+      soa.mname = std::move(*mname);
+      soa.rname = std::move(*rname);
+      soa.serial = r.read_u32();
+      soa.refresh = r.read_u32();
+      soa.retry = r.read_u32();
+      soa.expire = r.read_u32();
+      soa.minimum = r.read_u32();
+      return finish(std::move(soa));
+    }
+    case RecordType::kTxt: {
+      TxtData txt;
+      while (r.ok() && r.position() < end) {
+        const std::uint8_t len = r.read_u8();
+        if (r.position() + len > end) return std::nullopt;
+        txt.strings.push_back(r.read_string(len));
+      }
+      return finish(std::move(txt));
+    }
+  }
+  // Unknown type: preserve raw bytes.
+  const net::BytesView raw = r.read_bytes(rdlength);
+  if (!r.ok()) return std::nullopt;
+  return Rdata{net::Bytes{raw.begin(), raw.end()}};
+}
+
+std::optional<DnsResourceRecord> decode_rr(net::ByteReader& r) {
+  DnsResourceRecord rr;
+  auto name = DnsName::decode(r);
+  if (!name) return std::nullopt;
+  rr.name = std::move(*name);
+  rr.type = static_cast<RecordType>(r.read_u16());
+  rr.cls = static_cast<RecordClass>(r.read_u16());
+  rr.ttl = r.read_u32();
+  const std::uint16_t rdlength = r.read_u16();
+  if (!r.ok()) return std::nullopt;
+  auto rdata = decode_rdata(rr.type, r, rdlength);
+  if (!rdata) return std::nullopt;
+  rr.rdata = std::move(*rdata);
+  return rr;
+}
+
+}  // namespace
+
+std::optional<net::Ipv4Address> DnsResourceRecord::a() const {
+  if (type != RecordType::kA) return std::nullopt;
+  if (const auto* addr = std::get_if<net::Ipv4Address>(&rdata)) return *addr;
+  return std::nullopt;
+}
+
+std::optional<DnsName> DnsResourceRecord::cname_target() const {
+  if (type != RecordType::kCname) return std::nullopt;
+  if (const auto* target = std::get_if<DnsName>(&rdata)) return *target;
+  return std::nullopt;
+}
+
+net::Bytes DnsMessage::encode() const {
+  net::ByteWriter w;
+  CompressionMap compression;
+
+  w.write_u16(id);
+  std::uint16_t flags = 0;
+  if (is_response) flags |= 0x8000;
+  flags |= static_cast<std::uint16_t>((opcode & 0x0f) << 11);
+  if (authoritative) flags |= 0x0400;
+  if (truncated) flags |= 0x0200;
+  if (recursion_desired) flags |= 0x0100;
+  if (recursion_available) flags |= 0x0080;
+  flags |= static_cast<std::uint16_t>(rcode) & 0x0f;
+  w.write_u16(flags);
+  w.write_u16(static_cast<std::uint16_t>(questions.size()));
+  w.write_u16(static_cast<std::uint16_t>(answers.size()));
+  w.write_u16(static_cast<std::uint16_t>(authorities.size()));
+  w.write_u16(static_cast<std::uint16_t>(additionals.size()));
+
+  for (const auto& q : questions) {
+    q.name.encode(w, compression);
+    w.write_u16(static_cast<std::uint16_t>(q.type));
+    w.write_u16(static_cast<std::uint16_t>(q.cls));
+  }
+  for (const auto* section : {&answers, &authorities, &additionals}) {
+    for (const auto& rr : *section) {
+      rr.name.encode(w, compression);
+      w.write_u16(static_cast<std::uint16_t>(rr.type));
+      w.write_u16(static_cast<std::uint16_t>(rr.cls));
+      w.write_u32(rr.ttl);
+      encode_rdata(rr, w, compression);
+    }
+  }
+  return w.take();
+}
+
+std::optional<DnsMessage> DnsMessage::decode(net::BytesView wire) {
+  net::ByteReader r{wire};
+  DnsMessage msg;
+
+  msg.id = r.read_u16();
+  const std::uint16_t flags = r.read_u16();
+  msg.is_response = (flags & 0x8000) != 0;
+  msg.opcode = static_cast<std::uint8_t>((flags >> 11) & 0x0f);
+  msg.authoritative = (flags & 0x0400) != 0;
+  msg.truncated = (flags & 0x0200) != 0;
+  msg.recursion_desired = (flags & 0x0100) != 0;
+  msg.recursion_available = (flags & 0x0080) != 0;
+  msg.rcode = static_cast<Rcode>(flags & 0x0f);
+
+  const std::uint16_t qd = r.read_u16();
+  const std::uint16_t an = r.read_u16();
+  const std::uint16_t ns = r.read_u16();
+  const std::uint16_t ar = r.read_u16();
+  if (!r.ok()) return std::nullopt;
+  if (std::size_t{qd} + an + ns + ar > kMaxRecordsPerSection)
+    return std::nullopt;
+
+  for (std::uint16_t i = 0; i < qd; ++i) {
+    DnsQuestion q;
+    auto name = DnsName::decode(r);
+    if (!name) return std::nullopt;
+    q.name = std::move(*name);
+    q.type = static_cast<RecordType>(r.read_u16());
+    q.cls = static_cast<RecordClass>(r.read_u16());
+    if (!r.ok()) return std::nullopt;
+    msg.questions.push_back(std::move(q));
+  }
+  const std::uint16_t counts[3] = {an, ns, ar};
+  std::vector<DnsResourceRecord>* sections[3] = {
+      &msg.answers, &msg.authorities, &msg.additionals};
+  for (int s = 0; s < 3; ++s) {
+    for (std::uint16_t i = 0; i < counts[s]; ++i) {
+      auto rr = decode_rr(r);
+      if (!rr) return std::nullopt;
+      sections[s]->push_back(std::move(*rr));
+    }
+  }
+  return msg;
+}
+
+std::vector<net::Ipv4Address> DnsMessage::answer_addresses() const {
+  std::vector<net::Ipv4Address> out;
+  for (const auto& rr : answers) {
+    if (const auto addr = rr.a()) out.push_back(*addr);
+  }
+  return out;
+}
+
+DnsName DnsMessage::canonical_query_name() const {
+  if (questions.empty()) return {};
+  return questions.front().name;
+}
+
+DnsMessage make_query(std::uint16_t id, const DnsName& fqdn,
+                      RecordType type) {
+  DnsMessage msg;
+  msg.id = id;
+  msg.is_response = false;
+  msg.questions.push_back({fqdn, type, RecordClass::kIn});
+  return msg;
+}
+
+DnsMessage make_a_response(std::uint16_t id, const DnsName& fqdn,
+                           const std::vector<net::Ipv4Address>& addresses,
+                           std::uint32_t ttl,
+                           const std::optional<DnsName>& cname) {
+  DnsMessage msg;
+  msg.id = id;
+  msg.is_response = true;
+  msg.questions.push_back({fqdn, RecordType::kA, RecordClass::kIn});
+
+  const DnsName& owner = cname ? *cname : fqdn;
+  if (cname) {
+    DnsResourceRecord rr;
+    rr.name = fqdn;
+    rr.type = RecordType::kCname;
+    rr.ttl = ttl;
+    rr.rdata = *cname;
+    msg.answers.push_back(std::move(rr));
+  }
+  for (const auto addr : addresses) {
+    DnsResourceRecord rr;
+    rr.name = owner;
+    rr.type = RecordType::kA;
+    rr.ttl = ttl;
+    rr.rdata = addr;
+    msg.answers.push_back(std::move(rr));
+  }
+  if (addresses.empty() && !cname) msg.rcode = Rcode::kNxDomain;
+  return msg;
+}
+
+DnsMessage make_ptr_response(std::uint16_t id, net::Ipv4Address address,
+                             const std::optional<DnsName>& target,
+                             std::uint32_t ttl) {
+  DnsMessage msg;
+  msg.id = id;
+  msg.is_response = true;
+  const auto qname = DnsName::from_string(address.reverse_name());
+  msg.questions.push_back({*qname, RecordType::kPtr, RecordClass::kIn});
+  if (target) {
+    DnsResourceRecord rr;
+    rr.name = *qname;
+    rr.type = RecordType::kPtr;
+    rr.ttl = ttl;
+    rr.rdata = *target;
+    msg.answers.push_back(std::move(rr));
+  } else {
+    msg.rcode = Rcode::kNxDomain;
+  }
+  return msg;
+}
+
+}  // namespace dnh::dns

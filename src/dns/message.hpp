@@ -1,0 +1,152 @@
+// DNS message codec (RFC 1035 wire format).
+//
+// Covers the record types observed in the paper's traces and needed by the
+// system: A, AAAA, CNAME, NS, PTR, MX, TXT, SOA, SRV; unknown types round-
+// trip as raw RDATA. Both encode (for the trace generator and the active
+// reverse-lookup baseline) and decode (for the DNS Response Sniffer).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "dns/name.hpp"
+#include "net/bytes.hpp"
+#include "net/ip.hpp"
+
+namespace dnh::dns {
+
+/// DNS resource record types (subset, values per IANA registry).
+enum class RecordType : std::uint16_t {
+  kA = 1,
+  kNs = 2,
+  kCname = 5,
+  kSoa = 6,
+  kPtr = 12,
+  kMx = 15,
+  kTxt = 16,
+  kAaaa = 28,
+  kSrv = 33,
+};
+
+/// DNS classes; only IN is used in practice.
+enum class RecordClass : std::uint16_t { kIn = 1 };
+
+/// Response codes (subset).
+enum class Rcode : std::uint8_t {
+  kNoError = 0,
+  kFormErr = 1,
+  kServFail = 2,
+  kNxDomain = 3,
+};
+
+/// The well-known DNS UDP port.
+inline constexpr std::uint16_t kDnsPort = 53;
+
+struct MxData {
+  std::uint16_t preference = 0;
+  DnsName exchange;
+  bool operator==(const MxData&) const = default;
+};
+
+struct SrvData {
+  std::uint16_t priority = 0;
+  std::uint16_t weight = 0;
+  std::uint16_t port = 0;
+  DnsName target;
+  bool operator==(const SrvData&) const = default;
+};
+
+struct SoaData {
+  DnsName mname;
+  DnsName rname;
+  std::uint32_t serial = 0;
+  std::uint32_t refresh = 0;
+  std::uint32_t retry = 0;
+  std::uint32_t expire = 0;
+  std::uint32_t minimum = 0;
+  bool operator==(const SoaData&) const = default;
+};
+
+struct TxtData {
+  std::vector<std::string> strings;
+  bool operator==(const TxtData&) const = default;
+};
+
+/// Typed RDATA. `net::Bytes` holds unknown record types verbatim.
+using Rdata = std::variant<net::Ipv4Address,  // A
+                           net::Ipv6Address,  // AAAA
+                           DnsName,           // CNAME / NS / PTR
+                           MxData, SrvData, SoaData, TxtData,
+                           net::Bytes>;  // unknown types
+
+struct DnsQuestion {
+  DnsName name;
+  RecordType type = RecordType::kA;
+  RecordClass cls = RecordClass::kIn;
+  bool operator==(const DnsQuestion&) const = default;
+};
+
+struct DnsResourceRecord {
+  DnsName name;
+  RecordType type = RecordType::kA;
+  RecordClass cls = RecordClass::kIn;
+  std::uint32_t ttl = 0;
+  Rdata rdata;
+  bool operator==(const DnsResourceRecord&) const = default;
+
+  /// Convenience accessors; nullopt when the RDATA is a different type.
+  std::optional<net::Ipv4Address> a() const;
+  std::optional<DnsName> cname_target() const;
+};
+
+/// A full DNS message (header + four sections).
+struct DnsMessage {
+  std::uint16_t id = 0;
+  bool is_response = false;
+  std::uint8_t opcode = 0;
+  bool authoritative = false;
+  bool truncated = false;
+  bool recursion_desired = true;
+  bool recursion_available = true;
+  Rcode rcode = Rcode::kNoError;
+
+  std::vector<DnsQuestion> questions;
+  std::vector<DnsResourceRecord> answers;
+  std::vector<DnsResourceRecord> authorities;
+  std::vector<DnsResourceRecord> additionals;
+
+  /// Encodes to wire format with name compression.
+  net::Bytes encode() const;
+
+  /// Decodes a wire-format message; nullopt on any malformed content
+  /// (bad compression pointers, truncated sections, inconsistent counts).
+  static std::optional<DnsMessage> decode(net::BytesView wire);
+
+  /// All IPv4 addresses among the answers (what the DNS Resolver stores).
+  std::vector<net::Ipv4Address> answer_addresses() const;
+
+  /// Follows CNAME records from the question name to the final queried
+  /// alias; returns the question name when there is no CNAME chain.
+  DnsName canonical_query_name() const;
+};
+
+/// Builds a standard A-record response: `fqdn` -> `addresses`, optional
+/// CNAME chain hop inserted before the A records (as CDNs commonly answer).
+DnsMessage make_a_response(std::uint16_t id, const DnsName& fqdn,
+                           const std::vector<net::Ipv4Address>& addresses,
+                           std::uint32_t ttl,
+                           const std::optional<DnsName>& cname = std::nullopt);
+
+/// Builds the matching query for a response builder above.
+DnsMessage make_query(std::uint16_t id, const DnsName& fqdn,
+                      RecordType type = RecordType::kA);
+
+/// Builds a PTR response for a reverse lookup (empty target = NXDOMAIN).
+DnsMessage make_ptr_response(std::uint16_t id, net::Ipv4Address address,
+                             const std::optional<DnsName>& target,
+                             std::uint32_t ttl = 3600);
+
+}  // namespace dnh::dns

@@ -1,0 +1,101 @@
+#include "dns/name.hpp"
+
+#include "util/strings.hpp"
+
+namespace dnh::dns {
+namespace {
+
+constexpr std::size_t kMaxLabelLength = 63;
+constexpr std::size_t kMaxNameLength = 253;   // presentation characters
+constexpr int kMaxPointerJumps = 64;          // loop guard
+constexpr std::uint16_t kMaxPointerOffset = 0x3fff;
+
+std::string joined_suffix(const std::vector<std::string>& labels,
+                          std::size_t from) {
+  std::string out;
+  for (std::size_t i = from; i < labels.size(); ++i) {
+    if (i > from) out += '.';
+    out += labels[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+std::optional<DnsName> DnsName::from_string(std::string_view s) {
+  if (!s.empty() && s.back() == '.') s.remove_suffix(1);
+  DnsName name;
+  if (s.empty()) return name;  // root
+  if (s.size() > kMaxNameLength) return std::nullopt;
+  for (const auto label : util::split(s, '.')) {
+    if (label.empty() || label.size() > kMaxLabelLength) return std::nullopt;
+    name.labels_.push_back(util::to_lower(label));
+  }
+  return name;
+}
+
+std::optional<DnsName> DnsName::decode(net::ByteReader& r) {
+  DnsName name;
+  std::size_t total = 0;
+  int jumps = 0;
+  // Position to restore after the first pointer: a compressed name occupies
+  // only the bytes up to and including the first pointer.
+  std::optional<std::size_t> resume;
+
+  while (true) {
+    const std::uint8_t len = r.read_u8();
+    if (!r.ok()) return std::nullopt;
+    if (len == 0) break;
+    if ((len & 0xc0) == 0xc0) {
+      const std::uint8_t low = r.read_u8();
+      if (!r.ok()) return std::nullopt;
+      if (++jumps > kMaxPointerJumps) return std::nullopt;
+      if (!resume) resume = r.position();
+      const std::size_t target =
+          (static_cast<std::size_t>(len & 0x3f) << 8) | low;
+      if (target >= r.buffer().size()) return std::nullopt;
+      r.seek(target);
+      continue;
+    }
+    if ((len & 0xc0) != 0) return std::nullopt;  // 0x40/0x80: reserved
+    if (len > kMaxLabelLength) return std::nullopt;
+    const std::string label = r.read_string(len);
+    if (!r.ok()) return std::nullopt;
+    total += label.size() + 1;
+    if (total > kMaxNameLength + 1) return std::nullopt;
+    name.labels_.push_back(util::to_lower(label));
+  }
+  if (resume) r.seek(*resume);
+  return name;
+}
+
+void DnsName::encode(net::ByteWriter& w, CompressionMap& compression) const {
+  for (std::size_t i = 0; i < labels_.size(); ++i) {
+    const std::string suffix = joined_suffix(labels_, i);
+    const auto it = compression.find(suffix);
+    if (it != compression.end()) {
+      w.write_u16(static_cast<std::uint16_t>(0xc000 | it->second));
+      return;
+    }
+    if (w.size() <= kMaxPointerOffset)
+      compression.emplace(suffix, static_cast<std::uint16_t>(w.size()));
+    w.write_u8(static_cast<std::uint8_t>(labels_[i].size()));
+    w.write_string(labels_[i]);
+  }
+  w.write_u8(0);
+}
+
+void DnsName::encode(net::ByteWriter& w) const {
+  for (const auto& label : labels_) {
+    w.write_u8(static_cast<std::uint8_t>(label.size()));
+    w.write_string(label);
+  }
+  w.write_u8(0);
+}
+
+std::string DnsName::to_string() const {
+  if (labels_.empty()) return ".";
+  return util::join(labels_, ".");
+}
+
+}  // namespace dnh::dns

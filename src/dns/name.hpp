@@ -1,0 +1,60 @@
+// DNS domain names: label sequences with RFC 1035 wire encoding, including
+// message compression (pointer) support on both encode and decode.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/bytes.hpp"
+
+namespace dnh::dns {
+
+/// Offsets of already-encoded name suffixes within a message, used to emit
+/// compression pointers. One map instance spans one whole DNS message.
+using CompressionMap = std::map<std::string, std::uint16_t>;
+
+/// A domain name as an ordered list of labels (no trailing root label).
+///
+/// Names are canonicalized to lower case on construction: DNS names compare
+/// case-insensitively and the resolver keys on them.
+class DnsName {
+ public:
+  DnsName() = default;
+
+  /// Parses presentation format ("www.example.com", trailing dot allowed).
+  /// Returns nullopt on empty labels, labels > 63 bytes, or total length
+  /// > 253 characters.
+  static std::optional<DnsName> from_string(std::string_view s);
+
+  /// Decodes wire format from `r` (which must be positioned at the name
+  /// within the full message buffer — compression pointers reference
+  /// absolute message offsets). Enforces RFC limits and rejects pointer
+  /// loops. On success the reader is positioned just past the name.
+  static std::optional<DnsName> decode(net::ByteReader& r);
+
+  /// Encodes to wire format, emitting compression pointers for suffixes
+  /// already present in `compression` and registering new suffix offsets.
+  void encode(net::ByteWriter& w, CompressionMap& compression) const;
+
+  /// Encodes without compression.
+  void encode(net::ByteWriter& w) const;
+
+  /// Presentation format, e.g. "www.example.com" ("." for the root).
+  std::string to_string() const;
+
+  const std::vector<std::string>& labels() const noexcept { return labels_; }
+  bool empty() const noexcept { return labels_.empty(); }
+  std::size_t label_count() const noexcept { return labels_.size(); }
+
+  auto operator<=>(const DnsName&) const = default;
+
+ private:
+  std::vector<std::string> labels_;
+};
+
+}  // namespace dnh::dns

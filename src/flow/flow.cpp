@@ -1,0 +1,17 @@
+#include "flow/flow.hpp"
+
+namespace dnh::flow {
+
+std::string_view protocol_class_name(ProtocolClass c) noexcept {
+  switch (c) {
+    case ProtocolClass::kUnknown: return "UNKNOWN";
+    case ProtocolClass::kHttp: return "HTTP";
+    case ProtocolClass::kTls: return "TLS";
+    case ProtocolClass::kP2p: return "P2P";
+    case ProtocolClass::kDns: return "DNS";
+    case ProtocolClass::kOther: return "OTHER";
+  }
+  return "?";
+}
+
+}  // namespace dnh::flow

@@ -1,0 +1,93 @@
+// The Flow Sniffer's flow table: reconstructs layer-4 flows from decoded
+// packets (paper Sec. 3.1, "Flow sniffer" block).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <unordered_map>
+
+#include "flow/flow.hpp"
+#include "packet/decode.hpp"
+
+namespace dnh::flow {
+
+/// Configuration for flow reconstruction.
+struct TableConfig {
+  /// Max payload bytes retained per direction for DPI/cert inspection.
+  std::size_t head_bytes = 4096;
+  /// Flows idle longer than this are exported and dropped.
+  util::Duration idle_timeout = util::Duration::minutes(5);
+  /// Idle sweep cadence, counted in processed packets.
+  std::uint64_t sweep_interval_packets = 8192;
+};
+
+/// Reconstructs flows from a packet stream and exports them on completion
+/// (FIN/FIN or RST), idle timeout, or final flush.
+class FlowTable {
+ public:
+  /// Export sink; receives each finished flow exactly once.
+  using Exporter = std::function<void(FlowRecord&&)>;
+  /// Observer invoked once per flow, on its first packet (before any
+  /// payload): the tagger hook — "identify flows even before they begin".
+  using FlowStartObserver = std::function<void(const FlowRecord&)>;
+
+  explicit FlowTable(TableConfig config = {});
+
+  void set_exporter(Exporter exporter) { exporter_ = std::move(exporter); }
+  void set_flow_start_observer(FlowStartObserver obs) {
+    on_flow_start_ = std::move(obs);
+  }
+
+  /// Consumes one decoded packet. Non-TCP/UDP packets must be filtered by
+  /// the caller (decode_frame already drops them).
+  void on_packet(const packet::DecodedPacket& pkt);
+
+  /// Exports every live flow (end of trace).
+  void flush();
+
+  std::size_t live_flows() const noexcept { return flows_.size(); }
+  std::uint64_t flows_seen() const noexcept { return flows_seen_; }
+  std::uint64_t packets_processed() const noexcept { return packets_; }
+
+ private:
+  void export_flow(FlowRecord&& record);
+  void sweep_idle(util::Timestamp now);
+
+  /// Per-direction TCP head reassembly: real captures reorder and
+  /// retransmit; blindly appending payloads would corrupt the head bytes
+  /// the DPI/cert-inspection baselines parse. We track the next expected
+  /// sequence number and park a bounded set of out-of-order segments.
+  struct DirectionReasm {
+    std::uint32_t next_seq = 0;
+    bool synced = false;    ///< next_seq is initialized
+    bool gave_up = false;   ///< capture gap (snaplen truncation): stop
+    std::map<std::uint32_t, net::Bytes> pending;
+  };
+  struct ReasmState {
+    DirectionReasm dir[2];  ///< [0] = c2s, [1] = s2c
+  };
+  void append_head(FlowRecord& flow, bool c2s,
+                   const packet::DecodedPacket& pkt);
+
+  TableConfig config_;
+  std::unordered_map<FlowKey, FlowRecord> flows_;
+  std::unordered_map<FlowKey, ReasmState> reasm_;
+  Exporter exporter_;
+  FlowStartObserver on_flow_start_;
+  std::uint64_t flows_seen_ = 0;
+  std::uint64_t packets_ = 0;
+};
+
+/// Orients a packet's addresses into a FlowKey plus direction.
+/// `client_to_server` is true when the packet travels client->server.
+struct OrientedKey {
+  FlowKey key;
+  bool client_to_server = true;
+};
+
+/// Orientation rules, in priority order: pure SYN marks the sender as the
+/// client; otherwise the lower port number is taken as the server side
+/// (ports below 1024 always win); ties fall back to address ordering.
+OrientedKey orient(const packet::DecodedPacket& pkt);
+
+}  // namespace dnh::flow

@@ -1,0 +1,148 @@
+#include "http/http.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace dnh::http {
+namespace {
+
+const std::string_view kMethods[] = {"GET",     "POST",    "HEAD",
+                                     "PUT",     "DELETE",  "OPTIONS",
+                                     "CONNECT", "PATCH"};
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t'))
+    s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
+                        s.back() == '\r'))
+    s.remove_suffix(1);
+  return s;
+}
+
+/// Splits the head into lines up to the blank line (or buffer end).
+std::vector<std::string_view> head_lines(std::string_view text) {
+  std::vector<std::string_view> lines;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view line = trim(text.substr(start, end - start));
+    if (line.empty()) break;  // end of head
+    lines.push_back(line);
+    start = end + 1;
+  }
+  return lines;
+}
+
+std::vector<Header> parse_headers(
+    const std::vector<std::string_view>& lines) {
+  std::vector<Header> out;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const std::size_t colon = lines[i].find(':');
+    if (colon == std::string_view::npos) continue;  // tolerate junk lines
+    out.push_back({util::to_lower(trim(lines[i].substr(0, colon))),
+                   std::string{trim(lines[i].substr(colon + 1))}});
+  }
+  return out;
+}
+
+std::optional<std::string> find_header(const std::vector<Header>& headers,
+                                       std::string_view name) {
+  for (const auto& h : headers) {
+    if (util::iequals(h.name, name)) return h.value;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<std::string> Request::header(std::string_view name) const {
+  return find_header(headers, name);
+}
+
+std::optional<std::string> Request::host() const {
+  auto h = header("host");
+  if (!h) return std::nullopt;
+  const std::size_t colon = h->find(':');
+  if (colon != std::string::npos) h->resize(colon);
+  return util::to_lower(*h);
+}
+
+std::optional<std::string> Response::header(std::string_view name) const {
+  return find_header(headers, name);
+}
+
+bool looks_like_http_request(net::BytesView payload) noexcept {
+  const std::string_view text{reinterpret_cast<const char*>(payload.data()),
+                              std::min<std::size_t>(payload.size(), 8)};
+  for (const auto method : kMethods) {
+    if (text.size() > method.size() &&
+        text.substr(0, method.size()) == method &&
+        text[method.size()] == ' ')
+      return true;
+  }
+  return false;
+}
+
+std::optional<Request> parse_request(net::BytesView payload) {
+  if (!looks_like_http_request(payload)) return std::nullopt;
+  const std::string_view text{reinterpret_cast<const char*>(payload.data()),
+                              payload.size()};
+  const auto lines = head_lines(text);
+  if (lines.empty()) return std::nullopt;
+
+  const auto parts = util::split_any(lines[0], " ");
+  if (parts.size() < 3) return std::nullopt;
+  Request req;
+  req.method = std::string{parts[0]};
+  req.target = std::string{parts[1]};
+  req.version = std::string{parts[2]};
+  req.headers = parse_headers(lines);
+  return req;
+}
+
+std::optional<Response> parse_response(net::BytesView payload) {
+  const std::string_view text{reinterpret_cast<const char*>(payload.data()),
+                              payload.size()};
+  if (text.substr(0, 5) != "HTTP/") return std::nullopt;
+  const auto lines = head_lines(text);
+  if (lines.empty()) return std::nullopt;
+  const auto parts = util::split_any(lines[0], " ");
+  if (parts.size() < 2 || !util::all_digits(parts[1])) return std::nullopt;
+
+  Response resp;
+  resp.version = std::string{parts[0]};
+  resp.status = std::stoi(std::string{parts[1]});
+  if (parts.size() >= 3) resp.reason = std::string{parts[2]};
+  resp.headers = parse_headers(lines);
+  return resp;
+}
+
+net::Bytes build_get(const std::string& host, const std::string& path,
+                     const std::vector<Header>& extra) {
+  std::string out = "GET " + path + " HTTP/1.1\r\n";
+  out += "Host: " + host + "\r\n";
+  out += "User-Agent: dnh-trafficgen/1.0\r\n";
+  out += "Accept: */*\r\n";
+  for (const auto& h : extra) out += h.name + ": " + h.value + "\r\n";
+  out += "\r\n";
+  net::Bytes bytes;
+  bytes.assign(out.begin(), out.end());
+  return bytes;
+}
+
+net::Bytes build_response(int status, std::size_t content_length,
+                          const std::string& content_type) {
+  std::string out = "HTTP/1.1 " + std::to_string(status) +
+                    (status == 200 ? " OK" : " Found") + "\r\n";
+  out += "Content-Type: " + content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(content_length) + "\r\n";
+  out += "Server: dnh-sim\r\n";
+  out += "\r\n";
+  net::Bytes bytes;
+  bytes.assign(out.begin(), out.end());
+  return bytes;
+}
+
+}  // namespace dnh::http

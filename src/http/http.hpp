@@ -1,0 +1,63 @@
+// Minimal HTTP/1.x head codec: enough to extract the Host header (the DPI
+// classifier's label source for clear-text web traffic) and to let the trace
+// generator emit realistic requests/responses.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/bytes.hpp"
+
+namespace dnh::http {
+
+struct Header {
+  std::string name;   ///< canonicalized to lower case
+  std::string value;  ///< trimmed
+};
+
+/// A parsed request head (start line + headers; body ignored).
+struct Request {
+  std::string method;
+  std::string target;
+  std::string version;
+  std::vector<Header> headers;
+
+  /// Case-insensitive header lookup; nullopt when absent.
+  std::optional<std::string> header(std::string_view name) const;
+
+  /// The Host header with any :port suffix stripped, lower-cased.
+  std::optional<std::string> host() const;
+};
+
+/// A parsed response head.
+struct Response {
+  std::string version;
+  int status = 0;
+  std::string reason;
+  std::vector<Header> headers;
+
+  std::optional<std::string> header(std::string_view name) const;
+};
+
+/// True if `payload` starts with a known HTTP method followed by a space —
+/// the signature the DPI classifier uses.
+bool looks_like_http_request(net::BytesView payload) noexcept;
+
+/// Parses a request head from the start of a TCP payload. Tolerates a
+/// truncated header block (short snaplen): returns what was parsed up to
+/// the truncation point as long as the start line is complete.
+std::optional<Request> parse_request(net::BytesView payload);
+
+/// Parses a response head ("HTTP/1.x NNN reason").
+std::optional<Response> parse_response(net::BytesView payload);
+
+/// Builds a GET request head.
+net::Bytes build_get(const std::string& host, const std::string& path,
+                     const std::vector<Header>& extra = {});
+
+/// Builds a response head claiming `content_length` body bytes.
+net::Bytes build_response(int status, std::size_t content_length,
+                          const std::string& content_type = "text/html");
+
+}  // namespace dnh::http

@@ -1,0 +1,119 @@
+#include "net/bytes.hpp"
+
+#include <cassert>
+
+namespace dnh::net {
+
+bool ByteReader::require(std::size_t n) noexcept {
+  if (!ok_ || remaining() < n) {
+    ok_ = false;
+    return false;
+  }
+  return true;
+}
+
+std::uint8_t ByteReader::read_u8() noexcept {
+  if (!require(1)) return 0;
+  return data_[pos_++];
+}
+
+std::uint16_t ByteReader::read_u16() noexcept {
+  if (!require(2)) return 0;
+  const std::uint16_t v = static_cast<std::uint16_t>(
+      (std::uint16_t{data_[pos_]} << 8) | data_[pos_ + 1]);
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t ByteReader::read_u32() noexcept {
+  if (!require(4)) return 0;
+  const std::uint32_t v = (std::uint32_t{data_[pos_]} << 24) |
+                          (std::uint32_t{data_[pos_ + 1]} << 16) |
+                          (std::uint32_t{data_[pos_ + 2]} << 8) |
+                          std::uint32_t{data_[pos_ + 3]};
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t ByteReader::read_u64() noexcept {
+  const std::uint64_t hi = read_u32();
+  const std::uint64_t lo = read_u32();
+  return (hi << 32) | lo;
+}
+
+Ipv4Address ByteReader::read_ipv4() noexcept {
+  return Ipv4Address{read_u32()};
+}
+
+Ipv6Address ByteReader::read_ipv6() noexcept {
+  const BytesView b = read_bytes(16);
+  if (b.size() != 16) return {};
+  std::array<std::uint8_t, 16> arr{};
+  std::memcpy(arr.data(), b.data(), 16);
+  return Ipv6Address{arr};
+}
+
+BytesView ByteReader::read_bytes(std::size_t n) noexcept {
+  if (!require(n)) return {};
+  const BytesView out = data_.subspan(pos_, n);
+  pos_ += n;
+  return out;
+}
+
+std::string ByteReader::read_string(std::size_t n) noexcept {
+  const BytesView b = read_bytes(n);
+  return as_string(b);
+}
+
+void ByteReader::skip(std::size_t n) noexcept {
+  if (require(n)) pos_ += n;
+}
+
+void ByteReader::seek(std::size_t offset) noexcept {
+  if (offset > data_.size()) {
+    ok_ = false;
+    return;
+  }
+  pos_ = offset;
+}
+
+void ByteWriter::write_u8(std::uint8_t v) { buf_.push_back(v); }
+
+void ByteWriter::write_u16(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::write_u32(std::uint32_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v >> 24));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 16));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::write_u64(std::uint64_t v) {
+  write_u32(static_cast<std::uint32_t>(v >> 32));
+  write_u32(static_cast<std::uint32_t>(v));
+}
+
+void ByteWriter::write_ipv4(Ipv4Address a) { write_u32(a.value()); }
+
+void ByteWriter::write_ipv6(const Ipv6Address& a) {
+  write_bytes(BytesView{a.bytes()});
+}
+
+void ByteWriter::write_bytes(BytesView bytes) {
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+}
+
+void ByteWriter::write_string(std::string_view s) {
+  write_bytes(as_bytes(s));
+}
+
+void ByteWriter::patch_u16(std::size_t offset, std::uint16_t v) {
+  assert(offset + 2 <= buf_.size());
+  buf_[offset] = static_cast<std::uint8_t>(v >> 8);
+  buf_[offset + 1] = static_cast<std::uint8_t>(v);
+}
+
+}  // namespace dnh::net

@@ -1,0 +1,102 @@
+// Bounds-checked big-endian byte cursor types used by every wire codec.
+//
+// `ByteReader` uses an explicit failure flag rather than exceptions: parsers
+// run per-packet in the sniffer hot path and truncated/garbage input is an
+// expected condition, not an exceptional one. After any failed read the
+// reader is "poisoned" — all further reads return zero values — so decoders
+// can issue a sequence of reads and check `ok()` once (monadic style without
+// the syntax).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/ip.hpp"
+
+namespace dnh::net {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+/// Sequential reader over an immutable byte buffer (network byte order).
+class ByteReader {
+ public:
+  explicit ByteReader(BytesView data) noexcept : data_{data} {}
+
+  bool ok() const noexcept { return ok_; }
+  std::size_t position() const noexcept { return pos_; }
+  std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  bool at_end() const noexcept { return pos_ == data_.size(); }
+
+  std::uint8_t read_u8() noexcept;
+  std::uint16_t read_u16() noexcept;  // big-endian
+  std::uint32_t read_u32() noexcept;  // big-endian
+  std::uint64_t read_u64() noexcept;  // big-endian
+
+  Ipv4Address read_ipv4() noexcept;
+  Ipv6Address read_ipv6() noexcept;
+
+  /// Reads exactly `n` bytes; empty view (and poisoned state) if short.
+  BytesView read_bytes(std::size_t n) noexcept;
+
+  /// Reads `n` bytes as a string.
+  std::string read_string(std::size_t n) noexcept;
+
+  /// Advances without reading.
+  void skip(std::size_t n) noexcept;
+
+  /// Moves the cursor to an absolute offset (for DNS compression pointers).
+  void seek(std::size_t offset) noexcept;
+
+  /// Marks the reader failed; subsequent reads return zeros.
+  void poison() noexcept { ok_ = false; }
+
+  /// View of the whole underlying buffer (for offset-based re-reads).
+  BytesView buffer() const noexcept { return data_; }
+
+ private:
+  bool require(std::size_t n) noexcept;
+  BytesView data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// Append-only big-endian writer backed by a growable buffer.
+class ByteWriter {
+ public:
+  void write_u8(std::uint8_t v);
+  void write_u16(std::uint16_t v);  // big-endian
+  void write_u32(std::uint32_t v);  // big-endian
+  void write_u64(std::uint64_t v);  // big-endian
+  void write_ipv4(Ipv4Address a);
+  void write_ipv6(const Ipv6Address& a);
+  void write_bytes(BytesView bytes);
+  void write_string(std::string_view s);
+
+  /// Overwrites 2 bytes at `offset` (length back-patching). Requires the
+  /// offset to be within already-written data.
+  void patch_u16(std::size_t offset, std::uint16_t v);
+
+  std::size_t size() const noexcept { return buf_.size(); }
+  const Bytes& data() const noexcept { return buf_; }
+  Bytes take() noexcept { return std::move(buf_); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Convenience view over a string's bytes.
+inline BytesView as_bytes(std::string_view s) noexcept {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+/// Convenience string copy of a byte view.
+inline std::string as_string(BytesView b) {
+  return {reinterpret_cast<const char*>(b.data()), b.size()};
+}
+
+}  // namespace dnh::net

@@ -1,0 +1,20 @@
+// RFC 1071 Internet checksum, including TCP/UDP pseudo-header variants.
+#pragma once
+
+#include <cstdint>
+
+#include "net/bytes.hpp"
+#include "net/ip.hpp"
+
+namespace dnh::net {
+
+/// One's-complement sum over `data` (the plain IPv4 header checksum).
+std::uint16_t internet_checksum(BytesView data) noexcept;
+
+/// TCP/UDP checksum over the IPv4 pseudo-header plus the L4 segment
+/// (`segment` includes the L4 header with its checksum field zeroed).
+std::uint16_t l4_checksum_v4(Ipv4Address src, Ipv4Address dst,
+                             std::uint8_t protocol,
+                             BytesView segment) noexcept;
+
+}  // namespace dnh::net

@@ -1,0 +1,56 @@
+#include "orgdb/orgdb.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dnh::orgdb {
+
+void OrgDb::add(net::Ipv4Range range, std::string organization) {
+  ranges_.push_back({range, std::move(organization)});
+  finalized_ = false;
+}
+
+void OrgDb::finalize() {
+  if (finalized_) return;
+  // Stable sort by range start: a nested (more specific) range sorts
+  // after its parent, and identical ranges keep insertion order — the
+  // reverse scan in lookup therefore prefers most-specific, then newest.
+  std::stable_sort(ranges_.begin(), ranges_.end(),
+                   [](const OrgRange& a, const OrgRange& b) {
+                     return a.range.first < b.range.first;
+                   });
+  prefix_max_last_.resize(ranges_.size());
+  net::Ipv4Address running_max;
+  for (std::size_t i = 0; i < ranges_.size(); ++i) {
+    running_max = std::max(running_max, ranges_[i].range.last);
+    prefix_max_last_[i] = running_max;
+  }
+  finalized_ = true;
+}
+
+std::optional<std::string_view> OrgDb::lookup(
+    net::Ipv4Address address) const {
+  assert(finalized_ && "call finalize() before lookup()");
+  // First range whose start is > address, then scan backwards; the first
+  // containing hit is the most specific (largest start). The prefix-max
+  // bound stops the scan as soon as no earlier range can reach `address`.
+  const auto it = std::upper_bound(ranges_.begin(), ranges_.end(), address,
+                                   [](net::Ipv4Address a, const OrgRange& r) {
+                                     return a < r.range.first;
+                                   });
+  for (auto idx = static_cast<std::ptrdiff_t>(it - ranges_.begin()) - 1;
+       idx >= 0; --idx) {
+    const auto i = static_cast<std::size_t>(idx);
+    if (prefix_max_last_[i] < address) break;
+    if (ranges_[i].range.contains(address)) return ranges_[i].organization;
+  }
+  return std::nullopt;
+}
+
+std::string OrgDb::lookup_or(net::Ipv4Address address,
+                             std::string_view fallback) const {
+  const auto hit = lookup(address);
+  return std::string{hit.value_or(fallback)};
+}
+
+}  // namespace dnh::orgdb

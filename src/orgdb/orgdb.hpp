@@ -1,0 +1,53 @@
+// IP-range -> organization database.
+//
+// Plays the role MaxMind/whois plays in the paper: joining serverIP
+// addresses to the CDN/cloud organization that operates them (used by
+// content discovery, Fig. 5, Fig. 9). The trace generator emits the ranges
+// alongside each trace, so lookups are exact by construction.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/ip.hpp"
+
+namespace dnh::orgdb {
+
+struct OrgRange {
+  net::Ipv4Range range;
+  std::string organization;
+};
+
+/// Immutable-after-build range database with O(log n + k) lookups, where
+/// k is the nesting depth at the queried address (1 for disjoint data).
+class OrgDb {
+ public:
+  /// Registers a range. Ranges may nest (a /16 carved out of a /8): the
+  /// most specific containing range wins; among identical ranges the most
+  /// recently added wins.
+  void add(net::Ipv4Range range, std::string organization);
+
+  /// Sorts ranges; must be called once after the last add(). Safe to call
+  /// repeatedly.
+  void finalize();
+
+  /// Organization operating `address`, or nullopt if unallocated.
+  std::optional<std::string_view> lookup(net::Ipv4Address address) const;
+
+  /// Like lookup but returns `fallback` on a miss.
+  std::string lookup_or(net::Ipv4Address address,
+                        std::string_view fallback = "unknown") const;
+
+  std::size_t size() const noexcept { return ranges_.size(); }
+  const std::vector<OrgRange>& ranges() const noexcept { return ranges_; }
+
+ private:
+  std::vector<OrgRange> ranges_;
+  /// prefix_max_last_[i] = max(ranges_[0..i].range.last): bounds the
+  /// backward scan so nested lookups stay O(log n + k).
+  std::vector<net::Ipv4Address> prefix_max_last_;
+  bool finalized_ = true;
+};
+
+}  // namespace dnh::orgdb

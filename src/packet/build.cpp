@@ -1,0 +1,88 @@
+#include "packet/build.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "net/checksum.hpp"
+
+namespace dnh::packet {
+namespace {
+
+void write_eth(net::ByteWriter& w, const FrameSpec& spec) {
+  EthernetHeader eth;
+  eth.dst = spec.dst_mac;
+  eth.src = spec.src_mac;
+  eth.ether_type = kEtherTypeIpv4;
+  eth.serialize(w);
+}
+
+void write_ip(net::ByteWriter& w, const FrameSpec& spec, std::uint8_t proto,
+              std::size_t l4_total) {
+  Ipv4Header ip;
+  ip.total_length = static_cast<std::uint16_t>(20 + l4_total);
+  ip.identification = spec.ip_id;
+  ip.ttl = spec.ttl;
+  ip.protocol = proto;
+  ip.src = spec.src_ip;
+  ip.dst = spec.dst_ip;
+  ip.serialize(w);
+}
+
+}  // namespace
+
+net::Bytes build_udp_frame(const FrameSpec& spec, net::BytesView payload) {
+  net::ByteWriter w;
+  write_eth(w, spec);
+  write_ip(w, spec, kProtoUdp, 8 + payload.size());
+
+  UdpHeader udp;
+  udp.src_port = spec.src_port;
+  udp.dst_port = spec.dst_port;
+  udp.serialize(w, payload.size());
+  w.write_bytes(payload);
+  return w.take();
+}
+
+net::Bytes build_tcp_frame(const FrameSpec& spec, std::uint8_t flags,
+                           std::uint32_t seq, std::uint32_t ack,
+                           net::BytesView captured_payload,
+                           std::uint32_t wire_payload_length) {
+  const std::uint32_t wire_len = std::max<std::uint32_t>(
+      wire_payload_length,
+      static_cast<std::uint32_t>(captured_payload.size()));
+
+  net::ByteWriter w;
+  write_eth(w, spec);
+  write_ip(w, spec, kProtoTcp, 20 + wire_len);
+
+  TcpHeader tcp;
+  tcp.src_port = spec.src_port;
+  tcp.dst_port = spec.dst_port;
+  tcp.seq = seq;
+  tcp.ack = ack;
+  tcp.flags = flags;
+  const std::size_t tcp_start = w.size();
+  tcp.serialize(w);
+  w.write_bytes(captured_payload);
+
+  // Checksum over what we actually emit (a short-snaplen capture has
+  // incorrect checksums for truncated frames too; decoders don't verify).
+  const net::BytesView segment{w.data().data() + tcp_start,
+                               w.size() - tcp_start};
+  const std::uint16_t csum =
+      net::l4_checksum_v4(spec.src_ip, spec.dst_ip, kProtoTcp, segment);
+  w.patch_u16(tcp_start + 16, csum);
+  return w.take();
+}
+
+pcap::Frame make_pcap_frame(util::Timestamp ts, net::Bytes frame_bytes,
+                            std::uint32_t wire_extra) {
+  pcap::Frame f;
+  f.timestamp = ts;
+  f.original_length =
+      static_cast<std::uint32_t>(frame_bytes.size()) + wire_extra;
+  f.data = std::move(frame_bytes);
+  return f;
+}
+
+}  // namespace dnh::packet

@@ -1,0 +1,46 @@
+// Frame builders used by the trace generator to emit wire-true packets.
+#pragma once
+
+#include <cstdint>
+
+#include "net/bytes.hpp"
+#include "net/ip.hpp"
+#include "packet/headers.hpp"
+#include "pcap/pcap.hpp"
+#include "util/time.hpp"
+
+namespace dnh::packet {
+
+/// Parameters common to one emitted IPv4 frame.
+struct FrameSpec {
+  net::MacAddress src_mac;
+  net::MacAddress dst_mac;
+  net::Ipv4Address src_ip;
+  net::Ipv4Address dst_ip;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t ttl = 64;
+  std::uint16_t ip_id = 0;
+};
+
+/// Builds a UDP/IPv4/Ethernet frame carrying `payload`.
+net::Bytes build_udp_frame(const FrameSpec& spec, net::BytesView payload);
+
+/// Builds a TCP/IPv4/Ethernet frame.
+///
+/// `captured_payload` is what actually lands in the frame; if
+/// `wire_payload_length` exceeds its size, the IP total-length field claims
+/// the larger size — exactly what a capture with a short snaplen produces.
+/// The flow meter counts wire bytes, so bulk data can be represented
+/// compactly without distorting volume statistics.
+net::Bytes build_tcp_frame(const FrameSpec& spec, std::uint8_t flags,
+                           std::uint32_t seq, std::uint32_t ack,
+                           net::BytesView captured_payload,
+                           std::uint32_t wire_payload_length = 0);
+
+/// Wraps a built frame and timestamp as a pcap Frame (original_length set
+/// to the wire-true size when the capture is truncated).
+pcap::Frame make_pcap_frame(util::Timestamp ts, net::Bytes frame_bytes,
+                            std::uint32_t wire_extra = 0);
+
+}  // namespace dnh::packet

@@ -1,0 +1,84 @@
+#include "packet/decode.hpp"
+
+#include <algorithm>
+
+namespace dnh::packet {
+
+std::uint16_t DecodedPacket::src_port() const {
+  if (is_tcp()) return tcp().src_port;
+  if (is_udp()) return udp().src_port;
+  return 0;
+}
+
+std::uint16_t DecodedPacket::dst_port() const {
+  if (is_tcp()) return tcp().dst_port;
+  if (is_udp()) return udp().dst_port;
+  return 0;
+}
+
+std::optional<DecodedPacket> decode_frame(net::BytesView frame,
+                                          util::Timestamp ts) {
+  net::ByteReader r{frame};
+  DecodedPacket pkt;
+  pkt.timestamp = ts;
+
+  const auto eth = EthernetHeader::parse(r);
+  if (!eth) return std::nullopt;
+  pkt.eth = *eth;
+
+  // Strip 802.1Q / 802.1ad VLAN tags (captures at ISP PoPs usually carry
+  // at least one): each tag is 2 bytes of TCI + the real EtherType.
+  int vlan_tags = 0;
+  while ((pkt.eth.ether_type == 0x8100 || pkt.eth.ether_type == 0x88a8) &&
+         vlan_tags < 4) {
+    r.skip(2);  // priority/DEI/VLAN-id
+    pkt.eth.ether_type = r.read_u16();
+    if (!r.ok()) return std::nullopt;
+    ++vlan_tags;
+  }
+
+  std::uint8_t l4_proto = 0;
+  std::uint32_t ip_payload_len = 0;
+  if (pkt.eth.ether_type == kEtherTypeIpv4) {
+    const auto ip4 = Ipv4Header::parse(r);
+    if (!ip4) return std::nullopt;
+    l4_proto = ip4->protocol;
+    ip_payload_len = ip4->payload_length();
+    pkt.ip = *ip4;
+  } else if (pkt.eth.ether_type == kEtherTypeIpv6) {
+    const auto ip6 = Ipv6Header::parse(r);
+    if (!ip6) return std::nullopt;
+    l4_proto = ip6->next_header;
+    ip_payload_len = ip6->payload_length;
+    pkt.ip = *ip6;
+  } else {
+    return std::nullopt;  // ARP etc: not traffic we model
+  }
+
+  std::uint32_t l4_header_len = 0;
+  if (l4_proto == kProtoTcp) {
+    const auto tcp = TcpHeader::parse(r);
+    if (!tcp) return std::nullopt;
+    l4_header_len = tcp->header_length;
+    pkt.l4 = *tcp;
+  } else if (l4_proto == kProtoUdp) {
+    const auto udp = UdpHeader::parse(r);
+    if (!udp) return std::nullopt;
+    l4_header_len = 8;
+    // UDP carries its own length; prefer it when consistent.
+    if (udp->length >= 8 && udp->length <= ip_payload_len)
+      ip_payload_len = udp->length;
+    pkt.l4 = *udp;
+  } else {
+    return std::nullopt;  // ICMP etc: ignored by the flow sniffer
+  }
+
+  pkt.wire_payload_length =
+      ip_payload_len >= l4_header_len ? ip_payload_len - l4_header_len : 0;
+  const std::size_t captured =
+      std::min<std::size_t>(pkt.wire_payload_length, r.remaining());
+  pkt.payload = r.read_bytes(captured);
+  return pkt;
+}
+
+}  // namespace dnh::packet

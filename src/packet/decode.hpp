@@ -1,0 +1,55 @@
+// Full-frame decoder: Ethernet -> IPv4/IPv6 -> TCP/UDP -> payload view.
+#pragma once
+
+#include <optional>
+#include <variant>
+
+#include "net/bytes.hpp"
+#include "packet/headers.hpp"
+#include "util/time.hpp"
+
+namespace dnh::packet {
+
+/// A decoded frame. `payload` is a view into the frame buffer passed to
+/// `decode_frame` and is only valid while that buffer lives — the sniffer
+/// processes one frame at a time, copying anything it needs to keep.
+struct DecodedPacket {
+  util::Timestamp timestamp;
+  EthernetHeader eth;
+  std::variant<Ipv4Header, Ipv6Header> ip;
+  std::variant<std::monostate, TcpHeader, UdpHeader> l4;
+  net::BytesView payload;  ///< L4 payload bytes actually captured
+  std::uint32_t wire_payload_length = 0;  ///< L4 payload bytes on the wire
+
+  bool is_ipv4() const noexcept {
+    return std::holds_alternative<Ipv4Header>(ip);
+  }
+  const Ipv4Header& ipv4() const { return std::get<Ipv4Header>(ip); }
+
+  bool is_tcp() const noexcept {
+    return std::holds_alternative<TcpHeader>(l4);
+  }
+  bool is_udp() const noexcept {
+    return std::holds_alternative<UdpHeader>(l4);
+  }
+  const TcpHeader& tcp() const { return std::get<TcpHeader>(l4); }
+  const UdpHeader& udp() const { return std::get<UdpHeader>(l4); }
+
+  /// Source/destination addresses for the IPv4 case (our generator emits
+  /// only IPv4; the v6 decode path exists for live-capture completeness).
+  net::Ipv4Address src_v4() const { return ipv4().src; }
+  net::Ipv4Address dst_v4() const { return ipv4().dst; }
+
+  std::uint16_t src_port() const;
+  std::uint16_t dst_port() const;
+};
+
+/// Decodes an Ethernet frame captured at `ts`. Returns nullopt for frames
+/// that are not IPv4/IPv6 over Ethernet II carrying TCP or UDP, and for any
+/// truncated/malformed header. The decoder is tolerant of frames captured
+/// with a short snaplen: a payload shorter than the IP length field yields a
+/// partial `payload` view with `wire_payload_length` reporting the true size.
+std::optional<DecodedPacket> decode_frame(net::BytesView frame,
+                                          util::Timestamp ts);
+
+}  // namespace dnh::packet

@@ -1,0 +1,134 @@
+#include "packet/headers.hpp"
+
+#include <cstring>
+
+#include "net/checksum.hpp"
+
+namespace dnh::packet {
+
+std::optional<EthernetHeader> EthernetHeader::parse(net::ByteReader& r) {
+  EthernetHeader h;
+  const net::BytesView dst = r.read_bytes(6);
+  const net::BytesView src = r.read_bytes(6);
+  h.ether_type = r.read_u16();
+  if (!r.ok()) return std::nullopt;
+  std::array<std::uint8_t, 6> mac{};
+  std::memcpy(mac.data(), dst.data(), 6);
+  h.dst = net::MacAddress{mac};
+  std::memcpy(mac.data(), src.data(), 6);
+  h.src = net::MacAddress{mac};
+  return h;
+}
+
+void EthernetHeader::serialize(net::ByteWriter& w) const {
+  w.write_bytes(net::BytesView{dst.bytes()});
+  w.write_bytes(net::BytesView{src.bytes()});
+  w.write_u16(ether_type);
+}
+
+std::optional<Ipv4Header> Ipv4Header::parse(net::ByteReader& r) {
+  Ipv4Header h;
+  const std::uint8_t ver_ihl = r.read_u8();
+  if (!r.ok() || (ver_ihl >> 4) != 4) return std::nullopt;
+  h.header_length = static_cast<std::uint8_t>((ver_ihl & 0x0f) * 4);
+  if (h.header_length < 20) return std::nullopt;
+  h.dscp = r.read_u8();
+  h.total_length = r.read_u16();
+  h.identification = r.read_u16();
+  r.skip(2);  // flags + fragment offset (we never emit fragments)
+  h.ttl = r.read_u8();
+  h.protocol = r.read_u8();
+  h.checksum = r.read_u16();
+  h.src = r.read_ipv4();
+  h.dst = r.read_ipv4();
+  if (h.header_length > 20) r.skip(h.header_length - 20u);
+  if (!r.ok()) return std::nullopt;
+  if (h.total_length < h.header_length) return std::nullopt;
+  return h;
+}
+
+void Ipv4Header::serialize(net::ByteWriter& w) const {
+  const std::size_t start = w.size();
+  w.write_u8(0x45);  // version 4, IHL 5
+  w.write_u8(dscp);
+  w.write_u16(total_length);
+  w.write_u16(identification);
+  w.write_u16(0x4000);  // DF, no fragment offset
+  w.write_u8(ttl);
+  w.write_u8(protocol);
+  w.write_u16(0);  // checksum placeholder
+  w.write_ipv4(src);
+  w.write_ipv4(dst);
+  const net::BytesView hdr{w.data().data() + start, 20};
+  w.patch_u16(start + 10, net::internet_checksum(hdr));
+}
+
+std::optional<Ipv6Header> Ipv6Header::parse(net::ByteReader& r) {
+  Ipv6Header h;
+  const std::uint32_t vtc_flow = r.read_u32();
+  if (!r.ok() || (vtc_flow >> 28) != 6) return std::nullopt;
+  h.payload_length = r.read_u16();
+  h.next_header = r.read_u8();
+  h.hop_limit = r.read_u8();
+  h.src = r.read_ipv6();
+  h.dst = r.read_ipv6();
+  if (!r.ok()) return std::nullopt;
+  return h;
+}
+
+void Ipv6Header::serialize(net::ByteWriter& w) const {
+  w.write_u32(0x60000000);
+  w.write_u16(payload_length);
+  w.write_u8(next_header);
+  w.write_u8(hop_limit);
+  w.write_ipv6(src);
+  w.write_ipv6(dst);
+}
+
+std::optional<UdpHeader> UdpHeader::parse(net::ByteReader& r) {
+  UdpHeader h;
+  h.src_port = r.read_u16();
+  h.dst_port = r.read_u16();
+  h.length = r.read_u16();
+  r.skip(2);  // checksum
+  if (!r.ok() || h.length < 8) return std::nullopt;
+  return h;
+}
+
+void UdpHeader::serialize(net::ByteWriter& w, std::size_t payload_len) const {
+  w.write_u16(src_port);
+  w.write_u16(dst_port);
+  w.write_u16(static_cast<std::uint16_t>(8 + payload_len));
+  w.write_u16(0);  // checksum optional over IPv4
+}
+
+std::optional<TcpHeader> TcpHeader::parse(net::ByteReader& r) {
+  TcpHeader h;
+  h.src_port = r.read_u16();
+  h.dst_port = r.read_u16();
+  h.seq = r.read_u32();
+  h.ack = r.read_u32();
+  const std::uint8_t offset_byte = r.read_u8();
+  h.header_length = static_cast<std::uint8_t>((offset_byte >> 4) * 4);
+  h.flags = r.read_u8();
+  h.window = r.read_u16();
+  r.skip(4);  // checksum + urgent pointer
+  if (h.header_length < 20) return std::nullopt;
+  if (h.header_length > 20) r.skip(h.header_length - 20u);
+  if (!r.ok()) return std::nullopt;
+  return h;
+}
+
+void TcpHeader::serialize(net::ByteWriter& w) const {
+  w.write_u16(src_port);
+  w.write_u16(dst_port);
+  w.write_u32(seq);
+  w.write_u32(ack);
+  w.write_u8(0x50);  // data offset 5 words
+  w.write_u8(flags);
+  w.write_u16(window);
+  w.write_u16(0);  // checksum placeholder (patched by the frame builder)
+  w.write_u16(0);  // urgent pointer
+}
+
+}  // namespace dnh::packet

@@ -1,0 +1,109 @@
+// Link/network/transport header codecs (Ethernet II, IPv4, IPv6, TCP, UDP).
+//
+// Each header type offers `parse(ByteReader&)` returning nullopt on
+// malformed/truncated input and `serialize(ByteWriter&)` producing wire
+// bytes. Parsers consume exactly the header (including IPv4/TCP options) so
+// the caller's reader is positioned at the start of the next layer.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "net/bytes.hpp"
+#include "net/ip.hpp"
+
+namespace dnh::packet {
+
+/// EtherType values we understand.
+inline constexpr std::uint16_t kEtherTypeIpv4 = 0x0800;
+inline constexpr std::uint16_t kEtherTypeIpv6 = 0x86dd;
+
+/// IP protocol numbers.
+inline constexpr std::uint8_t kProtoTcp = 6;
+inline constexpr std::uint8_t kProtoUdp = 17;
+
+/// TCP flag bits (in the order of the wire flags byte).
+namespace tcpflags {
+inline constexpr std::uint8_t kFin = 0x01;
+inline constexpr std::uint8_t kSyn = 0x02;
+inline constexpr std::uint8_t kRst = 0x04;
+inline constexpr std::uint8_t kPsh = 0x08;
+inline constexpr std::uint8_t kAck = 0x10;
+}  // namespace tcpflags
+
+struct EthernetHeader {
+  net::MacAddress dst;
+  net::MacAddress src;
+  std::uint16_t ether_type = 0;
+
+  static std::optional<EthernetHeader> parse(net::ByteReader& r);
+  void serialize(net::ByteWriter& w) const;
+};
+
+struct Ipv4Header {
+  std::uint8_t dscp = 0;
+  std::uint16_t total_length = 0;  ///< header + payload, bytes
+  std::uint16_t identification = 0;
+  std::uint8_t ttl = 64;
+  std::uint8_t protocol = 0;
+  std::uint16_t checksum = 0;  ///< as read; recomputed by serialize
+  net::Ipv4Address src;
+  net::Ipv4Address dst;
+  std::uint8_t header_length = 20;  ///< bytes, 20..60
+
+  /// Parses the header and any options; nullopt if IHL/total length are
+  /// inconsistent or the buffer is short.
+  static std::optional<Ipv4Header> parse(net::ByteReader& r);
+
+  /// Serializes a 20-byte (optionless) header with a correct checksum.
+  void serialize(net::ByteWriter& w) const;
+
+  std::uint16_t payload_length() const noexcept {
+    return total_length >= header_length
+               ? static_cast<std::uint16_t>(total_length - header_length)
+               : 0;
+  }
+};
+
+struct Ipv6Header {
+  std::uint16_t payload_length = 0;
+  std::uint8_t next_header = 0;
+  std::uint8_t hop_limit = 64;
+  net::Ipv6Address src;
+  net::Ipv6Address dst;
+
+  static std::optional<Ipv6Header> parse(net::ByteReader& r);
+  void serialize(net::ByteWriter& w) const;
+};
+
+struct UdpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint16_t length = 0;  ///< header + payload
+
+  static std::optional<UdpHeader> parse(net::ByteReader& r);
+  /// Serializes with `payload_len` and a zero checksum (valid for IPv4).
+  void serialize(net::ByteWriter& w, std::size_t payload_len) const;
+};
+
+struct TcpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint8_t flags = 0;
+  std::uint16_t window = 65535;
+  std::uint8_t header_length = 20;  ///< bytes incl. options, 20..60
+
+  static std::optional<TcpHeader> parse(net::ByteReader& r);
+  /// Serializes a 20-byte (optionless) header with a zero checksum; the
+  /// frame builder patches the real checksum afterwards.
+  void serialize(net::ByteWriter& w) const;
+
+  bool syn() const noexcept { return flags & tcpflags::kSyn; }
+  bool ack_flag() const noexcept { return flags & tcpflags::kAck; }
+  bool fin() const noexcept { return flags & tcpflags::kFin; }
+  bool rst() const noexcept { return flags & tcpflags::kRst; }
+};
+
+}  // namespace dnh::packet

@@ -1,0 +1,147 @@
+#include "pcap/pcap.hpp"
+
+#include <cstring>
+
+namespace dnh::pcap {
+namespace {
+
+constexpr std::uint32_t kMagicMicros = 0xa1b2c3d4;
+constexpr std::uint32_t kMagicNanos = 0xa1b23c4d;
+
+std::uint32_t bswap32(std::uint32_t v) noexcept {
+  return ((v & 0x000000ffu) << 24) | ((v & 0x0000ff00u) << 8) |
+         ((v & 0x00ff0000u) >> 8) | ((v & 0xff000000u) >> 24);
+}
+
+std::uint16_t bswap16(std::uint16_t v) noexcept {
+  return static_cast<std::uint16_t>((v << 8) | (v >> 8));
+}
+
+struct GlobalHeader {
+  std::uint32_t magic;
+  std::uint16_t version_major;
+  std::uint16_t version_minor;
+  std::int32_t thiszone;
+  std::uint32_t sigfigs;
+  std::uint32_t snaplen;
+  std::uint32_t network;
+};
+static_assert(sizeof(GlobalHeader) == 24);
+
+struct RecordHeader {
+  std::uint32_t ts_sec;
+  std::uint32_t ts_frac;
+  std::uint32_t incl_len;
+  std::uint32_t orig_len;
+};
+static_assert(sizeof(RecordHeader) == 16);
+
+}  // namespace
+
+std::optional<Reader> Reader::open(const std::string& path) {
+  std::FILE* raw = std::fopen(path.c_str(), "rb");
+  if (!raw) return std::nullopt;
+  Reader reader;
+  reader.file_.reset(raw);
+
+  GlobalHeader gh{};
+  if (std::fread(&gh, sizeof gh, 1, raw) != 1) return std::nullopt;
+
+  switch (gh.magic) {
+    case kMagicMicros:
+      break;
+    case kMagicNanos:
+      reader.nanos_ = true;
+      break;
+    case 0xd4c3b2a1:  // swapped micros
+      reader.swapped_ = true;
+      break;
+    case 0x4d3cb2a1:  // swapped nanos
+      reader.swapped_ = true;
+      reader.nanos_ = true;
+      break;
+    default:
+      return std::nullopt;
+  }
+  const std::uint16_t major =
+      reader.swapped_ ? bswap16(gh.version_major) : gh.version_major;
+  if (major != 2) return std::nullopt;
+  reader.snaplen_ = reader.swapped_ ? bswap32(gh.snaplen) : gh.snaplen;
+  reader.link_type_ = reader.swapped_ ? bswap32(gh.network) : gh.network;
+  return reader;
+}
+
+std::optional<Frame> Reader::next() {
+  if (!file_ || !error_.empty()) return std::nullopt;
+
+  RecordHeader rh{};
+  const std::size_t got = std::fread(&rh, 1, sizeof rh, file_.get());
+  if (got == 0) return std::nullopt;  // clean EOF
+  if (got != sizeof rh) {
+    error_ = "truncated record header";
+    return std::nullopt;
+  }
+  if (swapped_) {
+    rh.ts_sec = bswap32(rh.ts_sec);
+    rh.ts_frac = bswap32(rh.ts_frac);
+    rh.incl_len = bswap32(rh.incl_len);
+    rh.orig_len = bswap32(rh.orig_len);
+  }
+  // Sanity bound: a record longer than any plausible snaplen means a
+  // corrupt stream; stop rather than allocate gigabytes.
+  if (rh.incl_len > 256 * 1024) {
+    error_ = "implausible record length";
+    return std::nullopt;
+  }
+
+  Frame frame;
+  frame.data.resize(rh.incl_len);
+  if (rh.incl_len > 0 &&
+      std::fread(frame.data.data(), 1, rh.incl_len, file_.get()) !=
+          rh.incl_len) {
+    error_ = "truncated record body";
+    return std::nullopt;
+  }
+  const std::int64_t us =
+      static_cast<std::int64_t>(rh.ts_sec) * 1'000'000 +
+      (nanos_ ? rh.ts_frac / 1000 : rh.ts_frac);
+  frame.timestamp = util::Timestamp::from_micros(us);
+  frame.original_length = rh.orig_len;
+  ++frames_read_;
+  return frame;
+}
+
+std::optional<Writer> Writer::create(const std::string& path,
+                                     std::uint32_t snaplen,
+                                     std::uint32_t link_type) {
+  std::FILE* raw = std::fopen(path.c_str(), "wb");
+  if (!raw) return std::nullopt;
+  Writer writer;
+  writer.file_.reset(raw);
+
+  const GlobalHeader gh{kMagicMicros, 2, 4, 0, 0, snaplen, link_type};
+  if (std::fwrite(&gh, sizeof gh, 1, raw) != 1) return std::nullopt;
+  return writer;
+}
+
+void Writer::write(const Frame& frame) {
+  if (!file_) return;
+  const std::int64_t us = frame.timestamp.micros_since_epoch();
+  RecordHeader rh{};
+  rh.ts_sec = static_cast<std::uint32_t>(us / 1'000'000);
+  rh.ts_frac = static_cast<std::uint32_t>(us % 1'000'000);
+  rh.incl_len = static_cast<std::uint32_t>(frame.data.size());
+  rh.orig_len = frame.original_length != 0
+                    ? frame.original_length
+                    : static_cast<std::uint32_t>(frame.data.size());
+  std::fwrite(&rh, sizeof rh, 1, file_.get());
+  if (!frame.data.empty())
+    std::fwrite(frame.data.data(), 1, frame.data.size(), file_.get());
+  ++frames_written_;
+}
+
+void Writer::flush() {
+  if (file_) std::fflush(file_.get());
+}
+
+}  // namespace dnh::pcap

@@ -1,0 +1,96 @@
+// Classic libpcap savefile codec (no external pcap dependency).
+//
+// Supports microsecond (0xa1b2c3d4) and nanosecond (0xa1b23c4d) magic in
+// both byte orders, link type EN10MB. This is the capture substrate: the
+// trace generator writes real .pcap files and the sniffer re-reads them,
+// exercising the identical code path a live deployment would.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "net/bytes.hpp"
+#include "util/time.hpp"
+
+namespace dnh::pcap {
+
+/// Link-layer header type; we only emit/consume Ethernet.
+inline constexpr std::uint32_t kLinktypeEthernet = 1;
+
+/// One captured frame: capture timestamp plus the raw link-layer bytes.
+struct Frame {
+  util::Timestamp timestamp;
+  std::uint32_t original_length = 0;  ///< wire length (>= data.size())
+  net::Bytes data;                    ///< captured bytes
+};
+
+/// Streaming reader for a pcap savefile.
+///
+/// Fails fast on a bad global header; per-record errors (truncated file)
+/// terminate the stream. Use `error()` to distinguish EOF from corruption.
+class Reader {
+ public:
+  /// Opens `path`; returns nullopt if the file is missing or the global
+  /// header is not a recognizable pcap header.
+  static std::optional<Reader> open(const std::string& path);
+
+  /// Reads the next frame; nullopt at end of stream (or on error).
+  std::optional<Frame> next();
+
+  /// Non-empty if the stream ended due to corruption rather than EOF.
+  const std::string& error() const noexcept { return error_; }
+
+  std::uint32_t link_type() const noexcept { return link_type_; }
+  std::uint64_t frames_read() const noexcept { return frames_read_; }
+
+ private:
+  struct FileCloser {
+    void operator()(std::FILE* f) const noexcept {
+      if (f) std::fclose(f);
+    }
+  };
+  Reader() = default;
+
+  std::unique_ptr<std::FILE, FileCloser> file_;
+  bool swapped_ = false;
+  bool nanos_ = false;
+  std::uint32_t snaplen_ = 0;
+  std::uint32_t link_type_ = 0;
+  std::uint64_t frames_read_ = 0;
+  std::string error_;
+};
+
+/// Streaming writer producing a microsecond-magic, native-order pcap file.
+class Writer {
+ public:
+  /// Creates/truncates `path` and writes the global header; nullopt if the
+  /// file cannot be created.
+  static std::optional<Writer> create(const std::string& path,
+                                      std::uint32_t snaplen = 65535,
+                                      std::uint32_t link_type = kLinktypeEthernet);
+
+  /// Appends one frame. Frames must be passed in non-decreasing timestamp
+  /// order by convention (not enforced; readers tolerate disorder).
+  void write(const Frame& frame);
+
+  std::uint64_t frames_written() const noexcept { return frames_written_; }
+
+  /// Flushes buffered output (also happens on destruction).
+  void flush();
+
+ private:
+  struct FileCloser {
+    void operator()(std::FILE* f) const noexcept {
+      if (f) std::fclose(f);
+    }
+  };
+  Writer() = default;
+
+  std::unique_ptr<std::FILE, FileCloser> file_;
+  std::uint64_t frames_written_ = 0;
+};
+
+}  // namespace dnh::pcap

@@ -1,0 +1,196 @@
+#include "pcap/pcapng.hpp"
+
+#include <cstring>
+#include <functional>
+
+namespace dnh::pcap {
+namespace {
+
+constexpr std::uint32_t kSectionHeaderBlock = 0x0a0d0d0a;
+constexpr std::uint32_t kInterfaceBlock = 0x00000001;
+constexpr std::uint32_t kSimplePacketBlock = 0x00000003;
+constexpr std::uint32_t kEnhancedPacketBlock = 0x00000006;
+constexpr std::uint32_t kByteOrderMagic = 0x1a2b3c4d;
+constexpr std::uint32_t kMaxBlockLength = 16 * 1024 * 1024;
+
+std::uint32_t bswap32(std::uint32_t v) noexcept {
+  return ((v & 0x000000ffu) << 24) | ((v & 0x0000ff00u) << 8) |
+         ((v & 0x00ff0000u) >> 8) | ((v & 0xff000000u) >> 24);
+}
+
+std::uint16_t bswap16(std::uint16_t v) noexcept {
+  return static_cast<std::uint16_t>((v << 8) | (v >> 8));
+}
+
+}  // namespace
+
+std::uint32_t NgReader::to_host(std::uint32_t v) const noexcept {
+  return swapped_ ? bswap32(v) : v;
+}
+
+std::uint16_t NgReader::to_host(std::uint16_t v) const noexcept {
+  return swapped_ ? bswap16(v) : v;
+}
+
+bool NgReader::read_exact(void* buffer, std::size_t n) {
+  return std::fread(buffer, 1, n, file_.get()) == n;
+}
+
+std::optional<NgReader> NgReader::open(const std::string& path) {
+  std::FILE* raw = std::fopen(path.c_str(), "rb");
+  if (!raw) return std::nullopt;
+  NgReader reader;
+  reader.file_.reset(raw);
+
+  std::uint32_t type = 0, total_length = 0, magic = 0;
+  if (!reader.read_exact(&type, 4) || type != kSectionHeaderBlock)
+    return std::nullopt;
+  if (!reader.read_exact(&total_length, 4) || !reader.read_exact(&magic, 4))
+    return std::nullopt;
+  if (magic == kByteOrderMagic) {
+    reader.swapped_ = false;
+  } else if (bswap32(magic) == kByteOrderMagic) {
+    reader.swapped_ = true;
+  } else {
+    return std::nullopt;
+  }
+  // Skip the rest of the SHB: version (4) + section length (8) + options.
+  const std::uint32_t length = reader.to_host(total_length);
+  if (length < 28 || length > kMaxBlockLength || length % 4 != 0)
+    return std::nullopt;
+  std::fseek(raw, static_cast<long>(length - 12), SEEK_CUR);
+  return reader;
+}
+
+void NgReader::parse_interface_block(const std::vector<std::uint8_t>& body) {
+  Interface iface;
+  if (body.size() >= 2) {
+    std::uint16_t link = 0;
+    std::memcpy(&link, body.data(), 2);
+    iface.link_type = to_host(link);
+  }
+  // Walk options for if_tsresol (code 9, 1 byte).
+  std::size_t pos = 8;  // linktype(2) + reserved(2) + snaplen(4)
+  while (pos + 4 <= body.size()) {
+    std::uint16_t code = 0, opt_len = 0;
+    std::memcpy(&code, body.data() + pos, 2);
+    std::memcpy(&opt_len, body.data() + pos + 2, 2);
+    code = to_host(code);
+    opt_len = to_host(opt_len);
+    pos += 4;
+    if (code == 0) break;  // opt_endofopt
+    if (pos + opt_len > body.size()) break;
+    if (code == 9 && opt_len >= 1) {
+      const std::uint8_t resol = body[pos];
+      if (resol & 0x80) {
+        iface.ticks_per_second = 1ull << (resol & 0x7f);
+      } else {
+        iface.ticks_per_second = 1;
+        for (int i = 0; i < (resol & 0x7f); ++i)
+          iface.ticks_per_second *= 10;
+      }
+    }
+    pos += (opt_len + 3u) & ~3u;  // options are padded to 32 bits
+  }
+  if (iface.ticks_per_second == 0) iface.ticks_per_second = 1'000'000;
+  interfaces_.push_back(iface);
+}
+
+std::optional<Frame> NgReader::next() {
+  if (!file_ || !error_.empty()) return std::nullopt;
+  while (true) {
+    std::uint32_t raw_type = 0, raw_length = 0;
+    const std::size_t got = std::fread(&raw_type, 1, 4, file_.get());
+    if (got == 0) return std::nullopt;  // clean EOF
+    if (got != 4 || !read_exact(&raw_length, 4)) {
+      error_ = "truncated block header";
+      return std::nullopt;
+    }
+    const std::uint32_t type = to_host(raw_type);
+    const std::uint32_t total_length = to_host(raw_length);
+    if (total_length < 12 || total_length > kMaxBlockLength ||
+        total_length % 4 != 0) {
+      error_ = "implausible block length";
+      return std::nullopt;
+    }
+    std::vector<std::uint8_t> body(total_length - 12);
+    if (!read_exact(body.data(), body.size())) {
+      error_ = "truncated block body";
+      return std::nullopt;
+    }
+    std::uint32_t trailer = 0;
+    if (!read_exact(&trailer, 4) || to_host(trailer) != total_length) {
+      error_ = "block trailer mismatch";
+      return std::nullopt;
+    }
+
+    if (type == kInterfaceBlock) {
+      parse_interface_block(body);
+      continue;
+    }
+    if (type == kEnhancedPacketBlock) {
+      if (body.size() < 20) {
+        error_ = "short enhanced packet block";
+        return std::nullopt;
+      }
+      std::uint32_t iface_id, ts_high, ts_low, captured, original;
+      std::memcpy(&iface_id, body.data(), 4);
+      std::memcpy(&ts_high, body.data() + 4, 4);
+      std::memcpy(&ts_low, body.data() + 8, 4);
+      std::memcpy(&captured, body.data() + 12, 4);
+      std::memcpy(&original, body.data() + 16, 4);
+      iface_id = to_host(iface_id);
+      captured = to_host(captured);
+      if (20 + captured > body.size()) {
+        error_ = "enhanced packet data exceeds block";
+        return std::nullopt;
+      }
+      const std::uint64_t ticks =
+          (std::uint64_t{to_host(ts_high)} << 32) | to_host(ts_low);
+      const std::uint64_t ticks_per_second =
+          iface_id < interfaces_.size()
+              ? interfaces_[iface_id].ticks_per_second
+              : 1'000'000;
+      Frame frame;
+      frame.timestamp = util::Timestamp::from_micros(static_cast<std::int64_t>(
+          ticks * 1'000'000 / ticks_per_second));
+      frame.original_length = to_host(original);
+      frame.data.assign(body.begin() + 20, body.begin() + 20 + captured);
+      ++frames_read_;
+      return frame;
+    }
+    if (type == kSimplePacketBlock) {
+      if (body.size() < 4) {
+        error_ = "short simple packet block";
+        return std::nullopt;
+      }
+      std::uint32_t original = 0;
+      std::memcpy(&original, body.data(), 4);
+      Frame frame;
+      frame.original_length = to_host(original);
+      frame.data.assign(body.begin() + 4, body.end());
+      ++frames_read_;
+      return frame;
+    }
+    // Unknown/unsupported block (NRB, ISB, custom, new SHB): skip.
+  }
+}
+
+bool read_any_capture(const std::string& path,
+                      const std::function<void(const Frame&)>& sink,
+                      std::string& error) {
+  if (auto classic = Reader::open(path)) {
+    while (auto frame = classic->next()) sink(*frame);
+    error = classic->error();
+    return error.empty();
+  }
+  if (auto ng = NgReader::open(path)) {
+    while (auto frame = ng->next()) sink(*frame);
+    error = ng->error();
+    return error.empty();
+  }
+  error = "not a pcap or pcapng capture: " + path;
+  return false;
+}
+
+}  // namespace dnh::pcap

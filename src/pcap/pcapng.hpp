@@ -1,0 +1,75 @@
+// pcapng (next-generation capture) reader.
+//
+// Modern tcpdump/wireshark default to this container; supporting it means
+// users can feed their captures without converting. Scope: Section Header,
+// Interface Description, Enhanced Packet and (legacy) Simple Packet
+// blocks, both byte orders, per-interface timestamp resolution. Unknown
+// block types are skipped, as the spec requires.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pcap/pcap.hpp"
+
+namespace dnh::pcap {
+
+/// Streaming reader for a pcapng file; yields the same Frame type as the
+/// classic Reader so the sniffer is format-agnostic.
+class NgReader {
+ public:
+  /// Opens `path`; nullopt unless it starts with a valid Section Header
+  /// Block.
+  static std::optional<NgReader> open(const std::string& path);
+
+  /// Next packet frame; nullopt at end of stream (check error()).
+  std::optional<Frame> next();
+
+  const std::string& error() const noexcept { return error_; }
+  std::uint64_t frames_read() const noexcept { return frames_read_; }
+
+  /// Link type of the first interface (all we emit/consume is Ethernet).
+  std::uint32_t link_type() const noexcept {
+    return interfaces_.empty() ? kLinktypeEthernet
+                               : interfaces_.front().link_type;
+  }
+
+ private:
+  struct FileCloser {
+    void operator()(std::FILE* f) const noexcept {
+      if (f) std::fclose(f);
+    }
+  };
+  struct Interface {
+    std::uint32_t link_type = kLinktypeEthernet;
+    /// Timestamp units per second (default 1e6; set by if_tsresol).
+    std::uint64_t ticks_per_second = 1'000'000;
+  };
+
+  NgReader() = default;
+  bool read_block_header(std::uint32_t& type, std::uint32_t& length);
+  bool read_exact(void* buffer, std::size_t n);
+  std::uint32_t to_host(std::uint32_t v) const noexcept;
+  std::uint16_t to_host(std::uint16_t v) const noexcept;
+  void parse_interface_block(const std::vector<std::uint8_t>& body);
+
+  std::unique_ptr<std::FILE, FileCloser> file_;
+  bool swapped_ = false;
+  std::vector<Interface> interfaces_;
+  std::uint64_t frames_read_ = 0;
+  std::string error_;
+};
+
+/// Opens `path` as classic pcap or pcapng (sniffed from the magic) and
+/// streams frames through `sink`. Returns false on open/parse errors with
+/// a message in `error`.
+bool read_any_capture(const std::string& path,
+                      const std::function<void(const Frame&)>& sink,
+                      std::string& error);
+
+}  // namespace dnh::pcap

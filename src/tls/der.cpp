@@ -1,0 +1,108 @@
+#include "tls/der.hpp"
+
+#include "util/strings.hpp"
+
+namespace dnh::tls {
+
+std::optional<DerValue> DerReader::next() {
+  if (pos_ + 2 > data_.size()) return std::nullopt;
+  DerValue v;
+  v.tag = data_[pos_++];
+  std::size_t len = data_[pos_++];
+  if (len == 0x80) return std::nullopt;  // indefinite: not DER
+  if (len & 0x80) {
+    const std::size_t n_bytes = len & 0x7f;
+    if (n_bytes > 4 || pos_ + n_bytes > data_.size()) return std::nullopt;
+    len = 0;
+    for (std::size_t i = 0; i < n_bytes; ++i) len = (len << 8) | data_[pos_++];
+  }
+  if (pos_ + len > data_.size()) return std::nullopt;
+  v.content = data_.subspan(pos_, len);
+  pos_ += len;
+  return v;
+}
+
+std::optional<DerValue> DerReader::expect(std::uint8_t tag) {
+  const std::size_t saved = pos_;
+  auto v = next();
+  if (!v || v->tag != tag) {
+    pos_ = saved;
+    return std::nullopt;
+  }
+  return v;
+}
+
+bool DerReader::skip_optional(std::uint8_t tag) {
+  return expect(tag).has_value();
+}
+
+std::string decode_oid(net::BytesView content) {
+  if (content.empty()) return {};
+  std::string out = std::to_string(content[0] / 40) + "." +
+                    std::to_string(content[0] % 40);
+  std::uint64_t acc = 0;
+  for (std::size_t i = 1; i < content.size(); ++i) {
+    acc = (acc << 7) | (content[i] & 0x7f);
+    if (!(content[i] & 0x80)) {
+      out += "." + std::to_string(acc);
+      acc = 0;
+    }
+  }
+  return out;
+}
+
+std::optional<net::Bytes> encode_oid(std::string_view dotted) {
+  const auto parts = util::split(dotted, '.');
+  if (parts.size() < 2) return std::nullopt;
+  std::vector<std::uint64_t> comps;
+  for (const auto part : parts) {
+    if (!util::all_digits(part) || part.size() > 10) return std::nullopt;
+    std::uint64_t v = 0;
+    for (char c : part) v = v * 10 + static_cast<std::uint64_t>(c - '0');
+    comps.push_back(v);
+  }
+  if (comps[0] > 2 || comps[1] > 39) return std::nullopt;
+  net::Bytes out;
+  out.push_back(static_cast<std::uint8_t>(comps[0] * 40 + comps[1]));
+  for (std::size_t i = 2; i < comps.size(); ++i) {
+    std::uint64_t v = comps[i];
+    std::uint8_t stack[10];
+    int n = 0;
+    do {
+      stack[n++] = static_cast<std::uint8_t>(v & 0x7f);
+      v >>= 7;
+    } while (v);
+    for (int j = n - 1; j >= 0; --j)
+      out.push_back(static_cast<std::uint8_t>(stack[j] | (j ? 0x80 : 0)));
+  }
+  return out;
+}
+
+net::Bytes der_tlv(std::uint8_t tag, net::BytesView content) {
+  net::Bytes out;
+  out.push_back(tag);
+  const std::size_t len = content.size();
+  if (len < 0x80) {
+    out.push_back(static_cast<std::uint8_t>(len));
+  } else {
+    std::uint8_t len_bytes[4];
+    int n = 0;
+    std::size_t v = len;
+    do {
+      len_bytes[n++] = static_cast<std::uint8_t>(v & 0xff);
+      v >>= 8;
+    } while (v);
+    out.push_back(static_cast<std::uint8_t>(0x80 | n));
+    for (int j = n - 1; j >= 0; --j) out.push_back(len_bytes[j]);
+  }
+  out.insert(out.end(), content.begin(), content.end());
+  return out;
+}
+
+net::Bytes der_seq(std::uint8_t tag, const std::vector<net::Bytes>& parts) {
+  net::Bytes content;
+  for (const auto& p : parts) content.insert(content.end(), p.begin(), p.end());
+  return der_tlv(tag, content);
+}
+
+}  // namespace dnh::tls

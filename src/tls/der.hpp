@@ -1,0 +1,84 @@
+// Minimal DER (ASN.1 Distinguished Encoding Rules) reader and writer.
+//
+// Covers exactly what the X.509-lite codec needs: definite-length TLVs,
+// nested structures, OIDs, INTEGER/IA5String/UTF8String/OCTET STRING and
+// context-specific tags. Indefinite lengths are rejected (DER forbids them).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/bytes.hpp"
+
+namespace dnh::tls {
+
+/// Common ASN.1 universal tags (with constructed bit where conventional).
+namespace dertag {
+inline constexpr std::uint8_t kBoolean = 0x01;
+inline constexpr std::uint8_t kInteger = 0x02;
+inline constexpr std::uint8_t kBitString = 0x03;
+inline constexpr std::uint8_t kOctetString = 0x04;
+inline constexpr std::uint8_t kNull = 0x05;
+inline constexpr std::uint8_t kOid = 0x06;
+inline constexpr std::uint8_t kUtf8String = 0x0c;
+inline constexpr std::uint8_t kPrintableString = 0x13;
+inline constexpr std::uint8_t kIa5String = 0x16;
+inline constexpr std::uint8_t kUtcTime = 0x17;
+inline constexpr std::uint8_t kSequence = 0x30;
+inline constexpr std::uint8_t kSet = 0x31;
+/// Context-specific constructed tag [n].
+constexpr std::uint8_t context(std::uint8_t n) {
+  return static_cast<std::uint8_t>(0xa0 | n);
+}
+/// Context-specific primitive tag [n] (as used by GeneralName).
+constexpr std::uint8_t context_primitive(std::uint8_t n) {
+  return static_cast<std::uint8_t>(0x80 | n);
+}
+}  // namespace dertag
+
+/// One decoded TLV: tag plus a view of the content bytes.
+struct DerValue {
+  std::uint8_t tag = 0;
+  net::BytesView content;
+
+  bool is(std::uint8_t t) const noexcept { return tag == t; }
+};
+
+/// Sequential reader over the TLVs of one DER "constructed" content.
+class DerReader {
+ public:
+  explicit DerReader(net::BytesView data) noexcept : data_{data} {}
+
+  bool at_end() const noexcept { return pos_ >= data_.size(); }
+
+  /// Reads the next TLV; nullopt on malformed length or truncation.
+  std::optional<DerValue> next();
+
+  /// Reads the next TLV and requires its tag; nullopt otherwise.
+  std::optional<DerValue> expect(std::uint8_t tag);
+
+  /// Skips the next TLV if it has the given tag (for OPTIONAL fields);
+  /// returns true if skipped.
+  bool skip_optional(std::uint8_t tag);
+
+ private:
+  net::BytesView data_;
+  std::size_t pos_ = 0;
+};
+
+/// Renders OID content bytes in dotted-decimal ("2.5.4.3").
+std::string decode_oid(net::BytesView content);
+
+/// Encodes a dotted-decimal OID string to content bytes; nullopt on parse
+/// failure or component overflow.
+std::optional<net::Bytes> encode_oid(std::string_view dotted);
+
+/// Builds one TLV (definite length, long-form when needed).
+net::Bytes der_tlv(std::uint8_t tag, net::BytesView content);
+
+/// Convenience: TLV whose content is the concatenation of `parts`.
+net::Bytes der_seq(std::uint8_t tag, const std::vector<net::Bytes>& parts);
+
+}  // namespace dnh::tls

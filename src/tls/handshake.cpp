@@ -1,0 +1,218 @@
+#include "tls/handshake.hpp"
+
+#include "util/strings.hpp"
+
+namespace dnh::tls {
+namespace {
+
+constexpr std::uint16_t kExtServerName = 0;
+constexpr std::size_t kMaxHandshakeBytes = 1 << 20;
+
+/// Concatenates handshake-record fragments from the head of a TCP payload.
+/// Stops at the first non-handshake record or malformed header.
+net::Bytes collect_handshake_bytes(net::BytesView payload) {
+  net::Bytes out;
+  net::ByteReader r{payload};
+  while (r.remaining() >= 5 && out.size() < kMaxHandshakeBytes) {
+    const std::uint8_t type = r.read_u8();
+    const std::uint16_t version = r.read_u16();
+    const std::uint16_t length = r.read_u16();
+    if (type != recordtype::kHandshake || (version >> 8) != 3) break;
+    // Truncated final record (short snaplen): keep the partial fragment so
+    // messages completed before the cut still parse.
+    const std::size_t take = std::min<std::size_t>(length, r.remaining());
+    const net::BytesView frag = r.read_bytes(take);
+    out.insert(out.end(), frag.begin(), frag.end());
+    if (take < length) break;
+  }
+  return out;
+}
+
+struct HandshakeMessage {
+  std::uint8_t type = 0;
+  net::BytesView body;
+};
+
+std::optional<HandshakeMessage> next_message(net::ByteReader& r) {
+  if (r.remaining() < 4) return std::nullopt;
+  HandshakeMessage msg;
+  msg.type = r.read_u8();
+  const std::uint32_t len =
+      (std::uint32_t{r.read_u8()} << 16) | r.read_u16();
+  msg.body = r.read_bytes(len);
+  if (!r.ok()) return std::nullopt;
+  return msg;
+}
+
+}  // namespace
+
+bool looks_like_tls(net::BytesView payload) noexcept {
+  return payload.size() >= 3 &&
+         (payload[0] == recordtype::kHandshake ||
+          payload[0] == recordtype::kApplicationData) &&
+         payload[1] == 3 && payload[2] <= 4;
+}
+
+std::optional<ClientHello> parse_client_hello(net::BytesView payload) {
+  const net::Bytes handshake = collect_handshake_bytes(payload);
+  net::ByteReader r{handshake};
+  const auto msg = next_message(r);
+  if (!msg || msg->type != handshaketype::kClientHello) return std::nullopt;
+
+  net::ByteReader body{msg->body};
+  ClientHello hello;
+  hello.version = body.read_u16();
+  body.skip(32);  // random
+  const std::uint8_t sid_len = body.read_u8();
+  const net::BytesView sid = body.read_bytes(sid_len);
+  hello.session_id.assign(sid.begin(), sid.end());
+  const std::uint16_t cipher_len = body.read_u16();
+  if (!body.ok() || cipher_len % 2 != 0) return std::nullopt;
+  for (std::uint16_t i = 0; i < cipher_len / 2; ++i)
+    hello.cipher_suites.push_back(body.read_u16());
+  const std::uint8_t comp_len = body.read_u8();
+  body.skip(comp_len);
+  if (!body.ok()) return std::nullopt;
+  if (body.at_end()) return hello;  // no extensions
+
+  const std::uint16_t ext_total = body.read_u16();
+  net::ByteReader exts{body.read_bytes(ext_total)};
+  if (!body.ok()) return std::nullopt;
+  while (exts.remaining() >= 4) {
+    const std::uint16_t ext_type = exts.read_u16();
+    const std::uint16_t ext_len = exts.read_u16();
+    net::ByteReader ext{exts.read_bytes(ext_len)};
+    if (!exts.ok()) return std::nullopt;
+    if (ext_type == kExtServerName) {
+      const std::uint16_t list_len = ext.read_u16();
+      (void)list_len;
+      const std::uint8_t name_type = ext.read_u8();
+      const std::uint16_t name_len = ext.read_u16();
+      if (ext.ok() && name_type == 0)
+        hello.sni = util::to_lower(ext.read_string(name_len));
+    }
+  }
+  return hello;
+}
+
+std::optional<ServerFlight> parse_server_flight(net::BytesView payload) {
+  if (!looks_like_tls(payload)) return std::nullopt;
+  const net::Bytes handshake = collect_handshake_bytes(payload);
+  ServerFlight flight;
+  net::ByteReader r{handshake};
+  while (auto msg = next_message(r)) {
+    if (msg->type == handshaketype::kServerHello) {
+      flight.saw_server_hello = true;
+    } else if (msg->type == handshaketype::kCertificate) {
+      net::ByteReader body{msg->body};
+      const std::uint32_t list_len =
+          (std::uint32_t{body.read_u8()} << 16) | body.read_u16();
+      net::ByteReader list{body.read_bytes(list_len)};
+      if (!body.ok()) break;
+      while (list.remaining() >= 3) {
+        const std::uint32_t cert_len =
+            (std::uint32_t{list.read_u8()} << 16) | list.read_u16();
+        const net::BytesView cert = list.read_bytes(cert_len);
+        if (!list.ok()) break;
+        flight.certificates.emplace_back(cert.begin(), cert.end());
+      }
+    }
+  }
+  return flight;
+}
+
+std::optional<CertificateInfo> ServerFlight::leaf_info() const {
+  if (certificates.empty()) return std::nullopt;
+  return parse_certificate(certificates.front());
+}
+
+namespace {
+
+net::Bytes wrap_record(std::uint8_t type, net::BytesView fragment) {
+  net::ByteWriter w;
+  w.write_u8(type);
+  w.write_u16(kTls12);
+  w.write_u16(static_cast<std::uint16_t>(fragment.size()));
+  w.write_bytes(fragment);
+  return w.take();
+}
+
+net::Bytes wrap_handshake(std::uint8_t msg_type, net::BytesView body) {
+  net::ByteWriter w;
+  w.write_u8(msg_type);
+  w.write_u8(static_cast<std::uint8_t>(body.size() >> 16));
+  w.write_u16(static_cast<std::uint16_t>(body.size() & 0xffff));
+  w.write_bytes(body);
+  return w.take();
+}
+
+}  // namespace
+
+net::Bytes build_client_hello(const std::string& sni,
+                              const net::Bytes& session_id) {
+  net::ByteWriter body;
+  body.write_u16(kTls12);
+  for (int i = 0; i < 32; ++i)
+    body.write_u8(static_cast<std::uint8_t>(i * 7 + 13));  // "random"
+  body.write_u8(static_cast<std::uint8_t>(session_id.size()));
+  body.write_bytes(session_id);
+  // A plausible small cipher list.
+  const std::uint16_t ciphers[] = {0xc02f, 0xc030, 0x009c, 0x002f};
+  body.write_u16(sizeof ciphers / sizeof ciphers[0] * 2);
+  for (const auto c : ciphers) body.write_u16(c);
+  body.write_u8(1);  // compression methods
+  body.write_u8(0);  // null
+
+  if (!sni.empty()) {
+    net::ByteWriter ext;
+    ext.write_u16(kExtServerName);
+    ext.write_u16(static_cast<std::uint16_t>(sni.size() + 5));
+    ext.write_u16(static_cast<std::uint16_t>(sni.size() + 3));  // list len
+    ext.write_u8(0);  // host_name
+    ext.write_u16(static_cast<std::uint16_t>(sni.size()));
+    ext.write_string(sni);
+    body.write_u16(static_cast<std::uint16_t>(ext.size()));
+    body.write_bytes(ext.data());
+  }
+  return wrap_record(recordtype::kHandshake,
+                     wrap_handshake(handshaketype::kClientHello, body.data()));
+}
+
+net::Bytes build_server_flight(const std::vector<net::Bytes>& cert_chain) {
+  net::ByteWriter hello_body;
+  hello_body.write_u16(kTls12);
+  for (int i = 0; i < 32; ++i)
+    hello_body.write_u8(static_cast<std::uint8_t>(i * 11 + 5));
+  hello_body.write_u8(0);       // empty session id
+  hello_body.write_u16(0xc02f); // chosen cipher
+  hello_body.write_u8(0);       // null compression
+
+  net::Bytes messages =
+      wrap_handshake(handshaketype::kServerHello, hello_body.data());
+
+  if (!cert_chain.empty()) {
+    net::ByteWriter certs;
+    std::size_t list_len = 0;
+    for (const auto& c : cert_chain) list_len += 3 + c.size();
+    certs.write_u8(static_cast<std::uint8_t>(list_len >> 16));
+    certs.write_u16(static_cast<std::uint16_t>(list_len & 0xffff));
+    for (const auto& c : cert_chain) {
+      certs.write_u8(static_cast<std::uint8_t>(c.size() >> 16));
+      certs.write_u16(static_cast<std::uint16_t>(c.size() & 0xffff));
+      certs.write_bytes(c);
+    }
+    const net::Bytes cert_msg =
+        wrap_handshake(handshaketype::kCertificate, certs.data());
+    messages.insert(messages.end(), cert_msg.begin(), cert_msg.end());
+  }
+  const net::Bytes done = wrap_handshake(handshaketype::kServerHelloDone, {});
+  messages.insert(messages.end(), done.begin(), done.end());
+  return wrap_record(recordtype::kHandshake, messages);
+}
+
+net::Bytes build_application_data(std::size_t length) {
+  const net::Bytes zeros(length, 0);
+  return wrap_record(recordtype::kApplicationData, zeros);
+}
+
+}  // namespace dnh::tls

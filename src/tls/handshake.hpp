@@ -1,0 +1,83 @@
+// TLS record-layer and handshake-message codec.
+//
+// Scope: what a passive monitor extracts from the clear-text part of a
+// TLS session — the ClientHello SNI, the ServerHello, and the server
+// Certificate chain — plus builders the trace generator uses to emit
+// realistic handshakes (including resumed sessions that carry no
+// certificate, the paper's "certificate exchange might happen only the
+// first time" failure mode of certificate inspection).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/bytes.hpp"
+#include "tls/x509.hpp"
+
+namespace dnh::tls {
+
+/// TLS record content types.
+namespace recordtype {
+inline constexpr std::uint8_t kChangeCipherSpec = 20;
+inline constexpr std::uint8_t kAlert = 21;
+inline constexpr std::uint8_t kHandshake = 22;
+inline constexpr std::uint8_t kApplicationData = 23;
+}  // namespace recordtype
+
+/// Handshake message types.
+namespace handshaketype {
+inline constexpr std::uint8_t kClientHello = 1;
+inline constexpr std::uint8_t kServerHello = 2;
+inline constexpr std::uint8_t kCertificate = 11;
+inline constexpr std::uint8_t kServerHelloDone = 14;
+}  // namespace handshaketype
+
+/// TLS 1.2 on the wire.
+inline constexpr std::uint16_t kTls12 = 0x0303;
+
+/// True if `payload` plausibly starts a TLS stream (record type 22/23,
+/// version 3.x) — the signature the DPI classifier uses.
+bool looks_like_tls(net::BytesView payload) noexcept;
+
+/// Parsed ClientHello (fields a monitor cares about).
+struct ClientHello {
+  std::uint16_t version = kTls12;
+  std::optional<std::string> sni;  ///< server_name extension, if present
+  std::vector<std::uint16_t> cipher_suites;
+  net::Bytes session_id;
+};
+
+/// Parsed server-side handshake flight.
+struct ServerFlight {
+  bool saw_server_hello = false;
+  std::vector<net::Bytes> certificates;  ///< DER chain, leaf first
+
+  /// Parses the leaf certificate, if any.
+  std::optional<CertificateInfo> leaf_info() const;
+};
+
+/// Extracts the ClientHello from the first client-to-server bytes of a
+/// flow; nullopt when the payload is not a TLS handshake or is malformed.
+std::optional<ClientHello> parse_client_hello(net::BytesView payload);
+
+/// Extracts the ServerHello/Certificate flight from the first
+/// server-to-client bytes; handles handshake messages spanning multiple
+/// records. Returns nullopt if the payload is not TLS at all.
+std::optional<ServerFlight> parse_server_flight(net::BytesView payload);
+
+/// Builds a ClientHello record with the given SNI (empty = no extension).
+net::Bytes build_client_hello(const std::string& sni,
+                              const net::Bytes& session_id = {});
+
+/// Builds the server flight: ServerHello [+ Certificate] + ServerHelloDone.
+/// Pass an empty chain to model a resumed session (no certificate on the
+/// wire).
+net::Bytes build_server_flight(const std::vector<net::Bytes>& cert_chain);
+
+/// Builds an opaque application-data record of `length` payload bytes
+/// (zero-filled — monitors never look inside).
+net::Bytes build_application_data(std::size_t length);
+
+}  // namespace dnh::tls

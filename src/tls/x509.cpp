@@ -1,0 +1,212 @@
+#include "tls/x509.hpp"
+
+#include "tls/der.hpp"
+#include "util/strings.hpp"
+
+namespace dnh::tls {
+namespace {
+
+const char* kOidCn = "2.5.4.3";
+const char* kOidSan = "2.5.29.17";
+
+/// Extracts the CN attribute from an RDNSequence (SEQUENCE OF SET OF
+/// AttributeTypeAndValue).
+std::optional<std::string> find_cn(net::BytesView rdn_sequence) {
+  DerReader rdns{rdn_sequence};
+  while (!rdns.at_end()) {
+    const auto set = rdns.expect(dertag::kSet);
+    if (!set) return std::nullopt;
+    DerReader attrs{set->content};
+    while (!attrs.at_end()) {
+      const auto attr = attrs.expect(dertag::kSequence);
+      if (!attr) return std::nullopt;
+      DerReader kv{attr->content};
+      const auto oid = kv.expect(dertag::kOid);
+      if (!oid) return std::nullopt;
+      const auto value = kv.next();
+      if (!value) return std::nullopt;
+      if (decode_oid(oid->content) == kOidCn)
+        return util::to_lower(net::as_string(value->content));
+    }
+  }
+  return std::nullopt;
+}
+
+/// Extracts dNSName entries from a SAN extension value (GeneralNames).
+std::vector<std::string> parse_san(net::BytesView extension_value) {
+  std::vector<std::string> out;
+  DerReader outer{extension_value};
+  const auto names = outer.expect(dertag::kSequence);
+  if (!names) return out;
+  DerReader items{names->content};
+  while (!items.at_end()) {
+    const auto item = items.next();
+    if (!item) break;
+    if (item->tag == dertag::context_primitive(2))  // dNSName
+      out.push_back(util::to_lower(net::as_string(item->content)));
+  }
+  return out;
+}
+
+net::Bytes build_name(const std::string& cn) {
+  const auto oid = encode_oid(kOidCn).value();
+  return der_seq(
+      dertag::kSequence,
+      {der_seq(dertag::kSet,
+               {der_seq(dertag::kSequence,
+                        {der_tlv(dertag::kOid, oid),
+                         der_tlv(dertag::kUtf8String, net::as_bytes(cn))})})});
+}
+
+net::Bytes build_validity() {
+  // Fixed validity window; inspection never checks dates.
+  const std::string not_before = "110101000000Z";
+  const std::string not_after = "211231235959Z";
+  return der_seq(dertag::kSequence,
+                 {der_tlv(dertag::kUtcTime, net::as_bytes(not_before)),
+                  der_tlv(dertag::kUtcTime, net::as_bytes(not_after))});
+}
+
+net::Bytes build_algorithm() {
+  // sha256WithRSAEncryption 1.2.840.113549.1.1.11
+  const auto oid = encode_oid("1.2.840.113549.1.1.11").value();
+  return der_seq(dertag::kSequence,
+                 {der_tlv(dertag::kOid, oid), der_tlv(dertag::kNull, {})});
+}
+
+net::Bytes build_spki() {
+  // rsaEncryption with a tiny dummy key blob.
+  const auto oid = encode_oid("1.2.840.113549.1.1.1").value();
+  const net::Bytes key{0x00, 0x30, 0x06, 0x02, 0x01, 0x03, 0x02, 0x01, 0x03};
+  return der_seq(dertag::kSequence,
+                 {der_seq(dertag::kSequence,
+                          {der_tlv(dertag::kOid, oid),
+                           der_tlv(dertag::kNull, {})}),
+                  der_tlv(dertag::kBitString, key)});
+}
+
+net::Bytes build_integer(std::uint64_t v) {
+  net::Bytes content;
+  std::uint8_t bytes[9];
+  int n = 0;
+  do {
+    bytes[n++] = static_cast<std::uint8_t>(v & 0xff);
+    v >>= 8;
+  } while (v);
+  if (bytes[n - 1] & 0x80) bytes[n++] = 0;  // keep it non-negative
+  for (int i = n - 1; i >= 0; --i) content.push_back(bytes[i]);
+  return der_tlv(dertag::kInteger, content);
+}
+
+}  // namespace
+
+bool wildcard_match(std::string_view pattern, std::string_view fqdn) {
+  if (pattern.empty()) return false;
+  if (pattern.substr(0, 2) == "*.") {
+    const std::string_view suffix = pattern.substr(1);  // ".example.com"
+    if (!util::iends_with(fqdn, suffix)) return false;
+    // Exactly one extra label: no '.' before the suffix start.
+    const std::string_view head = fqdn.substr(0, fqdn.size() - suffix.size());
+    return !head.empty() && head.find('.') == std::string_view::npos;
+  }
+  return util::iequals(pattern, fqdn);
+}
+
+bool CertificateInfo::matches(std::string_view fqdn) const {
+  if (wildcard_match(subject_cn, fqdn)) return true;
+  for (const auto& san : san_dns) {
+    if (wildcard_match(san, fqdn)) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> CertificateInfo::all_names() const {
+  std::vector<std::string> out;
+  if (!subject_cn.empty()) out.push_back(subject_cn);
+  for (const auto& san : san_dns) out.push_back(san);
+  return out;
+}
+
+std::optional<CertificateInfo> parse_certificate(net::BytesView der) {
+  DerReader top{der};
+  const auto cert = top.expect(dertag::kSequence);
+  if (!cert) return std::nullopt;
+  DerReader cert_fields{cert->content};
+  const auto tbs = cert_fields.expect(dertag::kSequence);
+  if (!tbs) return std::nullopt;
+
+  DerReader fields{tbs->content};
+  fields.skip_optional(dertag::context(0));  // version
+  if (!fields.expect(dertag::kInteger)) return std::nullopt;  // serial
+  if (!fields.expect(dertag::kSequence)) return std::nullopt;  // sig alg
+
+  const auto issuer = fields.expect(dertag::kSequence);
+  if (!issuer) return std::nullopt;
+  if (!fields.expect(dertag::kSequence)) return std::nullopt;  // validity
+  const auto subject = fields.expect(dertag::kSequence);
+  if (!subject) return std::nullopt;
+  if (!fields.expect(dertag::kSequence)) return std::nullopt;  // SPKI
+
+  CertificateInfo info;
+  if (auto cn = find_cn(subject->content)) info.subject_cn = std::move(*cn);
+  if (auto cn = find_cn(issuer->content)) info.issuer_cn = std::move(*cn);
+
+  // Optional [1]/[2] unique IDs, then [3] extensions.
+  fields.skip_optional(dertag::context_primitive(1));
+  fields.skip_optional(dertag::context_primitive(2));
+  if (const auto ext_wrapper = fields.expect(dertag::context(3))) {
+    DerReader ext_outer{ext_wrapper->content};
+    const auto ext_list = ext_outer.expect(dertag::kSequence);
+    if (ext_list) {
+      DerReader exts{ext_list->content};
+      while (!exts.at_end()) {
+        const auto ext = exts.expect(dertag::kSequence);
+        if (!ext) break;
+        DerReader ext_fields{ext->content};
+        const auto oid = ext_fields.expect(dertag::kOid);
+        if (!oid) break;
+        ext_fields.skip_optional(dertag::kBoolean);  // critical flag
+        const auto value = ext_fields.expect(dertag::kOctetString);
+        if (!value) break;
+        if (decode_oid(oid->content) == kOidSan)
+          info.san_dns = parse_san(value->content);
+      }
+    }
+  }
+  return info;
+}
+
+net::Bytes build_certificate(const std::string& subject_cn,
+                             const std::string& issuer_cn,
+                             const std::vector<std::string>& san_dns,
+                             std::uint64_t serial) {
+  std::vector<net::Bytes> tbs_parts;
+  tbs_parts.push_back(build_integer(serial));
+  tbs_parts.push_back(build_algorithm());
+  tbs_parts.push_back(build_name(issuer_cn));
+  tbs_parts.push_back(build_validity());
+  tbs_parts.push_back(build_name(subject_cn));
+  tbs_parts.push_back(build_spki());
+
+  if (!san_dns.empty()) {
+    std::vector<net::Bytes> general_names;
+    for (const auto& dns : san_dns)
+      general_names.push_back(
+          der_tlv(dertag::context_primitive(2), net::as_bytes(dns)));
+    const net::Bytes san_value = der_seq(dertag::kSequence, general_names);
+    const net::Bytes ext =
+        der_seq(dertag::kSequence,
+                {der_tlv(dertag::kOid, encode_oid("2.5.29.17").value()),
+                 der_tlv(dertag::kOctetString, san_value)});
+    tbs_parts.push_back(der_seq(
+        dertag::context(3), {der_seq(dertag::kSequence, {ext})}));
+  }
+
+  const net::Bytes tbs = der_seq(dertag::kSequence, tbs_parts);
+  const net::Bytes fake_signature{0x00, 0xde, 0xad, 0xbe, 0xef};
+  return der_seq(dertag::kSequence,
+                 {tbs, build_algorithm(),
+                  der_tlv(dertag::kBitString, fake_signature)});
+}
+
+}  // namespace dnh::tls

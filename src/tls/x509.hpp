@@ -1,0 +1,49 @@
+// X.509-lite: extract and synthesize the certificate fields that the TLS
+// certificate-inspection baseline uses (Sec. 5.2.1 of the paper): the
+// subject Common Name and the subjectAltName dNSName list.
+//
+// The parser walks real DER structure (Certificate -> TBSCertificate ->
+// subject RDNSequence / extensions) so it also handles certificates not
+// produced by our builder, as long as they use definite lengths.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/bytes.hpp"
+
+namespace dnh::tls {
+
+/// The name-relevant content of one X.509 certificate.
+struct CertificateInfo {
+  std::string subject_cn;   ///< subject CN ("*.google.com", "a248.e.akamai.net")
+  std::string issuer_cn;    ///< issuer CN (CA name)
+  std::vector<std::string> san_dns;  ///< subjectAltName dNSName entries
+
+  /// True if `fqdn` matches the CN or any SAN entry, honouring a single
+  /// leading wildcard label (RFC 6125 style: "*.example.com" matches
+  /// "www.example.com" but not "example.com" or "a.b.example.com").
+  bool matches(std::string_view fqdn) const;
+
+  /// All names (CN + SANs).
+  std::vector<std::string> all_names() const;
+};
+
+/// Parses a DER certificate; nullopt on structural errors. Unknown
+/// extensions and algorithm contents are skipped, not validated — this is a
+/// traffic-inspection parser, not a verifier.
+std::optional<CertificateInfo> parse_certificate(net::BytesView der);
+
+/// Builds a structurally valid (unsigned-garbage-signature) DER certificate
+/// carrying the given names; round-trips through `parse_certificate`.
+net::Bytes build_certificate(const std::string& subject_cn,
+                             const std::string& issuer_cn,
+                             const std::vector<std::string>& san_dns = {},
+                             std::uint64_t serial = 1);
+
+/// True if a presented name with an optional single leading "*." wildcard
+/// matches `fqdn` (both lower-case expected).
+bool wildcard_match(std::string_view pattern, std::string_view fqdn);
+
+}  // namespace dnh::tls

@@ -1,0 +1,148 @@
+#include "trafficgen/profiles.hpp"
+
+namespace dnh::trafficgen {
+namespace {
+
+TraceProfile base_profile() {
+  TraceProfile p;
+  p.world.tail_organizations = 6000;
+  return p;
+}
+
+}  // namespace
+
+TraceProfile profile_us_3g() {
+  TraceProfile p = base_profile();
+  p.name = "US-3G";
+  p.geo = Geo::kUs;
+  p.tech = Tech::kMobile;
+  p.start_hour = 15;
+  p.start_minute = 30;
+  p.duration = util::Duration::hours(3);
+  p.n_clients = 160;
+  p.visits_per_client_hour = 5.0;
+  p.p2p_client_fraction = 0.15;       // BT-over-mobile exists; tracker-heavy
+  p.tunnel_client_fraction = 0.06;    // HTTP/HTTPS tunnels: no DNS exposed
+  p.mobility_fraction = 0.25;         // resolved outside the coverage area
+  p.prefetch_per_page = 1.1;          // mobile browsers prefetch less (Tab 9)
+  p.outside_resolution_prob = 0.03;
+  p.invisible_dns_client_fraction = 0.04;
+  p.tls_extra_miss = 0.02;
+  p.seed = 1101;
+  p.world.geo = Geo::kUs;
+  p.world.seed = 2101;
+  return p;
+}
+
+TraceProfile profile_eu2_adsl() {
+  TraceProfile p = base_profile();
+  p.name = "EU2-ADSL";
+  p.geo = Geo::kEu;
+  p.tech = Tech::kAdsl;
+  p.start_hour = 14;
+  p.start_minute = 50;
+  p.duration = util::Duration::hours(6);
+  p.n_clients = 280;
+  p.visits_per_client_hour = 7.0;
+  p.p2p_client_fraction = 0.07;
+  p.prefetch_per_page = 2.5;
+  p.outside_resolution_prob = 0.008;  // best hit ratio of the five (97%)
+  p.invisible_dns_client_fraction = 0.02;
+  p.tls_extra_miss = 0.01;
+  p.seed = 1102;
+  p.world.geo = Geo::kEu;
+  p.world.seed = 2102;
+  return p;
+}
+
+TraceProfile profile_eu1_adsl1() {
+  TraceProfile p = base_profile();
+  p.name = "EU1-ADSL1";
+  p.geo = Geo::kEu;
+  p.tech = Tech::kAdsl;
+  p.start_hour = 8;
+  p.start_minute = 0;
+  p.duration = util::Duration::hours(24);
+  p.n_clients = 300;
+  p.visits_per_client_hour = 6.5;
+  p.p2p_client_fraction = 0.08;
+  p.prefetch_per_page = 2.4;
+  p.outside_resolution_prob = 0.02;
+  p.invisible_dns_client_fraction = 0.06;
+  p.tls_extra_miss = 0.015;
+  p.seed = 1103;
+  p.world.geo = Geo::kEu;
+  p.world.seed = 2103;
+  return p;
+}
+
+TraceProfile profile_eu1_adsl2() {
+  TraceProfile p = base_profile();
+  p.name = "EU1-ADSL2";
+  p.geo = Geo::kEu;
+  p.tech = Tech::kAdsl;
+  p.start_hour = 8;
+  p.start_minute = 40;
+  p.duration = util::Duration::hours(5);
+  p.n_clients = 180;
+  p.visits_per_client_hour = 6.0;
+  p.p2p_client_fraction = 0.07;
+  p.prefetch_per_page = 2.5;
+  p.outside_resolution_prob = 0.02;
+  p.invisible_dns_client_fraction = 0.08;
+  p.tls_extra_miss = 0.04;
+  p.seed = 1104;
+  p.world.geo = Geo::kEu;
+  p.world.seed = 2104;
+  return p;
+}
+
+TraceProfile profile_eu1_ftth() {
+  TraceProfile p = base_profile();
+  p.name = "EU1-FTTH";
+  p.geo = Geo::kEu;
+  p.tech = Tech::kFtth;
+  p.start_hour = 17;
+  p.start_minute = 0;
+  p.duration = util::Duration::hours(3);
+  p.n_clients = 90;
+  p.visits_per_client_hour = 7.0;
+  p.p2p_client_fraction = 0.06;
+  p.prefetch_per_page = 2.9;          // highest useless-DNS share (50%)
+  p.outside_resolution_prob = 0.03;
+  p.invisible_dns_client_fraction = 0.07;
+  p.tls_extra_miss = 0.06;
+  p.seed = 1105;
+  p.world.geo = Geo::kEu;
+  p.world.seed = 2105;
+  return p;
+}
+
+TraceProfile profile_eu1_adsl2_24h() {
+  TraceProfile p = profile_eu1_adsl2();
+  p.name = "EU1-ADSL2-24h";
+  p.start_hour = 0;
+  p.start_minute = 0;
+  p.duration = util::Duration::hours(24);
+  p.n_clients = 220;
+  return p;
+}
+
+std::vector<TraceProfile> all_table1_profiles() {
+  return {profile_us_3g(), profile_eu2_adsl(), profile_eu1_adsl1(),
+          profile_eu1_adsl2(), profile_eu1_ftth()};
+}
+
+LiveProfile profile_eu1_adsl2_live() {
+  LiveProfile live;
+  live.base = profile_eu1_adsl2_24h();
+  live.base.name = "EU1-ADSL2-live";
+  live.base.seed = 1110;
+  live.days = 18;
+  live.volume_scale = 0.22;
+  live.fresh_fqdn_per_visit = 0.35;
+  live.announce_rate_per_hour = 0.7;
+  return live;
+}
+
+}  // namespace dnh::trafficgen

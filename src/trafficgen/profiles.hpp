@@ -1,0 +1,92 @@
+// The five trace-collection vantage points of the paper's Table 1, scaled
+// to laptop size, plus the 18-day "live deployment" profile used for
+// Figs. 6, 10, 11 and Table 8.
+//
+// Scale: client counts and rates are ~1/400 of the original traces; all
+// percentage/shape results are scale-free, and each bench prints its scale
+// factor next to absolute counts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "trafficgen/world.hpp"
+#include "util/time.hpp"
+
+namespace dnh::trafficgen {
+
+/// Access technology; drives latency distributions and mobile effects.
+enum class Tech { kAdsl, kFtth, kMobile };
+
+struct TraceProfile {
+  std::string name;
+  Geo geo = Geo::kEu;
+  Tech tech = Tech::kAdsl;
+  /// Capture start, GMT time of day (Table 1 column "Start").
+  int start_hour = 0;
+  int start_minute = 0;
+  util::Duration duration = util::Duration::hours(3);
+  int n_clients = 100;
+  /// Page visits per client per hour at diurnal factor 1.0.
+  double visits_per_client_hour = 6.0;
+  /// Fraction of clients running BitTorrent alongside web traffic.
+  double p2p_client_fraction = 0.08;
+  /// Fraction of clients infected with DGA malware: bursts of random-name
+  /// resolutions, almost all NXDOMAIN (for the botnet-detection analytics;
+  /// 0 in the paper-reproduction profiles).
+  double dga_client_fraction = 0.0;
+  /// Mobile only: fraction of clients tunneling everything over
+  /// HTTPS-without-DNS (the paper's hypothesis for US-3G's lower hit rate).
+  double tunnel_client_fraction = 0.0;
+  /// Mobile only: fraction of clients that arrive mid-trace with DNS
+  /// resolved outside the monitored coverage area.
+  double mobility_fraction = 0.0;
+  /// Browser prefetch: extra DNS resolutions per page never followed by a
+  /// flow (Table 9's "useless DNS").
+  double prefetch_per_page = 3.0;
+  /// Per-resource chance the client resolved before the capture started
+  /// (never re-observed; a permanent cache-miss source).
+  double outside_resolution_prob = 0.015;
+  /// Fraction of clients whose resolver path bypasses the probe entirely
+  /// (e.g. statically configured third-party DNS routed differently).
+  double invisible_dns_client_fraction = 0.03;
+  /// Extra per-resolution miss chance for TLS services: long-lived apps
+  /// that resolved at boot (the paper's TLS rows trail HTTP slightly).
+  double tls_extra_miss = 0.02;
+  /// OS/browser DNS cache lifetime cap (paper: clients cache < ~1 h).
+  util::Duration client_cache_cap = util::Duration::minutes(60);
+  std::uint64_t seed = 1;
+  WorldConfig world;
+};
+
+/// Table 1's five traces (scaled ~1/400).
+TraceProfile profile_us_3g();
+TraceProfile profile_eu2_adsl();
+TraceProfile profile_eu1_adsl1();
+TraceProfile profile_eu1_adsl2();
+TraceProfile profile_eu1_ftth();
+
+/// EU1-ADSL2 stretched to a full 24 h (the vantage used for the Fig. 4/5
+/// timelines, which the paper plots over a day).
+TraceProfile profile_eu1_adsl2_24h();
+
+/// All five Table-1 profiles in the paper's order.
+std::vector<TraceProfile> all_table1_profiles();
+
+/// Live 18-day deployment (event mode only; Figs. 6, 10, 11, Tab. 8).
+struct LiveProfile {
+  TraceProfile base;      ///< vantage parameters (EU1-ADSL2)
+  int days = 18;
+  /// Visits/day are thinned by this factor relative to the packet profile
+  /// to keep 18 days in memory.
+  double volume_scale = 0.25;
+  /// New never-seen-before FQDNs minted per visit (drives Fig. 6's
+  /// unbounded FQDN growth against saturating 2LD/serverIP counts).
+  double fresh_fqdn_per_visit = 0.35;
+  /// Steady-state tracker re-announce rate per P2P client per hour
+  /// (seeding clients announce around the clock; Table 8, Fig. 11).
+  double announce_rate_per_hour = 1.5;
+};
+LiveProfile profile_eu1_adsl2_live();
+
+}  // namespace dnh::trafficgen

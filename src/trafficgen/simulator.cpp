@@ -1,0 +1,1162 @@
+#include "trafficgen/simulator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "dns/domain.hpp"
+#include "dns/message.hpp"
+#include "http/http.hpp"
+#include "packet/build.hpp"
+#include "pcap/pcap.hpp"
+#include "tls/handshake.hpp"
+#include "tls/x509.hpp"
+
+namespace dnh::trafficgen {
+namespace {
+
+using net::Ipv4Address;
+using util::Duration;
+using util::Timestamp;
+
+/// 2011-04-01 00:00:00 GMT — the simulated capture date (Table 1 traces
+/// are "different periods in 2011"; the live deployment ran April 2012).
+constexpr std::int64_t kTraceEpochSeconds = 1301616000;
+
+const Ipv4Address kLocalResolver{10, 200, 0, 1};
+
+/// Anonymous peer space for DNS-less BitTorrent peer-wire traffic.
+Ipv4Address random_peer_ip(util::Rng& rng) {
+  const std::uint32_t base = rng.chance(0.5) ? (2u << 24) : (5u << 24);
+  return Ipv4Address{base | static_cast<std::uint32_t>(
+                                rng.uniform(1, (1u << 24) - 2))};
+}
+
+/// The kinds of flows the generator emits.
+enum class FlowKind : std::uint8_t {
+  kHttp,
+  kTls,
+  kTracker,  ///< HTTP announce to a BitTorrent tracker
+  kPeer,     ///< BitTorrent peer-wire, no DNS
+  kTunnel,   ///< HTTPS tunnel, no DNS (mobile)
+};
+
+struct DnsSpec {
+  Timestamp query_time;
+  Timestamp response_time;
+  Ipv4Address client;
+  std::string fqdn;
+  std::vector<Ipv4Address> answers;
+  std::uint32_t ttl = 300;
+  std::uint16_t id = 0;
+};
+
+struct FlowSpec {
+  FlowKind kind = FlowKind::kHttp;
+  std::string fqdn;       ///< what DNS advertised ("" for peer/tunnel)
+  bool dns_visible = false;
+  Timestamp dns_response_time;
+  Timestamp flow_start;
+  Duration duration;
+  Ipv4Address client;
+  Ipv4Address server;
+  std::uint16_t client_port = 0;
+  std::uint16_t server_port = 0;
+  std::uint64_t request_bytes = 300;
+  std::uint64_t response_bytes = 8000;
+  bool tls_resumed = false;
+  CertKind cert = CertKind::kExactFqdn;
+  std::uint16_t client_index = 0;
+};
+
+struct CacheEntry {
+  Timestamp expiry;
+  Timestamp response_time;
+  Ipv4Address server;
+  bool visible = false;
+};
+
+struct Client {
+  Ipv4Address ip;
+  util::Rng rng{0};
+  std::uint16_t index = 0;
+  bool p2p = false;
+  bool infected = false;  ///< runs a domain-generation-algorithm bot
+  bool tunnel = false;
+  bool roaming = false;  ///< mobile device resolving outside coverage
+  bool invisible_dns = false;  ///< resolver path not covered by the probe
+  std::unordered_map<const Service*, CacheEntry> cache;
+  std::unordered_set<const Service*> tls_seen;
+  std::uint16_t next_port = 49152;
+  std::uint16_t next_dns_id = 1;
+};
+
+/// Everything produced by the behavioural core, rendered afterwards by the
+/// packet- or event-mode backends.
+struct Specs {
+  std::vector<DnsSpec> dns;
+  std::vector<FlowSpec> flows;
+  Timestamp start;
+  Timestamp end;
+};
+
+double rtt_seconds(Tech tech, util::Rng& rng) {
+  switch (tech) {
+    case Tech::kFtth: return rng.uniform_real(0.006, 0.02);
+    case Tech::kAdsl: return rng.uniform_real(0.025, 0.07);
+    case Tech::kMobile: return rng.uniform_real(0.08, 0.3);
+  }
+  return 0.05;
+}
+
+double bandwidth_bytes_per_s(Tech tech) {
+  switch (tech) {
+    case Tech::kFtth: return 3.0e6;
+    case Tech::kAdsl: return 6.0e5;
+    case Tech::kMobile: return 2.0e5;
+  }
+  return 1e6;
+}
+
+/// First-flow delay (Fig. 12): mostly sub-second, a slower mode, and a
+/// prefetch-driven heavy tail beyond 10 s.
+Duration first_flow_delay(Tech tech, util::Rng& rng) {
+  const double r = rng.uniform01();
+  double seconds;
+  const double median = tech == Tech::kFtth   ? 0.06
+                        : tech == Tech::kAdsl ? 0.12
+                                              : 0.45;
+  if (r < 0.82) {
+    seconds = median * rng.log_normal(0.0, 0.7);
+  } else if (r < 0.95) {
+    seconds = 2.0 * rng.log_normal(0.0, 0.9);
+  } else {
+    // Resolved ahead of need (browser prefetch), used much later.
+    seconds = std::exp(rng.uniform_real(std::log(10.0), std::log(900.0)));
+  }
+  return Duration::seconds(std::min(seconds, 3000.0));
+}
+
+class SimEngine {
+ public:
+  SimEngine(const TraceProfile& profile, const World& world)
+      : profile_{profile}, world_{world}, rng_{profile.seed} {
+    build_popularity_tables();
+    build_clients();
+  }
+
+  Specs generate(int days, double volume_scale, double fresh_per_visit,
+                 double announce_rate_per_hour = 0.0) {
+    Specs specs;
+    announce_rate_per_hour_ = announce_rate_per_hour;
+    start_ = Timestamp::from_seconds(kTraceEpochSeconds +
+                                     profile_.start_hour * 3600 +
+                                     profile_.start_minute * 60);
+    end_ = start_ + profile_.duration +
+           Duration::days(std::max(0, days - 1));
+    specs.start = start_;
+    specs.end = end_;
+    fresh_per_visit_ = fresh_per_visit;
+
+    warm_caches(specs);
+    for (auto& client : clients_) {
+      simulate_client(client, volume_scale, specs);
+      if (client.p2p) {
+        simulate_p2p(client, volume_scale, specs);
+        if (announce_rate_per_hour_ > 0.0)
+          simulate_seeding_announces(client, specs);
+      }
+      if (client.infected) simulate_dga_bot(client, volume_scale, specs);
+    }
+
+    std::sort(specs.dns.begin(), specs.dns.end(),
+              [](const DnsSpec& a, const DnsSpec& b) {
+                return a.response_time < b.response_time;
+              });
+    std::sort(specs.flows.begin(), specs.flows.end(),
+              [](const FlowSpec& a, const FlowSpec& b) {
+                return a.flow_start < b.flow_start;
+              });
+    return specs;
+  }
+
+ private:
+  // ---- setup -----------------------------------------------------------
+
+  void build_popularity_tables() {
+    const auto& orgs = world_.organizations();
+    org_cdf_.reserve(orgs.size());
+    double acc = 0.0;
+    for (const auto& org : orgs) {
+      acc += org.popularity;
+      org_cdf_.push_back(acc);
+    }
+    for (const auto idx : world_.third_party_orgs())
+      third_party_weights_.push_back(orgs[idx].popularity);
+    for (const auto& org : orgs) {
+      for (const auto& svc : org.services) {
+        if (svc.scheme == Service::Scheme::kTracker)
+          trackers_.push_back(&svc);
+      }
+    }
+  }
+
+  void build_clients() {
+    clients_.resize(profile_.n_clients);
+    for (int i = 0; i < profile_.n_clients; ++i) {
+      Client& c = clients_[i];
+      c.index = static_cast<std::uint16_t>(i);
+      c.ip = Ipv4Address{10, 0, static_cast<std::uint8_t>(i / 250),
+                         static_cast<std::uint8_t>(i % 250 + 1)};
+      c.rng = rng_.fork();
+      c.p2p = c.rng.chance(profile_.p2p_client_fraction);
+      c.infected = c.rng.chance(profile_.dga_client_fraction);
+      c.invisible_dns =
+          c.rng.chance(profile_.invisible_dns_client_fraction);
+      if (profile_.tech == Tech::kMobile) {
+        c.tunnel = c.rng.chance(profile_.tunnel_client_fraction);
+        c.roaming = !c.tunnel && c.rng.chance(profile_.mobility_fraction);
+      }
+    }
+  }
+
+  /// Pre-populates client caches with entries resolved before the capture
+  /// began: the sniffer never saw those responses, producing the early-
+  /// trace misses the paper describes (Sec. 3.1.2).
+  void warm_caches(Specs&) {
+    for (auto& client : clients_) {
+      const std::uint64_t entries = client.rng.poisson(5.0);
+      for (std::uint64_t i = 0; i < entries; ++i) {
+        const auto [org, svc] = pick_service(client);
+        if (!svc) continue;
+        CacheEntry entry;
+        entry.visible = false;
+        entry.response_time = start_;  // unknown to the sniffer anyway
+        entry.expiry =
+            start_ + profile_.client_cache_cap * client.rng.uniform01();
+        entry.server = pick_server(*svc, client.rng, start_, 1).front();
+        client.cache[svc] = entry;
+      }
+    }
+  }
+
+  // ---- sampling helpers -------------------------------------------------
+
+  const Organization& sample_org(util::Rng& rng) {
+    const double u = rng.uniform01() * org_cdf_.back();
+    const auto it = std::lower_bound(org_cdf_.begin(), org_cdf_.end(), u);
+    return world_.organizations()[static_cast<std::size_t>(
+        it - org_cdf_.begin())];
+  }
+
+  /// Web-browsing service choice. Tracker services are reachable only
+  /// through the P2P session path — browsers do not visit announce URLs.
+  static const Service* sample_service(const Organization& org,
+                                       util::Rng& rng) {
+    double total = 0.0;
+    for (const auto& svc : org.services) {
+      if (svc.scheme != Service::Scheme::kTracker) total += svc.weight;
+    }
+    if (total <= 0.0) return nullptr;
+    double u = rng.uniform01() * total;
+    for (const auto& svc : org.services) {
+      if (svc.scheme == Service::Scheme::kTracker) continue;
+      u -= svc.weight;
+      if (u < 0.0) return &svc;
+    }
+    return nullptr;
+  }
+
+  std::pair<const Organization*, const Service*> pick_service(
+      Client& client) {
+    const Organization& org = sample_org(client.rng);
+    return {&org, sample_service(org, client.rng)};
+  }
+
+  const Hosting& pick_hosting(const Service& svc, util::Rng& rng) {
+    double total = 0.0;
+    for (const auto& h : svc.hostings) total += h.flow_share;
+    double u = rng.uniform01() * total;
+    for (const auto& h : svc.hostings) {
+      u -= h.flow_share;
+      if (u < 0.0) return h;
+    }
+    return svc.hostings.back();
+  }
+
+  /// Selects the answer list for a DNS response at time `t`.
+  std::vector<Ipv4Address> pick_server(const Service& svc, util::Rng& rng,
+                                       Timestamp t, int want_answers) {
+    const Hosting& h = pick_hosting(svc, rng);
+    const double diurnal = diurnal_factor(t.seconds_of_day());
+    const std::size_t active = h.active_count(t.seconds_of_day(), diurnal);
+    int n = want_answers > 0
+                ? want_answers
+                : answer_count(svc, rng, static_cast<int>(active));
+    n = std::min<int>(n, static_cast<int>(active));
+    n = std::max(n, 1);
+    std::vector<Ipv4Address> out;
+    out.reserve(n);
+    // Sample without replacement from the active prefix of the pool.
+    std::unordered_set<std::size_t> used;
+    while (out.size() < static_cast<std::size_t>(n)) {
+      const std::size_t idx = rng.index(active);
+      if (used.insert(idx).second) out.push_back(h.pool[idx]);
+    }
+    return out;
+  }
+
+  static int answer_count(const Service& svc, util::Rng& rng, int active) {
+    if (svc.max_answers <= 1 || active <= 1) return 1;
+    // ~60% of responses carry one address; CDNs return bigger lists, and
+    // a rare few exceed 30 (Sec. 6).
+    if (rng.chance(0.4)) return 1;
+    if (rng.chance(0.01) && active > 30)
+      return static_cast<int>(rng.uniform(31, std::min(active, 36)));
+    const int hi = std::min(svc.max_answers, active);
+    return static_cast<int>(rng.uniform(2, static_cast<std::uint64_t>(
+                                               std::max(2, hi))));
+  }
+
+  // ---- behaviour --------------------------------------------------------
+
+  void simulate_client(Client& client, double volume_scale, Specs& specs) {
+    const double max_rate =
+        profile_.visits_per_client_hour * volume_scale / 3600.0;
+    if (max_rate <= 0.0) return;
+    double t = static_cast<double>(start_.seconds_since_epoch());
+    const double t_end = static_cast<double>(end_.seconds_since_epoch());
+    while (true) {
+      t += client.rng.exponential(1.0 / max_rate);
+      if (t >= t_end) break;
+      const auto now = Timestamp::from_micros(
+          static_cast<std::int64_t>(t * 1e6));
+      // Thinning: accept proportionally to the diurnal factor.
+      if (!client.rng.chance(diurnal_factor(now.seconds_of_day()))) continue;
+      visit_page(client, now, specs);
+    }
+  }
+
+  void visit_page(Client& client, Timestamp t, Specs& specs) {
+    const auto [org, primary] = pick_service(client);
+    if (!primary) return;
+    fetch(client, *org, *primary, t, /*useless=*/false, specs);
+
+    // Embedded resources: same-org assets plus third-party content
+    // (ads, CDNs) — the cross-organization tangle.
+    const std::uint64_t embedded = client.rng.poisson(2.2);
+    for (std::uint64_t i = 0; i < embedded; ++i) {
+      const Timestamp et =
+          t + Duration::seconds(client.rng.uniform_real(0.05, 2.0));
+      if (client.rng.chance(0.6)) {
+        const Service* svc = sample_service(*org, client.rng);
+        if (svc) fetch(client, *org, *svc, et, false, specs);
+      } else if (!third_party_weights_.empty()) {
+        const auto idx = client.rng.weighted_index(third_party_weights_);
+        const Organization& tp =
+            world_.organizations()[world_.third_party_orgs()[idx]];
+        const Service* svc = sample_service(tp, client.rng);
+        if (svc) fetch(client, tp, *svc, et, false, specs);
+      }
+    }
+
+    // Browser prefetch: resolutions never followed by a flow (Tab. 9).
+    const std::uint64_t prefetch =
+        client.rng.poisson(profile_.prefetch_per_page);
+    for (std::uint64_t i = 0; i < prefetch; ++i) {
+      const auto [porg, psvc] = pick_service(client);
+      if (psvc)
+        fetch(client, *porg, *psvc,
+              t + Duration::seconds(client.rng.uniform_real(0.02, 0.8)),
+              /*useless=*/true, specs);
+    }
+
+    // Live mode: mint a never-seen FQDN (new content appearing on the
+    // Internet every day — Fig. 6's unbounded growth).
+    if (fresh_per_visit_ > 0.0 && client.rng.chance(fresh_per_visit_))
+      fetch_fresh(client, t, specs);
+  }
+
+  void fetch(Client& client, const Organization& org, const Service& svc,
+             Timestamp t, bool useless, Specs& specs) {
+    if (client.tunnel && svc.scheme != Service::Scheme::kTracker) {
+      // Tunnels multiplex page loads over a few long-lived connections:
+      // only a fraction of fetches opens a fresh flow.
+      if (!useless && client.rng.chance(0.3)) emit_tunnel_flow(client, t, specs);
+      return;
+    }
+
+    bool visible = false;
+    Timestamp response_time = t;
+    Ipv4Address server;
+
+    const auto cached = client.cache.find(&svc);
+    if (cached != client.cache.end() && cached->second.expiry > t) {
+      visible = cached->second.visible;
+      response_time = cached->second.response_time;
+      server = cached->second.server;
+    } else {
+      // Fresh resolution. Some happen outside the monitored path: before
+      // the capture, via another network (roaming), or a tunnel resolver.
+      const bool outside =
+          client.invisible_dns ||
+          client.rng.chance(profile_.outside_resolution_prob) ||
+          (client.roaming && client.rng.chance(0.7)) ||
+          (svc.scheme == Service::Scheme::kTls &&
+           client.rng.chance(profile_.tls_extra_miss));
+      const Duration latency =
+          Duration::seconds(0.005 + client.rng.exponential(0.025));
+      response_time = t + latency;
+      const auto answers = pick_server(svc, client.rng, t, 0);
+      server = answers[client.rng.index(answers.size())];
+      visible = !outside;
+      if (visible) {
+        DnsSpec dns;
+        dns.query_time = t;
+        dns.response_time = response_time;
+        dns.client = client.ip;
+        dns.fqdn = svc.fqdn;
+        dns.answers = answers;
+        dns.ttl = svc.dns_ttl;
+        dns.id = client.next_dns_id++;
+        specs.dns.push_back(std::move(dns));
+      }
+      CacheEntry entry;
+      entry.visible = visible;
+      entry.response_time = response_time;
+      entry.server = server;
+      const double cap_seconds =
+          profile_.client_cache_cap.total_seconds() *
+          client.rng.uniform_real(0.5, 1.0);
+      entry.expiry =
+          response_time +
+          Duration::seconds(std::min<double>(svc.dns_ttl, cap_seconds));
+      client.cache[&svc] = entry;
+    }
+    if (useless) return;
+
+    FlowSpec flow;
+    flow.client = client.ip;
+    flow.client_index = client.index;
+    flow.server = server;
+    flow.server_port = svc.port;
+    flow.client_port = next_port(client);
+    flow.fqdn = svc.fqdn;
+    flow.dns_visible = visible;
+    flow.dns_response_time = response_time;
+    flow.flow_start =
+        response_time + first_flow_delay(profile_.tech, client.rng);
+    flow.cert = svc.cert;
+
+    switch (svc.scheme) {
+      case Service::Scheme::kHttp:
+        flow.kind = FlowKind::kHttp;
+        flow.response_bytes = sized_response(org, client.rng);
+        break;
+      case Service::Scheme::kTls:
+        flow.kind = FlowKind::kTls;
+        flow.response_bytes = sized_response(org, client.rng) * 3 / 4;
+        flow.tls_resumed = !client.tls_seen.insert(&svc).second &&
+                           client.rng.chance(0.75);
+        break;
+      case Service::Scheme::kTracker:
+        flow.kind = FlowKind::kTracker;
+        flow.request_bytes = 600 + client.rng.index(300);
+        flow.response_bytes = 400 + client.rng.index(1600);
+        break;
+    }
+    finish_flow(flow, client.rng);
+    specs.flows.push_back(std::move(flow));
+  }
+
+  /// A brand-new FQDN under an existing content platform.
+  void fetch_fresh(Client& client, Timestamp t, Specs& specs) {
+    struct FreshBase {
+      const char* sld;
+      const char* prefix;
+    };
+    static const FreshBase bases[] = {
+        {"cloudfront.net", "d"},      {"blogspot.com", "blog-n"},
+        {"fbcdn.net", "photos-n"},    {"amazonaws.com", "bucket-"},
+    };
+    const auto& base = bases[client.rng.index(4)];
+    const Organization* org = world_.find(base.sld);
+    if (!org || org->services.empty()) return;
+    const Service& tmpl = org->services.front();
+
+    const std::string fqdn = std::string{base.prefix} +
+                             std::to_string(fresh_counter_++) + "." +
+                             base.sld;
+    const Duration latency = Duration::seconds(0.02);
+    const auto answers = pick_server(tmpl, client.rng, t, 0);
+
+    DnsSpec dns;
+    dns.query_time = t;
+    dns.response_time = t + latency;
+    dns.client = client.ip;
+    dns.fqdn = fqdn;
+    dns.answers = answers;
+    dns.ttl = tmpl.dns_ttl;
+    specs.dns.push_back(dns);
+
+    FlowSpec flow;
+    flow.kind = FlowKind::kHttp;
+    flow.client = client.ip;
+    flow.client_index = client.index;
+    flow.server = answers[client.rng.index(answers.size())];
+    flow.server_port = 80;
+    flow.client_port = next_port(client);
+    flow.fqdn = fqdn;
+    flow.dns_visible = true;
+    flow.dns_response_time = dns.response_time;
+    flow.flow_start =
+        dns.response_time + first_flow_delay(profile_.tech, client.rng);
+    flow.response_bytes = 4000 + client.rng.index(30000);
+    finish_flow(flow, client.rng);
+    specs.flows.push_back(std::move(flow));
+  }
+
+  void emit_tunnel_flow(Client& client, Timestamp t, Specs& specs) {
+    FlowSpec flow;
+    flow.kind = FlowKind::kTunnel;
+    flow.client = client.ip;
+    flow.client_index = client.index;
+    // A handful of stable tunnel endpoints outside any CDN block.
+    flow.server = Ipv4Address{198, 51, 100,
+                              static_cast<std::uint8_t>(
+                                  1 + client.rng.index(4))};
+    flow.server_port = 443;
+    flow.client_port = next_port(client);
+    flow.flow_start = t + Duration::seconds(client.rng.uniform_real(0, 0.2));
+    flow.response_bytes = 5000 + client.rng.index(60000);
+    flow.tls_resumed = client.rng.chance(0.6);
+    finish_flow(flow, client.rng);
+    specs.flows.push_back(std::move(flow));
+  }
+
+  void simulate_p2p(Client& client, double volume_scale, Specs& specs) {
+    const double rate = 1.4 * volume_scale / 3600.0;
+    double t = static_cast<double>(start_.seconds_since_epoch());
+    const double t_end = static_cast<double>(end_.seconds_since_epoch());
+    const bool mobile = profile_.tech == Tech::kMobile;
+    while (true) {
+      t += client.rng.exponential(1.0 / rate);
+      if (t >= t_end) break;
+      const auto now =
+          Timestamp::from_micros(static_cast<std::int64_t>(t * 1e6));
+      // Tracker announce (mobile BT is tracker-heavy, Tab. 2's 8%).
+      if (!trackers_.empty() && client.rng.chance(mobile ? 0.4 : 0.12)) {
+        const Service* tracker = pick_tracker(client, now);
+        if (tracker) {
+          const Organization* torg = owner_of(tracker);
+          if (torg) fetch(client, *torg, *tracker, now, false, specs);
+        }
+      }
+      // Peer-wire flows: no DNS anywhere near them.
+      const std::uint64_t peers =
+          mobile ? 2 + client.rng.index(4) : 4 + client.rng.index(8);
+      for (std::uint64_t i = 0; i < peers; ++i) {
+        FlowSpec flow;
+        flow.kind = FlowKind::kPeer;
+        flow.client = client.ip;
+        flow.client_index = client.index;
+        flow.server = random_peer_ip(client.rng);
+        flow.server_port =
+            client.rng.chance(0.5)
+                ? static_cast<std::uint16_t>(6881 + client.rng.index(119))
+                : static_cast<std::uint16_t>(20000 + client.rng.index(40000));
+        flow.client_port = next_port(client);
+        flow.flow_start =
+            now + Duration::seconds(client.rng.uniform_real(0.1, 90.0));
+        flow.request_bytes = 68 + client.rng.index(4000);
+        flow.response_bytes = static_cast<std::uint64_t>(
+            client.rng.pareto(2000.0, 0.9));
+        flow.response_bytes = std::min<std::uint64_t>(flow.response_bytes,
+                                                      8ull << 20);
+        finish_flow(flow, client.rng);
+        specs.flows.push_back(std::move(flow));
+      }
+    }
+  }
+
+  /// A DGA-infected host: periodic bursts of algorithmically generated
+  /// name resolutions, nearly all NXDOMAIN, with the occasional registered
+  /// rendezvous domain followed by a C&C flow.
+  void simulate_dga_bot(Client& client, double volume_scale, Specs& specs) {
+    const double rate = 2.5 * volume_scale / 3600.0;  // bursts per hour
+    double t = static_cast<double>(start_.seconds_since_epoch());
+    const double t_end = static_cast<double>(end_.seconds_since_epoch());
+    const Ipv4Address cnc{198, 18, 0,
+                          static_cast<std::uint8_t>(
+                              1 + client.rng.index(4))};
+    while (true) {
+      t += client.rng.exponential(1.0 / rate);
+      if (t >= t_end) break;
+      const std::uint64_t burst = 8 + client.rng.index(25);
+      for (std::uint64_t i = 0; i < burst; ++i) {
+        const auto now = Timestamp::from_micros(
+            static_cast<std::int64_t>(t * 1e6) +
+            static_cast<std::int64_t>(i) * 150'000);
+        DnsSpec dns;
+        dns.query_time = now;
+        dns.response_time = now + Duration::millis(30);
+        dns.client = client.ip;
+        dns.fqdn = random_dga_name(client.rng);
+        dns.ttl = 60;
+        dns.id = client.next_dns_id++;
+        // ~1 in 25 candidates is registered: the C&C rendezvous.
+        const bool registered = client.rng.chance(0.04);
+        if (registered) dns.answers = {cnc};
+        specs.dns.push_back(dns);
+        if (registered) {
+          FlowSpec flow;
+          flow.kind = FlowKind::kHttp;
+          flow.client = client.ip;
+          flow.client_index = client.index;
+          flow.server = cnc;
+          flow.server_port = 80;
+          flow.client_port = next_port(client);
+          flow.fqdn = specs.dns.back().fqdn;
+          flow.dns_visible = true;
+          flow.dns_response_time = dns.response_time;
+          flow.flow_start = dns.response_time + Duration::millis(120);
+          flow.request_bytes = 400;
+          flow.response_bytes = 900 + client.rng.index(4000);
+          finish_flow(flow, client.rng);
+          specs.flows.push_back(std::move(flow));
+        }
+      }
+    }
+  }
+
+  static std::string random_dga_name(util::Rng& rng) {
+    static const char* tlds[] = {".com", ".net", ".info", ".biz", ".ru"};
+    const std::size_t len = 9 + rng.index(8);
+    std::string label;
+    for (std::size_t i = 0; i < len; ++i) {
+      if (rng.chance(0.12))
+        label += static_cast<char>('0' + rng.uniform(0, 9));
+      else
+        label += static_cast<char>('a' + rng.uniform(0, 25));
+    }
+    return label + tlds[rng.index(5)];
+  }
+
+  /// Long-lived seeding: periodic tracker re-announces around the clock
+  /// (the mechanism behind Table 8's tracker-flow dominance and the
+  /// always-on rows of Fig. 11).
+  void simulate_seeding_announces(Client& client, Specs& specs) {
+    if (trackers_.empty()) return;
+    double t = static_cast<double>(start_.seconds_since_epoch());
+    const double t_end = static_cast<double>(end_.seconds_since_epoch());
+    const double rate = announce_rate_per_hour_ / 3600.0;
+    while (true) {
+      t += client.rng.exponential(1.0 / rate);
+      if (t >= t_end) break;
+      const auto now =
+          Timestamp::from_micros(static_cast<std::int64_t>(t * 1e6));
+      const Service* tracker = pick_tracker(client, now);
+      if (!tracker) continue;
+      const Organization* torg = owner_of(tracker);
+      if (torg) fetch(client, *torg, *tracker, now, false, specs);
+    }
+  }
+
+  /// Tracker selection with the Fig. 11 activity schedule.
+  const Service* pick_tracker(Client& client, Timestamp t) {
+    for (int attempt = 0; attempt < 6; ++attempt) {
+      double total = 0.0;
+      for (const auto* svc : trackers_) total += svc->weight;
+      double u = client.rng.uniform01() * total;
+      const Service* chosen = trackers_.back();
+      for (const auto* svc : trackers_) {
+        u -= svc->weight;
+        if (u < 0.0) {
+          chosen = svc;
+          break;
+        }
+      }
+      if (tracker_active(*chosen, t, client.rng)) return chosen;
+    }
+    return nullptr;
+  }
+
+  bool tracker_active(const Service& svc, Timestamp t, util::Rng& rng) {
+    if (svc.activity_group < 0) return true;  // non-appspot trackers
+    const std::int64_t day =
+        (t.seconds_since_epoch() - start_.seconds_since_epoch()) / 86400;
+    if (day < svc.first_day) return false;
+    switch (svc.activity_group) {
+      case 0:
+        return true;
+      case 1: {
+        // Synchronized on/off: the whole group shares 4-hour windows.
+        const std::int64_t window = t.seconds_since_epoch() / (4 * 3600);
+        return (window * 2654435761u % 5) < 3;
+      }
+      default:
+        // Zombie after a 6-day life: clients still poke it occasionally.
+        if (day < svc.first_day + 6) return true;
+        return rng.chance(0.22);
+    }
+  }
+
+  const Organization* owner_of(const Service* svc) const {
+    for (const auto& org : world_.organizations()) {
+      if (!org.services.empty() && svc >= &org.services.front() &&
+          svc <= &org.services.back())
+        return &org;
+    }
+    return nullptr;
+  }
+
+  std::uint64_t sized_response(const Organization& org, util::Rng& rng) {
+    // Video sites transfer far more than pages/assets.
+    const bool video =
+        org.sld == "youtube.com" || org.sld == "dailymotion.com";
+    const double median = video ? 400e3 : 18e3;
+    const double v = median * rng.log_normal(0.0, 1.1);
+    return static_cast<std::uint64_t>(std::min(v, 50e6));
+  }
+
+  void finish_flow(FlowSpec& flow, util::Rng& rng) {
+    const double transfer =
+        static_cast<double>(flow.request_bytes + flow.response_bytes) /
+        bandwidth_bytes_per_s(profile_.tech);
+    flow.duration = Duration::seconds(
+        0.05 + transfer + rng.exponential(0.5));
+  }
+
+  std::uint16_t next_port(Client& client) {
+    const std::uint16_t port = client.next_port;
+    client.next_port =
+        client.next_port >= 65500 ? 49152 : client.next_port + 1;
+    return port;
+  }
+
+  const TraceProfile& profile_;
+  const World& world_;
+  util::Rng rng_;
+  std::vector<Client> clients_;
+  std::vector<double> org_cdf_;
+  std::vector<double> third_party_weights_;
+  std::vector<const Service*> trackers_;
+  Timestamp start_;
+  Timestamp end_;
+  double fresh_per_visit_ = 0.0;
+  double announce_rate_per_hour_ = 0.0;
+  std::uint64_t fresh_counter_ = 1;
+};
+
+}  // namespace
+
+namespace {
+
+// ---- packet-mode rendering ------------------------------------------------
+
+/// Renders specs into wire frames. Data volume is represented with
+/// LRO-style super-MTU segments (up to ~60 kB claimed per frame), which a
+/// flow meter counting IP total-length sees identically to per-MTU frames.
+class PacketRenderer {
+ public:
+  PacketRenderer(const TraceProfile& profile, std::uint64_t seed)
+      : profile_{profile}, rng_{seed} {}
+
+  std::optional<PcapStats> render(const Specs& specs,
+                                  const std::string& path) {
+    frames_.reserve(specs.dns.size() * 2 + specs.flows.size() * 9);
+    for (const auto& dns : specs.dns) render_dns(dns);
+    for (const auto& flow : specs.flows) render_flow(flow);
+
+    std::stable_sort(frames_.begin(), frames_.end(),
+                     [](const pcap::Frame& a, const pcap::Frame& b) {
+                       return a.timestamp < b.timestamp;
+                     });
+    auto writer = pcap::Writer::create(path);
+    if (!writer) return std::nullopt;
+    for (const auto& frame : frames_) writer->write(frame);
+    writer->flush();
+
+    PcapStats stats;
+    stats.frames = frames_.size();
+    stats.tcp_flows = specs.flows.size();
+    stats.dns_responses = specs.dns.size();
+    stats.dns_queries = specs.dns.size();
+    // Peak responses per minute (Table 1).
+    std::unordered_map<std::int64_t, std::uint64_t> per_min;
+    for (const auto& dns : specs.dns)
+      ++per_min[dns.response_time.seconds_since_epoch() / 60];
+    for (const auto& [min, count] : per_min)
+      stats.peak_dns_per_min = std::max(stats.peak_dns_per_min, count);
+    return stats;
+  }
+
+ private:
+  static net::MacAddress client_mac(std::uint16_t index) {
+    return net::MacAddress::from_index(1000u + index);
+  }
+  static net::MacAddress gateway_mac() {
+    return net::MacAddress::from_index(1);
+  }
+
+  void push(Timestamp ts, net::Bytes frame) {
+    frames_.push_back(packet::make_pcap_frame(ts, std::move(frame)));
+  }
+
+  packet::FrameSpec spec_c2s(const FlowSpec& flow) {
+    packet::FrameSpec s;
+    s.src_mac = client_mac(flow.client_index);
+    s.dst_mac = gateway_mac();
+    s.src_ip = flow.client;
+    s.dst_ip = flow.server;
+    s.src_port = flow.client_port;
+    s.dst_port = flow.server_port;
+    s.ip_id = static_cast<std::uint16_t>(ip_id_++);
+    return s;
+  }
+
+  packet::FrameSpec flip(const packet::FrameSpec& s) {
+    packet::FrameSpec r = s;
+    std::swap(r.src_mac, r.dst_mac);
+    std::swap(r.src_ip, r.dst_ip);
+    std::swap(r.src_port, r.dst_port);
+    r.ip_id = static_cast<std::uint16_t>(ip_id_++);
+    r.ttl = 57;
+    return r;
+  }
+
+  void render_dns(const DnsSpec& dns) {
+    const auto name = dns::DnsName::from_string(dns.fqdn);
+    if (!name) return;  // unrepresentable name: skip
+
+    packet::FrameSpec q;
+    q.src_mac = gateway_mac();  // client-side MAC unknown here; harmless
+    q.dst_mac = gateway_mac();
+    q.src_ip = dns.client;
+    q.dst_ip = kLocalResolver;
+    q.src_port = static_cast<std::uint16_t>(
+        30000 + (dns.id * 2654435761u) % 20000);
+    q.dst_port = dns::kDnsPort;
+    const auto query = dns::make_query(dns.id, *name);
+    push(dns.query_time, packet::build_udp_frame(q, query.encode()));
+
+    packet::FrameSpec r = q;
+    std::swap(r.src_ip, r.dst_ip);
+    std::swap(r.src_port, r.dst_port);
+    const auto response =
+        dns::make_a_response(dns.id, *name, dns.answers, dns.ttl);
+
+    // Big answer lists do not fit a 512-byte UDP response: answer with
+    // TC=1 and retry over TCP (RFC 1035 4.2), exercising the sniffer's
+    // TCP-DNS reassembly exactly as real resolvers do.
+    if (dns.answers.size() > 14) {
+      dns::DnsMessage truncated;
+      truncated.id = dns.id;
+      truncated.is_response = true;
+      truncated.truncated = true;
+      truncated.questions.push_back(
+          {*name, dns::RecordType::kA, dns::RecordClass::kIn});
+      push(dns.response_time,
+           packet::build_udp_frame(r, truncated.encode()));
+      render_tcp_dns_retry(q, dns, response,
+                           dns.response_time + Duration::millis(2));
+      return;
+    }
+    push(dns.response_time, packet::build_udp_frame(r, response.encode()));
+  }
+
+  /// TCP retry after a truncated UDP answer: handshake, length-prefixed
+  /// query and response, teardown.
+  void render_tcp_dns_retry(const packet::FrameSpec& base,
+                            const DnsSpec& dns,
+                            const dns::DnsMessage& response, Timestamp t0) {
+    using namespace packet::tcpflags;
+    packet::FrameSpec c2s = base;
+    c2s.src_port = static_cast<std::uint16_t>(40000 + dns.id % 20000);
+    packet::FrameSpec s2c = c2s;
+    std::swap(s2c.src_ip, s2c.dst_ip);
+    std::swap(s2c.src_port, s2c.dst_port);
+    const Duration step = Duration::millis(3);
+
+    push(t0, packet::build_tcp_frame(c2s, kSyn, 0, 0, {}));
+    push(t0 + step, packet::build_tcp_frame(s2c, kSyn | kAck, 0, 1, {}));
+    push(t0 + step * 2.0, packet::build_tcp_frame(c2s, kAck, 1, 1, {}));
+
+    auto framed = [](const net::Bytes& wire) {
+      net::ByteWriter w;
+      w.write_u16(static_cast<std::uint16_t>(wire.size()));
+      w.write_bytes(wire);
+      return w.take();
+    };
+    const auto name = dns::DnsName::from_string(dns.fqdn);
+    const net::Bytes query =
+        framed(dns::make_query(dns.id, *name).encode());
+    push(t0 + step * 3.0,
+         packet::build_tcp_frame(c2s, kAck | kPsh, 1, 1, query));
+    const net::Bytes answer = framed(response.encode());
+    // Split the response across two segments to exercise reassembly.
+    const std::size_t half = answer.size() / 2;
+    const net::BytesView first{answer.data(), half};
+    const net::BytesView second{answer.data() + half, answer.size() - half};
+    push(t0 + step * 4.0,
+         packet::build_tcp_frame(s2c, kAck | kPsh, 1,
+                                 static_cast<std::uint32_t>(1 + query.size()),
+                                 first));
+    push(t0 + step * 5.0,
+         packet::build_tcp_frame(s2c, kAck | kPsh,
+                                 static_cast<std::uint32_t>(1 + half),
+                                 static_cast<std::uint32_t>(1 + query.size()),
+                                 second));
+    push(t0 + step * 6.0, packet::build_tcp_frame(c2s, kFin | kAck, 9, 9, {}));
+    push(t0 + step * 7.0, packet::build_tcp_frame(s2c, kFin | kAck, 9, 10, {}));
+  }
+
+  /// Emits data-bearing packets claiming `total` wire bytes.
+  void render_data(const packet::FrameSpec& spec, Timestamp from,
+                   Duration span, std::uint64_t total, std::uint32_t seq0) {
+    constexpr std::uint64_t kChunk = 60000;
+    const int packets = static_cast<int>(
+        std::min<std::uint64_t>((total + kChunk - 1) / kChunk, 1000));
+    if (packets == 0) return;
+    std::uint64_t remaining = total;
+    std::uint32_t seq = seq0;
+    for (int i = 0; i < packets; ++i) {
+      const std::uint32_t claim = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(remaining, kChunk));
+      remaining -= claim;
+      const Timestamp ts =
+          from + span * (static_cast<double>(i) /
+                         static_cast<double>(packets));
+      push(ts, packet::build_tcp_frame(spec, packet::tcpflags::kAck, seq, 1,
+                                       {}, claim));
+      seq += claim;
+    }
+  }
+
+  const net::Bytes& certificate_for(const FlowSpec& flow) {
+    const std::string sld{dns::second_level_domain(flow.fqdn)};
+    std::string cn;
+    switch (flow.cert) {
+      case CertKind::kExactFqdn: cn = flow.fqdn; break;
+      case CertKind::kWildcardSld: cn = "*." + sld; break;
+      case CertKind::kCdnName: cn = "a248.e.akamai.net"; break;
+      case CertKind::kOtherService:
+        // A hosting platform's default certificate: names neither the
+        // service nor its organization (shared-SSL tenancy).
+        cn = "shared-ssl-" +
+             std::to_string(std::hash<std::string>{}(sld) % 64) +
+             ".simhosting.net";
+        break;
+    }
+    auto [it, inserted] = cert_cache_.try_emplace(cn);
+    if (inserted) {
+      std::vector<std::string> san;
+      if (flow.cert == CertKind::kWildcardSld) san = {"*." + sld, sld};
+      it->second = tls::build_certificate(cn, "SimTrust CA", san,
+                                          cert_cache_.size());
+    }
+    return it->second;
+  }
+
+  void render_flow(const FlowSpec& flow) {
+    using namespace packet::tcpflags;
+    const auto c2s = spec_c2s(flow);
+    const auto s2c = flip(c2s);
+    const Duration rtt = Duration::seconds(rtt_seconds(profile_.tech, rng_));
+    const Timestamp t0 = flow.flow_start;
+    // Teardown strictly follows the request/response exchange even for
+    // short flows on high-RTT links.
+    const Timestamp t_end = std::max(
+        t0 + flow.duration, t0 + rtt * 2.0 + Duration::millis(20));
+
+    push(t0, packet::build_tcp_frame(c2s, kSyn, 0, 0, {}));
+    push(t0 + rtt * 0.5, packet::build_tcp_frame(s2c, kSyn | kAck, 0, 1, {}));
+    push(t0 + rtt, packet::build_tcp_frame(c2s, kAck, 1, 1, {}));
+
+    const Timestamp t_req = t0 + rtt + Duration::millis(2);
+    const Timestamp t_resp = t_req + rtt;
+    net::Bytes request;
+    net::Bytes response_head;
+    std::uint64_t req_extra = 0;
+    std::uint64_t resp_extra = flow.response_bytes;
+
+    switch (flow.kind) {
+      case FlowKind::kHttp: {
+        request = http::build_get(flow.fqdn, random_path());
+        response_head = http::build_response(
+            200, flow.response_bytes,
+            rng_.chance(0.4) ? "image/jpeg" : "text/html");
+        break;
+      }
+      case FlowKind::kTracker: {
+        std::string path = "/announce?info_hash=";
+        for (int i = 0; i < 20; ++i) {
+          char hex[4];
+          std::snprintf(hex, sizeof hex, "%%%02x",
+                        static_cast<unsigned>(rng_.uniform(0, 255)));
+          path += hex;
+        }
+        path += "&port=6881&uploaded=0&downloaded=0";
+        request = http::build_get(flow.fqdn, path);
+        response_head = http::build_response(200, flow.response_bytes,
+                                             "text/plain");
+        break;
+      }
+      case FlowKind::kTls:
+      case FlowKind::kTunnel: {
+        const bool sni =
+            flow.kind == FlowKind::kTls && rng_.chance(0.96);
+        request = tls::build_client_hello(sni ? flow.fqdn : "");
+        if (flow.tls_resumed) {
+          response_head = tls::build_server_flight({});
+        } else if (flow.kind == FlowKind::kTunnel) {
+          response_head = tls::build_server_flight(
+              {tls::build_certificate("tunnel-gw.example-vpn.net",
+                                      "SimTrust CA")});
+        } else {
+          response_head = tls::build_server_flight({certificate_for(flow)});
+        }
+        req_extra = flow.request_bytes;
+        break;
+      }
+      case FlowKind::kPeer: {
+        request.assign(68, 0);
+        const char* proto = "\x13" "BitTorrent protocol";
+        std::copy(proto, proto + 20, request.begin());
+        response_head = request;
+        for (std::size_t i = 20; i < 68; ++i) {
+          request[i] = static_cast<std::uint8_t>(rng_.next_u64());
+          response_head[i] = static_cast<std::uint8_t>(rng_.next_u64());
+        }
+        req_extra = flow.request_bytes > 68 ? flow.request_bytes - 68 : 0;
+        break;
+      }
+    }
+
+    push(t_req, packet::build_tcp_frame(c2s, kAck | kPsh, 1, 1, request));
+    if (req_extra > 0)
+      render_data(c2s, t_req + Duration::millis(5),
+                  (t_end - t_req) * 0.45, req_extra,
+                  static_cast<std::uint32_t>(1 + request.size()));
+    push(t_resp,
+         packet::build_tcp_frame(s2c, kAck | kPsh, 1,
+                                 static_cast<std::uint32_t>(
+                                     1 + request.size()),
+                                 response_head));
+    if (resp_extra > 0)
+      render_data(s2c, t_resp + Duration::millis(5),
+                  (t_end - t_resp) * 0.9, resp_extra,
+                  static_cast<std::uint32_t>(1 + response_head.size()));
+
+    push(t_end, packet::build_tcp_frame(c2s, kFin | kAck, 9, 9, {}));
+    push(t_end + rtt * 0.5,
+         packet::build_tcp_frame(s2c, kFin | kAck, 9, 10, {}));
+  }
+
+  std::string random_path() {
+    const char* paths[] = {"/",          "/index.html", "/img/logo.png",
+                           "/style.css", "/api/v1/feed", "/watch?v=",
+                           "/static/js/app.js"};
+    return paths[rng_.index(7)];
+  }
+
+  const TraceProfile& profile_;
+  util::Rng rng_;
+  std::vector<pcap::Frame> frames_;
+  std::unordered_map<std::string, net::Bytes> cert_cache_;
+  std::uint32_t ip_id_ = 1;
+};
+
+// ---- event-mode rendering --------------------------------------------------
+
+EventTrace render_events(const Specs& specs) {
+  EventTrace out;
+  out.start = specs.start;
+  out.end = specs.end;
+  out.dns_log.reserve(specs.dns.size());
+  for (const auto& dns : specs.dns)
+    out.dns_log.push_back({dns.response_time, dns.client, dns.fqdn,
+                           dns.answers});
+
+  for (const auto& flow : specs.flows) {
+    core::TaggedFlow tagged;
+    tagged.key.client_ip = flow.client;
+    tagged.key.server_ip = flow.server;
+    tagged.key.client_port = flow.client_port;
+    tagged.key.server_port = flow.server_port;
+    tagged.key.transport = flow::Transport::kTcp;
+    tagged.first_packet = flow.flow_start;
+    tagged.last_packet = flow.flow_start + flow.duration;
+
+    const std::uint64_t resp_packets = 3 + flow.response_bytes / 60000 + 1;
+    const std::uint64_t req_packets = 4 + flow.request_bytes / 60000;
+    tagged.packets_c2s = req_packets;
+    tagged.packets_s2c = resp_packets;
+    tagged.bytes_c2s = flow.request_bytes + req_packets * 40;
+    tagged.bytes_s2c = flow.response_bytes + resp_packets * 40;
+
+    switch (flow.kind) {
+      case FlowKind::kHttp:
+        tagged.protocol = flow::ProtocolClass::kHttp;
+        break;
+      case FlowKind::kTls:
+      case FlowKind::kTunnel:
+        tagged.protocol = flow::ProtocolClass::kTls;
+        break;
+      case FlowKind::kTracker:
+      case FlowKind::kPeer:
+        tagged.protocol = flow::ProtocolClass::kP2p;
+        break;
+    }
+    const bool labelable =
+        flow.kind != FlowKind::kPeer && flow.kind != FlowKind::kTunnel;
+    if (labelable && flow.dns_visible) {
+      tagged.fqdn = flow.fqdn;
+      tagged.dns_response_time = flow.dns_response_time;
+      tagged.tagged_at_start = true;
+    }
+    out.db.add(std::move(tagged));
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---- Simulator public API ---------------------------------------------------
+
+Simulator::Simulator(TraceProfile profile)
+    : profile_{std::move(profile)}, world_{World::build(profile_.world)} {}
+
+util::Timestamp Simulator::start_time() const noexcept {
+  return Timestamp::from_seconds(kTraceEpochSeconds +
+                                 profile_.start_hour * 3600 +
+                                 profile_.start_minute * 60);
+}
+
+std::optional<PcapStats> Simulator::write_pcap(const std::string& path) {
+  SimEngine engine{profile_, world_};
+  const Specs specs = engine.generate(1, 1.0, 0.0);
+  PacketRenderer renderer{profile_, profile_.seed ^ 0x9e3779b9};
+  return renderer.render(specs, path);
+}
+
+EventTrace Simulator::run_events(int days, double volume_scale,
+                                 double fresh_fqdn_per_visit) {
+  SimEngine engine{profile_, world_};
+  const Specs specs =
+      engine.generate(days, volume_scale, fresh_fqdn_per_visit);
+  return render_events(specs);
+}
+
+EventTrace Simulator::run_live(const LiveProfile& live) {
+  SimEngine engine{profile_, world_};
+  const Specs specs =
+      engine.generate(live.days, live.volume_scale,
+                      live.fresh_fqdn_per_visit, live.announce_rate_per_hour);
+  return render_events(specs);
+}
+
+}  // namespace dnh::trafficgen

@@ -1,0 +1,69 @@
+// The vantage-point simulator: turns a World + TraceProfile into either a
+// wire-true pcap capture (packet mode — what the Sniffer consumes) or an
+// ideal-sniffer event trace (event mode — for the 18-day live-deployment
+// analytics where emitting every packet would be wasteful).
+//
+// Both modes share the same behavioural core (client DNS caches, page
+// loads, prefetching, CDN answer selection, P2P sessions), so shapes agree
+// between them.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/flowdb.hpp"
+#include "core/sniffer.hpp"
+#include "trafficgen/profiles.hpp"
+#include "trafficgen/world.hpp"
+#include "util/time.hpp"
+
+namespace dnh::trafficgen {
+
+/// Packet-mode result summary.
+struct PcapStats {
+  std::uint64_t frames = 0;
+  std::uint64_t tcp_flows = 0;
+  std::uint64_t dns_responses = 0;
+  std::uint64_t dns_queries = 0;
+  /// Peak DNS responses in any one minute (Table 1's "Peak DNS rate").
+  std::uint64_t peak_dns_per_min = 0;
+};
+
+/// Event-mode result: what a loss-free sniffer would have produced.
+struct EventTrace {
+  core::FlowDatabase db;
+  std::vector<core::DnsEvent> dns_log;
+  util::Timestamp start;
+  util::Timestamp end;
+};
+
+class Simulator {
+ public:
+  explicit Simulator(TraceProfile profile);
+
+  const World& world() const noexcept { return world_; }
+  const TraceProfile& profile() const noexcept { return profile_; }
+
+  /// Capture start instant (profile start time on the simulated date).
+  util::Timestamp start_time() const noexcept;
+
+  /// Generates the capture into a pcap file at `path`. Deterministic for a
+  /// given profile. Returns nullopt if the file cannot be created.
+  std::optional<PcapStats> write_pcap(const std::string& path);
+
+  /// Runs `days` of traffic in event mode. `volume_scale` thins visit
+  /// rates; `fresh_fqdn_per_visit` mints never-seen FQDNs (Fig. 6).
+  EventTrace run_events(int days = 1, double volume_scale = 1.0,
+                        double fresh_fqdn_per_visit = 0.0);
+
+  /// Convenience: runs the standard live profile.
+  EventTrace run_live(const LiveProfile& live);
+
+ private:
+  TraceProfile profile_;
+  World world_;
+};
+
+}  // namespace dnh::trafficgen

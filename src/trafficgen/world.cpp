@@ -1,0 +1,815 @@
+#include "trafficgen/world.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <memory>
+
+#include "util/strings.hpp"
+
+namespace dnh::trafficgen {
+namespace {
+
+using net::Ipv4Address;
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// Allocates distinct server addresses from each infrastructure
+/// organization's address block and records the whois range + PTR records.
+class Infrastructure {
+ public:
+  Infrastructure(orgdb::OrgDb& org_db, baseline::PtrDatabase& ptr_db,
+                 util::Rng& rng)
+      : org_db_{org_db}, ptr_db_{ptr_db}, rng_{rng} {
+    // host org -> (base /16 block, PTR naming policy)
+    // PTR coverage mirrors 2012 operator practice: Akamai names every
+    // edge, EC2/Google name only part of their space, several CDNs have
+    // no reverse zone at all.
+    register_block("akamai", Ipv4Address{23, 0, 0, 0}, PtrPolicy::kCdnName,
+                   0.75);
+    register_block("amazon", Ipv4Address{54, 224, 0, 0},
+                   PtrPolicy::kCdnName, 0.30);
+    register_block("google", Ipv4Address{74, 125, 0, 0},
+                   PtrPolicy::kCdnName, 0.5);
+    register_block("level 3", Ipv4Address{8, 20, 0, 0}, PtrPolicy::kCdnName,
+                   0.8);
+    register_block("leaseweb", Ipv4Address{85, 17, 0, 0}, PtrPolicy::kNone);
+    register_block("cotendo", Ipv4Address{12, 130, 0, 0}, PtrPolicy::kNone);
+    register_block("edgecast", Ipv4Address{93, 184, 0, 0}, PtrPolicy::kNone);
+    register_block("microsoft", Ipv4Address{65, 52, 0, 0}, PtrPolicy::kNone);
+    register_block("cdnetworks", Ipv4Address{120, 29, 0, 0}, PtrPolicy::kNone);
+    register_block("dedibox", Ipv4Address{88, 190, 0, 0}, PtrPolicy::kCdnName,
+                   0.7);
+    register_block("meta", Ipv4Address{205, 186, 0, 0}, PtrPolicy::kNone);
+    register_block("ntt", Ipv4Address{129, 250, 0, 0}, PtrPolicy::kCdnName,
+                   0.8);
+  }
+
+  /// Takes `count` fresh addresses from `host_org`'s block. For self-hosted
+  /// pools (an org running its own servers) pass the org's own name; a /24
+  /// from the 185/8 "hosting" space is carved on first use.
+  std::vector<Ipv4Address> take(const std::string& host_org,
+                                std::size_t count) {
+    Block& block = ensure_block(host_org);
+    std::vector<Ipv4Address> out;
+    out.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::uint32_t offset = block.next++;
+      // Skip .0 and .255 style endings for realism.
+      const std::uint32_t addr =
+          block.base.value() + 1 + offset + offset / 254;
+      out.emplace_back(addr);
+    }
+    return out;
+  }
+
+  /// Emits PTR records for a pool, given the service context. `exact_name`
+  /// is the FQDN a "good citizen" PTR would carry.
+  void name_pool(const std::string& host_org,
+                 const std::vector<Ipv4Address>& pool,
+                 const std::string& owner_sld,
+                 const std::string& exact_name) {
+    const Block& block = ensure_block(host_org);
+    for (const auto addr : pool) {
+      switch (block.ptr_policy) {
+        case PtrPolicy::kNone:
+          break;  // NXDOMAIN
+        case PtrPolicy::kCdnName: {
+          if (!rng_.chance(block.ptr_coverage)) break;  // no record
+          char buf[96];
+          std::snprintf(buf, sizeof buf, "a%u-%u-%u-%u.deploy.%s",
+                        addr.octet(0), addr.octet(1), addr.octet(2),
+                        addr.octet(3), cdn_rdns_suffix(host_org).c_str());
+          ptr_db_.add(addr, buf);
+          break;
+        }
+        case PtrPolicy::kSelf: {
+          // Self-hosted: a handful of servers carry the exact service
+          // name, most a generic host name under the same 2LD, and some
+          // operators publish nothing.
+          const double r = rng_.uniform01();
+          if (r < 0.30) {
+            ptr_db_.add(addr, exact_name);
+          } else if (r < 0.93) {
+            char buf[96];
+            std::snprintf(buf, sizeof buf, "srv%u-%u.%s", addr.octet(2),
+                          addr.octet(3), owner_sld.c_str());
+            ptr_db_.add(addr, buf);
+          }
+          break;
+        }
+      }
+    }
+  }
+
+ private:
+  enum class PtrPolicy { kNone, kCdnName, kSelf };
+
+  struct Block {
+    Ipv4Address base;
+    std::uint32_t next = 0;
+    PtrPolicy ptr_policy = PtrPolicy::kSelf;
+    double ptr_coverage = 1.0;  ///< fraction of addresses with a record
+  };
+
+  void register_block(const std::string& org, Ipv4Address base,
+                      PtrPolicy policy, double ptr_coverage = 1.0) {
+    Block block;
+    block.base = base;
+    block.ptr_policy = policy;
+    block.ptr_coverage = ptr_coverage;
+    blocks_.emplace(org, block);
+    org_db_.add(net::cidr(base, 16), org);
+  }
+
+  Block& ensure_block(const std::string& host_org) {
+    const auto it = blocks_.find(host_org);
+    if (it != blocks_.end()) return it->second;
+    // Carve a fresh /22 from 185/8 for a self-hosting organization
+    // (16384 blocks of 1024 addresses: ample for the largest tail).
+    const std::uint32_t index = self_blocks_++;
+    assert(index < (1u << 14) && "self-hosting space exhausted");
+    const Ipv4Address base{(185u << 24) | (index << 10)};
+    Block block;
+    block.base = base;
+    block.ptr_policy = PtrPolicy::kSelf;
+    org_db_.add(net::cidr(base, 22), host_org);
+    return blocks_.emplace(host_org, block).first->second;
+  }
+
+  static std::string cdn_rdns_suffix(const std::string& host_org) {
+    if (host_org == "akamai") return "static.akamaitechnologies.com";
+    if (host_org == "amazon") return "compute-1.amazonaws.com";
+    if (host_org == "google") return "1e100.net";
+    if (host_org == "microsoft") return "msn.net";
+    if (host_org == "dedibox") return "poneytelecom.eu";
+    if (host_org == "ntt") return "ntt.net";
+    if (host_org == "level 3") return "l3.net";
+    return "cdn-infra.net";
+  }
+
+  orgdb::OrgDb& org_db_;
+  baseline::PtrDatabase& ptr_db_;
+  util::Rng& rng_;
+  std::map<std::string, Block> blocks_;
+  std::uint32_t self_blocks_ = 0;
+};
+
+/// Fluent helper assembling one organization.
+class OrgBuilder {
+ public:
+  OrgBuilder(std::string sld, double popularity, Infrastructure& infra)
+      : infra_{infra} {
+    org_.sld = std::move(sld);
+    org_.popularity = popularity;
+  }
+
+  OrgBuilder& third_party() {
+    org_.third_party = true;
+    return *this;
+  }
+
+  /// Creates (or reuses) a named pool on `host_org`.
+  std::vector<Ipv4Address> pool(const std::string& host_org,
+                                std::size_t count,
+                                const std::string& exact_ptr = {}) {
+    auto addrs = infra_.take(host_org == "SELF" ? self_host() : host_org,
+                             count);
+    infra_.name_pool(host_org == "SELF" ? self_host() : host_org, addrs,
+                     org_.sld,
+                     exact_ptr.empty() ? "www." + org_.sld : exact_ptr);
+    return addrs;
+  }
+
+  Service& service(const std::string& fqdn_prefix, std::uint16_t port,
+                   Service::Scheme scheme, std::vector<Hosting> hostings,
+                   double weight) {
+    Service svc;
+    svc.fqdn = fqdn_prefix.empty() ? org_.sld : fqdn_prefix + "." + org_.sld;
+    svc.port = port;
+    svc.scheme = scheme;
+    svc.hostings = std::move(hostings);
+    svc.weight = weight;
+    org_.services.push_back(std::move(svc));
+    return org_.services.back();
+  }
+
+  Organization take() { return std::move(org_); }
+
+  /// The whois name for this org's own servers: the first label of the 2LD
+  /// ("facebook.com" -> "facebook"), matching how MaxMind names owners.
+  std::string self_host() const {
+    return std::string{util::split(org_.sld, '.').front()};
+  }
+
+ private:
+  Organization org_;
+  Infrastructure& infra_;
+};
+
+Hosting hosting(std::string host_org, std::vector<Ipv4Address> pool,
+                double share = 1.0, double trough = 1.0) {
+  Hosting h;
+  h.host_org = std::move(host_org);
+  h.pool = std::move(pool);
+  h.flow_share = share;
+  h.trough_pool_fraction = trough;
+  return h;
+}
+
+}  // namespace
+
+std::size_t Hosting::active_count(std::int64_t seconds_of_day,
+                                  double diurnal) const {
+  if (pool.empty()) return 0;
+  double fraction =
+      trough_pool_fraction + (1.0 - trough_pool_fraction) * diurnal;
+  const int hour = static_cast<int>(seconds_of_day / 3600);
+  if (step_hour_begin >= 0 && hour >= step_hour_begin &&
+      hour < step_hour_end) {
+    fraction = std::max(fraction, step_pool_fraction);
+  }
+  const auto n = static_cast<std::size_t>(
+      std::ceil(fraction * static_cast<double>(pool.size())));
+  return std::clamp<std::size_t>(n, 1, pool.size());
+}
+
+double diurnal_factor(std::int64_t seconds_of_day) noexcept {
+  const double h = static_cast<double>(seconds_of_day) / 3600.0;
+  // Trough at ~04:30, main rise through the morning, evening peak ~21:00.
+  const double base =
+      0.55 - 0.45 * std::cos((h - 4.5) / 24.0 * 2.0 * kPi);
+  const double evening = h > 16.0 && h < 24.0
+                             ? 0.25 * std::sin((h - 16.0) / 8.0 * kPi)
+                             : 0.0;
+  return std::clamp(base + evening, 0.15, 1.0);
+}
+
+const Organization* World::find(std::string_view sld) const {
+  for (const auto& org : orgs_) {
+    if (org.sld == sld) return &org;
+  }
+  return nullptr;
+}
+
+World World::build(const WorldConfig& config) {
+  World world;
+  util::Rng rng{config.seed};
+  Infrastructure infra{world.org_db_, world.ptr_db_, rng};
+  const bool eu = config.geo == Geo::kEu;
+  auto add = [&world](Organization org) {
+    world.orgs_.push_back(std::move(org));
+  };
+
+  // ---- LinkedIn (Fig. 7): four hosting branches with the paper's server
+  // counts and flow shares.
+  {
+    OrgBuilder b{"linkedin.com", 18.0, infra};
+    const auto akamai_pool = b.pool("akamai", 2);
+    const auto cdnet_pool = b.pool("cdnetworks", 15);
+    const auto edge_pool = b.pool("edgecast", 1);
+    const auto self_pool = b.pool("SELF", 3, "www.linkedin.com");
+    for (int i = 1; i <= 4; ++i)
+      b.service("media" + std::to_string(i), 80, Service::Scheme::kHttp,
+                {hosting("akamai", akamai_pool)}, 17.0 / 4);
+    b.service("media", 80, Service::Scheme::kHttp,
+              {hosting("cdnetworks", cdnet_pool)}, 1.0);
+    b.service("platform", 80, Service::Scheme::kHttp,
+              {hosting("cdnetworks", cdnet_pool)}, 1.0);
+    b.service("static01", 80, Service::Scheme::kHttp,
+              {hosting("cdnetworks", cdnet_pool)}, 1.0);
+    b.service("static", 80, Service::Scheme::kHttp,
+              {hosting("edgecast", edge_pool)}, 59.0);
+    const char* self_names[] = {"www",  "www7", "touch",  "m",
+                                "blog", "help", "talent", "developer"};
+    for (const char* name : self_names) {
+      auto& svc = b.service(name, 443, Service::Scheme::kTls,
+                            {hosting("linkedin", self_pool)}, 22.0 / 8);
+      svc.cert = CertKind::kExactFqdn;
+    }
+    add(b.take());
+  }
+
+  // ---- Zynga (Fig. 8): Amazon EC2 computation (86% of flows, huge pool),
+  // Akamai static content (7%), self-hosted legacy games (7%).
+  std::vector<Ipv4Address> zynga_ec2_pool;
+  {
+    OrgBuilder b{"zynga.com", 14.0, infra};
+    const auto amazon_pool = b.pool("amazon", 120);
+    zynga_ec2_pool = amazon_pool;
+    const auto akamai_pool = b.pool("akamai", 12);
+    const auto self_pool = b.pool("SELF", 10, "www.zynga.com");
+    const char* games[] = {"cityville",   "cafe",       "fishville.facebook",
+                           "frontierville", "petville", "treasure",
+                           "fish",        "frontier",   "rewards",
+                           "sslrewards",  "accounts",   "iphone.stats",
+                           "glb.zyngawithfriends"};
+    for (const char* g : games) {
+      auto& svc = b.service(g, 443, Service::Scheme::kTls,
+                            {hosting("amazon", amazon_pool, 1.0, 0.5)},
+                            86.0 / (13 + 8));
+      svc.cert = CertKind::kCdnName;
+      svc.max_answers = 4;
+      svc.dns_ttl = 60;
+    }
+    for (int i = 1; i <= 8; ++i) {
+      auto& svc =
+          b.service("facebook" + std::to_string(i), 443,
+                    Service::Scheme::kTls,
+                    {hosting("amazon", amazon_pool, 1.0, 0.5)}, 86.0 / 21);
+      svc.cert = CertKind::kCdnName;
+      svc.max_answers = 4;
+      svc.dns_ttl = 60;
+    }
+    const char* statics[] = {"static", "assets", "avatars", "zgn",
+                             "zpay",   "zbar",   "toolbar"};
+    for (const char* s : statics) {
+      auto& svc = b.service(s, 443, Service::Scheme::kTls,
+                            {hosting("akamai", akamai_pool, 1.0, 0.4)},
+                            7.0 / 7);
+      svc.cert = CertKind::kCdnName;  // a248.e.akamai.net-style cert
+      svc.max_answers = 2;
+      svc.dns_ttl = 30;
+    }
+    const char* legacy[] = {"mafiawars", "poker",  "vampires",
+                            "streetracing.myspace1", "www",   "mwms",
+                            "nav1",      "zpay1",  "forum",  "secure1",
+                            "track",     "support", "myspace.esp",
+                            "dev1.cclough", "mobile", "12.fb_client_1",
+                            "fb_1"};
+    for (const char* l : legacy) {
+      auto& svc = b.service(l, 80, Service::Scheme::kHttp,
+                            {hosting("zynga", self_pool)}, 7.0 / 17);
+      svc.dns_ttl = 3600;
+    }
+    add(b.take());
+  }
+
+  // ---- Dropbox: the paper's motivating policy scenario — encrypted, and
+  // sharing Amazon EC2 addresses with Zynga so IP filters cannot separate
+  // "block Zynga" from "prioritize Dropbox".
+  {
+    OrgBuilder b{"dropbox.com", 6.0, infra};
+    std::vector<Ipv4Address> shared_ec2{zynga_ec2_pool.begin(),
+                                        zynga_ec2_pool.begin() + 40};
+    const char* names[] = {"www", "client", "dl", "api", "notify"};
+    for (const char* n : names) {
+      auto& svc = b.service(n, 443, Service::Scheme::kTls,
+                            {hosting("amazon", shared_ec2, 1.0, 0.5)},
+                            n == std::string_view{"client"} ? 3.0 : 1.0);
+      svc.cert = CertKind::kWildcardSld;
+      svc.max_answers = 3;
+      svc.dns_ttl = 60;
+    }
+    add(b.take());
+  }
+
+  // ---- Facebook: almost everything self-hosted; static via fbcdn (below).
+  {
+    OrgBuilder b{"facebook.com", 30.0, infra};
+    const auto self_pool = b.pool("SELF", 20, "www.facebook.com");
+    const auto akamai_pool = b.pool("akamai", 6);
+    const char* names[] = {"www", "m", "touch", "api", "graph", "login"};
+    for (const char* n : names) {
+      auto& svc =
+          b.service(n, 443, Service::Scheme::kTls,
+                    {hosting("facebook", self_pool, 0.92, 0.6),
+                     hosting("akamai", akamai_pool, 0.08, 0.5)},
+                    n == std::string_view{"www"} ? 10.0 : 2.0);
+      // Facebook's SAN certificate enumerates its hosts: exact matches.
+      svc.cert = CertKind::kExactFqdn;
+      svc.max_answers = 3;
+      svc.dns_ttl = 300;
+    }
+    add(b.take());
+  }
+
+  // ---- fbcdn.net (Akamai-run Facebook static content; Fig. 4's biggest
+  // diurnal pool).
+  {
+    OrgBuilder b{"fbcdn.net", 22.0, infra};
+    const auto pool = b.pool("akamai", 160);
+    const char* prefixes[] = {"photos-a.ak", "photos-b.ak", "photos-c.ak",
+                              "photos-d.ak", "photos-e.ak", "static.ak",
+                              "profile.ak",  "external.ak", "creative.ak",
+                              "b.static.ak", "vthumb.ak",   "platform.ak"};
+    for (const char* p : prefixes) {
+      auto& svc = b.service(p, 80, Service::Scheme::kHttp,
+                            {hosting("akamai", pool, 1.0, 0.25)}, 1.0);
+      svc.max_answers = 10;
+      svc.dns_ttl = 30;
+    }
+    Organization org = b.take();
+    org.third_party = true;
+    add(std::move(org));
+  }
+
+  // ---- Twitter: self in the US, leaning on Akamai in Europe (Fig. 9).
+  {
+    OrgBuilder b{"twitter.com", 16.0, infra};
+    const auto self_pool = b.pool("SELF", 8, "www.twitter.com");
+    const auto akamai_pool = b.pool("akamai", 10);
+    const double akamai_share = eu ? 0.45 : 0.12;
+    const char* names[] = {"www", "api", "mobile", "userstream", "search"};
+    for (const char* n : names) {
+      auto& svc = b.service(
+          n, 443, Service::Scheme::kTls,
+          {hosting("twitter", self_pool, 1.0 - akamai_share, 0.6),
+           hosting("akamai", akamai_pool, akamai_share, 0.4)},
+          n == std::string_view{"www"} ? 8.0 : 2.0);
+      svc.cert = n == std::string_view{"www"} ? CertKind::kExactFqdn
+                                              : CertKind::kWildcardSld;
+      svc.max_answers = 3;
+      svc.dns_ttl = 60;
+    }
+    add(b.take());
+  }
+
+  // ---- YouTube: Google-hosted, with the 17:00-20:30 server-pool step the
+  // paper observes (Fig. 4).
+  {
+    OrgBuilder b{"youtube.com", 20.0, infra};
+    const auto pool = b.pool("google", 110);
+    const char* names[] = {"www", "v1.lscache", "v2.lscache", "v3.lscache",
+                           "o-o.preferred", "r1.city", "r2.city"};
+    for (const char* n : names) {
+      auto& svc = b.service(n, 80, Service::Scheme::kHttp,
+                            {hosting("google", pool, 1.0, 0.3)},
+                            n == std::string_view{"www"} ? 6.0 : 2.0);
+      svc.max_answers = 8;
+      svc.dns_ttl = 60;
+      auto& h = svc.hostings.front();
+      h.step_hour_begin = 17;
+      h.step_hour_end = 21;  // ~20:30 rounded to bin
+      h.step_pool_fraction = 1.0;
+    }
+    add(b.take());
+  }
+
+  // ---- Blogspot: thousands of FQDNs on a tiny Google pool (Fig. 4's
+  // flattest line; also a big one-IP-many-names contributor for Fig. 3).
+  {
+    OrgBuilder b{"blogspot.com", 9.0, infra};
+    const auto pool = b.pool("google", 16);
+    const std::size_t blogs = 450;
+    for (std::size_t i = 0; i < blogs; ++i) {
+      // Most blogs resolve to a single stable shared address (pure
+      // vhosting); a minority to two. One blog -> 1-2 IPs, one IP ->
+      // many blogs.
+      std::vector<Ipv4Address> slice{pool[i % pool.size()]};
+      if (i % 4 == 0) slice.push_back(pool[(i * 7 + 3) % pool.size()]);
+      auto& svc = b.service("blog-" + std::to_string(i * 7919 % 10000), 80,
+                            Service::Scheme::kHttp,
+                            {hosting("google", slice, 1.0, 0.8)},
+                            1.0 / std::sqrt(static_cast<double>(i + 1)));
+      svc.dns_ttl = 3600;
+      svc.max_answers = 2;
+    }
+    add(b.take());
+  }
+
+  // ---- Google itself: web + mail + push services; up to 16 A records per
+  // response (Sec. 6), generic *.google.com certificates (Tab. 4's
+  // motivating case).
+  {
+    OrgBuilder b{"google.com", 28.0, infra};
+    const auto pool = b.pool("google", 60);
+    struct GSvc {
+      const char* name;
+      std::uint16_t port;
+      Service::Scheme scheme;
+      double weight;
+    };
+    const GSvc gsvcs[] = {
+        {"www", 443, Service::Scheme::kTls, 12.0},
+        {"mail", 443, Service::Scheme::kTls, 6.0},
+        {"docs", 443, Service::Scheme::kTls, 3.0},
+        {"scholar", 443, Service::Scheme::kTls, 1.0},
+        {"maps", 443, Service::Scheme::kTls, 2.0},
+        {"accounts", 443, Service::Scheme::kTls, 2.0},
+        {"ssl.gstatic", 443, Service::Scheme::kTls, 2.0},
+        {"chat", 5222, Service::Scheme::kHttp, eu ? 0.8 : 3.0},
+        {"mtalk", 5228, Service::Scheme::kHttp, eu ? 0.5 : 14.0},
+        {"aspmx.l", 25, Service::Scheme::kHttp, eu ? 0.5 : 0.1},
+        {"alt1.aspmx.l", 25, Service::Scheme::kHttp, eu ? 0.25 : 0.05},
+        {"gmail-smtp-in.l", 25, Service::Scheme::kHttp, eu ? 0.5 : 0.1},
+        {"smtp.gmail", 587, Service::Scheme::kHttp, eu ? 1.0 : 0.3},
+        {"pop.gmail", 995, Service::Scheme::kHttp, eu ? 1.0 : 0.3},
+        {"imap.gmail", 143, Service::Scheme::kHttp, eu ? 0.4 : 0.2},
+    };
+    for (const auto& g : gsvcs) {
+      auto& svc = b.service(g.name, g.port, g.scheme,
+                            {hosting("google", pool, 1.0, 0.5)}, g.weight);
+      svc.cert = CertKind::kWildcardSld;
+      svc.max_answers = 16;
+      svc.dns_ttl = 300;
+    }
+    add(b.take());
+  }
+
+  // ---- Dailymotion: Dedibox-heavy in Europe; more diverse in the US
+  // (Fig. 9 bottom).
+  {
+    OrgBuilder b{"dailymotion.com", 7.0, infra};
+    const auto dedibox_pool = b.pool("dedibox", 14);
+    const auto edge_pool = b.pool("edgecast", 3);
+    const auto self_pool = b.pool("SELF", 4, "www.dailymotion.com");
+    const auto meta_pool = b.pool("meta", 4);
+    const auto ntt_pool = b.pool("ntt", 3);
+    std::vector<Hosting> hostings;
+    if (eu) {
+      hostings = {hosting("dedibox", dedibox_pool, 0.88, 0.5),
+                  hosting("edgecast", edge_pool, 0.12, 0.6)};
+    } else {
+      hostings = {hosting("dedibox", dedibox_pool, 0.55, 0.5),
+                  hosting("dailymotion", self_pool, 0.18, 0.7),
+                  hosting("meta", meta_pool, 0.17, 0.6),
+                  hosting("ntt", ntt_pool, 0.10, 0.6)};
+    }
+    const char* names[] = {"www", "static1", "static2", "proxy", "vid"};
+    for (const char* n : names) {
+      auto& svc = b.service(n, 80, Service::Scheme::kHttp, hostings,
+                            n == std::string_view{"www"} ? 3.0 : 1.0);
+      svc.max_answers = 3;
+      svc.dns_ttl = 120;
+    }
+    add(b.take());
+  }
+
+  // ---- Appspot: Google's free app hosting, abused by BitTorrent trackers
+  // (Tab. 8, Figs. 10-11). Tracker apps are marked by activity_group for
+  // the 18-day timeline: 0 = always-on, 1 = synchronized on/off swarm,
+  // 2 = sporadic/zombie.
+  {
+    OrgBuilder b{"appspot.com", 2.4, infra};
+    const auto pool = b.pool("google", 25);
+    const char* trackers[] = {"open-tracker",  "rlskingbt",  "exodus-bt",
+                              "genesis-track", "bt-serve",   "tracker-hub",
+                              "announce-zone", "swarm-mstr", "piratetrack",
+                              "freetracker",   "bt-cloud9",  "seedbox-ann"};
+    int idx = 0;
+    for (const char* t : trackers) {
+      auto& svc = b.service(t, 80, Service::Scheme::kTracker,
+                            {hosting("google", pool, 1.0, 0.8)}, 2.2);
+      svc.dns_ttl = 600;
+      svc.max_answers = 1;
+      // First third always-on, next a synchronized on/off group, the rest
+      // early-life zombies; later ids are first observed on later days.
+      svc.weight = idx < 4 ? 3.0 : (idx < 8 ? 2.0 : 1.0);
+      svc.activity_group = idx < 4 ? 0 : (idx < 8 ? 1 : 2);
+      svc.first_day = idx < 4 ? 0 : (idx < 8 ? (idx - 4) : (idx - 7) * 2);
+      ++idx;
+    }
+    for (int i = 0; i < 170; ++i) {
+      const char* kinds[] = {"app",    "svc",  "tool", "game",
+                             "webapi", "demo", "beta", "labs"};
+      std::vector<Ipv4Address> slice{pool[i % pool.size()]};
+      if (i % 3 == 0) slice.push_back(pool[(i * 11 + 5) % pool.size()]);
+      auto& svc = b.service(std::string{kinds[i % 8]} + "-" +
+                                std::to_string(i * 131 % 1000),
+                            i % 3 == 0 ? 443 : 80,
+                            i % 3 == 0 ? Service::Scheme::kTls
+                                       : Service::Scheme::kHttp,
+                            {hosting("google", slice, 1.0, 0.8)},
+                            0.35 / std::sqrt(i + 1.0));
+      svc.cert = CertKind::kWildcardSld;
+      svc.dns_ttl = 600;
+    }
+    add(b.take());
+  }
+
+  // ---- Amazon-hosted ad/CDN second-level domains (Tab. 5). Popularity
+  // weights mirror the paper's per-geography top-10 ordering.
+  {
+    struct AmazonOrg {
+      const char* sld;
+      double eu_weight;
+      double us_weight;
+      int fqdns;
+    };
+    const AmazonOrg amazon_orgs[] = {
+        {"cloudfront.net", 20.0, 10.0, 220},
+        {"playfish.com", 16.0, 0.4, 6},
+        {"sharethis.com", 5.0, 5.0, 4},
+        {"twimg.com", 4.0, 1.5, 8},
+        {"amazonaws.com", 4.0, 3.0, 60},
+        {"invitemedia.com", 2.0, 10.0, 5},
+        {"rubiconproject.com", 2.0, 7.0, 5},
+        {"amazon.com", 2.0, 7.0, 10},
+        {"imdb.com", 1.0, 1.5, 6},
+        {"admarvel.com", 0.05, 3.0, 4},
+        {"mobclix.com", 0.05, 4.0, 4},
+        {"andomedia.com", 0.05, 5.0, 4},
+    };
+    for (const auto& a : amazon_orgs) {
+      OrgBuilder b{a.sld, eu ? a.eu_weight : a.us_weight, infra};
+      const auto pool =
+          b.pool("amazon", static_cast<std::size_t>(4 + a.fqdns / 4));
+      for (int i = 0; i < a.fqdns; ++i) {
+        std::string name;
+        if (std::string_view{a.sld} == "cloudfront.net")
+          name = "d" + std::to_string(100000 + i * 7717 % 900000);
+        else if (std::string_view{a.sld} == "amazonaws.com")
+          name = "s3-" + std::to_string(i);  // pinned below
+        else if (i == 0)
+          name = "www";
+        else
+          name = "edge" + std::to_string(i);
+        std::vector<Ipv4Address> svc_pool = pool;
+        if (std::string_view{a.sld} != "cloudfront.net") {
+          svc_pool = {pool[i % pool.size()]};
+          if (i % 3 == 0)
+            svc_pool.push_back(pool[(i * 13 + 7) % pool.size()]);
+        }
+        auto& svc = b.service(name, i % 4 == 0 ? 443 : 80,
+                              i % 4 == 0 ? Service::Scheme::kTls
+                                         : Service::Scheme::kHttp,
+                              {hosting("amazon", svc_pool, 1.0, 0.45)},
+                              1.5 / std::sqrt(i + 1.0));
+        svc.cert = CertKind::kOtherService;
+        svc.dns_ttl = 60;
+        svc.max_answers = 3;
+      }
+      Organization org = b.take();
+      org.third_party = true;
+      add(std::move(org));
+    }
+  }
+
+  // ---- Port-tagged services for the Tab. 6 (EU well-known ports) and
+  // Tab. 7 (US odd ports) keyword-extraction experiments.
+  {
+    struct PortSvc {
+      const char* sld;
+      const char* sub;
+      std::uint16_t port;
+      double eu_weight;
+      double us_weight;
+      Service::Scheme scheme;
+    };
+    const PortSvc port_svcs[] = {
+        // SMTP (25/587), POP3 (110/995), IMAP (143): European ISP mail.
+        {"virgilio.it", "smtp.altn", 25, 2.0, 0.1, Service::Scheme::kHttp},
+        {"virgilio.it", "mailin-1.altn", 25, 1.4, 0.1, Service::Scheme::kHttp},
+        {"libero.it", "smtp1.mail", 25, 2.6, 0.1, Service::Scheme::kHttp},
+        {"libero.it", "smtp2.mail", 25, 1.8, 0.1, Service::Scheme::kHttp},
+        {"aruba.it", "mx1", 25, 1.5, 0.1, Service::Scheme::kHttp},
+        {"aruba.it", "mx2", 25, 1.0, 0.1, Service::Scheme::kHttp},
+        {"tin.it", "mail3", 25, 1.2, 0.05, Service::Scheme::kHttp},
+        {"libero.it", "pop.mail", 110, 6.0, 0.2, Service::Scheme::kHttp},
+        {"tin.it", "pop.mailbus", 110, 1.2, 0.05, Service::Scheme::kHttp},
+        {"virgilio.it", "pop1.mail", 110, 2.4, 0.1, Service::Scheme::kHttp},
+        {"aruba.it", "pop3.mail", 110, 2.0, 0.1, Service::Scheme::kHttp},
+        {"me.com", "imap.mail.apple", 143, 0.7, 0.4, Service::Scheme::kHttp},
+        {"libero.it", "imap.mail", 143, 0.8, 0.1, Service::Scheme::kHttp},
+        {"mediaset.it", "streaming", 554, 0.25, 0.02, Service::Scheme::kHttp},
+        {"libero.it", "smtp.out", 587, 0.6, 0.1, Service::Scheme::kHttp},
+        {"aruba.it", "pop.pec", 995, 1.2, 0.02, Service::Scheme::kHttp},
+        {"hotmail.com", "pop3.glbdns.hot", 995, 2.2, 0.4,
+         Service::Scheme::kHttp},
+        {"live.com", "messenger.relay.edge", 1863, 1.2, 0.3,
+         Service::Scheme::kHttp},
+        {"live.com", "voice.messenger.emea.msn", 1863, 0.5, 0.1,
+         Service::Scheme::kHttp},
+        // US-popular odd ports (Tab. 7).
+        {"opera-mini.net", "mini5.opera", 1080, 0.2, 3.0,
+         Service::Scheme::kHttp},
+        {"opera-mini.net", "mini7.opera", 1080, 0.1, 2.0,
+         Service::Scheme::kHttp},
+        {"1337x.org", "exodus", 1337, 0.05, 2.2, Service::Scheme::kTracker},
+        {"1337x.org", "genesis", 1337, 0.02, 1.1, Service::Scheme::kTracker},
+        {"openbittorrent.com", "tracker", 2710, 0.3, 1.6,
+         Service::Scheme::kTracker},
+        {"openbittorrent.com", "www.tracker", 2710, 0.05, 0.3,
+         Service::Scheme::kTracker},
+        {"yahoo.com", "msg.webcs", 5050, 0.4, 3.4, Service::Scheme::kHttp},
+        {"yahoo.com", "sip.voipa", 5050, 0.2, 1.2, Service::Scheme::kHttp},
+        {"aol.com", "americaonline", 5190, 0.1, 0.8, Service::Scheme::kHttp},
+        {"apple.com", "courier1.push", 5223, 0.3, 2.6,
+         Service::Scheme::kTls},
+        {"apple.com", "courier2.push", 5223, 0.2, 1.8,
+         Service::Scheme::kTls},
+        {"publicbt.com", "tracker", 6969, 0.3, 1.8,
+         Service::Scheme::kTracker},
+        {"publicbt.com", "tracker2", 6969, 0.1, 0.6,
+         Service::Scheme::kTracker},
+        {"ubuntu.com", "torrent", 6969, 0.1, 0.5, Service::Scheme::kTracker},
+        {"desync.com", "exodus.tracker", 6969, 0.05, 0.5,
+         Service::Scheme::kTracker},
+        {"lindenlab.com", "sim1.agni", 12043, 0.02, 1.4,
+         Service::Scheme::kHttp},
+        {"lindenlab.com", "sim2.agni", 12043, 0.02, 1.0,
+         Service::Scheme::kHttp},
+        {"lindenlab.com", "sim3.agni", 12046, 0.02, 0.9,
+         Service::Scheme::kHttp},
+        {"dyndns.org", "useful.broker", 18182, 0.05, 2.4,
+         Service::Scheme::kTracker},
+        {"itunes.apple.com", "", 443, 0.0, 0.0, Service::Scheme::kTls},
+    };
+    std::map<std::string, OrgBuilder*> builders;
+    std::vector<std::unique_ptr<OrgBuilder>> storage;
+    for (const auto& p : port_svcs) {
+      if (p.eu_weight == 0.0 && p.us_weight == 0.0) continue;
+      OrgBuilder*& builder = builders[p.sld];
+      if (!builder) {
+        storage.push_back(std::make_unique<OrgBuilder>(
+            p.sld, eu ? 1.5 : 2.0, infra));
+        builder = storage.back().get();
+      }
+      auto& svc = builder->service(
+          p.sub, p.port, p.scheme,
+          {hosting(builder->self_host(), builder->pool("SELF", 2), 1.0)},
+          eu ? p.eu_weight : p.us_weight);
+      svc.dns_ttl = 1800;
+    }
+    for (auto& ptr : storage) add(ptr->take());
+  }
+
+  // ---- Generated long tail: small organizations with Zipf popularity.
+  // 50% self-hosted, 20% shared hosting (many 2LDs per IP -> Fig. 3
+  // bottom tail), the rest on CDNs/clouds.
+  {
+    const auto shared_pool = infra.take("leaseweb", 5);
+    const char* tlds[] = {".com", ".net", ".org", ".it", ".info"};
+    const char* subs[] = {"www", "static", "img", "api", "m", "cdn",
+                          "news", "shop"};
+    util::ZipfSampler zipf_weight{config.tail_organizations, 0.9};
+    for (std::size_t i = 0; i < config.tail_organizations; ++i) {
+      char sld[48];
+      std::snprintf(sld, sizeof sld, "site%04zu%s", i * 271 % 10000,
+                    tlds[i % 5]);
+      const double popularity =
+          6.0 / std::pow(static_cast<double>(i + 2), 0.80);
+      OrgBuilder b{sld, popularity, infra};
+
+      const double r = rng.uniform01();
+      std::string host;
+      std::vector<Ipv4Address> pool;
+      double trough = 1.0;
+      if (r < 0.70) {
+        host = b.self_host();
+        // Mostly single-server sites: the Fig. 3 "82% of FQDNs map to one
+        // IP" mass.
+        pool = b.pool("SELF", rng.chance(0.25) ? 2 : 1);
+      } else if (r < 0.78) {
+        host = "leaseweb";
+        pool = {shared_pool[rng.index(shared_pool.size())]};
+      } else if (r < 0.88) {
+        host = "amazon";
+        pool = b.pool("amazon", 2 + rng.index(2));
+        trough = 0.5;
+      } else if (r < 0.94) {
+        host = "akamai";
+        pool = b.pool("akamai", 2 + rng.index(2));
+        trough = 0.4;
+      } else {
+        const char* cdns[] = {"level 3", "cotendo", "microsoft", "edgecast",
+                              "leaseweb"};
+        host = cdns[rng.index(5)];
+        pool = b.pool(host, 1 + rng.index(3));
+      }
+
+      // Over half the small organizations expose a single FQDN, keeping
+      // most serverIPs single-FQDN (Fig. 3 bottom).
+      const std::size_t n_services =
+          rng.chance(0.80) ? 1 : 2 + rng.index(3);
+      for (std::size_t s = 0; s < n_services; ++s) {
+        const bool tls = rng.chance(0.18);
+        auto& svc =
+            b.service(s == 0 ? "www" : subs[rng.index(8)],
+                      tls ? 443 : 80,
+                      tls ? Service::Scheme::kTls : Service::Scheme::kHttp,
+                      {hosting(host, pool, 1.0, trough)},
+                      s == 0 ? 3.0 : 1.0);
+        svc.dns_ttl = 300 + static_cast<std::uint32_t>(rng.index(3300));
+        svc.max_answers = 1;
+        if (tls) {
+          const double c = rng.uniform01();
+          svc.cert = c < 0.40   ? CertKind::kExactFqdn
+                     : c < 0.56 ? CertKind::kWildcardSld
+                     : c < 0.80 ? CertKind::kOtherService
+                                : CertKind::kCdnName;
+        }
+      }
+      if (rng.chance(0.06)) {
+        Organization org = b.take();
+        org.third_party = true;
+        add(std::move(org));
+      } else {
+        add(b.take());
+      }
+    }
+  }
+
+  world.org_db_.finalize();
+  world.weights_.reserve(world.orgs_.size());
+  for (std::size_t i = 0; i < world.orgs_.size(); ++i) {
+    world.weights_.push_back(world.orgs_[i].popularity);
+    if (world.orgs_[i].third_party) world.third_party_.push_back(i);
+  }
+  return world;
+}
+
+}  // namespace dnh::trafficgen

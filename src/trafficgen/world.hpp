@@ -1,0 +1,136 @@
+// The synthetic Internet "world": organizations, their FQDNs, and the
+// CDN/cloud infrastructure hosting them.
+//
+// This model substitutes for the paper's proprietary ISP vantage points.
+// Every mechanism the paper identifies as the *cause* of a measured shape
+// is modeled explicitly:
+//   - content owner != content host (CDN hosting assignments per service),
+//   - server pools that scale with time of day (Fig. 4's diurnal counts and
+//     YouTube's 17:00 policy step),
+//   - one FQDN -> many servers and one server -> many FQDNs (Fig. 3),
+//   - geography-dependent hosting (Fig. 9, Tab. 5),
+//   - TLS certificate practices (exact / wildcard / CDN-owned / none),
+//   - reverse-DNS naming practices (CDN rDNS, missing PTR),
+//   - service-name token structure on well-known and odd ports
+//     (Tabs. 6-7), BitTorrent trackers incl. the appspot zombies (Tab. 8).
+//
+// The scripted organizations (LinkedIn, Zynga, Facebook, ...) mirror the
+// paper's named case studies; a Zipf-popularity long tail of generated
+// organizations provides realistic background.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "baseline/reverse_dns.hpp"
+#include "net/ip.hpp"
+#include "orgdb/orgdb.hpp"
+#include "util/rng.hpp"
+
+namespace dnh::trafficgen {
+
+/// Vantage-point geography; switches hosting preferences (Fig. 9, Tab. 5).
+enum class Geo { kEu, kUs };
+
+/// How the TLS certificate presented for a service names it (drives the
+/// Table 4 outcome mix).
+enum class CertKind : std::uint8_t {
+  kExactFqdn,    ///< CN == FQDN
+  kWildcardSld,  ///< CN == "*.<2LD>" (generic)
+  kCdnName,      ///< CN names the hosting CDN (totally different)
+  kOtherService, ///< CN names another service of the org (different)
+};
+
+/// A hosting assignment: which infrastructure organization serves a
+/// service, from which address pool, and with what share of the flows.
+struct Hosting {
+  std::string host_org;              ///< "akamai", "amazon", "SELF", ...
+  std::vector<net::Ipv4Address> pool;///< candidate server addresses
+  double flow_share = 1.0;           ///< fraction of the service's flows
+  /// Fraction of the pool answering DNS at the diurnal trough (1.0 = the
+  /// pool does not breathe). CDNs use ~0.2-0.4.
+  double trough_pool_fraction = 1.0;
+  /// Optional step policy: from this hour of day (inclusive) the active
+  /// pool jumps to `step_pool_fraction` (YouTube's 17:00-20:30 jump).
+  int step_hour_begin = -1;
+  int step_hour_end = -1;
+  double step_pool_fraction = 1.0;
+
+  /// Number of pool entries answering at time-of-day `seconds`, given the
+  /// diurnal activity factor `diurnal` in [0,1].
+  std::size_t active_count(std::int64_t seconds_of_day,
+                           double diurnal) const;
+};
+
+/// One named service: an FQDN on a port with a scheme and hosting.
+struct Service {
+  std::string fqdn;
+  std::uint16_t port = 80;
+  enum class Scheme : std::uint8_t { kHttp, kTls, kTracker } scheme =
+      Scheme::kHttp;
+  std::vector<Hosting> hostings;  ///< flow_share-weighted alternatives
+  std::uint32_t dns_ttl = 300;    ///< seconds
+  CertKind cert = CertKind::kExactFqdn;
+  double weight = 1.0;  ///< popularity within its organization
+  /// Services answering with several A records (CDNs): max list length.
+  int max_answers = 1;
+  /// BitTorrent-tracker activity pattern for the 18-day live simulation
+  /// (Fig. 11): -1 = not a tracker, 0 = always on, 1 = synchronized
+  /// on/off group, 2 = early-life-then-zombie.
+  int activity_group = -1;
+  /// Day (from trace start) the tracker is first observed.
+  int first_day = 0;
+};
+
+/// A content-owner organization (keyed by its 2nd-level domain).
+struct Organization {
+  std::string sld;         ///< "zynga.com"
+  std::vector<Service> services;
+  double popularity = 1.0; ///< page-visit weight across the org universe
+  /// Extra resources embedded into other orgs' pages (ad/CDN networks).
+  bool third_party = false;
+};
+
+/// Tunables for the generated long tail.
+struct WorldConfig {
+  Geo geo = Geo::kEu;
+  std::size_t tail_organizations = 6000;
+  std::uint64_t seed = 1;
+};
+
+/// The full world: organizations plus the infrastructure databases.
+class World {
+ public:
+  static World build(const WorldConfig& config);
+
+  const std::vector<Organization>& organizations() const noexcept {
+    return orgs_;
+  }
+  const orgdb::OrgDb& org_db() const noexcept { return org_db_; }
+  const baseline::PtrDatabase& ptr_db() const noexcept { return ptr_db_; }
+
+  /// Page-visit popularity weights aligned with organizations().
+  const std::vector<double>& popularity() const noexcept { return weights_; }
+
+  /// Indices of third-party (embeddable) organizations.
+  const std::vector<std::size_t>& third_party_orgs() const noexcept {
+    return third_party_;
+  }
+
+  /// Looks up an organization by 2LD; nullptr when absent.
+  const Organization* find(std::string_view sld) const;
+
+ private:
+  std::vector<Organization> orgs_;
+  std::vector<double> weights_;
+  std::vector<std::size_t> third_party_;
+  orgdb::OrgDb org_db_;
+  baseline::PtrDatabase ptr_db_;
+};
+
+/// The diurnal activity factor in [0.15, 1.0]: quiet 03:00-06:00, busy
+/// evenings — shapes Figs. 4-6 and 14.
+double diurnal_factor(std::int64_t seconds_of_day) noexcept;
+
+}  // namespace dnh::trafficgen

@@ -1,0 +1,107 @@
+// Deterministic pseudo-random number generation for reproducible simulation.
+//
+// Every stochastic component of the trace generator and the benchmarks draws
+// from an explicitly seeded `Rng`, so a given (profile, seed) pair always
+// produces byte-identical traces and therefore identical experiment output.
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dnh::util {
+
+/// xoshiro256** PRNG seeded via splitmix64.
+///
+/// Chosen over `std::mt19937_64` because its output is specified independent
+/// of the standard library implementation, keeping traces reproducible across
+/// toolchains. Not cryptographically secure; simulation use only.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept { reseed(seed); }
+
+  /// Re-initializes the state from `seed` (splitmix64 expansion).
+  void reseed(std::uint64_t seed) noexcept;
+
+  /// Next raw 64-bit value, uniform over [0, 2^64).
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform integer in the inclusive range [lo, hi]. Requires lo <= hi.
+  std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform01() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform_real(double lo, double hi) noexcept;
+
+  /// Bernoulli trial: true with probability `p` (clamped to [0,1]).
+  bool chance(double p) noexcept;
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double exponential(double mean) noexcept;
+
+  /// Log-normal sample parameterized by the underlying normal's mu/sigma.
+  double log_normal(double mu, double sigma) noexcept;
+
+  /// Standard normal via Box-Muller.
+  double normal(double mu = 0.0, double sigma = 1.0) noexcept;
+
+  /// Pareto (heavy-tail) sample with scale `xm` > 0 and shape `alpha` > 0.
+  double pareto(double xm, double alpha) noexcept;
+
+  /// Poisson-distributed count with the given mean (Knuth for small means,
+  /// normal approximation above 64).
+  std::uint64_t poisson(double mean) noexcept;
+
+  /// Uniformly selects an index in [0, n). Requires n > 0.
+  std::size_t index(std::size_t n) noexcept;
+
+  /// Selects an index according to non-negative `weights` (at least one > 0).
+  std::size_t weighted_index(std::span<const double> weights) noexcept;
+
+  /// Uniformly selects an element of a non-empty vector.
+  template <typename T>
+  const T& pick(const std::vector<T>& v) noexcept {
+    return v[index(v.size())];
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      using std::swap;
+      swap(v[i - 1], v[index(i)]);
+    }
+  }
+
+  /// Derives an independent child generator; used to give each simulated
+  /// client its own stream so per-client behaviour is order-independent.
+  Rng fork() noexcept { return Rng{next_u64()}; }
+
+ private:
+  std::uint64_t s_[4]{};
+};
+
+/// Zipf(s, n) sampler over ranks {0, .., n-1} using precomputed CDF.
+///
+/// Models the heavy-tailed popularity of domains/organizations that drives
+/// the paper's "tangled web" shape (Fig. 3: few FQDNs served by hundreds of
+/// servers, long tail of one-server FQDNs).
+class ZipfSampler {
+ public:
+  /// Builds the sampler for `n` ranks with exponent `s` (typically ~1).
+  ZipfSampler(std::size_t n, double s);
+
+  /// Samples a rank in [0, n); rank 0 is the most popular.
+  std::size_t sample(Rng& rng) const noexcept;
+
+  std::size_t size() const noexcept { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace dnh::util

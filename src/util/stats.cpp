@@ -1,0 +1,121 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cassert>
+#include <stdexcept>
+
+namespace dnh::util {
+
+void CdfAccumulator::add(double x, std::uint64_t count) {
+  samples_.insert(samples_.end(), count, x);
+  sorted_ = false;
+}
+
+void CdfAccumulator::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double CdfAccumulator::cdf_at(double x) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+double CdfAccumulator::quantile(double q) const {
+  if (samples_.empty()) throw std::runtime_error("quantile of empty CDF");
+  ensure_sorted();
+  q = std::clamp(q, 0.0, 1.0);
+  const auto n = samples_.size();
+  // Ceiling rank: the smallest sample s with P(X <= s) >= q.
+  std::size_t idx =
+      q <= 0.0 ? 0
+               : static_cast<std::size_t>(
+                     std::ceil(q * static_cast<double>(n))) - 1;
+  if (idx >= n) idx = n - 1;
+  return samples_[idx];
+}
+
+double CdfAccumulator::min() const {
+  ensure_sorted();
+  return samples_.empty() ? 0.0 : samples_.front();
+}
+
+double CdfAccumulator::max() const {
+  ensure_sorted();
+  return samples_.empty() ? 0.0 : samples_.back();
+}
+
+double CdfAccumulator::mean() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double s : samples_) sum += s;
+  return sum / static_cast<double>(samples_.size());
+}
+
+std::vector<double> CdfAccumulator::cdf_series(
+    const std::vector<double>& xs) const {
+  std::vector<double> out;
+  out.reserve(xs.size());
+  for (double x : xs) out.push_back(cdf_at(x));
+  return out;
+}
+
+void Counter::add(const std::string& key, double weight) {
+  counts_[key] += weight;
+  total_ += weight;
+}
+
+double Counter::get(const std::string& key) const {
+  const auto it = counts_.find(key);
+  return it == counts_.end() ? 0.0 : it->second;
+}
+
+std::vector<std::pair<std::string, double>> Counter::top(std::size_t k) const {
+  std::vector<std::pair<std::string, double>> out(counts_.begin(),
+                                                  counts_.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (k > 0 && out.size() > k) out.resize(k);
+  return out;
+}
+
+TimeBinSeries::TimeBinSeries(std::int64_t origin_seconds,
+                             std::int64_t bin_seconds, std::size_t n_bins)
+    : origin_{origin_seconds}, width_{bin_seconds}, values_(n_bins, 0.0) {
+  assert(bin_seconds > 0);
+}
+
+std::size_t TimeBinSeries::bin_of(std::int64_t t_seconds) const {
+  assert(in_range(t_seconds));
+  return static_cast<std::size_t>((t_seconds - origin_) / width_);
+}
+
+bool TimeBinSeries::in_range(std::int64_t t_seconds) const {
+  if (t_seconds < origin_) return false;
+  const auto bin = (t_seconds - origin_) / width_;
+  return static_cast<std::size_t>(bin) < values_.size();
+}
+
+void TimeBinSeries::add(std::int64_t t_seconds, double value) {
+  if (in_range(t_seconds)) values_[bin_of(t_seconds)] += value;
+}
+
+std::int64_t TimeBinSeries::bin_start_seconds(std::size_t bin) const {
+  return origin_ + static_cast<std::int64_t>(bin) * width_;
+}
+
+double TimeBinSeries::max_value() const {
+  double m = 0.0;
+  for (double v : values_) m = std::max(m, v);
+  return m;
+}
+
+}  // namespace dnh::util

@@ -1,0 +1,82 @@
+// Statistics accumulators used by the analytics modules and the benches.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dnh::util {
+
+/// Collects samples and answers quantile / CDF queries; backs every CDF
+/// figure reproduction (Figs. 3, 12, 13).
+class CdfAccumulator {
+ public:
+  void add(double x) { samples_.push_back(x); sorted_ = false; }
+  void add(double x, std::uint64_t count);
+
+  std::size_t count() const noexcept { return samples_.size(); }
+  bool empty() const noexcept { return samples_.empty(); }
+
+  /// P(X <= x). Returns 0 for an empty accumulator.
+  double cdf_at(double x) const;
+
+  /// Smallest sample s with P(X <= s) >= q, q in [0,1].
+  double quantile(double q) const;
+
+  double min() const;
+  double max() const;
+  double mean() const;
+
+  /// Evaluates the CDF at each of `xs`; convenient for printing figure series.
+  std::vector<double> cdf_series(const std::vector<double>& xs) const;
+
+ private:
+  void ensure_sorted() const;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+/// Counts occurrences of string keys and reports the top-k; used for the
+/// content-discovery and service-tag tables.
+class Counter {
+ public:
+  void add(const std::string& key, double weight = 1.0);
+
+  double get(const std::string& key) const;
+  std::size_t distinct() const noexcept { return counts_.size(); }
+  double total() const noexcept { return total_; }
+
+  /// Entries sorted by descending weight (ties broken by key for
+  /// determinism), truncated to `k` (0 = all).
+  std::vector<std::pair<std::string, double>> top(std::size_t k = 0) const;
+
+ private:
+  std::map<std::string, double> counts_;
+  double total_ = 0.0;
+};
+
+/// Fixed-width time-bin series: maps timestamps to bins and accumulates a
+/// value per bin; backs the timeline figures (Figs. 4, 5, 11, 14).
+class TimeBinSeries {
+ public:
+  /// Bins of `bin_seconds` starting at `origin_seconds` (epoch seconds).
+  TimeBinSeries(std::int64_t origin_seconds, std::int64_t bin_seconds,
+                std::size_t n_bins);
+
+  std::size_t bin_of(std::int64_t t_seconds) const;
+  bool in_range(std::int64_t t_seconds) const;
+  void add(std::int64_t t_seconds, double value = 1.0);
+
+  std::size_t size() const noexcept { return values_.size(); }
+  double at(std::size_t bin) const { return values_.at(bin); }
+  std::int64_t bin_start_seconds(std::size_t bin) const;
+  double max_value() const;
+
+ private:
+  std::int64_t origin_;
+  std::int64_t width_;
+  std::vector<double> values_;
+};
+
+}  // namespace dnh::util

@@ -1,0 +1,104 @@
+#include "util/strings.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+namespace dnh::util {
+
+std::vector<std::string_view> split(std::string_view s, char sep) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.push_back(s.substr(start));
+      return out;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::vector<std::string_view> split_any(std::string_view s,
+                                        std::string_view seps) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || seps.find(s[i]) != std::string_view::npos) {
+      if (i > start) out.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+namespace {
+template <typename V>
+std::string join_impl(const V& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+}  // namespace
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  return join_impl(parts, sep);
+}
+
+std::string join(const std::vector<std::string_view>& parts,
+                 std::string_view sep) {
+  return join_impl(parts, sep);
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out{s};
+  for (char& c : out)
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+bool iequals(std::string_view s, std::string_view t) {
+  if (s.size() != t.size()) return false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(s[i])) !=
+        std::tolower(static_cast<unsigned char>(t[i])))
+      return false;
+  }
+  return true;
+}
+
+bool iends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         iequals(s.substr(s.size() - suffix.size()), suffix);
+}
+
+bool all_digits(std::string_view s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+std::string with_commas(std::uint64_t n) {
+  std::string digits = std::to_string(n);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  const std::size_t lead = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i - lead) % 3 == 0 && i >= lead) out += ',';
+    out += digits[i];
+  }
+  return out;
+}
+
+std::string percent(double ratio, int decimals) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.*f%%", decimals, ratio * 100.0);
+  return buf;
+}
+
+}  // namespace dnh::util

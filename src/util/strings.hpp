@@ -1,0 +1,40 @@
+// Small string utilities shared across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dnh::util {
+
+/// Splits `s` on `sep`, keeping empty fields ("a..b" -> {"a","","b"}).
+std::vector<std::string_view> split(std::string_view s, char sep);
+
+/// Splits `s` on any character in `seps`, dropping empty fields.
+std::vector<std::string_view> split_any(std::string_view s,
+                                        std::string_view seps);
+
+/// Joins `parts` with `sep`.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+std::string join(const std::vector<std::string_view>& parts,
+                 std::string_view sep);
+
+/// ASCII lower-casing (DNS names are case-insensitive; we canonicalize).
+std::string to_lower(std::string_view s);
+
+/// True if `s` ends with `suffix` (ASCII case-insensitive).
+bool iends_with(std::string_view s, std::string_view suffix);
+
+/// True if `s` equals `t` ASCII case-insensitively.
+bool iequals(std::string_view s, std::string_view t);
+
+/// True if every character is an ASCII digit (and s is non-empty).
+bool all_digits(std::string_view s);
+
+/// Formats `n` with thousands separators: 1234567 -> "1,234,567".
+std::string with_commas(std::uint64_t n);
+
+/// Formats a ratio as a fixed-precision percentage, e.g. "92.3%".
+std::string percent(double ratio, int decimals = 1);
+
+}  // namespace dnh::util

@@ -1,0 +1,66 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+
+namespace dnh::util {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_{std::move(header)} {}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t i = 0; i < header_.size(); ++i)
+    widths[i] = header_[i].size();
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i)
+      widths[i] = std::max(widths[i], row[i].size());
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string{};
+      line += cell;
+      if (i + 1 < widths.size())
+        line += std::string(widths[i] - cell.size() + 2, ' ');
+    }
+    // Trim trailing spaces.
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    return line + "\n";
+  };
+
+  std::string out = render_row(header_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  out += std::string(total > 2 ? total - 2 : total, '-') + "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string sparkline(const std::vector<double>& values) {
+  static const char* kBlocks[] = {" ", "▁", "▂", "▃",
+                                  "▄", "▅", "▆", "▇",
+                                  "█"};
+  double max = 0.0;
+  for (double v : values) max = std::max(max, v);
+  std::string out;
+  for (double v : values) {
+    int level = max <= 0.0 ? 0 : static_cast<int>(v / max * 8.0 + 0.5);
+    level = std::clamp(level, 0, 8);
+    out += kBlocks[level];
+  }
+  return out;
+}
+
+std::string hbar(double value, double max, int width) {
+  if (max <= 0.0) return {};
+  int n = static_cast<int>(value / max * width + 0.5);
+  n = std::clamp(n, 0, width);
+  return std::string(static_cast<std::size_t>(n), '#');
+}
+
+}  // namespace dnh::util

@@ -1,0 +1,36 @@
+// Aligned ASCII table / sparkline rendering for the bench reports.
+//
+// Every bench prints the paper's table rows (or figure series) next to the
+// measured values; this keeps that output legible and uniform.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dnh::util {
+
+/// Column-aligned ASCII table with a header row.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Renders with a separator under the header. Rows shorter than the header
+  /// are padded with empty cells.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Renders `values` as a unicode block-character sparkline (one char per
+/// value, scaled to the series max); used for figure-shaped bench output.
+std::string sparkline(const std::vector<double>& values);
+
+/// Renders a horizontal bar of width proportional to value/max (for CDF and
+/// timeline rows), `width` characters at full scale.
+std::string hbar(double value, double max, int width = 40);
+
+}  // namespace dnh::util

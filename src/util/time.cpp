@@ -1,0 +1,34 @@
+#include "util/time.hpp"
+
+#include <cstdio>
+
+namespace dnh::util {
+
+std::string format_hhmm(Timestamp t) {
+  const std::int64_t sod = t.seconds_of_day();
+  char buf[8];
+  std::snprintf(buf, sizeof buf, "%02lld:%02lld",
+                static_cast<long long>(sod / 3600),
+                static_cast<long long>((sod / 60) % 60));
+  return buf;
+}
+
+std::string format_duration(Duration d) {
+  const double s = d.total_seconds();
+  char buf[32];
+  if (s < 0.001) {
+    std::snprintf(buf, sizeof buf, "%lldus",
+                  static_cast<long long>(d.total_micros()));
+  } else if (s < 1.0) {
+    std::snprintf(buf, sizeof buf, "%.0fms", s * 1e3);
+  } else if (s < 120.0) {
+    std::snprintf(buf, sizeof buf, "%.1fs", s);
+  } else if (s < 7200.0) {
+    std::snprintf(buf, sizeof buf, "%.1fmin", s / 60.0);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1fh", s / 3600.0);
+  }
+  return buf;
+}
+
+}  // namespace dnh::util

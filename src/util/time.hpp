@@ -1,0 +1,115 @@
+// Trace time types.
+//
+// All timestamps in the library are simulated wall-clock time carried in the
+// pcap record headers, represented as microseconds since the Unix epoch.
+// Strong types keep seconds/microseconds confusion out of the interfaces
+// (C++ Core Guidelines I.4).
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <string>
+
+namespace dnh::util {
+
+/// A span of simulated time, microsecond resolution, signed.
+class Duration {
+ public:
+  constexpr Duration() noexcept = default;
+
+  static constexpr Duration micros(std::int64_t us) noexcept {
+    return Duration{us};
+  }
+  static constexpr Duration millis(std::int64_t ms) noexcept {
+    return Duration{ms * 1000};
+  }
+  static constexpr Duration seconds(double s) noexcept {
+    return Duration{static_cast<std::int64_t>(s * 1e6)};
+  }
+  static constexpr Duration minutes(std::int64_t m) noexcept {
+    return Duration{m * 60'000'000};
+  }
+  static constexpr Duration hours(std::int64_t h) noexcept {
+    return Duration{h * 3'600'000'000LL};
+  }
+  static constexpr Duration days(std::int64_t d) noexcept {
+    return Duration{d * 86'400'000'000LL};
+  }
+
+  constexpr std::int64_t total_micros() const noexcept { return us_; }
+  constexpr double total_seconds() const noexcept {
+    return static_cast<double>(us_) / 1e6;
+  }
+  constexpr double total_hours() const noexcept {
+    return total_seconds() / 3600.0;
+  }
+
+  constexpr auto operator<=>(const Duration&) const noexcept = default;
+  constexpr Duration operator+(Duration o) const noexcept {
+    return Duration{us_ + o.us_};
+  }
+  constexpr Duration operator-(Duration o) const noexcept {
+    return Duration{us_ - o.us_};
+  }
+  constexpr Duration operator*(double k) const noexcept {
+    return Duration{static_cast<std::int64_t>(static_cast<double>(us_) * k)};
+  }
+  constexpr Duration operator/(std::int64_t k) const noexcept {
+    return Duration{us_ / k};
+  }
+  constexpr double operator/(Duration o) const noexcept {
+    return static_cast<double>(us_) / static_cast<double>(o.us_);
+  }
+
+ private:
+  constexpr explicit Duration(std::int64_t us) noexcept : us_{us} {}
+  std::int64_t us_ = 0;
+};
+
+/// An absolute instant: microseconds since the Unix epoch (UTC).
+class Timestamp {
+ public:
+  constexpr Timestamp() noexcept = default;
+
+  static constexpr Timestamp from_micros(std::int64_t us) noexcept {
+    return Timestamp{us};
+  }
+  static constexpr Timestamp from_seconds(std::int64_t s) noexcept {
+    return Timestamp{s * 1'000'000};
+  }
+
+  constexpr std::int64_t micros_since_epoch() const noexcept { return us_; }
+  constexpr std::int64_t seconds_since_epoch() const noexcept {
+    return us_ / 1'000'000;
+  }
+
+  constexpr auto operator<=>(const Timestamp&) const noexcept = default;
+  constexpr Timestamp operator+(Duration d) const noexcept {
+    return Timestamp{us_ + d.total_micros()};
+  }
+  constexpr Timestamp operator-(Duration d) const noexcept {
+    return Timestamp{us_ - d.total_micros()};
+  }
+  constexpr Duration operator-(Timestamp o) const noexcept {
+    return Duration::micros(us_ - o.us_);
+  }
+
+  /// Seconds since the preceding UTC midnight; used for diurnal curves and
+  /// time-of-day bench axes.
+  constexpr std::int64_t seconds_of_day() const noexcept {
+    const std::int64_t s = seconds_since_epoch() % 86'400;
+    return s < 0 ? s + 86'400 : s;
+  }
+
+ private:
+  constexpr explicit Timestamp(std::int64_t us) noexcept : us_{us} {}
+  std::int64_t us_ = 0;
+};
+
+/// Formats the time of day as "HH:MM" (UTC), as used on the paper's x-axes.
+std::string format_hhmm(Timestamp t);
+
+/// Formats a duration as a compact human string ("1.2s", "350ms", "2h").
+std::string format_duration(Duration d);
+
+}  // namespace dnh::util

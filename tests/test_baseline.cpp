@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include "baseline/cert_inspection.hpp"
+#include "baseline/dpi.hpp"
+#include "baseline/reverse_dns.hpp"
+#include "http/http.hpp"
+#include "tls/handshake.hpp"
+
+namespace dnh::baseline {
+namespace {
+
+flow::FlowRecord make_flow(net::Bytes c2s, net::Bytes s2c = {},
+                           std::uint16_t port = 80) {
+  flow::FlowRecord flow;
+  flow.key.client_ip = net::Ipv4Address{10, 0, 0, 1};
+  flow.key.server_ip = net::Ipv4Address{1, 2, 3, 4};
+  flow.key.client_port = 50000;
+  flow.key.server_port = port;
+  flow.head_c2s = std::move(c2s);
+  flow.head_s2c = std::move(s2c);
+  return flow;
+}
+
+// ------------------------------------------------------------------ DPI
+
+TEST(Dpi, ClassifiesHttp) {
+  const auto flow = make_flow(http::build_get("example.com", "/"));
+  EXPECT_EQ(classify(flow), flow::ProtocolClass::kHttp);
+  EXPECT_EQ(dpi_label(flow), "example.com");
+}
+
+TEST(Dpi, ClassifiesTlsAndExtractsSni) {
+  const auto flow = make_flow(tls::build_client_hello("mail.google.com"),
+                              tls::build_server_flight({}), 443);
+  EXPECT_EQ(classify(flow), flow::ProtocolClass::kTls);
+  EXPECT_EQ(dpi_label(flow), "mail.google.com");
+}
+
+TEST(Dpi, TlsWithoutSniHasNoLabel) {
+  const auto flow = make_flow(tls::build_client_hello(""), {}, 443);
+  EXPECT_EQ(classify(flow), flow::ProtocolClass::kTls);
+  EXPECT_FALSE(dpi_label(flow));
+}
+
+TEST(Dpi, ClassifiesBitTorrentHandshake) {
+  net::Bytes hs(68, 0);
+  const char* proto = "\x13" "BitTorrent protocol";
+  std::copy(proto, proto + 20, hs.begin());
+  const auto flow = make_flow(hs, {}, 26881);
+  EXPECT_EQ(classify(flow), flow::ProtocolClass::kP2p);
+  EXPECT_TRUE(looks_like_bittorrent(flow.head_c2s));
+}
+
+TEST(Dpi, ClassifiesTrackerAnnounceAsP2p) {
+  const auto announce = http::build_get(
+      "tracker.example.org", "/announce?info_hash=%aa%bb&port=6881");
+  const auto flow = make_flow(announce, {}, 6969);
+  EXPECT_TRUE(looks_like_tracker_announce(flow.head_c2s));
+  EXPECT_EQ(classify(flow), flow::ProtocolClass::kP2p);
+  // DPI still extracts the Host as a label for it.
+  EXPECT_EQ(dpi_label(flow), "tracker.example.org");
+}
+
+TEST(Dpi, ClassifiesDnsByPort) {
+  flow::FlowRecord flow;
+  flow.key.transport = flow::Transport::kUdp;
+  flow.key.server_port = 53;
+  EXPECT_EQ(classify(flow), flow::ProtocolClass::kDns);
+}
+
+TEST(Dpi, EmptyPayloadFallsBackToPorts) {
+  EXPECT_EQ(classify(make_flow({}, {}, 80)), flow::ProtocolClass::kHttp);
+  EXPECT_EQ(classify(make_flow({}, {}, 443)), flow::ProtocolClass::kTls);
+  EXPECT_EQ(classify(make_flow({}, {}, 12345)),
+            flow::ProtocolClass::kUnknown);
+}
+
+TEST(Dpi, OpaquePayloadIsOther) {
+  EXPECT_EQ(classify(make_flow({0xde, 0xad, 0xbe, 0xef}, {}, 9999)),
+            flow::ProtocolClass::kOther);
+}
+
+TEST(Dpi, TlsDetectedFromServerSideOnly) {
+  // Client payload missing (e.g. asymmetric capture) but server flight
+  // present.
+  const auto flow = make_flow({}, tls::build_server_flight({}), 443);
+  EXPECT_EQ(classify(flow), flow::ProtocolClass::kTls);
+}
+
+// ------------------------------------------------- certificate inspection
+
+TEST(CertInspection, ExactMatch) {
+  tls::CertificateInfo info;
+  info.subject_cn = "www.linkedin.com";
+  EXPECT_EQ(compare_names(info, "www.linkedin.com"),
+            CertOutcome::kEqualFqdn);
+}
+
+TEST(CertInspection, SanExactMatch) {
+  tls::CertificateInfo info;
+  info.subject_cn = "linkedin.com";
+  info.san_dns = {"www.linkedin.com"};
+  EXPECT_EQ(compare_names(info, "www.linkedin.com"),
+            CertOutcome::kEqualFqdn);
+}
+
+TEST(CertInspection, WildcardIsGeneric) {
+  tls::CertificateInfo info;
+  info.subject_cn = "*.google.com";
+  EXPECT_EQ(compare_names(info, "mail.google.com"), CertOutcome::kGeneric);
+}
+
+TEST(CertInspection, SameSldOtherServiceIsGeneric) {
+  tls::CertificateInfo info;
+  info.subject_cn = "www.google.com";
+  EXPECT_EQ(compare_names(info, "docs.google.com"), CertOutcome::kGeneric);
+}
+
+TEST(CertInspection, CdnCertificateIsTotallyDifferent) {
+  tls::CertificateInfo info;
+  info.subject_cn = "a248.e.akamai.net";
+  EXPECT_EQ(compare_names(info, "static.zynga.com"),
+            CertOutcome::kTotallyDifferent);
+}
+
+TEST(CertInspection, FlowWithoutCertificate) {
+  const auto flow = make_flow(tls::build_client_hello("x.example.com"),
+                              tls::build_server_flight({}), 443);
+  EXPECT_EQ(compare_certificate(flow, "x.example.com"),
+            CertOutcome::kNoCertificate);
+}
+
+TEST(CertInspection, EndToEndFromFlowPayload) {
+  const auto cert = tls::build_certificate("*.zynga.com", "CA");
+  const auto flow = make_flow(tls::build_client_hello("poker.zynga.com"),
+                              tls::build_server_flight({cert}), 443);
+  const auto info = inspect_certificate(flow);
+  ASSERT_TRUE(info);
+  EXPECT_EQ(info->subject_cn, "*.zynga.com");
+  EXPECT_EQ(compare_certificate(flow, "poker.zynga.com"),
+            CertOutcome::kGeneric);
+  EXPECT_EQ(compare_certificate(flow, "www.linkedin.com"),
+            CertOutcome::kTotallyDifferent);
+}
+
+TEST(CertInspection, OutcomeNames) {
+  EXPECT_EQ(cert_outcome_name(CertOutcome::kEqualFqdn),
+            "Certificate equal FQDN");
+  EXPECT_EQ(cert_outcome_name(CertOutcome::kNoCertificate),
+            "No certificate");
+}
+
+// --------------------------------------------------------- reverse DNS
+
+TEST(ReverseDns, DatabaseQueryAndMiss) {
+  PtrDatabase db;
+  const net::Ipv4Address a{8, 8, 8, 8};
+  db.add(a, "DNS.Google");
+  EXPECT_EQ(db.query(a), "dns.google");  // canonicalized
+  EXPECT_FALSE(db.query(net::Ipv4Address{9, 9, 9, 9}));
+  EXPECT_EQ(db.size(), 1u);
+}
+
+TEST(ReverseDns, OutcomeClassification) {
+  EXPECT_EQ(compare_reverse_lookup("www.example.com", "www.example.com"),
+            ReverseLookupOutcome::kSameFqdn);
+  EXPECT_EQ(compare_reverse_lookup("srv1.example.com", "www.example.com"),
+            ReverseLookupOutcome::kSameSecondLevel);
+  EXPECT_EQ(compare_reverse_lookup("a1-2.deploy.akamaitechnologies.com",
+                                   "static.zynga.com"),
+            ReverseLookupOutcome::kTotallyDifferent);
+  EXPECT_EQ(compare_reverse_lookup(std::nullopt, "www.example.com"),
+            ReverseLookupOutcome::kNoAnswer);
+}
+
+TEST(ReverseDns, CaseInsensitiveComparison) {
+  EXPECT_EQ(compare_reverse_lookup("WWW.Example.COM", "www.example.com"),
+            ReverseLookupOutcome::kSameFqdn);
+}
+
+TEST(ReverseDns, OutcomeNames) {
+  EXPECT_EQ(reverse_outcome_name(ReverseLookupOutcome::kSameFqdn),
+            "Same FQDN");
+  EXPECT_EQ(reverse_outcome_name(ReverseLookupOutcome::kNoAnswer),
+            "No-answer");
+}
+
+}  // namespace
+}  // namespace dnh::baseline

@@ -1,0 +1,103 @@
+// Calibration regression guards: the five Table-1 profiles must keep
+// producing the paper's statistical shapes. These bounds are deliberately
+// loose — they catch a broken mechanism (e.g. warm-up or tunneling logic
+// regressing), not seed-level jitter.
+#include <gtest/gtest.h>
+
+#include "analytics/delay.hpp"
+#include "trafficgen/profiles.hpp"
+#include "trafficgen/simulator.hpp"
+
+namespace dnh {
+namespace {
+
+struct TraceShape {
+  double http_hit = 0.0;
+  double tls_hit = 0.0;
+  double p2p_hit = 0.0;
+  double useless_dns = 0.0;
+  std::uint64_t flows = 0;
+};
+
+TraceShape shape_of(const trafficgen::TraceProfile& profile) {
+  trafficgen::Simulator sim{profile};
+  auto trace = sim.run_events();
+  const auto warmup_end =
+      sim.start_time() + util::Duration::minutes(5);
+
+  std::uint64_t http = 0, http_hit = 0, tls = 0, tls_hit = 0, p2p = 0,
+                p2p_hit = 0;
+  for (const auto& flow : trace.db.flows()) {
+    if (flow.first_packet < warmup_end) continue;
+    switch (flow.protocol) {
+      case flow::ProtocolClass::kHttp:
+        ++http;
+        http_hit += flow.labeled();
+        break;
+      case flow::ProtocolClass::kTls:
+        ++tls;
+        tls_hit += flow.labeled();
+        break;
+      case flow::ProtocolClass::kP2p:
+        ++p2p;
+        p2p_hit += flow.labeled();
+        break;
+      default:
+        break;
+    }
+  }
+  const auto delays = analytics::analyze_delays(trace.dns_log, trace.db);
+  TraceShape shape;
+  shape.flows = trace.db.size();
+  shape.http_hit = http ? double(http_hit) / double(http) : 0.0;
+  shape.tls_hit = tls ? double(tls_hit) / double(tls) : 0.0;
+  shape.p2p_hit = p2p ? double(p2p_hit) / double(p2p) : 1.0;
+  shape.useless_dns = delays.useless_fraction();
+  return shape;
+}
+
+TEST(Calibration, FixedLineTracesMatchPaperShapes) {
+  for (auto profile : {trafficgen::profile_eu2_adsl(),
+                       trafficgen::profile_eu1_adsl2(),
+                       trafficgen::profile_eu1_ftth()}) {
+    // Thin long traces so the suite stays fast; percentages survive.
+    profile.duration = util::Duration::hours(2);
+    const auto shape = shape_of(profile);
+    SCOPED_TRACE(profile.name);
+    EXPECT_GT(shape.http_hit, 0.82);   // paper: 90-97%
+    EXPECT_LT(shape.http_hit, 1.0);    // misses must exist
+    EXPECT_GT(shape.tls_hit, 0.78);    // paper: 84-96%
+    EXPECT_LT(shape.p2p_hit, 0.15);    // paper: ~1%
+    EXPECT_GT(shape.useless_dns, 0.35);  // paper: 46-50%
+    EXPECT_LT(shape.useless_dns, 0.62);
+  }
+}
+
+TEST(Calibration, MobileTraceHasDegradedVisibility) {
+  auto mobile = trafficgen::profile_us_3g();
+  const auto shape = shape_of(mobile);
+  // Paper: 75%/74% — tunneling and roaming must depress both well below
+  // the fixed-line traces.
+  EXPECT_GT(shape.http_hit, 0.6);
+  EXPECT_LT(shape.http_hit, 0.88);
+  EXPECT_GT(shape.tls_hit, 0.5);
+  EXPECT_LT(shape.tls_hit, 0.85);
+  // Mobile prefetches less (paper: 30% vs ~47%).
+  EXPECT_LT(shape.useless_dns, 0.40);
+  // Tracker-heavy mobile BT: more P2P hits than fixed line, still small.
+  EXPECT_LT(shape.p2p_hit, 0.25);
+}
+
+TEST(Calibration, TraceSizeOrderingMatchesTable1) {
+  // Flow-volume ordering from Table 1 must hold among the 3h/5h/6h traces
+  // (EU1-ADSL1's 24h run is thinned out of this quick suite).
+  const auto us3g = shape_of(trafficgen::profile_us_3g());
+  const auto ftth = shape_of(trafficgen::profile_eu1_ftth());
+  auto eu2_profile = trafficgen::profile_eu2_adsl();
+  const auto eu2 = shape_of(eu2_profile);
+  EXPECT_GT(eu2.flows, us3g.flows);
+  EXPECT_GT(us3g.flows, ftth.flows);
+}
+
+}  // namespace
+}  // namespace dnh

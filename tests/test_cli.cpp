@@ -1,0 +1,176 @@
+// End-to-end tests of the `dnhunter` CLI binary: each subcommand is run
+// against a small generated capture and its output/exit code checked.
+// The binary path is injected by CMake via DNHUNTER_BIN.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "trafficgen/profiles.hpp"
+#include "trafficgen/simulator.hpp"
+
+#ifndef DNHUNTER_BIN
+#error "DNHUNTER_BIN must be defined by the build"
+#endif
+
+namespace dnh {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct CommandResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+CommandResult run_cli(const std::string& args) {
+  const std::string command =
+      std::string{DNHUNTER_BIN} + " " + args + " 2>&1";
+  std::FILE* pipe = popen(command.c_str(), "r");
+  CommandResult result;
+  if (!pipe) return result;
+  std::array<char, 4096> buffer;
+  std::size_t n;
+  while ((n = std::fread(buffer.data(), 1, buffer.size(), pipe)) > 0)
+    result.output.append(buffer.data(), n);
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+class CliTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dir_ = fs::temp_directory_path() / "dnh_cli_test";
+    fs::create_directories(dir_);
+    pcap_ = (dir_ / "cli.pcap").string();
+    auto profile = trafficgen::profile_eu1_ftth();
+    profile.name = "cli-test";
+    profile.duration = util::Duration::minutes(40);
+    profile.n_clients = 40;
+    profile.world.tail_organizations = 200;
+    trafficgen::Simulator sim{profile};
+    ASSERT_TRUE(sim.write_pcap(pcap_));
+  }
+  static void TearDownTestSuite() { fs::remove_all(dir_); }
+
+  static fs::path dir_;
+  static std::string pcap_;
+};
+
+fs::path CliTest::dir_;
+std::string CliTest::pcap_;
+
+TEST_F(CliTest, HelpExitsCleanly) {
+  const auto result = run_cli("--help");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("usage:"), std::string::npos);
+}
+
+TEST_F(CliTest, MissingArgsFailWithUsage) {
+  EXPECT_EQ(run_cli("").exit_code, 2);
+  EXPECT_EQ(run_cli("summary").exit_code, 2);
+  EXPECT_EQ(run_cli("bogus-command " + pcap_).exit_code, 2);
+}
+
+TEST_F(CliTest, MissingCaptureFails) {
+  const auto result = run_cli("summary /nonexistent/x.pcap");
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.output.find("error"), std::string::npos);
+}
+
+TEST_F(CliTest, SummaryReportsFlowsAndHitRatio) {
+  const auto result = run_cli("summary " + pcap_);
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("dns responses"), std::string::npos);
+  EXPECT_NE(result.output.find("hit ratio"), std::string::npos);
+  EXPECT_NE(result.output.find("HTTP"), std::string::npos);
+}
+
+TEST_F(CliTest, FlowsListsLabels) {
+  const auto result = run_cli("flows " + pcap_ + " --limit 10");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("flows shown"), std::string::npos);
+}
+
+TEST_F(CliTest, TagsRequiresPort) {
+  EXPECT_EQ(run_cli("tags " + pcap_).exit_code, 2);
+  const auto result = run_cli("tags " + pcap_ + " --port 80 --top 5");
+  EXPECT_EQ(result.exit_code, 0);
+}
+
+TEST_F(CliTest, TreeRendersDomainStructure) {
+  const auto result = run_cli("tree " + pcap_ + " zynga.com");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("zynga.com"), std::string::npos);
+  EXPECT_NE(result.output.find("token tree"), std::string::npos);
+}
+
+TEST_F(CliTest, PolicyCountsDecisions) {
+  const auto result =
+      run_cli("policy " + pcap_ + " --block zynga.com");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("decisions:"), std::string::npos);
+  EXPECT_NE(result.output.find("block="), std::string::npos);
+}
+
+TEST_F(CliTest, ExportWritesTsvRoundTrip) {
+  const std::string tsv = (dir_ / "flows.tsv").string();
+  const auto result = run_cli("export " + pcap_ + " --out " + tsv);
+  EXPECT_EQ(result.exit_code, 0);
+  ASSERT_TRUE(fs::exists(tsv));
+  std::FILE* file = std::fopen(tsv.c_str(), "r");
+  char line[64] = {};
+  ASSERT_TRUE(std::fgets(line, sizeof line, file));
+  std::fclose(file);
+  EXPECT_EQ(std::string{line}.substr(0, 18), "#dnhunter-flows v1");
+}
+
+TEST_F(CliTest, VolumeDelaysDimensionRun) {
+  EXPECT_EQ(run_cli("volume " + pcap_ + " --depth 2").exit_code, 0);
+  const auto delays = run_cli("delays " + pcap_);
+  EXPECT_EQ(delays.exit_code, 0);
+  EXPECT_NE(delays.output.find("useless DNS"), std::string::npos);
+  const auto dim = run_cli("dimension " + pcap_ + " --sizes 64,4096");
+  EXPECT_EQ(dim.exit_code, 0);
+  EXPECT_NE(dim.output.find("efficiency"), std::string::npos);
+}
+
+TEST_F(CliTest, AnomaliesAndDgaAndChurnRun) {
+  EXPECT_EQ(run_cli("anomalies " + pcap_).exit_code, 0);
+  const auto dga = run_cli("dga " + pcap_);
+  EXPECT_EQ(dga.exit_code, 0);
+  EXPECT_NE(dga.output.find("suspected DGA"), std::string::npos);
+  EXPECT_EQ(run_cli("churn " + pcap_ + " zynga.com --bin 10").exit_code, 0);
+}
+
+TEST_F(CliTest, TangleReportsEntanglement) {
+  const auto result = run_cli("tangle " + pcap_ + " --top 5");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("organizations"), std::string::npos);
+  EXPECT_NE(result.output.find("multi-tenant"), std::string::npos);
+}
+
+TEST_F(CliTest, SpatialNeedsFqdn) {
+  EXPECT_EQ(run_cli("spatial " + pcap_).exit_code, 2);
+}
+
+TEST_F(CliTest, ContentNeedsOrgDb) {
+  EXPECT_EQ(run_cli("content " + pcap_ + " --provider amazon").exit_code,
+            2);
+  // With a tiny orgdb file it must succeed.
+  const std::string orgdb_path = (dir_ / "orgs.txt").string();
+  std::FILE* file = std::fopen(orgdb_path.c_str(), "w");
+  std::fputs("# test org db\n54.224.0.0/16 amazon\n23.0.0.0/16 akamai\n",
+             file);
+  std::fclose(file);
+  const auto result = run_cli("content " + pcap_ + " --provider amazon " +
+                              "--orgdb " + orgdb_path);
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("amazon hosts"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dnh

@@ -1,0 +1,682 @@
+#include <gtest/gtest.h>
+
+#include "core/flowdb.hpp"
+#include "core/policy.hpp"
+#include "core/sniffer.hpp"
+#include "dns/message.hpp"
+#include "packet/build.hpp"
+
+namespace dnh::core {
+namespace {
+
+using net::Ipv4Address;
+using util::Timestamp;
+
+// --------------------------------------------------------------- FlowDb
+
+TaggedFlow make_flow(const std::string& fqdn, Ipv4Address server,
+                     std::uint16_t port = 80,
+                     Ipv4Address client = Ipv4Address{10, 0, 0, 1}) {
+  TaggedFlow flow;
+  flow.key.client_ip = client;
+  flow.key.server_ip = server;
+  flow.key.client_port = 50000;
+  flow.key.server_port = port;
+  flow.fqdn = fqdn;
+  flow.protocol = flow::ProtocolClass::kHttp;
+  return flow;
+}
+
+TEST(FlowDb, IndexesByFqdnSldServerAndPort) {
+  FlowDatabase db;
+  const Ipv4Address s1{1, 1, 1, 1};
+  const Ipv4Address s2{2, 2, 2, 2};
+  db.add(make_flow("www.zynga.com", s1, 443));
+  db.add(make_flow("static.zynga.com", s2, 80));
+  db.add(make_flow("www.linkedin.com", s1, 443));
+  db.add(make_flow("", s2, 6881));  // unlabeled
+
+  EXPECT_EQ(db.size(), 4u);
+  EXPECT_EQ(db.by_fqdn("www.zynga.com").size(), 1u);
+  EXPECT_EQ(db.by_second_level("zynga.com").size(), 2u);
+  EXPECT_EQ(db.by_server(s1).size(), 2u);
+  EXPECT_EQ(db.by_server_port(443).size(), 2u);
+  EXPECT_EQ(db.by_fqdn("absent.example.com").size(), 0u);
+}
+
+TEST(FlowDb, ServersForDomainQueries) {
+  FlowDatabase db;
+  const Ipv4Address s1{1, 1, 1, 1};
+  const Ipv4Address s2{2, 2, 2, 2};
+  db.add(make_flow("a.zynga.com", s1));
+  db.add(make_flow("a.zynga.com", s2));
+  db.add(make_flow("b.zynga.com", s2));
+  EXPECT_EQ(db.servers_for_fqdn("a.zynga.com").size(), 2u);
+  EXPECT_EQ(db.servers_for_second_level("zynga.com").size(), 2u);
+  EXPECT_EQ(db.fqdns_on_server(s2).size(), 2u);
+  EXPECT_EQ(db.distinct_fqdns().size(), 2u);
+}
+
+TEST(FlowDb, SecondLevelAccessor) {
+  const auto flow = make_flow("smtp2.mail.google.com", Ipv4Address{1, 2, 3, 4});
+  EXPECT_EQ(flow.second_level(), "google.com");
+}
+
+TEST(FlowDb, PortsByFlowCountOrdered) {
+  FlowDatabase db;
+  const Ipv4Address s{9, 9, 9, 9};
+  db.add(make_flow("a.x.com", s, 80));
+  db.add(make_flow("b.x.com", s, 80));
+  db.add(make_flow("c.x.com", s, 443));
+  const auto ports = db.ports_by_flow_count();
+  ASSERT_EQ(ports.size(), 2u);
+  EXPECT_EQ(ports[0].first, 80);
+  EXPECT_EQ(ports[0].second, 2u);
+}
+
+TEST(FlowDb, UnlabeledFlowsNotInNameIndexes) {
+  FlowDatabase db;
+  db.add(make_flow("", Ipv4Address{1, 1, 1, 1}));
+  EXPECT_EQ(db.by_second_level("").size(), 0u);
+  EXPECT_TRUE(db.distinct_fqdns().empty());
+}
+
+// --------------------------------------------------------------- Policy
+
+TEST(Policy, SuffixMatchingSemantics) {
+  EXPECT_TRUE(domain_suffix_match("zynga.com", "zynga.com"));
+  EXPECT_TRUE(domain_suffix_match("poker.zynga.com", "zynga.com"));
+  EXPECT_FALSE(domain_suffix_match("notzynga.com", "zynga.com"));
+  EXPECT_FALSE(domain_suffix_match("zynga.com.evil.net", "zynga.com"));
+  EXPECT_FALSE(domain_suffix_match("", "zynga.com"));
+  EXPECT_FALSE(domain_suffix_match("a.com", ""));
+}
+
+TEST(Policy, LongestSuffixWins) {
+  PolicyEnforcer enforcer;
+  enforcer.add_rule("google.com", PolicyAction::kDeprioritize);
+  enforcer.add_rule("mail.google.com", PolicyAction::kPrioritize);
+  EXPECT_EQ(enforcer.decide("mail.google.com"), PolicyAction::kPrioritize);
+  EXPECT_EQ(enforcer.decide("smtp.mail.google.com"),
+            PolicyAction::kPrioritize);
+  EXPECT_EQ(enforcer.decide("docs.google.com"),
+            PolicyAction::kDeprioritize);
+  EXPECT_EQ(enforcer.decide("example.org"), PolicyAction::kAllow);
+}
+
+TEST(Policy, ThePaperScenario) {
+  // Block Zynga, prioritize Dropbox — both on the same EC2 addresses.
+  PolicyEnforcer enforcer;
+  enforcer.add_rule("zynga.com", PolicyAction::kBlock);
+  enforcer.add_rule("dropbox.com", PolicyAction::kPrioritize);
+  EXPECT_EQ(enforcer.decide("fishville.facebook.zynga.com"),
+            PolicyAction::kBlock);
+  EXPECT_EQ(enforcer.decide("client.dropbox.com"),
+            PolicyAction::kPrioritize);
+  const auto& stats = enforcer.stats();
+  EXPECT_EQ(stats.blocked, 1u);
+  EXPECT_EQ(stats.prioritized, 1u);
+  EXPECT_EQ(stats.decisions, 2u);
+}
+
+TEST(Policy, UnlabeledGetsDefault) {
+  PolicyEnforcer enforcer{PolicyAction::kRateLimit};
+  EXPECT_EQ(enforcer.decide(""), PolicyAction::kRateLimit);
+  EXPECT_EQ(enforcer.stats().unlabeled, 1u);
+  EXPECT_EQ(enforcer.stats().rate_limited, 1u);
+}
+
+TEST(Policy, CaseInsensitiveRules) {
+  PolicyEnforcer enforcer;
+  enforcer.add_rule("Zynga.COM", PolicyAction::kBlock);
+  EXPECT_EQ(enforcer.decide("www.zynga.com"), PolicyAction::kBlock);
+}
+
+TEST(Policy, ActionNames) {
+  EXPECT_EQ(policy_action_name(PolicyAction::kBlock), "block");
+  EXPECT_EQ(policy_action_name(PolicyAction::kAllow), "allow");
+}
+
+// --------------------------------------------------------------- Sniffer
+
+class SnifferTest : public ::testing::Test {
+ protected:
+  static constexpr std::uint16_t kClientDnsPort = 33333;
+  const Ipv4Address kClient{10, 0, 0, 7};
+  const Ipv4Address kResolver{10, 200, 0, 1};
+  const Ipv4Address kServer{93, 184, 216, 34};
+
+  packet::FrameSpec udp_spec(Ipv4Address src, Ipv4Address dst,
+                             std::uint16_t sport, std::uint16_t dport) {
+    packet::FrameSpec s;
+    s.src_ip = src;
+    s.dst_ip = dst;
+    s.src_port = sport;
+    s.dst_port = dport;
+    return s;
+  }
+
+  void feed_dns_response(Sniffer& sniffer, const std::string& fqdn,
+                         std::vector<Ipv4Address> answers,
+                         std::int64_t t_seconds) {
+    const auto name = dns::DnsName::from_string(fqdn);
+    ASSERT_TRUE(name);
+    const auto msg = dns::make_a_response(1, *name, answers, 300);
+    const auto frame = packet::build_udp_frame(
+        udp_spec(kResolver, kClient, 53, kClientDnsPort), msg.encode());
+    sniffer.on_frame(frame, Timestamp::from_seconds(t_seconds));
+  }
+
+  void feed_tcp(Sniffer& sniffer, Ipv4Address src, Ipv4Address dst,
+                std::uint16_t sport, std::uint16_t dport,
+                std::uint8_t flags, std::int64_t t_seconds,
+                net::BytesView payload = {}) {
+    packet::FrameSpec s;
+    s.src_ip = src;
+    s.dst_ip = dst;
+    s.src_port = sport;
+    s.dst_port = dport;
+    const auto frame = packet::build_tcp_frame(s, flags, 0, 0, payload);
+    sniffer.on_frame(frame, Timestamp::from_seconds(t_seconds));
+  }
+};
+
+TEST_F(SnifferTest, TagsFlowFromPrecedingDnsResponse) {
+  Sniffer sniffer;
+  feed_dns_response(sniffer, "www.example.com", {kServer}, 100);
+  feed_tcp(sniffer, kClient, kServer, 50000, 80, packet::tcpflags::kSyn,
+           101);
+  sniffer.finish();
+
+  ASSERT_EQ(sniffer.database().size(), 1u);
+  const auto& flow = sniffer.database().flows()[0];
+  EXPECT_EQ(flow.fqdn, "www.example.com");
+  EXPECT_TRUE(flow.tagged_at_start);
+  EXPECT_EQ(flow.dns_response_time.seconds_since_epoch(), 100);
+  EXPECT_EQ(sniffer.stats().dns_responses, 1u);
+  EXPECT_EQ(sniffer.stats().flows_tagged_at_start, 1u);
+}
+
+TEST_F(SnifferTest, FlowWithoutDnsIsUnlabeled) {
+  Sniffer sniffer;
+  feed_tcp(sniffer, kClient, kServer, 50000, 80, packet::tcpflags::kSyn, 1);
+  sniffer.finish();
+  ASSERT_EQ(sniffer.database().size(), 1u);
+  EXPECT_FALSE(sniffer.database().flows()[0].labeled());
+}
+
+TEST_F(SnifferTest, DnsForOtherClientDoesNotTag) {
+  Sniffer sniffer;
+  const Ipv4Address other{10, 0, 0, 99};
+  // Response delivered to kClient; flow initiated by `other`.
+  feed_dns_response(sniffer, "www.example.com", {kServer}, 100);
+  feed_tcp(sniffer, other, kServer, 50000, 80, packet::tcpflags::kSyn, 101);
+  sniffer.finish();
+  ASSERT_EQ(sniffer.database().size(), 1u);
+  EXPECT_FALSE(sniffer.database().flows()[0].labeled());
+}
+
+TEST_F(SnifferTest, FlowStartHookSeesLabelBeforeAnyPayload) {
+  Sniffer sniffer;
+  std::string hooked_label;
+  sniffer.set_flow_start_hook(
+      [&](const flow::FlowRecord& flow, std::string_view fqdn) {
+        hooked_label = std::string{fqdn};
+        EXPECT_EQ(flow.total_packets(), 1u);  // the SYN
+      });
+  feed_dns_response(sniffer, "blocked.zynga.com", {kServer}, 10);
+  feed_tcp(sniffer, kClient, kServer, 50000, 443, packet::tcpflags::kSyn,
+           11);
+  EXPECT_EQ(hooked_label, "blocked.zynga.com");
+}
+
+TEST_F(SnifferTest, DnsQueriesCountedNotStored) {
+  Sniffer sniffer;
+  const auto name = dns::DnsName::from_string("q.example.com");
+  const auto query = dns::make_query(7, *name);
+  const auto frame = packet::build_udp_frame(
+      udp_spec(kClient, kResolver, kClientDnsPort, 53), query.encode());
+  sniffer.on_frame(frame, Timestamp::from_seconds(1));
+  EXPECT_EQ(sniffer.stats().dns_queries, 1u);
+  EXPECT_EQ(sniffer.stats().dns_responses, 0u);
+  EXPECT_TRUE(sniffer.dns_log().empty());
+}
+
+TEST_F(SnifferTest, MalformedDnsCountsAsParseFailure) {
+  Sniffer sniffer;
+  const net::Bytes junk{1, 2, 3};
+  const auto frame =
+      packet::build_udp_frame(udp_spec(kResolver, kClient, 53, 1234), junk);
+  sniffer.on_frame(frame, Timestamp::from_seconds(1));
+  EXPECT_EQ(sniffer.stats().dns_parse_failures, 1u);
+}
+
+TEST_F(SnifferTest, UndecodableFrameCounted) {
+  Sniffer sniffer;
+  const net::Bytes junk{1, 2, 3, 4, 5};
+  sniffer.on_frame(junk, Timestamp::from_seconds(1));
+  EXPECT_EQ(sniffer.stats().decode_failures, 1u);
+}
+
+TEST_F(SnifferTest, DnsLogRecordsAnswers) {
+  Sniffer sniffer;
+  feed_dns_response(sniffer, "multi.example.com",
+                    {kServer, Ipv4Address{93, 184, 216, 35}}, 55);
+  ASSERT_EQ(sniffer.dns_log().size(), 1u);
+  EXPECT_EQ(sniffer.dns_log()[0].fqdn, "multi.example.com");
+  EXPECT_EQ(sniffer.dns_log()[0].servers.size(), 2u);
+  EXPECT_EQ(sniffer.dns_log()[0].client, kClient);
+}
+
+TEST_F(SnifferTest, DnsLogCanBeDisabled) {
+  SnifferConfig config;
+  config.record_dns_log = false;
+  Sniffer sniffer{config};
+  feed_dns_response(sniffer, "x.example.com", {kServer}, 1);
+  EXPECT_TRUE(sniffer.dns_log().empty());
+  // Resolver still works.
+  feed_tcp(sniffer, kClient, kServer, 50000, 80, packet::tcpflags::kSyn, 2);
+  sniffer.finish();
+  EXPECT_EQ(sniffer.database().flows()[0].fqdn, "x.example.com");
+}
+
+TEST_F(SnifferTest, LateTagAtExportWhenDnsRacesFlow) {
+  Sniffer sniffer;
+  // Flow starts BEFORE the response is observed (race).
+  feed_tcp(sniffer, kClient, kServer, 50000, 80, packet::tcpflags::kSyn, 100);
+  feed_dns_response(sniffer, "race.example.com", {kServer}, 100);
+  feed_tcp(sniffer, kClient, kServer, 50000, 80,
+           packet::tcpflags::kFin | packet::tcpflags::kAck, 101);
+  feed_tcp(sniffer, kServer, kClient, 80, 50000,
+           packet::tcpflags::kFin | packet::tcpflags::kAck, 102);
+  ASSERT_EQ(sniffer.database().size(), 1u);
+  const auto& flow = sniffer.database().flows()[0];
+  EXPECT_EQ(flow.fqdn, "race.example.com");
+  EXPECT_FALSE(flow.tagged_at_start);
+  EXPECT_EQ(sniffer.stats().flows_tagged_at_export, 1u);
+}
+
+TEST_F(SnifferTest, ProcessPcapMissingFileFails) {
+  Sniffer sniffer;
+  EXPECT_FALSE(sniffer.process_pcap("/nonexistent/file.pcap"));
+  EXPECT_FALSE(sniffer.error().empty());
+}
+
+}  // namespace
+}  // namespace dnh::core
+
+namespace dnh::core {
+namespace {
+
+class TcpDnsTest : public SnifferTest {
+ protected:
+  /// Feeds a DNS response over TCP, optionally split into `segments`.
+  void feed_tcp_dns(Sniffer& sniffer, const std::string& fqdn,
+                    std::vector<Ipv4Address> answers, int segments,
+                    std::int64_t t = 100,
+                    std::uint16_t client_port = 45555) {
+    const auto name = dns::DnsName::from_string(fqdn);
+    ASSERT_TRUE(name);
+    const auto wire = dns::make_a_response(9, *name, answers, 60).encode();
+    net::ByteWriter framed;
+    framed.write_u16(static_cast<std::uint16_t>(wire.size()));
+    framed.write_bytes(wire);
+    const auto& bytes = framed.data();
+
+    const std::size_t per_segment =
+        (bytes.size() + segments - 1) / segments;
+    std::size_t offset = 0;
+    int i = 0;
+    while (offset < bytes.size()) {
+      const std::size_t n = std::min(per_segment, bytes.size() - offset);
+      packet::FrameSpec spec;
+      spec.src_ip = kResolver;
+      spec.dst_ip = kClient;
+      spec.src_port = 53;
+      spec.dst_port = client_port;
+      const auto frame = packet::build_tcp_frame(
+          spec, packet::tcpflags::kAck | packet::tcpflags::kPsh, 1, 1,
+          net::BytesView{bytes.data() + offset, n});
+      sniffer.on_frame(frame, Timestamp::from_seconds(t + i++));
+      offset += n;
+    }
+  }
+};
+
+TEST_F(TcpDnsTest, SingleSegmentResponseTags) {
+  Sniffer sniffer;
+  feed_tcp_dns(sniffer, "big.example.com", {kServer}, 1);
+  EXPECT_EQ(sniffer.stats().dns_tcp_messages, 1u);
+  feed_tcp(sniffer, kClient, kServer, 50000, 80, packet::tcpflags::kSyn,
+           200);
+  sniffer.finish();
+  EXPECT_EQ(sniffer.database().flows()[0].fqdn, "big.example.com");
+}
+
+TEST_F(TcpDnsTest, ResponseSplitAcrossSegmentsReassembles) {
+  Sniffer sniffer;
+  std::vector<Ipv4Address> answers;
+  for (int i = 0; i < 20; ++i)
+    answers.push_back(Ipv4Address{93, 184, 0, static_cast<std::uint8_t>(i)});
+  feed_tcp_dns(sniffer, "many.example.com", answers, 3);
+  EXPECT_EQ(sniffer.stats().dns_responses, 1u);
+  EXPECT_EQ(sniffer.stats().dns_tcp_messages, 1u);
+  // Every answer address became a resolver key.
+  feed_tcp(sniffer, kClient, answers[17], 50000, 80,
+           packet::tcpflags::kSyn, 300);
+  sniffer.finish();
+  EXPECT_EQ(sniffer.database().flows()[0].fqdn, "many.example.com");
+}
+
+TEST_F(TcpDnsTest, TwoMessagesInOneSegment) {
+  Sniffer sniffer;
+  net::ByteWriter both;
+  for (const char* fqdn : {"one.example.com", "two.example.com"}) {
+    const auto wire =
+        dns::make_a_response(3, *dns::DnsName::from_string(fqdn),
+                             {kServer}, 60)
+            .encode();
+    both.write_u16(static_cast<std::uint16_t>(wire.size()));
+    both.write_bytes(wire);
+  }
+  packet::FrameSpec spec;
+  spec.src_ip = kResolver;
+  spec.dst_ip = kClient;
+  spec.src_port = 53;
+  spec.dst_port = 40123;
+  const auto frame = packet::build_tcp_frame(
+      spec, packet::tcpflags::kAck, 1, 1, both.data());
+  sniffer.on_frame(frame, Timestamp::from_seconds(5));
+  EXPECT_EQ(sniffer.stats().dns_tcp_messages, 2u);
+  EXPECT_EQ(sniffer.stats().dns_responses, 2u);
+}
+
+TEST_F(TcpDnsTest, TcpDnsFlowsNotInDatabase) {
+  Sniffer sniffer;
+  feed_tcp_dns(sniffer, "x.example.com", {kServer}, 2);
+  sniffer.finish();
+  EXPECT_EQ(sniffer.database().size(), 0u);  // DNS traffic is not tagged
+}
+
+TEST_F(TcpDnsTest, QueriesTowardPort53Counted) {
+  Sniffer sniffer;
+  packet::FrameSpec spec;
+  spec.src_ip = kClient;
+  spec.dst_ip = kResolver;
+  spec.src_port = 40123;
+  spec.dst_port = 53;
+  const auto frame = packet::build_tcp_frame(
+      spec, packet::tcpflags::kSyn, 0, 0, {});
+  sniffer.on_frame(frame, Timestamp::from_seconds(1));
+  EXPECT_EQ(sniffer.stats().dns_queries, 1u);
+}
+
+TEST_F(TcpDnsTest, RunawayStreamIsDropped) {
+  Sniffer sniffer;
+  // A bogus length prefix of 0xffff followed by junk far beyond the cap.
+  packet::FrameSpec spec;
+  spec.src_ip = kResolver;
+  spec.dst_ip = kClient;
+  spec.src_port = 53;
+  spec.dst_port = 41000;
+  net::Bytes junk(60000, 0xee);
+  junk[0] = 0xff;
+  junk[1] = 0xff;
+  for (int i = 0; i < 3; ++i) {
+    const auto frame = packet::build_tcp_frame(
+        spec, packet::tcpflags::kAck, 1, 1, junk);
+    sniffer.on_frame(frame, Timestamp::from_seconds(i));
+  }
+  // No crash, no runaway memory; no message completed.
+  EXPECT_EQ(sniffer.stats().dns_tcp_messages, 0u);
+}
+
+}  // namespace
+}  // namespace dnh::core
+
+#include <sstream>
+
+#include "core/flowdb_io.hpp"
+
+namespace dnh::core {
+namespace {
+
+TaggedFlow full_flow() {
+  TaggedFlow flow;
+  flow.key.client_ip = Ipv4Address{10, 0, 0, 3};
+  flow.key.server_ip = Ipv4Address{93, 184, 216, 34};
+  flow.key.client_port = 50123;
+  flow.key.server_port = 443;
+  flow.key.transport = flow::Transport::kTcp;
+  flow.first_packet = Timestamp::from_micros(1301616000123456);
+  flow.last_packet = Timestamp::from_micros(1301616003123456);
+  flow.packets_c2s = 7;
+  flow.packets_s2c = 9;
+  flow.bytes_c2s = 1234;
+  flow.bytes_s2c = 56789;
+  flow.protocol = flow::ProtocolClass::kTls;
+  flow.fqdn = "mail.google.com";
+  flow.dns_response_time = Timestamp::from_micros(1301616000000001);
+  flow.tagged_at_start = true;
+  flow.dpi_label = "mail.google.com";
+  flow.cert_cn = "*.google.com";
+  flow.cert_san = {"*.google.com", "google.com"};
+  flow.has_certificate = true;
+  return flow;
+}
+
+TEST(FlowDbIo, RoundTripsEveryField) {
+  FlowDatabase db;
+  db.add(full_flow());
+  TaggedFlow bare;  // all defaults / empty strings
+  bare.key.client_ip = Ipv4Address{10, 0, 0, 4};
+  bare.key.server_ip = Ipv4Address{2, 3, 4, 5};
+  bare.key.transport = flow::Transport::kUdp;
+  db.add(bare);
+
+  std::stringstream stream;
+  EXPECT_EQ(write_flow_tsv(db, stream), 2u);
+  const auto back = read_flow_tsv(stream);
+  ASSERT_TRUE(back);
+  ASSERT_EQ(back->size(), 2u);
+
+  const auto& a = back->flows()[0];
+  const auto want = full_flow();
+  EXPECT_EQ(a.key, want.key);
+  EXPECT_EQ(a.first_packet, want.first_packet);
+  EXPECT_EQ(a.last_packet, want.last_packet);
+  EXPECT_EQ(a.packets_c2s, want.packets_c2s);
+  EXPECT_EQ(a.bytes_s2c, want.bytes_s2c);
+  EXPECT_EQ(a.protocol, want.protocol);
+  EXPECT_EQ(a.fqdn, want.fqdn);
+  EXPECT_EQ(a.dns_response_time, want.dns_response_time);
+  EXPECT_TRUE(a.tagged_at_start);
+  EXPECT_EQ(a.dpi_label, want.dpi_label);
+  EXPECT_EQ(a.cert_cn, want.cert_cn);
+  EXPECT_EQ(a.cert_san, want.cert_san);
+  EXPECT_TRUE(a.has_certificate);
+
+  const auto& b = back->flows()[1];
+  EXPECT_FALSE(b.labeled());
+  EXPECT_EQ(b.key.transport, flow::Transport::kUdp);
+  EXPECT_TRUE(b.cert_san.empty());
+}
+
+TEST(FlowDbIo, IndexesRebuiltOnLoad) {
+  FlowDatabase db;
+  db.add(full_flow());
+  std::stringstream stream;
+  write_flow_tsv(db, stream);
+  const auto back = read_flow_tsv(stream);
+  ASSERT_TRUE(back);
+  EXPECT_EQ(back->by_fqdn("mail.google.com").size(), 1u);
+  EXPECT_EQ(back->by_second_level("google.com").size(), 1u);
+  EXPECT_EQ(back->by_server_port(443).size(), 1u);
+}
+
+TEST(FlowDbIo, RejectsBadHeader) {
+  std::stringstream stream{"#something-else v9\n"};
+  EXPECT_FALSE(read_flow_tsv(stream));
+}
+
+TEST(FlowDbIo, RejectsMalformedRow) {
+  FlowDatabase db;
+  db.add(full_flow());
+  std::stringstream stream;
+  write_flow_tsv(db, stream);
+  std::string text = stream.str();
+  text += "garbage\trow\n";
+  std::stringstream bad{text};
+  EXPECT_FALSE(read_flow_tsv(bad));
+}
+
+TEST(FlowDbIo, RejectsBadAddressAndProtocol) {
+  FlowDatabase db;
+  db.add(full_flow());
+  std::stringstream stream;
+  write_flow_tsv(db, stream);
+  std::string good = stream.str();
+  {
+    std::string text = good;
+    const auto pos = text.find("10.0.0.3");
+    text.replace(pos, 8, "10.0.0.x");
+    std::stringstream bad{text};
+    EXPECT_FALSE(read_flow_tsv(bad));
+  }
+}
+
+TEST(FlowDbIo, MissingFileYieldsNullopt) {
+  EXPECT_FALSE(read_flow_tsv(std::string{"/nonexistent/db.tsv"}));
+}
+
+TEST(FlowDbIo, EmptyDatabaseRoundTrips) {
+  FlowDatabase db;
+  std::stringstream stream;
+  EXPECT_EQ(write_flow_tsv(db, stream), 0u);
+  const auto back = read_flow_tsv(stream);
+  ASSERT_TRUE(back);
+  EXPECT_EQ(back->size(), 0u);
+}
+
+}  // namespace
+}  // namespace dnh::core
+
+#include "core/live.hpp"
+
+namespace dnh::core {
+namespace {
+
+class LiveAnalyzerTest : public SnifferTest {
+ protected:
+  static LiveConfig hourly() {
+    LiveConfig config;
+    config.window = util::Duration::hours(1);
+    return config;
+  }
+
+  /// One DNS response + complete flow at second `t`.
+  void feed_exchange(LiveAnalyzer& live, std::int64_t t,
+                     const std::string& fqdn, std::uint16_t cport) {
+    const auto msg = dns::make_a_response(
+        1, *dns::DnsName::from_string(fqdn), {kServer}, 300);
+    live.on_frame(packet::build_udp_frame(
+                      udp_spec(kResolver, kClient, 53, 33333), msg.encode()),
+                  Timestamp::from_seconds(t));
+    packet::FrameSpec s;
+    s.src_ip = kClient;
+    s.dst_ip = kServer;
+    s.src_port = cport;
+    s.dst_port = 80;
+    packet::FrameSpec back = s;
+    std::swap(back.src_ip, back.dst_ip);
+    std::swap(back.src_port, back.dst_port);
+    live.on_frame(
+        packet::build_tcp_frame(s, packet::tcpflags::kSyn, 0, 0, {}),
+        Timestamp::from_seconds(t + 1));
+    live.on_frame(packet::build_tcp_frame(
+                      s, packet::tcpflags::kFin | packet::tcpflags::kAck, 1,
+                      1, {}),
+                  Timestamp::from_seconds(t + 2));
+    live.on_frame(packet::build_tcp_frame(
+                      back, packet::tcpflags::kFin | packet::tcpflags::kAck,
+                      1, 2, {}),
+                  Timestamp::from_seconds(t + 3));
+  }
+};
+
+TEST_F(LiveAnalyzerTest, RotatesWindowsAndPartitionsFlows) {
+  std::vector<AnalysisWindow> windows;
+  LiveAnalyzer live{hourly(), [&](AnalysisWindow&& window) {
+                      windows.push_back(std::move(window));
+                    }};
+  feed_exchange(live, 100, "early.example.com", 50000);
+  feed_exchange(live, 4000, "late.example.com", 50001);  // next hour
+  live.finish();
+
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_EQ(live.windows_delivered(), 2u);
+  ASSERT_EQ(windows[0].db.size(), 1u);
+  EXPECT_EQ(windows[0].db.flows()[0].fqdn, "early.example.com");
+  EXPECT_EQ(windows[0].dns_log.size(), 1u);
+  ASSERT_EQ(windows[1].db.size(), 1u);
+  EXPECT_EQ(windows[1].db.flows()[0].fqdn, "late.example.com");
+  // Window boundaries aligned to the hour.
+  EXPECT_EQ(windows[0].start.seconds_since_epoch() % 3600, 0);
+  EXPECT_EQ(windows[0].end, windows[1].start);
+}
+
+TEST_F(LiveAnalyzerTest, ResolverStateSurvivesRotation) {
+  std::vector<AnalysisWindow> windows;
+  LiveAnalyzer live{hourly(), [&](AnalysisWindow&& window) {
+                      windows.push_back(std::move(window));
+                    }};
+  // Response in hour 0; the flow it labels opens in hour 1.
+  const auto msg = dns::make_a_response(
+      1, *dns::DnsName::from_string("cached.example.com"), {kServer}, 300);
+  live.on_frame(packet::build_udp_frame(
+                    udp_spec(kResolver, kClient, 53, 33333), msg.encode()),
+                Timestamp::from_seconds(3500));
+  packet::FrameSpec s;
+  s.src_ip = kClient;
+  s.dst_ip = kServer;
+  s.src_port = 51000;
+  s.dst_port = 80;
+  live.on_frame(packet::build_tcp_frame(s, packet::tcpflags::kSyn, 0, 0, {}),
+                Timestamp::from_seconds(4200));
+  live.finish();
+
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_EQ(windows[0].db.size(), 0u);  // flow still open at rotation
+  ASSERT_EQ(windows[1].db.size(), 1u);
+  EXPECT_EQ(windows[1].db.flows()[0].fqdn, "cached.example.com");
+  EXPECT_TRUE(windows[1].db.flows()[0].tagged_at_start);
+}
+
+TEST_F(LiveAnalyzerTest, IdleGapsDeliverEmptyWindows) {
+  std::vector<AnalysisWindow> windows;
+  LiveAnalyzer live{hourly(), [&](AnalysisWindow&& window) {
+                      windows.push_back(std::move(window));
+                    }};
+  feed_exchange(live, 100, "a.example.com", 50000);
+  // 3-hour silence, then traffic again.
+  feed_exchange(live, 3 * 3600 + 100, "b.example.com", 50001);
+  live.finish();
+  ASSERT_EQ(windows.size(), 4u);
+  EXPECT_EQ(windows[0].db.size(), 1u);
+  EXPECT_EQ(windows[1].db.size(), 0u);
+  EXPECT_EQ(windows[2].db.size(), 0u);
+  EXPECT_EQ(windows[3].db.size(), 1u);
+}
+
+TEST_F(LiveAnalyzerTest, FlowStartHookStillFires) {
+  int hooked = 0;
+  LiveAnalyzer live{hourly(), [](AnalysisWindow&&) {}};
+  live.set_flow_start_hook(
+      [&](const flow::FlowRecord&, std::string_view) { ++hooked; });
+  feed_exchange(live, 50, "x.example.com", 50000);
+  live.finish();
+  EXPECT_EQ(hooked, 1);
+}
+
+}  // namespace
+}  // namespace dnh::core

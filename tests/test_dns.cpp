@@ -1,0 +1,404 @@
+#include <gtest/gtest.h>
+
+#include "dns/message.hpp"
+#include "dns/name.hpp"
+#include "util/rng.hpp"
+
+namespace dnh::dns {
+namespace {
+
+DnsName name(std::string_view s) {
+  auto n = DnsName::from_string(s);
+  EXPECT_TRUE(n) << s;
+  return n.value_or(DnsName{});
+}
+
+// ---------------------------------------------------------------- names
+
+TEST(Name, FromStringBasics) {
+  const auto n = name("www.example.com");
+  EXPECT_EQ(n.label_count(), 3u);
+  EXPECT_EQ(n.labels()[0], "www");
+  EXPECT_EQ(n.to_string(), "www.example.com");
+}
+
+TEST(Name, CanonicalizesCase) {
+  EXPECT_EQ(name("WwW.ExAmPle.COM"), name("www.example.com"));
+}
+
+TEST(Name, TrailingDotAccepted) {
+  EXPECT_EQ(name("example.com."), name("example.com"));
+}
+
+TEST(Name, RootName) {
+  const auto n = DnsName::from_string("");
+  ASSERT_TRUE(n);
+  EXPECT_TRUE(n->empty());
+  EXPECT_EQ(n->to_string(), ".");
+}
+
+TEST(Name, RejectsEmptyLabel) {
+  EXPECT_FALSE(DnsName::from_string("a..b"));
+  EXPECT_FALSE(DnsName::from_string(".a.b"));
+}
+
+TEST(Name, RejectsOversizedLabel) {
+  const std::string big(64, 'x');
+  EXPECT_FALSE(DnsName::from_string(big + ".com"));
+  const std::string ok(63, 'x');
+  EXPECT_TRUE(DnsName::from_string(ok + ".com"));
+}
+
+TEST(Name, RejectsOversizedName) {
+  std::string s;
+  for (int i = 0; i < 50; ++i) s += "abcdef.";
+  s += "com";  // > 253 chars
+  EXPECT_FALSE(DnsName::from_string(s));
+}
+
+TEST(Name, UncompressedWireRoundTrip) {
+  const auto n = name("mail.google.com");
+  net::ByteWriter w;
+  n.encode(w);
+  net::ByteReader r{w.data()};
+  const auto back = DnsName::decode(r);
+  ASSERT_TRUE(back);
+  EXPECT_EQ(*back, n);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Name, CompressionReusesSuffix) {
+  net::ByteWriter w;
+  CompressionMap map;
+  name("www.example.com").encode(w, map);
+  const std::size_t first = w.size();
+  name("mail.example.com").encode(w, map);
+  // Second name: "mail" label (5 bytes) + 2-byte pointer = 7 bytes.
+  EXPECT_EQ(w.size() - first, 7u);
+
+  net::ByteReader r{w.data()};
+  const auto n1 = DnsName::decode(r);
+  const auto n2 = DnsName::decode(r);
+  ASSERT_TRUE(n1);
+  ASSERT_TRUE(n2);
+  EXPECT_EQ(n1->to_string(), "www.example.com");
+  EXPECT_EQ(n2->to_string(), "mail.example.com");
+}
+
+TEST(Name, FullNamePointerRoundTrip) {
+  net::ByteWriter w;
+  CompressionMap map;
+  name("cdn.akamai.net").encode(w, map);
+  const std::size_t second_start = w.size();
+  name("cdn.akamai.net").encode(w, map);
+  // Identical name compresses to a single pointer.
+  EXPECT_EQ(w.size() - second_start, 2u);
+  net::ByteReader r{w.data()};
+  r.seek(second_start);
+  const auto back = DnsName::decode(r);
+  ASSERT_TRUE(back);
+  EXPECT_EQ(back->to_string(), "cdn.akamai.net");
+}
+
+TEST(Name, DecodeRejectsPointerLoop) {
+  // A pointer at offset 0 pointing to itself.
+  const net::Bytes wire{0xc0, 0x00};
+  net::ByteReader r{wire};
+  EXPECT_FALSE(DnsName::decode(r));
+}
+
+TEST(Name, DecodeRejectsMutualPointerLoop) {
+  const net::Bytes wire{0xc0, 0x02, 0xc0, 0x00};
+  net::ByteReader r{wire};
+  EXPECT_FALSE(DnsName::decode(r));
+}
+
+TEST(Name, DecodeRejectsOutOfRangePointer) {
+  const net::Bytes wire{0xc0, 0x50};
+  net::ByteReader r{wire};
+  EXPECT_FALSE(DnsName::decode(r));
+}
+
+TEST(Name, DecodeRejectsTruncatedLabel) {
+  const net::Bytes wire{0x05, 'a', 'b'};
+  net::ByteReader r{wire};
+  EXPECT_FALSE(DnsName::decode(r));
+}
+
+TEST(Name, DecodeRejectsReservedLabelType) {
+  const net::Bytes wire{0x80, 'a', 0x00};
+  net::ByteReader r{wire};
+  EXPECT_FALSE(DnsName::decode(r));
+}
+
+TEST(Name, DecodeResumesAfterPointer) {
+  // Layout: [target name "x.y"] [compressed name "a" + ptr] [marker 0xee]
+  net::ByteWriter w;
+  CompressionMap map;
+  name("x.y").encode(w, map);
+  name("a.x.y").encode(w, map);
+  w.write_u8(0xee);
+
+  net::ByteReader r{w.data()};
+  ASSERT_TRUE(DnsName::decode(r));  // x.y
+  const auto n2 = DnsName::decode(r);
+  ASSERT_TRUE(n2);
+  EXPECT_EQ(n2->to_string(), "a.x.y");
+  EXPECT_EQ(r.read_u8(), 0xee);  // cursor is right after the pointer
+}
+
+// ---------------------------------------------------------------- messages
+
+TEST(Message, QueryRoundTrip) {
+  const auto q = make_query(0x1234, name("itunes.apple.com"));
+  const auto wire = q.encode();
+  const auto back = DnsMessage::decode(wire);
+  ASSERT_TRUE(back);
+  EXPECT_EQ(back->id, 0x1234);
+  EXPECT_FALSE(back->is_response);
+  ASSERT_EQ(back->questions.size(), 1u);
+  EXPECT_EQ(back->questions[0].name.to_string(), "itunes.apple.com");
+  EXPECT_EQ(back->questions[0].type, RecordType::kA);
+}
+
+TEST(Message, AResponseRoundTrip) {
+  const std::vector<net::Ipv4Address> addrs{
+      net::Ipv4Address{213, 254, 17, 14}, net::Ipv4Address{213, 254, 17, 17}};
+  const auto resp = make_a_response(7, name("itunes.apple.com"), addrs, 300);
+  const auto wire = resp.encode();
+  const auto back = DnsMessage::decode(wire);
+  ASSERT_TRUE(back);
+  EXPECT_TRUE(back->is_response);
+  EXPECT_EQ(back->answer_addresses(), addrs);
+  EXPECT_EQ(back->answers[0].ttl, 300u);
+  EXPECT_EQ(back->answers[0].name.to_string(), "itunes.apple.com");
+}
+
+TEST(Message, CnameChainRoundTrip) {
+  const auto resp = make_a_response(
+      9, name("www.zynga.com"), {net::Ipv4Address{23, 1, 2, 3}}, 60,
+      name("www.zynga.com.edgesuite.net"));
+  const auto back = DnsMessage::decode(resp.encode());
+  ASSERT_TRUE(back);
+  ASSERT_EQ(back->answers.size(), 2u);
+  EXPECT_EQ(back->answers[0].type, RecordType::kCname);
+  EXPECT_EQ(back->answers[0].cname_target()->to_string(),
+            "www.zynga.com.edgesuite.net");
+  EXPECT_EQ(back->answers[1].type, RecordType::kA);
+  EXPECT_EQ(back->answers[1].name.to_string(), "www.zynga.com.edgesuite.net");
+  // answer_addresses still finds the A record behind the CNAME.
+  EXPECT_EQ(back->answer_addresses().size(), 1u);
+}
+
+TEST(Message, NxDomainWhenNoAddresses) {
+  const auto resp = make_a_response(1, name("nonexistent.example"), {}, 60);
+  const auto back = DnsMessage::decode(resp.encode());
+  ASSERT_TRUE(back);
+  EXPECT_EQ(back->rcode, Rcode::kNxDomain);
+  EXPECT_TRUE(back->answers.empty());
+}
+
+TEST(Message, PtrResponseRoundTrip) {
+  const auto resp = make_ptr_response(2, net::Ipv4Address{8, 8, 8, 8},
+                                      name("dns.google"));
+  const auto back = DnsMessage::decode(resp.encode());
+  ASSERT_TRUE(back);
+  ASSERT_EQ(back->answers.size(), 1u);
+  EXPECT_EQ(back->questions[0].name.to_string(), "8.8.8.8.in-addr.arpa");
+  const auto* target = std::get_if<DnsName>(&back->answers[0].rdata);
+  ASSERT_NE(target, nullptr);
+  EXPECT_EQ(target->to_string(), "dns.google");
+}
+
+TEST(Message, PtrNxDomain) {
+  const auto resp =
+      make_ptr_response(3, net::Ipv4Address{10, 0, 0, 1}, std::nullopt);
+  const auto back = DnsMessage::decode(resp.encode());
+  ASSERT_TRUE(back);
+  EXPECT_EQ(back->rcode, Rcode::kNxDomain);
+}
+
+TEST(Message, AllRecordTypesRoundTrip) {
+  DnsMessage msg;
+  msg.id = 99;
+  msg.is_response = true;
+  msg.questions.push_back({name("example.com"), RecordType::kA,
+                           RecordClass::kIn});
+
+  auto add = [&](RecordType type, Rdata rdata) {
+    DnsResourceRecord rr;
+    rr.name = name("example.com");
+    rr.type = type;
+    rr.ttl = 3600;
+    rr.rdata = std::move(rdata);
+    msg.answers.push_back(std::move(rr));
+  };
+  add(RecordType::kA, net::Ipv4Address{1, 2, 3, 4});
+  add(RecordType::kAaaa,
+      net::Ipv6Address::mapped_from(net::Ipv4Address{1, 2, 3, 4}));
+  add(RecordType::kCname, name("alias.example.com"));
+  add(RecordType::kNs, name("ns1.example.com"));
+  add(RecordType::kPtr, name("ptr.example.com"));
+  add(RecordType::kMx, MxData{10, name("mx.example.com")});
+  add(RecordType::kSrv, SrvData{1, 2, 5060, name("sip.example.com")});
+  add(RecordType::kTxt, TxtData{{"v=spf1 -all", "second"}});
+  add(RecordType::kSoa,
+      SoaData{name("ns1.example.com"), name("admin.example.com"), 1, 2, 3, 4,
+              5});
+
+  const auto back = DnsMessage::decode(msg.encode());
+  ASSERT_TRUE(back);
+  ASSERT_EQ(back->answers.size(), msg.answers.size());
+  for (std::size_t i = 0; i < msg.answers.size(); ++i) {
+    EXPECT_EQ(back->answers[i], msg.answers[i]) << "record " << i;
+  }
+}
+
+TEST(Message, UnknownTypePreservedAsRawBytes) {
+  DnsMessage msg;
+  msg.is_response = true;
+  DnsResourceRecord rr;
+  rr.name = name("example.com");
+  rr.type = static_cast<RecordType>(99);
+  rr.ttl = 60;
+  rr.rdata = net::Bytes{0xde, 0xad, 0xbe, 0xef};
+  msg.answers.push_back(rr);
+
+  const auto back = DnsMessage::decode(msg.encode());
+  ASSERT_TRUE(back);
+  ASSERT_EQ(back->answers.size(), 1u);
+  const auto* raw = std::get_if<net::Bytes>(&back->answers[0].rdata);
+  ASSERT_NE(raw, nullptr);
+  EXPECT_EQ(*raw, (net::Bytes{0xde, 0xad, 0xbe, 0xef}));
+}
+
+TEST(Message, DecodeRejectsTruncatedHeader) {
+  const net::Bytes wire{0x00, 0x01, 0x80};
+  EXPECT_FALSE(DnsMessage::decode(wire));
+}
+
+TEST(Message, DecodeRejectsTruncatedAnswerSection) {
+  auto wire = make_a_response(1, name("a.example.com"),
+                              {net::Ipv4Address{1, 2, 3, 4}}, 60)
+                  .encode();
+  wire.resize(wire.size() - 3);
+  EXPECT_FALSE(DnsMessage::decode(wire));
+}
+
+TEST(Message, DecodeRejectsCountRdataMismatch) {
+  auto wire = make_a_response(1, name("a.example.com"),
+                              {net::Ipv4Address{1, 2, 3, 4}}, 60)
+                  .encode();
+  // Claim 2 answers while only 1 is present.
+  wire[7] = 2;
+  EXPECT_FALSE(DnsMessage::decode(wire));
+}
+
+TEST(Message, DecodeRejectsAbsurdCounts) {
+  net::Bytes wire(12, 0);
+  wire[4] = 0xff;  // QDCOUNT
+  wire[5] = 0xff;
+  wire[6] = 0xff;  // ANCOUNT
+  wire[7] = 0xff;
+  EXPECT_FALSE(DnsMessage::decode(wire));
+}
+
+TEST(Message, DecodeRejectsBadARdlength) {
+  auto msg = make_a_response(1, name("a.example.com"),
+                             {net::Ipv4Address{1, 2, 3, 4}}, 60);
+  auto wire = msg.encode();
+  // The A record's RDLENGTH (last 6 bytes are len+rdata) must be 4.
+  wire[wire.size() - 6] = 0;
+  wire[wire.size() - 5] = 3;
+  EXPECT_FALSE(DnsMessage::decode(wire));
+}
+
+TEST(Message, FlagsRoundTrip) {
+  DnsMessage msg;
+  msg.id = 5;
+  msg.is_response = true;
+  msg.authoritative = true;
+  msg.truncated = true;
+  msg.recursion_desired = false;
+  msg.recursion_available = false;
+  msg.rcode = Rcode::kServFail;
+  const auto back = DnsMessage::decode(msg.encode());
+  ASSERT_TRUE(back);
+  EXPECT_TRUE(back->authoritative);
+  EXPECT_TRUE(back->truncated);
+  EXPECT_FALSE(back->recursion_desired);
+  EXPECT_FALSE(back->recursion_available);
+  EXPECT_EQ(back->rcode, Rcode::kServFail);
+}
+
+TEST(Message, CanonicalQueryNameEmptyForNoQuestions) {
+  DnsMessage msg;
+  EXPECT_TRUE(msg.canonical_query_name().empty());
+}
+
+// Property sweep: random messages round-trip byte-exactly at the model
+// level for a range of answer-list sizes (the paper sees up to >30 A
+// records per response, Sec. 6).
+class MessageRoundTripSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MessageRoundTripSweep, RandomAResponsesRoundTrip) {
+  util::Rng rng{static_cast<std::uint64_t>(GetParam()) * 7919};
+  for (int iter = 0; iter < 50; ++iter) {
+    const int n_addrs = GetParam();
+    std::vector<net::Ipv4Address> addrs;
+    for (int i = 0; i < n_addrs; ++i)
+      addrs.push_back(
+          net::Ipv4Address{static_cast<std::uint32_t>(rng.next_u64())});
+    // Random 2-4 label name.
+    std::string fqdn;
+    const int labels = 2 + static_cast<int>(rng.uniform(0, 2));
+    for (int i = 0; i < labels; ++i) {
+      if (i) fqdn += '.';
+      const int len = 1 + static_cast<int>(rng.uniform(0, 10));
+      for (int j = 0; j < len; ++j)
+        fqdn += static_cast<char>('a' + rng.uniform(0, 25));
+    }
+    const auto q = DnsName::from_string(fqdn);
+    ASSERT_TRUE(q);
+    const auto msg = make_a_response(
+        static_cast<std::uint16_t>(rng.next_u64()), *q, addrs,
+        static_cast<std::uint32_t>(rng.uniform(0, 86400)));
+    const auto back = DnsMessage::decode(msg.encode());
+    ASSERT_TRUE(back);
+    EXPECT_EQ(back->canonical_query_name(), *q);
+    EXPECT_EQ(back->answer_addresses(), addrs);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AnswerListSizes, MessageRoundTripSweep,
+                         ::testing::Values(0, 1, 2, 5, 10, 16, 33));
+
+// Fuzz-ish robustness: decoding random bytes must never crash and rarely
+// succeeds; flipping bytes in valid messages must never crash.
+TEST(MessageFuzz, RandomBytesDoNotCrash) {
+  util::Rng rng{123};
+  for (int iter = 0; iter < 2000; ++iter) {
+    net::Bytes wire(rng.uniform(0, 128));
+    for (auto& b : wire) b = static_cast<std::uint8_t>(rng.next_u64());
+    (void)DnsMessage::decode(wire);  // must not crash or hang
+  }
+}
+
+TEST(MessageFuzz, MutatedValidMessagesDoNotCrash) {
+  util::Rng rng{456};
+  const auto base = make_a_response(
+      1, *DnsName::from_string("static.fbcdn.net"),
+      {net::Ipv4Address{31, 13, 64, 1}, net::Ipv4Address{31, 13, 64, 2}}, 30);
+  const auto wire = base.encode();
+  for (int iter = 0; iter < 2000; ++iter) {
+    auto mutated = wire;
+    const int flips = 1 + static_cast<int>(rng.uniform(0, 4));
+    for (int i = 0; i < flips; ++i)
+      mutated[rng.index(mutated.size())] ^=
+          static_cast<std::uint8_t>(1u << rng.uniform(0, 7));
+    (void)DnsMessage::decode(mutated);
+  }
+}
+
+}  // namespace
+}  // namespace dnh::dns

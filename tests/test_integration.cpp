@@ -1,0 +1,242 @@
+// End-to-end integration tests: generator -> pcap -> sniffer -> analytics,
+// plus consistency between the packet-level and event-level simulation
+// backends and failure injection on the capture path.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "analytics/content.hpp"
+#include "analytics/delay.hpp"
+#include "analytics/dimensioning.hpp"
+#include "analytics/domain_tree.hpp"
+#include "analytics/spatial.hpp"
+#include "core/sniffer.hpp"
+#include "dns/message.hpp"
+#include "packet/build.hpp"
+#include "trafficgen/profiles.hpp"
+#include "trafficgen/simulator.hpp"
+
+namespace dnh {
+namespace {
+
+namespace fs = std::filesystem;
+
+trafficgen::TraceProfile small_profile() {
+  auto p = trafficgen::profile_eu1_adsl2();
+  p.name = "integration";
+  p.duration = util::Duration::minutes(45);
+  p.n_clients = 60;
+  p.world.tail_organizations = 300;
+  return p;
+}
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dir_ = fs::temp_directory_path() / "dnh_integration";
+    fs::create_directories(dir_);
+    sim_ = new trafficgen::Simulator{small_profile()};
+    pcap_path_ = (dir_ / "trace.pcap").string();
+    ASSERT_TRUE(sim_->write_pcap(pcap_path_));
+    sniffer_ = new core::Sniffer;
+    ASSERT_TRUE(sniffer_->process_pcap(pcap_path_));
+    sniffer_->finish();
+  }
+  static void TearDownTestSuite() {
+    delete sniffer_;
+    delete sim_;
+    fs::remove_all(dir_);
+  }
+
+  static fs::path dir_;
+  static trafficgen::Simulator* sim_;
+  static core::Sniffer* sniffer_;
+  static std::string pcap_path_;
+};
+
+fs::path IntegrationTest::dir_;
+trafficgen::Simulator* IntegrationTest::sim_ = nullptr;
+core::Sniffer* IntegrationTest::sniffer_ = nullptr;
+std::string IntegrationTest::pcap_path_;
+
+TEST_F(IntegrationTest, EveryFrameDecodes) {
+  EXPECT_EQ(sniffer_->stats().decode_failures, 0u);
+  EXPECT_EQ(sniffer_->stats().dns_parse_failures, 0u);
+  EXPECT_GT(sniffer_->stats().frames, 1000u);
+}
+
+TEST_F(IntegrationTest, LabelsAreConsistentWithDnsLog) {
+  // Every label on a flow must have appeared in some DNS response from
+  // the same client, and that response's answers must include the flow's
+  // server (no label invented out of thin air).
+  std::set<std::tuple<std::uint32_t, std::string, std::uint32_t>> valid;
+  for (const auto& event : sniffer_->dns_log()) {
+    for (const auto server : event.servers)
+      valid.insert({event.client.value(), event.fqdn, server.value()});
+  }
+  std::uint64_t checked = 0;
+  for (const auto& flow : sniffer_->database().flows()) {
+    if (!flow.labeled()) continue;
+    EXPECT_TRUE(valid.count({flow.key.client_ip.value(), flow.fqdn,
+                             flow.key.server_ip.value()}))
+        << flow.fqdn << " -> " << flow.key.server_ip.to_string();
+    ++checked;
+  }
+  EXPECT_GT(checked, 100u);
+}
+
+TEST_F(IntegrationTest, TaggedAtStartDominates) {
+  const auto& stats = sniffer_->stats();
+  // The paper's proactive-policy property: labels are known at the first
+  // packet for essentially all labeled flows.
+  EXPECT_GT(stats.flows_tagged_at_start,
+            stats.flows_tagged_at_export * 20);
+}
+
+TEST_F(IntegrationTest, DpiLabelsAgreeWithDnsLabels) {
+  // Where DPI extracts a Host/SNI, it should (almost always) equal the
+  // DNS label — two independent code paths agreeing on the ground truth.
+  std::uint64_t both = 0, agree = 0;
+  for (const auto& flow : sniffer_->database().flows()) {
+    if (!flow.labeled() || flow.dpi_label.empty()) continue;
+    ++both;
+    agree += flow.dpi_label == flow.fqdn;
+  }
+  ASSERT_GT(both, 100u);
+  // Disagreements exist (label confusion / redirects) but must be rare.
+  EXPECT_GT(static_cast<double>(agree) / static_cast<double>(both), 0.95);
+}
+
+TEST_F(IntegrationTest, HostingSharesSumToOne) {
+  const auto breakdown = analytics::hosting_breakdown(
+      sniffer_->database(), sim_->world().org_db(), "zynga.com");
+  ASSERT_FALSE(breakdown.empty());
+  double total = 0.0;
+  for (const auto& host : breakdown) total += host.flow_share;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST_F(IntegrationTest, SpatialServersAreSubsetOfOrganizationServers) {
+  const auto& db = sniffer_->database();
+  const auto& indices = db.by_second_level("zynga.com");
+  ASSERT_FALSE(indices.empty());
+  const auto report = analytics::spatial_discovery(
+      db, sim_->world().org_db(), db.flow(indices.front()).fqdn);
+  std::set<net::Ipv4Address> org_servers;
+  for (const auto& server : report.organization_servers)
+    org_servers.insert(server.server);
+  for (const auto& server : report.fqdn_servers)
+    EXPECT_TRUE(org_servers.count(server.server));
+}
+
+TEST_F(IntegrationTest, ContentDiscoveryFlowsMatchIndex) {
+  const auto& db = sniffer_->database();
+  const auto report = analytics::content_discovery_by_provider(
+      db, sim_->world().org_db(), "akamai", 0);
+  std::uint64_t from_domains = 0;
+  for (const auto& domain : report.domains) from_domains += domain.flows;
+  EXPECT_EQ(from_domains, report.total_flows);
+}
+
+TEST_F(IntegrationTest, DelayReportAccountsForAllResponses) {
+  const auto report =
+      analytics::analyze_delays(sniffer_->dns_log(), sniffer_->database());
+  EXPECT_EQ(report.responses, sniffer_->dns_log().size());
+  EXPECT_EQ(report.responses,
+            report.useless_responses + report.first_flow_delay.count());
+  EXPECT_GE(report.any_flow_delay.count(),
+            report.first_flow_delay.count());
+}
+
+TEST_F(IntegrationTest, FullSizeClistReplayMatchesSnifferHits) {
+  // Replaying the DNS log through a fresh full-size resolver must label
+  // at least every flow the online sniffer labeled at start.
+  const auto sweep = analytics::clist_efficiency_sweep(
+      sniffer_->dns_log(), sniffer_->database(),
+      {sniffer_->dns_log().size() + 1});
+  ASSERT_EQ(sweep.size(), 1u);
+  EXPECT_DOUBLE_EQ(sweep[0].efficiency, 1.0);
+  EXPECT_GE(sweep[0].hits, sniffer_->stats().flows_tagged_at_start);
+}
+
+TEST_F(IntegrationTest, EventModeAgreesWithPacketMode) {
+  trafficgen::Simulator event_sim{small_profile()};
+  const auto events = event_sim.run_events();
+
+  auto web_hit_ratio = [](auto&& flows) {
+    std::uint64_t web = 0, hit = 0;
+    for (const auto& flow : flows) {
+      if (flow.protocol == flow::ProtocolClass::kHttp ||
+          flow.protocol == flow::ProtocolClass::kTls) {
+        ++web;
+        hit += flow.labeled();
+      }
+    }
+    return static_cast<double>(hit) / static_cast<double>(web);
+  };
+  const double packet_ratio = web_hit_ratio(sniffer_->database().flows());
+  const double event_ratio = web_hit_ratio(events.db.flows());
+  EXPECT_NEAR(packet_ratio, event_ratio, 0.06);
+
+  // Flow volumes agree within a few percent (same behavioural core).
+  const double ratio = static_cast<double>(events.db.size()) /
+                       static_cast<double>(sniffer_->database().size());
+  EXPECT_GT(ratio, 0.9);
+  EXPECT_LT(ratio, 1.1);
+}
+
+TEST_F(IntegrationTest, TruncatedCaptureKeepsProcessedPrefix) {
+  const std::string truncated = (dir_ / "truncated.pcap").string();
+  // Copy ~60% of the capture, cutting mid-record.
+  const auto size = fs::file_size(pcap_path_);
+  {
+    std::ifstream in{pcap_path_, std::ios::binary};
+    std::ofstream out{truncated, std::ios::binary};
+    std::vector<char> buf(size * 6 / 10);
+    in.read(buf.data(), static_cast<std::streamsize>(buf.size()));
+    out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+  }
+  core::Sniffer sniffer;
+  const bool ok = sniffer.process_pcap(truncated);
+  sniffer.finish();
+  if (!ok) {
+    EXPECT_FALSE(sniffer.error().empty());
+  }
+  EXPECT_GT(sniffer.stats().frames, 100u);
+  EXPECT_GT(sniffer.database().size(), 10u);
+}
+
+TEST_F(IntegrationTest, ForeignPacketsInCaptureAreTolerated) {
+  // Append hand-crafted frames (a bare DNS response for a new client and
+  // junk) to the capture; the sniffer must absorb them.
+  const std::string extended = (dir_ / "extended.pcap").string();
+  fs::copy_file(pcap_path_, extended,
+                fs::copy_options::overwrite_existing);
+  {
+    std::ofstream out{extended, std::ios::binary | std::ios::app};
+    packet::FrameSpec spec;
+    spec.src_ip = net::Ipv4Address{10, 200, 0, 1};
+    spec.dst_ip = net::Ipv4Address{10, 0, 0, 99};
+    spec.src_port = 53;
+    spec.dst_port = 31234;
+    const auto msg = dns::make_a_response(
+        1, *dns::DnsName::from_string("late.example.com"),
+        {net::Ipv4Address{192, 0, 2, 1}}, 60);
+    const auto frame = packet::build_udp_frame(spec, msg.encode());
+    const std::uint32_t rec[4] = {
+        2000000000u, 0, static_cast<std::uint32_t>(frame.size()),
+        static_cast<std::uint32_t>(frame.size())};
+    out.write(reinterpret_cast<const char*>(rec), sizeof rec);
+    out.write(reinterpret_cast<const char*>(frame.data()),
+              static_cast<std::streamsize>(frame.size()));
+  }
+  core::Sniffer sniffer;
+  ASSERT_TRUE(sniffer.process_pcap(extended)) << sniffer.error();
+  sniffer.finish();
+  EXPECT_EQ(sniffer.stats().dns_responses,
+            sniffer_->stats().dns_responses + 1);
+}
+
+}  // namespace
+}  // namespace dnh

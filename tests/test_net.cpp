@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include "net/bytes.hpp"
+#include "net/checksum.hpp"
+#include "net/ip.hpp"
+
+namespace dnh::net {
+namespace {
+
+// ---------------------------------------------------------------- Ipv4
+
+TEST(Ipv4, ParseAndFormatRoundTrip) {
+  const auto a = Ipv4Address::parse("192.168.1.42");
+  ASSERT_TRUE(a);
+  EXPECT_EQ(a->to_string(), "192.168.1.42");
+  EXPECT_EQ(a->octet(0), 192);
+  EXPECT_EQ(a->octet(3), 42);
+}
+
+TEST(Ipv4, ParseRejectsMalformed) {
+  EXPECT_FALSE(Ipv4Address::parse(""));
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3"));
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.4.5"));
+  EXPECT_FALSE(Ipv4Address::parse("256.1.1.1"));
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.x"));
+  EXPECT_FALSE(Ipv4Address::parse("1..3.4"));
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.1234"));
+}
+
+TEST(Ipv4, OrderingFollowsNumericValue) {
+  const Ipv4Address a{10, 0, 0, 1};
+  const Ipv4Address b{10, 0, 0, 2};
+  const Ipv4Address c{192, 168, 0, 1};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+}
+
+TEST(Ipv4, ReverseName) {
+  const Ipv4Address a{1, 2, 3, 4};
+  EXPECT_EQ(a.reverse_name(), "4.3.2.1.in-addr.arpa");
+}
+
+TEST(Ipv4, HashSpreadsSequentialAddresses) {
+  const std::hash<Ipv4Address> h;
+  EXPECT_NE(h(Ipv4Address{10, 0, 0, 1}), h(Ipv4Address{10, 0, 0, 2}));
+}
+
+TEST(Ipv4, CidrBounds) {
+  const auto range = cidr(Ipv4Address{10, 1, 2, 3}, 16);
+  EXPECT_EQ(range.first.to_string(), "10.1.0.0");
+  EXPECT_EQ(range.last.to_string(), "10.1.255.255");
+  EXPECT_TRUE(range.contains(Ipv4Address{10, 1, 99, 99}));
+  EXPECT_FALSE(range.contains(Ipv4Address{10, 2, 0, 0}));
+}
+
+TEST(Ipv4, CidrEdgePrefixes) {
+  const auto all = cidr(Ipv4Address{1, 2, 3, 4}, 0);
+  EXPECT_EQ(all.first.value(), 0u);
+  EXPECT_EQ(all.last.value(), 0xffffffffu);
+  const auto host = cidr(Ipv4Address{1, 2, 3, 4}, 32);
+  EXPECT_EQ(host.first, host.last);
+}
+
+TEST(Ipv6, MappedFromIsDeterministic) {
+  const auto v6 = Ipv6Address::mapped_from(Ipv4Address{1, 2, 3, 4});
+  EXPECT_EQ(v6, Ipv6Address::mapped_from(Ipv4Address{1, 2, 3, 4}));
+  EXPECT_NE(v6, Ipv6Address::mapped_from(Ipv4Address{1, 2, 3, 5}));
+  EXPECT_EQ(v6.bytes()[15], 4);
+}
+
+TEST(Mac, FromIndexAndFormat) {
+  const auto m = MacAddress::from_index(0x01020304);
+  EXPECT_EQ(m.to_string(), "02:dd:01:02:03:04");
+}
+
+// ---------------------------------------------------------------- bytes
+
+TEST(ByteReader, ReadsBigEndianScalars) {
+  const Bytes data{0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08};
+  ByteReader r{data};
+  EXPECT_EQ(r.read_u16(), 0x0102);
+  EXPECT_EQ(r.read_u32(), 0x03040506u);
+  EXPECT_EQ(r.read_u8(), 0x07);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 1u);
+}
+
+TEST(ByteReader, PoisonsOnShortRead) {
+  const Bytes data{0x01};
+  ByteReader r{data};
+  EXPECT_EQ(r.read_u32(), 0u);
+  EXPECT_FALSE(r.ok());
+  // Poisoned reader keeps returning zeros.
+  EXPECT_EQ(r.read_u8(), 0u);
+}
+
+TEST(ByteReader, SeekOutOfRangePoisons) {
+  const Bytes data{0x01, 0x02};
+  ByteReader r{data};
+  r.seek(3);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ByteReader, SeekAndReRead) {
+  const Bytes data{0xaa, 0xbb, 0xcc};
+  ByteReader r{data};
+  r.skip(2);
+  r.seek(0);
+  EXPECT_EQ(r.read_u8(), 0xaa);
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(ByteReader, ReadBytesExactAndShort) {
+  const Bytes data{1, 2, 3};
+  ByteReader r{data};
+  EXPECT_EQ(r.read_bytes(2).size(), 2u);
+  EXPECT_TRUE(r.read_bytes(5).empty());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ByteWriter, RoundTripsThroughReader) {
+  ByteWriter w;
+  w.write_u8(0xab);
+  w.write_u16(0x1234);
+  w.write_u32(0xdeadbeef);
+  w.write_u64(0x0102030405060708ULL);
+  w.write_ipv4(Ipv4Address{9, 8, 7, 6});
+  w.write_string("hi");
+
+  ByteReader r{w.data()};
+  EXPECT_EQ(r.read_u8(), 0xab);
+  EXPECT_EQ(r.read_u16(), 0x1234);
+  EXPECT_EQ(r.read_u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.read_u64(), 0x0102030405060708ULL);
+  EXPECT_EQ(r.read_ipv4().to_string(), "9.8.7.6");
+  EXPECT_EQ(r.read_string(2), "hi");
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(ByteWriter, PatchU16) {
+  ByteWriter w;
+  w.write_u16(0);
+  w.write_u16(0xffff);
+  w.patch_u16(0, 0x1234);
+  ByteReader r{w.data()};
+  EXPECT_EQ(r.read_u16(), 0x1234);
+  EXPECT_EQ(r.read_u16(), 0xffff);
+}
+
+TEST(Bytes, Ipv6RoundTrip) {
+  ByteWriter w;
+  w.write_ipv6(Ipv6Address::mapped_from(Ipv4Address{1, 2, 3, 4}));
+  ByteReader r{w.data()};
+  EXPECT_EQ(r.read_ipv6(), Ipv6Address::mapped_from(Ipv4Address{1, 2, 3, 4}));
+}
+
+// ---------------------------------------------------------------- checksum
+
+TEST(Checksum, Rfc1071Example) {
+  // Classic example: checksum of {00 01 f2 03 f4 f5 f6 f7}.
+  const Bytes data{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  EXPECT_EQ(internet_checksum(data), 0x220d);
+}
+
+TEST(Checksum, OddLengthPadded) {
+  const Bytes data{0x01};
+  EXPECT_EQ(internet_checksum(data), static_cast<std::uint16_t>(~0x0100u));
+}
+
+TEST(Checksum, VerifiesToZero) {
+  // A buffer with its own checksum embedded sums to 0xffff (fold -> 0).
+  Bytes data{0x45, 0x00, 0x00, 0x1c, 0x00, 0x00, 0x40, 0x00,
+             0x40, 0x11, 0x00, 0x00, 0x0a, 0x00, 0x00, 0x01,
+             0x0a, 0x00, 0x00, 0x02};
+  const std::uint16_t csum = internet_checksum(data);
+  data[10] = static_cast<std::uint8_t>(csum >> 8);
+  data[11] = static_cast<std::uint8_t>(csum);
+  EXPECT_EQ(internet_checksum(data), 0);
+}
+
+TEST(Checksum, PseudoHeaderDependsOnAddresses) {
+  const Bytes seg{0x00, 0x35, 0x04, 0xd2, 0x00, 0x08, 0x00, 0x00};
+  const auto c1 = l4_checksum_v4(Ipv4Address{1, 1, 1, 1},
+                                 Ipv4Address{2, 2, 2, 2}, 17, seg);
+  const auto c2 = l4_checksum_v4(Ipv4Address{1, 1, 1, 2},
+                                 Ipv4Address{2, 2, 2, 2}, 17, seg);
+  EXPECT_NE(c1, c2);
+}
+
+}  // namespace
+}  // namespace dnh::net

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "orgdb/orgdb.hpp"
+
+namespace dnh::orgdb {
+namespace {
+
+using net::Ipv4Address;
+using net::cidr;
+
+TEST(OrgDb, BasicLookup) {
+  OrgDb db;
+  db.add(cidr(Ipv4Address{23, 0, 0, 0}, 12), "akamai");
+  db.add(cidr(Ipv4Address{54, 224, 0, 0}, 12), "amazon");
+  db.finalize();
+
+  EXPECT_EQ(db.lookup(Ipv4Address{23, 1, 2, 3}), "akamai");
+  EXPECT_EQ(db.lookup(Ipv4Address{54, 230, 1, 1}), "amazon");
+  EXPECT_FALSE(db.lookup(Ipv4Address{8, 8, 8, 8}));
+}
+
+TEST(OrgDb, LookupOrFallback) {
+  OrgDb db;
+  db.finalize();
+  EXPECT_EQ(db.lookup_or(Ipv4Address{1, 1, 1, 1}, "SELF"), "SELF");
+}
+
+TEST(OrgDb, BoundaryAddressesIncluded) {
+  OrgDb db;
+  db.add(cidr(Ipv4Address{10, 0, 0, 0}, 24), "org");
+  db.finalize();
+  EXPECT_EQ(db.lookup(Ipv4Address{10, 0, 0, 0}), "org");
+  EXPECT_EQ(db.lookup(Ipv4Address{10, 0, 0, 255}), "org");
+  EXPECT_FALSE(db.lookup(Ipv4Address{10, 0, 1, 0}));
+  EXPECT_FALSE(db.lookup(Ipv4Address{9, 255, 255, 255}));
+}
+
+TEST(OrgDb, AdjacentRangesDoNotBleed) {
+  OrgDb db;
+  db.add(cidr(Ipv4Address{10, 0, 0, 0}, 24), "a");
+  db.add(cidr(Ipv4Address{10, 0, 1, 0}, 24), "b");
+  db.finalize();
+  EXPECT_EQ(db.lookup(Ipv4Address{10, 0, 0, 255}), "a");
+  EXPECT_EQ(db.lookup(Ipv4Address{10, 0, 1, 0}), "b");
+}
+
+TEST(OrgDb, UnsortedInsertionOrderStillWorks) {
+  OrgDb db;
+  db.add(cidr(Ipv4Address{200, 0, 0, 0}, 8), "z");
+  db.add(cidr(Ipv4Address{10, 0, 0, 0}, 8), "a");
+  db.add(cidr(Ipv4Address{100, 0, 0, 0}, 8), "m");
+  db.finalize();
+  EXPECT_EQ(db.lookup(Ipv4Address{10, 1, 1, 1}), "a");
+  EXPECT_EQ(db.lookup(Ipv4Address{100, 1, 1, 1}), "m");
+  EXPECT_EQ(db.lookup(Ipv4Address{200, 1, 1, 1}), "z");
+}
+
+TEST(OrgDb, ManyRangesLookupScales) {
+  OrgDb db;
+  // 1000 disjoint /22 blocks under 10.0.0.0/8.
+  for (std::uint32_t i = 0; i < 1000; ++i)
+    db.add(cidr(Ipv4Address{(10u << 24) | (i << 10)}, 22),
+           "org" + std::to_string(i));
+  db.finalize();
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    const Ipv4Address probe{(10u << 24) | (i << 10) | 42};
+    EXPECT_EQ(db.lookup(probe), "org" + std::to_string(i));
+  }
+}
+
+TEST(OrgDb, FinalizeIsIdempotent) {
+  OrgDb db;
+  db.add(cidr(Ipv4Address{1, 0, 0, 0}, 8), "one");
+  db.finalize();
+  db.finalize();
+  EXPECT_EQ(db.lookup(Ipv4Address{1, 2, 3, 4}), "one");
+}
+
+TEST(OrgDb, EmptyDbLookupsMiss) {
+  OrgDb db;
+  db.finalize();
+  EXPECT_FALSE(db.lookup(Ipv4Address{1, 2, 3, 4}));
+  EXPECT_EQ(db.size(), 0u);
+}
+
+}  // namespace
+}  // namespace dnh::orgdb
+
+namespace dnh::orgdb {
+namespace {
+
+TEST(OrgDb, NestedRangesMostRecentWins) {
+  OrgDb db;
+  db.add(cidr(Ipv4Address{10, 0, 0, 0}, 8), "outer");
+  db.add(cidr(Ipv4Address{10, 5, 0, 0}, 16), "inner");
+  db.finalize();
+  EXPECT_EQ(db.lookup(Ipv4Address{10, 5, 1, 1}), "inner");
+  // Addresses outside the inner block fall back to the outer allocation.
+  EXPECT_EQ(db.lookup(Ipv4Address{10, 6, 1, 1}), "outer");
+  EXPECT_EQ(db.lookup(Ipv4Address{10, 4, 255, 255}), "outer");
+}
+
+TEST(OrgDb, IdenticalRangeLatestAddWins) {
+  OrgDb db;
+  db.add(cidr(Ipv4Address{20, 0, 0, 0}, 16), "first");
+  db.add(cidr(Ipv4Address{20, 0, 0, 0}, 16), "second");
+  db.finalize();
+  EXPECT_EQ(db.lookup(Ipv4Address{20, 0, 3, 3}), "second");
+}
+
+}  // namespace
+}  // namespace dnh::orgdb

@@ -1,0 +1,444 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "pcap/pcap.hpp"
+
+namespace dnh::pcap {
+namespace {
+
+namespace fs = std::filesystem;
+
+class PcapTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / "dnh_pcap_test";
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  fs::path dir_;
+};
+
+Frame make_frame(std::int64_t us, std::initializer_list<std::uint8_t> bytes) {
+  Frame f;
+  f.timestamp = util::Timestamp::from_micros(us);
+  f.data.assign(bytes);
+  f.original_length = static_cast<std::uint32_t>(f.data.size());
+  return f;
+}
+
+TEST_F(PcapTest, WriteReadRoundTrip) {
+  const std::string p = path("roundtrip.pcap");
+  {
+    auto writer = Writer::create(p);
+    ASSERT_TRUE(writer);
+    writer->write(make_frame(1'000'123, {1, 2, 3, 4}));
+    writer->write(make_frame(2'500'456, {9, 8, 7}));
+  }
+  auto reader = Reader::open(p);
+  ASSERT_TRUE(reader);
+  EXPECT_EQ(reader->link_type(), kLinktypeEthernet);
+
+  auto f1 = reader->next();
+  ASSERT_TRUE(f1);
+  EXPECT_EQ(f1->timestamp.micros_since_epoch(), 1'000'123);
+  EXPECT_EQ(f1->data, (net::Bytes{1, 2, 3, 4}));
+  EXPECT_EQ(f1->original_length, 4u);
+
+  auto f2 = reader->next();
+  ASSERT_TRUE(f2);
+  EXPECT_EQ(f2->data.size(), 3u);
+
+  EXPECT_FALSE(reader->next());
+  EXPECT_TRUE(reader->error().empty()) << reader->error();
+  EXPECT_EQ(reader->frames_read(), 2u);
+}
+
+TEST_F(PcapTest, EmptyFileHasNoFramesButValidHeader) {
+  const std::string p = path("empty.pcap");
+  { ASSERT_TRUE(Writer::create(p)); }
+  auto reader = Reader::open(p);
+  ASSERT_TRUE(reader);
+  EXPECT_FALSE(reader->next());
+  EXPECT_TRUE(reader->error().empty());
+}
+
+TEST_F(PcapTest, MissingFileFailsToOpen) {
+  EXPECT_FALSE(Reader::open(path("does_not_exist.pcap")));
+}
+
+TEST_F(PcapTest, GarbageMagicRejected) {
+  const std::string p = path("garbage.pcap");
+  std::ofstream out{p, std::ios::binary};
+  out.write("not a pcap file at all, padding padding", 40);
+  out.close();
+  EXPECT_FALSE(Reader::open(p));
+}
+
+TEST_F(PcapTest, TruncatedGlobalHeaderRejected) {
+  const std::string p = path("short.pcap");
+  std::ofstream out{p, std::ios::binary};
+  const char magic[] = {'\xd4', '\xc3', '\xb2', '\xa1'};
+  out.write(magic, 4);
+  out.close();
+  EXPECT_FALSE(Reader::open(p));
+}
+
+TEST_F(PcapTest, TruncatedRecordReportsError) {
+  const std::string p = path("truncrec.pcap");
+  {
+    auto writer = Writer::create(p);
+    ASSERT_TRUE(writer);
+    writer->write(make_frame(1, {1, 2, 3, 4, 5, 6, 7, 8}));
+  }
+  // Chop the last 4 bytes of the record body.
+  fs::resize_file(p, fs::file_size(p) - 4);
+  auto reader = Reader::open(p);
+  ASSERT_TRUE(reader);
+  EXPECT_FALSE(reader->next());
+  EXPECT_FALSE(reader->error().empty());
+}
+
+TEST_F(PcapTest, ImplausibleRecordLengthReportsError) {
+  const std::string p = path("hugelen.pcap");
+  {
+    auto writer = Writer::create(p);
+    ASSERT_TRUE(writer);
+  }
+  std::ofstream out{p, std::ios::binary | std::ios::app};
+  // Record header claiming a 100MB body.
+  const std::uint32_t rec[4] = {0, 0, 100u * 1024 * 1024, 100u * 1024 * 1024};
+  out.write(reinterpret_cast<const char*>(rec), sizeof rec);
+  out.close();
+  auto reader = Reader::open(p);
+  ASSERT_TRUE(reader);
+  EXPECT_FALSE(reader->next());
+  EXPECT_FALSE(reader->error().empty());
+}
+
+TEST_F(PcapTest, ReadsSwappedByteOrder) {
+  const std::string p = path("swapped.pcap");
+  std::ofstream out{p, std::ios::binary};
+  // Big-endian global header written byte-by-byte (we are little-endian).
+  const unsigned char gh[] = {
+      0xa1, 0xb2, 0xc3, 0xd4,  // magic in file byte order != host order
+      0x00, 0x02, 0x00, 0x04,  // version 2.4
+      0, 0, 0, 0, 0, 0, 0, 0,  // thiszone, sigfigs
+      0x00, 0x00, 0xff, 0xff,  // snaplen
+      0x00, 0x00, 0x00, 0x01,  // linktype ethernet
+  };
+  out.write(reinterpret_cast<const char*>(gh), sizeof gh);
+  const unsigned char rec[] = {
+      0x00, 0x00, 0x00, 0x05,  // ts_sec = 5
+      0x00, 0x00, 0x00, 0x0a,  // ts_usec = 10
+      0x00, 0x00, 0x00, 0x02,  // incl_len = 2
+      0x00, 0x00, 0x00, 0x02,  // orig_len = 2
+      0xde, 0xad,
+  };
+  out.write(reinterpret_cast<const char*>(rec), sizeof rec);
+  out.close();
+
+  auto reader = Reader::open(p);
+  ASSERT_TRUE(reader);
+  EXPECT_EQ(reader->link_type(), kLinktypeEthernet);
+  auto f = reader->next();
+  ASSERT_TRUE(f);
+  EXPECT_EQ(f->timestamp.micros_since_epoch(), 5'000'010);
+  EXPECT_EQ(f->data, (net::Bytes{0xde, 0xad}));
+}
+
+TEST_F(PcapTest, NanosecondMagicConvertedToMicros) {
+  const std::string p = path("nanos.pcap");
+  std::ofstream out{p, std::ios::binary};
+  const std::uint32_t gh[6] = {0xa1b23c4d, 0x00040002u, 0, 0, 65535, 1};
+  // Note: version field is (major|minor<<16) little-endian = 2,4.
+  std::uint32_t fixed_gh[6];
+  std::memcpy(fixed_gh, gh, sizeof gh);
+  fixed_gh[1] = 2 | (4u << 16);
+  out.write(reinterpret_cast<const char*>(fixed_gh), sizeof fixed_gh);
+  const std::uint32_t rec[4] = {7, 123'456'789, 1, 1};
+  out.write(reinterpret_cast<const char*>(rec), sizeof rec);
+  out.put('\x42');
+  out.close();
+
+  auto reader = Reader::open(p);
+  ASSERT_TRUE(reader);
+  auto f = reader->next();
+  ASSERT_TRUE(f);
+  EXPECT_EQ(f->timestamp.micros_since_epoch(), 7'000'000 + 123'456);
+}
+
+TEST_F(PcapTest, OriginalLengthPreservedWhenLargerThanCaptured) {
+  const std::string p = path("snap.pcap");
+  {
+    auto writer = Writer::create(p);
+    ASSERT_TRUE(writer);
+    Frame f = make_frame(1, {1, 2, 3});
+    f.original_length = 1500;
+    writer->write(f);
+  }
+  auto reader = Reader::open(p);
+  ASSERT_TRUE(reader);
+  auto f = reader->next();
+  ASSERT_TRUE(f);
+  EXPECT_EQ(f->data.size(), 3u);
+  EXPECT_EQ(f->original_length, 1500u);
+}
+
+TEST_F(PcapTest, ManyFramesStreamCleanly) {
+  const std::string p = path("many.pcap");
+  {
+    auto writer = Writer::create(p);
+    ASSERT_TRUE(writer);
+    for (int i = 0; i < 5000; ++i)
+      writer->write(make_frame(i * 100, {static_cast<std::uint8_t>(i)}));
+    EXPECT_EQ(writer->frames_written(), 5000u);
+  }
+  auto reader = Reader::open(p);
+  ASSERT_TRUE(reader);
+  std::uint64_t n = 0;
+  while (reader->next()) ++n;
+  EXPECT_EQ(n, 5000u);
+  EXPECT_TRUE(reader->error().empty());
+}
+
+}  // namespace
+}  // namespace dnh::pcap
+
+#include "pcap/pcapng.hpp"
+
+namespace dnh::pcap {
+namespace {
+
+/// Writes a minimal pcapng file: SHB + IDB (+ optional if_tsresol) + one
+/// EPB per payload.
+class PcapngBuilder {
+ public:
+  explicit PcapngBuilder(bool nanos = false) {
+    // SHB: type, len=28, magic, version 1.0, section length -1, len.
+    u32(0x0a0d0d0a); u32(28); u32(0x1a2b3c4d);
+    u16(1); u16(0);
+    u32(0xffffffff); u32(0xffffffff);
+    u32(28);
+    // IDB: linktype ethernet, snaplen, optional tsresol option.
+    if (nanos) {
+      // option if_tsresol(9) len 1 value 9 (10^-9), padded; endofopt.
+      u32(1); u32(20 + 8 + 4); u16(1); u16(0); u32(65535);
+      u16(9); u16(1); bytes_.push_back(9);
+      bytes_.push_back(0); bytes_.push_back(0); bytes_.push_back(0);
+      u16(0); u16(0);
+      u32(20 + 8 + 4);
+    } else {
+      u32(1); u32(20); u16(1); u16(0); u32(65535); u32(20);
+    }
+  }
+
+  void add_packet(std::uint64_t ts_ticks,
+                  std::initializer_list<std::uint8_t> payload) {
+    const std::uint32_t captured = static_cast<std::uint32_t>(payload.size());
+    const std::uint32_t padded = (captured + 3u) & ~3u;
+    const std::uint32_t total = 32 + padded;
+    u32(6); u32(total);
+    u32(0);  // interface
+    u32(static_cast<std::uint32_t>(ts_ticks >> 32));
+    u32(static_cast<std::uint32_t>(ts_ticks));
+    u32(captured); u32(captured);
+    bytes_.insert(bytes_.end(), payload);
+    for (std::uint32_t i = captured; i < padded; ++i) bytes_.push_back(0);
+    u32(total);
+  }
+
+  std::string write(const std::filesystem::path& dir,
+                    const std::string& name) const {
+    const std::string path = (dir / name).string();
+    std::ofstream out{path, std::ios::binary};
+    out.write(reinterpret_cast<const char*>(bytes_.data()),
+              static_cast<std::streamsize>(bytes_.size()));
+    return path;
+  }
+
+ private:
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i)
+      bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u16(std::uint16_t v) {
+    bytes_.push_back(static_cast<std::uint8_t>(v));
+    bytes_.push_back(static_cast<std::uint8_t>(v >> 8));
+  }
+  std::vector<std::uint8_t> bytes_;
+};
+
+class PcapngTest : public PcapTest {};
+
+TEST_F(PcapngTest, ReadsEnhancedPacketBlocks) {
+  PcapngBuilder builder;
+  builder.add_packet(5'000'123, {1, 2, 3, 4, 5});
+  builder.add_packet(6'000'000, {9, 9});
+  const auto path = builder.write(dir_, "basic.pcapng");
+
+  auto reader = NgReader::open(path);
+  ASSERT_TRUE(reader);
+  EXPECT_EQ(reader->link_type(), kLinktypeEthernet);
+  auto f1 = reader->next();
+  ASSERT_TRUE(f1);
+  EXPECT_EQ(f1->timestamp.micros_since_epoch(), 5'000'123);
+  EXPECT_EQ(f1->data.size(), 5u);
+  auto f2 = reader->next();
+  ASSERT_TRUE(f2);
+  EXPECT_EQ(f2->data, (net::Bytes{9, 9}));
+  EXPECT_FALSE(reader->next());
+  EXPECT_TRUE(reader->error().empty()) << reader->error();
+}
+
+TEST_F(PcapngTest, HonoursNanosecondResolution) {
+  PcapngBuilder builder{/*nanos=*/true};
+  builder.add_packet(1'500'000'000ull, {1});  // 1.5s in ns ticks
+  const auto path = builder.write(dir_, "nanos.pcapng");
+  auto reader = NgReader::open(path);
+  ASSERT_TRUE(reader);
+  auto frame = reader->next();
+  ASSERT_TRUE(frame);
+  EXPECT_EQ(frame->timestamp.micros_since_epoch(), 1'500'000);
+}
+
+TEST_F(PcapngTest, RejectsClassicPcapMagic) {
+  const std::string p = path("classic.pcap");
+  { ASSERT_TRUE(Writer::create(p)); }
+  EXPECT_FALSE(NgReader::open(p));
+}
+
+TEST_F(PcapngTest, RejectsGarbage) {
+  const std::string p = path("garbage.pcapng");
+  std::ofstream out{p, std::ios::binary};
+  out.write("garbage garbage garbage garbage!", 32);
+  out.close();
+  EXPECT_FALSE(NgReader::open(p));
+}
+
+TEST_F(PcapngTest, TruncatedBlockReportsError) {
+  PcapngBuilder builder;
+  builder.add_packet(1, {1, 2, 3, 4});
+  const auto p = builder.write(dir_, "trunc.pcapng");
+  std::filesystem::resize_file(p, std::filesystem::file_size(p) - 6);
+  auto reader = NgReader::open(p);
+  ASSERT_TRUE(reader);
+  EXPECT_FALSE(reader->next());
+  EXPECT_FALSE(reader->error().empty());
+}
+
+TEST_F(PcapngTest, SkipsUnknownBlocks) {
+  PcapngBuilder builder;
+  builder.add_packet(1, {0xaa});
+  auto p = builder.write(dir_, "unknown.pcapng");
+  // Append an unknown block (type 0x0BAD) then another valid-looking EPB
+  // is unnecessary; just ensure the packet before it is still delivered
+  // and the unknown trailing block is skipped cleanly at EOF.
+  std::ofstream out{p, std::ios::binary | std::ios::app};
+  const std::uint32_t blk[4] = {0x0BAD, 16, 0xdeadbeef, 16};
+  out.write(reinterpret_cast<const char*>(blk), sizeof blk);
+  out.close();
+  auto reader = NgReader::open(p);
+  ASSERT_TRUE(reader);
+  EXPECT_TRUE(reader->next());
+  EXPECT_FALSE(reader->next());
+  EXPECT_TRUE(reader->error().empty()) << reader->error();
+}
+
+TEST_F(PcapngTest, ReadAnyCaptureDispatches) {
+  // Classic file through the unified entry point.
+  const std::string classic = path("any.pcap");
+  {
+    auto writer = Writer::create(classic);
+    Frame f;
+    f.timestamp = util::Timestamp::from_seconds(1);
+    f.data = {1, 2, 3};
+    f.original_length = 3;
+    writer->write(f);
+  }
+  int classic_frames = 0;
+  std::string error;
+  EXPECT_TRUE(read_any_capture(classic,
+                               [&](const Frame&) { ++classic_frames; },
+                               error));
+  EXPECT_EQ(classic_frames, 1);
+
+  PcapngBuilder builder;
+  builder.add_packet(1, {1});
+  builder.add_packet(2, {2});
+  const auto ng = builder.write(dir_, "any.pcapng");
+  int ng_frames = 0;
+  EXPECT_TRUE(read_any_capture(ng, [&](const Frame&) { ++ng_frames; },
+                               error));
+  EXPECT_EQ(ng_frames, 2);
+
+  EXPECT_FALSE(read_any_capture(path("missing.pcapng"),
+                                [](const Frame&) {}, error));
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace dnh::pcap
+
+#include "util/rng.hpp"
+
+namespace dnh::pcap {
+namespace {
+
+TEST_F(PcapngTest, FuzzMutatedFilesDoNotCrash) {
+  PcapngBuilder builder;
+  for (int i = 0; i < 5; ++i)
+    builder.add_packet(i * 1000, {1, 2, 3, 4, 5, 6, 7, 8});
+  const auto base_path = builder.write(dir_, "fuzz_base.pcapng");
+  std::ifstream in{base_path, std::ios::binary};
+  std::vector<char> base{std::istreambuf_iterator<char>(in),
+                         std::istreambuf_iterator<char>()};
+
+  util::Rng rng{2024};
+  for (int iter = 0; iter < 300; ++iter) {
+    auto mutated = base;
+    const int flips = 1 + static_cast<int>(rng.uniform(0, 8));
+    for (int i = 0; i < flips; ++i)
+      mutated[rng.index(mutated.size())] =
+          static_cast<char>(rng.next_u64());
+    const std::string p = path("fuzz_mut.pcapng");
+    {
+      std::ofstream out{p, std::ios::binary};
+      out.write(mutated.data(),
+                static_cast<std::streamsize>(mutated.size()));
+    }
+    auto reader = NgReader::open(p);
+    if (!reader) continue;
+    // Reading to the end must terminate (no hang, no crash).
+    int frames = 0;
+    while (reader->next() && frames < 1000) ++frames;
+  }
+}
+
+TEST_F(PcapngTest, FuzzRandomFilesDoNotCrash) {
+  util::Rng rng{4048};
+  for (int iter = 0; iter < 200; ++iter) {
+    std::vector<char> junk(rng.uniform(0, 512));
+    for (auto& b : junk) b = static_cast<char>(rng.next_u64());
+    const std::string p = path("fuzz_junk.pcapng");
+    {
+      std::ofstream out{p, std::ios::binary};
+      out.write(junk.data(), static_cast<std::streamsize>(junk.size()));
+    }
+    auto reader = NgReader::open(p);
+    if (reader) {
+      int frames = 0;
+      while (reader->next() && frames < 1000) ++frames;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dnh::pcap

@@ -1,0 +1,409 @@
+// Cross-module property tests: randomized inputs with fixed seeds,
+// checking invariants rather than examples.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <sstream>
+
+#include "analytics/tokenizer.hpp"
+#include "core/flowdb_io.hpp"
+#include "dns/domain.hpp"
+#include "dns/message.hpp"
+#include "flow/table.hpp"
+#include "http/http.hpp"
+#include "orgdb/orgdb.hpp"
+#include "packet/build.hpp"
+#include "tls/x509.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace dnh {
+namespace {
+
+using net::Ipv4Address;
+
+std::string random_label(util::Rng& rng, std::size_t max_len = 12) {
+  const std::size_t len = 1 + rng.index(max_len);
+  std::string out;
+  for (std::size_t i = 0; i < len; ++i) {
+    const int kind = static_cast<int>(rng.uniform(0, 9));
+    if (kind < 7)
+      out += static_cast<char>('a' + rng.uniform(0, 25));
+    else if (kind < 9)
+      out += static_cast<char>('0' + rng.uniform(0, 9));
+    else if (i > 0 && i + 1 < len)
+      out += '-';
+    else
+      out += static_cast<char>('a' + rng.uniform(0, 25));
+  }
+  return out;
+}
+
+std::string random_fqdn(util::Rng& rng) {
+  const std::size_t labels = 2 + rng.index(4);
+  std::string out;
+  for (std::size_t i = 0; i < labels; ++i) {
+    if (i) out += '.';
+    out += random_label(rng);
+  }
+  return out;
+}
+
+// ---- DNS: random multi-record messages round-trip ------------------------
+
+class DnsMessageProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DnsMessageProperty, RandomMessagesRoundTrip) {
+  util::Rng rng{GetParam()};
+  for (int iter = 0; iter < 40; ++iter) {
+    dns::DnsMessage msg;
+    msg.id = static_cast<std::uint16_t>(rng.next_u64());
+    msg.is_response = true;
+    const auto qname = dns::DnsName::from_string(random_fqdn(rng));
+    ASSERT_TRUE(qname);
+    msg.questions.push_back({*qname, dns::RecordType::kA,
+                             dns::RecordClass::kIn});
+
+    const std::size_t n_records = rng.index(8);
+    for (std::size_t i = 0; i < n_records; ++i) {
+      dns::DnsResourceRecord rr;
+      const auto owner = dns::DnsName::from_string(random_fqdn(rng));
+      ASSERT_TRUE(owner);
+      rr.name = *owner;
+      rr.ttl = static_cast<std::uint32_t>(rng.uniform(0, 86400));
+      switch (rng.uniform(0, 4)) {
+        case 0:
+          rr.type = dns::RecordType::kA;
+          rr.rdata = Ipv4Address{static_cast<std::uint32_t>(rng.next_u64())};
+          break;
+        case 1:
+          rr.type = dns::RecordType::kCname;
+          rr.rdata = *dns::DnsName::from_string(random_fqdn(rng));
+          break;
+        case 2:
+          rr.type = dns::RecordType::kMx;
+          rr.rdata = dns::MxData{
+              static_cast<std::uint16_t>(rng.uniform(0, 100)),
+              *dns::DnsName::from_string(random_fqdn(rng))};
+          break;
+        case 3:
+          rr.type = dns::RecordType::kTxt;
+          rr.rdata = dns::TxtData{{random_label(rng, 40)}};
+          break;
+        default:
+          rr.type = dns::RecordType::kSrv;
+          rr.rdata = dns::SrvData{
+              1, 2, static_cast<std::uint16_t>(rng.uniform(1, 65535)),
+              *dns::DnsName::from_string(random_fqdn(rng))};
+      }
+      // Scatter across sections.
+      (rng.chance(0.6)
+           ? msg.answers
+           : rng.chance(0.5) ? msg.authorities : msg.additionals)
+          .push_back(std::move(rr));
+    }
+
+    const auto back = dns::DnsMessage::decode(msg.encode());
+    ASSERT_TRUE(back);
+    EXPECT_EQ(back->questions, msg.questions);
+    EXPECT_EQ(back->answers, msg.answers);
+    EXPECT_EQ(back->authorities, msg.authorities);
+    EXPECT_EQ(back->additionals, msg.additionals);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DnsMessageProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13));
+
+// ---- DNS names: shared compression context ---------------------------------
+
+TEST(DnsNameProperty, ManyNamesShareOneCompressionContext) {
+  util::Rng rng{99};
+  for (int iter = 0; iter < 30; ++iter) {
+    std::vector<dns::DnsName> names;
+    // Names share suffixes deliberately to stress pointer chains.
+    const std::string base = random_fqdn(rng);
+    for (int i = 0; i < 20; ++i) {
+      std::string s = base;
+      const int extra = static_cast<int>(rng.uniform(0, 3));
+      for (int j = 0; j < extra; ++j) s = random_label(rng) + "." + s;
+      const auto name = dns::DnsName::from_string(s);
+      ASSERT_TRUE(name);
+      names.push_back(*name);
+    }
+    net::ByteWriter writer;
+    dns::CompressionMap compression;
+    std::vector<std::size_t> offsets;
+    for (const auto& name : names) {
+      offsets.push_back(writer.size());
+      name.encode(writer, compression);
+    }
+    net::ByteReader reader{writer.data()};
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      reader.seek(offsets[i]);
+      const auto back = dns::DnsName::decode(reader);
+      ASSERT_TRUE(back) << "name " << i;
+      EXPECT_EQ(*back, names[i]);
+    }
+  }
+}
+
+// ---- FlowTable: flow-level interleaving invariance --------------------------
+
+TEST(FlowTableProperty, ExportsAreInterleavingInvariant) {
+  util::Rng rng{7};
+  using packet::tcpflags::kAck;
+  using packet::tcpflags::kFin;
+  using packet::tcpflags::kSyn;
+
+  // Build K sessions' packet lists; interleave them randomly while
+  // preserving each session's internal order; exports must not depend on
+  // the interleaving.
+  for (int round = 0; round < 10; ++round) {
+    struct Session {
+      std::vector<net::Bytes> frames;
+      std::size_t next = 0;
+    };
+    std::vector<Session> sessions;
+    const int k = 2 + static_cast<int>(rng.uniform(0, 6));
+    for (int s = 0; s < k; ++s) {
+      packet::FrameSpec c2s;
+      c2s.src_ip = Ipv4Address{10, 0, 0, static_cast<std::uint8_t>(s + 1)};
+      c2s.dst_ip = Ipv4Address{93, 184, 0, 1};
+      c2s.src_port = static_cast<std::uint16_t>(50000 + s);
+      c2s.dst_port = 80;
+      packet::FrameSpec s2c = c2s;
+      std::swap(s2c.src_ip, s2c.dst_ip);
+      std::swap(s2c.src_port, s2c.dst_port);
+      Session session;
+      session.frames.push_back(
+          packet::build_tcp_frame(c2s, kSyn, 0, 0, {}));
+      session.frames.push_back(
+          packet::build_tcp_frame(s2c, kSyn | kAck, 0, 1, {}));
+      const int data = static_cast<int>(rng.uniform(0, 5));
+      for (int d = 0; d < data; ++d)
+        session.frames.push_back(packet::build_tcp_frame(
+            c2s, kAck, 1 + d, 1, {}, 1000));
+      session.frames.push_back(
+          packet::build_tcp_frame(c2s, kFin | kAck, 9, 9, {}));
+      session.frames.push_back(
+          packet::build_tcp_frame(s2c, kFin | kAck, 9, 10, {}));
+      sessions.push_back(std::move(session));
+    }
+
+    auto run = [&](util::Rng order_rng)
+        -> std::map<flow::FlowKey, std::uint64_t> {
+      auto local = sessions;
+      flow::FlowTable table;
+      std::map<flow::FlowKey, std::uint64_t> exported;
+      table.set_exporter([&](flow::FlowRecord&& record) {
+        exported[record.key] = record.total_bytes();
+      });
+      std::int64_t t = 0;
+      while (true) {
+        std::vector<std::size_t> pending;
+        for (std::size_t i = 0; i < local.size(); ++i)
+          if (local[i].next < local[i].frames.size()) pending.push_back(i);
+        if (pending.empty()) break;
+        auto& session = local[pending[order_rng.index(pending.size())]];
+        const auto pkt = packet::decode_frame(
+            session.frames[session.next++],
+            util::Timestamp::from_micros(t++));
+        EXPECT_TRUE(pkt);
+        if (pkt) table.on_packet(*pkt);
+      }
+      table.flush();
+      return exported;
+    };
+
+    const auto a = run(util::Rng{static_cast<std::uint64_t>(round * 2 + 1)});
+    const auto b = run(util::Rng{static_cast<std::uint64_t>(round * 2 + 2)});
+    EXPECT_EQ(a, b) << "round " << round;
+    EXPECT_EQ(a.size(), sessions.size());
+  }
+}
+
+// ---- HTTP: mutation fuzz ----------------------------------------------------
+
+TEST(HttpProperty, MutatedRequestsNeverCrash) {
+  util::Rng rng{31};
+  const auto base =
+      http::build_get("www.example.com", "/index.html",
+                      {{"cookie", "abc=def"}, {"referer", "http://x/"}});
+  for (int iter = 0; iter < 3000; ++iter) {
+    auto mutated = base;
+    const int flips = 1 + static_cast<int>(rng.uniform(0, 6));
+    for (int i = 0; i < flips; ++i)
+      mutated[rng.index(mutated.size())] =
+          static_cast<std::uint8_t>(rng.next_u64());
+    (void)http::parse_request(mutated);
+    (void)http::parse_response(mutated);
+  }
+}
+
+// ---- X.509: random names round-trip ----------------------------------------
+
+TEST(X509Property, RandomNamesRoundTrip) {
+  util::Rng rng{41};
+  for (int iter = 0; iter < 200; ++iter) {
+    const std::string cn =
+        rng.chance(0.3) ? "*." + random_fqdn(rng) : random_fqdn(rng);
+    std::vector<std::string> san;
+    const std::size_t n_san = rng.index(5);
+    for (std::size_t i = 0; i < n_san; ++i) san.push_back(random_fqdn(rng));
+    const auto der = tls::build_certificate(cn, random_label(rng), san,
+                                            rng.next_u64() >> 1);
+    const auto info = tls::parse_certificate(der);
+    ASSERT_TRUE(info);
+    EXPECT_EQ(info->subject_cn, cn);
+    EXPECT_EQ(info->san_dns, san);
+  }
+}
+
+// ---- OrgDb vs brute force ----------------------------------------------------
+
+TEST(OrgDbProperty, LookupMatchesBruteForce) {
+  util::Rng rng{53};
+  for (int round = 0; round < 20; ++round) {
+    orgdb::OrgDb db;
+    std::vector<orgdb::OrgRange> ranges;
+    // Disjoint /24s at random positions.
+    std::set<std::uint32_t> bases;
+    const std::size_t n = 1 + rng.index(60);
+    while (bases.size() < n)
+      bases.insert(static_cast<std::uint32_t>(rng.next_u64()) & 0xffffff00u);
+    int id = 0;
+    for (const auto base : bases) {
+      const auto range = net::cidr(Ipv4Address{base}, 24);
+      db.add(range, "org" + std::to_string(id++));
+      ranges.push_back({range, "org" + std::to_string(id - 1)});
+    }
+    db.finalize();
+    for (int probe = 0; probe < 300; ++probe) {
+      const Ipv4Address addr{static_cast<std::uint32_t>(rng.next_u64())};
+      std::optional<std::string> expected;
+      for (const auto& range : ranges) {
+        if (range.range.contains(addr)) expected = range.organization;
+      }
+      const auto got = db.lookup(addr);
+      EXPECT_EQ(got.has_value(), expected.has_value());
+      if (got && expected) {
+        EXPECT_EQ(*got, *expected);
+      }
+    }
+  }
+}
+
+// ---- CDF: consistency with a sorted reference --------------------------------
+
+TEST(CdfProperty, QuantileAndCdfAgreeWithReference) {
+  util::Rng rng{61};
+  for (int round = 0; round < 10; ++round) {
+    util::CdfAccumulator cdf;
+    std::vector<double> reference;
+    const std::size_t n = 10 + rng.index(500);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double v = rng.uniform_real(-100, 100);
+      cdf.add(v);
+      reference.push_back(v);
+    }
+    std::sort(reference.begin(), reference.end());
+    for (double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+      const double value = cdf.quantile(q);
+      // The quantile must be an actual sample with at least q mass <= it.
+      EXPECT_TRUE(std::binary_search(reference.begin(), reference.end(),
+                                     value));
+      EXPECT_GE(cdf.cdf_at(value) + 1e-12, q);
+    }
+    // CDF is monotone over arbitrary probes.
+    double previous = -1.0;
+    for (double x = -120; x <= 120; x += 7.5) {
+      const double p = cdf.cdf_at(x);
+      EXPECT_GE(p, previous);
+      previous = p;
+    }
+  }
+}
+
+// ---- TSV: randomized round-trip ----------------------------------------------
+
+TEST(FlowTsvProperty, RandomDatabasesRoundTrip) {
+  util::Rng rng{71};
+  for (int round = 0; round < 10; ++round) {
+    core::FlowDatabase db;
+    const std::size_t n = rng.index(40);
+    for (std::size_t i = 0; i < n; ++i) {
+      core::TaggedFlow flow;
+      flow.key.client_ip =
+          Ipv4Address{static_cast<std::uint32_t>(rng.next_u64())};
+      flow.key.server_ip =
+          Ipv4Address{static_cast<std::uint32_t>(rng.next_u64())};
+      flow.key.client_port = static_cast<std::uint16_t>(rng.next_u64());
+      flow.key.server_port = static_cast<std::uint16_t>(rng.next_u64());
+      flow.key.transport =
+          rng.chance(0.8) ? flow::Transport::kTcp : flow::Transport::kUdp;
+      flow.first_packet = util::Timestamp::from_micros(
+          static_cast<std::int64_t>(rng.uniform(0, 1ull << 50)));
+      flow.last_packet = flow.first_packet + util::Duration::seconds(1);
+      flow.packets_c2s = rng.uniform(0, 1000);
+      flow.bytes_s2c = rng.uniform(0, 1 << 30);
+      flow.protocol = static_cast<flow::ProtocolClass>(rng.uniform(0, 5));
+      if (rng.chance(0.7)) {
+        flow.fqdn = random_fqdn(rng);
+        flow.tagged_at_start = rng.chance(0.9);
+      }
+      if (rng.chance(0.3)) {
+        flow.cert_cn = random_fqdn(rng);
+        flow.has_certificate = true;
+        if (rng.chance(0.5)) flow.cert_san = {random_fqdn(rng)};
+      }
+      db.add(std::move(flow));
+    }
+    std::stringstream stream;
+    core::write_flow_tsv(db, stream);
+    const auto back = core::read_flow_tsv(stream);
+    ASSERT_TRUE(back);
+    ASSERT_EQ(back->size(), db.size());
+    for (std::size_t i = 0; i < db.size(); ++i) {
+      EXPECT_EQ(back->flows()[i].key, db.flows()[i].key);
+      EXPECT_EQ(back->flows()[i].fqdn, db.flows()[i].fqdn);
+      EXPECT_EQ(back->flows()[i].bytes_s2c, db.flows()[i].bytes_s2c);
+      EXPECT_EQ(back->flows()[i].protocol, db.flows()[i].protocol);
+    }
+  }
+}
+
+// ---- Tokenizer invariants -----------------------------------------------------
+
+TEST(TokenizerProperty, NormalizationIsIdempotentAndDigitFree) {
+  util::Rng rng{83};
+  for (int iter = 0; iter < 2000; ++iter) {
+    const std::string token = random_label(rng, 20);
+    const std::string once = analytics::normalize_digits(token);
+    EXPECT_EQ(analytics::normalize_digits(once), once);
+    for (const char c : once)
+      EXPECT_FALSE(std::isdigit(static_cast<unsigned char>(c))) << once;
+  }
+}
+
+TEST(TokenizerProperty, TokensComeOnlyFromSubdomainLabels) {
+  util::Rng rng{89};
+  for (int iter = 0; iter < 500; ++iter) {
+    const std::string fqdn = random_fqdn(rng);
+    const auto tokens = analytics::fqdn_tokens(fqdn);
+    const std::string_view sub = dns::subdomain_part(fqdn);
+    for (const auto& token : tokens) {
+      EXPECT_FALSE(token.empty());
+      // Digit-free tokens must literally appear in the subdomain part.
+      if (token.find('N') == std::string::npos) {
+        EXPECT_NE(sub.find(token), std::string_view::npos)
+            << token << " in " << fqdn;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dnh

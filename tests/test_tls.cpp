@@ -1,0 +1,265 @@
+#include <gtest/gtest.h>
+
+#include "tls/der.hpp"
+#include "tls/handshake.hpp"
+#include "tls/x509.hpp"
+#include "util/rng.hpp"
+
+namespace dnh::tls {
+namespace {
+
+// ---------------------------------------------------------------- DER
+
+TEST(Der, TlvShortLengthRoundTrip) {
+  const net::Bytes content{1, 2, 3};
+  const auto tlv = der_tlv(dertag::kOctetString, content);
+  DerReader r{tlv};
+  const auto v = r.next();
+  ASSERT_TRUE(v);
+  EXPECT_EQ(v->tag, dertag::kOctetString);
+  EXPECT_EQ(net::Bytes(v->content.begin(), v->content.end()), content);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Der, TlvLongLengthRoundTrip) {
+  const net::Bytes content(300, 0xab);
+  const auto tlv = der_tlv(dertag::kOctetString, content);
+  EXPECT_EQ(tlv[1], 0x82);  // two length bytes
+  DerReader r{tlv};
+  const auto v = r.next();
+  ASSERT_TRUE(v);
+  EXPECT_EQ(v->content.size(), 300u);
+}
+
+TEST(Der, NestedSequence) {
+  const auto inner = der_tlv(dertag::kInteger, net::Bytes{5});
+  const auto outer = der_seq(dertag::kSequence, {inner, inner});
+  DerReader r{outer};
+  const auto seq = r.expect(dertag::kSequence);
+  ASSERT_TRUE(seq);
+  DerReader inner_r{seq->content};
+  EXPECT_TRUE(inner_r.expect(dertag::kInteger));
+  EXPECT_TRUE(inner_r.expect(dertag::kInteger));
+  EXPECT_TRUE(inner_r.at_end());
+}
+
+TEST(Der, ExpectRestoresPositionOnMismatch) {
+  const auto tlv = der_tlv(dertag::kInteger, net::Bytes{1});
+  DerReader r{tlv};
+  EXPECT_FALSE(r.expect(dertag::kSequence));
+  EXPECT_TRUE(r.expect(dertag::kInteger));  // still readable
+}
+
+TEST(Der, RejectsIndefiniteLength) {
+  const net::Bytes bad{0x30, 0x80, 0x00, 0x00};
+  DerReader r{bad};
+  EXPECT_FALSE(r.next());
+}
+
+TEST(Der, RejectsTruncatedContent) {
+  const net::Bytes bad{0x04, 0x05, 0x01, 0x02};
+  DerReader r{bad};
+  EXPECT_FALSE(r.next());
+}
+
+TEST(Der, RejectsHugeLengthOfLength) {
+  const net::Bytes bad{0x04, 0x85, 0x01, 0x01, 0x01, 0x01, 0x01};
+  DerReader r{bad};
+  EXPECT_FALSE(r.next());
+}
+
+TEST(Der, OidRoundTrip) {
+  for (const char* dotted :
+       {"2.5.4.3", "2.5.29.17", "1.2.840.113549.1.1.11", "0.9.2342"}) {
+    const auto enc = encode_oid(dotted);
+    ASSERT_TRUE(enc) << dotted;
+    EXPECT_EQ(decode_oid(*enc), dotted);
+  }
+}
+
+TEST(Der, OidRejectsMalformed) {
+  EXPECT_FALSE(encode_oid(""));
+  EXPECT_FALSE(encode_oid("1"));
+  EXPECT_FALSE(encode_oid("3.1.2"));   // first component > 2
+  EXPECT_FALSE(encode_oid("1.40.2"));  // second component > 39
+  EXPECT_FALSE(encode_oid("1.2.x"));
+}
+
+// ---------------------------------------------------------------- x509
+
+TEST(X509, BuildParseRoundTrip) {
+  const auto der = build_certificate("www.linkedin.com", "VeriSign CA",
+                                     {"www.linkedin.com", "linkedin.com"});
+  const auto info = parse_certificate(der);
+  ASSERT_TRUE(info);
+  EXPECT_EQ(info->subject_cn, "www.linkedin.com");
+  EXPECT_EQ(info->issuer_cn, "verisign ca");
+  ASSERT_EQ(info->san_dns.size(), 2u);
+  EXPECT_EQ(info->san_dns[0], "www.linkedin.com");
+  EXPECT_EQ(info->san_dns[1], "linkedin.com");
+}
+
+TEST(X509, NoSanCertificate) {
+  const auto der = build_certificate("a248.e.akamai.net", "Akamai CA");
+  const auto info = parse_certificate(der);
+  ASSERT_TRUE(info);
+  EXPECT_EQ(info->subject_cn, "a248.e.akamai.net");
+  EXPECT_TRUE(info->san_dns.empty());
+}
+
+TEST(X509, ParseRejectsGarbage) {
+  EXPECT_FALSE(parse_certificate(net::Bytes{1, 2, 3}));
+  EXPECT_FALSE(parse_certificate(net::Bytes{}));
+  // A SEQUENCE wrapping junk.
+  EXPECT_FALSE(parse_certificate(der_tlv(dertag::kSequence, net::Bytes{5})));
+}
+
+TEST(X509, ParseTruncatedCertificate) {
+  auto der = build_certificate("x.example.com", "CA");
+  der.resize(der.size() / 2);
+  EXPECT_FALSE(parse_certificate(der));
+}
+
+TEST(X509, WildcardMatching) {
+  EXPECT_TRUE(wildcard_match("*.google.com", "mail.google.com"));
+  EXPECT_TRUE(wildcard_match("*.google.com", "docs.google.com"));
+  EXPECT_FALSE(wildcard_match("*.google.com", "google.com"));
+  EXPECT_FALSE(wildcard_match("*.google.com", "a.b.google.com"));
+  EXPECT_TRUE(wildcard_match("exact.example.com", "exact.example.com"));
+  EXPECT_FALSE(wildcard_match("exact.example.com", "other.example.com"));
+  EXPECT_FALSE(wildcard_match("", "x"));
+  // Case-insensitive.
+  EXPECT_TRUE(wildcard_match("*.google.com", "MAIL.google.com"));
+}
+
+TEST(X509, CertificateMatches) {
+  const auto der =
+      build_certificate("*.google.com", "Google CA", {"*.youtube.com"});
+  const auto info = parse_certificate(der);
+  ASSERT_TRUE(info);
+  EXPECT_TRUE(info->matches("mail.google.com"));
+  EXPECT_TRUE(info->matches("www.youtube.com"));
+  EXPECT_FALSE(info->matches("example.org"));
+  EXPECT_EQ(info->all_names().size(), 2u);
+}
+
+// ---------------------------------------------------------------- handshake
+
+TEST(Handshake, ClientHelloSniRoundTrip) {
+  const auto wire = build_client_hello("mail.google.com");
+  EXPECT_TRUE(looks_like_tls(wire));
+  const auto hello = parse_client_hello(wire);
+  ASSERT_TRUE(hello);
+  ASSERT_TRUE(hello->sni);
+  EXPECT_EQ(*hello->sni, "mail.google.com");
+  EXPECT_EQ(hello->version, kTls12);
+  EXPECT_FALSE(hello->cipher_suites.empty());
+}
+
+TEST(Handshake, ClientHelloWithoutSni) {
+  const auto wire = build_client_hello("");
+  const auto hello = parse_client_hello(wire);
+  ASSERT_TRUE(hello);
+  EXPECT_FALSE(hello->sni);
+}
+
+TEST(Handshake, ClientHelloSessionIdRoundTrip) {
+  const net::Bytes sid{1, 2, 3, 4, 5, 6, 7, 8};
+  const auto wire = build_client_hello("x.example.com", sid);
+  const auto hello = parse_client_hello(wire);
+  ASSERT_TRUE(hello);
+  EXPECT_EQ(hello->session_id, sid);
+}
+
+TEST(Handshake, ServerFlightWithCertificate) {
+  const auto leaf = build_certificate("*.zynga.com", "DigiCert CA");
+  const auto ca = build_certificate("DigiCert CA", "DigiCert Root");
+  const auto wire = build_server_flight({leaf, ca});
+  const auto flight = parse_server_flight(wire);
+  ASSERT_TRUE(flight);
+  EXPECT_TRUE(flight->saw_server_hello);
+  ASSERT_EQ(flight->certificates.size(), 2u);
+  const auto info = flight->leaf_info();
+  ASSERT_TRUE(info);
+  EXPECT_EQ(info->subject_cn, "*.zynga.com");
+}
+
+TEST(Handshake, ServerFlightResumedSessionHasNoCertificate) {
+  const auto wire = build_server_flight({});
+  const auto flight = parse_server_flight(wire);
+  ASSERT_TRUE(flight);
+  EXPECT_TRUE(flight->saw_server_hello);
+  EXPECT_TRUE(flight->certificates.empty());
+  EXPECT_FALSE(flight->leaf_info());
+}
+
+TEST(Handshake, ParseRejectsNonTls) {
+  const std::string http = "GET / HTTP/1.1\r\n\r\n";
+  EXPECT_FALSE(parse_client_hello(net::as_bytes(http)));
+  EXPECT_FALSE(parse_server_flight(net::as_bytes(http)));
+  EXPECT_FALSE(looks_like_tls(net::as_bytes(http)));
+}
+
+TEST(Handshake, LooksLikeTlsAppData) {
+  const auto app = build_application_data(100);
+  EXPECT_TRUE(looks_like_tls(app));
+  EXPECT_EQ(app.size(), 5 + 100u);
+}
+
+TEST(Handshake, TruncatedClientHelloRejected) {
+  auto wire = build_client_hello("very.long.name.example.com");
+  wire.resize(20);
+  EXPECT_FALSE(parse_client_hello(wire));
+}
+
+TEST(Handshake, TruncatedServerFlightKeepsParsedPrefix) {
+  const auto leaf = build_certificate("cdn.example.net", "CA");
+  auto wire = build_server_flight({leaf});
+  // Chop mid-certificate: ServerHello already complete.
+  wire.resize(wire.size() - 10);
+  const auto flight = parse_server_flight(wire);
+  ASSERT_TRUE(flight);
+  EXPECT_TRUE(flight->saw_server_hello);
+}
+
+TEST(Handshake, FuzzRandomBytesDoNotCrash) {
+  util::Rng rng{77};
+  for (int iter = 0; iter < 2000; ++iter) {
+    net::Bytes wire(rng.uniform(0, 200));
+    for (auto& b : wire) b = static_cast<std::uint8_t>(rng.next_u64());
+    (void)parse_client_hello(wire);
+    (void)parse_server_flight(wire);
+  }
+}
+
+TEST(Handshake, FuzzMutatedHandshakesDoNotCrash) {
+  util::Rng rng{88};
+  const auto base = build_server_flight(
+      {build_certificate("*.fbcdn.net", "DigiCert", {"*.facebook.com"})});
+  for (int iter = 0; iter < 2000; ++iter) {
+    auto mutated = base;
+    for (int i = 0; i < 3; ++i)
+      mutated[rng.index(mutated.size())] ^=
+          static_cast<std::uint8_t>(1u << rng.uniform(0, 7));
+    (void)parse_server_flight(mutated);
+  }
+}
+
+// Property sweep: certificates with many SAN entries round-trip.
+class SanSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SanSweep, ManySansRoundTrip) {
+  std::vector<std::string> sans;
+  for (int i = 0; i < GetParam(); ++i)
+    sans.push_back("host" + std::to_string(i) + ".example.com");
+  const auto der = build_certificate("example.com", "CA", sans);
+  const auto info = parse_certificate(der);
+  ASSERT_TRUE(info);
+  EXPECT_EQ(info->san_dns.size(), static_cast<std::size_t>(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(SanCounts, SanSweep,
+                         ::testing::Values(1, 2, 10, 50, 200));
+
+}  // namespace
+}  // namespace dnh::tls

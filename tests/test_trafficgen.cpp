@@ -1,0 +1,282 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/sniffer.hpp"
+#include "trafficgen/profiles.hpp"
+#include "trafficgen/simulator.hpp"
+#include "trafficgen/world.hpp"
+
+namespace dnh::trafficgen {
+namespace {
+
+namespace fs = std::filesystem;
+
+// A small profile for fast tests.
+TraceProfile tiny_profile() {
+  TraceProfile p = profile_eu1_ftth();
+  p.name = "tiny";
+  p.duration = util::Duration::minutes(30);
+  p.n_clients = 25;
+  p.world.tail_organizations = 150;
+  return p;
+}
+
+// ---------------------------------------------------------------- world
+
+TEST(World, BuildsScriptedOrganizations) {
+  const World world = World::build({.geo = Geo::kEu, .seed = 1});
+  for (const char* sld :
+       {"linkedin.com", "zynga.com", "facebook.com", "fbcdn.net",
+        "twitter.com", "youtube.com", "blogspot.com", "google.com",
+        "dailymotion.com", "appspot.com", "cloudfront.net"}) {
+    EXPECT_NE(world.find(sld), nullptr) << sld;
+  }
+  EXPECT_GT(world.organizations().size(), 100u);
+  EXPECT_FALSE(world.third_party_orgs().empty());
+  EXPECT_EQ(world.popularity().size(), world.organizations().size());
+}
+
+TEST(World, ZyngaHostingMatchesFig8Structure) {
+  const World world = World::build({.geo = Geo::kUs, .seed = 1});
+  const auto* zynga = world.find("zynga.com");
+  ASSERT_NE(zynga, nullptr);
+  // Amazon pool must dwarf akamai and self pools (498 vs 30 vs 28 in the
+  // paper; scaled here but ordering preserved).
+  std::size_t amazon = 0, akamai = 0, self = 0;
+  for (const auto& svc : zynga->services) {
+    for (const auto& h : svc.hostings) {
+      if (h.host_org == "amazon") amazon = std::max(amazon, h.pool.size());
+      if (h.host_org == "akamai") akamai = std::max(akamai, h.pool.size());
+      if (h.host_org == "zynga") self = std::max(self, h.pool.size());
+    }
+  }
+  EXPECT_GT(amazon, akamai * 5);
+  EXPECT_GT(akamai, 0u);
+  EXPECT_GT(self, 0u);
+}
+
+TEST(World, OrgDbAttributesPools) {
+  const World world = World::build({.geo = Geo::kEu, .seed = 1});
+  const auto* zynga = world.find("zynga.com");
+  ASSERT_NE(zynga, nullptr);
+  for (const auto& svc : zynga->services) {
+    for (const auto& h : svc.hostings) {
+      for (const auto addr : h.pool) {
+        EXPECT_EQ(world.org_db().lookup_or(addr), h.host_org)
+            << addr.to_string();
+      }
+    }
+  }
+}
+
+TEST(World, PtrDatabasePopulated) {
+  const World world = World::build({.geo = Geo::kEu, .seed = 1});
+  EXPECT_GT(world.ptr_db().size(), 100u);
+}
+
+TEST(World, DeterministicForSameSeed) {
+  const World a = World::build({.geo = Geo::kEu, .seed = 42});
+  const World b = World::build({.geo = Geo::kEu, .seed = 42});
+  ASSERT_EQ(a.organizations().size(), b.organizations().size());
+  for (std::size_t i = 0; i < a.organizations().size(); ++i) {
+    EXPECT_EQ(a.organizations()[i].sld, b.organizations()[i].sld);
+    EXPECT_EQ(a.organizations()[i].services.size(),
+              b.organizations()[i].services.size());
+  }
+}
+
+TEST(World, GeoChangesHostingShares) {
+  const World eu = World::build({.geo = Geo::kEu, .seed = 1});
+  const World us = World::build({.geo = Geo::kUs, .seed = 1});
+  auto akamai_share = [](const World& world) {
+    const auto* twitter = world.find("twitter.com");
+    for (const auto& h : twitter->services.front().hostings) {
+      if (h.host_org == "akamai") return h.flow_share;
+    }
+    return 0.0;
+  };
+  EXPECT_GT(akamai_share(eu), akamai_share(us));
+}
+
+TEST(World, DiurnalFactorShape) {
+  const double night = diurnal_factor(4 * 3600 + 1800);   // ~04:30
+  const double noon = diurnal_factor(12 * 3600);
+  const double evening = diurnal_factor(20 * 3600);
+  EXPECT_LT(night, noon);
+  EXPECT_LT(noon, evening + 0.2);
+  EXPECT_GT(evening, 0.7);
+  for (int s = 0; s < 86400; s += 600) {
+    const double v = diurnal_factor(s);
+    EXPECT_GE(v, 0.15);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(World, HostingActiveCountRespectsStepPolicy) {
+  Hosting h;
+  h.pool.resize(100);
+  h.trough_pool_fraction = 0.3;
+  h.step_hour_begin = 17;
+  h.step_hour_end = 21;
+  h.step_pool_fraction = 1.0;
+  const auto at_night = h.active_count(4 * 3600, 0.0);
+  const auto at_step = h.active_count(18 * 3600, 0.5);
+  EXPECT_EQ(at_night, 30u);
+  EXPECT_EQ(at_step, 100u);
+  EXPECT_GE(h.active_count(12 * 3600, 1.0), 99u);
+}
+
+// ------------------------------------------------------------- simulator
+
+TEST(Simulator, EventModeProducesPlausibleTrace) {
+  Simulator sim{tiny_profile()};
+  const auto trace = sim.run_events();
+  EXPECT_GT(trace.db.size(), 200u);
+  EXPECT_GT(trace.dns_log.size(), 100u);
+
+  std::uint64_t labeled = 0, http = 0, tls = 0, p2p = 0;
+  for (const auto& flow : trace.db.flows()) {
+    if (flow.labeled()) ++labeled;
+    switch (flow.protocol) {
+      case flow::ProtocolClass::kHttp: ++http; break;
+      case flow::ProtocolClass::kTls: ++tls; break;
+      case flow::ProtocolClass::kP2p: ++p2p; break;
+      default: break;
+    }
+  }
+  EXPECT_GT(labeled, trace.db.size() / 2);
+  EXPECT_GT(http, 0u);
+  EXPECT_GT(tls, 0u);
+}
+
+TEST(Simulator, EventModeDeterministic) {
+  Simulator a{tiny_profile()};
+  Simulator b{tiny_profile()};
+  const auto ta = a.run_events();
+  const auto tb = b.run_events();
+  ASSERT_EQ(ta.db.size(), tb.db.size());
+  ASSERT_EQ(ta.dns_log.size(), tb.dns_log.size());
+  for (std::size_t i = 0; i < std::min<std::size_t>(ta.db.size(), 200); ++i) {
+    EXPECT_EQ(ta.db.flows()[i].fqdn, tb.db.flows()[i].fqdn);
+    EXPECT_EQ(ta.db.flows()[i].key.server_ip,
+              tb.db.flows()[i].key.server_ip);
+  }
+}
+
+TEST(Simulator, FlowsAreTimeOrderedInEventMode) {
+  Simulator sim{tiny_profile()};
+  const auto trace = sim.run_events();
+  for (std::size_t i = 1; i < trace.db.size(); ++i) {
+    EXPECT_LE(trace.db.flows()[i - 1].first_packet,
+              trace.db.flows()[i].first_packet);
+  }
+  for (std::size_t i = 1; i < trace.dns_log.size(); ++i)
+    EXPECT_LE(trace.dns_log[i - 1].time, trace.dns_log[i].time);
+}
+
+TEST(Simulator, MultiDayEventModeSpansDays) {
+  auto profile = tiny_profile();
+  profile.duration = util::Duration::hours(24);
+  profile.n_clients = 10;
+  Simulator sim{profile};
+  const auto trace = sim.run_events(3, 0.2, 0.3);
+  EXPECT_GT((trace.end - trace.start).total_hours(), 70.0);
+  // Fresh FQDNs minted: some labels carry the fresh-name prefixes.
+  bool fresh_seen = false;
+  for (const auto& flow : trace.db.flows()) {
+    if (flow.fqdn.find("blog-n") != std::string::npos ||
+        flow.fqdn.find("app-n") != std::string::npos ||
+        flow.fqdn.find("bucket-") != std::string::npos) {
+      fresh_seen = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(fresh_seen);
+}
+
+class PcapModeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / "dnh_gen_test";
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+  fs::path dir_;
+};
+
+TEST_F(PcapModeTest, WritesParseableCaptureEndToEnd) {
+  const std::string path = (dir_ / "tiny.pcap").string();
+  Simulator sim{tiny_profile()};
+  const auto stats = sim.write_pcap(path);
+  ASSERT_TRUE(stats);
+  EXPECT_GT(stats->frames, 1000u);
+  EXPECT_GT(stats->tcp_flows, 100u);
+  EXPECT_GT(stats->dns_responses, 50u);
+
+  // The DN-Hunter sniffer must be able to consume the capture.
+  core::Sniffer sniffer;
+  ASSERT_TRUE(sniffer.process_pcap(path)) << sniffer.error();
+  sniffer.finish();
+  EXPECT_EQ(sniffer.stats().frames, stats->frames);
+  // Truncated answers are retried over TCP, so the sniffer may count a
+  // few more responses (TC-flagged UDP + the TCP retry) than the
+  // generator's logical response count.
+  EXPECT_GE(sniffer.stats().dns_responses, stats->dns_responses);
+  EXPECT_LE(sniffer.stats().dns_responses,
+            stats->dns_responses + sniffer.stats().dns_tcp_messages);
+  EXPECT_EQ(sniffer.stats().decode_failures, 0u);
+  // Flow counts agree within idle-timeout artifacts.
+  EXPECT_NEAR(static_cast<double>(sniffer.stats().flows_exported),
+              static_cast<double>(stats->tcp_flows),
+              static_cast<double>(stats->tcp_flows) * 0.15);
+
+  // Hit ratio sanity: most HTTP/TLS flows resolve.
+  std::uint64_t web = 0, web_labeled = 0;
+  for (const auto& flow : sniffer.database().flows()) {
+    if (flow.protocol == flow::ProtocolClass::kHttp ||
+        flow.protocol == flow::ProtocolClass::kTls) {
+      ++web;
+      if (flow.labeled()) ++web_labeled;
+    }
+  }
+  ASSERT_GT(web, 0u);
+  EXPECT_GT(static_cast<double>(web_labeled) / static_cast<double>(web),
+            0.75);
+}
+
+TEST_F(PcapModeTest, PcapModeDeterministic) {
+  const std::string p1 = (dir_ / "a.pcap").string();
+  const std::string p2 = (dir_ / "b.pcap").string();
+  Simulator{tiny_profile()}.write_pcap(p1);
+  Simulator{tiny_profile()}.write_pcap(p2);
+  ASSERT_EQ(fs::file_size(p1), fs::file_size(p2));
+  // Spot-check byte identity.
+  std::ifstream f1{p1, std::ios::binary}, f2{p2, std::ios::binary};
+  std::vector<char> b1(65536), b2(65536);
+  f1.read(b1.data(), b1.size());
+  f2.read(b2.data(), b2.size());
+  EXPECT_EQ(b1, b2);
+}
+
+TEST(Profiles, AllTableOneProfilesConstruct) {
+  const auto profiles = all_table1_profiles();
+  ASSERT_EQ(profiles.size(), 5u);
+  EXPECT_EQ(profiles[0].name, "US-3G");
+  EXPECT_EQ(profiles[0].geo, Geo::kUs);
+  EXPECT_EQ(profiles[4].name, "EU1-FTTH");
+  for (const auto& p : profiles) {
+    EXPECT_GT(p.n_clients, 0);
+    EXPECT_GT(p.duration.total_seconds(), 0.0);
+  }
+}
+
+TEST(Profiles, LiveProfileConfigured) {
+  const auto live = profile_eu1_adsl2_live();
+  EXPECT_EQ(live.days, 18);
+  EXPECT_GT(live.fresh_fqdn_per_visit, 0.0);
+}
+
+}  // namespace
+}  // namespace dnh::trafficgen

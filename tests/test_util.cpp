@@ -1,0 +1,367 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "util/time.hpp"
+
+namespace dnh::util {
+namespace {
+
+// ---------------------------------------------------------------- Rng
+
+TEST(Rng, IsDeterministicForSameSeed) {
+  Rng a{42}, b{42};
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1}, b{2};
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng rng{7};
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(Rng, UniformCoversFullRange) {
+  Rng rng{7};
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, UniformSingletonRange) {
+  Rng rng{7};
+  EXPECT_EQ(rng.uniform(5, 5), 5u);
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+  Rng rng{3};
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng{9};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceApproximatesProbability) {
+  Rng rng{11};
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.chance(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, ExponentialMeanIsClose) {
+  Rng rng{13};
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.5);
+  EXPECT_NEAR(sum / n, 2.5, 0.1);
+}
+
+TEST(Rng, PoissonMeanIsClose) {
+  Rng rng{17};
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(4.0));
+  EXPECT_NEAR(sum / n, 4.0, 0.15);
+}
+
+TEST(Rng, PoissonLargeMeanUsesNormalApprox) {
+  Rng rng{19};
+  double sum = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(200.0));
+  EXPECT_NEAR(sum / n, 200.0, 5.0);
+}
+
+TEST(Rng, ParetoRespectsScale) {
+  Rng rng{23};
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(rng.pareto(1.5, 2.0), 1.5);
+}
+
+TEST(Rng, WeightedIndexNeverPicksZeroWeight) {
+  Rng rng{29};
+  const double weights[] = {0.0, 1.0, 0.0, 3.0};
+  for (int i = 0; i < 1000; ++i) {
+    const auto idx = rng.weighted_index(weights);
+    EXPECT_TRUE(idx == 1 || idx == 3);
+  }
+}
+
+TEST(Rng, WeightedIndexMatchesProportions) {
+  Rng rng{31};
+  const double weights[] = {1.0, 3.0};
+  int ones = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) ones += rng.weighted_index(weights) == 1;
+  EXPECT_NEAR(static_cast<double>(ones) / n, 0.75, 0.02);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng{37};
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto w = v;
+  rng.shuffle(w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a{41};
+  Rng child = a.fork();
+  // Child stream differs from the parent's continuing stream.
+  EXPECT_NE(child.next_u64(), a.next_u64());
+}
+
+TEST(Zipf, RankZeroIsMostPopular) {
+  Rng rng{43};
+  ZipfSampler zipf{100, 1.0};
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[zipf.sample(rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], counts[99] * 5);
+}
+
+TEST(Zipf, SamplesAreInRange) {
+  Rng rng{47};
+  ZipfSampler zipf{5, 1.2};
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(zipf.sample(rng), 5u);
+}
+
+// ---------------------------------------------------------------- time
+
+TEST(Time, DurationFactoriesAgree) {
+  EXPECT_EQ(Duration::seconds(1).total_micros(), 1'000'000);
+  EXPECT_EQ(Duration::millis(1500).total_micros(), 1'500'000);
+  EXPECT_EQ(Duration::minutes(2).total_micros(), 120'000'000);
+  EXPECT_EQ(Duration::hours(1), Duration::minutes(60));
+  EXPECT_EQ(Duration::days(1), Duration::hours(24));
+}
+
+TEST(Time, TimestampArithmetic) {
+  const auto t = Timestamp::from_seconds(100);
+  EXPECT_EQ((t + Duration::seconds(5)).seconds_since_epoch(), 105);
+  EXPECT_EQ((t - Duration::seconds(5)).seconds_since_epoch(), 95);
+  EXPECT_EQ((t + Duration::seconds(5)) - t, Duration::seconds(5));
+}
+
+TEST(Time, SecondsOfDayWraps) {
+  const auto t = Timestamp::from_seconds(86'400 * 3 + 3725);
+  EXPECT_EQ(t.seconds_of_day(), 3725);
+}
+
+TEST(Time, FormatHhmm) {
+  EXPECT_EQ(format_hhmm(Timestamp::from_seconds(15 * 3600 + 30 * 60)),
+            "15:30");
+  EXPECT_EQ(format_hhmm(Timestamp::from_seconds(0)), "00:00");
+}
+
+TEST(Time, FormatDurationPicksUnit) {
+  EXPECT_EQ(format_duration(Duration::micros(500)), "500us");
+  EXPECT_EQ(format_duration(Duration::millis(350)), "350ms");
+  EXPECT_EQ(format_duration(Duration::seconds(1.5)), "1.5s");
+  EXPECT_EQ(format_duration(Duration::hours(3)), "3.0h");
+}
+
+// ---------------------------------------------------------------- strings
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto parts = split("a..b", '.');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(Strings, SplitSingleField) {
+  const auto parts = split("abc", '.');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Strings, SplitAnyDropsEmpties) {
+  const auto parts = split_any("a-b__c", "-_");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, SplitAnyAllSeparators) {
+  EXPECT_TRUE(split_any("---", "-").empty());
+}
+
+TEST(Strings, JoinRoundTrip) {
+  EXPECT_EQ(join(std::vector<std::string>{"a", "b", "c"}, "."), "a.b.c");
+  EXPECT_EQ(join(std::vector<std::string>{}, "."), "");
+}
+
+TEST(Strings, CaseHelpers) {
+  EXPECT_EQ(to_lower("WwW.ExAmPlE.CoM"), "www.example.com");
+  EXPECT_TRUE(iequals("AbC", "abc"));
+  EXPECT_FALSE(iequals("abc", "abd"));
+  EXPECT_TRUE(iends_with("www.Example.COM", ".example.com"));
+  EXPECT_FALSE(iends_with("com", ".example.com"));
+}
+
+TEST(Strings, AllDigits) {
+  EXPECT_TRUE(all_digits("0123"));
+  EXPECT_FALSE(all_digits(""));
+  EXPECT_FALSE(all_digits("12a"));
+}
+
+TEST(Strings, WithCommas) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(with_commas(1000), "1,000");
+  EXPECT_EQ(with_commas(1234567), "1,234,567");
+}
+
+TEST(Strings, Percent) {
+  EXPECT_EQ(percent(0.923), "92.3%");
+  EXPECT_EQ(percent(0.5, 0), "50%");
+}
+
+// ---------------------------------------------------------------- stats
+
+TEST(Cdf, CdfAtBoundaries) {
+  CdfAccumulator cdf;
+  for (int i = 1; i <= 10; ++i) cdf.add(i);
+  EXPECT_DOUBLE_EQ(cdf.cdf_at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.cdf_at(5.0), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.cdf_at(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.cdf_at(100.0), 1.0);
+}
+
+TEST(Cdf, EmptyBehaviour) {
+  const CdfAccumulator cdf;
+  EXPECT_TRUE(cdf.empty());
+  EXPECT_DOUBLE_EQ(cdf.cdf_at(1.0), 0.0);
+  EXPECT_THROW(cdf.quantile(0.5), std::runtime_error);
+}
+
+TEST(Cdf, QuantilesAreMonotone) {
+  CdfAccumulator cdf;
+  for (int i = 0; i < 1000; ++i) cdf.add(i);
+  EXPECT_LE(cdf.quantile(0.1), cdf.quantile(0.5));
+  EXPECT_LE(cdf.quantile(0.5), cdf.quantile(0.9));
+  EXPECT_EQ(cdf.quantile(1.0), 999);
+}
+
+TEST(Cdf, WeightedAdd) {
+  CdfAccumulator cdf;
+  cdf.add(1.0, 99);
+  cdf.add(100.0, 1);
+  EXPECT_EQ(cdf.count(), 100u);
+  EXPECT_DOUBLE_EQ(cdf.cdf_at(1.0), 0.99);
+}
+
+TEST(Cdf, MinMaxMean) {
+  CdfAccumulator cdf;
+  cdf.add(2.0);
+  cdf.add(4.0);
+  cdf.add(9.0);
+  EXPECT_DOUBLE_EQ(cdf.min(), 2.0);
+  EXPECT_DOUBLE_EQ(cdf.max(), 9.0);
+  EXPECT_DOUBLE_EQ(cdf.mean(), 5.0);
+}
+
+TEST(Counter, TopOrdersByWeightThenKey) {
+  Counter c;
+  c.add("b", 2);
+  c.add("a", 2);
+  c.add("z", 5);
+  const auto top = c.top();
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].first, "z");
+  EXPECT_EQ(top[1].first, "a");  // tie broken alphabetically
+  EXPECT_EQ(top[2].first, "b");
+}
+
+TEST(Counter, TopTruncates) {
+  Counter c;
+  for (int i = 0; i < 10; ++i) c.add(std::to_string(i), i + 1);
+  EXPECT_EQ(c.top(3).size(), 3u);
+  EXPECT_EQ(c.distinct(), 10u);
+}
+
+TEST(TimeBins, BinMappingAndAccumulation) {
+  TimeBinSeries series{1000, 600, 4};  // 4 ten-minute bins from t=1000
+  EXPECT_TRUE(series.in_range(1000));
+  EXPECT_TRUE(series.in_range(1000 + 4 * 600 - 1));
+  EXPECT_FALSE(series.in_range(999));
+  EXPECT_FALSE(series.in_range(1000 + 4 * 600));
+  series.add(1000);
+  series.add(1599);
+  series.add(1600, 2.5);
+  EXPECT_DOUBLE_EQ(series.at(0), 2.0);
+  EXPECT_DOUBLE_EQ(series.at(1), 2.5);
+  EXPECT_DOUBLE_EQ(series.max_value(), 2.5);
+  EXPECT_EQ(series.bin_start_seconds(2), 2200);
+}
+
+TEST(TimeBins, OutOfRangeAddIsIgnored) {
+  TimeBinSeries series{0, 60, 2};
+  series.add(-5);
+  series.add(1000);
+  EXPECT_DOUBLE_EQ(series.at(0), 0.0);
+  EXPECT_DOUBLE_EQ(series.at(1), 0.0);
+}
+
+// ---------------------------------------------------------------- table
+
+TEST(Table, RendersAlignedColumns) {
+  TextTable t{{"name", "count"}};
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22222"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, PadsShortRows) {
+  TextTable t{{"a", "b", "c"}};
+  t.add_row({"x"});
+  EXPECT_NO_THROW(t.render());
+}
+
+TEST(Table, SparklineScalesToMax) {
+  const std::string s = sparkline({0.0, 4.0, 8.0});
+  EXPECT_FALSE(s.empty());
+  const std::string flat = sparkline({0.0, 0.0});
+  EXPECT_EQ(flat, "  ");
+}
+
+TEST(Table, HbarClamped) {
+  EXPECT_EQ(hbar(5, 10, 10), "#####");
+  EXPECT_EQ(hbar(20, 10, 10).size(), 10u);
+  EXPECT_EQ(hbar(1, 0, 10), "");
+}
+
+}  // namespace
+}  // namespace dnh::util

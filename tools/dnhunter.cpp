@@ -1,0 +1,512 @@
+// dnhunter — command-line front end to the DN-Hunter library.
+//
+// Operates on pcap captures that contain both DNS and data traffic (any
+// capture taken between clients and their resolver works):
+//
+//   dnhunter summary   <pcap>
+//   dnhunter flows     <pcap> [--limit N] [--unlabeled] [--port N]
+//   dnhunter tags      <pcap> --port N [--top K] [--raw]
+//   dnhunter spatial   <pcap> <fqdn> [--orgdb FILE]
+//   dnhunter tree      <pcap> <2nd-level-domain> [--orgdb FILE]
+//   dnhunter content   <pcap> --provider NAME --orgdb FILE [--top K]
+//   dnhunter anomalies <pcap> [--orgdb FILE] [--min-history N]
+//   dnhunter policy    <pcap> [--block SUFFIX]... [--prioritize SUFFIX]...
+//   dnhunter churn     <pcap> <2nd-level-domain> [--orgdb FILE] [--bin MIN]
+//   dnhunter dga       <pcap> [--min-queries N]
+//   dnhunter tangle    <pcap> [--top K] [--min-shared N]
+//   dnhunter export    <pcap> --out FILE.tsv
+//   dnhunter volume    <pcap> [--depth N] [--top K]
+//   dnhunter delays    <pcap>
+//   dnhunter dimension <pcap> [--sizes L1,L2,...]
+//
+// The optional org database file maps address blocks to organizations,
+// one "CIDR NAME" pair per line (the role whois/MaxMind plays in the
+// paper); without it, addresses are attributed to /16 prefixes.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analytics/anomaly.hpp"
+#include "analytics/cdn_tracking.hpp"
+#include "analytics/content.hpp"
+#include "analytics/delay.hpp"
+#include "analytics/dga.hpp"
+#include "analytics/dimensioning.hpp"
+#include "analytics/domain_tree.hpp"
+#include "analytics/service_tags.hpp"
+#include "analytics/spatial.hpp"
+#include "analytics/tangle.hpp"
+#include "analytics/volume.hpp"
+#include "core/flowdb_io.hpp"
+#include "core/policy.hpp"
+#include "core/sniffer.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace dnh;
+
+struct Args {
+  std::string command;
+  std::string pcap;
+  std::vector<std::string> positional;
+  std::vector<std::pair<std::string, std::string>> options;
+
+  std::optional<std::string> option(const std::string& name) const {
+    for (const auto& [key, value] : options) {
+      if (key == name) return value;
+    }
+    return std::nullopt;
+  }
+  std::vector<std::string> option_all(const std::string& name) const {
+    std::vector<std::string> out;
+    for (const auto& [key, value] : options) {
+      if (key == name) out.push_back(value);
+    }
+    return out;
+  }
+  bool flag(const std::string& name) const {
+    return option(name).has_value();
+  }
+};
+
+[[noreturn]] void usage(const char* error = nullptr) {
+  if (error) std::fprintf(stderr, "error: %s\n\n", error);
+  std::fprintf(stderr,
+               "usage: dnhunter <command> <capture.pcap> [options]\n"
+               "commands: summary flows tags spatial tree content "
+               "anomalies policy churn dga tangle export volume delays dimension\n"
+               "run with a command and no further args for its options\n");
+  std::exit(error ? 2 : 0);
+}
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  if (argc < 3) usage(argc < 2 ? "missing command" : "missing capture");
+  args.command = argv[1];
+  args.pcap = argv[2];
+  for (int i = 3; i < argc; ++i) {
+    const std::string_view arg{argv[i]};
+    if (arg.substr(0, 2) == "--") {
+      std::string key{arg.substr(2)};
+      std::string value = "1";
+      // A value follows unless the next token is another option or absent.
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0)
+        value = argv[++i];
+      args.options.emplace_back(std::move(key), std::move(value));
+    } else {
+      args.positional.emplace_back(arg);
+    }
+  }
+  return args;
+}
+
+/// Loads "CIDR NAME" lines; returns an empty database on a missing path.
+orgdb::OrgDb load_orgdb(const std::optional<std::string>& path) {
+  orgdb::OrgDb orgs;
+  if (path) {
+    std::ifstream in{*path};
+    if (!in) {
+      std::fprintf(stderr, "error: cannot read orgdb file %s\n",
+                   path->c_str());
+      std::exit(2);
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      const auto fields = util::split_any(line, " \t");
+      if (fields.size() < 2 || fields[0].front() == '#') continue;
+      const auto slash = fields[0].find('/');
+      if (slash == std::string_view::npos) continue;
+      const auto base = net::Ipv4Address::parse(fields[0].substr(0, slash));
+      if (!base) continue;
+      const int prefix = std::atoi(std::string{fields[0].substr(slash + 1)}.c_str());
+      orgs.add(net::cidr(*base, prefix), std::string{fields[1]});
+    }
+  }
+  orgs.finalize();
+  return orgs;
+}
+
+core::Sniffer sniff(const std::string& pcap) {
+  core::Sniffer sniffer;
+  if (!sniffer.process_pcap(pcap)) {
+    std::fprintf(stderr, "error: %s\n", sniffer.error().c_str());
+    std::exit(1);
+  }
+  sniffer.finish();
+  return sniffer;
+}
+
+int cmd_summary(const Args& args) {
+  const auto sniffer = sniff(args.pcap);
+  const auto& stats = sniffer.stats();
+  std::printf("frames:            %s (%s undecodable)\n",
+              util::with_commas(stats.frames).c_str(),
+              util::with_commas(stats.decode_failures).c_str());
+  std::printf("dns responses:     %s (%s malformed, %s queries)\n",
+              util::with_commas(stats.dns_responses).c_str(),
+              util::with_commas(stats.dns_parse_failures).c_str(),
+              util::with_commas(stats.dns_queries).c_str());
+  std::printf("flows:             %s (%s tagged at first packet, "
+              "%s tagged late)\n",
+              util::with_commas(stats.flows_exported).c_str(),
+              util::with_commas(stats.flows_tagged_at_start).c_str(),
+              util::with_commas(stats.flows_tagged_at_export).c_str());
+
+  std::map<flow::ProtocolClass, std::pair<std::uint64_t, std::uint64_t>>
+      by_class;
+  for (const auto& flow : sniffer.database().flows()) {
+    auto& [total, labeled] = by_class[flow.protocol];
+    ++total;
+    labeled += flow.labeled();
+  }
+  util::TextTable table{{"class", "flows", "labeled", "hit ratio"}};
+  for (const auto& [cls, counts] : by_class) {
+    table.add_row({std::string{flow::protocol_class_name(cls)},
+                   util::with_commas(counts.first),
+                   util::with_commas(counts.second),
+                   util::percent(static_cast<double>(counts.second) /
+                                 static_cast<double>(counts.first))});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}
+
+int cmd_flows(const Args& args) {
+  const auto sniffer = sniff(args.pcap);
+  const std::size_t limit =
+      std::strtoul(args.option("limit").value_or("50").c_str(), nullptr, 10);
+  const bool unlabeled_only = args.flag("unlabeled");
+  const auto port_filter = args.option("port");
+
+  std::size_t shown = 0;
+  for (const auto& flow : sniffer.database().flows()) {
+    if (unlabeled_only && flow.labeled()) continue;
+    if (port_filter &&
+        flow.key.server_port != std::stoi(*port_filter))
+      continue;
+    std::printf("%s %s:%u -> %s:%u %-7s %8s B  %s\n",
+                util::format_hhmm(flow.first_packet).c_str(),
+                flow.key.client_ip.to_string().c_str(),
+                flow.key.client_port,
+                flow.key.server_ip.to_string().c_str(),
+                flow.key.server_port,
+                std::string{flow::protocol_class_name(flow.protocol)}.c_str(),
+                util::with_commas(flow.bytes_c2s + flow.bytes_s2c).c_str(),
+                flow.labeled() ? flow.fqdn.c_str() : "-");
+    if (++shown == limit) break;
+  }
+  std::printf("(%zu of %zu flows shown)\n", shown,
+              sniffer.database().size());
+  return 0;
+}
+
+int cmd_tags(const Args& args) {
+  const auto port = args.option("port");
+  if (!port) usage("tags requires --port N");
+  const auto sniffer = sniff(args.pcap);
+  analytics::TagExtractionOptions options;
+  options.top_k =
+      std::strtoul(args.option("top").value_or("10").c_str(), nullptr, 10);
+  options.raw_counts = args.flag("raw");
+  const auto tags = analytics::extract_service_tags(
+      sniffer.database(), static_cast<std::uint16_t>(std::stoi(*port)),
+      options);
+  if (tags.empty()) {
+    std::printf("no labeled flows on port %s\n", port->c_str());
+    return 0;
+  }
+  for (const auto& tag : tags)
+    std::printf("(%d)%s\n", static_cast<int>(tag.score + 0.5),
+                tag.token.c_str());
+  return 0;
+}
+
+int cmd_spatial(const Args& args) {
+  if (args.positional.empty()) usage("spatial requires an FQDN");
+  const auto sniffer = sniff(args.pcap);
+  const auto orgs = load_orgdb(args.option("orgdb"));
+  const auto report = analytics::spatial_discovery(
+      sniffer.database(), orgs, args.positional[0]);
+  std::printf("servers for %s:\n", report.fqdn.c_str());
+  for (const auto& server : report.fqdn_servers)
+    std::printf("  %-16s %-16s %llu flows\n",
+                server.server.to_string().c_str(),
+                server.organization.c_str(),
+                static_cast<unsigned long long>(server.flows));
+  std::printf("servers for the whole organization (%s): %zu\n",
+              report.second_level.c_str(),
+              report.organization_servers.size());
+  return 0;
+}
+
+int cmd_tree(const Args& args) {
+  if (args.positional.empty()) usage("tree requires a 2nd-level domain");
+  const auto sniffer = sniff(args.pcap);
+  const auto orgs = load_orgdb(args.option("orgdb"));
+  const auto tree =
+      analytics::build_domain_tree(sniffer.database(), orgs,
+                                   args.positional[0]);
+  std::printf("%s", analytics::render_domain_tree(tree).c_str());
+  return 0;
+}
+
+int cmd_content(const Args& args) {
+  const auto provider = args.option("provider");
+  if (!provider) usage("content requires --provider NAME");
+  if (!args.option("orgdb"))
+    usage("content requires --orgdb FILE to attribute servers");
+  const auto sniffer = sniff(args.pcap);
+  const auto orgs = load_orgdb(args.option("orgdb"));
+  const auto report = analytics::content_discovery_by_provider(
+      sniffer.database(), orgs, *provider,
+      std::strtoul(args.option("top").value_or("10").c_str(), nullptr, 10));
+  std::printf("%s hosts %zu distinct FQDNs here (%s labeled flows)\n",
+              provider->c_str(), report.distinct_fqdns,
+              util::with_commas(report.total_flows).c_str());
+  for (const auto& domain : report.domains)
+    std::printf("  %-28s %s\n", domain.name.c_str(),
+                util::percent(domain.flow_share).c_str());
+  return 0;
+}
+
+int cmd_anomalies(const Args& args) {
+  const auto sniffer = sniff(args.pcap);
+  const auto orgs = load_orgdb(args.option("orgdb"));
+  analytics::AnomalyConfig config;
+  config.min_history = static_cast<std::uint32_t>(std::strtoul(
+      args.option("min-history").value_or("5").c_str(), nullptr, 10));
+  analytics::DnsAnomalyDetector detector{orgs, config};
+  const auto anomalies = detector.scan(sniffer.dns_log());
+  for (const auto& anomaly : anomalies) {
+    std::printf("%s  %s -> %s (%s), previously %zu known network(s)\n",
+                util::format_hhmm(anomaly.time).c_str(),
+                anomaly.fqdn.c_str(),
+                anomaly.suspicious_server.to_string().c_str(),
+                anomaly.observed_org.c_str(), anomaly.known_orgs.size());
+  }
+  std::printf("%zu anomalies in %s responses\n", anomalies.size(),
+              util::with_commas(detector.responses_seen()).c_str());
+  return 0;
+}
+
+int cmd_policy(const Args& args) {
+  core::PolicyEnforcer enforcer;
+  for (const auto& suffix : args.option_all("block"))
+    enforcer.add_rule(suffix, core::PolicyAction::kBlock);
+  for (const auto& suffix : args.option_all("prioritize"))
+    enforcer.add_rule(suffix, core::PolicyAction::kPrioritize);
+  if (enforcer.rule_count() == 0)
+    usage("policy requires at least one --block/--prioritize SUFFIX");
+
+  core::Sniffer sniffer;
+  sniffer.set_flow_start_hook(
+      [&](const flow::FlowRecord&, std::string_view fqdn) {
+        enforcer.decide(fqdn);
+      });
+  if (!sniffer.process_pcap(args.pcap)) {
+    std::fprintf(stderr, "error: %s\n", sniffer.error().c_str());
+    return 1;
+  }
+  sniffer.finish();
+  const auto& stats = enforcer.stats();
+  std::printf("decisions: %s  block=%s prioritize=%s allow=%s "
+              "(unlabeled=%s)\n",
+              util::with_commas(stats.decisions).c_str(),
+              util::with_commas(stats.blocked).c_str(),
+              util::with_commas(stats.prioritized).c_str(),
+              util::with_commas(stats.allowed).c_str(),
+              util::with_commas(stats.unlabeled).c_str());
+  return 0;
+}
+
+int cmd_tangle(const Args& args) {
+  const auto sniffer = sniff(args.pcap);
+  const auto report = analytics::tangle_graph(
+      sniffer.database(),
+      std::strtoul(args.option("top").value_or("20").c_str(), nullptr, 10),
+      std::strtoul(args.option("min-shared").value_or("1").c_str(), nullptr,
+                   10));
+  std::printf(
+      "%zu organizations, %zu entangled (%s), %zu multi-tenant servers\n",
+      report.organizations, report.entangled_orgs,
+      util::percent(report.entangled_fraction(), 0).c_str(),
+      report.multi_tenant_servers);
+  util::TextTable table{{"org A", "org B", "shared", "jaccard"}};
+  for (const auto& pair : report.pairs) {
+    char jaccard[16];
+    std::snprintf(jaccard, sizeof jaccard, "%.2f", pair.jaccard());
+    table.add_row({pair.org_a, pair.org_b,
+                   std::to_string(pair.shared_servers), jaccard});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}
+
+int cmd_dga(const Args& args) {
+  const auto sniffer = sniff(args.pcap);
+  analytics::DgaConfig config;
+  config.min_queries = static_cast<std::uint32_t>(std::strtoul(
+      args.option("min-queries").value_or("20").c_str(), nullptr, 10));
+  const auto suspects =
+      analytics::detect_dga_clients(sniffer.dns_log(), config);
+  for (const auto& suspect : suspects) {
+    std::printf("%s  %s queries, %s NXDOMAIN (%s), randomness %.2f, "
+                "%zu distinct 2LDs\n",
+                suspect.client.to_string().c_str(),
+                util::with_commas(suspect.queries).c_str(),
+                util::with_commas(suspect.nxdomains).c_str(),
+                util::percent(suspect.nxdomain_ratio, 0).c_str(),
+                suspect.mean_randomness, suspect.distinct_slds);
+    for (const auto& name : suspect.sample_names)
+      std::printf("    e.g. %s\n", name.c_str());
+  }
+  std::printf("%zu suspected DGA-infected client(s)\n", suspects.size());
+  return 0;
+}
+
+int cmd_churn(const Args& args) {
+  if (args.positional.empty()) usage("churn requires a 2nd-level domain");
+  const auto sniffer = sniff(args.pcap);
+  const auto orgs = load_orgdb(args.option("orgdb"));
+  const auto& db = sniffer.database();
+  util::Timestamp start, end;
+  for (const auto& flow : db.flows()) {
+    if (start == util::Timestamp{} || flow.first_packet < start)
+      start = flow.first_packet;
+    if (flow.first_packet > end) end = flow.first_packet;
+  }
+  const int bin_minutes =
+      std::atoi(args.option("bin").value_or("60").c_str());
+  const auto report = analytics::track_hosting(
+      db, orgs, args.positional[0], start,
+      end + util::Duration::seconds(1),
+      util::Duration::minutes(std::max(bin_minutes, 1)));
+  for (const auto& bin : report.bins) {
+    if (bin.flows == 0) continue;
+    std::printf("%s  %6s flows  dominant=%s (",
+                util::format_hhmm(util::Timestamp::from_seconds(
+                    bin.start_seconds)).c_str(),
+                util::with_commas(bin.flows).c_str(),
+                bin.dominant().c_str());
+    bool first = true;
+    for (const auto& [host, count] : bin.hosts) {
+      std::printf("%s%s=%llu", first ? "" : " ", host.c_str(),
+                  static_cast<unsigned long long>(count));
+      first = false;
+    }
+    std::printf(")\n");
+  }
+  for (const auto& sw : report.switches) {
+    std::printf("switch at %s: %s -> %s\n",
+                util::format_hhmm(util::Timestamp::from_seconds(
+                    sw.at_seconds)).c_str(),
+                sw.from.c_str(), sw.to.c_str());
+  }
+  if (report.switches.empty())
+    std::printf("no dominant-host switches in the window\n");
+  return 0;
+}
+
+int cmd_export(const Args& args) {
+  const auto out = args.option("out");
+  if (!out) usage("export requires --out FILE.tsv");
+  const auto sniffer = sniff(args.pcap);
+  const std::size_t n = core::write_flow_tsv(sniffer.database(), *out);
+  if (n == 0 && sniffer.database().size() != 0) {
+    std::fprintf(stderr, "error: cannot write %s\n", out->c_str());
+    return 1;
+  }
+  std::printf("wrote %zu labeled+unlabeled flows to %s\n", n, out->c_str());
+  return 0;
+}
+
+int cmd_volume(const Args& args) {
+  const auto sniffer = sniff(args.pcap);
+  const int depth = std::atoi(args.option("depth").value_or("2").c_str());
+  const auto report = analytics::traffic_by_domain(
+      sniffer.database(), depth,
+      std::strtoul(args.option("top").value_or("15").c_str(), nullptr, 10));
+  util::TextTable table{{"name", "flows", "bytes", "share"}};
+  for (const auto& row : report.rows) {
+    table.add_row({row.name, util::with_commas(row.flows),
+                   util::with_commas(row.bytes),
+                   util::percent(row.byte_share)});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("unlabeled: %s flows, %s bytes\n",
+              util::with_commas(report.unlabeled_flows).c_str(),
+              util::with_commas(report.unlabeled_bytes).c_str());
+  std::printf("\nby protocol:\n");
+  for (const auto& [cls, row] : analytics::traffic_by_protocol(
+           sniffer.database())) {
+    std::printf("  %-8s %8s flows  %s of bytes\n", row.name.c_str(),
+                util::with_commas(row.flows).c_str(),
+                util::percent(row.byte_share).c_str());
+  }
+  return 0;
+}
+
+int cmd_delays(const Args& args) {
+  const auto sniffer = sniff(args.pcap);
+  const auto report =
+      analytics::analyze_delays(sniffer.dns_log(), sniffer.database());
+  std::printf("useless DNS responses: %s of %s\n",
+              util::percent(report.useless_fraction()).c_str(),
+              util::with_commas(report.responses).c_str());
+  if (!report.first_flow_delay.empty()) {
+    std::printf("first-flow delay: median %.3fs p90 %.3fs p99 %.1fs\n",
+                report.first_flow_delay.quantile(0.5),
+                report.first_flow_delay.quantile(0.9),
+                report.first_flow_delay.quantile(0.99));
+  }
+  return 0;
+}
+
+int cmd_dimension(const Args& args) {
+  const auto sniffer = sniff(args.pcap);
+  std::vector<std::size_t> sizes;
+  const std::string spec = args.option("sizes").value_or(
+      "128,512,2048,8192,32768,131072");
+  for (const auto piece : util::split(spec, ','))
+    sizes.push_back(std::strtoul(std::string{piece}.c_str(), nullptr, 10));
+  const auto sweep = analytics::clist_efficiency_sweep(
+      sniffer.dns_log(), sniffer.database(), sizes);
+  for (const auto& point : sweep)
+    std::printf("L=%-10zu efficiency=%s (%s/%s)\n", point.clist_size,
+                util::percent(point.efficiency).c_str(),
+                util::with_commas(point.hits).c_str(),
+                util::with_commas(point.lookups).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && (std::strcmp(argv[1], "--help") == 0 ||
+                    std::strcmp(argv[1], "-h") == 0))
+    usage();
+  const Args args = parse_args(argc, argv);
+
+  if (args.command == "summary") return cmd_summary(args);
+  if (args.command == "flows") return cmd_flows(args);
+  if (args.command == "tags") return cmd_tags(args);
+  if (args.command == "spatial") return cmd_spatial(args);
+  if (args.command == "tree") return cmd_tree(args);
+  if (args.command == "content") return cmd_content(args);
+  if (args.command == "anomalies") return cmd_anomalies(args);
+  if (args.command == "policy") return cmd_policy(args);
+  if (args.command == "tangle") return cmd_tangle(args);
+  if (args.command == "dga") return cmd_dga(args);
+  if (args.command == "churn") return cmd_churn(args);
+  if (args.command == "export") return cmd_export(args);
+  if (args.command == "volume") return cmd_volume(args);
+  if (args.command == "delays") return cmd_delays(args);
+  if (args.command == "dimension") return cmd_dimension(args);
+  usage(("unknown command: " + args.command).c_str());
+}
