@@ -60,68 +60,116 @@ std::size_t write_flow_tsv(const FlowDatabase& db, const std::string& path) {
   return write_flow_tsv(db, out);
 }
 
-std::optional<FlowDatabase> read_flow_tsv(std::istream& in) {
-  std::string line;
-  if (!std::getline(in, line) || line != kHeader) return std::nullopt;
+namespace {
 
-  FlowDatabase db;
-  while (std::getline(in, line)) {
-    if (line.empty() || line.front() == '#') continue;
-    const auto fields = util::split(line, '\t');
-    if (fields.size() != 19) return std::nullopt;
+enum class RowError {
+  kNone,
+  kFieldCount,
+  kAddress,
+  kNumber,
+  kTransport,
+  kProtocol,
+};
 
-    TaggedFlow flow;
-    const auto client = net::Ipv4Address::parse(fields[0]);
-    const auto server = net::Ipv4Address::parse(fields[1]);
-    if (!client || !server) return std::nullopt;
-    flow.key.client_ip = *client;
-    flow.key.server_ip = *server;
+RowError parse_row(std::string_view line, TaggedFlow& flow) {
+  const auto fields = util::split(line, '\t');
+  if (fields.size() != 19) return RowError::kFieldCount;
 
-    std::int64_t first_us = 0, last_us = 0, dns_us = 0;
-    int protocol = 0, tagged = 0, has_cert = 0;
-    if (!parse_int(fields[2], flow.key.client_port) ||
-        !parse_int(fields[3], flow.key.server_port) ||
-        !parse_int(fields[5], first_us) || !parse_int(fields[6], last_us) ||
-        !parse_int(fields[7], flow.packets_c2s) ||
-        !parse_int(fields[8], flow.packets_s2c) ||
-        !parse_int(fields[9], flow.bytes_c2s) ||
-        !parse_int(fields[10], flow.bytes_s2c) ||
-        !parse_int(fields[11], protocol) ||
-        !parse_int(fields[13], dns_us) || !parse_int(fields[14], tagged) ||
-        !parse_int(fields[18], has_cert))
-      return std::nullopt;
-    if (fields[4] == "tcp") {
-      flow.key.transport = flow::Transport::kTcp;
-    } else if (fields[4] == "udp") {
-      flow.key.transport = flow::Transport::kUdp;
-    } else {
-      return std::nullopt;
-    }
-    if (protocol < 0 ||
-        protocol > static_cast<int>(flow::ProtocolClass::kOther))
-      return std::nullopt;
-    flow.protocol = static_cast<flow::ProtocolClass>(protocol);
-    flow.first_packet = util::Timestamp::from_micros(first_us);
-    flow.last_packet = util::Timestamp::from_micros(last_us);
-    flow.dns_response_time = util::Timestamp::from_micros(dns_us);
-    flow.tagged_at_start = tagged != 0;
-    flow.fqdn = std::string{fields[12]};
-    flow.dpi_label = std::string{fields[15]};
-    flow.cert_cn = std::string{fields[16]};
-    if (!fields[17].empty()) {
-      for (const auto san : util::split(fields[17], ','))
-        flow.cert_san.emplace_back(san);
-    }
-    flow.has_certificate = has_cert != 0;
-    db.add(std::move(flow));
+  const auto client = net::Ipv4Address::parse(fields[0]);
+  const auto server = net::Ipv4Address::parse(fields[1]);
+  if (!client || !server) return RowError::kAddress;
+  flow.key.client_ip = *client;
+  flow.key.server_ip = *server;
+
+  std::int64_t first_us = 0, last_us = 0, dns_us = 0;
+  int protocol = 0, tagged = 0, has_cert = 0;
+  if (!parse_int(fields[2], flow.key.client_port) ||
+      !parse_int(fields[3], flow.key.server_port) ||
+      !parse_int(fields[5], first_us) || !parse_int(fields[6], last_us) ||
+      !parse_int(fields[7], flow.packets_c2s) ||
+      !parse_int(fields[8], flow.packets_s2c) ||
+      !parse_int(fields[9], flow.bytes_c2s) ||
+      !parse_int(fields[10], flow.bytes_s2c) ||
+      !parse_int(fields[11], protocol) ||
+      !parse_int(fields[13], dns_us) || !parse_int(fields[14], tagged) ||
+      !parse_int(fields[18], has_cert))
+    return RowError::kNumber;
+  if (fields[4] == "tcp") {
+    flow.key.transport = flow::Transport::kTcp;
+  } else if (fields[4] == "udp") {
+    flow.key.transport = flow::Transport::kUdp;
+  } else {
+    return RowError::kTransport;
   }
-  return db;
+  if (protocol < 0 ||
+      protocol > static_cast<int>(flow::ProtocolClass::kOther))
+    return RowError::kProtocol;
+  flow.protocol = static_cast<flow::ProtocolClass>(protocol);
+  flow.first_packet = util::Timestamp::from_micros(first_us);
+  flow.last_packet = util::Timestamp::from_micros(last_us);
+  flow.dns_response_time = util::Timestamp::from_micros(dns_us);
+  flow.tagged_at_start = tagged != 0;
+  flow.fqdn = std::string{fields[12]};
+  flow.dpi_label = std::string{fields[15]};
+  flow.cert_cn = std::string{fields[16]};
+  if (!fields[17].empty()) {
+    for (const auto san : util::split(fields[17], ','))
+      flow.cert_san.emplace_back(san);
+  }
+  flow.has_certificate = has_cert != 0;
+  return RowError::kNone;
+}
+
+void count_row_error(RowError error, TsvRowErrors& errors) {
+  switch (error) {
+    case RowError::kFieldCount: ++errors.bad_field_count; break;
+    case RowError::kAddress: ++errors.bad_address; break;
+    case RowError::kNumber: ++errors.bad_number; break;
+    case RowError::kTransport: ++errors.bad_transport; break;
+    case RowError::kProtocol: ++errors.bad_protocol; break;
+    case RowError::kNone: break;
+  }
+}
+
+}  // namespace
+
+std::optional<FlowDatabase> read_flow_tsv(std::istream& in) {
+  TsvRowErrors errors;
+  return read_flow_tsv(in, TsvReadMode::kStrict, errors);
 }
 
 std::optional<FlowDatabase> read_flow_tsv(const std::string& path) {
   std::ifstream in{path};
   if (!in) return std::nullopt;
   return read_flow_tsv(in);
+}
+
+std::optional<FlowDatabase> read_flow_tsv(std::istream& in, TsvReadMode mode,
+                                          TsvRowErrors& errors) {
+  std::string line;
+  if (!std::getline(in, line) || line != kHeader) return std::nullopt;
+
+  FlowDatabase db;
+  while (std::getline(in, line)) {
+    if (line.empty() || line.front() == '#') continue;
+    TaggedFlow flow;
+    const RowError row_error = parse_row(line, flow);
+    if (row_error != RowError::kNone) {
+      count_row_error(row_error, errors);
+      if (mode == TsvReadMode::kStrict) return std::nullopt;
+      continue;  // lenient: a damaged row must not discard the database
+    }
+    db.add(std::move(flow));
+  }
+  return db;
+}
+
+std::optional<FlowDatabase> read_flow_tsv(const std::string& path,
+                                          TsvReadMode mode,
+                                          TsvRowErrors& errors) {
+  std::ifstream in{path};
+  if (!in) return std::nullopt;
+  return read_flow_tsv(in, mode, errors);
 }
 
 }  // namespace dnh::core

@@ -22,4 +22,35 @@ std::size_t write_flow_tsv(const FlowDatabase& db, const std::string& path);
 std::optional<FlowDatabase> read_flow_tsv(std::istream& in);
 std::optional<FlowDatabase> read_flow_tsv(const std::string& path);
 
+/// How read_flow_tsv treats malformed rows.
+enum class TsvReadMode {
+  kStrict,   ///< any malformed row fails the whole read (default)
+  kLenient,  ///< skip malformed rows, tallying them in TsvRowErrors
+};
+
+/// Per-category counts of rows skipped by a lenient read. All-zero after a
+/// clean read; `total()` is the number of rows dropped.
+struct TsvRowErrors {
+  std::uint64_t bad_field_count = 0;  ///< wrong number of columns
+  std::uint64_t bad_address = 0;      ///< unparseable client/server IP
+  std::uint64_t bad_number = 0;       ///< non-numeric numeric field
+  std::uint64_t bad_transport = 0;    ///< transport not "tcp"/"udp"
+  std::uint64_t bad_protocol = 0;     ///< protocol class out of range
+
+  std::uint64_t total() const noexcept {
+    return bad_field_count + bad_address + bad_number + bad_transport +
+           bad_protocol;
+  }
+};
+
+/// Reads with explicit row-error policy. In kLenient mode a malformed row
+/// is skipped and counted in `errors` rather than failing the read; only a
+/// missing file or bad header returns nullopt. In kStrict mode behaves as
+/// the two-argument overloads (errors still records the first bad row).
+std::optional<FlowDatabase> read_flow_tsv(std::istream& in, TsvReadMode mode,
+                                          TsvRowErrors& errors);
+std::optional<FlowDatabase> read_flow_tsv(const std::string& path,
+                                          TsvReadMode mode,
+                                          TsvRowErrors& errors);
+
 }  // namespace dnh::core

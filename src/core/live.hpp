@@ -52,6 +52,12 @@ class LiveAnalyzer {
   void set_flow_start_hook(Sniffer::FlowStartHook hook);
 
   const SnifferStats& stats() const noexcept { return sniffer_->stats(); }
+  /// Malformed-input accounting for the whole deployment lifetime (never
+  /// reset by window rotation — degradation is a property of the feed,
+  /// not of one window).
+  const DegradationStats& degradation() const noexcept {
+    return sniffer_->degradation();
+  }
   std::uint64_t windows_delivered() const noexcept { return windows_; }
 
  private:

@@ -18,9 +18,34 @@ Sniffer::Sniffer(SnifferConfig config)
 
 void Sniffer::on_frame(net::BytesView frame, util::Timestamp ts) {
   ++stats_.frames;
-  const auto pkt = packet::decode_frame(frame, ts);
+  // Clock sanity: capture replay and fault injection can both deliver
+  // frames out of order; the flow table tolerates it, but it is a
+  // degradation signal worth surfacing.
+  if (have_last_frame_ts_ && ts < last_frame_ts_)
+    ++stats_.degradation.timestamp_regressions;
+  else
+    last_frame_ts_ = ts;
+  have_last_frame_ts_ = true;
+
+  packet::DecodeFailure failure = packet::DecodeFailure::kNone;
+  const auto pkt = packet::decode_frame(frame, ts, failure);
   if (!pkt) {
     ++stats_.decode_failures;
+    switch (failure) {
+      case packet::DecodeFailure::kTruncatedL2:
+        ++stats_.degradation.frames_truncated;
+        break;
+      case packet::DecodeFailure::kBadIpHeader:
+        ++stats_.degradation.bad_ip_headers;
+        break;
+      case packet::DecodeFailure::kBadL4Header:
+        ++stats_.degradation.bad_l4_headers;
+        break;
+      case packet::DecodeFailure::kUnsupported:
+      case packet::DecodeFailure::kNone:
+        ++stats_.degradation.unsupported_frames;
+        break;
+    }
     return;
   }
   if (!pkt->is_ipv4()) return;  // the generator emits IPv4 only
@@ -49,8 +74,32 @@ void Sniffer::on_frame(net::BytesView frame, util::Timestamp ts) {
 void Sniffer::handle_dns_message(net::BytesView wire,
                                  net::Ipv4Address client,
                                  util::Timestamp ts) {
-  const auto msg = dns::DnsMessage::decode(wire);
-  if (!msg || !msg->is_response) {
+  dns::MessageParseError parse_error = dns::MessageParseError::kNone;
+  const auto msg = dns::DnsMessage::decode(wire, parse_error);
+  if (!msg) {
+    ++stats_.dns_parse_failures;
+    switch (parse_error) {
+      case dns::MessageParseError::kTruncated:
+        ++stats_.degradation.dns_truncated;
+        break;
+      case dns::MessageParseError::kCountLie:
+        ++stats_.degradation.dns_count_lies;
+        break;
+      case dns::MessageParseError::kPointerLoop:
+        ++stats_.degradation.dns_pointer_loops;
+        break;
+      case dns::MessageParseError::kPointerOutOfRange:
+        ++stats_.degradation.dns_pointer_out_of_range;
+        break;
+      case dns::MessageParseError::kBadName:
+      case dns::MessageParseError::kNone:
+        ++stats_.degradation.dns_bad_names;
+        break;
+    }
+    return;
+  }
+  if (!msg->is_response) {
+    // Well-formed but not a response on the response port: odd, not hostile.
     ++stats_.dns_parse_failures;
     return;
   }
@@ -60,8 +109,17 @@ void Sniffer::handle_dns_message(net::BytesView wire,
   const auto servers = msg->answer_addresses();
 
   resolver_.insert(client, fqdn, servers, ts);
-  if (config_.record_dns_log)
+  if (config_.record_dns_log) {
+    if (config_.max_dns_log > 0 && dns_log_.size() >= config_.max_dns_log) {
+      // Halving eviction keeps amortized cost O(1) per event and retains
+      // the recent half the delay analytics care most about.
+      const std::size_t evict = dns_log_.size() / 2;
+      dns_log_.erase(dns_log_.begin(),
+                     dns_log_.begin() + static_cast<std::ptrdiff_t>(evict));
+      stats_.degradation.dns_log_evictions += evict;
+    }
     dns_log_.push_back({ts, client, fqdn, servers});
+  }
 }
 
 void Sniffer::on_dns_packet(const packet::DecodedPacket& pkt) {
@@ -73,9 +131,18 @@ void Sniffer::on_tcp_dns_segment(const packet::DecodedPacket& pkt) {
   const net::Ipv4Address client = pkt.dst_v4();
   const std::uint64_t key =
       (std::uint64_t{client.value()} << 16) | pkt.dst_port();
+  if (config_.max_tcp_dns_buffers > 0 &&
+      tcp_dns_buffers_.size() >= config_.max_tcp_dns_buffers &&
+      !tcp_dns_buffers_.count(key)) {
+    // At capacity and this is a new connection: evict one buffer so an
+    // adversary opening endless half-streams cannot grow state unboundedly.
+    tcp_dns_buffers_.erase(tcp_dns_buffers_.begin());
+    ++stats_.degradation.tcp_dns_buffer_evictions;
+  }
   net::Bytes& buffer = tcp_dns_buffers_[key];
   if (buffer.size() + pkt.payload.size() > 65536 + 2) {
     buffer.clear();  // runaway stream: drop and resync
+    ++stats_.degradation.tcp_dns_overflows;
     return;
   }
   buffer.insert(buffer.end(), pkt.payload.begin(), pkt.payload.end());
@@ -148,13 +215,24 @@ void Sniffer::on_flow_export(flow::FlowRecord&& flow) {
 }
 
 bool Sniffer::process_pcap(const std::string& path) {
-  // Accepts classic pcap and pcapng transparently.
-  return pcap::read_any_capture(
+  // Accepts classic pcap and pcapng transparently. In resync mode a
+  // damaged file is read to the end and the damage lands in the
+  // degradation counters instead of error().
+  pcap::CaptureReadOptions options;
+  options.resync = config_.resync_capture;
+  pcap::CaptureReadReport report;
+  const bool ok = pcap::read_any_capture(
       path,
       [this](const pcap::Frame& frame) {
         on_frame(frame.data, frame.timestamp);
       },
-      error_);
+      options, report);
+  stats_.degradation.capture_resyncs += report.corruption.resyncs;
+  stats_.degradation.capture_bytes_skipped += report.corruption.bytes_skipped;
+  stats_.degradation.capture_truncated_tails +=
+      report.corruption.truncated_tail;
+  error_ = std::move(report.error);
+  return ok;
 }
 
 void Sniffer::finish() { table_.flush(); }

@@ -37,6 +37,55 @@ struct SnifferConfig {
   flow::TableConfig table;
   /// Retain the DNS event log for off-line analytics (costs memory).
   bool record_dns_log = true;
+  /// Bounded-memory guard on the DNS event log: when full, the oldest half
+  /// is evicted (counted in DegradationStats::dns_log_evictions) so a
+  /// months-long run cannot exhaust memory. 0 disables the cap.
+  std::size_t max_dns_log = 4u << 20;
+  /// Cap on concurrent DNS-over-TCP reassembly buffers; an adversary
+  /// opening many half-finished TCP/53 streams must not grow state
+  /// unboundedly. Oldest-arbitrary eviction past this point.
+  std::size_t max_tcp_dns_buffers = 4096;
+  /// Read damaged pcap files in skip-and-resync mode instead of aborting
+  /// at the first corrupt record (see pcap::Reader::Mode).
+  bool resync_capture = false;
+};
+
+/// Typed accounting of every malformed input the pipeline survived. One
+/// counter per fault class — "how degraded is this capture?" must be
+/// answerable without grepping logs. Zero across the board on clean input.
+struct DegradationStats {
+  // Frame/packet layer (each also counts once in decode_failures).
+  std::uint64_t frames_truncated = 0;   ///< frame ends inside L2 headers
+  std::uint64_t bad_ip_headers = 0;     ///< IPv4/IPv6 header malformed
+  std::uint64_t bad_l4_headers = 0;     ///< TCP/UDP header malformed
+  std::uint64_t unsupported_frames = 0; ///< benign non-IP/TCP/UDP traffic
+  std::uint64_t timestamp_regressions = 0;  ///< frame ts before predecessor
+
+  // DNS wire layer (each also counts once in dns_parse_failures).
+  std::uint64_t dns_truncated = 0;            ///< message/record cut short
+  std::uint64_t dns_pointer_loops = 0;        ///< compression pointer cycle
+  std::uint64_t dns_pointer_out_of_range = 0; ///< pointer past the message
+  std::uint64_t dns_bad_names = 0;            ///< reserved labels/limits
+  std::uint64_t dns_count_lies = 0;           ///< implausible section counts
+
+  // Bounded-memory guards.
+  std::uint64_t tcp_dns_overflows = 0;        ///< runaway streams reset
+  std::uint64_t tcp_dns_buffer_evictions = 0; ///< buffers evicted at cap
+  std::uint64_t dns_log_evictions = 0;        ///< DnsEvents evicted at cap
+
+  // Capture container layer (pcap resync mode).
+  std::uint64_t capture_resyncs = 0;         ///< corrupt records skipped
+  std::uint64_t capture_bytes_skipped = 0;   ///< bytes lost to corruption
+  std::uint64_t capture_truncated_tails = 0; ///< files ending mid-record
+
+  /// Total hostile-or-corrupt events (excludes benign unsupported frames
+  /// and byte counts).
+  std::uint64_t malformed_total() const noexcept {
+    return frames_truncated + bad_ip_headers + bad_l4_headers +
+           timestamp_regressions + dns_truncated + dns_pointer_loops +
+           dns_pointer_out_of_range + dns_bad_names + dns_count_lies +
+           tcp_dns_overflows + capture_resyncs + capture_truncated_tails;
+  }
 };
 
 struct SnifferStats {
@@ -49,6 +98,7 @@ struct SnifferStats {
   std::uint64_t flows_exported = 0;
   std::uint64_t flows_tagged_at_start = 0;
   std::uint64_t flows_tagged_at_export = 0;  ///< late tag (rare)
+  DegradationStats degradation;  ///< typed malformed-input accounting
 };
 
 class Sniffer {
@@ -96,6 +146,9 @@ class Sniffer {
   const DnsResolver& resolver() const noexcept { return resolver_; }
   const std::vector<DnsEvent>& dns_log() const noexcept { return dns_log_; }
   const SnifferStats& stats() const noexcept { return stats_; }
+  const DegradationStats& degradation() const noexcept {
+    return stats_.degradation;
+  }
   const std::string& error() const noexcept { return error_; }
 
  private:
@@ -122,6 +175,8 @@ class Sniffer {
   std::unordered_map<std::uint64_t, net::Bytes> tcp_dns_buffers_;
   FlowStartHook flow_start_hook_;
   SnifferStats stats_;
+  bool have_last_frame_ts_ = false;
+  util::Timestamp last_frame_ts_;
   std::string error_;
 };
 

@@ -5,6 +5,19 @@ namespace {
 
 constexpr std::size_t kMaxRecordsPerSection = 4096;  // corrupt-count guard
 
+MessageParseError project(NameParseError e) {
+  switch (e) {
+    case NameParseError::kNone: return MessageParseError::kNone;
+    case NameParseError::kTruncated: return MessageParseError::kTruncated;
+    case NameParseError::kPointerLoop:
+      return MessageParseError::kPointerLoop;
+    case NameParseError::kPointerOutOfRange:
+      return MessageParseError::kPointerOutOfRange;
+    case NameParseError::kBadLabel: return MessageParseError::kBadName;
+  }
+  return MessageParseError::kBadName;
+}
+
 void encode_rdata(const DnsResourceRecord& rr, net::ByteWriter& w,
                   CompressionMap& compression) {
   const std::size_t len_pos = w.size();
@@ -53,37 +66,55 @@ void encode_rdata(const DnsResourceRecord& rr, net::ByteWriter& w,
 }
 
 std::optional<Rdata> decode_rdata(RecordType type, net::ByteReader& r,
-                                  std::size_t rdlength) {
+                                  std::size_t rdlength,
+                                  MessageParseError& error) {
   const std::size_t end = r.position() + rdlength;
-  if (end > r.buffer().size()) return std::nullopt;
+  if (end > r.buffer().size()) {
+    error = MessageParseError::kTruncated;
+    return std::nullopt;
+  }
 
   auto finish = [&](Rdata value) -> std::optional<Rdata> {
-    if (!r.ok() || r.position() > end) return std::nullopt;
+    if (!r.ok() || r.position() > end) {
+      error = MessageParseError::kTruncated;
+      return std::nullopt;
+    }
     r.seek(end);
     return value;
   };
+  auto name_failed = [&](NameParseError e) {
+    error = project(e);
+    return std::nullopt;
+  };
+  NameParseError ne = NameParseError::kNone;
 
   switch (type) {
     case RecordType::kA: {
-      if (rdlength != 4) return std::nullopt;
+      if (rdlength != 4) {
+        error = MessageParseError::kTruncated;
+        return std::nullopt;
+      }
       return finish(r.read_ipv4());
     }
     case RecordType::kAaaa: {
-      if (rdlength != 16) return std::nullopt;
+      if (rdlength != 16) {
+        error = MessageParseError::kTruncated;
+        return std::nullopt;
+      }
       return finish(r.read_ipv6());
     }
     case RecordType::kCname:
     case RecordType::kNs:
     case RecordType::kPtr: {
-      auto name = DnsName::decode(r);
-      if (!name) return std::nullopt;
+      auto name = DnsName::decode(r, ne);
+      if (!name) return name_failed(ne);
       return finish(std::move(*name));
     }
     case RecordType::kMx: {
       MxData mx;
       mx.preference = r.read_u16();
-      auto name = DnsName::decode(r);
-      if (!name) return std::nullopt;
+      auto name = DnsName::decode(r, ne);
+      if (!name) return name_failed(ne);
       mx.exchange = std::move(*name);
       return finish(std::move(mx));
     }
@@ -92,16 +123,17 @@ std::optional<Rdata> decode_rdata(RecordType type, net::ByteReader& r,
       srv.priority = r.read_u16();
       srv.weight = r.read_u16();
       srv.port = r.read_u16();
-      auto name = DnsName::decode(r);
-      if (!name) return std::nullopt;
+      auto name = DnsName::decode(r, ne);
+      if (!name) return name_failed(ne);
       srv.target = std::move(*name);
       return finish(std::move(srv));
     }
     case RecordType::kSoa: {
       SoaData soa;
-      auto mname = DnsName::decode(r);
-      auto rname = mname ? DnsName::decode(r) : std::nullopt;
-      if (!mname || !rname) return std::nullopt;
+      auto mname = DnsName::decode(r, ne);
+      if (!mname) return name_failed(ne);
+      auto rname = DnsName::decode(r, ne);
+      if (!rname) return name_failed(ne);
       soa.mname = std::move(*mname);
       soa.rname = std::move(*rname);
       soa.serial = r.read_u32();
@@ -115,7 +147,10 @@ std::optional<Rdata> decode_rdata(RecordType type, net::ByteReader& r,
       TxtData txt;
       while (r.ok() && r.position() < end) {
         const std::uint8_t len = r.read_u8();
-        if (r.position() + len > end) return std::nullopt;
+        if (r.position() + len > end) {
+          error = MessageParseError::kTruncated;
+          return std::nullopt;
+        }
         txt.strings.push_back(r.read_string(len));
       }
       return finish(std::move(txt));
@@ -123,21 +158,32 @@ std::optional<Rdata> decode_rdata(RecordType type, net::ByteReader& r,
   }
   // Unknown type: preserve raw bytes.
   const net::BytesView raw = r.read_bytes(rdlength);
-  if (!r.ok()) return std::nullopt;
+  if (!r.ok()) {
+    error = MessageParseError::kTruncated;
+    return std::nullopt;
+  }
   return Rdata{net::Bytes{raw.begin(), raw.end()}};
 }
 
-std::optional<DnsResourceRecord> decode_rr(net::ByteReader& r) {
+std::optional<DnsResourceRecord> decode_rr(net::ByteReader& r,
+                                           MessageParseError& error) {
   DnsResourceRecord rr;
-  auto name = DnsName::decode(r);
-  if (!name) return std::nullopt;
+  NameParseError ne = NameParseError::kNone;
+  auto name = DnsName::decode(r, ne);
+  if (!name) {
+    error = project(ne);
+    return std::nullopt;
+  }
   rr.name = std::move(*name);
   rr.type = static_cast<RecordType>(r.read_u16());
   rr.cls = static_cast<RecordClass>(r.read_u16());
   rr.ttl = r.read_u32();
   const std::uint16_t rdlength = r.read_u16();
-  if (!r.ok()) return std::nullopt;
-  auto rdata = decode_rdata(rr.type, r, rdlength);
+  if (!r.ok()) {
+    error = MessageParseError::kTruncated;
+    return std::nullopt;
+  }
+  auto rdata = decode_rdata(rr.type, r, rdlength, error);
   if (!rdata) return std::nullopt;
   rr.rdata = std::move(*rdata);
   return rr;
@@ -194,6 +240,13 @@ net::Bytes DnsMessage::encode() const {
 }
 
 std::optional<DnsMessage> DnsMessage::decode(net::BytesView wire) {
+  MessageParseError error = MessageParseError::kNone;
+  return decode(wire, error);
+}
+
+std::optional<DnsMessage> DnsMessage::decode(net::BytesView wire,
+                                             MessageParseError& error) {
+  error = MessageParseError::kNone;
   net::ByteReader r{wire};
   DnsMessage msg;
 
@@ -211,18 +264,30 @@ std::optional<DnsMessage> DnsMessage::decode(net::BytesView wire) {
   const std::uint16_t an = r.read_u16();
   const std::uint16_t ns = r.read_u16();
   const std::uint16_t ar = r.read_u16();
-  if (!r.ok()) return std::nullopt;
-  if (std::size_t{qd} + an + ns + ar > kMaxRecordsPerSection)
+  if (!r.ok()) {
+    error = MessageParseError::kTruncated;
     return std::nullopt;
+  }
+  if (std::size_t{qd} + an + ns + ar > kMaxRecordsPerSection) {
+    error = MessageParseError::kCountLie;
+    return std::nullopt;
+  }
 
   for (std::uint16_t i = 0; i < qd; ++i) {
     DnsQuestion q;
-    auto name = DnsName::decode(r);
-    if (!name) return std::nullopt;
+    NameParseError ne = NameParseError::kNone;
+    auto name = DnsName::decode(r, ne);
+    if (!name) {
+      error = project(ne);
+      return std::nullopt;
+    }
     q.name = std::move(*name);
     q.type = static_cast<RecordType>(r.read_u16());
     q.cls = static_cast<RecordClass>(r.read_u16());
-    if (!r.ok()) return std::nullopt;
+    if (!r.ok()) {
+      error = MessageParseError::kTruncated;
+      return std::nullopt;
+    }
     msg.questions.push_back(std::move(q));
   }
   const std::uint16_t counts[3] = {an, ns, ar};
@@ -230,7 +295,7 @@ std::optional<DnsMessage> DnsMessage::decode(net::BytesView wire) {
       &msg.answers, &msg.authorities, &msg.additionals};
   for (int s = 0; s < 3; ++s) {
     for (std::uint16_t i = 0; i < counts[s]; ++i) {
-      auto rr = decode_rr(r);
+      auto rr = decode_rr(r, error);
       if (!rr) return std::nullopt;
       sections[s]->push_back(std::move(*rr));
     }

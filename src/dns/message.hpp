@@ -45,6 +45,19 @@ enum class Rcode : std::uint8_t {
 /// The well-known DNS UDP port.
 inline constexpr std::uint16_t kDnsPort = 53;
 
+/// Why a wire message failed to decode; the message-level projection of
+/// NameParseError plus structural failures of its own. Consumed by the
+/// sniffer's degradation accounting to tell hostile inputs (pointer games,
+/// count lies) from capture artifacts (truncation).
+enum class MessageParseError {
+  kNone = 0,
+  kTruncated,          ///< header/record/RDATA ran past the buffer
+  kCountLie,           ///< section counts fail the sanity bound
+  kPointerLoop,        ///< name compression pointer cycle
+  kPointerOutOfRange,  ///< name compression pointer beyond the message
+  kBadName,            ///< reserved label type / RFC limits blown
+};
+
 struct MxData {
   std::uint16_t preference = 0;
   DnsName exchange;
@@ -124,6 +137,10 @@ struct DnsMessage {
   /// Decodes a wire-format message; nullopt on any malformed content
   /// (bad compression pointers, truncated sections, inconsistent counts).
   static std::optional<DnsMessage> decode(net::BytesView wire);
+
+  /// As above, classifying the failure (kNone on success).
+  static std::optional<DnsMessage> decode(net::BytesView wire,
+                                          MessageParseError& error);
 
   /// All IPv4 addresses among the answers (what the DNS Resolver stores).
   std::vector<net::Ipv4Address> answer_addresses() const;

@@ -35,6 +35,13 @@ std::optional<DnsName> DnsName::from_string(std::string_view s) {
 }
 
 std::optional<DnsName> DnsName::decode(net::ByteReader& r) {
+  NameParseError error = NameParseError::kNone;
+  return decode(r, error);
+}
+
+std::optional<DnsName> DnsName::decode(net::ByteReader& r,
+                                       NameParseError& error) {
+  error = NameParseError::kNone;
   DnsName name;
   std::size_t total = 0;
   int jumps = 0;
@@ -42,27 +49,35 @@ std::optional<DnsName> DnsName::decode(net::ByteReader& r) {
   // only the bytes up to and including the first pointer.
   std::optional<std::size_t> resume;
 
+  auto fail = [&](NameParseError e) {
+    error = e;
+    return std::nullopt;
+  };
+
   while (true) {
     const std::uint8_t len = r.read_u8();
-    if (!r.ok()) return std::nullopt;
+    if (!r.ok()) return fail(NameParseError::kTruncated);
     if (len == 0) break;
     if ((len & 0xc0) == 0xc0) {
       const std::uint8_t low = r.read_u8();
-      if (!r.ok()) return std::nullopt;
-      if (++jumps > kMaxPointerJumps) return std::nullopt;
+      if (!r.ok()) return fail(NameParseError::kTruncated);
+      if (++jumps > kMaxPointerJumps)
+        return fail(NameParseError::kPointerLoop);
       if (!resume) resume = r.position();
       const std::size_t target =
           (static_cast<std::size_t>(len & 0x3f) << 8) | low;
-      if (target >= r.buffer().size()) return std::nullopt;
+      if (target >= r.buffer().size())
+        return fail(NameParseError::kPointerOutOfRange);
       r.seek(target);
       continue;
     }
-    if ((len & 0xc0) != 0) return std::nullopt;  // 0x40/0x80: reserved
-    if (len > kMaxLabelLength) return std::nullopt;
+    if ((len & 0xc0) != 0)
+      return fail(NameParseError::kBadLabel);  // 0x40/0x80: reserved
+    if (len > kMaxLabelLength) return fail(NameParseError::kBadLabel);
     const std::string label = r.read_string(len);
-    if (!r.ok()) return std::nullopt;
+    if (!r.ok()) return fail(NameParseError::kTruncated);
     total += label.size() + 1;
-    if (total > kMaxNameLength + 1) return std::nullopt;
+    if (total > kMaxNameLength + 1) return fail(NameParseError::kBadLabel);
     name.labels_.push_back(util::to_lower(label));
   }
   if (resume) r.seek(*resume);

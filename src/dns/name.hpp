@@ -18,6 +18,17 @@ namespace dnh::dns {
 /// compression pointers. One map instance spans one whole DNS message.
 using CompressionMap = std::map<std::string, std::uint16_t>;
 
+/// Why a wire-format name failed to decode. Degraded-mode accounting keys
+/// off these: a pointer loop is an adversarial signature, a truncated name
+/// usually just means a short snaplen.
+enum class NameParseError {
+  kNone = 0,
+  kTruncated,          ///< buffer ended inside the name
+  kPointerLoop,        ///< compression pointers exceeded the jump budget
+  kPointerOutOfRange,  ///< pointer target beyond the message
+  kBadLabel,           ///< reserved label type or RFC length limits blown
+};
+
 /// A domain name as an ordered list of labels (no trailing root label).
 ///
 /// Names are canonicalized to lower case on construction: DNS names compare
@@ -36,6 +47,10 @@ class DnsName {
   /// absolute message offsets). Enforces RFC limits and rejects pointer
   /// loops. On success the reader is positioned just past the name.
   static std::optional<DnsName> decode(net::ByteReader& r);
+
+  /// As above, reporting the failure class in `error` (kNone on success).
+  static std::optional<DnsName> decode(net::ByteReader& r,
+                                       NameParseError& error);
 
   /// Encodes to wire format, emitting compression pointers for suffixes
   /// already present in `compression` and registering new suffix offsets.

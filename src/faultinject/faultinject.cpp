@@ -1,0 +1,271 @@
+#include "faultinject/faultinject.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+namespace dnh::faultinject {
+namespace {
+
+constexpr std::uint32_t kMagicMicros = 0xa1b2c3d4;
+
+/// Byte offsets inside an Ethernet II / IPv4 frame (no VLAN tags — the
+/// trace generator emits untagged frames; tagged frames simply fail the
+/// qualification checks and fall back to a generic mutation).
+constexpr std::size_t kEtherTypeOffset = 12;
+constexpr std::size_t kIpHeaderOffset = 14;
+
+struct UdpLocation {
+  std::size_t udp_header = 0;  ///< offset of the UDP header
+  std::size_t payload = 0;     ///< offset of the UDP payload
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+};
+
+std::uint16_t read_be16(const net::Bytes& data, std::size_t offset) {
+  return static_cast<std::uint16_t>((data[offset] << 8) | data[offset + 1]);
+}
+
+/// Locates the UDP header/payload in an untagged IPv4 frame, if any.
+std::optional<UdpLocation> locate_udp(const net::Bytes& data) {
+  if (data.size() < kIpHeaderOffset + 20 + 8) return std::nullopt;
+  if (read_be16(data, kEtherTypeOffset) != 0x0800) return std::nullopt;
+  if ((data[kIpHeaderOffset] >> 4) != 4) return std::nullopt;
+  const std::size_t ihl = (data[kIpHeaderOffset] & 0x0f) * std::size_t{4};
+  if (ihl < 20 || data.size() < kIpHeaderOffset + ihl + 8) return std::nullopt;
+  if (data[kIpHeaderOffset + 9] != 17) return std::nullopt;  // not UDP
+  UdpLocation loc;
+  loc.udp_header = kIpHeaderOffset + ihl;
+  loc.payload = loc.udp_header + 8;
+  loc.src_port = read_be16(data, loc.udp_header);
+  loc.dst_port = read_be16(data, loc.udp_header + 2);
+  return loc;
+}
+
+struct FileCloser {
+  void operator()(std::FILE* f) const noexcept {
+    if (f) std::fclose(f);
+  }
+};
+
+}  // namespace
+
+std::string_view fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kTruncateFrame: return "truncate";
+    case FaultKind::kHeaderBitFlip: return "hdr-bitflip";
+    case FaultKind::kPayloadBitFlip: return "payload-bitflip";
+    case FaultKind::kIpLengthLie: return "ip-length-lie";
+    case FaultKind::kUdpLengthLie: return "udp-length-lie";
+    case FaultKind::kDnsCompressionLoop: return "dns-pointer-loop";
+    case FaultKind::kTimestampRegression: return "ts-regression";
+    case FaultKind::kDropFrame: return "drop";
+    case FaultKind::kDuplicateFrame: return "duplicate";
+    case FaultKind::kReorderFrame: return "reorder";
+  }
+  return "?";
+}
+
+FrameCorruptor::FrameCorruptor(FaultConfig config)
+    : config_{config}, rng_{config.seed} {}
+
+bool FrameCorruptor::corrupt_in_place(pcap::Frame& frame, FaultKind kind) {
+  net::Bytes& data = frame.data;
+  switch (kind) {
+    case FaultKind::kTruncateFrame: {
+      if (data.size() < 2) return false;
+      data.resize(rng_.uniform(1, data.size() - 1));
+      return true;
+    }
+    case FaultKind::kHeaderBitFlip: {
+      if (data.empty()) return false;
+      const std::size_t span = std::min<std::size_t>(data.size(), 42);
+      const int flips = 1 + static_cast<int>(rng_.uniform(0, 3));
+      for (int i = 0; i < flips; ++i)
+        data[rng_.index(span)] ^=
+            static_cast<std::uint8_t>(1u << rng_.uniform(0, 7));
+      return true;
+    }
+    case FaultKind::kPayloadBitFlip: {
+      if (data.empty()) return false;
+      const std::size_t from = data.size() > 42 ? 42 : 0;
+      const int flips = 1 + static_cast<int>(rng_.uniform(0, 7));
+      for (int i = 0; i < flips; ++i)
+        data[from + rng_.index(data.size() - from)] ^=
+            static_cast<std::uint8_t>(1u << rng_.uniform(0, 7));
+      return true;
+    }
+    case FaultKind::kIpLengthLie: {
+      if (data.size() < kIpHeaderOffset + 20 ||
+          read_be16(data, kEtherTypeOffset) != 0x0800)
+        return false;
+      const auto lie = static_cast<std::uint16_t>(rng_.uniform(0, 0xffff));
+      data[kIpHeaderOffset + 2] = static_cast<std::uint8_t>(lie >> 8);
+      data[kIpHeaderOffset + 3] = static_cast<std::uint8_t>(lie);
+      return true;
+    }
+    case FaultKind::kUdpLengthLie: {
+      const auto loc = locate_udp(data);
+      if (!loc) return false;
+      const auto lie = static_cast<std::uint16_t>(rng_.uniform(0, 0xffff));
+      data[loc->udp_header + 4] = static_cast<std::uint8_t>(lie >> 8);
+      data[loc->udp_header + 5] = static_cast<std::uint8_t>(lie);
+      return true;
+    }
+    case FaultKind::kDnsCompressionLoop: {
+      const auto loc = locate_udp(data);
+      if (!loc || (loc->src_port != 53 && loc->dst_port != 53)) return false;
+      // The QNAME starts at DNS offset 12; a pointer back to offset 12 is
+      // a one-hop cycle the name decoder must refuse to follow.
+      if (data.size() < loc->payload + 14) return false;
+      data[loc->payload + 12] = 0xc0;
+      data[loc->payload + 13] = 0x0c;
+      return true;
+    }
+    case FaultKind::kTimestampRegression: {
+      frame.timestamp = util::Timestamp::from_micros(
+          last_ts_.micros_since_epoch() -
+          static_cast<std::int64_t>(rng_.uniform(1'000'000, 5'000'000)));
+      return true;
+    }
+    case FaultKind::kDropFrame:
+    case FaultKind::kDuplicateFrame:
+    case FaultKind::kReorderFrame:
+      break;  // handled by feed(); not in-place mutations
+  }
+  return false;
+}
+
+void FrameCorruptor::feed(const pcap::Frame& frame,
+                          std::vector<pcap::Frame>& out) {
+  ++stats_.frames_in;
+  // A frame held for reordering is released AFTER the current frame.
+  std::optional<pcap::Frame> pending;
+  pending.swap(held_);
+
+  pcap::Frame current = frame;
+  bool drop = false, duplicate = false, hold = false;
+  if (config_.fault_rate > 0 && rng_.chance(config_.fault_rate)) {
+    auto kind = static_cast<FaultKind>(rng_.weighted_index(config_.weights));
+    switch (kind) {
+      case FaultKind::kDropFrame:
+        drop = true;
+        break;
+      case FaultKind::kDuplicateFrame:
+        duplicate = true;
+        break;
+      case FaultKind::kReorderFrame:
+        // Only one frame deep; a second reorder degrades to a duplicate.
+        if (!pending) hold = true;
+        else { kind = FaultKind::kDuplicateFrame; duplicate = true; }
+        break;
+      default:
+        if (!corrupt_in_place(current, kind)) {
+          // Frame does not qualify (too short / not DNS): degrade to a
+          // generic header flip so the configured rate is still honoured.
+          kind = FaultKind::kHeaderBitFlip;
+          if (!corrupt_in_place(current, kind)) {
+            kind = FaultKind::kTimestampRegression;
+            corrupt_in_place(current, kind);
+          }
+        }
+        break;
+    }
+    ++stats_.by_kind[static_cast<std::size_t>(kind)];
+  }
+
+  if (hold) {
+    held_ = std::move(current);
+  } else if (!drop) {
+    out.push_back(current);
+    ++stats_.frames_out;
+    if (duplicate) {
+      out.push_back(std::move(current));
+      ++stats_.frames_out;
+    }
+  }
+  if (pending) {
+    out.push_back(std::move(*pending));
+    ++stats_.frames_out;
+  }
+  if (frame.timestamp > last_ts_) last_ts_ = frame.timestamp;
+}
+
+void FrameCorruptor::flush(std::vector<pcap::Frame>& out) {
+  if (!held_) return;
+  out.push_back(std::move(*held_));
+  ++stats_.frames_out;
+  held_.reset();
+}
+
+std::optional<FileFaultReport> corrupt_pcap_file(
+    const std::string& src, const std::string& dst,
+    const FileFaultConfig& config) {
+  std::unique_ptr<std::FILE, FileCloser> in{std::fopen(src.c_str(), "rb")};
+  if (!in) return std::nullopt;
+  // Slurp the file; captures used for chaos tests are laptop-sized.
+  std::fseek(in.get(), 0, SEEK_END);
+  const long size = std::ftell(in.get());
+  if (size < 24) return std::nullopt;
+  std::fseek(in.get(), 0, SEEK_SET);
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  if (std::fread(bytes.data(), 1, bytes.size(), in.get()) != bytes.size())
+    return std::nullopt;
+
+  std::uint32_t magic = 0;
+  std::memcpy(&magic, bytes.data(), 4);
+  if (magic != kMagicMicros) return std::nullopt;  // native classic only
+
+  util::Rng rng{config.seed};
+  FileFaultReport report;
+  std::vector<std::uint8_t> out(bytes.begin(), bytes.begin() + 24);
+  std::size_t last_body_size = 0;
+
+  std::size_t pos = 24;
+  while (pos + 16 <= bytes.size()) {
+    std::uint32_t incl_len = 0;
+    std::memcpy(&incl_len, bytes.data() + pos + 8, 4);
+    if (pos + 16 + incl_len > bytes.size()) break;  // source itself short
+    ++report.records_in;
+
+    if (rng.chance(config.garbage_run_rate)) {
+      const std::uint32_t run = static_cast<std::uint32_t>(rng.uniform(
+          config.garbage_min_bytes,
+          std::max(config.garbage_min_bytes, config.garbage_max_bytes)));
+      for (std::uint32_t i = 0; i < run; ++i)
+        out.push_back(static_cast<std::uint8_t>(rng.next_u64()));
+      ++report.garbage_runs;
+      report.garbage_bytes += run;
+    }
+
+    const std::size_t header_at = out.size();
+    out.insert(out.end(), bytes.begin() + pos, bytes.begin() + pos + 16 + incl_len);
+    if (rng.chance(config.length_lie_rate)) {
+      // An implausible captured length: the reader must refuse to allocate
+      // and scan past this record (its frame is unrecoverable).
+      const std::uint32_t lie =
+          0x10000000u | static_cast<std::uint32_t>(rng.uniform(0, 0xffffff));
+      std::memcpy(out.data() + header_at + 8, &lie, 4);
+      ++report.length_lies;
+    } else {
+      ++report.records_intact;
+    }
+    last_body_size = incl_len;
+    pos += 16 + incl_len;
+  }
+
+  if (config.truncate_tail && last_body_size >= 2 && report.records_intact > 0) {
+    out.resize(out.size() - last_body_size / 2);
+    report.truncated_tail = true;
+    --report.records_intact;
+  }
+
+  std::unique_ptr<std::FILE, FileCloser> ofile{std::fopen(dst.c_str(), "wb")};
+  if (!ofile) return std::nullopt;
+  if (std::fwrite(out.data(), 1, out.size(), ofile.get()) != out.size())
+    return std::nullopt;
+  return report;
+}
+
+}  // namespace dnh::faultinject

@@ -1,0 +1,141 @@
+// Deterministic, seeded fault-injection engine for the capture->flowdb
+// pipeline ("chaos ingestion").
+//
+// A sniffer that runs for months at an ISP vantage point sees every kind of
+// damage: truncated records, header fields that lie, bit rot, DNS messages
+// with compression-pointer cycles, reordered and duplicated TCP segments,
+// clocks that step backwards, and captures with garbage spliced mid-file.
+// This module manufactures all of those on demand — reproducibly, from an
+// explicit seed — so tests and benches can prove the ingestion layers
+// degrade gracefully instead of crashing or silently skewing analytics.
+//
+// Two levels of injection:
+//  - FrameCorruptor wraps a frame stream (what Sniffer::on_frame consumes)
+//    and damages individual frames in flight.
+//  - corrupt_pcap_file rewrites a classic pcap savefile with mid-file
+//    garbage runs, record-length lies, and tail truncation, producing the
+//    input pcap::Reader's resync mode must recover from.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pcap/pcap.hpp"
+#include "util/rng.hpp"
+
+namespace dnh::faultinject {
+
+/// Frame-level fault classes. Each models a concrete operational hazard.
+enum class FaultKind : std::uint8_t {
+  kTruncateFrame = 0,     ///< captured bytes cut short (snaplen/ring damage)
+  kHeaderBitFlip,         ///< bit flips in the first 42 bytes (L2-L4 headers)
+  kPayloadBitFlip,        ///< bit flips anywhere past the headers
+  kIpLengthLie,           ///< IPv4 total-length field overwritten
+  kUdpLengthLie,          ///< UDP length field overwritten
+  kDnsCompressionLoop,    ///< self-referencing QNAME compression pointer
+  kTimestampRegression,   ///< capture clock steps backwards
+  kDropFrame,             ///< frame lost
+  kDuplicateFrame,        ///< frame delivered twice
+  kReorderFrame,          ///< frame swapped with its successor
+};
+inline constexpr std::size_t kFaultKindCount = 10;
+
+/// Human-readable name for reports ("truncate", "hdr-bitflip", ...).
+std::string_view fault_kind_name(FaultKind kind);
+
+struct FaultConfig {
+  std::uint64_t seed = 1;
+  /// Per-frame probability of injecting one fault (0 disables everything).
+  double fault_rate = 0.01;
+  /// Relative weights per FaultKind, indexed by the enum value. Zero a
+  /// slot to exclude that class from the mix.
+  std::array<double, kFaultKindCount> weights{1, 1, 1, 1, 1, 1, 1, 1, 1, 1};
+};
+
+struct FaultStats {
+  std::array<std::uint64_t, kFaultKindCount> by_kind{};
+  std::uint64_t frames_in = 0;
+  std::uint64_t frames_out = 0;
+
+  std::uint64_t injected() const noexcept {
+    std::uint64_t sum = 0;
+    for (const auto n : by_kind) sum += n;
+    return sum;
+  }
+  std::uint64_t count(FaultKind kind) const noexcept {
+    return by_kind[static_cast<std::size_t>(kind)];
+  }
+};
+
+/// Streams frames through a seeded corruption pipeline.
+///
+/// Deterministic: the same (config, input sequence) always yields the same
+/// output sequence and stats, so chaos tests are exactly reproducible.
+/// Feed every frame through feed(), then flush() once at end of stream to
+/// release a frame held for reordering.
+class FrameCorruptor {
+ public:
+  explicit FrameCorruptor(FaultConfig config);
+
+  /// Consumes one clean frame and appends 0..2 output frames to `out`
+  /// (0 = dropped/held for reorder, 2 = duplicate or reorder release).
+  void feed(const pcap::Frame& frame, std::vector<pcap::Frame>& out);
+
+  /// Releases any frame still held for reordering.
+  void flush(std::vector<pcap::Frame>& out);
+
+  const FaultStats& stats() const noexcept { return stats_; }
+
+ private:
+  /// Applies an in-place payload/timestamp fault; returns false when the
+  /// frame does not qualify (e.g. DNS loop on a non-DNS frame) so the
+  /// caller can fall back to a generic mutation.
+  bool corrupt_in_place(pcap::Frame& frame, FaultKind kind);
+
+  FaultConfig config_;
+  util::Rng rng_;
+  FaultStats stats_;
+  std::optional<pcap::Frame> held_;  ///< reorder buffer (one frame deep)
+  util::Timestamp last_ts_;
+};
+
+/// File-level corruption of a classic pcap savefile.
+struct FileFaultConfig {
+  std::uint64_t seed = 1;
+  /// Per-record-boundary probability of splicing in a garbage run.
+  double garbage_run_rate = 0.0;
+  std::uint32_t garbage_min_bytes = 16;
+  std::uint32_t garbage_max_bytes = 2048;
+  /// Per-record probability of overwriting incl_len with an implausible
+  /// value (the record header "lies" and the record body is lost).
+  double length_lie_rate = 0.0;
+  /// Chop the final record's body short (capture killed mid-write).
+  bool truncate_tail = false;
+};
+
+struct FileFaultReport {
+  std::uint64_t records_in = 0;      ///< records in the source file
+  std::uint64_t records_intact = 0;  ///< copied with header+body unharmed
+  std::uint64_t garbage_runs = 0;
+  std::uint64_t garbage_bytes = 0;
+  std::uint64_t length_lies = 0;
+  bool truncated_tail = false;
+
+  /// Total discrete fault events injected (what resync stats should match).
+  std::uint64_t faults() const noexcept {
+    return garbage_runs + length_lies + (truncated_tail ? 1 : 0);
+  }
+};
+
+/// Copies classic pcap `src` to `dst` injecting the configured file-level
+/// faults. Deterministic for a given config. Returns nullopt when `src` is
+/// missing, not a native-order classic pcap, or `dst` cannot be written.
+std::optional<FileFaultReport> corrupt_pcap_file(const std::string& src,
+                                                 const std::string& dst,
+                                                 const FileFaultConfig& config);
+
+}  // namespace dnh::faultinject

@@ -18,12 +18,23 @@ std::uint16_t DecodedPacket::dst_port() const {
 
 std::optional<DecodedPacket> decode_frame(net::BytesView frame,
                                           util::Timestamp ts) {
+  DecodeFailure failure = DecodeFailure::kNone;
+  return decode_frame(frame, ts, failure);
+}
+
+std::optional<DecodedPacket> decode_frame(net::BytesView frame,
+                                          util::Timestamp ts,
+                                          DecodeFailure& failure) {
+  failure = DecodeFailure::kNone;
   net::ByteReader r{frame};
   DecodedPacket pkt;
   pkt.timestamp = ts;
 
   const auto eth = EthernetHeader::parse(r);
-  if (!eth) return std::nullopt;
+  if (!eth) {
+    failure = DecodeFailure::kTruncatedL2;
+    return std::nullopt;
+  }
   pkt.eth = *eth;
 
   // Strip 802.1Q / 802.1ad VLAN tags (captures at ISP PoPs usually carry
@@ -33,7 +44,10 @@ std::optional<DecodedPacket> decode_frame(net::BytesView frame,
          vlan_tags < 4) {
     r.skip(2);  // priority/DEI/VLAN-id
     pkt.eth.ether_type = r.read_u16();
-    if (!r.ok()) return std::nullopt;
+    if (!r.ok()) {
+      failure = DecodeFailure::kTruncatedL2;
+      return std::nullopt;
+    }
     ++vlan_tags;
   }
 
@@ -41,35 +55,49 @@ std::optional<DecodedPacket> decode_frame(net::BytesView frame,
   std::uint32_t ip_payload_len = 0;
   if (pkt.eth.ether_type == kEtherTypeIpv4) {
     const auto ip4 = Ipv4Header::parse(r);
-    if (!ip4) return std::nullopt;
+    if (!ip4) {
+      failure = DecodeFailure::kBadIpHeader;
+      return std::nullopt;
+    }
     l4_proto = ip4->protocol;
     ip_payload_len = ip4->payload_length();
     pkt.ip = *ip4;
   } else if (pkt.eth.ether_type == kEtherTypeIpv6) {
     const auto ip6 = Ipv6Header::parse(r);
-    if (!ip6) return std::nullopt;
+    if (!ip6) {
+      failure = DecodeFailure::kBadIpHeader;
+      return std::nullopt;
+    }
     l4_proto = ip6->next_header;
     ip_payload_len = ip6->payload_length;
     pkt.ip = *ip6;
   } else {
+    failure = DecodeFailure::kUnsupported;
     return std::nullopt;  // ARP etc: not traffic we model
   }
 
   std::uint32_t l4_header_len = 0;
   if (l4_proto == kProtoTcp) {
     const auto tcp = TcpHeader::parse(r);
-    if (!tcp) return std::nullopt;
+    if (!tcp) {
+      failure = DecodeFailure::kBadL4Header;
+      return std::nullopt;
+    }
     l4_header_len = tcp->header_length;
     pkt.l4 = *tcp;
   } else if (l4_proto == kProtoUdp) {
     const auto udp = UdpHeader::parse(r);
-    if (!udp) return std::nullopt;
+    if (!udp) {
+      failure = DecodeFailure::kBadL4Header;
+      return std::nullopt;
+    }
     l4_header_len = 8;
     // UDP carries its own length; prefer it when consistent.
     if (udp->length >= 8 && udp->length <= ip_payload_len)
       ip_payload_len = udp->length;
     pkt.l4 = *udp;
   } else {
+    failure = DecodeFailure::kUnsupported;
     return std::nullopt;  // ICMP etc: ignored by the flow sniffer
   }
 

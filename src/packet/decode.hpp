@@ -44,6 +44,18 @@ struct DecodedPacket {
   std::uint16_t dst_port() const;
 };
 
+/// Why a frame failed to decode. "Unsupported" covers well-formed traffic
+/// we deliberately ignore (ARP, ICMP, non-Ethernet-II); the other values
+/// are genuine malformation, which degraded-mode accounting tracks
+/// separately from benign noise.
+enum class DecodeFailure {
+  kNone = 0,
+  kTruncatedL2,   ///< frame ends inside the Ethernet/VLAN headers
+  kBadIpHeader,   ///< IPv4/IPv6 header truncated or inconsistent
+  kBadL4Header,   ///< TCP/UDP header truncated or inconsistent
+  kUnsupported,   ///< non-IP ethertype or non-TCP/UDP protocol
+};
+
 /// Decodes an Ethernet frame captured at `ts`. Returns nullopt for frames
 /// that are not IPv4/IPv6 over Ethernet II carrying TCP or UDP, and for any
 /// truncated/malformed header. The decoder is tolerant of frames captured
@@ -51,5 +63,11 @@ struct DecodedPacket {
 /// partial `payload` view with `wire_payload_length` reporting the true size.
 std::optional<DecodedPacket> decode_frame(net::BytesView frame,
                                           util::Timestamp ts);
+
+/// As above, classifying any failure into `failure` (kNone on success) so
+/// callers can separate hostile/corrupt frames from merely-ignored ones.
+std::optional<DecodedPacket> decode_frame(net::BytesView frame,
+                                          util::Timestamp ts,
+                                          DecodeFailure& failure);
 
 }  // namespace dnh::packet

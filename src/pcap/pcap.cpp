@@ -36,13 +36,21 @@ struct RecordHeader {
 };
 static_assert(sizeof(RecordHeader) == 16);
 
+/// Hard cap on a record body; anything larger is corruption, not capture.
+constexpr std::uint32_t kMaxRecordBytes = 256 * 1024;
+
+/// Resync scans accept a candidate only if its timestamp lands within this
+/// window of the last good record — random garbage almost never does.
+constexpr std::uint32_t kResyncTsWindowSeconds = 366 * 86400;
+
 }  // namespace
 
-std::optional<Reader> Reader::open(const std::string& path) {
+std::optional<Reader> Reader::open(const std::string& path, Mode mode) {
   std::FILE* raw = std::fopen(path.c_str(), "rb");
   if (!raw) return std::nullopt;
   Reader reader;
   reader.file_.reset(raw);
+  reader.mode_ = mode;
 
   GlobalHeader gh{};
   if (std::fread(&gh, sizeof gh, 1, raw) != 1) return std::nullopt;
@@ -71,44 +79,191 @@ std::optional<Reader> Reader::open(const std::string& path) {
   return reader;
 }
 
+bool Reader::plausible_header(std::uint32_t ts_sec, std::uint32_t ts_frac,
+                              std::uint32_t incl_len, std::uint32_t orig_len,
+                              bool have_ref,
+                              std::uint32_t ref_sec) const noexcept {
+  if (incl_len == 0 || incl_len > kMaxRecordBytes) return false;
+  if (orig_len < incl_len || orig_len > kMaxRecordBytes) return false;
+  if (ts_frac >= (nanos_ ? 1'000'000'000u : 1'000'000u)) return false;
+  if (have_ref) {
+    const std::uint32_t lo = ref_sec > kResyncTsWindowSeconds
+                                 ? ref_sec - kResyncTsWindowSeconds
+                                 : 0;
+    if (ts_sec < lo || ts_sec > ref_sec + kResyncTsWindowSeconds)
+      return false;
+  }
+  return true;
+}
+
+bool Reader::plausible_candidate(std::uint32_t ts_sec, std::uint32_t ts_frac,
+                                 std::uint32_t incl_len,
+                                 std::uint32_t orig_len) const noexcept {
+  return plausible_header(ts_sec, ts_frac, incl_len, orig_len,
+                          have_last_ts_, last_ts_sec_);
+}
+
+bool Reader::chain_ok(long found, std::uint32_t ts_sec,
+                      std::uint32_t incl_len, long file_size) {
+  // A lone plausible header inside packet bytes is still possible (e.g.
+  // small integers lining up as lengths); demand that the record it
+  // describes ends exactly at EOF or at another plausible header.
+  const long body_end =
+      found + static_cast<long>(sizeof(RecordHeader)) +
+      static_cast<long>(incl_len);
+  if (body_end > file_size) return false;   // claimed body overruns EOF
+  if (body_end == file_size) return true;   // perfect final record
+  if (body_end + static_cast<long>(sizeof(RecordHeader)) > file_size)
+    return false;  // would leave a partial trailing header: not credible
+  RecordHeader next{};
+  std::fseek(file_.get(), body_end, SEEK_SET);
+  if (std::fread(&next, 1, sizeof next, file_.get()) != sizeof next)
+    return false;
+  if (swapped_) {
+    next.ts_sec = bswap32(next.ts_sec);
+    next.ts_frac = bswap32(next.ts_frac);
+    next.incl_len = bswap32(next.incl_len);
+    next.orig_len = bswap32(next.orig_len);
+  }
+  return plausible_header(next.ts_sec, next.ts_frac, next.incl_len,
+                          next.orig_len, true, ts_sec);
+}
+
+bool Reader::try_resync(long record_start) {
+  // Scan forward, one byte at a time, for the next plausible record
+  // header. Overlapping 64 KiB chunks keep this O(n) over the damage.
+  //
+  // A candidate is *verified* when its record is followed by EOF or by
+  // another plausible header (chain_ok); that kills byte-alignment false
+  // positives. But a genuine record whose successor is itself damaged
+  // fails that check, so the first plausible-but-unverified candidate is
+  // kept as a fallback: it wins over a later verified candidate provided
+  // its claimed body does not overlap it (an overlapping claim is the
+  // signature of a false positive straddling the real header).
+  constexpr std::size_t kChunk = 64 * 1024;
+  std::vector<unsigned char> buf(kChunk + sizeof(RecordHeader));
+  std::fseek(file_.get(), 0, SEEK_END);
+  const long file_size = std::ftell(file_.get());
+  long fallback = -1, fallback_end = -1;
+  const auto accept = [&](long at) {
+    corruption_.bytes_skipped +=
+        static_cast<std::uint64_t>(at - record_start);
+    ++corruption_.resyncs;
+    std::fseek(file_.get(), at, SEEK_SET);
+    return true;
+  };
+  long scan_pos = record_start + 1;
+  while (true) {
+    std::fseek(file_.get(), scan_pos, SEEK_SET);
+    const std::size_t got =
+        std::fread(buf.data(), 1, buf.size(), file_.get());
+    if (got >= sizeof(RecordHeader)) {
+      for (std::size_t i = 0; i + sizeof(RecordHeader) <= got; ++i) {
+        RecordHeader cand{};
+        std::memcpy(&cand, buf.data() + i, sizeof cand);
+        if (swapped_) {
+          cand.ts_sec = bswap32(cand.ts_sec);
+          cand.ts_frac = bswap32(cand.ts_frac);
+          cand.incl_len = bswap32(cand.incl_len);
+          cand.orig_len = bswap32(cand.orig_len);
+        }
+        if (!plausible_candidate(cand.ts_sec, cand.ts_frac, cand.incl_len,
+                                 cand.orig_len))
+          continue;
+        const long found = scan_pos + static_cast<long>(i);
+        const long body_end =
+            found + static_cast<long>(sizeof(RecordHeader)) +
+            static_cast<long>(cand.incl_len);
+        if (chain_ok(found, cand.ts_sec, cand.incl_len, file_size)) {
+          if (fallback >= 0 && fallback_end <= found)
+            return accept(fallback);
+          return accept(found);
+        }
+        if (fallback < 0 && body_end <= file_size) {
+          fallback = found;
+          fallback_end = body_end;
+        }
+      }
+    }
+    if (got < buf.size()) break;  // reached EOF without a candidate
+    scan_pos += static_cast<long>(got - (sizeof(RecordHeader) - 1));
+  }
+  if (fallback >= 0) return accept(fallback);
+  // Nothing recoverable remains: account the tail as skipped and stop.
+  corruption_.bytes_skipped +=
+      static_cast<std::uint64_t>(file_size - record_start);
+  std::fseek(file_.get(), 0, SEEK_END);
+  ++corruption_.truncated_tail;
+  return false;
+}
+
 std::optional<Frame> Reader::next() {
   if (!file_ || !error_.empty()) return std::nullopt;
 
-  RecordHeader rh{};
-  const std::size_t got = std::fread(&rh, 1, sizeof rh, file_.get());
-  if (got == 0) return std::nullopt;  // clean EOF
-  if (got != sizeof rh) {
-    error_ = "truncated record header";
-    return std::nullopt;
-  }
-  if (swapped_) {
-    rh.ts_sec = bswap32(rh.ts_sec);
-    rh.ts_frac = bswap32(rh.ts_frac);
-    rh.incl_len = bswap32(rh.incl_len);
-    rh.orig_len = bswap32(rh.orig_len);
-  }
-  // Sanity bound: a record longer than any plausible snaplen means a
-  // corrupt stream; stop rather than allocate gigabytes.
-  if (rh.incl_len > 256 * 1024) {
-    error_ = "implausible record length";
-    return std::nullopt;
-  }
+  while (true) {
+    const long record_start = std::ftell(file_.get());
+    RecordHeader rh{};
+    const std::size_t got = std::fread(&rh, 1, sizeof rh, file_.get());
+    if (got == 0) return std::nullopt;  // clean EOF
+    if (got != sizeof rh) {
+      if (mode_ == Mode::kResync) {
+        corruption_.bytes_skipped += got;
+        ++corruption_.truncated_tail;
+        return std::nullopt;
+      }
+      error_ = "truncated record header";
+      return std::nullopt;
+    }
+    if (swapped_) {
+      rh.ts_sec = bswap32(rh.ts_sec);
+      rh.ts_frac = bswap32(rh.ts_frac);
+      rh.incl_len = bswap32(rh.incl_len);
+      rh.orig_len = bswap32(rh.orig_len);
+    }
+    // Sanity bound: a record longer than any plausible snaplen means a
+    // corrupt stream; never allocate gigabytes. Resync mode applies the
+    // full candidate test so length/timestamp lies are caught here too.
+    const bool bad_header =
+        mode_ == Mode::kResync
+            ? !plausible_candidate(rh.ts_sec, rh.ts_frac, rh.incl_len,
+                                   rh.orig_len) &&
+                  rh.incl_len != 0  // empty records are legal, if odd
+            : rh.incl_len > kMaxRecordBytes;
+    if (bad_header) {
+      if (mode_ == Mode::kResync) {
+        if (try_resync(record_start)) continue;
+        return std::nullopt;
+      }
+      error_ = "implausible record length";
+      return std::nullopt;
+    }
 
-  Frame frame;
-  frame.data.resize(rh.incl_len);
-  if (rh.incl_len > 0 &&
-      std::fread(frame.data.data(), 1, rh.incl_len, file_.get()) !=
-          rh.incl_len) {
-    error_ = "truncated record body";
-    return std::nullopt;
+    Frame frame;
+    frame.data.resize(rh.incl_len);
+    if (rh.incl_len > 0) {
+      const std::size_t body =
+          std::fread(frame.data.data(), 1, rh.incl_len, file_.get());
+      if (body != rh.incl_len) {
+        if (mode_ == Mode::kResync) {
+          // The file ends inside this record: unrecoverable tail.
+          corruption_.bytes_skipped += sizeof rh + body;
+          ++corruption_.truncated_tail;
+          return std::nullopt;
+        }
+        error_ = "truncated record body";
+        return std::nullopt;
+      }
+    }
+    const std::int64_t us =
+        static_cast<std::int64_t>(rh.ts_sec) * 1'000'000 +
+        (nanos_ ? rh.ts_frac / 1000 : rh.ts_frac);
+    frame.timestamp = util::Timestamp::from_micros(us);
+    frame.original_length = rh.orig_len;
+    have_last_ts_ = true;
+    last_ts_sec_ = rh.ts_sec;
+    ++frames_read_;
+    return frame;
   }
-  const std::int64_t us =
-      static_cast<std::int64_t>(rh.ts_sec) * 1'000'000 +
-      (nanos_ ? rh.ts_frac / 1000 : rh.ts_frac);
-  frame.timestamp = util::Timestamp::from_micros(us);
-  frame.original_length = rh.orig_len;
-  ++frames_read_;
-  return frame;
 }
 
 std::optional<Writer> Writer::create(const std::string& path,

@@ -27,21 +27,47 @@ struct Frame {
   net::Bytes data;                    ///< captured bytes
 };
 
+/// Damage encountered (and survived) while reading a corrupt savefile in
+/// resync mode. `events()` is the number of discrete corruption incidents,
+/// comparable against a fault injector's report.
+struct CorruptionStats {
+  std::uint64_t resyncs = 0;         ///< scans that found a next record
+  std::uint64_t bytes_skipped = 0;   ///< bytes discarded by scans
+  std::uint64_t truncated_tail = 0;  ///< unrecoverable truncated file tail
+
+  std::uint64_t events() const noexcept { return resyncs + truncated_tail; }
+};
+
 /// Streaming reader for a pcap savefile.
 ///
-/// Fails fast on a bad global header; per-record errors (truncated file)
-/// terminate the stream. Use `error()` to distinguish EOF from corruption.
+/// Fails fast on a bad global header. Per-record behaviour depends on the
+/// mode:
+///  - kStrict (default): any malformed record terminates the stream with a
+///    message in `error()` — EOF and corruption stay distinguishable.
+///  - kResync: a malformed record header triggers a forward scan for the
+///    next plausible record header (bounded lengths, sane sub-second
+///    field, timestamp near the last good record). Damage is tallied in
+///    `corruption()` and reading continues; `error()` stays empty. This is
+///    the degraded mode a months-long deployment runs in: one bad ring
+///    page must not kill the capture.
 class Reader {
  public:
+  enum class Mode { kStrict, kResync };
+
   /// Opens `path`; returns nullopt if the file is missing or the global
   /// header is not a recognizable pcap header.
-  static std::optional<Reader> open(const std::string& path);
+  static std::optional<Reader> open(const std::string& path,
+                                    Mode mode = Mode::kStrict);
 
   /// Reads the next frame; nullopt at end of stream (or on error).
   std::optional<Frame> next();
 
-  /// Non-empty if the stream ended due to corruption rather than EOF.
+  /// Non-empty if the stream ended due to corruption rather than EOF
+  /// (strict mode only; resync mode reports through `corruption()`).
   const std::string& error() const noexcept { return error_; }
+
+  /// Damage survived so far (resync mode; all-zero in strict mode).
+  const CorruptionStats& corruption() const noexcept { return corruption_; }
 
   std::uint32_t link_type() const noexcept { return link_type_; }
   std::uint64_t frames_read() const noexcept { return frames_read_; }
@@ -54,12 +80,26 @@ class Reader {
   };
   Reader() = default;
 
+  bool plausible_header(std::uint32_t ts_sec, std::uint32_t ts_frac,
+                        std::uint32_t incl_len, std::uint32_t orig_len,
+                        bool have_ref, std::uint32_t ref_sec) const noexcept;
+  bool plausible_candidate(std::uint32_t ts_sec, std::uint32_t ts_frac,
+                           std::uint32_t incl_len,
+                           std::uint32_t orig_len) const noexcept;
+  bool chain_ok(long found, std::uint32_t ts_sec, std::uint32_t incl_len,
+                long file_size);
+  bool try_resync(long record_start);
+
   std::unique_ptr<std::FILE, FileCloser> file_;
+  Mode mode_ = Mode::kStrict;
   bool swapped_ = false;
   bool nanos_ = false;
   std::uint32_t snaplen_ = 0;
   std::uint32_t link_type_ = 0;
   std::uint64_t frames_read_ = 0;
+  bool have_last_ts_ = false;
+  std::uint32_t last_ts_sec_ = 0;
+  CorruptionStats corruption_;
   std::string error_;
 };
 

@@ -179,17 +179,36 @@ std::optional<Frame> NgReader::next() {
 bool read_any_capture(const std::string& path,
                       const std::function<void(const Frame&)>& sink,
                       std::string& error) {
-  if (auto classic = Reader::open(path)) {
-    while (auto frame = classic->next()) sink(*frame);
-    error = classic->error();
-    return error.empty();
+  CaptureReadReport report;
+  const bool ok = read_any_capture(path, sink, CaptureReadOptions{}, report);
+  error = std::move(report.error);
+  return ok;
+}
+
+bool read_any_capture(const std::string& path,
+                      const std::function<void(const Frame&)>& sink,
+                      const CaptureReadOptions& options,
+                      CaptureReadReport& report) {
+  const auto mode =
+      options.resync ? Reader::Mode::kResync : Reader::Mode::kStrict;
+  if (auto classic = Reader::open(path, mode)) {
+    while (auto frame = classic->next()) {
+      sink(*frame);
+      ++report.frames;
+    }
+    report.error = classic->error();
+    report.corruption = classic->corruption();
+    return report.error.empty();
   }
   if (auto ng = NgReader::open(path)) {
-    while (auto frame = ng->next()) sink(*frame);
-    error = ng->error();
-    return error.empty();
+    while (auto frame = ng->next()) {
+      sink(*frame);
+      ++report.frames;
+    }
+    report.error = ng->error();
+    return report.error.empty();
   }
-  error = "not a pcap or pcapng capture: " + path;
+  report.error = "not a pcap or pcapng capture: " + path;
   return false;
 }
 

@@ -72,4 +72,25 @@ bool read_any_capture(const std::string& path,
                       const std::function<void(const Frame&)>& sink,
                       std::string& error);
 
+struct CaptureReadOptions {
+  /// Skip-and-resync over corrupt records instead of aborting. Applies to
+  /// classic pcap; pcapng always reads strictly (its per-block redundant
+  /// lengths make silent resync unreliable).
+  bool resync = false;
+};
+
+struct CaptureReadReport {
+  std::string error;           ///< non-empty when the stream aborted
+  std::uint64_t frames = 0;    ///< frames delivered to the sink
+  CorruptionStats corruption;  ///< damage survived (classic resync mode)
+};
+
+/// As above, with degraded-mode control and a detailed report. Returns
+/// false when the capture could not be opened or the stream aborted with
+/// an error; resynced corruption alone does not fail the read.
+bool read_any_capture(const std::string& path,
+                      const std::function<void(const Frame&)>& sink,
+                      const CaptureReadOptions& options,
+                      CaptureReadReport& report);
+
 }  // namespace dnh::pcap

@@ -2,12 +2,14 @@
 // against a small generated capture and its output/exit code checked.
 // The binary path is injected by CMake via DNHUNTER_BIN.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <array>
 #include <cstdio>
 #include <filesystem>
 #include <string>
 
+#include "faultinject/faultinject.hpp"
 #include "trafficgen/profiles.hpp"
 #include "trafficgen/simulator.hpp"
 
@@ -43,7 +45,10 @@ CommandResult run_cli(const std::string& args) {
 class CliTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    dir_ = fs::temp_directory_path() / "dnh_cli_test";
+    // Per-process directory: `ctest -j` runs cases as separate processes,
+    // and a shared directory would let one teardown delete another's files.
+    dir_ = fs::temp_directory_path() /
+           ("dnh_cli_test_" + std::to_string(::getpid()));
     fs::create_directories(dir_);
     pcap_ = (dir_ / "cli.pcap").string();
     auto profile = trafficgen::profile_eu1_ftth();
@@ -155,6 +160,47 @@ TEST_F(CliTest, TangleReportsEntanglement) {
 
 TEST_F(CliTest, SpatialNeedsFqdn) {
   EXPECT_EQ(run_cli("spatial " + pcap_).exit_code, 2);
+}
+
+TEST_F(CliTest, CorruptCaptureFailsLoudlyInStrictMode) {
+  const std::string damaged = (dir_ / "damaged.pcap").string();
+  faultinject::FileFaultConfig config;
+  config.seed = 2;
+  config.garbage_run_rate = 0.02;
+  const auto report = faultinject::corrupt_pcap_file(pcap_, damaged, config);
+  ASSERT_TRUE(report);
+  ASSERT_GT(report->faults(), 0u);
+
+  // Strict (default): nonzero exit, a clear error, and no results table —
+  // a partially-processed capture must never masquerade as a complete one.
+  const auto strict = run_cli("summary " + damaged);
+  EXPECT_EQ(strict.exit_code, 1);
+  EXPECT_NE(strict.output.find("error:"), std::string::npos);
+  EXPECT_NE(strict.output.find("--resync"), std::string::npos);
+  EXPECT_EQ(strict.output.find("hit ratio"), std::string::npos);
+
+  // --resync: results printed, with a damage warning and the degradation
+  // tally in the summary.
+  const auto resync = run_cli("summary " + damaged + " --resync");
+  EXPECT_EQ(resync.exit_code, 0);
+  EXPECT_NE(resync.output.find("warning: capture is damaged"),
+            std::string::npos);
+  EXPECT_NE(resync.output.find("hit ratio"), std::string::npos);
+  EXPECT_NE(resync.output.find("degradation:"), std::string::npos);
+}
+
+TEST_F(CliTest, StrictAndResyncAreMutuallyExclusive) {
+  EXPECT_EQ(run_cli("summary " + pcap_ + " --strict --resync").exit_code, 2);
+}
+
+TEST_F(CliTest, ChaosSelfTestPasses) {
+  const auto result = run_cli("chaos " + pcap_ + " --rate 0.05 --seed 7");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("frame stage:"), std::string::npos);
+  EXPECT_NE(result.output.find("file stage:"), std::string::npos);
+  EXPECT_NE(result.output.find("chaos self-test: PASS"), std::string::npos);
+  // The damaged temp file must not be left behind.
+  EXPECT_FALSE(fs::exists(pcap_ + ".chaos-tmp"));
 }
 
 TEST_F(CliTest, ContentNeedsOrgDb) {

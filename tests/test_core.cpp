@@ -302,6 +302,65 @@ TEST_F(SnifferTest, ProcessPcapMissingFileFails) {
   EXPECT_FALSE(sniffer.error().empty());
 }
 
+// ------------------------------------------------- degraded-mode counters
+
+TEST_F(SnifferTest, TruncatedFrameClassifiedInDegradation) {
+  Sniffer sniffer;
+  sniffer.on_frame(net::Bytes{1, 2, 3, 4, 5}, Timestamp::from_seconds(1));
+  EXPECT_EQ(sniffer.stats().decode_failures, 1u);
+  EXPECT_EQ(sniffer.degradation().frames_truncated, 1u);
+  EXPECT_EQ(sniffer.degradation().malformed_total(), 1u);
+}
+
+TEST_F(SnifferTest, TimestampRegressionCountedButFrameStillProcessed) {
+  Sniffer sniffer;
+  feed_tcp(sniffer, kClient, kServer, 50000, 80, packet::tcpflags::kSyn, 100);
+  // Capture clock steps backwards; the frame must still reach the flow
+  // table (dropping it would skew analytics worse than the bad clock).
+  feed_tcp(sniffer, kClient, kServer, 50000, 80,
+           packet::tcpflags::kFin | packet::tcpflags::kAck, 50);
+  EXPECT_EQ(sniffer.degradation().timestamp_regressions, 1u);
+  EXPECT_EQ(sniffer.stats().frames, 2u);
+}
+
+TEST_F(SnifferTest, DnsPointerLoopClassified) {
+  Sniffer sniffer;
+  // Minimal response whose QNAME is a compression pointer to itself.
+  const net::Bytes wire{0x00, 0x01, 0x81, 0x80, 0x00, 0x01, 0x00, 0x00,
+                        0x00, 0x00, 0x00, 0x00, 0xc0, 0x0c, 0x00, 0x01,
+                        0x00, 0x01};
+  const auto frame = packet::build_udp_frame(
+      udp_spec(kResolver, kClient, 53, kClientDnsPort), wire);
+  sniffer.on_frame(frame, Timestamp::from_seconds(1));
+  EXPECT_EQ(sniffer.stats().dns_parse_failures, 1u);
+  EXPECT_EQ(sniffer.degradation().dns_pointer_loops, 1u);
+}
+
+TEST_F(SnifferTest, TruncatedDnsClassified) {
+  Sniffer sniffer;
+  const auto frame = packet::build_udp_frame(
+      udp_spec(kResolver, kClient, 53, kClientDnsPort),
+      net::Bytes{0x00, 0x01, 0x81});
+  sniffer.on_frame(frame, Timestamp::from_seconds(1));
+  EXPECT_EQ(sniffer.stats().dns_parse_failures, 1u);
+  EXPECT_EQ(sniffer.degradation().dns_truncated, 1u);
+}
+
+TEST_F(SnifferTest, DnsLogCapEvictsOldestHalf) {
+  SnifferConfig config;
+  config.max_dns_log = 4;
+  Sniffer sniffer{config};
+  for (int i = 0; i < 5; ++i)
+    feed_dns_response(sniffer,
+                      "h" + std::to_string(i) + ".example.com",
+                      {kServer}, i + 1);
+  // The 5th insert hits the cap: the oldest half (2 events) is evicted.
+  EXPECT_EQ(sniffer.degradation().dns_log_evictions, 2u);
+  ASSERT_EQ(sniffer.dns_log().size(), 3u);
+  EXPECT_EQ(sniffer.dns_log().front().fqdn, "h2.example.com");
+  EXPECT_EQ(sniffer.dns_log().back().fqdn, "h4.example.com");
+}
+
 }  // namespace
 }  // namespace dnh::core
 
@@ -429,6 +488,58 @@ TEST_F(TcpDnsTest, RunawayStreamIsDropped) {
   }
   // No crash, no runaway memory; no message completed.
   EXPECT_EQ(sniffer.stats().dns_tcp_messages, 0u);
+  EXPECT_GE(sniffer.degradation().tcp_dns_overflows, 1u);
+}
+
+TEST_F(TcpDnsTest, LengthPrefixLargerThanBufferJustWaits) {
+  // A length prefix claiming 0x7000 bytes with only a handful delivered is
+  // not an error — the rest may arrive later. Nothing completes, nothing
+  // is counted as an overflow.
+  Sniffer sniffer;
+  packet::FrameSpec spec;
+  spec.src_ip = kResolver;
+  spec.dst_ip = kClient;
+  spec.src_port = 53;
+  spec.dst_port = 42000;
+  const net::Bytes partial{0x70, 0x00, 0xde, 0xad, 0xbe, 0xef};
+  sniffer.on_frame(
+      packet::build_tcp_frame(spec, packet::tcpflags::kAck, 1, 1, partial),
+      Timestamp::from_seconds(1));
+  EXPECT_EQ(sniffer.stats().dns_tcp_messages, 0u);
+  EXPECT_EQ(sniffer.degradation().tcp_dns_overflows, 0u);
+  EXPECT_EQ(sniffer.degradation().malformed_total(), 0u);
+}
+
+TEST_F(TcpDnsTest, BufferCapEvictsWhenNewStreamsArrive) {
+  SnifferConfig config;
+  config.max_tcp_dns_buffers = 2;
+  Sniffer sniffer{config};
+  // Three half-finished streams from distinct client ports: the third must
+  // evict one of the first two rather than grow state.
+  for (std::uint16_t port : {std::uint16_t{40001}, std::uint16_t{40002},
+                             std::uint16_t{40003}}) {
+    packet::FrameSpec spec;
+    spec.src_ip = kResolver;
+    spec.dst_ip = kClient;
+    spec.src_port = 53;
+    spec.dst_port = port;
+    const net::Bytes partial{0x01, 0x00, 0x42};  // incomplete message
+    sniffer.on_frame(
+        packet::build_tcp_frame(spec, packet::tcpflags::kAck, 1, 1, partial),
+        Timestamp::from_seconds(port));
+  }
+  EXPECT_EQ(sniffer.degradation().tcp_dns_buffer_evictions, 1u);
+  // An existing stream continuing does NOT evict anything.
+  packet::FrameSpec spec;
+  spec.src_ip = kResolver;
+  spec.dst_ip = kClient;
+  spec.src_port = 53;
+  spec.dst_port = 40003;
+  sniffer.on_frame(
+      packet::build_tcp_frame(spec, packet::tcpflags::kAck, 1, 1,
+                              net::Bytes{0x43}),
+      Timestamp::from_seconds(99));
+  EXPECT_EQ(sniffer.degradation().tcp_dns_buffer_evictions, 1u);
 }
 
 }  // namespace
@@ -556,6 +667,68 @@ TEST(FlowDbIo, EmptyDatabaseRoundTrips) {
   const auto back = read_flow_tsv(stream);
   ASSERT_TRUE(back);
   EXPECT_EQ(back->size(), 0u);
+}
+
+/// Serializes one good flow and returns the TSV text.
+std::string one_flow_tsv() {
+  FlowDatabase db;
+  db.add(full_flow());
+  std::stringstream stream;
+  write_flow_tsv(db, stream);
+  return stream.str();
+}
+
+TEST(FlowDbIo, LenientReadSkipsAndCountsMalformedRows) {
+  std::string text = one_flow_tsv();
+  const std::string good_row = text.substr(text.rfind("10.0.0.3"));
+  text += "garbage\trow\n";                                 // field count
+  std::string bad_ip = good_row;
+  bad_ip.replace(bad_ip.find("10.0.0.3"), 8, "10.0.0.x");  // address
+  text += bad_ip;
+  std::string bad_num = good_row;
+  bad_num.replace(bad_num.find("50123"), 5, "fifty");      // number
+  text += bad_num;
+  std::string bad_transport = good_row;
+  bad_transport.replace(bad_transport.find("\ttcp\t"), 5, "\tsctp\t");
+  text += bad_transport;
+  text += good_row;  // a second good copy after the junk
+
+  std::stringstream in{text};
+  TsvRowErrors errors;
+  const auto db = read_flow_tsv(in, TsvReadMode::kLenient, errors);
+  ASSERT_TRUE(db);
+  EXPECT_EQ(db->size(), 2u);  // both good rows survive
+  EXPECT_EQ(errors.bad_field_count, 1u);
+  EXPECT_EQ(errors.bad_address, 1u);
+  EXPECT_EQ(errors.bad_number, 1u);
+  EXPECT_EQ(errors.bad_transport, 1u);
+  EXPECT_EQ(errors.total(), 4u);
+  // Indexes include only the surviving rows.
+  EXPECT_EQ(db->by_fqdn("mail.google.com").size(), 2u);
+}
+
+TEST(FlowDbIo, StrictReadStillFailsAndRecordsFirstError) {
+  std::string text = one_flow_tsv() + "garbage\trow\n";
+  std::stringstream in{text};
+  TsvRowErrors errors;
+  EXPECT_FALSE(read_flow_tsv(in, TsvReadMode::kStrict, errors));
+  EXPECT_EQ(errors.bad_field_count, 1u);
+  EXPECT_EQ(errors.total(), 1u);
+}
+
+TEST(FlowDbIo, LenientStillRejectsBadHeader) {
+  std::stringstream in{"#something-else v9\n"};
+  TsvRowErrors errors;
+  EXPECT_FALSE(read_flow_tsv(in, TsvReadMode::kLenient, errors));
+}
+
+TEST(FlowDbIo, CleanLenientReadReportsNoErrors) {
+  std::stringstream in{one_flow_tsv()};
+  TsvRowErrors errors;
+  const auto db = read_flow_tsv(in, TsvReadMode::kLenient, errors);
+  ASSERT_TRUE(db);
+  EXPECT_EQ(db->size(), 1u);
+  EXPECT_EQ(errors.total(), 0u);
 }
 
 }  // namespace

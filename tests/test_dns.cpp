@@ -373,6 +373,110 @@ TEST_P(MessageRoundTripSweep, RandomAResponsesRoundTrip) {
 INSTANTIATE_TEST_SUITE_P(AnswerListSizes, MessageRoundTripSweep,
                          ::testing::Values(0, 1, 2, 5, 10, 16, 33));
 
+// ------------------------------------------- typed adversarial failures
+//
+// Degraded-mode accounting relies on the decoder telling WHY an input was
+// rejected; each fault class must map to its own error value.
+
+TEST(NameErrors, SelfPointerReportsLoop) {
+  const net::Bytes wire{0xc0, 0x00};
+  net::ByteReader r{wire};
+  NameParseError error = NameParseError::kNone;
+  EXPECT_FALSE(DnsName::decode(r, error));
+  EXPECT_EQ(error, NameParseError::kPointerLoop);
+}
+
+TEST(NameErrors, MutualPointerCycleReportsLoop) {
+  const net::Bytes wire{0xc0, 0x02, 0xc0, 0x00};
+  net::ByteReader r{wire};
+  NameParseError error = NameParseError::kNone;
+  EXPECT_FALSE(DnsName::decode(r, error));
+  EXPECT_EQ(error, NameParseError::kPointerLoop);
+}
+
+TEST(NameErrors, PointerPastEndReportsOutOfRange) {
+  const net::Bytes wire{0xc0, 0x50};
+  net::ByteReader r{wire};
+  NameParseError error = NameParseError::kNone;
+  EXPECT_FALSE(DnsName::decode(r, error));
+  EXPECT_EQ(error, NameParseError::kPointerOutOfRange);
+}
+
+TEST(NameErrors, TruncatedLabelReportsTruncation) {
+  const net::Bytes wire{0x05, 'a', 'b'};
+  net::ByteReader r{wire};
+  NameParseError error = NameParseError::kNone;
+  EXPECT_FALSE(DnsName::decode(r, error));
+  EXPECT_EQ(error, NameParseError::kTruncated);
+}
+
+TEST(NameErrors, ReservedLabelTypeReportsBadLabel) {
+  const net::Bytes wire{0x80, 'a', 0x00};
+  net::ByteReader r{wire};
+  NameParseError error = NameParseError::kNone;
+  EXPECT_FALSE(DnsName::decode(r, error));
+  EXPECT_EQ(error, NameParseError::kBadLabel);
+}
+
+TEST(MessageErrors, QnamePointerCycleReportsLoop) {
+  // A response whose QNAME is a compression pointer back to itself (the
+  // QNAME sits at message offset 12: 0xc0 0x0c is a one-hop cycle).
+  net::Bytes wire(16, 0);
+  wire[2] = 0x80;  // QR: response
+  wire[5] = 1;     // QDCOUNT = 1
+  wire[12] = 0xc0;
+  wire[13] = 0x0c;
+  MessageParseError error = MessageParseError::kNone;
+  EXPECT_FALSE(DnsMessage::decode(wire, error));
+  EXPECT_EQ(error, MessageParseError::kPointerLoop);
+}
+
+TEST(MessageErrors, AnswerNamePointerPastEndReportsOutOfRange) {
+  auto wire = make_a_response(1, name("a.example.com"),
+                              {net::Ipv4Address{1, 2, 3, 4}}, 60)
+                  .encode();
+  // The answer owner name is a pointer to the QNAME (0xc0 0x0c);
+  // find it after the question section and aim it past the buffer.
+  const std::size_t question_end = 12 + 2 + 13 + 4;  // hdr+len bytes+qtype/qclass
+  std::size_t ptr = question_end;
+  ASSERT_EQ(wire[ptr], 0xc0);
+  wire[ptr] = 0xff;
+  wire[ptr + 1] = 0xff;
+  MessageParseError error = MessageParseError::kNone;
+  EXPECT_FALSE(DnsMessage::decode(wire, error));
+  EXPECT_EQ(error, MessageParseError::kPointerOutOfRange);
+}
+
+TEST(MessageErrors, TruncatedRdataReportsTruncation) {
+  auto wire = make_a_response(1, name("a.example.com"),
+                              {net::Ipv4Address{1, 2, 3, 4}}, 60)
+                  .encode();
+  wire.resize(wire.size() - 3);  // cut into the A RDATA
+  MessageParseError error = MessageParseError::kNone;
+  EXPECT_FALSE(DnsMessage::decode(wire, error));
+  EXPECT_EQ(error, MessageParseError::kTruncated);
+}
+
+TEST(MessageErrors, AbsurdCountsReportCountLie) {
+  net::Bytes wire(12, 0);
+  wire[4] = 0xff;  // QDCOUNT
+  wire[5] = 0xff;
+  wire[6] = 0xff;  // ANCOUNT
+  wire[7] = 0xff;
+  MessageParseError error = MessageParseError::kNone;
+  EXPECT_FALSE(DnsMessage::decode(wire, error));
+  EXPECT_EQ(error, MessageParseError::kCountLie);
+}
+
+TEST(MessageErrors, CleanDecodeReportsNone) {
+  const auto wire = make_a_response(1, name("a.example.com"),
+                                    {net::Ipv4Address{1, 2, 3, 4}}, 60)
+                        .encode();
+  MessageParseError error = MessageParseError::kCountLie;  // stale value
+  EXPECT_TRUE(DnsMessage::decode(wire, error));
+  EXPECT_EQ(error, MessageParseError::kNone);
+}
+
 // Fuzz-ish robustness: decoding random bytes must never crash and rarely
 // succeeds; flipping bytes in valid messages must never crash.
 TEST(MessageFuzz, RandomBytesDoNotCrash) {

@@ -2,6 +2,7 @@
 // plus consistency between the packet-level and event-level simulation
 // backends and failure injection on the capture path.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <filesystem>
 #include <fstream>
@@ -34,7 +35,10 @@ trafficgen::TraceProfile small_profile() {
 class IntegrationTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    dir_ = fs::temp_directory_path() / "dnh_integration";
+    // Per-process directory: `ctest -j` runs cases as separate processes,
+    // and a shared directory would let one teardown delete another's files.
+    dir_ = fs::temp_directory_path() /
+           ("dnh_integration_" + std::to_string(::getpid()));
     fs::create_directories(dir_);
     sim_ = new trafficgen::Simulator{small_profile()};
     pcap_path_ = (dir_ / "trace.pcap").string();

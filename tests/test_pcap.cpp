@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 
@@ -14,7 +17,10 @@ namespace fs = std::filesystem;
 class PcapTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = fs::temp_directory_path() / "dnh_pcap_test";
+    // Per-process directory: `ctest -j` runs cases as separate processes,
+    // and a shared directory would let one TearDown delete another's files.
+    dir_ = fs::temp_directory_path() /
+           ("dnh_pcap_test_" + std::to_string(::getpid()));
     fs::create_directories(dir_);
   }
   void TearDown() override { fs::remove_all(dir_); }
@@ -207,6 +213,125 @@ TEST_F(PcapTest, ManyFramesStreamCleanly) {
   while (reader->next()) ++n;
   EXPECT_EQ(n, 5000u);
   EXPECT_TRUE(reader->error().empty());
+}
+
+// ----------------------------------------------------- resync recovery
+
+/// Reads all bytes of a file.
+std::vector<std::uint8_t> slurp(const std::string& p) {
+  std::ifstream in{p, std::ios::binary};
+  return {std::istreambuf_iterator<char>{in},
+          std::istreambuf_iterator<char>{}};
+}
+
+/// Overwrites a file with the given bytes.
+void dump(const std::string& p, const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out{p, std::ios::binary | std::ios::trunc};
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST_F(PcapTest, ResyncSkipsMidFileGarbage) {
+  const std::string p = path("garbage.pcap");
+  {
+    auto writer = Writer::create(p);
+    ASSERT_TRUE(writer);
+    writer->write(make_frame(1'000'000, {1, 2, 3, 4}));
+    writer->write(make_frame(2'000'000, {5, 6, 7, 8}));
+  }
+  // Splice 100 bytes of 0xff between the two records (after the 24-byte
+  // global header, the 16-byte record header and the 4-byte body).
+  auto bytes = slurp(p);
+  ASSERT_EQ(bytes.size(), 24u + 2 * (16 + 4));
+  bytes.insert(bytes.begin() + 24 + 16 + 4, 100, 0xff);
+  dump(p, bytes);
+
+  // Strict mode: the garbage terminates the stream with an error.
+  {
+    auto reader = Reader::open(p);
+    ASSERT_TRUE(reader);
+    ASSERT_TRUE(reader->next());
+    EXPECT_FALSE(reader->next());
+    EXPECT_FALSE(reader->error().empty());
+  }
+  // Resync mode: both frames recovered, damage accounted.
+  auto reader = Reader::open(p, Reader::Mode::kResync);
+  ASSERT_TRUE(reader);
+  const auto f1 = reader->next();
+  ASSERT_TRUE(f1);
+  EXPECT_EQ(f1->data, (net::Bytes{1, 2, 3, 4}));
+  const auto f2 = reader->next();
+  ASSERT_TRUE(f2);
+  EXPECT_EQ(f2->data, (net::Bytes{5, 6, 7, 8}));
+  EXPECT_FALSE(reader->next());
+  EXPECT_TRUE(reader->error().empty());
+  EXPECT_EQ(reader->corruption().resyncs, 1u);
+  EXPECT_EQ(reader->corruption().bytes_skipped, 100u);
+  EXPECT_EQ(reader->corruption().truncated_tail, 0u);
+}
+
+TEST_F(PcapTest, ResyncSkipsRecordWithLyingLength) {
+  const std::string p = path("lie.pcap");
+  {
+    auto writer = Writer::create(p);
+    ASSERT_TRUE(writer);
+    for (int i = 0; i < 3; ++i)
+      writer->write(make_frame(i * 1'000'000, {0xaa, 0xbb, 0xcc}));
+  }
+  // Lie in the middle record's incl_len: implausibly huge.
+  auto bytes = slurp(p);
+  const std::size_t second_header = 24 + (16 + 3);
+  const std::uint32_t lie = 0x10000000;
+  std::memcpy(bytes.data() + second_header + 8, &lie, 4);
+  dump(p, bytes);
+
+  auto reader = Reader::open(p, Reader::Mode::kResync);
+  ASSERT_TRUE(reader);
+  std::uint64_t frames = 0;
+  while (reader->next()) ++frames;
+  // The lying record is unrecoverable; its neighbours survive.
+  EXPECT_EQ(frames, 2u);
+  EXPECT_TRUE(reader->error().empty());
+  EXPECT_EQ(reader->corruption().resyncs, 1u);
+  EXPECT_EQ(reader->corruption().bytes_skipped, 16u + 3u);
+}
+
+TEST_F(PcapTest, ResyncCountsTruncatedTail) {
+  const std::string p = path("tail.pcap");
+  {
+    auto writer = Writer::create(p);
+    ASSERT_TRUE(writer);
+    writer->write(make_frame(1'000'000, {1, 2, 3, 4, 5, 6}));
+    writer->write(make_frame(2'000'000, {7, 8, 9, 10, 11, 12}));
+  }
+  auto bytes = slurp(p);
+  bytes.resize(bytes.size() - 3);  // cut into the last record body
+  dump(p, bytes);
+
+  auto reader = Reader::open(p, Reader::Mode::kResync);
+  ASSERT_TRUE(reader);
+  ASSERT_TRUE(reader->next());
+  EXPECT_FALSE(reader->next());
+  EXPECT_TRUE(reader->error().empty());  // resync mode never sets error
+  EXPECT_EQ(reader->corruption().truncated_tail, 1u);
+  EXPECT_EQ(reader->corruption().events(), 1u);
+}
+
+TEST_F(PcapTest, ResyncModeOnCleanFileIsInvisible) {
+  const std::string p = path("clean.pcap");
+  {
+    auto writer = Writer::create(p);
+    ASSERT_TRUE(writer);
+    for (int i = 0; i < 100; ++i)
+      writer->write(make_frame(i * 1000, {static_cast<std::uint8_t>(i)}));
+  }
+  auto reader = Reader::open(p, Reader::Mode::kResync);
+  ASSERT_TRUE(reader);
+  std::uint64_t n = 0;
+  while (reader->next()) ++n;
+  EXPECT_EQ(n, 100u);
+  EXPECT_EQ(reader->corruption().events(), 0u);
+  EXPECT_EQ(reader->corruption().bytes_skipped, 0u);
 }
 
 }  // namespace

@@ -1,4 +1,5 @@
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <filesystem>
 #include <fstream>
@@ -199,7 +200,10 @@ TEST(Simulator, MultiDayEventModeSpansDays) {
 class PcapModeTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = fs::temp_directory_path() / "dnh_gen_test";
+    // Per-process: `ctest -j` must not let one teardown delete another
+    // process's files.
+    dir_ = fs::temp_directory_path() /
+           ("dnh_gen_test_" + std::to_string(::getpid()));
     fs::create_directories(dir_);
   }
   void TearDown() override { fs::remove_all(dir_); }

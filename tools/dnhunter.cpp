@@ -18,6 +18,11 @@
 //   dnhunter volume    <pcap> [--depth N] [--top K]
 //   dnhunter delays    <pcap>
 //   dnhunter dimension <pcap> [--sizes L1,L2,...]
+//   dnhunter chaos     <pcap> [--rate R] [--seed S]
+//
+// Every pcap-reading command accepts --resync to keep going over damaged
+// captures (skip-and-resync with a corruption report on stderr) instead
+// of the default strict abort.
 //
 // The optional org database file maps address blocks to organizations,
 // one "CIDR NAME" pair per line (the role whois/MaxMind plays in the
@@ -44,6 +49,8 @@
 #include "core/flowdb_io.hpp"
 #include "core/policy.hpp"
 #include "core/sniffer.hpp"
+#include "faultinject/faultinject.hpp"
+#include "pcap/pcapng.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
@@ -80,7 +87,10 @@ struct Args {
   std::fprintf(stderr,
                "usage: dnhunter <command> <capture.pcap> [options]\n"
                "commands: summary flows tags spatial tree content "
-               "anomalies policy churn dga tangle export volume delays dimension\n"
+               "anomalies policy churn dga tangle export volume delays dimension chaos\n"
+               "global options: --strict (default) abort on a corrupt "
+               "capture; --resync skip damaged\n"
+               "  records, continue, and report corruption on stderr\n"
                "run with a command and no further args for its options\n");
   std::exit(error ? 2 : 0);
 }
@@ -132,18 +142,51 @@ orgdb::OrgDb load_orgdb(const std::optional<std::string>& path) {
   return orgs;
 }
 
-core::Sniffer sniff(const std::string& pcap) {
-  core::Sniffer sniffer;
-  if (!sniffer.process_pcap(pcap)) {
-    std::fprintf(stderr, "error: %s\n", sniffer.error().c_str());
+/// Capture-reading policy from the global --strict/--resync toggle.
+core::SnifferConfig sniffer_config(const Args& args) {
+  if (args.flag("strict") && args.flag("resync"))
+    usage("--strict and --resync are mutually exclusive");
+  core::SnifferConfig config;
+  config.resync_capture = args.flag("resync");
+  return config;
+}
+
+/// Warns on stderr when a resync read survived corruption; results are
+/// complete for everything that was recoverable, which deserves a note.
+void warn_on_corruption(const core::Sniffer& sniffer) {
+  const auto& d = sniffer.degradation();
+  const std::uint64_t events =
+      d.capture_resyncs + d.capture_truncated_tails;
+  if (events == 0) return;
+  std::fprintf(stderr,
+               "warning: capture is damaged: %llu corrupt region(s) "
+               "skipped, %llu byte(s) lost%s; results cover the "
+               "recovered traffic only\n",
+               static_cast<unsigned long long>(events),
+               static_cast<unsigned long long>(d.capture_bytes_skipped),
+               d.capture_truncated_tails ? " (file tail truncated)" : "");
+}
+
+core::Sniffer sniff(const Args& args) {
+  core::Sniffer sniffer{sniffer_config(args)};
+  if (!sniffer.process_pcap(args.pcap)) {
+    // Do NOT print partial results as if they were complete: fail loudly
+    // and point at --resync for best-effort reads of damaged files.
+    std::fprintf(stderr,
+                 "error: failed reading %s: %s\n"
+                 "error: aborting without printing results (capture only "
+                 "partially processed); retry with --resync to analyze "
+                 "what is recoverable\n",
+                 args.pcap.c_str(), sniffer.error().c_str());
     std::exit(1);
   }
+  warn_on_corruption(sniffer);
   sniffer.finish();
   return sniffer;
 }
 
 int cmd_summary(const Args& args) {
-  const auto sniffer = sniff(args.pcap);
+  const auto sniffer = sniff(args);
   const auto& stats = sniffer.stats();
   std::printf("frames:            %s (%s undecodable)\n",
               util::with_commas(stats.frames).c_str(),
@@ -157,6 +200,21 @@ int cmd_summary(const Args& args) {
               util::with_commas(stats.flows_exported).c_str(),
               util::with_commas(stats.flows_tagged_at_start).c_str(),
               util::with_commas(stats.flows_tagged_at_export).c_str());
+  if (stats.degradation.malformed_total() != 0) {
+    const auto& d = stats.degradation;
+    std::printf("degradation:       %s malformed events "
+                "(%s capture, %s frame, %s dns)\n",
+                util::with_commas(d.malformed_total()).c_str(),
+                util::with_commas(d.capture_resyncs +
+                                  d.capture_truncated_tails).c_str(),
+                util::with_commas(d.frames_truncated + d.bad_ip_headers +
+                                  d.bad_l4_headers +
+                                  d.timestamp_regressions).c_str(),
+                util::with_commas(d.dns_truncated + d.dns_pointer_loops +
+                                  d.dns_pointer_out_of_range +
+                                  d.dns_bad_names +
+                                  d.dns_count_lies).c_str());
+  }
 
   std::map<flow::ProtocolClass, std::pair<std::uint64_t, std::uint64_t>>
       by_class;
@@ -178,7 +236,7 @@ int cmd_summary(const Args& args) {
 }
 
 int cmd_flows(const Args& args) {
-  const auto sniffer = sniff(args.pcap);
+  const auto sniffer = sniff(args);
   const std::size_t limit =
       std::strtoul(args.option("limit").value_or("50").c_str(), nullptr, 10);
   const bool unlabeled_only = args.flag("unlabeled");
@@ -209,7 +267,7 @@ int cmd_flows(const Args& args) {
 int cmd_tags(const Args& args) {
   const auto port = args.option("port");
   if (!port) usage("tags requires --port N");
-  const auto sniffer = sniff(args.pcap);
+  const auto sniffer = sniff(args);
   analytics::TagExtractionOptions options;
   options.top_k =
       std::strtoul(args.option("top").value_or("10").c_str(), nullptr, 10);
@@ -229,7 +287,7 @@ int cmd_tags(const Args& args) {
 
 int cmd_spatial(const Args& args) {
   if (args.positional.empty()) usage("spatial requires an FQDN");
-  const auto sniffer = sniff(args.pcap);
+  const auto sniffer = sniff(args);
   const auto orgs = load_orgdb(args.option("orgdb"));
   const auto report = analytics::spatial_discovery(
       sniffer.database(), orgs, args.positional[0]);
@@ -247,7 +305,7 @@ int cmd_spatial(const Args& args) {
 
 int cmd_tree(const Args& args) {
   if (args.positional.empty()) usage("tree requires a 2nd-level domain");
-  const auto sniffer = sniff(args.pcap);
+  const auto sniffer = sniff(args);
   const auto orgs = load_orgdb(args.option("orgdb"));
   const auto tree =
       analytics::build_domain_tree(sniffer.database(), orgs,
@@ -261,7 +319,7 @@ int cmd_content(const Args& args) {
   if (!provider) usage("content requires --provider NAME");
   if (!args.option("orgdb"))
     usage("content requires --orgdb FILE to attribute servers");
-  const auto sniffer = sniff(args.pcap);
+  const auto sniffer = sniff(args);
   const auto orgs = load_orgdb(args.option("orgdb"));
   const auto report = analytics::content_discovery_by_provider(
       sniffer.database(), orgs, *provider,
@@ -276,7 +334,7 @@ int cmd_content(const Args& args) {
 }
 
 int cmd_anomalies(const Args& args) {
-  const auto sniffer = sniff(args.pcap);
+  const auto sniffer = sniff(args);
   const auto orgs = load_orgdb(args.option("orgdb"));
   analytics::AnomalyConfig config;
   config.min_history = static_cast<std::uint32_t>(std::strtoul(
@@ -304,15 +362,20 @@ int cmd_policy(const Args& args) {
   if (enforcer.rule_count() == 0)
     usage("policy requires at least one --block/--prioritize SUFFIX");
 
-  core::Sniffer sniffer;
+  core::Sniffer sniffer{sniffer_config(args)};
   sniffer.set_flow_start_hook(
       [&](const flow::FlowRecord&, std::string_view fqdn) {
         enforcer.decide(fqdn);
       });
   if (!sniffer.process_pcap(args.pcap)) {
-    std::fprintf(stderr, "error: %s\n", sniffer.error().c_str());
+    std::fprintf(stderr,
+                 "error: failed reading %s: %s\n"
+                 "error: policy decisions incomplete (capture only "
+                 "partially processed); retry with --resync\n",
+                 args.pcap.c_str(), sniffer.error().c_str());
     return 1;
   }
+  warn_on_corruption(sniffer);
   sniffer.finish();
   const auto& stats = enforcer.stats();
   std::printf("decisions: %s  block=%s prioritize=%s allow=%s "
@@ -326,7 +389,7 @@ int cmd_policy(const Args& args) {
 }
 
 int cmd_tangle(const Args& args) {
-  const auto sniffer = sniff(args.pcap);
+  const auto sniffer = sniff(args);
   const auto report = analytics::tangle_graph(
       sniffer.database(),
       std::strtoul(args.option("top").value_or("20").c_str(), nullptr, 10),
@@ -349,7 +412,7 @@ int cmd_tangle(const Args& args) {
 }
 
 int cmd_dga(const Args& args) {
-  const auto sniffer = sniff(args.pcap);
+  const auto sniffer = sniff(args);
   analytics::DgaConfig config;
   config.min_queries = static_cast<std::uint32_t>(std::strtoul(
       args.option("min-queries").value_or("20").c_str(), nullptr, 10));
@@ -372,7 +435,7 @@ int cmd_dga(const Args& args) {
 
 int cmd_churn(const Args& args) {
   if (args.positional.empty()) usage("churn requires a 2nd-level domain");
-  const auto sniffer = sniff(args.pcap);
+  const auto sniffer = sniff(args);
   const auto orgs = load_orgdb(args.option("orgdb"));
   const auto& db = sniffer.database();
   util::Timestamp start, end;
@@ -416,7 +479,7 @@ int cmd_churn(const Args& args) {
 int cmd_export(const Args& args) {
   const auto out = args.option("out");
   if (!out) usage("export requires --out FILE.tsv");
-  const auto sniffer = sniff(args.pcap);
+  const auto sniffer = sniff(args);
   const std::size_t n = core::write_flow_tsv(sniffer.database(), *out);
   if (n == 0 && sniffer.database().size() != 0) {
     std::fprintf(stderr, "error: cannot write %s\n", out->c_str());
@@ -427,7 +490,7 @@ int cmd_export(const Args& args) {
 }
 
 int cmd_volume(const Args& args) {
-  const auto sniffer = sniff(args.pcap);
+  const auto sniffer = sniff(args);
   const int depth = std::atoi(args.option("depth").value_or("2").c_str());
   const auto report = analytics::traffic_by_domain(
       sniffer.database(), depth,
@@ -453,7 +516,7 @@ int cmd_volume(const Args& args) {
 }
 
 int cmd_delays(const Args& args) {
-  const auto sniffer = sniff(args.pcap);
+  const auto sniffer = sniff(args);
   const auto report =
       analytics::analyze_delays(sniffer.dns_log(), sniffer.database());
   std::printf("useless DNS responses: %s of %s\n",
@@ -469,7 +532,7 @@ int cmd_delays(const Args& args) {
 }
 
 int cmd_dimension(const Args& args) {
-  const auto sniffer = sniff(args.pcap);
+  const auto sniffer = sniff(args);
   std::vector<std::size_t> sizes;
   const std::string spec = args.option("sizes").value_or(
       "128,512,2048,8192,32768,131072");
@@ -483,6 +546,137 @@ int cmd_dimension(const Args& args) {
                 util::with_commas(point.hits).c_str(),
                 util::with_commas(point.lookups).c_str());
   return 0;
+}
+
+/// Labeled-flow hit ratio of a finished sniffer (0 when no flows).
+double hit_ratio(const core::Sniffer& sniffer) {
+  std::uint64_t total = 0, labeled = 0;
+  for (const auto& flow : sniffer.database().flows()) {
+    ++total;
+    labeled += flow.labeled();
+  }
+  return total ? static_cast<double>(labeled) / static_cast<double>(total)
+               : 0.0;
+}
+
+/// Chaos self-test: injects frame- and file-level faults into the given
+/// capture and checks the pipeline's degraded-mode invariants — no crash,
+/// bounded degradation, resync recovery, honest corruption accounting.
+int cmd_chaos(const Args& args) {
+  const double rate =
+      std::strtod(args.option("rate").value_or("0.05").c_str(), nullptr);
+  const auto seed = static_cast<std::uint64_t>(std::strtoull(
+      args.option("seed").value_or("1").c_str(), nullptr, 10));
+
+  std::vector<pcap::Frame> frames;
+  std::string read_error;
+  if (!pcap::read_any_capture(
+          args.pcap,
+          [&](const pcap::Frame& frame) { frames.push_back(frame); },
+          read_error)) {
+    std::fprintf(stderr, "error: failed reading %s: %s\n",
+                 args.pcap.c_str(), read_error.c_str());
+    return 1;
+  }
+  if (frames.empty()) {
+    std::fprintf(stderr, "error: %s contains no frames\n",
+                 args.pcap.c_str());
+    return 1;
+  }
+
+  auto replay = [](const std::vector<pcap::Frame>& fs) {
+    core::Sniffer sniffer;
+    for (const auto& frame : fs) sniffer.on_frame(frame.data, frame.timestamp);
+    sniffer.finish();
+    return sniffer;
+  };
+
+  const auto clean = replay(frames);
+  const double clean_hit = hit_ratio(clean);
+
+  // Stage 1: frame-level faults through the full pipeline.
+  faultinject::FaultConfig fault_config;
+  fault_config.seed = seed;
+  fault_config.fault_rate = rate;
+  faultinject::FrameCorruptor corruptor{fault_config};
+  std::vector<pcap::Frame> mutated;
+  mutated.reserve(frames.size());
+  for (const auto& frame : frames) corruptor.feed(frame, mutated);
+  corruptor.flush(mutated);
+  const auto chaotic = replay(mutated);
+  const double chaotic_hit = hit_ratio(chaotic);
+  const auto& degradation = chaotic.degradation();
+
+  std::printf("frame stage: %zu frames in, %zu after faults "
+              "(%llu injected)\n",
+              frames.size(), mutated.size(),
+              static_cast<unsigned long long>(corruptor.stats().injected()));
+  std::printf("  hit ratio: clean %s -> chaos %s\n",
+              util::percent(clean_hit).c_str(),
+              util::percent(chaotic_hit).c_str());
+  std::printf("  degradation: %llu malformed events "
+              "(%llu dns, %llu frame, %llu ts)\n",
+              static_cast<unsigned long long>(degradation.malformed_total()),
+              static_cast<unsigned long long>(
+                  degradation.dns_truncated + degradation.dns_pointer_loops +
+                  degradation.dns_pointer_out_of_range +
+                  degradation.dns_bad_names + degradation.dns_count_lies),
+              static_cast<unsigned long long>(
+                  degradation.frames_truncated + degradation.bad_ip_headers +
+                  degradation.bad_l4_headers),
+              static_cast<unsigned long long>(
+                  degradation.timestamp_regressions));
+  bool ok = true;
+  if (chaotic_hit > clean_hit + 1e-9) {
+    std::printf("  FAIL: corruption cannot raise the hit ratio\n");
+    ok = false;
+  }
+
+  // Stage 2: file-level damage, then a resync read of the wreckage.
+  const std::string damaged_path = args.pcap + ".chaos-tmp";
+  faultinject::FileFaultConfig file_config;
+  file_config.seed = seed;
+  file_config.garbage_run_rate = rate;
+  file_config.length_lie_rate = rate / 2;
+  const auto report =
+      faultinject::corrupt_pcap_file(args.pcap, damaged_path, file_config);
+  if (!report) {
+    std::printf("file stage: skipped (capture is not native classic pcap)\n");
+  } else {
+    core::SnifferConfig resync_config;
+    resync_config.resync_capture = true;
+    core::Sniffer survivor{resync_config};
+    if (!survivor.process_pcap(damaged_path)) {
+      std::printf("file stage: FAIL: resync read aborted: %s\n",
+                  survivor.error().c_str());
+      ok = false;
+    } else {
+      survivor.finish();
+      const auto& d = survivor.degradation();
+      const std::uint64_t recovered = survivor.stats().frames;
+      std::printf("file stage: %llu/%llu intact frames recovered after "
+                  "%llu injected fault(s); %llu resync(s), %llu byte(s) "
+                  "skipped\n",
+                  static_cast<unsigned long long>(recovered),
+                  static_cast<unsigned long long>(report->records_intact),
+                  static_cast<unsigned long long>(report->faults()),
+                  static_cast<unsigned long long>(d.capture_resyncs),
+                  static_cast<unsigned long long>(d.capture_bytes_skipped));
+      if (recovered < report->records_intact) {
+        std::printf("file stage: FAIL: lost intact frames to resync\n");
+        ok = false;
+      }
+      if (report->faults() > 0 &&
+          d.capture_resyncs + d.capture_truncated_tails == 0) {
+        std::printf("file stage: FAIL: corruption went unreported\n");
+        ok = false;
+      }
+    }
+    std::remove(damaged_path.c_str());
+  }
+
+  std::printf("chaos self-test: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
 }
 
 }  // namespace
@@ -508,5 +702,6 @@ int main(int argc, char** argv) {
   if (args.command == "volume") return cmd_volume(args);
   if (args.command == "delays") return cmd_delays(args);
   if (args.command == "dimension") return cmd_dimension(args);
+  if (args.command == "chaos") return cmd_chaos(args);
   usage(("unknown command: " + args.command).c_str());
 }
