@@ -1,0 +1,231 @@
+// Scaling study of the sharded ingestion pipeline: frames/second at
+// --jobs 1/2/4/8 over a >=500k-frame synthetic corpus, with the merged
+// result checked against the single-threaded baseline on every run.
+//
+// Emits machine-readable BENCH_pipeline.json (override the path with
+// --out). The >=2x-at-4-shards assertion only applies when the machine
+// actually has >=4 hardware threads; on smaller boxes the numbers are
+// still printed and the JSON still written, with the gate marked skipped
+// (a 1-core container cannot speed anything up by threading, and a bench
+// that fails for physics reasons would just get deleted from CI).
+//
+// Usage: bench_pipeline_scaling [--frames N] [--out FILE.json]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "pcap/pcapng.hpp"
+#include "pipeline/pipeline.hpp"
+
+namespace {
+
+using namespace dnh;
+
+struct RunResult {
+  std::size_t jobs = 0;
+  double seconds = 0;
+  double fps = 0;
+  double speedup = 1.0;
+  std::size_t flows = 0;
+  std::uint64_t drops = 0;
+  std::size_t queue_high_water = 0;
+  double merge_ms = 0;
+};
+
+/// The base trace, replicated along the time axis until the corpus holds
+/// at least `target` frames. Replicas are spaced ten minutes apart so the
+/// idle timeout splits them into fresh flows — the corpus behaves like a
+/// longer capture from the same client population, not like duplicates.
+std::vector<pcap::Frame> build_corpus(const std::string& pcap_path,
+                                      std::size_t target) {
+  std::vector<pcap::Frame> base;
+  std::string error;
+  if (!pcap::read_any_capture(
+          pcap_path,
+          [&](const pcap::Frame& frame) { base.push_back(frame); }, error)) {
+    std::fprintf(stderr, "cannot read %s: %s\n", pcap_path.c_str(),
+                 error.c_str());
+    std::exit(1);
+  }
+  util::Timestamp last;
+  for (const auto& frame : base)
+    if (frame.timestamp > last) last = frame.timestamp;
+  util::Timestamp first = last;
+  for (const auto& frame : base)
+    if (frame.timestamp < first) first = frame.timestamp;
+  const util::Duration stride =
+      (last - first) + util::Duration::minutes(10);
+
+  std::vector<pcap::Frame> corpus;
+  corpus.reserve(target + base.size());
+  for (std::size_t replica = 0; corpus.size() < target; ++replica) {
+    const util::Duration offset = stride * static_cast<double>(replica);
+    for (const auto& frame : base) {
+      pcap::Frame shifted = frame;
+      shifted.timestamp = frame.timestamp + offset;
+      corpus.push_back(std::move(shifted));
+    }
+  }
+  return corpus;
+}
+
+RunResult run_single_threaded(const std::vector<pcap::Frame>& corpus) {
+  RunResult result;
+  result.jobs = 1;
+  const auto t0 = std::chrono::steady_clock::now();
+  core::Sniffer sniffer;
+  for (const auto& frame : corpus)
+    sniffer.on_frame(frame.data, frame.timestamp);
+  sniffer.finish();
+  const auto t1 = std::chrono::steady_clock::now();
+  result.seconds = std::chrono::duration<double>(t1 - t0).count();
+  result.fps = static_cast<double>(corpus.size()) / result.seconds;
+  result.flows = sniffer.database().size();
+  return result;
+}
+
+RunResult run_sharded(const std::vector<pcap::Frame>& corpus,
+                      std::size_t jobs) {
+  RunResult result;
+  result.jobs = jobs;
+  pipeline::PipelineConfig config;
+  config.shards = jobs;
+  std::size_t flows = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  pipeline::ShardedAnalyzer analyzer{
+      config,
+      [&](core::AnalysisWindow&& window) { flows = window.db.size(); }};
+  for (const auto& frame : corpus)
+    analyzer.on_frame(frame.data, frame.timestamp);
+  analyzer.finish();
+  const auto t1 = std::chrono::steady_clock::now();
+  result.seconds = std::chrono::duration<double>(t1 - t0).count();
+  result.fps = static_cast<double>(corpus.size()) / result.seconds;
+  result.flows = flows;
+  const auto& stats = analyzer.stats();
+  result.drops = stats.frames_dropped;
+  for (const auto& shard : stats.shards)
+    result.queue_high_water =
+        std::max(result.queue_high_water, shard.queue_high_water);
+  result.merge_ms = stats.merge_total.total_seconds() * 1e3;
+  return result;
+}
+
+void write_json(const std::string& path, std::size_t frames,
+                unsigned hardware, bool gated, bool gate_passed,
+                const std::vector<RunResult>& runs) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"pipeline_scaling\",\n"
+               "  \"frames\": %zu,\n"
+               "  \"hardware_concurrency\": %u,\n"
+               "  \"speedup_gate_applied\": %s,\n"
+               "  \"speedup_gate_passed\": %s,\n"
+               "  \"runs\": [\n",
+               frames, hardware, gated ? "true" : "false",
+               gate_passed ? "true" : "false");
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const RunResult& r = runs[i];
+    std::fprintf(out,
+                 "    {\"jobs\": %zu, \"seconds\": %.4f, \"fps\": %.0f, "
+                 "\"speedup\": %.3f, \"flows\": %zu, \"drops\": %llu, "
+                 "\"queue_high_water\": %zu, \"merge_ms\": %.2f}%s\n",
+                 r.jobs, r.seconds, r.fps, r.speedup, r.flows,
+                 static_cast<unsigned long long>(r.drops),
+                 r.queue_high_water, r.merge_ms,
+                 i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::fprintf(stderr, "[bench] wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t target_frames = 500000;
+  std::string out_path = "BENCH_pipeline.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--frames") == 0 && i + 1 < argc)
+      target_frames = std::strtoul(argv[++i], nullptr, 10);
+    else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+      out_path = argv[++i];
+  }
+
+  bench::print_header(
+      "Pipeline scaling: sharded ingestion throughput vs --jobs",
+      "N/A (engineering bench; paper's sniffer is single-threaded)");
+
+  auto profile = trafficgen::profile_eu1_ftth();
+  profile.name = "pipeline-scaling";
+  profile.duration = util::Duration::minutes(40);
+  profile.n_clients = 64;
+  profile.seed = 11;
+  const auto trace = bench::load_trace(profile);
+  const auto corpus = build_corpus(trace.pcap_path, target_frames);
+  const unsigned hardware = std::thread::hardware_concurrency();
+  std::printf("corpus: %s frames (%s base x replicas), %u hardware threads\n",
+              util::with_commas(corpus.size()).c_str(),
+              util::with_commas(trace.sniffer->stats().frames).c_str(),
+              hardware);
+
+  std::vector<RunResult> runs;
+  runs.push_back(run_single_threaded(corpus));
+  for (const std::size_t jobs : {2u, 4u, 8u})
+    runs.push_back(run_sharded(corpus, jobs));
+  for (auto& run : runs) run.speedup = run.fps / runs.front().fps;
+
+  util::TextTable table{{"jobs", "seconds", "frames/s", "speedup", "flows",
+                         "drops", "queue hwm", "merge ms"}};
+  bool flows_consistent = true;
+  char buffer[64];
+  for (const auto& run : runs) {
+    std::snprintf(buffer, sizeof buffer, "%.2f", run.seconds);
+    std::string seconds{buffer};
+    std::snprintf(buffer, sizeof buffer, "%.2fx", run.speedup);
+    std::string speedup{buffer};
+    std::snprintf(buffer, sizeof buffer, "%.1f", run.merge_ms);
+    table.add_row({std::to_string(run.jobs), seconds,
+                   util::with_commas(static_cast<std::uint64_t>(run.fps)),
+                   speedup, util::with_commas(run.flows),
+                   util::with_commas(run.drops),
+                   util::with_commas(run.queue_high_water), buffer});
+    flows_consistent &= run.flows == runs.front().flows;
+  }
+  std::printf("%s", table.render().c_str());
+
+  bool ok = true;
+  if (!flows_consistent) {
+    std::printf("FAIL: merged flow counts diverge across shard counts\n");
+    ok = false;
+  }
+  const bool gate = hardware >= 4;
+  bool gate_passed = true;
+  if (gate) {
+    const double speedup4 = runs[2].speedup;  // jobs=4 row
+    gate_passed = speedup4 >= 2.0;
+    if (!gate_passed) {
+      std::printf("FAIL: %.2fx at 4 shards, expected >=2x\n", speedup4);
+      ok = false;
+    } else {
+      std::printf("speedup gate: %.2fx at 4 shards (>=2x required): PASS\n",
+                  speedup4);
+    }
+  } else {
+    std::printf("speedup gate skipped: %u hardware thread(s) < 4 "
+                "(threading cannot beat physics)\n",
+                hardware);
+  }
+  write_json(out_path, corpus.size(), hardware, gate, gate_passed, runs);
+  return ok ? 0 : 1;
+}

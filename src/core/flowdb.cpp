@@ -24,6 +24,16 @@ FlowDatabase::FlowIndex FlowDatabase::add(TaggedFlow flow) {
   return index;
 }
 
+std::vector<TaggedFlow> FlowDatabase::take_flows() {
+  std::vector<TaggedFlow> out = std::move(flows_);
+  flows_.clear();
+  fqdn_index_.clear();
+  sld_index_.clear();
+  server_index_.clear();
+  port_index_.clear();
+  return out;
+}
+
 const std::vector<FlowDatabase::FlowIndex>& FlowDatabase::by_second_level(
     const std::string& sld) const {
   const auto it = sld_index_.find(sld);

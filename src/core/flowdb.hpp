@@ -63,6 +63,11 @@ class FlowDatabase {
   /// Adds a flow and indexes it. Returns its index.
   FlowIndex add(TaggedFlow flow);
 
+  /// Moves every flow out and resets the database (indexes included).
+  /// Used by the parallel pipeline's merge stage to re-add per-shard flows
+  /// in canonical order without copying them.
+  std::vector<TaggedFlow> take_flows();
+
   const std::vector<TaggedFlow>& flows() const noexcept { return flows_; }
   const TaggedFlow& flow(FlowIndex i) const { return flows_.at(i); }
   std::size_t size() const noexcept { return flows_.size(); }

@@ -12,11 +12,13 @@ void LiveAnalyzer::set_flow_start_hook(Sniffer::FlowStartHook hook) {
 }
 
 void LiveAnalyzer::rotate(util::Timestamp boundary) {
-  AnalysisWindow window;
-  window.start = window_start_;
-  window.end = boundary;
-  window.db = sniffer_->take_database();
-  window.dns_log = sniffer_->take_dns_log();
+  // The database and DNS-log slice are MOVED out of the sniffer and moved
+  // again into the sink — rotation never copies flow or event payloads (a
+  // window can hold millions of flows). With no sink attached the window
+  // is still taken (and dropped) so the next window starts empty and
+  // windows_delivered() keeps counting rotations.
+  AnalysisWindow window{window_start_, boundary, sniffer_->take_database(),
+                        sniffer_->take_dns_log()};
   window_start_ = boundary;
   ++windows_;
   if (sink_) sink_(std::move(window));

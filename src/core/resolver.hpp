@@ -162,6 +162,28 @@ class BasicDnsResolver {
     return out;
   }
 
+  /// Newest label whose DNS response was observed at or before `cutoff`,
+  /// walking the raw (un-deduplicated) per-key history. This is the
+  /// schedule-independent export-time query: with `cutoff` = the flow's
+  /// last packet, responses that arrived after the flow ended are ignored,
+  /// so the answer does not depend on WHEN the export fires (idle-sweep
+  /// cadence) — single-threaded and sharded runs label identically. The
+  /// kMaxLabelsPerKey history cap bounds how far back this can see.
+  /// Does not touch hit/miss counters.
+  std::optional<ResolverHit> lookup_at_or_before(net::Ipv4Address client,
+                                                 net::Ipv4Address server,
+                                                 util::Timestamp cutoff) const {
+    const RefChain* chain = find_chain(client, server);
+    if (!chain) return std::nullopt;
+    for (const auto& ref : *chain) {
+      const Entry& entry = clist_[ref.index];
+      if (!entry.in_use || entry.generation != ref.generation) continue;
+      if (entry.response_time > cutoff) continue;
+      return ResolverHit{entry.fqdn, entry.response_time};
+    }
+    return std::nullopt;
+  }
+
   const ResolverStats& stats() const noexcept { return stats_; }
   std::size_t capacity() const noexcept { return clist_.size(); }
 

@@ -104,9 +104,9 @@ void Sniffer::handle_dns_message(net::BytesView wire,
     return;
   }
   ++stats_.dns_responses;
-  const std::string fqdn = msg->canonical_query_name().to_string();
+  std::string fqdn = msg->canonical_query_name().to_string();
   if (fqdn == ".") return;  // no question section: nothing to key on
-  const auto servers = msg->answer_addresses();
+  auto servers = msg->answer_addresses();
 
   resolver_.insert(client, fqdn, servers, ts);
   if (config_.record_dns_log) {
@@ -118,7 +118,7 @@ void Sniffer::handle_dns_message(net::BytesView wire,
                      dns_log_.begin() + static_cast<std::ptrdiff_t>(evict));
       stats_.degradation.dns_log_evictions += evict;
     }
-    dns_log_.push_back({ts, client, fqdn, servers});
+    dns_log_.push_back({ts, client, std::move(fqdn), std::move(servers)});
   }
 }
 
@@ -190,10 +190,14 @@ void Sniffer::on_flow_export(flow::FlowRecord&& flow) {
     pending_tags_.erase(pending);
   } else {
     // Late retry: the response may have been sniffed after the first
-    // packet (e.g. flow start raced the DNS answer).
-    const auto hit =
-        resolver_.lookup(flow.key.client_ip, flow.key.server_ip);
-    if (hit) {
+    // packet (e.g. flow start raced the DNS answer). Only responses
+    // observed during the flow's lifetime qualify — a response that
+    // arrived after the flow's last packet cannot have named it, and
+    // accepting it would make the label depend on WHEN the export fires
+    // (sweep cadence), breaking the parallel pipeline's guarantee that
+    // sharded and single-threaded runs label identically.
+    if (const auto hit = resolver_.lookup_at_or_before(
+            flow.key.client_ip, flow.key.server_ip, flow.last_packet)) {
       tagged.fqdn = std::string{hit->fqdn};
       tagged.dns_response_time = hit->response_time;
       ++stats_.flows_tagged_at_export;

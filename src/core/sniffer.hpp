@@ -78,6 +78,12 @@ struct DegradationStats {
   std::uint64_t capture_bytes_skipped = 0;   ///< bytes lost to corruption
   std::uint64_t capture_truncated_tails = 0; ///< files ending mid-record
 
+  // Parallel-pipeline load shedding (pipeline::BackpressurePolicy::kDrop).
+  // Counted here so "how degraded is this run?" has one answer whether the
+  // damage came from the wire or from overload. Not part of
+  // malformed_total(): shed load is a capacity event, not hostile input.
+  std::uint64_t pipeline_frames_dropped = 0;  ///< frames shed at full queues
+
   /// Total hostile-or-corrupt events (excludes benign unsupported frames
   /// and byte counts).
   std::uint64_t malformed_total() const noexcept {

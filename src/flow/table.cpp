@@ -66,6 +66,23 @@ void FlowTable::on_packet(const packet::DecodedPacket& pkt) {
     }
   }
 
+  // Arrival-driven idle split: a packet resuming a 5-tuple that has been
+  // idle past the timeout starts a NEW flow, regardless of whether a sweep
+  // already exported the old one. This makes flow boundaries a pure
+  // function of the packet stream (timestamps), not of sweep cadence —
+  // the property the sharded pipeline's deterministic merge relies on,
+  // since per-shard tables sweep at different stream points than one
+  // global table would.
+  if (it != flows_.end() &&
+      pkt.timestamp - it->second.last_packet > config_.idle_timeout) {
+    FlowRecord done = std::move(it->second);
+    flows_.erase(it);
+    export_flow(std::move(done));
+    // Re-infer orientation for the fresh flow from this packet alone.
+    oriented = orient(pkt);
+    it = flows_.end();
+  }
+
   const bool is_new = it == flows_.end();
   if (is_new) {
     FlowRecord record;

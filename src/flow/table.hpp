@@ -15,7 +15,10 @@ namespace dnh::flow {
 struct TableConfig {
   /// Max payload bytes retained per direction for DPI/cert inspection.
   std::size_t head_bytes = 4096;
-  /// Flows idle longer than this are exported and dropped.
+  /// Flows idle longer than this are exported and dropped. Splitting is
+  /// arrival-driven (a packet resuming an expired 5-tuple starts a new
+  /// flow), so flow boundaries depend only on packet timestamps; the
+  /// periodic sweep merely bounds memory for flows that never resume.
   util::Duration idle_timeout = util::Duration::minutes(5);
   /// Idle sweep cadence, counted in processed packets.
   std::uint64_t sweep_interval_packets = 8192;

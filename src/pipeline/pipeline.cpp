@@ -1,0 +1,532 @@
+#include "pipeline/pipeline.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <tuple>
+#include <utility>
+
+#include "dns/message.hpp"
+#include "flow/table.hpp"
+#include "packet/decode.hpp"
+#include "pcap/pcapng.hpp"
+#include "pipeline/spsc_ring.hpp"
+
+namespace dnh::pipeline {
+
+namespace {
+
+// Fibonacci-based avalanche (splitmix64 finalizer): adjacent client
+// addresses — the common case in access networks, where one /24 holds the
+// whole customer base — must not land on the same shard.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Producer-side wait ladder: burn a few iterations (the consumer is
+// usually a cache miss away), then yield, then sleep so a stalled peer on
+// an oversubscribed machine does not starve it of the CPU it needs to
+// make the very progress we are waiting for.
+void backoff(unsigned& spins) {
+  ++spins;
+  if (spins < 16) return;
+  if (spins < 64) {
+    std::this_thread::yield();
+    return;
+  }
+  std::this_thread::sleep_for(std::chrono::microseconds(50));
+}
+
+void accumulate(core::DegradationStats& into,
+                const core::DegradationStats& from) {
+  into.frames_truncated += from.frames_truncated;
+  into.bad_ip_headers += from.bad_ip_headers;
+  into.bad_l4_headers += from.bad_l4_headers;
+  into.unsupported_frames += from.unsupported_frames;
+  into.timestamp_regressions += from.timestamp_regressions;
+  into.dns_truncated += from.dns_truncated;
+  into.dns_pointer_loops += from.dns_pointer_loops;
+  into.dns_pointer_out_of_range += from.dns_pointer_out_of_range;
+  into.dns_bad_names += from.dns_bad_names;
+  into.dns_count_lies += from.dns_count_lies;
+  into.tcp_dns_overflows += from.tcp_dns_overflows;
+  into.tcp_dns_buffer_evictions += from.tcp_dns_buffer_evictions;
+  into.dns_log_evictions += from.dns_log_evictions;
+  into.capture_resyncs += from.capture_resyncs;
+  into.capture_bytes_skipped += from.capture_bytes_skipped;
+  into.capture_truncated_tails += from.capture_truncated_tails;
+  into.pipeline_frames_dropped += from.pipeline_frames_dropped;
+}
+
+void accumulate(core::SnifferStats& into, const core::SnifferStats& from) {
+  into.frames += from.frames;
+  into.decode_failures += from.decode_failures;
+  into.dns_responses += from.dns_responses;
+  into.dns_parse_failures += from.dns_parse_failures;
+  into.dns_queries += from.dns_queries;
+  into.dns_tcp_messages += from.dns_tcp_messages;
+  into.flows_exported += from.flows_exported;
+  into.flows_tagged_at_start += from.flows_tagged_at_start;
+  into.flows_tagged_at_export += from.flows_tagged_at_export;
+  accumulate(into.degradation, from.degradation);
+}
+
+util::Duration steady_elapsed(std::chrono::steady_clock::time_point from,
+                              std::chrono::steady_clock::time_point to) {
+  return util::Duration::micros(
+      std::chrono::duration_cast<std::chrono::microseconds>(to - from)
+          .count());
+}
+
+}  // namespace
+
+bool canonical_less(const core::TaggedFlow& a, const core::TaggedFlow& b) {
+  return std::tie(a.first_packet, a.key, a.last_packet, a.packets_c2s,
+                  a.packets_s2c, a.bytes_c2s, a.bytes_s2c, a.protocol,
+                  a.fqdn, a.dns_response_time, a.tagged_at_start,
+                  a.dpi_label, a.cert_cn, a.cert_san, a.has_certificate) <
+         std::tie(b.first_packet, b.key, b.last_packet, b.packets_c2s,
+                  b.packets_s2c, b.bytes_c2s, b.bytes_s2c, b.protocol,
+                  b.fqdn, b.dns_response_time, b.tagged_at_start,
+                  b.dpi_label, b.cert_cn, b.cert_san, b.has_certificate);
+}
+
+bool canonical_less(const core::DnsEvent& a, const core::DnsEvent& b) {
+  return std::tie(a.time, a.client, a.fqdn, a.servers) <
+         std::tie(b.time, b.client, b.fqdn, b.servers);
+}
+
+void canonicalize(core::FlowDatabase& db) {
+  std::vector<core::TaggedFlow> flows = db.take_flows();
+  std::sort(flows.begin(), flows.end(),
+            [](const auto& a, const auto& b) { return canonical_less(a, b); });
+  for (auto& flow : flows) db.add(std::move(flow));
+}
+
+void canonicalize(std::vector<core::DnsEvent>& log) {
+  std::sort(log.begin(), log.end(),
+            [](const auto& a, const auto& b) { return canonical_less(a, b); });
+}
+
+// One message on a shard's frame ring. Control items (rotate/stop) ride
+// the same channel as frames, so a shard processes every frame dispatched
+// before a window boundary before it rotates — ordering for free.
+struct ShardedAnalyzer::Item {
+  enum class Kind : std::uint8_t { kFrame, kRotate, kStop };
+  Kind kind = Kind::kFrame;
+  util::Timestamp ts;     ///< frame timestamp (kFrame)
+  util::Timestamp start;  ///< window bounds (kRotate/kStop)
+  util::Timestamp end;
+  bool deliver = true;    ///< kStop: hand the final window to the sink?
+  net::Bytes frame;       ///< recycled across ring laps (vector::assign)
+};
+
+/// One shard's contribution to one merged window.
+struct ShardedAnalyzer::ShardWindow {
+  std::uint64_t seq = 0;      ///< window sequence number (global order)
+  std::size_t shard = 0;
+  bool final_window = false;  ///< emitted by kStop: merge loop exits after
+  bool deliver = true;
+  core::AnalysisWindow window;
+};
+
+struct ShardedAnalyzer::MergeInbox {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<ShardWindow> queue;
+};
+
+struct ShardedAnalyzer::Worker {
+  Worker(const core::SnifferConfig& config, std::size_t queue_capacity)
+      : queue(queue_capacity), sniffer(config) {}
+
+  SpscRing<Item> queue;
+  core::Sniffer sniffer;             ///< worker-thread-owned after start
+  std::uint64_t frames_processed = 0;  ///< worker-owned; read after join
+  std::thread thread;
+};
+
+ShardedAnalyzer::ShardedAnalyzer(PipelineConfig config, WindowSink sink)
+    : config_{std::move(config)}, sink_{std::move(sink)} {
+  if (config_.shards == 0) config_.shards = 1;
+  dispatch_.resize(config_.shards);
+  inbox_ = std::make_unique<MergeInbox>();
+  workers_.reserve(config_.shards);
+  for (std::size_t i = 0; i < config_.shards; ++i) {
+    workers_.push_back(
+        std::make_unique<Worker>(config_.sniffer, config_.queue_capacity));
+  }
+  // Threads start only after every Worker exists: a worker never touches
+  // another shard's state, but the merge loop walks workers_ indirectly
+  // through inbox messages carrying shard indices.
+  for (std::size_t i = 0; i < config_.shards; ++i)
+    workers_[i]->thread = std::thread{[this, i] { worker_loop(i); }};
+  merge_thread_ = std::thread{[this] { merge_loop(); }};
+}
+
+ShardedAnalyzer::~ShardedAnalyzer() { finish(); }
+
+namespace {
+
+// The client side is the dispatch key. For DNS traffic the client is
+// whoever is NOT on port 53 (responses must land on the same shard as
+// the flows they will label); for everything else the flow-orientation
+// rules decide.
+net::Ipv4Address dispatch_client(const packet::DecodedPacket& pkt) {
+  if (pkt.is_udp() && pkt.udp().src_port == dns::kDnsPort) return pkt.dst_v4();
+  if (pkt.is_udp() && pkt.udp().dst_port == dns::kDnsPort) return pkt.src_v4();
+  if (pkt.is_tcp() && pkt.tcp().src_port == dns::kDnsPort) return pkt.dst_v4();
+  if (pkt.is_tcp() && pkt.tcp().dst_port == dns::kDnsPort) return pkt.src_v4();
+  return flow::orient(pkt).key.client_ip;
+}
+
+std::size_t shard_for_packet(const packet::DecodedPacket& pkt,
+                             std::size_t shards) {
+  return static_cast<std::size_t>(
+      splitmix64(dispatch_client(pkt).value()) %
+      static_cast<std::uint64_t>(shards));
+}
+
+// Direction-free connection identity: both directions of a 5-tuple map to
+// the same key, with the lexicographically smaller (ip, port) endpoint in
+// the client slots. Purely an index into the routing table — it says
+// nothing about which side is the real client.
+flow::FlowKey route_key(const packet::DecodedPacket& pkt) {
+  flow::FlowKey key;
+  key.transport =
+      pkt.is_tcp() ? flow::Transport::kTcp : flow::Transport::kUdp;
+  const net::Ipv4Address src = pkt.src_v4();
+  const net::Ipv4Address dst = pkt.dst_v4();
+  const std::uint16_t sport = pkt.src_port();
+  const std::uint16_t dport = pkt.dst_port();
+  if (std::tie(src, sport) <= std::tie(dst, dport)) {
+    key.client_ip = src;
+    key.client_port = sport;
+    key.server_ip = dst;
+    key.server_port = dport;
+  } else {
+    key.client_ip = dst;
+    key.client_port = dport;
+    key.server_ip = src;
+    key.server_port = sport;
+  }
+  return key;
+}
+
+}  // namespace
+
+std::size_t ShardedAnalyzer::shard_for(net::BytesView frame,
+                                       std::size_t shards) {
+  if (shards <= 1) return 0;
+  packet::DecodeFailure failure = packet::DecodeFailure::kNone;
+  const auto pkt = packet::decode_frame(frame, util::Timestamp{}, failure);
+  if (!pkt || !pkt->is_ipv4()) return 0;
+  return shard_for_packet(*pkt, shards);
+}
+
+std::size_t ShardedAnalyzer::route_frame(net::BytesView frame,
+                                         util::Timestamp ts) {
+  if (config_.shards <= 1) return 0;
+  packet::DecodeFailure failure = packet::DecodeFailure::kNone;
+  const auto pkt = packet::decode_frame(frame, util::Timestamp{}, failure);
+  if (!pkt || !pkt->is_ipv4()) return 0;
+  if (!pkt->is_tcp() && !pkt->is_udp()) return 0;
+
+  // Connection affinity: the first packet of a 5-tuple picks the shard by
+  // the stateless heuristic; every later packet — in either direction —
+  // follows it. An entry whose connection has been idle past the flow
+  // table's timeout is re-homed from the arriving packet, the exact
+  // condition under which the table starts a new flow, so a resumed
+  // 5-tuple re-orients identically in both worlds.
+  const util::Duration idle = config_.sniffer.table.idle_timeout;
+  if (++routed_packets_ % config_.sniffer.table.sweep_interval_packets ==
+      0) {
+    for (auto it = routes_.begin(); it != routes_.end();) {
+      if (ts - it->second.last > idle)
+        it = routes_.erase(it);
+      else
+        ++it;
+    }
+  }
+  const flow::FlowKey key = route_key(*pkt);
+  const auto it = routes_.find(key);
+  if (it != routes_.end() && !(ts - it->second.last > idle)) {
+    if (ts > it->second.last) it->second.last = ts;
+    return it->second.shard;
+  }
+  const std::size_t shard = shard_for_packet(*pkt, config_.shards);
+  routes_[key] = Route{shard, ts};
+  return shard;
+}
+
+void ShardedAnalyzer::on_frame(net::BytesView frame, util::Timestamp ts) {
+  if (finished_) return;
+  if (!started_) {
+    started_ = true;
+    first_ts_ = ts;
+    last_ts_ = ts;
+    if (config_.window.total_micros() > 0) {
+      // Align to the window grid exactly like core::LiveAnalyzer.
+      const std::int64_t width = config_.window.total_micros();
+      window_start_ = util::Timestamp::from_micros(
+          ts.micros_since_epoch() / width * width);
+    }
+  }
+  if (ts > last_ts_) last_ts_ = ts;
+  if (config_.window.total_micros() > 0) {
+    while (ts >= window_start_ + config_.window)
+      broadcast_rotation(window_start_, window_start_ + config_.window);
+  }
+  ++frames_dispatched_;
+  dispatch_frame(frame, ts);
+}
+
+void ShardedAnalyzer::dispatch_frame(net::BytesView frame,
+                                     util::Timestamp ts) {
+  const std::size_t shard = route_frame(frame, ts);
+  Worker& worker = *workers_[shard];
+  DispatchCounters& counters = dispatch_[shard];
+  const auto fill = [&](Item& slot) {
+    slot.kind = Item::Kind::kFrame;
+    slot.ts = ts;
+    slot.frame.assign(frame.begin(), frame.end());
+  };
+  if (!worker.queue.try_produce(fill)) {
+    if (config_.backpressure == BackpressurePolicy::kDrop) {
+      ++counters.dropped;
+      return;
+    }
+    ++counters.blocked;  // once per stalled frame, not per retry
+    unsigned spins = 0;
+    while (!worker.queue.try_produce(fill)) backoff(spins);
+  }
+  ++counters.enqueued;
+  const std::size_t depth = worker.queue.size();
+  if (depth > counters.high_water) counters.high_water = depth;
+}
+
+void ShardedAnalyzer::push_control(std::size_t shard, Item&& item) {
+  // Control messages are lossless under every backpressure policy:
+  // dropping a rotation would desynchronize the merge sequence.
+  Worker& worker = *workers_[shard];
+  unsigned spins = 0;
+  while (!worker.queue.try_push(std::move(item))) backoff(spins);
+}
+
+void ShardedAnalyzer::broadcast_rotation(util::Timestamp start,
+                                         util::Timestamp end) {
+  for (std::size_t i = 0; i < config_.shards; ++i) {
+    Item item;
+    item.kind = Item::Kind::kRotate;
+    item.start = start;
+    item.end = end;
+    push_control(i, std::move(item));
+  }
+  window_start_ = end;
+  ++rotations_;
+}
+
+bool ShardedAnalyzer::process_pcap(const std::string& path) {
+  pcap::CaptureReadOptions options;
+  options.resync = config_.sniffer.resync_capture;
+  pcap::CaptureReadReport report;
+  const bool ok = pcap::read_any_capture(
+      path,
+      [this](const pcap::Frame& frame) {
+        on_frame(frame.data, frame.timestamp);
+      },
+      options, report);
+  // Container-level damage is observed by the dispatcher (it owns the
+  // reader), not by any shard; folded into merged degradation at finish.
+  capture_degradation_.capture_resyncs += report.corruption.resyncs;
+  capture_degradation_.capture_bytes_skipped +=
+      report.corruption.bytes_skipped;
+  capture_degradation_.capture_truncated_tails +=
+      report.corruption.truncated_tail;
+  if (!report.error.empty()) error_ = std::move(report.error);
+  return ok;
+}
+
+void ShardedAnalyzer::worker_loop(std::size_t index) {
+  if (config_.worker_start_hook) config_.worker_start_hook(index);
+  Worker& worker = *workers_[index];
+  std::uint64_t seq = 0;
+  bool running = true;
+  unsigned spins = 0;
+  const auto emit = [&](bool final_window, bool deliver,
+                        util::Timestamp start, util::Timestamp end) {
+    ShardWindow msg;
+    msg.seq = seq++;
+    msg.shard = index;
+    msg.final_window = final_window;
+    msg.deliver = deliver;
+    msg.window = core::AnalysisWindow{start, end,
+                                      worker.sniffer.take_database(),
+                                      worker.sniffer.take_dns_log()};
+    {
+      std::lock_guard lock{inbox_->mutex};
+      inbox_->queue.push_back(std::move(msg));
+    }
+    inbox_->cv.notify_one();
+  };
+  while (running) {
+    const bool got = worker.queue.try_consume([&](Item& item) {
+      switch (item.kind) {
+        case Item::Kind::kFrame:
+          worker.sniffer.on_frame(item.frame, item.ts);
+          ++worker.frames_processed;
+          break;
+        case Item::Kind::kRotate:
+          // Open flows stay live in the flow table across rotations,
+          // exactly like LiveAnalyzer: a flow lands in the window it
+          // completes in.
+          emit(false, true, item.start, item.end);
+          break;
+        case Item::Kind::kStop:
+          worker.sniffer.finish();
+          emit(true, item.deliver, item.start, item.end);
+          running = false;
+          break;
+      }
+    });
+    if (got) {
+      spins = 0;
+    } else {
+      backoff(spins);
+    }
+  }
+}
+
+void ShardedAnalyzer::merge_loop() {
+  std::map<std::uint64_t, std::vector<ShardWindow>> pending;
+  std::uint64_t next_seq = 0;
+  bool done = false;
+  while (!done) {
+    ShardWindow msg;
+    {
+      std::unique_lock lock{inbox_->mutex};
+      inbox_->cv.wait(lock, [&] { return !inbox_->queue.empty(); });
+      msg = std::move(inbox_->queue.front());
+      inbox_->queue.pop_front();
+    }
+    pending[msg.seq].push_back(std::move(msg));
+    // Merge strictly in sequence order, only once every shard has
+    // reported the sequence number — windows reach the sink in the same
+    // order LiveAnalyzer would deliver them.
+    while (true) {
+      const auto it = pending.find(next_seq);
+      if (it == pending.end() || it->second.size() < config_.shards) break;
+      const bool final_window = it->second.front().final_window;
+      const bool deliver = it->second.front().deliver;
+      const auto t0 = std::chrono::steady_clock::now();
+      core::AnalysisWindow merged = merge_windows(it->second);
+      const util::Duration elapsed =
+          steady_elapsed(t0, std::chrono::steady_clock::now());
+      pending.erase(it);
+      ++next_seq;
+      if (deliver) {
+        merge_total_ = merge_total_ + elapsed;
+        if (elapsed > merge_max_) merge_max_ = elapsed;
+        ++windows_merged_;
+        if (sink_) sink_(std::move(merged));
+      }
+      if (final_window) {
+        done = true;
+        break;
+      }
+    }
+  }
+}
+
+core::AnalysisWindow ShardedAnalyzer::merge_windows(
+    std::vector<ShardWindow>& parts) {
+  core::AnalysisWindow out;
+  out.start = parts.front().window.start;
+  out.end = parts.front().window.end;
+
+  std::size_t flow_count = 0;
+  std::size_t event_count = 0;
+  for (const auto& part : parts) {
+    flow_count += part.window.db.size();
+    event_count += part.window.dns_log.size();
+  }
+  std::vector<core::TaggedFlow> flows;
+  flows.reserve(flow_count);
+  out.dns_log.reserve(event_count);
+  for (auto& part : parts) {
+    std::vector<core::TaggedFlow> shard_flows = part.window.db.take_flows();
+    std::move(shard_flows.begin(), shard_flows.end(),
+              std::back_inserter(flows));
+    std::move(part.window.dns_log.begin(), part.window.dns_log.end(),
+              std::back_inserter(out.dns_log));
+  }
+  // The canonical sort is what makes shard count invisible: re-adding in
+  // this order rebuilds the exact FlowDatabase (rows AND index order) a
+  // canonicalized single-threaded run produces.
+  std::sort(flows.begin(), flows.end(),
+            [](const auto& a, const auto& b) { return canonical_less(a, b); });
+  for (auto& flow : flows) out.db.add(std::move(flow));
+  canonicalize(out.dns_log);
+  return out;
+}
+
+void ShardedAnalyzer::finish() {
+  if (finished_) return;
+  finished_ = true;
+
+  // The final window's bounds: windowed mode closes the current grid
+  // window (LiveAnalyzer parity); single-window mode spans the stream.
+  util::Timestamp start;
+  util::Timestamp end;
+  if (started_) {
+    if (config_.window.total_micros() > 0) {
+      start = window_start_;
+      end = window_start_ + config_.window;
+    } else {
+      start = first_ts_;
+      end = last_ts_;
+    }
+  }
+  for (std::size_t i = 0; i < config_.shards; ++i) {
+    Item item;
+    item.kind = Item::Kind::kStop;
+    item.start = start;
+    item.end = end;
+    // An empty run delivers no window, matching LiveAnalyzer; the stop
+    // window still flows through the merge stage to terminate it.
+    item.deliver = started_;
+    push_control(i, std::move(item));
+  }
+  for (auto& worker : workers_) worker->thread.join();
+  merge_thread_.join();
+  // All threads joined: every worker- and merge-owned counter is now
+  // safely readable from this thread.
+
+  stats_ = PipelineStats{};
+  stats_.shards.resize(config_.shards);
+  for (std::size_t i = 0; i < config_.shards; ++i) {
+    ShardStats& shard = stats_.shards[i];
+    shard.frames_enqueued = dispatch_[i].enqueued;
+    shard.frames_dropped = dispatch_[i].dropped;
+    shard.blocked_pushes = dispatch_[i].blocked;
+    shard.queue_high_water = dispatch_[i].high_water;
+    shard.frames_processed = workers_[i]->frames_processed;
+    shard.sniffer = workers_[i]->sniffer.stats();
+    accumulate(stats_.merged, shard.sniffer);
+    stats_.frames_dropped += shard.frames_dropped;
+  }
+  stats_.frames_dispatched = frames_dispatched_;
+  stats_.windows_merged = windows_merged_;
+  stats_.merge_total = merge_total_;
+  stats_.merge_max = merge_max_;
+  stats_.merged.degradation.pipeline_frames_dropped += stats_.frames_dropped;
+  accumulate(stats_.merged.degradation, capture_degradation_);
+}
+
+}  // namespace dnh::pipeline

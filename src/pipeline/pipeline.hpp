@@ -1,0 +1,232 @@
+// Sharded parallel ingestion: the scale-out layer between capture and
+// analytics (docs/pipeline.md has the full architecture discussion).
+//
+//           ┌─ SPSC ring ─▶ shard 0 (private Sniffer) ─┐
+//  capture ─┤─ SPSC ring ─▶ shard 1 (private Sniffer) ─┼─▶ merge ─▶ sink
+//  (dispatcher, client-IP hash)        ...             ┘  (canonical sort)
+//
+// The dispatcher routes every frame to a shard by a hash of its CLIENT
+// address (the FlowDNS recipe: DNS/flow correlation is keyed by client, so
+// client-sharding gives each worker a private DNS resolver replica and a
+// private flow table with zero cross-shard synchronization on the hot
+// path). A connection-affinity table pins each 5-tuple to the shard its
+// first packet chose, so both directions of a connection stay together
+// even when per-packet orientation is ambiguous (ephemeral-to-ephemeral
+// port pairs). The merge stage combines per-shard AnalysisWindows into one
+// window whose FlowDatabase and DNS log are byte-identical to what the
+// single-threaded Sniffer would have produced, by re-adding flows and
+// events in canonical order.
+//
+// Determinism contract (see docs/pipeline.md for the full argument): on a
+// clean, time-ordered capture whose working set fits the per-shard bounds
+// (no Clist/DNS-log/TCP-buffer evictions), `shards = N` produces exactly
+// the canonicalized single-threaded result for every N.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/live.hpp"
+#include "core/sniffer.hpp"
+#include "flow/flow.hpp"
+#include "net/bytes.hpp"
+#include "util/time.hpp"
+
+namespace dnh::pipeline {
+
+/// What the dispatcher does when a shard's frame queue is full.
+enum class BackpressurePolicy {
+  /// Wait (spin, then yield, then sleep) until the shard drains a slot.
+  /// Lossless; an overloaded shard stalls the capture feed. The pcap
+  /// replay default.
+  kBlock,
+  /// Shed the frame and count it (ShardStats::frames_dropped, folded into
+  /// DegradationStats::pipeline_frames_dropped). Bounded latency; the
+  /// live-capture policy where stalling the feed would drop packets in
+  /// the kernel anyway, invisibly.
+  kDrop,
+};
+
+struct PipelineConfig {
+  /// Worker shard count (the CLI's --jobs). 1 still runs the full
+  /// dispatcher/worker/merge machinery with a single shard.
+  std::size_t shards = 2;
+  /// Per-shard frame-queue capacity in frames (rounded up to a power of
+  /// two). Sized so a burst at line rate amortizes scheduling jitter
+  /// without letting queues hide seconds of latency.
+  std::size_t queue_capacity = 1 << 12;
+  BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
+  /// Applied to every shard's private Sniffer. Each shard gets the FULL
+  /// clist_size: entries are keyed by client and clients never share
+  /// entries, so private full-size Clists reproduce single-threaded
+  /// tagging exactly (at N× the memory — see docs/pipeline.md).
+  core::SnifferConfig sniffer;
+  /// Window rotation length; zero (default) delivers one merged window
+  /// covering the whole stream at finish(). Non-zero mirrors
+  /// core::LiveAnalyzer: boundaries aligned to multiples of the length,
+  /// one merged window delivered per boundary crossed.
+  util::Duration window{};
+  /// Test seam: invoked on each worker thread before it consumes its
+  /// first item. Tests block here to hold queues full and exercise the
+  /// backpressure paths deterministically. Leave empty in production.
+  std::function<void(std::size_t shard)> worker_start_hook;
+};
+
+/// Per-shard counters. Dispatcher-side fields (enqueued/dropped/blocked/
+/// high-water) and worker-side fields (processed + sniffer) are sampled
+/// together when the pipeline finishes.
+struct ShardStats {
+  std::uint64_t frames_enqueued = 0;   ///< frames accepted into the queue
+  std::uint64_t frames_processed = 0;  ///< frames the worker consumed
+  std::uint64_t frames_dropped = 0;    ///< shed at full queue (kDrop)
+  std::uint64_t blocked_pushes = 0;    ///< pushes that had to wait (kBlock)
+  std::size_t queue_high_water = 0;    ///< max observed queue occupancy
+  core::SnifferStats sniffer;          ///< the shard's final sniffer stats
+};
+
+/// Snapshot of a finished pipeline run, for dimensioning studies: how did
+/// load spread over shards, how deep did queues run, what did merging cost.
+struct PipelineStats {
+  std::vector<ShardStats> shards;
+  std::uint64_t frames_dispatched = 0;  ///< frames offered to the pipeline
+  std::uint64_t frames_dropped = 0;     ///< total shed over all shards
+  std::uint64_t windows_merged = 0;     ///< merged windows delivered
+  util::Duration merge_total{};         ///< wall time spent in merges
+  util::Duration merge_max{};           ///< slowest single merge
+  /// Field-wise sum of every shard's SnifferStats (plus capture-container
+  /// corruption seen by the dispatcher and pipeline drop accounting): the
+  /// counters a single-threaded Sniffer over the same stream would report.
+  core::SnifferStats merged;
+};
+
+/// Canonical total order used by the merge stage (and by the CLI so that
+/// --jobs 1 and --jobs N byte-match): flows by (first packet, 5-tuple,
+/// ...), DNS events by (time, client, fqdn, servers).
+bool canonical_less(const core::TaggedFlow& a, const core::TaggedFlow& b);
+bool canonical_less(const core::DnsEvent& a, const core::DnsEvent& b);
+
+/// Rebuilds `db` with its flows in canonical order (indexes included).
+void canonicalize(core::FlowDatabase& db);
+/// Sorts a DNS event log into canonical order.
+void canonicalize(std::vector<core::DnsEvent>& log);
+inline void canonicalize(core::AnalysisWindow& window) {
+  canonicalize(window.db);
+  canonicalize(window.dns_log);
+}
+
+/// The multi-threaded streaming engine. Feed frames from ONE thread (the
+/// caller becomes the dispatcher stage); windows arrive on the merge
+/// thread via the sink; finish() flushes, joins, and freezes stats().
+class ShardedAnalyzer {
+ public:
+  /// Receives each merged window, canonically sorted. Invoked on the
+  /// merge thread, strictly in window order.
+  using WindowSink = std::function<void(core::AnalysisWindow&&)>;
+
+  ShardedAnalyzer(PipelineConfig config, WindowSink sink);
+  ~ShardedAnalyzer();  ///< calls finish() if the caller did not
+
+  ShardedAnalyzer(const ShardedAnalyzer&) = delete;
+  ShardedAnalyzer& operator=(const ShardedAnalyzer&) = delete;
+
+  /// Dispatches one link-layer frame (copied into a recycled ring slot).
+  /// Frames must arrive in non-decreasing timestamp order for the
+  /// determinism guarantee to hold (same contract as pcap replay).
+  void on_frame(net::BytesView frame, util::Timestamp ts);
+
+  /// Streams a capture file (classic pcap or pcapng) through the
+  /// pipeline. Returns false if the file cannot be opened or aborts
+  /// mid-stream (see error()); frames already dispatched are processed.
+  bool process_pcap(const std::string& path);
+
+  /// Flushes every shard, merges the final window, joins all threads.
+  /// Idempotent; after it returns stats() is complete and stable.
+  void finish();
+
+  /// Complete only after finish(); live reads see partial dispatch-side
+  /// counters but no worker/merge-side data.
+  const PipelineStats& stats() const noexcept { return stats_; }
+
+  const std::string& error() const noexcept { return error_; }
+  std::size_t shard_count() const noexcept { return config_.shards; }
+
+  /// The stateless dispatch heuristic, exposed for tests and dimensioning
+  /// studies: which shard (0..shards-1) a frame would route to on first
+  /// sight. Pure: client address extracted by the flow-orientation rules
+  /// (DNS frames key on the client side of the response), hashed, reduced
+  /// mod `shards`. Undecodable and non-IPv4 frames route to shard 0.
+  ///
+  /// The live dispatcher wraps this in a connection-affinity table
+  /// (route_frame): the first packet of a 5-tuple pins its shard, and
+  /// every later packet of that connection — in either direction —
+  /// follows it. Without the pin, connections whose SYN-based
+  /// orientation disagrees with the port heuristic (e.g. both ports
+  /// ephemeral with server > client) would have their two directions
+  /// hash to different shards and fork into half-flows.
+  static std::size_t shard_for(net::BytesView frame, std::size_t shards);
+
+ private:
+  struct Item;
+  struct Worker;
+  struct ShardWindow;
+
+  std::size_t route_frame(net::BytesView frame, util::Timestamp ts);
+  void dispatch_frame(net::BytesView frame, util::Timestamp ts);
+  void push_control(std::size_t shard, Item&& item);
+  void broadcast_rotation(util::Timestamp start, util::Timestamp end);
+  void worker_loop(std::size_t index);
+  void merge_loop();
+  core::AnalysisWindow merge_windows(std::vector<ShardWindow>& parts);
+
+  PipelineConfig config_;
+  WindowSink sink_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+
+  // Dispatcher-owned (the thread calling on_frame/process_pcap).
+  struct DispatchCounters {
+    std::uint64_t enqueued = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t blocked = 0;
+    std::size_t high_water = 0;
+  };
+  std::vector<DispatchCounters> dispatch_;
+  // Connection-affinity routing table: direction-free 5-tuple -> pinned
+  // shard. Entries expire on the flow table's idle timeout (checked
+  // against the arriving packet, so expiry mirrors the table's
+  // arrival-driven flow split) and are swept on its cadence to bound
+  // memory. Dispatcher-thread-only; no synchronisation.
+  struct Route {
+    std::size_t shard = 0;
+    util::Timestamp last;
+  };
+  std::unordered_map<flow::FlowKey, Route> routes_;
+  std::uint64_t routed_packets_ = 0;
+  std::uint64_t frames_dispatched_ = 0;
+  bool started_ = false;
+  util::Timestamp window_start_;  ///< current boundary (windowed mode)
+  util::Timestamp first_ts_;
+  util::Timestamp last_ts_;
+  std::uint64_t rotations_ = 0;
+  core::DegradationStats capture_degradation_;  ///< resync damage seen
+
+  // Merge channel (workers -> merge thread; per-window, off the hot path).
+  struct MergeInbox;
+  std::unique_ptr<MergeInbox> inbox_;
+  std::thread merge_thread_;
+
+  // Merge-thread-owned until finish() joins.
+  std::uint64_t windows_merged_ = 0;
+  util::Duration merge_total_{};
+  util::Duration merge_max_{};
+
+  bool finished_ = false;
+  PipelineStats stats_;
+  std::string error_;
+};
+
+}  // namespace dnh::pipeline

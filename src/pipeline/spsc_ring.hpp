@@ -1,0 +1,102 @@
+// Bounded lock-free single-producer/single-consumer ring buffer: the
+// frame channel between the pipeline's dispatcher and each worker shard.
+//
+// Design (the classic Lamport queue with index caching):
+//  - head_ (consumer cursor) and tail_ (producer cursor) are monotonically
+//    increasing uint64 counters; the slot index is `cursor & mask_`.
+//  - The producer publishes a slot with a release store of tail_; the
+//    consumer observes it with an acquire load — the only synchronization
+//    on the hot path. No CAS, no locks, no allocation.
+//  - Each side caches the other side's cursor (head_cache_/tail_cache_) so
+//    the common case touches a single shared atomic, not two; the caches
+//    live on their owner's cache line (alignas) to avoid false sharing.
+//  - try_produce()/try_consume() expose the slot in place, so a frame can
+//    be copied INTO the ring's recycled buffer (vector::assign reuses
+//    capacity) instead of allocating a fresh buffer per frame.
+//
+// Capacity is rounded up to a power of two. Strictly SPSC: one thread may
+// call produce-side functions, one thread consume-side functions.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace dnh::pipeline {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// Allocates all slots up front; capacity is `min_capacity` rounded up
+  /// to a power of two (minimum 2).
+  explicit SpscRing(std::size_t min_capacity) {
+    std::size_t capacity = 2;
+    while (capacity < min_capacity) capacity <<= 1;
+    buffer_.resize(capacity);
+    mask_ = capacity - 1;
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer: moves `value` into the ring. False when full.
+  bool try_push(T&& value) {
+    return try_produce([&](T& slot) { slot = std::move(value); });
+  }
+
+  /// Producer: invokes `fill(slot)` on the next free slot, then publishes
+  /// it. The slot retains whatever state the previous occupant left
+  /// (recycled buffers), which `fill` may exploit. False when full.
+  template <typename Fill>
+  bool try_produce(Fill&& fill) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_cache_ > mask_) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail - head_cache_ > mask_) return false;
+    }
+    fill(buffer_[tail & mask_]);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer: moves the oldest element into `out`. False when empty.
+  bool try_pop(T& out) {
+    return try_consume([&](T& slot) { out = std::move(slot); });
+  }
+
+  /// Consumer: invokes `use(slot)` on the oldest element, then releases
+  /// the slot back to the producer. False when empty.
+  template <typename Use>
+  bool try_consume(Use&& use) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cache_) return false;
+    }
+    use(buffer_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Approximate occupancy (exact only from the producer thread between
+  /// its own operations); used for queue-depth high-water tracking.
+  std::size_t size() const noexcept {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    return tail >= head ? static_cast<std::size_t>(tail - head) : 0;
+  }
+
+  std::size_t capacity() const noexcept { return mask_ + 1; }
+
+ private:
+  std::vector<T> buffer_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::uint64_t> head_{0};  ///< consumer cursor
+  alignas(64) std::atomic<std::uint64_t> tail_{0};  ///< producer cursor
+  alignas(64) std::uint64_t head_cache_ = 0;  ///< producer's view of head_
+  alignas(64) std::uint64_t tail_cache_ = 0;  ///< consumer's view of tail_
+};
+
+}  // namespace dnh::pipeline

@@ -218,5 +218,43 @@ TEST_F(CliTest, ContentNeedsOrgDb) {
   EXPECT_NE(result.output.find("amazon hosts"), std::string::npos);
 }
 
+TEST_F(CliTest, JobsShardedRunIsBitIdenticalToSingleThread) {
+  const std::string tsv1 = (dir_ / "jobs1.tsv").string();
+  const std::string tsv4 = (dir_ / "jobs4.tsv").string();
+  ASSERT_EQ(run_cli("export " + pcap_ + " --out " + tsv1).exit_code, 0);
+  ASSERT_EQ(
+      run_cli("export " + pcap_ + " --jobs 4 --out " + tsv4).exit_code, 0);
+
+  const auto slurp = [](const std::string& path) {
+    std::string out;
+    std::FILE* file = std::fopen(path.c_str(), "rb");
+    EXPECT_NE(file, nullptr) << path;
+    if (!file) return out;
+    std::array<char, 4096> buffer;
+    std::size_t n;
+    while ((n = std::fread(buffer.data(), 1, buffer.size(), file)) > 0)
+      out.append(buffer.data(), n);
+    std::fclose(file);
+    return out;
+  };
+  const std::string flows1 = slurp(tsv1);
+  const std::string flows4 = slurp(tsv4);
+  ASSERT_FALSE(flows1.empty());
+  EXPECT_EQ(flows1, flows4);  // byte-for-byte, not just same flow set
+
+  // Summary counters (hit ratios, degradation, per-class table) must not
+  // depend on the shard count either.
+  const auto summary1 = run_cli("summary " + pcap_);
+  const auto summary4 = run_cli("summary " + pcap_ + " --jobs 4");
+  ASSERT_EQ(summary1.exit_code, 0);
+  ASSERT_EQ(summary4.exit_code, 0);
+  EXPECT_EQ(summary1.output, summary4.output);
+}
+
+TEST_F(CliTest, JobsRejectsBadShardCounts) {
+  EXPECT_EQ(run_cli("summary " + pcap_ + " --jobs 0").exit_code, 2);
+  EXPECT_EQ(run_cli("summary " + pcap_ + " --jobs -3").exit_code, 2);
+}
+
 }  // namespace
 }  // namespace dnh

@@ -851,5 +851,32 @@ TEST_F(LiveAnalyzerTest, FlowStartHookStillFires) {
   EXPECT_EQ(hooked, 1);
 }
 
+TEST_F(LiveAnalyzerTest, RotationMovesWindowsWithoutSinkStillCounts) {
+  // Null sink: rotation must still take (and drop) each window so the
+  // next one starts empty — and windows_delivered() must keep counting.
+  LiveAnalyzer unsinked{hourly(), nullptr};
+  feed_exchange(unsinked, 100, "a.example.com", 50000);
+  feed_exchange(unsinked, 4000, "b.example.com", 50001);
+  unsinked.finish();
+  EXPECT_EQ(unsinked.windows_delivered(), 2u);
+
+  // With a sink: each delivered window contains exactly its own flows
+  // (take_database really cleared the previous window's state), and the
+  // delivered count matches the sink invocations.
+  std::size_t delivered = 0;
+  std::vector<std::size_t> sizes;
+  LiveAnalyzer live{hourly(), [&](AnalysisWindow&& window) {
+                      ++delivered;
+                      sizes.push_back(window.db.size());
+                    }};
+  feed_exchange(live, 100, "a.example.com", 50000);
+  feed_exchange(live, 4000, "b.example.com", 50001);
+  live.finish();
+  EXPECT_EQ(live.windows_delivered(), delivered);
+  ASSERT_EQ(sizes.size(), 2u);
+  EXPECT_EQ(sizes[0], 1u);
+  EXPECT_EQ(sizes[1], 1u);  // not cumulative: the move emptied window 0
+}
+
 }  // namespace
 }  // namespace dnh::core

@@ -1,0 +1,543 @@
+// Tests for the sharded parallel ingestion pipeline: SPSC ring semantics,
+// dispatch determinism, the merge stage's bit-identity guarantee against
+// the single-threaded Sniffer, and backpressure accounting.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <filesystem>
+#include <mutex>
+#include <numeric>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "core/flowdb_io.hpp"
+#include "core/live.hpp"
+#include "core/sniffer.hpp"
+#include "packet/build.hpp"
+#include "pcap/pcapng.hpp"
+#include "pipeline/pipeline.hpp"
+#include "pipeline/spsc_ring.hpp"
+#include "trafficgen/profiles.hpp"
+#include "trafficgen/simulator.hpp"
+
+namespace dnh {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------- SpscRing
+
+TEST(SpscRing, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(pipeline::SpscRing<int>{1}.capacity(), 2u);
+  EXPECT_EQ(pipeline::SpscRing<int>{2}.capacity(), 2u);
+  EXPECT_EQ(pipeline::SpscRing<int>{3}.capacity(), 4u);
+  EXPECT_EQ(pipeline::SpscRing<int>{1000}.capacity(), 1024u);
+}
+
+TEST(SpscRing, FifoOrderAndFullEmpty) {
+  pipeline::SpscRing<int> ring{4};
+  int out = 0;
+  EXPECT_FALSE(ring.try_pop(out));  // starts empty
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(ring.try_push(int{i}));
+  EXPECT_FALSE(ring.try_push(99));  // full at capacity
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(ring.try_pop(out));  // drained
+  // Wrap-around: cursors keep counting past capacity.
+  for (int lap = 0; lap < 3; ++lap) {
+    for (int i = 0; i < 3; ++i) EXPECT_TRUE(ring.try_push(lap * 10 + i));
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(ring.try_pop(out));
+      EXPECT_EQ(out, lap * 10 + i);
+    }
+  }
+}
+
+TEST(SpscRing, ProduceRecyclesSlotStorage) {
+  pipeline::SpscRing<std::vector<int>> ring{2};
+  ASSERT_TRUE(ring.try_produce([](std::vector<int>& slot) {
+    slot.assign(100, 7);
+  }));
+  ASSERT_TRUE(ring.try_consume([](std::vector<int>& slot) {
+    EXPECT_EQ(slot.size(), 100u);
+  }));
+  // The consumed slot keeps its heap buffer; the next lap's producer sees
+  // capacity it can reuse without allocating.
+  ASSERT_TRUE(ring.try_push(std::vector<int>{}));  // advance to slot 1
+  std::vector<int> sink;
+  ASSERT_TRUE(ring.try_pop(sink));
+  bool recycled_capacity = false;
+  ASSERT_TRUE(ring.try_produce([&](std::vector<int>& slot) {
+    recycled_capacity = slot.capacity() >= 100;
+    slot.assign(3, 1);
+  }));
+  EXPECT_TRUE(recycled_capacity);
+}
+
+TEST(SpscRing, CrossThreadStressPreservesSequence) {
+  constexpr int kItems = 200000;
+  pipeline::SpscRing<int> ring{64};
+  std::thread producer{[&] {
+    for (int i = 0; i < kItems;) {
+      if (ring.try_push(int{i})) ++i;
+    }
+  }};
+  std::int64_t sum = 0;
+  int expected = 0;
+  while (expected < kItems) {
+    int value = -1;
+    if (!ring.try_pop(value)) continue;
+    ASSERT_EQ(value, expected);  // strict FIFO across threads
+    sum += value;
+    ++expected;
+  }
+  producer.join();
+  EXPECT_EQ(sum, std::int64_t{kItems} * (kItems - 1) / 2);
+}
+
+// ------------------------------------------------------- pipeline fixture
+
+trafficgen::TraceProfile pipeline_profile() {
+  auto p = trafficgen::profile_eu1_ftth();
+  p.name = "pipeline";
+  p.duration = util::Duration::minutes(40);
+  p.n_clients = 50;
+  return p;
+}
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dir_ = fs::temp_directory_path() /
+           ("dnh_pipeline_" + std::to_string(::getpid()));
+    fs::create_directories(dir_);
+    pcap_path_ = (dir_ / "trace.pcap").string();
+    trafficgen::Simulator sim{pipeline_profile()};
+    ASSERT_TRUE(sim.write_pcap(pcap_path_));
+    frames_ = new std::vector<pcap::Frame>;
+    std::string error;
+    ASSERT_TRUE(pcap::read_any_capture(
+        pcap_path_,
+        [&](const pcap::Frame& frame) { frames_->push_back(frame); },
+        error));
+    ASSERT_GT(frames_->size(), 1000u);
+  }
+  static void TearDownTestSuite() {
+    delete frames_;
+    frames_ = nullptr;
+    fs::remove_all(dir_);
+  }
+
+  /// Canonicalized single-threaded reference result.
+  struct Baseline {
+    core::FlowDatabase db;
+    std::vector<core::DnsEvent> dns_log;
+    core::SnifferStats stats;
+  };
+  static Baseline run_baseline() {
+    core::Sniffer sniffer;
+    for (const auto& frame : *frames_)
+      sniffer.on_frame(frame.data, frame.timestamp);
+    sniffer.finish();
+    Baseline out;
+    out.stats = sniffer.stats();
+    out.db = sniffer.take_database();
+    out.dns_log = sniffer.take_dns_log();
+    pipeline::canonicalize(out.db);
+    pipeline::canonicalize(out.dns_log);
+    return out;
+  }
+
+  static std::string tsv(const core::FlowDatabase& db) {
+    std::ostringstream out;
+    core::write_flow_tsv(db, out);
+    return out.str();
+  }
+
+  static void expect_stats_equal(const core::SnifferStats& a,
+                                 const core::SnifferStats& b) {
+    EXPECT_EQ(a.frames, b.frames);
+    EXPECT_EQ(a.decode_failures, b.decode_failures);
+    EXPECT_EQ(a.dns_responses, b.dns_responses);
+    EXPECT_EQ(a.dns_parse_failures, b.dns_parse_failures);
+    EXPECT_EQ(a.dns_queries, b.dns_queries);
+    EXPECT_EQ(a.dns_tcp_messages, b.dns_tcp_messages);
+    EXPECT_EQ(a.flows_exported, b.flows_exported);
+    EXPECT_EQ(a.flows_tagged_at_start, b.flows_tagged_at_start);
+    EXPECT_EQ(a.flows_tagged_at_export, b.flows_tagged_at_export);
+    EXPECT_EQ(a.degradation.malformed_total(),
+              b.degradation.malformed_total());
+    EXPECT_EQ(a.degradation.unsupported_frames,
+              b.degradation.unsupported_frames);
+  }
+
+  static fs::path dir_;
+  static std::string pcap_path_;
+  static std::vector<pcap::Frame>* frames_;
+};
+
+fs::path PipelineTest::dir_;
+std::string PipelineTest::pcap_path_;
+std::vector<pcap::Frame>* PipelineTest::frames_ = nullptr;
+
+// ------------------------------------------------------------ dispatching
+
+TEST_F(PipelineTest, ShardForIsDeterministicAndCoversShards) {
+  std::vector<std::size_t> counts(4, 0);
+  for (const auto& frame : *frames_) {
+    const std::size_t shard = pipeline::ShardedAnalyzer::shard_for(
+        frame.data, 4);
+    ASSERT_LT(shard, 4u);
+    EXPECT_EQ(shard, pipeline::ShardedAnalyzer::shard_for(frame.data, 4));
+    ++counts[shard];
+    EXPECT_EQ(pipeline::ShardedAnalyzer::shard_for(frame.data, 1), 0u);
+  }
+  // 50 clients hashed over 4 shards: every shard must see traffic.
+  for (std::size_t shard = 0; shard < 4; ++shard)
+    EXPECT_GT(counts[shard], 0u) << "shard " << shard << " got no frames";
+}
+
+// Connections whose two ports are both ephemeral with server > client are
+// the trap for per-packet dispatch: the SYN orients by its flags (sender =
+// client) while data packets orient by the port heuristic (higher port =
+// client), so the two directions hash to DIFFERENT shards and the
+// connection would fork into half-flows. The affinity table must pin the
+// whole connection to the first packet's shard.
+TEST_F(PipelineTest, AmbiguousPortConnectionsDoNotForkAcrossShards) {
+  using namespace packet::tcpflags;
+  constexpr std::size_t kConnections = 32;
+  std::vector<pcap::Frame> frames;
+  bool directions_disagree = false;
+  for (std::size_t i = 0; i < kConnections; ++i) {
+    packet::FrameSpec c2s;
+    c2s.src_ip = net::Ipv4Address(0x0a000001 + (static_cast<std::uint32_t>(i) << 8));
+    c2s.dst_ip = net::Ipv4Address(0xcb000002 + (static_cast<std::uint32_t>(i) << 8));
+    c2s.src_port = static_cast<std::uint16_t>(50000 + i);  // client (SYN sender)
+    c2s.dst_port = static_cast<std::uint16_t>(55000 + i);  // "server", higher port
+    packet::FrameSpec s2c = c2s;
+    std::swap(s2c.src_ip, s2c.dst_ip);
+    std::swap(s2c.src_port, s2c.dst_port);
+
+    const auto t = [&](int step) {
+      return util::Timestamp::from_micros(1'000'000 + static_cast<std::int64_t>(i) * 10'000 + step * 1'000);
+    };
+    const net::Bytes payload{'h', 'i'};
+    const auto push = [&](int step, net::Bytes bytes) {
+      frames.push_back(packet::make_pcap_frame(t(step), std::move(bytes)));
+    };
+    push(0, packet::build_tcp_frame(c2s, kSyn, 0, 0, {}));
+    push(1, packet::build_tcp_frame(s2c, kSyn | kAck, 0, 1, {}));
+    push(2, packet::build_tcp_frame(c2s, kAck | kPsh, 1, 1, payload));
+    push(3, packet::build_tcp_frame(s2c, kAck | kPsh, 1, 3, payload));
+    push(4, packet::build_tcp_frame(c2s, kFin | kAck, 3, 3, {}));
+    push(5, packet::build_tcp_frame(s2c, kFin | kAck, 3, 4, {}));
+
+    // Confirm the premise: the stateless heuristic really does send the
+    // two directions of some connection to different shards.
+    directions_disagree |=
+        pipeline::ShardedAnalyzer::shard_for(frames[frames.size() - 6].data, 8) !=
+        pipeline::ShardedAnalyzer::shard_for(frames[frames.size() - 3].data, 8);
+  }
+  ASSERT_TRUE(directions_disagree);
+  std::sort(frames.begin(), frames.end(),
+            [](const pcap::Frame& a, const pcap::Frame& b) {
+              return a.timestamp < b.timestamp;
+            });
+
+  core::Sniffer sniffer;
+  for (const auto& frame : frames) sniffer.on_frame(frame.data, frame.timestamp);
+  sniffer.finish();
+  core::FlowDatabase single = sniffer.take_database();
+  pipeline::canonicalize(single);
+  ASSERT_EQ(single.size(), kConnections);
+
+  pipeline::PipelineConfig config;
+  config.shards = 8;
+  core::AnalysisWindow merged;
+  pipeline::ShardedAnalyzer analyzer{
+      config, [&](core::AnalysisWindow&& w) { merged = std::move(w); }};
+  for (const auto& frame : frames) analyzer.on_frame(frame.data, frame.timestamp);
+  analyzer.finish();
+
+  EXPECT_EQ(merged.db.size(), kConnections);
+  EXPECT_EQ(tsv(merged.db), tsv(single));
+}
+
+// ------------------------------------------------------------ determinism
+
+TEST_F(PipelineTest, FourShardsBitIdenticalToSingleThread) {
+  const Baseline baseline = run_baseline();
+
+  pipeline::PipelineConfig config;
+  config.shards = 4;
+  core::AnalysisWindow merged;
+  pipeline::ShardedAnalyzer analyzer{
+      config, [&](core::AnalysisWindow&& w) { merged = std::move(w); }};
+  for (const auto& frame : *frames_)
+    analyzer.on_frame(frame.data, frame.timestamp);
+  analyzer.finish();
+
+  EXPECT_EQ(tsv(merged.db), tsv(baseline.db));
+  ASSERT_EQ(merged.dns_log.size(), baseline.dns_log.size());
+  for (std::size_t i = 0; i < merged.dns_log.size(); ++i) {
+    EXPECT_EQ(merged.dns_log[i].time, baseline.dns_log[i].time);
+    EXPECT_EQ(merged.dns_log[i].client, baseline.dns_log[i].client);
+    EXPECT_EQ(merged.dns_log[i].fqdn, baseline.dns_log[i].fqdn);
+    EXPECT_EQ(merged.dns_log[i].servers, baseline.dns_log[i].servers);
+  }
+  expect_stats_equal(analyzer.stats().merged, baseline.stats);
+
+  const auto& stats = analyzer.stats();
+  EXPECT_EQ(stats.frames_dispatched, frames_->size());
+  EXPECT_EQ(stats.frames_dropped, 0u);
+  EXPECT_EQ(stats.windows_merged, 1u);
+  ASSERT_EQ(stats.shards.size(), 4u);
+  std::uint64_t enqueued = 0, processed = 0;
+  for (const auto& shard : stats.shards) {
+    enqueued += shard.frames_enqueued;
+    processed += shard.frames_processed;
+    EXPECT_EQ(shard.frames_enqueued, shard.frames_processed);
+  }
+  EXPECT_EQ(enqueued, frames_->size());
+  EXPECT_EQ(processed, frames_->size());
+}
+
+TEST_F(PipelineTest, ShardCountIsInvisibleAcrossCounts) {
+  const Baseline baseline = run_baseline();
+  const std::string reference = tsv(baseline.db);
+  for (const std::size_t shards : {1u, 2u, 3u, 8u}) {
+    pipeline::PipelineConfig config;
+    config.shards = shards;
+    core::AnalysisWindow merged;
+    pipeline::ShardedAnalyzer analyzer{
+        config, [&](core::AnalysisWindow&& w) { merged = std::move(w); }};
+    ASSERT_TRUE(analyzer.process_pcap(pcap_path_));
+    analyzer.finish();
+    EXPECT_EQ(tsv(merged.db), reference) << "shards=" << shards;
+    EXPECT_EQ(merged.dns_log.size(), baseline.dns_log.size());
+  }
+}
+
+TEST_F(PipelineTest, WindowedRotationMatchesLiveAnalyzer) {
+  const util::Duration window = util::Duration::minutes(10);
+
+  core::LiveConfig live_config;
+  live_config.window = window;
+  std::vector<core::AnalysisWindow> live_windows;
+  core::LiveAnalyzer live{live_config, [&](core::AnalysisWindow&& w) {
+                            live_windows.push_back(std::move(w));
+                          }};
+  for (const auto& frame : *frames_)
+    live.on_frame(frame.data, frame.timestamp);
+  live.finish();
+  for (auto& w : live_windows) pipeline::canonicalize(w);
+
+  pipeline::PipelineConfig config;
+  config.shards = 3;
+  config.window = window;
+  std::vector<core::AnalysisWindow> merged_windows;
+  pipeline::ShardedAnalyzer analyzer{
+      config, [&](core::AnalysisWindow&& w) {
+        merged_windows.push_back(std::move(w));
+      }};
+  for (const auto& frame : *frames_)
+    analyzer.on_frame(frame.data, frame.timestamp);
+  analyzer.finish();
+
+  ASSERT_EQ(merged_windows.size(), live_windows.size());
+  ASSERT_GE(merged_windows.size(), 4u);  // 40 min / 10 min + final partial
+  for (std::size_t i = 0; i < merged_windows.size(); ++i) {
+    EXPECT_EQ(merged_windows[i].start, live_windows[i].start) << "w" << i;
+    EXPECT_EQ(merged_windows[i].end, live_windows[i].end) << "w" << i;
+    EXPECT_EQ(tsv(merged_windows[i].db), tsv(live_windows[i].db))
+        << "window " << i;
+    EXPECT_EQ(merged_windows[i].dns_log.size(), live_windows[i].dns_log.size())
+        << "window " << i;
+  }
+  EXPECT_EQ(analyzer.stats().windows_merged, merged_windows.size());
+}
+
+// ----------------------------------------------------------- backpressure
+
+TEST(PipelineBackpressure, DropPolicyShedsAndCountsFrames) {
+  // Hold both workers hostage until dispatch is done: every frame beyond
+  // the queue capacity MUST be shed, deterministically.
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool release = false;
+
+  pipeline::PipelineConfig config;
+  config.shards = 2;
+  config.queue_capacity = 2;
+  config.backpressure = pipeline::BackpressurePolicy::kDrop;
+  config.worker_start_hook = [&](std::size_t) {
+    std::unique_lock lock{mutex};
+    cv.wait(lock, [&] { return release; });
+  };
+  pipeline::ShardedAnalyzer analyzer{config, nullptr};
+
+  // Undecodable frames all route to shard 0.
+  const net::Bytes junk{0xde, 0xad};
+  constexpr std::uint64_t kFrames = 100;
+  for (std::uint64_t i = 0; i < kFrames; ++i)
+    analyzer.on_frame(junk, util::Timestamp::from_seconds(
+                                static_cast<std::int64_t>(i)));
+  {
+    std::lock_guard lock{mutex};
+    release = true;
+  }
+  cv.notify_all();
+  analyzer.finish();
+
+  const auto& stats = analyzer.stats();
+  EXPECT_EQ(stats.frames_dispatched, kFrames);
+  // Queue capacity 2 with held workers: exactly kFrames - 2 shed.
+  EXPECT_EQ(stats.frames_dropped, kFrames - 2);
+  EXPECT_EQ(stats.shards[0].frames_dropped, kFrames - 2);
+  EXPECT_EQ(stats.shards[0].frames_enqueued, 2u);
+  EXPECT_EQ(stats.shards[0].queue_high_water, 2u);
+  EXPECT_EQ(stats.shards[1].frames_dropped, 0u);
+  // Shed load is accounted as degradation, not silently lost.
+  EXPECT_EQ(stats.merged.degradation.pipeline_frames_dropped, kFrames - 2);
+  EXPECT_EQ(stats.merged.frames,
+            stats.frames_dispatched - stats.frames_dropped);
+  // Drops are a capacity event, not malformed input: only the two junk
+  // frames that reached a worker count as malformed; the 98 shed frames
+  // must not inflate the total.
+  EXPECT_EQ(stats.merged.degradation.malformed_total(), 2u);
+}
+
+TEST(PipelineBackpressure, BlockPolicyIsLosslessAndCountsStalls) {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<bool> released{false};
+
+  pipeline::PipelineConfig config;
+  config.shards = 1;
+  config.queue_capacity = 2;
+  config.backpressure = pipeline::BackpressurePolicy::kBlock;
+  config.worker_start_hook = [&](std::size_t) {
+    std::unique_lock lock{mutex};
+    cv.wait(lock, [&] { return release; });
+  };
+  pipeline::ShardedAnalyzer analyzer{config, nullptr};
+
+  // The dispatcher will block on the third frame; release the worker from
+  // a helper thread once that happens.
+  std::thread releaser{[&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    {
+      std::lock_guard lock{mutex};
+      release = true;
+    }
+    released.store(true);
+    cv.notify_all();
+  }};
+  const net::Bytes junk{0xde, 0xad};
+  constexpr std::uint64_t kFrames = 50;
+  for (std::uint64_t i = 0; i < kFrames; ++i)
+    analyzer.on_frame(junk, util::Timestamp::from_seconds(
+                                static_cast<std::int64_t>(i)));
+  EXPECT_TRUE(released.load());  // dispatch 50 > capacity 2 must have stalled
+  releaser.join();
+  analyzer.finish();
+
+  const auto& stats = analyzer.stats();
+  EXPECT_EQ(stats.frames_dropped, 0u);
+  EXPECT_EQ(stats.shards[0].frames_enqueued, kFrames);
+  EXPECT_EQ(stats.shards[0].frames_processed, kFrames);
+  EXPECT_GT(stats.shards[0].blocked_pushes, 0u);
+  EXPECT_EQ(stats.merged.frames, kFrames);
+  EXPECT_EQ(stats.merged.degradation.pipeline_frames_dropped, 0u);
+}
+
+// ------------------------------------------------------------- edge cases
+
+TEST(PipelineEdge, EmptyRunDeliversNoWindow) {
+  pipeline::PipelineConfig config;
+  config.shards = 3;
+  std::size_t windows = 0;
+  {
+    pipeline::ShardedAnalyzer analyzer{
+        config, [&](core::AnalysisWindow&&) { ++windows; }};
+    analyzer.finish();
+    EXPECT_EQ(analyzer.stats().frames_dispatched, 0u);
+    EXPECT_EQ(analyzer.stats().windows_merged, 0u);
+  }
+  EXPECT_EQ(windows, 0u);
+}
+
+TEST(PipelineEdge, DestructorFinishesWithoutExplicitCall) {
+  pipeline::PipelineConfig config;
+  config.shards = 2;
+  std::size_t windows = 0;
+  {
+    pipeline::ShardedAnalyzer analyzer{
+        config, [&](core::AnalysisWindow&&) { ++windows; }};
+    const net::Bytes junk{0x01, 0x02};
+    analyzer.on_frame(junk, util::Timestamp::from_seconds(1));
+    // No finish(): the destructor must flush, merge, and join.
+  }
+  EXPECT_EQ(windows, 1u);
+}
+
+TEST(PipelineEdge, MissingCaptureReportsError) {
+  pipeline::PipelineConfig config;
+  config.shards = 2;
+  pipeline::ShardedAnalyzer analyzer{config, nullptr};
+  EXPECT_FALSE(analyzer.process_pcap("/nonexistent/trace.pcap"));
+  analyzer.finish();
+  EXPECT_FALSE(analyzer.error().empty());
+}
+
+// ----------------------------------------------------------- canonicalize
+
+TEST(Canonicalize, SortsFlowsAndRebuildsIndexes) {
+  core::FlowDatabase db;
+  core::TaggedFlow late;
+  late.key.client_ip = net::Ipv4Address(0x0a000001);
+  late.key.server_ip = net::Ipv4Address(0x08080808);
+  late.key.server_port = 443;
+  late.first_packet = util::Timestamp::from_seconds(200);
+  late.fqdn = "b.example.com";
+  core::TaggedFlow early = late;
+  early.first_packet = util::Timestamp::from_seconds(100);
+  early.fqdn = "a.example.com";
+  db.add(late);
+  db.add(early);
+
+  pipeline::canonicalize(db);
+  ASSERT_EQ(db.size(), 2u);
+  EXPECT_EQ(db.flows()[0].fqdn, "a.example.com");
+  EXPECT_EQ(db.flows()[1].fqdn, "b.example.com");
+  // Indexes rebuilt against the new order.
+  ASSERT_EQ(db.by_fqdn("b.example.com").size(), 1u);
+  EXPECT_EQ(db.by_fqdn("b.example.com")[0], 1u);
+  EXPECT_EQ(db.by_server_port(443).size(), 2u);
+}
+
+TEST(Canonicalize, OrdersDnsEventsByTimeThenClientThenName) {
+  std::vector<core::DnsEvent> log;
+  const auto client_a = net::Ipv4Address(1);
+  const auto client_b = net::Ipv4Address(2);
+  log.push_back({util::Timestamp::from_seconds(5), client_b, "z.com", {}});
+  log.push_back({util::Timestamp::from_seconds(5), client_a, "z.com", {}});
+  log.push_back({util::Timestamp::from_seconds(5), client_a, "a.com", {}});
+  log.push_back({util::Timestamp::from_seconds(1), client_b, "m.com", {}});
+  pipeline::canonicalize(log);
+  EXPECT_EQ(log[0].fqdn, "m.com");
+  EXPECT_EQ(log[1].fqdn, "a.com");
+  EXPECT_EQ(log[2].fqdn, "z.com");
+  EXPECT_EQ(log[2].client, client_a);
+  EXPECT_EQ(log[3].client, client_b);
+}
+
+}  // namespace
+}  // namespace dnh

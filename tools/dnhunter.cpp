@@ -22,7 +22,10 @@
 //
 // Every pcap-reading command accepts --resync to keep going over damaged
 // captures (skip-and-resync with a corruption report on stderr) instead
-// of the default strict abort.
+// of the default strict abort, and --jobs N to shard ingestion over N
+// worker threads (results are bit-identical to --jobs 1; see
+// docs/pipeline.md). `policy` and `chaos` drive the sniffer directly and
+// always run single-threaded.
 //
 // The optional org database file maps address blocks to organizations,
 // one "CIDR NAME" pair per line (the role whois/MaxMind plays in the
@@ -51,6 +54,7 @@
 #include "core/sniffer.hpp"
 #include "faultinject/faultinject.hpp"
 #include "pcap/pcapng.hpp"
+#include "pipeline/pipeline.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
@@ -90,7 +94,11 @@ struct Args {
                "anomalies policy churn dga tangle export volume delays dimension chaos\n"
                "global options: --strict (default) abort on a corrupt "
                "capture; --resync skip damaged\n"
-               "  records, continue, and report corruption on stderr\n"
+               "  records, continue, and report corruption on stderr;\n"
+               "  --jobs N shard ingestion over N worker threads "
+               "(default 1; results are\n"
+               "  bit-identical to --jobs 1; policy/chaos always run "
+               "single-threaded)\n"
                "run with a command and no further args for its options\n");
   std::exit(error ? 2 : 0);
 }
@@ -153,8 +161,7 @@ core::SnifferConfig sniffer_config(const Args& args) {
 
 /// Warns on stderr when a resync read survived corruption; results are
 /// complete for everything that was recoverable, which deserves a note.
-void warn_on_corruption(const core::Sniffer& sniffer) {
-  const auto& d = sniffer.degradation();
+void warn_on_corruption(const core::DegradationStats& d) {
   const std::uint64_t events =
       d.capture_resyncs + d.capture_truncated_tails;
   if (events == 0) return;
@@ -167,22 +174,78 @@ void warn_on_corruption(const core::Sniffer& sniffer) {
                d.capture_truncated_tails ? " (file tail truncated)" : "");
 }
 
-core::Sniffer sniff(const Args& args) {
-  core::Sniffer sniffer{sniffer_config(args)};
-  if (!sniffer.process_pcap(args.pcap)) {
-    // Do NOT print partial results as if they were complete: fail loudly
-    // and point at --resync for best-effort reads of damaged files.
-    std::fprintf(stderr,
-                 "error: failed reading %s: %s\n"
-                 "error: aborting without printing results (capture only "
-                 "partially processed); retry with --resync to analyze "
-                 "what is recoverable\n",
-                 args.pcap.c_str(), sniffer.error().c_str());
-    std::exit(1);
+std::size_t jobs_from(const Args& args) {
+  const auto jobs = args.option("jobs");
+  if (!jobs) return 1;
+  const long n = std::strtol(jobs->c_str(), nullptr, 10);
+  if (n < 1 || n > 1024) usage("--jobs requires a shard count in [1,1024]");
+  return static_cast<std::size_t>(n);
+}
+
+/// A finished read of one capture: what every analysis command consumes.
+/// The accessors mirror core::Sniffer's so the commands read identically
+/// whichever ingestion engine (single-threaded or sharded) produced it.
+struct Capture {
+  core::FlowDatabase db;
+  std::vector<core::DnsEvent> events;
+  core::SnifferStats stats_data;
+
+  const core::FlowDatabase& database() const noexcept { return db; }
+  const std::vector<core::DnsEvent>& dns_log() const noexcept {
+    return events;
   }
-  warn_on_corruption(sniffer);
-  sniffer.finish();
-  return sniffer;
+  const core::SnifferStats& stats() const noexcept { return stats_data; }
+  const core::DegradationStats& degradation() const noexcept {
+    return stats_data.degradation;
+  }
+};
+
+[[noreturn]] void die_on_read_failure(const Args& args,
+                                      const std::string& error) {
+  // Do NOT print partial results as if they were complete: fail loudly
+  // and point at --resync for best-effort reads of damaged files.
+  std::fprintf(stderr,
+               "error: failed reading %s: %s\n"
+               "error: aborting without printing results (capture only "
+               "partially processed); retry with --resync to analyze "
+               "what is recoverable\n",
+               args.pcap.c_str(), error.c_str());
+  std::exit(1);
+}
+
+Capture sniff(const Args& args) {
+  const std::size_t jobs = jobs_from(args);
+  Capture capture;
+  if (jobs <= 1) {
+    core::Sniffer sniffer{sniffer_config(args)};
+    if (!sniffer.process_pcap(args.pcap))
+      die_on_read_failure(args, sniffer.error());
+    sniffer.finish();
+    capture.stats_data = sniffer.stats();
+    capture.db = sniffer.take_database();
+    capture.events = sniffer.take_dns_log();
+  } else {
+    pipeline::PipelineConfig config;
+    config.shards = jobs;
+    config.sniffer = sniffer_config(args);
+    pipeline::ShardedAnalyzer analyzer{
+        config, [&capture](core::AnalysisWindow&& window) {
+          // Single-window mode: the one merged window IS the capture.
+          capture.db = std::move(window.db);
+          capture.events = std::move(window.dns_log);
+        }};
+    const bool ok = analyzer.process_pcap(args.pcap);
+    analyzer.finish();  // join threads before any exit path
+    if (!ok) die_on_read_failure(args, analyzer.error());
+    capture.stats_data = analyzer.stats().merged;
+  }
+  // Both paths canonicalize, so `--jobs N` output is bit-identical to
+  // `--jobs 1` for every command (the merge stage already sorted, but
+  // running the same pass here keeps the invariant in one place).
+  pipeline::canonicalize(capture.db);
+  pipeline::canonicalize(capture.events);
+  warn_on_corruption(capture.degradation());
+  return capture;
 }
 
 int cmd_summary(const Args& args) {
@@ -375,7 +438,7 @@ int cmd_policy(const Args& args) {
                  args.pcap.c_str(), sniffer.error().c_str());
     return 1;
   }
-  warn_on_corruption(sniffer);
+  warn_on_corruption(sniffer.degradation());
   sniffer.finish();
   const auto& stats = enforcer.stats();
   std::printf("decisions: %s  block=%s prioritize=%s allow=%s "
