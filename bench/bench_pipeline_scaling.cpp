@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "bench/common.hpp"
+#include "obs/metrics.hpp"
 #include "pcap/pcapng.hpp"
 #include "pipeline/pipeline.hpp"
 
@@ -179,11 +180,24 @@ int main(int argc, char** argv) {
               util::with_commas(trace.sniffer->stats().frames).c_str(),
               hardware);
 
+  // Each run starts from a zeroed registry so per-run counter totals are
+  // attributable; the instrumented totals feed the overhead record in
+  // BENCH_obs.json (docs/observability.md).
+  bench::BenchReporter reporter{"pipeline_scaling"};
   std::vector<RunResult> runs;
+  obs::Registry::global().reset();
   runs.push_back(run_single_threaded(corpus));
-  for (const std::size_t jobs : {2u, 4u, 8u})
+  for (const std::size_t jobs : {2u, 4u, 8u}) {
+    obs::Registry::global().reset();
     runs.push_back(run_sharded(corpus, jobs));
+  }
   for (auto& run : runs) run.speedup = run.fps / runs.front().fps;
+  for (const auto& run : runs) {
+    const std::string prefix = "jobs" + std::to_string(run.jobs) + "_";
+    reporter.report(prefix + "fps", run.fps);
+    reporter.report(prefix + "seconds", run.seconds);
+    reporter.report(prefix + "merge_ms", run.merge_ms);
+  }
 
   util::TextTable table{{"jobs", "seconds", "frames/s", "speedup", "flows",
                          "drops", "queue hwm", "merge ms"}};

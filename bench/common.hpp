@@ -6,6 +6,7 @@
 // and shapes are the reproduction targets.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -103,6 +104,53 @@ inline std::string vs_paper(double measured_ratio, const char* paper) {
 }  // namespace dnh::bench
 
 namespace dnh::bench {
+
+/// Appends one JSON-lines row per reported metric to BENCH_obs.json (or
+/// $DNH_BENCH_OBS), stamping each with the bench's wall time so far and
+/// the process RSS — the machine-readable record the overhead tracking in
+/// docs/observability.md is built from. Rows accumulate across runs;
+/// delete the file to start a fresh series.
+class BenchReporter {
+ public:
+  explicit BenchReporter(std::string bench)
+      : bench_{std::move(bench)},
+        start_{std::chrono::steady_clock::now()} {
+    const char* path = std::getenv("DNH_BENCH_OBS");
+    path_ = path ? path : "BENCH_obs.json";
+  }
+
+  void report(const std::string& metric, double value) {
+    std::FILE* out = std::fopen(path_.c_str(), "a");
+    if (!out) return;
+    const double wall_ms =
+        std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+            std::chrono::steady_clock::now() - start_)
+            .count();
+    std::fprintf(out,
+                 "{\"bench\":\"%s\",\"metric\":\"%s\",\"value\":%.6g,"
+                 "\"wall_ms\":%.1f,\"rss_kb\":%ld}\n",
+                 bench_.c_str(), metric.c_str(), value, wall_ms, rss_kb());
+    std::fclose(out);
+  }
+
+  /// Current resident set in kB from /proc/self/status (0 off-Linux).
+  static long rss_kb() {
+    std::FILE* status = std::fopen("/proc/self/status", "r");
+    if (!status) return 0;
+    long kb = 0;
+    char line[256];
+    while (std::fgets(line, sizeof line, status)) {
+      if (std::sscanf(line, "VmRSS: %ld kB", &kb) == 1) break;
+    }
+    std::fclose(status);
+    return kb;
+  }
+
+ private:
+  std::string bench_;
+  std::string path_;
+  std::chrono::steady_clock::time_point start_;
+};
 
 /// When DNH_CSV_DIR is set, figure benches also dump their series as CSV
 /// (one file per series) so the plots can be regenerated with any tool.

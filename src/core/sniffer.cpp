@@ -8,42 +8,139 @@
 
 namespace dnh::core {
 
+namespace {
+
+// Process-wide hot-path counters (one naming scheme for what the ad-hoc
+// SnifferStats/DegradationStats fields record; the structs remain the
+// merge/test plumbing, the registry is the live export surface — see
+// docs/observability.md for the field-to-metric mapping). Handles resolve
+// once; each bump is a thread-local relaxed increment.
+struct SnifferMetrics {
+  obs::Registry& r = obs::Registry::global();
+  obs::Counter frames = r.counter("dnh_frames_total");
+  obs::Counter ts_regressions = r.counter("dnh_timestamp_regressions_total");
+  obs::Counter decode_truncated =
+      r.counter("dnh_decode_errors_total{kind=truncated}");
+  obs::Counter decode_bad_ip =
+      r.counter("dnh_decode_errors_total{kind=bad_ip}");
+  obs::Counter decode_bad_l4 =
+      r.counter("dnh_decode_errors_total{kind=bad_l4}");
+  obs::Counter decode_unsupported =
+      r.counter("dnh_decode_errors_total{kind=unsupported}");
+  obs::Counter dns_responses = r.counter("dnh_dns_responses_total");
+  obs::Counter dns_queries = r.counter("dnh_dns_queries_total");
+  obs::Counter dns_tcp_messages = r.counter("dnh_dns_tcp_messages_total");
+  obs::Counter dns_err_truncated =
+      r.counter("dnh_dns_parse_errors_total{kind=truncated}");
+  obs::Counter dns_err_count_lie =
+      r.counter("dnh_dns_parse_errors_total{kind=count_lie}");
+  obs::Counter dns_err_pointer_loop =
+      r.counter("dnh_dns_parse_errors_total{kind=pointer_loop}");
+  obs::Counter dns_err_pointer_range =
+      r.counter("dnh_dns_parse_errors_total{kind=pointer_out_of_range}");
+  obs::Counter dns_err_bad_name =
+      r.counter("dnh_dns_parse_errors_total{kind=bad_name}");
+  obs::Counter dns_err_not_response =
+      r.counter("dnh_dns_parse_errors_total{kind=not_a_response}");
+  obs::Counter dns_log_evictions = r.counter("dnh_dns_log_evictions_total");
+  obs::Counter tcp_dns_overflows = r.counter("dnh_tcp_dns_overflows_total");
+  obs::Counter tcp_buffer_evictions =
+      r.counter("dnh_tcp_dns_buffer_evictions_total");
+  obs::Counter flows_exported = r.counter("dnh_flows_exported_total");
+  obs::Counter flows_tagged_start =
+      r.counter("dnh_flows_tagged_start_total");
+  obs::Counter flows_tagged_late = r.counter("dnh_flows_tagged_late_total");
+  obs::Histogram decode_ns = r.histogram("dnh_stage_decode_ns");
+  obs::Histogram dns_parse_ns = r.histogram("dnh_stage_dns_parse_ns");
+};
+
+SnifferMetrics& metrics() {
+  static SnifferMetrics m;
+  return m;
+}
+
+std::string shard_gauge_name(const char* base, std::size_t shard) {
+  return std::string{base} + "{shard=" + std::to_string(shard) + "}";
+}
+
+}  // namespace
+
 Sniffer::Sniffer(SnifferConfig config)
     : config_{config}, resolver_{config.clist_size}, table_{config.table} {
   table_.set_flow_start_observer(
       [this](const flow::FlowRecord& flow) { on_flow_start(flow); });
   table_.set_exporter(
       [this](flow::FlowRecord&& flow) { on_flow_export(std::move(flow)); });
+  obs::Registry& registry = obs::Registry::global();
+  const std::size_t shard = config_.metrics_shard;
+  resolver_cache_gauge_ =
+      registry.gauge(shard_gauge_name("dnh_resolver_cache_size", shard));
+  resolver_clients_gauge_ =
+      registry.gauge(shard_gauge_name("dnh_resolver_clients", shard));
+  flow_table_gauge_ =
+      registry.gauge(shard_gauge_name("dnh_flow_table_live", shard));
+  dns_log_gauge_ =
+      registry.gauge(shard_gauge_name("dnh_dns_log_size", shard));
+  tcp_buffers_gauge_ =
+      registry.gauge(shard_gauge_name("dnh_tcp_dns_buffers", shard));
+  pending_tags_gauge_ =
+      registry.gauge(shard_gauge_name("dnh_pending_tags", shard));
+}
+
+void Sniffer::publish_gauges() {
+  // Clist occupancy: fills monotonically, then stays full (FIFO recycle).
+  const std::uint64_t inserted = resolver_.stats().inserts;
+  const std::uint64_t capacity = resolver_.capacity();
+  resolver_cache_gauge_.set(
+      static_cast<std::int64_t>(inserted < capacity ? inserted : capacity));
+  resolver_clients_gauge_.set(
+      static_cast<std::int64_t>(resolver_.client_count()));
+  flow_table_gauge_.set(static_cast<std::int64_t>(table_.live_flows()));
+  dns_log_gauge_.set(static_cast<std::int64_t>(dns_log_.size()));
+  tcp_buffers_gauge_.set(
+      static_cast<std::int64_t>(tcp_dns_buffers_.size()));
+  pending_tags_gauge_.set(static_cast<std::int64_t>(pending_tags_.size()));
 }
 
 void Sniffer::on_frame(net::BytesView frame, util::Timestamp ts) {
+  SnifferMetrics& m = metrics();
   ++stats_.frames;
+  m.frames.inc();
+  if ((stats_.frames & (kGaugePublishInterval - 1)) == 0) publish_gauges();
   // Clock sanity: capture replay and fault injection can both deliver
   // frames out of order; the flow table tolerates it, but it is a
   // degradation signal worth surfacing.
-  if (have_last_frame_ts_ && ts < last_frame_ts_)
+  if (have_last_frame_ts_ && ts < last_frame_ts_) {
     ++stats_.degradation.timestamp_regressions;
-  else
+    m.ts_regressions.inc();
+  } else {
     last_frame_ts_ = ts;
+  }
   have_last_frame_ts_ = true;
 
   packet::DecodeFailure failure = packet::DecodeFailure::kNone;
+  obs::SpanTimer decode_span{m.decode_ns, decode_gate_};
   const auto pkt = packet::decode_frame(frame, ts, failure);
+  decode_span.stop();
   if (!pkt) {
     ++stats_.decode_failures;
     switch (failure) {
       case packet::DecodeFailure::kTruncatedL2:
         ++stats_.degradation.frames_truncated;
+        m.decode_truncated.inc();
         break;
       case packet::DecodeFailure::kBadIpHeader:
         ++stats_.degradation.bad_ip_headers;
+        m.decode_bad_ip.inc();
         break;
       case packet::DecodeFailure::kBadL4Header:
         ++stats_.degradation.bad_l4_headers;
+        m.decode_bad_l4.inc();
         break;
       case packet::DecodeFailure::kUnsupported:
       case packet::DecodeFailure::kNone:
         ++stats_.degradation.unsupported_frames;
+        m.decode_unsupported.inc();
         break;
     }
     return;
@@ -57,6 +154,7 @@ void Sniffer::on_frame(net::BytesView frame, util::Timestamp ts) {
     }
     if (pkt->udp().dst_port == dns::kDnsPort) {
       ++stats_.dns_queries;  // queries carry no answers; nothing to store
+      m.dns_queries.inc();
       return;
     }
   }
@@ -64,8 +162,12 @@ void Sniffer::on_frame(net::BytesView frame, util::Timestamp ts) {
                         pkt->tcp().dst_port == dns::kDnsPort)) {
     // DNS over TCP (truncated-response retries): responses are labeled
     // input, not traffic to tag.
-    if (pkt->tcp().src_port == dns::kDnsPort) on_tcp_dns_segment(*pkt);
-    else ++stats_.dns_queries;
+    if (pkt->tcp().src_port == dns::kDnsPort) {
+      on_tcp_dns_segment(*pkt);
+    } else {
+      ++stats_.dns_queries;
+      m.dns_queries.inc();
+    }
     return;
   }
   table_.on_packet(*pkt);
@@ -74,26 +176,34 @@ void Sniffer::on_frame(net::BytesView frame, util::Timestamp ts) {
 void Sniffer::handle_dns_message(net::BytesView wire,
                                  net::Ipv4Address client,
                                  util::Timestamp ts) {
+  SnifferMetrics& m = metrics();
   dns::MessageParseError parse_error = dns::MessageParseError::kNone;
+  obs::SpanTimer parse_span{m.dns_parse_ns, dns_gate_};
   const auto msg = dns::DnsMessage::decode(wire, parse_error);
+  parse_span.stop();
   if (!msg) {
     ++stats_.dns_parse_failures;
     switch (parse_error) {
       case dns::MessageParseError::kTruncated:
         ++stats_.degradation.dns_truncated;
+        m.dns_err_truncated.inc();
         break;
       case dns::MessageParseError::kCountLie:
         ++stats_.degradation.dns_count_lies;
+        m.dns_err_count_lie.inc();
         break;
       case dns::MessageParseError::kPointerLoop:
         ++stats_.degradation.dns_pointer_loops;
+        m.dns_err_pointer_loop.inc();
         break;
       case dns::MessageParseError::kPointerOutOfRange:
         ++stats_.degradation.dns_pointer_out_of_range;
+        m.dns_err_pointer_range.inc();
         break;
       case dns::MessageParseError::kBadName:
       case dns::MessageParseError::kNone:
         ++stats_.degradation.dns_bad_names;
+        m.dns_err_bad_name.inc();
         break;
     }
     return;
@@ -101,9 +211,11 @@ void Sniffer::handle_dns_message(net::BytesView wire,
   if (!msg->is_response) {
     // Well-formed but not a response on the response port: odd, not hostile.
     ++stats_.dns_parse_failures;
+    m.dns_err_not_response.inc();
     return;
   }
   ++stats_.dns_responses;
+  m.dns_responses.inc();
   std::string fqdn = msg->canonical_query_name().to_string();
   if (fqdn == ".") return;  // no question section: nothing to key on
   auto servers = msg->answer_addresses();
@@ -117,6 +229,7 @@ void Sniffer::handle_dns_message(net::BytesView wire,
       dns_log_.erase(dns_log_.begin(),
                      dns_log_.begin() + static_cast<std::ptrdiff_t>(evict));
       stats_.degradation.dns_log_evictions += evict;
+      m.dns_log_evictions.add(evict);
     }
     dns_log_.push_back({ts, client, std::move(fqdn), std::move(servers)});
   }
@@ -138,11 +251,13 @@ void Sniffer::on_tcp_dns_segment(const packet::DecodedPacket& pkt) {
     // adversary opening endless half-streams cannot grow state unboundedly.
     tcp_dns_buffers_.erase(tcp_dns_buffers_.begin());
     ++stats_.degradation.tcp_dns_buffer_evictions;
+    metrics().tcp_buffer_evictions.inc();
   }
   net::Bytes& buffer = tcp_dns_buffers_[key];
   if (buffer.size() + pkt.payload.size() > 65536 + 2) {
     buffer.clear();  // runaway stream: drop and resync
     ++stats_.degradation.tcp_dns_overflows;
+    metrics().tcp_dns_overflows.inc();
     return;
   }
   buffer.insert(buffer.end(), pkt.payload.begin(), pkt.payload.end());
@@ -155,6 +270,7 @@ void Sniffer::on_tcp_dns_segment(const packet::DecodedPacket& pkt) {
     handle_dns_message(net::BytesView{buffer.data() + 2, length}, client,
                        pkt.timestamp);
     ++stats_.dns_tcp_messages;
+    metrics().dns_tcp_messages.inc();
     buffer.erase(buffer.begin(), buffer.begin() + 2 + length);
   }
   if (buffer.empty()) tcp_dns_buffers_.erase(key);
@@ -171,7 +287,9 @@ void Sniffer::on_flow_start(const flow::FlowRecord& flow) {
 }
 
 void Sniffer::on_flow_export(flow::FlowRecord&& flow) {
+  SnifferMetrics& m = metrics();
   ++stats_.flows_exported;
+  m.flows_exported.inc();
   TaggedFlow tagged;
   tagged.key = flow.key;
   tagged.first_packet = flow.first_packet;
@@ -187,6 +305,7 @@ void Sniffer::on_flow_export(flow::FlowRecord&& flow) {
     tagged.dns_response_time = pending->second.response_time;
     tagged.tagged_at_start = true;
     ++stats_.flows_tagged_at_start;
+    m.flows_tagged_start.inc();
     pending_tags_.erase(pending);
   } else {
     // Late retry: the response may have been sniffed after the first
@@ -201,6 +320,7 @@ void Sniffer::on_flow_export(flow::FlowRecord&& flow) {
       tagged.fqdn = std::string{hit->fqdn};
       tagged.dns_response_time = hit->response_time;
       ++stats_.flows_tagged_at_export;
+      m.flows_tagged_late.inc();
     }
   }
 
@@ -239,6 +359,9 @@ bool Sniffer::process_pcap(const std::string& path) {
   return ok;
 }
 
-void Sniffer::finish() { table_.flush(); }
+void Sniffer::finish() {
+  table_.flush();
+  publish_gauges();
+}
 
 }  // namespace dnh::core

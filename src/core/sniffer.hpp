@@ -18,6 +18,8 @@
 #include "core/resolver.hpp"
 #include "flow/table.hpp"
 #include "net/bytes.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/time.hpp"
 
 namespace dnh::core {
@@ -48,6 +50,11 @@ struct SnifferConfig {
   /// Read damaged pcap files in skip-and-resync mode instead of aborting
   /// at the first corrupt record (see pcap::Reader::Mode).
   bool resync_capture = false;
+  /// Shard label on this sniffer's per-instance gauges
+  /// (`dnh_resolver_cache_size{shard=N}`, ...). The sharded pipeline sets
+  /// its worker index; the single-threaded path keeps 0. Counters are
+  /// process-wide and unlabeled — they sum across shards by construction.
+  std::size_t metrics_shard = 0;
 };
 
 /// Typed accounting of every malformed input the pipeline survived. One
@@ -163,6 +170,13 @@ class Sniffer {
     util::Timestamp response_time;
   };
 
+  /// Publishes this sniffer's state gauges (resolver/cache/table sizes)
+  /// from the owning thread; called every kGaugePublishInterval frames
+  /// and at finish() so the metrics exporter sees live-ish values without
+  /// racing the hot path.
+  void publish_gauges();
+  static constexpr std::uint64_t kGaugePublishInterval = 4096;
+
   void on_dns_packet(const packet::DecodedPacket& pkt);
   void on_tcp_dns_segment(const packet::DecodedPacket& pkt);
   void handle_dns_message(net::BytesView wire, net::Ipv4Address client,
@@ -184,6 +198,18 @@ class Sniffer {
   bool have_last_frame_ts_ = false;
   util::Timestamp last_frame_ts_;
   std::string error_;
+
+  // Observability (docs/observability.md): sampled span gates are owned
+  // here because a Sniffer is single-threaded; per-shard gauges carry the
+  // {shard=N} label from config_.metrics_shard.
+  obs::SampleGate decode_gate_{64};
+  obs::SampleGate dns_gate_{16};
+  obs::Gauge resolver_cache_gauge_;
+  obs::Gauge resolver_clients_gauge_;
+  obs::Gauge flow_table_gauge_;
+  obs::Gauge dns_log_gauge_;
+  obs::Gauge tcp_buffers_gauge_;
+  obs::Gauge pending_tags_gauge_;
 };
 
 }  // namespace dnh::core

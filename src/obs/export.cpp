@@ -1,0 +1,337 @@
+#include "obs/export.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace dnh::obs {
+
+namespace {
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buffer[24];
+  std::snprintf(buffer, sizeof buffer, "%llu",
+                static_cast<unsigned long long>(v));
+  out += buffer;
+}
+
+void append_i64(std::string& out, std::int64_t v) {
+  char buffer[24];
+  std::snprintf(buffer, sizeof buffer, "%lld", static_cast<long long>(v));
+  out += buffer;
+}
+
+/// Splits the internal `base{k=v,...}` name syntax. Returns the base;
+/// `labels` gets the raw inside of the braces ("" when unlabeled).
+std::string split_labels(const std::string& name, std::string& labels) {
+  const auto brace = name.find('{');
+  if (brace == std::string::npos || name.back() != '}') {
+    labels.clear();
+    return name;
+  }
+  labels = name.substr(brace + 1, name.size() - brace - 2);
+  return name.substr(0, brace);
+}
+
+/// `k=v,k2=v2` -> `k="v",k2="v2"` (values we emit never contain quotes).
+std::string quote_labels(const std::string& labels) {
+  std::string out;
+  for (const auto pair : util::split(labels, ',')) {
+    const auto eq = pair.find('=');
+    if (!out.empty()) out += ',';
+    if (eq == std::string_view::npos) {
+      out += pair;
+      continue;
+    }
+    out += pair.substr(0, eq);
+    out += "=\"";
+    out += pair.substr(eq + 1);
+    out += '"';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_json_line(const Snapshot& snap) {
+  std::string out = "{\"ts_ms\":";
+  append_i64(out, snap.wall_unix_ms);
+  out += ",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snap.counters) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += name;
+    out += "\":";
+    append_u64(out, value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : snap.gauges) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += name;
+    out += "\":";
+    append_i64(out, value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : snap.histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += name;
+    out += "\":{\"count\":";
+    append_u64(out, hist.count);
+    out += ",\"sum\":";
+    append_u64(out, hist.sum);
+    out += ",\"buckets\":[";
+    for (std::size_t i = 0; i < hist.buckets.size(); ++i) {
+      if (i) out += ',';
+      out += '[';
+      append_u64(out, hist.buckets[i].upper);
+      out += ',';
+      append_u64(out, hist.buckets[i].count);
+      out += ']';
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+std::string to_prometheus(const Snapshot& snap) {
+  std::string out;
+  std::string labels;
+  // TYPE lines are emitted once per base name; the maps are sorted, so
+  // all labeled series of one base are adjacent.
+  std::string last_typed;
+  const auto type_line = [&](const std::string& base, const char* type) {
+    if (base == last_typed) return;
+    last_typed = base;
+    out += "# TYPE ";
+    out += base;
+    out += ' ';
+    out += type;
+    out += '\n';
+  };
+
+  for (const auto& [name, value] : snap.counters) {
+    const std::string base = split_labels(name, labels);
+    type_line(base, "counter");
+    out += base;
+    if (!labels.empty()) out += '{' + quote_labels(labels) + '}';
+    out += ' ';
+    append_u64(out, value);
+    out += '\n';
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    const std::string base = split_labels(name, labels);
+    type_line(base, "gauge");
+    out += base;
+    if (!labels.empty()) out += '{' + quote_labels(labels) + '}';
+    out += ' ';
+    append_i64(out, value);
+    out += '\n';
+  }
+  for (const auto& [name, hist] : snap.histograms) {
+    const std::string base = split_labels(name, labels);
+    type_line(base, "histogram");
+    const std::string quoted = quote_labels(labels);
+    const std::string prefix = quoted.empty() ? "" : quoted + ",";
+    std::uint64_t cumulative = 0;
+    for (const auto& bucket : hist.buckets) {
+      cumulative += bucket.count;
+      out += base + "_bucket{" + prefix + "le=\"";
+      append_u64(out, bucket.upper);
+      out += "\"} ";
+      append_u64(out, cumulative);
+      out += '\n';
+    }
+    out += base + "_bucket{" + prefix + "le=\"+Inf\"} ";
+    append_u64(out, hist.count);
+    out += '\n';
+    out += base + "_sum";
+    if (!quoted.empty()) out += '{' + quoted + '}';
+    out += ' ';
+    append_u64(out, hist.sum);
+    out += '\n';
+    out += base + "_count";
+    if (!quoted.empty()) out += '{' + quoted + '}';
+    out += ' ';
+    append_u64(out, hist.count);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string format_ns(double ns) {
+  char buffer[32];
+  if (ns < 1e3)
+    std::snprintf(buffer, sizeof buffer, "%.0fns", ns);
+  else if (ns < 1e6)
+    std::snprintf(buffer, sizeof buffer, "%.1fus", ns / 1e3);
+  else if (ns < 1e9)
+    std::snprintf(buffer, sizeof buffer, "%.1fms", ns / 1e6);
+  else
+    std::snprintf(buffer, sizeof buffer, "%.2fs", ns / 1e9);
+  return buffer;
+}
+
+std::string human_summary(const Snapshot& snap) {
+  std::string out;
+
+  // Stage latency breakdown: every `dnh_stage_*_ns` histogram, with its
+  // share of the total instrumented time. Sampled stages' totals cover
+  // the sampled spans only — shares compare like with like, not absolute
+  // wall time (see docs/observability.md).
+  double total_stage_ns = 0;
+  for (const auto& [name, hist] : snap.histograms) {
+    if (name.rfind("dnh_stage_", 0) == 0)
+      total_stage_ns += static_cast<double>(hist.sum);
+  }
+  if (total_stage_ns > 0) {
+    out += "stage latency (sampled spans):\n";
+    util::TextTable table{
+        {"stage", "spans", "p50", "p90", "p99", "total", "share"}};
+    for (const auto& [name, hist] : snap.histograms) {
+      if (name.rfind("dnh_stage_", 0) != 0 || hist.count == 0) continue;
+      table.add_row(
+          {name, util::with_commas(hist.count),
+           format_ns(hist.quantile(0.5)), format_ns(hist.quantile(0.9)),
+           format_ns(hist.quantile(0.99)),
+           format_ns(static_cast<double>(hist.sum)),
+           util::percent(static_cast<double>(hist.sum) / total_stage_ns)});
+    }
+    out += table.render();
+  }
+
+  bool any_counter = false;
+  for (const auto& [name, value] : snap.counters) any_counter |= value != 0;
+  if (any_counter) {
+    out += "counters:\n";
+    for (const auto& [name, value] : snap.counters) {
+      if (value == 0) continue;
+      out += "  " + name + " = " + util::with_commas(value) + "\n";
+    }
+  }
+  bool any_gauge = false;
+  for (const auto& [name, value] : snap.gauges) any_gauge |= value != 0;
+  if (any_gauge) {
+    out += "gauges:\n";
+    for (const auto& [name, value] : snap.gauges) {
+      if (value == 0) continue;
+      out += "  " + name + " = " +
+             util::with_commas(static_cast<std::uint64_t>(
+                 value < 0 ? -value : value));
+      if (value < 0) out += " (negative)";
+      out += "\n";
+    }
+  }
+  const auto other = snap.histograms;
+  bool any_other = false;
+  for (const auto& [name, hist] : other)
+    any_other |= name.rfind("dnh_stage_", 0) != 0 && hist.count != 0;
+  if (any_other) {
+    out += "distributions:\n";
+    for (const auto& [name, hist] : other) {
+      if (name.rfind("dnh_stage_", 0) == 0 || hist.count == 0) continue;
+      char line[160];
+      std::snprintf(line, sizeof line,
+                    "  %s: n=%llu mean=%.1f p50=%.0f p99=%.0f max<=%llu\n",
+                    name.c_str(),
+                    static_cast<unsigned long long>(hist.count), hist.mean(),
+                    hist.quantile(0.5), hist.quantile(0.99),
+                    static_cast<unsigned long long>(
+                        hist.buckets.empty() ? 0 : hist.buckets.back().upper));
+      out += line;
+    }
+  }
+  if (out.empty()) out = "no metrics recorded\n";
+  return out;
+}
+
+struct JsonlExporter::Impl {
+  Registry& registry;
+  Options options;
+  std::FILE* file = nullptr;
+  std::thread thread;
+  std::mutex mu;
+  std::condition_variable cv;
+  bool stopping = false;
+  bool started = false;
+  std::atomic<std::uint64_t> lines{0};
+
+  explicit Impl(Registry& r, Options o)
+      : registry{r}, options{std::move(o)} {}
+
+  void write_line() {
+    const std::string line = to_json_line(registry.snapshot());
+    std::fwrite(line.data(), 1, line.size(), file);
+    std::fputc('\n', file);
+    std::fflush(file);
+    lines.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void loop() {
+    const auto interval = std::chrono::microseconds(
+        std::max<std::int64_t>(options.interval.total_micros(), 1000));
+    std::unique_lock lock{mu};
+    while (!stopping) {
+      if (cv.wait_for(lock, interval, [&] { return stopping; })) break;
+      write_line();  // mu held: serializes with the final stop() line
+    }
+  }
+};
+
+JsonlExporter::JsonlExporter(Registry& registry, Options options)
+    : impl_{std::make_unique<Impl>(registry, std::move(options))} {}
+
+JsonlExporter::~JsonlExporter() { stop(); }
+
+bool JsonlExporter::start() {
+  if (impl_->started) return true;
+  impl_->file = std::fopen(impl_->options.path.c_str(), "w");
+  if (!impl_->file) return false;
+  impl_->started = true;
+  {
+    std::lock_guard lock{impl_->mu};
+    impl_->write_line();  // t=0 baseline line
+  }
+  impl_->thread = std::thread{[this] { impl_->loop(); }};
+  return true;
+}
+
+void JsonlExporter::stop() {
+  if (!impl_->started) return;
+  {
+    std::lock_guard lock{impl_->mu};
+    impl_->stopping = true;
+  }
+  impl_->cv.notify_all();
+  impl_->thread.join();
+  {
+    std::lock_guard lock{impl_->mu};
+    impl_->write_line();  // final state, after owners published
+  }
+  std::fclose(impl_->file);
+  impl_->file = nullptr;
+  impl_->started = false;
+  impl_->stopping = false;
+}
+
+std::uint64_t JsonlExporter::lines_written() const noexcept {
+  return impl_->lines.load(std::memory_order_relaxed);
+}
+
+}  // namespace dnh::obs

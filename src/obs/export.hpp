@@ -1,0 +1,68 @@
+// Exporters for the metrics registry:
+//  - to_json_line: one self-contained JSON object per snapshot, for the
+//    `--metrics-out FILE` JSON-lines stream a monitoring agent tails.
+//  - to_prometheus: the Prometheus text exposition format, for the
+//    one-shot `--metrics-prom FILE` dump (and scrape endpoints later).
+//  - human_summary: the `dnhunter stats` terminal rendering — counters,
+//    gauges, and a per-stage latency/share breakdown.
+//  - JsonlExporter: a background thread that appends a snapshot line
+//    every interval, plus one final line at stop(), fflushing each line
+//    so a killed run loses at most the current interval.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "util/time.hpp"
+
+namespace dnh::obs {
+
+/// One JSON object (no trailing newline):
+/// {"ts_ms":...,"counters":{...},"gauges":{...},
+///  "histograms":{"name":{"count":C,"sum":S,"buckets":[[upper,count],...]}}}
+std::string to_json_line(const Snapshot& snap);
+
+/// Prometheus text format. Internal label syntax `name{k=v,...}` is
+/// rewritten to quoted Prometheus labels; histograms expand into
+/// cumulative `_bucket{le="..."}` series plus `_sum` and `_count`.
+std::string to_prometheus(const Snapshot& snap);
+
+/// Terminal summary: per-stage latency table (count, p50/p90/p99, total,
+/// share of instrumented time) followed by non-zero counters and gauges.
+std::string human_summary(const Snapshot& snap);
+
+/// Formats a nanosecond latency compactly ("870ns", "12.4us", "1.03s").
+std::string format_ns(double ns);
+
+class JsonlExporter {
+ public:
+  struct Options {
+    std::string path;
+    /// Snapshot cadence; clamped to >= 1ms.
+    util::Duration interval = util::Duration::seconds(1.0);
+  };
+
+  JsonlExporter(Registry& registry, Options options);
+  ~JsonlExporter();  ///< calls stop()
+
+  JsonlExporter(const JsonlExporter&) = delete;
+  JsonlExporter& operator=(const JsonlExporter&) = delete;
+
+  /// Opens the file (truncating) and starts the snapshot thread; writes
+  /// an initial line immediately. False if the file cannot be opened.
+  bool start();
+
+  /// Writes one final snapshot line, joins the thread, closes the file.
+  /// Idempotent.
+  void stop();
+
+  std::uint64_t lines_written() const noexcept;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace dnh::obs

@@ -3,6 +3,9 @@
 #include <cstring>
 #include <functional>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace dnh::pcap {
 namespace {
 
@@ -185,23 +188,71 @@ bool read_any_capture(const std::string& path,
   return ok;
 }
 
+namespace {
+
+// Capture-read instrumentation (docs/observability.md). Handles resolve
+// once per process; the per-frame cost is two thread-local relaxed
+// increments plus a 1-in-64 sampled read-latency span.
+struct ReadMetrics {
+  obs::Counter frames =
+      obs::Registry::global().counter("dnh_pcap_frames_total");
+  obs::Counter bytes =
+      obs::Registry::global().counter("dnh_pcap_bytes_total");
+  obs::Counter resyncs =
+      obs::Registry::global().counter("dnh_pcap_resyncs_total");
+  obs::Counter bytes_skipped =
+      obs::Registry::global().counter("dnh_pcap_bytes_skipped_total");
+  obs::Counter truncated_tails =
+      obs::Registry::global().counter("dnh_pcap_truncated_tails_total");
+  obs::Histogram read_ns =
+      obs::Registry::global().histogram("dnh_stage_pcap_read_ns");
+};
+
+ReadMetrics& read_metrics() {
+  static ReadMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
+
 bool read_any_capture(const std::string& path,
                       const std::function<void(const Frame&)>& sink,
                       const CaptureReadOptions& options,
                       CaptureReadReport& report) {
+  ReadMetrics& metrics = read_metrics();
+  obs::SampleGate gate{64};
   const auto mode =
       options.resync ? Reader::Mode::kResync : Reader::Mode::kStrict;
   if (auto classic = Reader::open(path, mode)) {
-    while (auto frame = classic->next()) {
+    while (true) {
+      std::optional<Frame> frame;
+      {
+        obs::SpanTimer span{metrics.read_ns, gate};
+        frame = classic->next();
+      }
+      if (!frame) break;
+      metrics.frames.inc();
+      metrics.bytes.add(frame->data.size());
       sink(*frame);
       ++report.frames;
     }
     report.error = classic->error();
     report.corruption = classic->corruption();
+    metrics.resyncs.add(report.corruption.resyncs);
+    metrics.bytes_skipped.add(report.corruption.bytes_skipped);
+    metrics.truncated_tails.add(report.corruption.truncated_tail);
     return report.error.empty();
   }
   if (auto ng = NgReader::open(path)) {
-    while (auto frame = ng->next()) {
+    while (true) {
+      std::optional<Frame> frame;
+      {
+        obs::SpanTimer span{metrics.read_ns, gate};
+        frame = ng->next();
+      }
+      if (!frame) break;
+      metrics.frames.inc();
+      metrics.bytes.add(frame->data.size());
       sink(*frame);
       ++report.frames;
     }

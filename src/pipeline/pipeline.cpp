@@ -84,6 +84,32 @@ util::Duration steady_elapsed(std::chrono::steady_clock::time_point from,
           .count());
 }
 
+// Pipeline-stage instrumentation (docs/observability.md). Counters are
+// process-wide sums over every ShardedAnalyzer instance; per-shard depth
+// gauges live on the instance because they carry {shard=N} labels.
+struct PipelineMetrics {
+  obs::Registry& r = obs::Registry::global();
+  obs::Counter frames_dispatched =
+      r.counter("dnh_pipeline_frames_dispatched_total");
+  obs::Counter frames_dropped = r.counter("dnh_pipeline_frames_dropped_total");
+  obs::Counter blocked_pushes = r.counter("dnh_pipeline_blocked_pushes_total");
+  obs::Counter windows_merged = r.counter("dnh_pipeline_windows_merged_total");
+  obs::Histogram dispatch_ns = r.histogram("dnh_stage_dispatch_ns");
+  obs::Histogram sniff_ns = r.histogram("dnh_stage_shard_sniff_ns");
+  obs::Histogram merge_ns = r.histogram("dnh_stage_merge_ns");
+  obs::Histogram depth_samples =
+      r.histogram("dnh_shard_queue_depth_samples");
+};
+
+PipelineMetrics& pipeline_metrics() {
+  static PipelineMetrics metrics;
+  return metrics;
+}
+
+std::string shard_label(std::string_view base, std::size_t shard) {
+  return std::string{base} + "{shard=" + std::to_string(shard) + "}";
+}
+
 }  // namespace
 
 bool canonical_less(const core::TaggedFlow& a, const core::TaggedFlow& b) {
@@ -149,6 +175,7 @@ struct ShardedAnalyzer::Worker {
   SpscRing<Item> queue;
   core::Sniffer sniffer;             ///< worker-thread-owned after start
   std::uint64_t frames_processed = 0;  ///< worker-owned; read after join
+  obs::SampleGate sniff_gate{64};    ///< worker-thread-owned span sampler
   std::thread thread;
 };
 
@@ -159,9 +186,37 @@ ShardedAnalyzer::ShardedAnalyzer(PipelineConfig config, WindowSink sink)
   inbox_ = std::make_unique<MergeInbox>();
   workers_.reserve(config_.shards);
   for (std::size_t i = 0; i < config_.shards; ++i) {
+    core::SnifferConfig shard_config = config_.sniffer;
+    shard_config.metrics_shard = i;  // labels the shard's state gauges
     workers_.push_back(
-        std::make_unique<Worker>(config_.sniffer, config_.queue_capacity));
+        std::make_unique<Worker>(shard_config, config_.queue_capacity));
   }
+  obs::Registry& registry = obs::Registry::global();
+  routes_gauge_ = registry.gauge("dnh_pipeline_routes");
+  depth_gauges_.reserve(config_.shards);
+  for (std::size_t i = 0; i < config_.shards; ++i)
+    depth_gauges_.push_back(
+        registry.gauge(shard_label("dnh_shard_queue_depth", i)));
+  sampled_peaks_ =
+      std::make_unique<std::atomic<std::size_t>[]>(config_.shards);
+  for (std::size_t i = 0; i < config_.shards; ++i)
+    sampled_peaks_[i].store(0, std::memory_order_relaxed);
+  // Queue depth is sampled on the exporter's snapshot cadence, not per
+  // push: the rings' head/tail cursors are atomics, so the read is safe
+  // from the snapshot thread, and interval sampling is what makes the
+  // peak/percentile depth statistics meaningful (a per-push high-water
+  // mark saturates on any momentary burst).
+  depth_sampler_ = registry.add_sampler([this] {
+    PipelineMetrics& m = pipeline_metrics();
+    for (std::size_t i = 0; i < config_.shards; ++i) {
+      const std::size_t depth = workers_[i]->queue.size();
+      depth_gauges_[i].set(static_cast<std::int64_t>(depth));
+      m.depth_samples.observe(depth);
+      auto& peak = sampled_peaks_[i];
+      if (depth > peak.load(std::memory_order_relaxed))
+        peak.store(depth, std::memory_order_relaxed);
+    }
+  });
   // Threads start only after every Worker exists: a worker never touches
   // another shard's state, but the merge loop walks workers_ indirectly
   // through inbox messages carrying shard indices.
@@ -284,11 +339,16 @@ void ShardedAnalyzer::on_frame(net::BytesView frame, util::Timestamp ts) {
       broadcast_rotation(window_start_, window_start_ + config_.window);
   }
   ++frames_dispatched_;
+  pipeline_metrics().frames_dispatched.inc();
+  if ((frames_dispatched_ & 4095) == 0)
+    routes_gauge_.set(static_cast<std::int64_t>(routes_.size()));
   dispatch_frame(frame, ts);
 }
 
 void ShardedAnalyzer::dispatch_frame(net::BytesView frame,
                                      util::Timestamp ts) {
+  PipelineMetrics& m = pipeline_metrics();
+  obs::SpanTimer span{m.dispatch_ns, dispatch_gate_};
   const std::size_t shard = route_frame(frame, ts);
   Worker& worker = *workers_[shard];
   DispatchCounters& counters = dispatch_[shard];
@@ -300,9 +360,11 @@ void ShardedAnalyzer::dispatch_frame(net::BytesView frame,
   if (!worker.queue.try_produce(fill)) {
     if (config_.backpressure == BackpressurePolicy::kDrop) {
       ++counters.dropped;
+      m.frames_dropped.inc();
       return;
     }
     ++counters.blocked;  // once per stalled frame, not per retry
+    m.blocked_pushes.inc();
     unsigned spins = 0;
     while (!worker.queue.try_produce(fill)) backoff(spins);
   }
@@ -378,10 +440,13 @@ void ShardedAnalyzer::worker_loop(std::size_t index) {
   while (running) {
     const bool got = worker.queue.try_consume([&](Item& item) {
       switch (item.kind) {
-        case Item::Kind::kFrame:
+        case Item::Kind::kFrame: {
+          obs::SpanTimer span{pipeline_metrics().sniff_ns,
+                              worker.sniff_gate};
           worker.sniffer.on_frame(item.frame, item.ts);
           ++worker.frames_processed;
           break;
+        }
         case Item::Kind::kRotate:
           // Open flows stay live in the flow table across rotations,
           // exactly like LiveAnalyzer: a flow lands in the window it
@@ -426,14 +491,19 @@ void ShardedAnalyzer::merge_loop() {
       const bool deliver = it->second.front().deliver;
       const auto t0 = std::chrono::steady_clock::now();
       core::AnalysisWindow merged = merge_windows(it->second);
-      const util::Duration elapsed =
-          steady_elapsed(t0, std::chrono::steady_clock::now());
+      const auto t1 = std::chrono::steady_clock::now();
+      const util::Duration elapsed = steady_elapsed(t0, t1);
       pending.erase(it);
       ++next_seq;
       if (deliver) {
         merge_total_ = merge_total_ + elapsed;
         if (elapsed > merge_max_) merge_max_ = elapsed;
         ++windows_merged_;
+        // Merges are per-window (rare), so the span is unsampled.
+        pipeline_metrics().merge_ns.observe(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                .count()));
+        pipeline_metrics().windows_merged.inc();
         if (sink_) sink_(std::move(merged));
       }
       if (final_window) {
@@ -506,7 +576,14 @@ void ShardedAnalyzer::finish() {
   for (auto& worker : workers_) worker->thread.join();
   merge_thread_.join();
   // All threads joined: every worker- and merge-owned counter is now
-  // safely readable from this thread.
+  // safely readable from this thread. Unregister the depth sampler
+  // (synchronously: reset() waits out an in-flight snapshot) before
+  // folding its peaks and publishing the drained-queue gauges.
+  depth_sampler_.reset();
+  routes_gauge_.set(static_cast<std::int64_t>(routes_.size()));
+  for (std::size_t i = 0; i < config_.shards; ++i)
+    depth_gauges_[i].set(
+        static_cast<std::int64_t>(workers_[i]->queue.size()));
 
   stats_ = PipelineStats{};
   stats_.shards.resize(config_.shards);
@@ -516,6 +593,8 @@ void ShardedAnalyzer::finish() {
     shard.frames_dropped = dispatch_[i].dropped;
     shard.blocked_pushes = dispatch_[i].blocked;
     shard.queue_high_water = dispatch_[i].high_water;
+    shard.queue_peak_sampled =
+        sampled_peaks_[i].load(std::memory_order_relaxed);
     shard.frames_processed = workers_[i]->frames_processed;
     shard.sniffer = workers_[i]->sniffer.stats();
     accumulate(stats_.merged, shard.sniffer);

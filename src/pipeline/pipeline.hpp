@@ -23,6 +23,7 @@
 // the canonicalized single-threaded result for every N.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -35,6 +36,8 @@
 #include "core/sniffer.hpp"
 #include "flow/flow.hpp"
 #include "net/bytes.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/time.hpp"
 
 namespace dnh::pipeline {
@@ -85,7 +88,11 @@ struct ShardStats {
   std::uint64_t frames_processed = 0;  ///< frames the worker consumed
   std::uint64_t frames_dropped = 0;    ///< shed at full queue (kDrop)
   std::uint64_t blocked_pushes = 0;    ///< pushes that had to wait (kBlock)
-  std::size_t queue_high_water = 0;    ///< max observed queue occupancy
+  std::size_t queue_high_water = 0;    ///< max occupancy seen at enqueue
+  /// Max occupancy seen by the metrics snapshot sampler — depth on the
+  /// snapshot interval, not per-push, so it reflects sustained backlog
+  /// rather than single-frame ripples. Zero when no exporter sampled.
+  std::size_t queue_peak_sampled = 0;
   core::SnifferStats sniffer;          ///< the shard's final sniffer stats
 };
 
@@ -227,6 +234,16 @@ class ShardedAnalyzer {
   bool finished_ = false;
   PipelineStats stats_;
   std::string error_;
+
+  // Observability (docs/observability.md). The queue-depth sampler runs
+  // on the metrics snapshot thread and reads only the rings' atomic
+  // cursors; it is unregistered (synchronously — see SamplerHandle) in
+  // finish() before the sampled peaks are folded into stats_.
+  obs::SampleGate dispatch_gate_{64};
+  obs::Gauge routes_gauge_;
+  std::vector<obs::Gauge> depth_gauges_;  ///< dnh_shard_queue_depth{shard=i}
+  std::unique_ptr<std::atomic<std::size_t>[]> sampled_peaks_;
+  obs::Registry::SamplerHandle depth_sampler_;
 };
 
 }  // namespace dnh::pipeline

@@ -1,0 +1,400 @@
+// Tests for the observability layer (src/obs): histogram bucket layout,
+// counter thread-local cells and flush-on-thread-exit, registry
+// snapshots and samplers, span gates, and all three exporters (JSON
+// lines, Prometheus text, human summary).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+using namespace dnh;
+
+// ---------------------------------------------------------------------
+// Histogram bucket layout.
+
+TEST(ObsHistogram, FirstBucketsAreExact) {
+  // Values below kSubBuckets get a bucket each: upper == index == value.
+  for (std::uint64_t v = 0; v < obs::Histogram::kSubBuckets; ++v) {
+    EXPECT_EQ(obs::Histogram::bucket_index(v), v);
+    EXPECT_EQ(obs::Histogram::bucket_upper(v), v);
+  }
+}
+
+TEST(ObsHistogram, IndexUpperRoundTrip) {
+  // Every bucket's inclusive upper bound maps back to that bucket, and
+  // the next value up maps to the next bucket.
+  for (std::size_t i = 0; i + 1 < obs::Histogram::kBuckets; ++i) {
+    const std::uint64_t upper = obs::Histogram::bucket_upper(i);
+    EXPECT_EQ(obs::Histogram::bucket_index(upper), i) << "upper=" << upper;
+    EXPECT_EQ(obs::Histogram::bucket_index(upper + 1), i + 1);
+  }
+}
+
+TEST(ObsHistogram, UppersStrictlyIncrease) {
+  for (std::size_t i = 1; i < obs::Histogram::kBuckets; ++i)
+    EXPECT_GT(obs::Histogram::bucket_upper(i),
+              obs::Histogram::bucket_upper(i - 1));
+}
+
+TEST(ObsHistogram, LastBucketCoversUint64Max) {
+  EXPECT_EQ(obs::Histogram::bucket_index(UINT64_MAX),
+            obs::Histogram::kBuckets - 1);
+  EXPECT_EQ(obs::Histogram::bucket_upper(obs::Histogram::kBuckets - 1),
+            UINT64_MAX);
+}
+
+TEST(ObsHistogram, RelativeWidthBounded) {
+  // Log-linear with 4 sub-buckets: above the linear range, bucket width
+  // is at most 25% of the bucket's lower bound.
+  for (std::size_t i = obs::Histogram::kSubBuckets + 1;
+       i < obs::Histogram::kBuckets; ++i) {
+    const double lo =
+        static_cast<double>(obs::Histogram::bucket_upper(i - 1)) + 1;
+    const double hi = static_cast<double>(obs::Histogram::bucket_upper(i));
+    EXPECT_LE((hi - lo + 1) / lo, 0.2500001) << "bucket " << i;
+  }
+}
+
+TEST(ObsHistogram, ObserveCountSumQuantile) {
+  obs::Registry registry;
+  obs::Histogram hist = registry.histogram("h");
+  for (std::uint64_t v = 1; v <= 100; ++v) hist.observe(v);
+  EXPECT_EQ(hist.count(), 100u);
+  EXPECT_EQ(hist.sum(), 5050u);
+
+  const auto snap = registry.collect();
+  const auto& hs = snap.histograms.at("h");
+  EXPECT_EQ(hs.count, 100u);
+  EXPECT_EQ(hs.sum, 5050u);
+  EXPECT_NEAR(hs.mean(), 50.5, 1e-9);
+  // Quantiles return a bucket upper bound: within 25% of the true value.
+  EXPECT_NEAR(hs.quantile(0.5), 50.0, 50.0 * 0.25);
+  EXPECT_NEAR(hs.quantile(0.99), 99.0, 99.0 * 0.25);
+  EXPECT_EQ(hs.quantile(0.0), 1.0);  // smallest observed bucket
+}
+
+// ---------------------------------------------------------------------
+// Counters.
+
+TEST(ObsCounter, SingleThreadExact) {
+  obs::Registry registry;
+  obs::Counter c = registry.counter("c");
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  // Same name resolves to the same counter.
+  EXPECT_EQ(registry.counter("c").value(), 42u);
+}
+
+TEST(ObsCounter, DefaultHandleIsInert) {
+  obs::Counter c;
+  EXPECT_FALSE(c.valid());
+  c.inc();  // must not crash
+  EXPECT_EQ(c.value(), 0u);
+  obs::Gauge g;
+  g.set(7);
+  EXPECT_EQ(g.value(), 0);
+  obs::Histogram h;
+  h.observe(1);
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(ObsCounter, ThreadExitFlushPreservesTotal) {
+  // Worker threads increment and exit; their thread-local cells must be
+  // folded into the retired sum so the total is exact after join.
+  obs::Registry registry;
+  obs::Counter c = registry.counter("flushed");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t)
+      threads.emplace_back([&c] {
+        for (int i = 0; i < kPerThread; ++i) c.inc();
+      });
+    for (auto& thread : threads) thread.join();
+  }
+  EXPECT_EQ(c.value(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(ObsCounter, ConcurrentWithReader) {
+  // A reader polling value() while writers increment must never see the
+  // total exceed the true count, and must see the exact total at the end.
+  obs::Registry registry;
+  obs::Counter c = registry.counter("live");
+  std::atomic<bool> stop{false};
+  std::thread writer{[&] {
+    for (int i = 0; i < 200000; ++i) c.inc();
+    stop.store(true);
+  }};
+  std::uint64_t last = 0;
+  while (!stop.load()) {
+    const std::uint64_t v = c.value();
+    EXPECT_GE(v, last);  // monotone from a single reader's view
+    last = v;
+  }
+  writer.join();
+  EXPECT_EQ(c.value(), 200000u);
+}
+
+TEST(ObsGauge, SetAndAdd) {
+  obs::Registry registry;
+  obs::Gauge g = registry.gauge("g");
+  g.set(10);
+  g.add(-3);
+  EXPECT_EQ(g.value(), 7);
+  const auto snap = registry.collect();
+  EXPECT_EQ(snap.gauges.at("g"), 7);
+}
+
+// ---------------------------------------------------------------------
+// Registry: snapshots, samplers, reset.
+
+TEST(ObsRegistry, SamplerRunsOnSnapshotOnly) {
+  obs::Registry registry;
+  obs::Gauge g = registry.gauge("sampled");
+  int runs = 0;
+  auto handle = registry.add_sampler([&] {
+    ++runs;
+    g.set(runs);
+  });
+  (void)registry.collect();  // collect() must NOT run samplers
+  EXPECT_EQ(runs, 0);
+  auto snap = registry.snapshot();
+  EXPECT_EQ(runs, 1);
+  EXPECT_EQ(snap.gauges.at("sampled"), 1);
+  handle.reset();
+  (void)registry.snapshot();  // unregistered: not invoked again
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(ObsRegistry, SamplerHandleUnregistersOnDestruction) {
+  obs::Registry registry;
+  int runs = 0;
+  {
+    auto handle = registry.add_sampler([&] { ++runs; });
+    (void)registry.snapshot();
+  }
+  (void)registry.snapshot();
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(ObsRegistry, ResetZeroesEverythingKeepsHandles) {
+  obs::Registry registry;
+  obs::Counter c = registry.counter("c");
+  obs::Gauge g = registry.gauge("g");
+  obs::Histogram h = registry.histogram("h");
+  c.add(5);
+  g.set(5);
+  h.observe(5);
+  registry.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(h.count(), 0u);
+  c.inc();  // handles stay live after reset
+  EXPECT_EQ(c.value(), 1u);
+}
+
+TEST(ObsRegistry, GlobalIsSameInstance) {
+  obs::Counter a = obs::Registry::global().counter("dnh_test_global_total");
+  obs::Counter b = obs::Registry::global().counter("dnh_test_global_total");
+  const std::uint64_t before = a.value();
+  b.inc();
+  EXPECT_EQ(a.value(), before + 1);
+}
+
+// ---------------------------------------------------------------------
+// Span gates and timers.
+
+TEST(ObsTrace, GateAdmitsOneInN) {
+  obs::SampleGate gate{16};
+  int admitted = 0;
+  for (int i = 0; i < 160; ++i) admitted += gate.admit();
+  EXPECT_EQ(admitted, 10);
+  EXPECT_TRUE(obs::SampleGate{1}.admit());  // every==1 admits everything
+}
+
+TEST(ObsTrace, GateRoundsUpToPowerOfTwo) {
+  obs::SampleGate gate{10};  // rounds to 16
+  EXPECT_EQ(gate.mask, 15u);
+}
+
+TEST(ObsTrace, SpanRecordsIntoHistogram) {
+  obs::Registry registry;
+  obs::Histogram h = registry.histogram("span_ns");
+  { obs::SpanTimer span{h}; }
+  EXPECT_EQ(h.count(), 1u);
+  {
+    obs::SpanTimer span{h};
+    span.stop();
+    span.stop();  // idempotent
+  }
+  EXPECT_EQ(h.count(), 2u);
+}
+
+TEST(ObsTrace, GatedSpanRecordsSampledSubset) {
+  obs::Registry registry;
+  obs::Histogram h = registry.histogram("gated_ns");
+  obs::SampleGate gate{8};
+  for (int i = 0; i < 64; ++i) obs::SpanTimer span{h, gate};
+  EXPECT_EQ(h.count(), 8u);
+}
+
+// ---------------------------------------------------------------------
+// Exporters.
+
+/// Tiny JSON sanity checks (not a full parser): balanced braces, the
+/// expected top-level keys in order, and extractable integer fields.
+bool looks_like_snapshot_json(const std::string& line) {
+  return line.size() > 2 && line.front() == '{' && line.back() == '}' &&
+         line.find("\"ts_ms\":") != std::string::npos &&
+         line.find("\"counters\":{") != std::string::npos &&
+         line.find("\"gauges\":{") != std::string::npos &&
+         line.find("\"histograms\":{") != std::string::npos;
+}
+
+std::uint64_t json_uint_field(const std::string& line,
+                              const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return UINT64_MAX;
+  return std::strtoull(line.c_str() + pos + needle.size(), nullptr, 10);
+}
+
+TEST(ObsExport, JsonLineGolden) {
+  // A hand-built snapshot serializes to a byte-exact line: the format is
+  // a contract with external tailers, not an implementation detail.
+  obs::Snapshot snap;
+  snap.wall_unix_ms = 1700000000123;
+  snap.counters["dnh_frames_total"] = 42;
+  snap.gauges["dnh_depth{shard=0}"] = -3;
+  obs::HistogramSnapshot hist;
+  hist.count = 2;
+  hist.sum = 9;
+  hist.buckets.push_back({3, 1});
+  hist.buckets.push_back({7, 1});
+  snap.histograms["dnh_stage_x_ns"] = hist;
+
+  EXPECT_EQ(obs::to_json_line(snap),
+            "{\"ts_ms\":1700000000123,"
+            "\"counters\":{\"dnh_frames_total\":42},"
+            "\"gauges\":{\"dnh_depth{shard=0}\":-3},"
+            "\"histograms\":{\"dnh_stage_x_ns\":"
+            "{\"count\":2,\"sum\":9,\"buckets\":[[3,1],[7,1]]}}}");
+}
+
+TEST(ObsExport, PrometheusRoundTrip) {
+  obs::Registry registry;
+  registry.counter("dnh_events_total{kind=a}").add(7);
+  registry.counter("dnh_events_total{kind=b}").add(3);
+  registry.gauge("dnh_depth{shard=1}").set(12);
+  obs::Histogram h = registry.histogram("dnh_lat_ns");
+  h.observe(1);
+  h.observe(100);
+
+  const std::string text = obs::to_prometheus(registry.collect());
+
+  // Parse the exposition text back into (metric-with-labels -> value).
+  std::map<std::string, double> values;
+  std::istringstream in{text};
+  std::string line;
+  int type_lines = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line.rfind("# TYPE ", 0) == 0) {
+      ++type_lines;
+      continue;
+    }
+    ASSERT_NE(line.front(), '#') << "unexpected comment: " << line;
+    const auto space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    values[line.substr(0, space)] =
+        std::strtod(line.c_str() + space + 1, nullptr);
+  }
+  EXPECT_EQ(type_lines, 3);  // one per base name
+  EXPECT_EQ(values.at("dnh_events_total{kind=\"a\"}"), 7);
+  EXPECT_EQ(values.at("dnh_events_total{kind=\"b\"}"), 3);
+  EXPECT_EQ(values.at("dnh_depth{shard=\"1\"}"), 12);
+  EXPECT_EQ(values.at("dnh_lat_ns_count"), 2);
+  EXPECT_EQ(values.at("dnh_lat_ns_sum"), 101);
+  EXPECT_EQ(values.at("dnh_lat_ns_bucket{le=\"+Inf\"}"), 2);
+  // Cumulative bucket counts: some le-bucket holds exactly the first obs.
+  double below_two = -1;
+  for (const auto& [key, value] : values) {
+    if (key.rfind("dnh_lat_ns_bucket{le=\"1\"}", 0) == 0) below_two = value;
+  }
+  EXPECT_EQ(below_two, 1);
+}
+
+TEST(ObsExport, JsonlExporterWritesWellFormedLines) {
+  obs::Registry registry;
+  obs::Counter c = registry.counter("dnh_test_events_total");
+  c.add(5);
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "dnh_test_obs.jsonl")
+          .string();
+  std::remove(path.c_str());
+  {
+    obs::JsonlExporter::Options options;
+    options.path = path;
+    options.interval = util::Duration::micros(5000);  // 5ms cadence
+    obs::JsonlExporter exporter{registry, options};
+    ASSERT_TRUE(exporter.start());
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    c.add(5);
+    exporter.stop();
+    EXPECT_GE(exporter.lines_written(), 3u);  // initial + ticks + final
+  }
+
+  std::ifstream in{path};
+  ASSERT_TRUE(in.is_open());
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_GE(lines.size(), 3u);
+  for (const auto& l : lines)
+    EXPECT_TRUE(looks_like_snapshot_json(l)) << l;
+  // The first line sees the pre-start count, the last the final count.
+  EXPECT_EQ(json_uint_field(lines.front(), "dnh_test_events_total"), 5u);
+  EXPECT_EQ(json_uint_field(lines.back(), "dnh_test_events_total"), 10u);
+  // Timestamps never regress across lines.
+  for (std::size_t i = 1; i < lines.size(); ++i)
+    EXPECT_LE(json_uint_field(lines[i - 1], "ts_ms"),
+              json_uint_field(lines[i], "ts_ms"));
+  std::remove(path.c_str());
+}
+
+TEST(ObsExport, HumanSummaryShowsStagesAndCounters) {
+  obs::Registry registry;
+  registry.counter("dnh_frames_total").add(1234);
+  obs::Histogram stage = registry.histogram("dnh_stage_decode_ns");
+  for (int i = 0; i < 10; ++i) stage.observe(1000);
+  const std::string text = obs::human_summary(registry.collect());
+  EXPECT_NE(text.find("dnh_stage_decode_ns"), std::string::npos);
+  EXPECT_NE(text.find("dnh_frames_total"), std::string::npos);
+  EXPECT_NE(text.find("1,234"), std::string::npos);
+}
+
+TEST(ObsExport, FormatNs) {
+  EXPECT_EQ(obs::format_ns(870), "870ns");
+  EXPECT_EQ(obs::format_ns(12400), "12.4us");
+  EXPECT_EQ(obs::format_ns(1.03e9), "1.03s");
+}
+
+}  // namespace

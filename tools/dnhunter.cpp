@@ -19,6 +19,7 @@
 //   dnhunter delays    <pcap>
 //   dnhunter dimension <pcap> [--sizes L1,L2,...]
 //   dnhunter chaos     <pcap> [--rate R] [--seed S]
+//   dnhunter stats     <pcap>
 //
 // Every pcap-reading command accepts --resync to keep going over damaged
 // captures (skip-and-resync with a corruption report on stderr) instead
@@ -27,13 +28,23 @@
 // docs/pipeline.md). `policy` and `chaos` drive the sniffer directly and
 // always run single-threaded.
 //
+// Observability (docs/observability.md): --metrics-out FILE streams a
+// JSON-lines metrics snapshot every --metrics-interval S seconds while
+// the command runs; --metrics-prom FILE writes one Prometheus text dump
+// at exit; --stats (or the `stats` command) prints the human metrics
+// summary — per-stage latency breakdown, counters, gauges — at exit.
+// Every exit path (including read failures) funnels through the same
+// finalization, so the exporters always see the final state.
+//
 // The optional org database file maps address blocks to organizations,
 // one "CIDR NAME" pair per line (the role whois/MaxMind plays in the
 // paper); without it, addresses are attributed to /16 prefixes.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -53,6 +64,8 @@
 #include "core/policy.hpp"
 #include "core/sniffer.hpp"
 #include "faultinject/faultinject.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 #include "pcap/pcapng.hpp"
 #include "pipeline/pipeline.hpp"
 #include "util/strings.hpp"
@@ -91,7 +104,7 @@ struct Args {
   std::fprintf(stderr,
                "usage: dnhunter <command> <capture.pcap> [options]\n"
                "commands: summary flows tags spatial tree content "
-               "anomalies policy churn dga tangle export volume delays dimension chaos\n"
+               "anomalies policy churn dga tangle export volume delays dimension chaos stats\n"
                "global options: --strict (default) abort on a corrupt "
                "capture; --resync skip damaged\n"
                "  records, continue, and report corruption on stderr;\n"
@@ -99,6 +112,14 @@ struct Args {
                "(default 1; results are\n"
                "  bit-identical to --jobs 1; policy/chaos always run "
                "single-threaded)\n"
+               "metrics options: --metrics-out FILE stream JSON-lines "
+               "snapshots while running;\n"
+               "  --metrics-interval S snapshot cadence in seconds "
+               "(default 1);\n"
+               "  --metrics-prom FILE write a Prometheus text dump at "
+               "exit;\n"
+               "  --stats print the metrics summary at exit (the `stats` "
+               "command implies it)\n"
                "run with a command and no further args for its options\n");
   std::exit(error ? 2 : 0);
 }
@@ -200,18 +221,28 @@ struct Capture {
   }
 };
 
+/// Thrown where the old code called std::exit: unwinding to main keeps
+/// every exit path — hard failure and normal completion alike — going
+/// through the single finalization point (metrics flush, stats print).
+struct FatalError {
+  int code = 1;
+  std::string message;
+};
+
 [[noreturn]] void die_on_read_failure(const Args& args,
                                       const std::string& error) {
   // Do NOT print partial results as if they were complete: fail loudly
   // and point at --resync for best-effort reads of damaged files.
-  std::fprintf(stderr,
-               "error: failed reading %s: %s\n"
-               "error: aborting without printing results (capture only "
-               "partially processed); retry with --resync to analyze "
-               "what is recoverable\n",
-               args.pcap.c_str(), error.c_str());
-  std::exit(1);
+  throw FatalError{
+      1, "error: failed reading " + args.pcap + ": " + error +
+             "\nerror: aborting without printing results (capture only "
+             "partially processed); retry with --resync to analyze "
+             "what is recoverable\n"};
 }
+
+/// Set when sniff() hands the capture to the analytics command; the time
+/// from here to command completion is the analytics stage span.
+std::optional<std::chrono::steady_clock::time_point> g_ingest_end;
 
 Capture sniff(const Args& args) {
   const std::size_t jobs = jobs_from(args);
@@ -245,6 +276,7 @@ Capture sniff(const Args& args) {
   pipeline::canonicalize(capture.db);
   pipeline::canonicalize(capture.events);
   warn_on_corruption(capture.degradation());
+  g_ingest_end = std::chrono::steady_clock::now();
   return capture;
 }
 
@@ -430,14 +462,8 @@ int cmd_policy(const Args& args) {
       [&](const flow::FlowRecord&, std::string_view fqdn) {
         enforcer.decide(fqdn);
       });
-  if (!sniffer.process_pcap(args.pcap)) {
-    std::fprintf(stderr,
-                 "error: failed reading %s: %s\n"
-                 "error: policy decisions incomplete (capture only "
-                 "partially processed); retry with --resync\n",
-                 args.pcap.c_str(), sniffer.error().c_str());
-    return 1;
-  }
+  if (!sniffer.process_pcap(args.pcap))
+    die_on_read_failure(args, sniffer.error());
   warn_on_corruption(sniffer.degradation());
   sniffer.finish();
   const auto& stats = enforcer.stats();
@@ -742,14 +768,87 @@ int cmd_chaos(const Args& args) {
   return ok ? 0 : 1;
 }
 
-}  // namespace
+/// `dnhunter stats <pcap>`: ingest the capture purely for its metrics.
+/// The summary itself is printed by the session finalizer (so it reflects
+/// the complete run, analytics span included); here we only confirm what
+/// was read.
+int cmd_stats(const Args& args) {
+  const auto sniffer = sniff(args);
+  std::fprintf(stderr, "ingested %s: %s frames, %s flows\n",
+               args.pcap.c_str(),
+               util::with_commas(sniffer.stats().frames).c_str(),
+               util::with_commas(sniffer.stats().flows_exported).c_str());
+  return 0;
+}
 
-int main(int argc, char** argv) {
-  if (argc >= 2 && (std::strcmp(argv[1], "--help") == 0 ||
-                    std::strcmp(argv[1], "-h") == 0))
-    usage();
-  const Args args = parse_args(argc, argv);
+/// The one finalization point for every run: owns the live JSONL exporter
+/// and performs the at-exit dumps. main() constructs it before dispatch
+/// and calls finish() exactly once on every path, normal or fatal —
+/// satellite of the old bug where the hard-fail path exited without the
+/// summary/flush the normal path performed.
+class ObsSession {
+ public:
+  explicit ObsSession(const Args& args)
+      : prom_path_{args.option("metrics-prom")},
+        print_stats_{args.flag("stats") || args.command == "stats"} {
+    if (const auto out = args.option("metrics-out")) {
+      obs::JsonlExporter::Options options;
+      options.path = *out;
+      const double seconds = std::strtod(
+          args.option("metrics-interval").value_or("1").c_str(), nullptr);
+      options.interval =
+          util::Duration::micros(static_cast<std::int64_t>(
+              (seconds > 0 ? seconds : 1.0) * 1e6));
+      exporter_ = std::make_unique<obs::JsonlExporter>(
+          obs::Registry::global(), options);
+      if (!exporter_->start()) {
+        exporter_.reset();
+        std::fprintf(stderr, "error: cannot write metrics file %s\n",
+                     out->c_str());
+        std::exit(2);
+      }
+    }
+  }
 
+  void finish() {
+    if (g_ingest_end) {
+      const auto elapsed =
+          std::chrono::steady_clock::now() - *g_ingest_end;
+      obs::Registry::global()
+          .histogram("dnh_stage_analytics_ns")
+          .observe(static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                  .count()));
+      g_ingest_end.reset();
+    }
+    if (exporter_) {
+      exporter_->stop();  // writes the final snapshot line
+      exporter_.reset();
+    }
+    if (!prom_path_ && !print_stats_) return;
+    const obs::Snapshot snap = obs::Registry::global().snapshot();
+    if (prom_path_) {
+      std::FILE* out = std::fopen(prom_path_->c_str(), "w");
+      if (!out) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     prom_path_->c_str());
+      } else {
+        const std::string text = obs::to_prometheus(snap);
+        std::fwrite(text.data(), 1, text.size(), out);
+        std::fclose(out);
+      }
+    }
+    if (print_stats_)
+      std::fputs(obs::human_summary(snap).c_str(), stdout);
+  }
+
+ private:
+  std::optional<std::string> prom_path_;
+  bool print_stats_ = false;
+  std::unique_ptr<obs::JsonlExporter> exporter_;
+};
+
+int run_command(const Args& args) {
   if (args.command == "summary") return cmd_summary(args);
   if (args.command == "flows") return cmd_flows(args);
   if (args.command == "tags") return cmd_tags(args);
@@ -766,5 +865,26 @@ int main(int argc, char** argv) {
   if (args.command == "delays") return cmd_delays(args);
   if (args.command == "dimension") return cmd_dimension(args);
   if (args.command == "chaos") return cmd_chaos(args);
+  if (args.command == "stats") return cmd_stats(args);
   usage(("unknown command: " + args.command).c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && (std::strcmp(argv[1], "--help") == 0 ||
+                    std::strcmp(argv[1], "-h") == 0))
+    usage();
+  const Args args = parse_args(argc, argv);
+
+  ObsSession session{args};
+  int code = 0;
+  try {
+    code = run_command(args);
+  } catch (const FatalError& fatal) {
+    std::fputs(fatal.message.c_str(), stderr);
+    code = fatal.code;
+  }
+  session.finish();
+  return code;
 }
