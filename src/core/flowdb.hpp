@@ -103,9 +103,14 @@ class FlowDatabase {
 
  private:
   std::vector<TaggedFlow> flows_;
+  // dnh-lint: bounded(take_database) the database grows with its window
+  // and is moved out whole on rotation; indexes die with the flows.
   std::unordered_map<std::string, std::vector<FlowIndex>> fqdn_index_;
+  // dnh-lint: bounded(take_database)
   std::unordered_map<std::string, std::vector<FlowIndex>> sld_index_;
+  // dnh-lint: bounded(take_database)
   std::unordered_map<net::Ipv4Address, std::vector<FlowIndex>> server_index_;
+  // dnh-lint: bounded(take_database)
   std::map<std::uint16_t, std::vector<FlowIndex>> port_index_;
   static const std::vector<FlowIndex> kEmpty;
 };

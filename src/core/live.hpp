@@ -63,6 +63,14 @@ class LiveAnalyzer {
  private:
   void rotate(util::Timestamp now);
 
+  // Rotation state is confined to the feeding thread: on_frame()/finish()
+  // mutate window_start_/started_/windows_ and move the database out of
+  // the sniffer, all on the caller's thread, and the sink runs inline on
+  // that same thread. No mutex, so nothing here is DNH_GUARDED_BY; the
+  // pipeline gets the same guarantee by giving each worker a private
+  // Sniffer and rotating via in-band control items (pipeline.hpp's
+  // thread-ownership map). Sharing a LiveAnalyzer across threads is a
+  // contract violation, not a supported mode.
   LiveConfig config_;
   WindowSink sink_;
   Sniffer::FlowStartHook hook_;

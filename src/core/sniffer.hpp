@@ -189,9 +189,14 @@ class Sniffer {
   flow::FlowTable table_;
   FlowDatabase database_;
   std::vector<DnsEvent> dns_log_;
+  // dnh-lint: bounded(on_flow_export) one entry per live tagged flow,
+  // erased when the flow exports; the flow table's idle sweep bounds
+  // live flows.
   std::unordered_map<flow::FlowKey, PendingTag> pending_tags_;
   /// Per-connection reassembly of length-prefixed DNS-over-TCP responses,
   /// keyed by (clientIP, client port).
+  // dnh-lint: bounded(max_tcp_dns_buffers) oldest-arbitrary eviction at
+  // the cap, counted in tcp_dns_buffer_evictions.
   std::unordered_map<std::uint64_t, net::Bytes> tcp_dns_buffers_;
   FlowStartHook flow_start_hook_;
   SnifferStats stats_;

@@ -64,6 +64,8 @@ class FlowTable {
     std::uint32_t next_seq = 0;
     bool synced = false;    ///< next_seq is initialized
     bool gave_up = false;   ///< capture gap (snaplen truncation): stop
+    // dnh-lint: bounded(kMaxPending) at most 8 parked segments per
+    // direction; past that the head gives up (table.cpp).
     std::map<std::uint32_t, net::Bytes> pending;
   };
   struct ReasmState {
@@ -73,7 +75,10 @@ class FlowTable {
                    const packet::DecodedPacket& pkt);
 
   TableConfig config_;
+  // dnh-lint: bounded(sweep_idle) idle flows exported and erased on the
+  // sweep cadence; reasm_ entries die with their flow.
   std::unordered_map<FlowKey, FlowRecord> flows_;
+  // dnh-lint: bounded(sweep_idle)
   std::unordered_map<FlowKey, ReasmState> reasm_;
   Exporter exporter_;
   FlowStartObserver on_flow_start_;

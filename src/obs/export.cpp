@@ -2,15 +2,15 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdio>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "util/mutex.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace dnh::obs {
 
@@ -264,18 +264,21 @@ std::string human_summary(const Snapshot& snap) {
 struct JsonlExporter::Impl {
   Registry& registry;
   Options options;
+  /// Opened by start() before the thread exists, closed by stop() after
+  /// the join; while the thread runs, written only via write_line() with
+  /// `mu` held. `thread`/`started` are caller-thread-only.
   std::FILE* file = nullptr;
   std::thread thread;
-  std::mutex mu;
-  std::condition_variable cv;
-  bool stopping = false;
+  util::Mutex mu;
+  util::CondVar cv;
+  bool stopping DNH_GUARDED_BY(mu) = false;
   bool started = false;
   std::atomic<std::uint64_t> lines{0};
 
   explicit Impl(Registry& r, Options o)
       : registry{r}, options{std::move(o)} {}
 
-  void write_line() {
+  void write_line() DNH_REQUIRES(mu) {
     const std::string line = to_json_line(registry.snapshot());
     std::fwrite(line.data(), 1, line.size(), file);
     std::fputc('\n', file);
@@ -286,10 +289,15 @@ struct JsonlExporter::Impl {
   void loop() {
     const auto interval = std::chrono::microseconds(
         std::max<std::int64_t>(options.interval.total_micros(), 1000));
-    std::unique_lock lock{mu};
+    util::MutexLock lock{mu};
     while (!stopping) {
-      if (cv.wait_for(lock, interval, [&] { return stopping; })) break;
-      write_line();  // mu held: serializes with the final stop() line
+      // Unconditional timed wait + guarded re-check (no predicate lambda:
+      // the annotated form keeps every `stopping` read visibly under mu).
+      // A spurious wake before the timeout just skips one line.
+      if (cv.wait_for(lock, interval) == std::cv_status::timeout &&
+          !stopping) {
+        write_line();  // mu held: serializes with the final stop() line
+      }
     }
   }
 };
@@ -305,7 +313,7 @@ bool JsonlExporter::start() {
   if (!impl_->file) return false;
   impl_->started = true;
   {
-    std::lock_guard lock{impl_->mu};
+    util::MutexLock lock{impl_->mu};
     impl_->write_line();  // t=0 baseline line
   }
   impl_->thread = std::thread{[this] { impl_->loop(); }};
@@ -315,19 +323,19 @@ bool JsonlExporter::start() {
 void JsonlExporter::stop() {
   if (!impl_->started) return;
   {
-    std::lock_guard lock{impl_->mu};
+    util::MutexLock lock{impl_->mu};
     impl_->stopping = true;
   }
   impl_->cv.notify_all();
   impl_->thread.join();
   {
-    std::lock_guard lock{impl_->mu};
+    util::MutexLock lock{impl_->mu};
     impl_->write_line();  // final state, after owners published
+    impl_->stopping = false;
   }
   std::fclose(impl_->file);
   impl_->file = nullptr;
   impl_->started = false;
-  impl_->stopping = false;
 }
 
 std::uint64_t JsonlExporter::lines_written() const noexcept {

@@ -3,11 +3,11 @@
 #include <chrono>
 #include <utility>
 
+#include "util/mutex.hpp"
+
 namespace dnh::obs {
 
 namespace detail {
-
-namespace {
 
 // One process-wide mutex serializes every cell-membership operation:
 // lazy registration, the flush-on-thread-exit, CounterState teardown
@@ -16,10 +16,12 @@ namespace {
 // teardown story order-independent: a test-local Registry can die while
 // threads still hold cells, and threads can exit while the registry
 // lives. Leaked so late TLS destructors can always lock it.
-std::mutex& cells_mu() {
-  static std::mutex* mu = new std::mutex;
+util::Mutex& cells_mu() {
+  static util::Mutex* mu = new util::Mutex;
   return *mu;
 }
+
+namespace {
 
 // Per-thread table of counter cells, indexed by CounterState::id. The
 // destructor is the flush-on-thread-exit path: each cell's total moves
@@ -34,7 +36,7 @@ struct ThreadCells {
   std::vector<Slot> slots;
 
   ~ThreadCells() {
-    std::lock_guard lock{cells_mu()};
+    util::MutexLock lock{cells_mu()};
     for (Slot& slot : slots) {
       Cell* cell = slot.cell.get();
       if (!cell || !cell->owner) continue;
@@ -69,19 +71,19 @@ Cell* register_cell(CounterState* state) {
   if (t_cells.slots.size() <= state->id) t_cells.slots.resize(state->id + 1);
   ThreadCells::Slot& slot = t_cells.slots[state->id];
   slot.cell = std::make_unique<Cell>();
-  std::lock_guard lock{cells_mu()};
+  util::MutexLock lock{cells_mu()};
   slot.cell->owner = state;
   state->cells.push_back(slot.cell.get());
   return slot.cell.get();
 }
 
 CounterState::~CounterState() {
-  std::lock_guard lock{cells_mu()};
+  util::MutexLock lock{cells_mu()};
   for (Cell* cell : cells) cell->owner = nullptr;
 }
 
 std::uint64_t CounterState::value() const {
-  std::lock_guard lock{cells_mu()};
+  util::MutexLock lock{cells_mu()};
   std::uint64_t total = retired.load(std::memory_order_relaxed);
   for (const Cell* cell : cells)
     total += cell->value.load(std::memory_order_relaxed);
@@ -141,8 +143,21 @@ Registry& Registry::global() {
   return *instance;
 }
 
+Registry::Registry()
+    : samplers_{std::make_shared<detail::SamplerSet>()} {}
+
+Registry::~Registry() {
+  // Drop the sampler functions now: they may capture state owned by
+  // whoever owns this registry, and must never run past its death. The
+  // SamplerSet itself lives on while any handle still references it, so
+  // late SamplerHandle::reset() calls find live (empty) shared state
+  // instead of a dangling Registry pointer.
+  util::MutexLock lock{samplers_->mu};
+  samplers_->fns.clear();
+}
+
 Counter Registry::counter(std::string_view name) {
-  std::lock_guard lock{mu_};
+  util::MutexLock lock{mu_};
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     auto state = std::make_unique<detail::CounterState>();
@@ -154,7 +169,7 @@ Counter Registry::counter(std::string_view name) {
 }
 
 Gauge Registry::gauge(std::string_view name) {
-  std::lock_guard lock{mu_};
+  util::MutexLock lock{mu_};
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     auto state = std::make_unique<detail::GaugeState>();
@@ -165,7 +180,7 @@ Gauge Registry::gauge(std::string_view name) {
 }
 
 Histogram Registry::histogram(std::string_view name) {
-  std::lock_guard lock{mu_};
+  util::MutexLock lock{mu_};
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     auto state = std::make_unique<detail::HistogramState>();
@@ -179,47 +194,48 @@ Registry::SamplerHandle& Registry::SamplerHandle::operator=(
     SamplerHandle&& o) noexcept {
   if (this != &o) {
     reset();
-    registry_ = std::exchange(o.registry_, nullptr);
+    set_ = std::exchange(o.set_, nullptr);
     id_ = std::exchange(o.id_, 0);
   }
   return *this;
 }
 
 void Registry::SamplerHandle::reset() {
-  if (!registry_) return;
+  if (!set_) return;
   {
-    std::lock_guard lock{registry_->mu_};
-    registry_->samplers_.erase(id_);
+    util::MutexLock lock{set_->mu};
+    set_->fns.erase(id_);
   }
   // Wait out any snapshot currently running the (old copy of the) sampler
-  // list: once we hold sampler_run_mu_, no in-flight call can still be
-  // touching the state the sampler captured. This is what lets an owner
-  // destroy sampled state right after reset().
-  std::lock_guard run_lock{registry_->sampler_run_mu_};
-  registry_ = nullptr;
+  // list: once we hold run_mu, no in-flight call can still be touching
+  // the state the sampler captured. This is what lets an owner destroy
+  // sampled state right after reset(). Works identically whether the
+  // registry is alive or already destroyed (the set is shared state).
+  util::MutexLock run_lock{set_->run_mu};
+  set_.reset();
   id_ = 0;
 }
 
 Registry::SamplerHandle Registry::add_sampler(std::function<void()> fn) {
   SamplerHandle handle;
-  std::lock_guard lock{mu_};
-  handle.registry_ = this;
-  handle.id_ = next_sampler_id_++;
-  samplers_.emplace(handle.id_, std::move(fn));
+  util::MutexLock lock{samplers_->mu};
+  handle.set_ = samplers_;
+  handle.id_ = samplers_->next_id++;
+  samplers_->fns.emplace(handle.id_, std::move(fn));
   return handle;
 }
 
 Snapshot Registry::snapshot() {
   // Copy the sampler list out so samplers can touch the registry (e.g.
-  // lazily resolve a handle) without deadlocking; hold sampler_run_mu_
-  // across the calls so SamplerHandle::reset() can wait out an in-flight
-  // pass before its owner tears down sampled state.
-  std::lock_guard run_lock{sampler_run_mu_};
+  // lazily resolve a handle) without deadlocking; hold run_mu across the
+  // calls so SamplerHandle::reset() can wait out an in-flight pass before
+  // its owner tears down sampled state.
+  util::MutexLock run_lock{samplers_->run_mu};
   std::vector<std::function<void()>> samplers;
   {
-    std::lock_guard lock{mu_};
-    samplers.reserve(samplers_.size());
-    for (const auto& [id, fn] : samplers_) samplers.push_back(fn);
+    util::MutexLock lock{samplers_->mu};
+    samplers.reserve(samplers_->fns.size());
+    for (const auto& [id, fn] : samplers_->fns) samplers.push_back(fn);
   }
   for (const auto& fn : samplers) fn();
   return collect();
@@ -231,7 +247,7 @@ Snapshot Registry::collect() const {
       std::chrono::duration_cast<std::chrono::milliseconds>(
           std::chrono::system_clock::now().time_since_epoch())
           .count();
-  std::lock_guard lock{mu_};
+  util::MutexLock lock{mu_};
   for (const auto& [name, state] : counters_)
     snap.counters.emplace(name, state->value());
   for (const auto& [name, state] : gauges_)
@@ -252,9 +268,9 @@ Snapshot Registry::collect() const {
 }
 
 void Registry::reset() {
-  std::lock_guard lock{mu_};
+  util::MutexLock lock{mu_};
   {
-    std::lock_guard cells_lock{detail::cells_mu()};
+    util::MutexLock cells_lock{detail::cells_mu()};
     for (const auto& [name, state] : counters_) {
       state->retired.store(0, std::memory_order_relaxed);
       for (detail::Cell* cell : state->cells)

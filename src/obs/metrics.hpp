@@ -38,10 +38,12 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace dnh::obs {
 
@@ -51,14 +53,19 @@ namespace detail {
 
 struct CounterState;
 
+/// The process-wide mutex serializing every cell-membership operation
+/// (lazy registration, flush-on-thread-exit, CounterState teardown,
+/// reader sums). Leaked so late TLS destructors can always lock it.
+util::Mutex& cells_mu();
+
 /// One thread's private slice of one counter. Cache-line sized so two
 /// threads' cells never share a line.
 struct alignas(64) Cell {
   std::atomic<std::uint64_t> value{0};
   /// Back-pointer for the flush-on-thread-exit path; nulled by
-  /// ~CounterState when a registry dies before the thread does. Guarded
-  /// by the process-wide cell mutex (metrics.cpp), never the hot path.
-  CounterState* owner = nullptr;
+  /// ~CounterState when a registry dies before the thread does. Never
+  /// touched on the hot path.
+  CounterState* owner DNH_GUARDED_BY(cells_mu()) = nullptr;
 };
 
 struct CounterState {
@@ -67,11 +74,26 @@ struct CounterState {
   /// Contributions flushed from exited threads.
   std::atomic<std::uint64_t> retired{0};
   /// Live threads' cells (owned by the TLS). Membership, flushes and
-  /// reader sums all serialize on the process-wide cell mutex, so a
-  /// registry and the threads feeding it can die in either order.
-  std::vector<Cell*> cells;
+  /// reader sums all serialize on cells_mu(), so a registry and the
+  /// threads feeding it can die in either order.
+  std::vector<Cell*> cells DNH_GUARDED_BY(cells_mu());
   ~CounterState();              ///< orphans live cells
-  std::uint64_t value() const;  ///< retired + live cells, relaxed reads
+  std::uint64_t value() const DNH_EXCLUDES(cells_mu());
+};
+
+/// Sampler registrations, shared between a Registry and its outstanding
+/// SamplerHandles. A shared_ptr control block (not a raw back-pointer)
+/// so a handle that outlives its registry — a teardown ordering the
+/// thread-safety annotation pass flagged — detaches safely instead of
+/// dereferencing a dead Registry.
+struct SamplerSet {
+  util::Mutex mu;
+  /// Held while a snapshot runs the sampler list; SamplerHandle::reset()
+  /// acquires it so unregistration synchronizes with in-flight samplers.
+  /// Acquired before (never while holding) `mu`.
+  util::Mutex run_mu;
+  std::uint64_t next_id DNH_GUARDED_BY(mu) = 1;
+  std::map<std::uint64_t, std::function<void()>> fns DNH_GUARDED_BY(mu);
 };
 
 struct GaugeState {
@@ -209,7 +231,11 @@ class Registry {
   /// The process-wide registry (leaked: valid through static teardown).
   static Registry& global();
 
-  Registry() = default;
+  Registry();
+  /// Drops every registered sampler. Outstanding SamplerHandles stay
+  /// valid (reset() on them becomes a no-op): the sampler set is shared
+  /// state, so the registry and its handles can die in either order.
+  ~Registry();
   Registry(const Registry&) = delete;
   Registry& operator=(const Registry&) = delete;
 
@@ -220,6 +246,8 @@ class Registry {
   Histogram histogram(std::string_view name);
 
   /// Unregisters its sampler on destruction; movable, not copyable.
+  /// Holds the sampler set alive, NOT the registry: resetting (or
+  /// dropping) a handle after its registry died is safe and a no-op.
   class SamplerHandle {
    public:
     SamplerHandle() = default;
@@ -230,7 +258,7 @@ class Registry {
 
    private:
     friend class Registry;
-    Registry* registry_ = nullptr;
+    std::shared_ptr<detail::SamplerSet> set_;
     std::uint64_t id_ = 0;
   };
 
@@ -243,31 +271,31 @@ class Registry {
   /// Runs the samplers, then collects every metric. Safe to call from any
   /// thread, concurrently with hot-path updates (values are relaxed
   /// reads: each metric internally consistent, cross-metric skew possible).
-  Snapshot snapshot();
+  Snapshot snapshot() DNH_EXCLUDES(mu_);
 
   /// Collects without running samplers (used by tests and the final
   /// flush, where owner threads have already published).
-  Snapshot collect() const;
+  Snapshot collect() const DNH_EXCLUDES(mu_);
 
   /// Zeroes every value (names and handles survive). Tests/benches only:
   /// concurrent writers make the zero point fuzzy.
-  void reset();
+  void reset() DNH_EXCLUDES(mu_);
 
  private:
   friend struct detail::CounterState;
 
-  mutable std::mutex mu_;
-  /// Held while a snapshot runs the sampler list; SamplerHandle::reset()
-  /// acquires it so unregistration synchronizes with in-flight samplers.
-  std::mutex sampler_run_mu_;
+  /// Guards the metric maps. Acquired after detail::SamplerSet::run_mu
+  /// (snapshot) and before detail::cells_mu() (collect/reset via
+  /// CounterState::value); never the reverse.
+  mutable util::Mutex mu_;
   std::map<std::string, std::unique_ptr<detail::CounterState>, std::less<>>
-      counters_;
+      counters_ DNH_GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<detail::GaugeState>, std::less<>>
-      gauges_;
+      gauges_ DNH_GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<detail::HistogramState>, std::less<>>
-      histograms_;
-  std::uint64_t next_sampler_id_ = 1;
-  std::map<std::uint64_t, std::function<void()>> samplers_;
+      histograms_ DNH_GUARDED_BY(mu_);
+  /// Shared with outstanding SamplerHandles; internally synchronized.
+  std::shared_ptr<detail::SamplerSet> samplers_;
 };
 
 }  // namespace dnh::obs

@@ -2,10 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
-#include <condition_variable>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <tuple>
 #include <utility>
 
@@ -14,6 +12,8 @@
 #include "packet/decode.hpp"
 #include "pcap/pcapng.hpp"
 #include "pipeline/spsc_ring.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace dnh::pipeline {
 
@@ -163,9 +163,12 @@ struct ShardedAnalyzer::ShardWindow {
 };
 
 struct ShardedAnalyzer::MergeInbox {
-  std::mutex mutex;
-  std::condition_variable cv;
-  std::deque<ShardWindow> queue;
+  util::Mutex mutex;
+  util::CondVar cv;
+  /// One entry per (shard, window) message, drained by the merge thread.
+  // dnh-lint: allow(hot-path-bound) per-window (not per-packet): at most
+  // shards x outstanding-rotations entries, each already off the hot path.
+  std::deque<ShardWindow> queue DNH_GUARDED_BY(mutex);
 };
 
 struct ShardedAnalyzer::Worker {
@@ -357,6 +360,7 @@ void ShardedAnalyzer::dispatch_frame(net::BytesView frame,
     slot.ts = ts;
     slot.frame.assign(frame.begin(), frame.end());
   };
+  // dnh-lint: ring-producer (dispatcher thread owns every produce side)
   if (!worker.queue.try_produce(fill)) {
     if (config_.backpressure == BackpressurePolicy::kDrop) {
       ++counters.dropped;
@@ -366,6 +370,7 @@ void ShardedAnalyzer::dispatch_frame(net::BytesView frame,
     ++counters.blocked;  // once per stalled frame, not per retry
     m.blocked_pushes.inc();
     unsigned spins = 0;
+    // dnh-lint: ring-producer (same dispatcher thread, backpressure retry)
     while (!worker.queue.try_produce(fill)) backoff(spins);
   }
   ++counters.enqueued;
@@ -378,6 +383,7 @@ void ShardedAnalyzer::push_control(std::size_t shard, Item&& item) {
   // dropping a rotation would desynchronize the merge sequence.
   Worker& worker = *workers_[shard];
   unsigned spins = 0;
+  // dnh-lint: ring-producer (control items ride the dispatcher thread too)
   while (!worker.queue.try_push(std::move(item))) backoff(spins);
 }
 
@@ -432,12 +438,13 @@ void ShardedAnalyzer::worker_loop(std::size_t index) {
                                       worker.sniffer.take_database(),
                                       worker.sniffer.take_dns_log()};
     {
-      std::lock_guard lock{inbox_->mutex};
+      util::MutexLock lock{inbox_->mutex};
       inbox_->queue.push_back(std::move(msg));
     }
     inbox_->cv.notify_one();
   };
   while (running) {
+    // dnh-lint: ring-consumer (this worker thread owns the consume side)
     const bool got = worker.queue.try_consume([&](Item& item) {
       switch (item.kind) {
         case Item::Kind::kFrame: {
@@ -469,14 +476,18 @@ void ShardedAnalyzer::worker_loop(std::size_t index) {
 }
 
 void ShardedAnalyzer::merge_loop() {
+  // dnh-lint: allow(hot-path-bound) holds at most one in-flight window
+  // set per shard; erased as soon as every shard reports the sequence.
   std::map<std::uint64_t, std::vector<ShardWindow>> pending;
   std::uint64_t next_seq = 0;
   bool done = false;
   while (!done) {
     ShardWindow msg;
     {
-      std::unique_lock lock{inbox_->mutex};
-      inbox_->cv.wait(lock, [&] { return !inbox_->queue.empty(); });
+      util::MutexLock lock{inbox_->mutex};
+      // Guarded-predicate loop (no wait lambda: every `queue` access
+      // stays visibly under `mutex` for the thread-safety analysis).
+      while (inbox_->queue.empty()) inbox_->cv.wait(lock);
       msg = std::move(inbox_->queue.front());
       inbox_->queue.pop_front();
     }

@@ -182,6 +182,19 @@ class ShardedAnalyzer {
   struct Worker;
   struct ShardWindow;
 
+  // Thread-ownership map (checked by the -Wthread-safety build plus the
+  // dnh-lint ring-role tags at the SPSC push/pop sites; see
+  // docs/static-analysis.md):
+  //  - dispatcher thread (the caller of on_frame/process_pcap/finish):
+  //    route_frame/dispatch_frame/push_control/broadcast_rotation, all
+  //    ring produce sides, and every `Dispatcher-owned` member below.
+  //  - worker thread i: worker_loop(i), shard i's ring consume side, and
+  //    Worker::sniffer/frames_processed until finish() joins it.
+  //  - merge thread: merge_loop/merge_windows and the merge-owned
+  //    members; hands windows to the sink strictly in order.
+  // Cross-thread state is either a lock-free channel (SpscRing), a
+  // mutex-guarded inbox (MergeInbox, annotated), or atomics
+  // (sampled_peaks_).
   std::size_t route_frame(net::BytesView frame, util::Timestamp ts);
   void dispatch_frame(net::BytesView frame, util::Timestamp ts);
   void push_control(std::size_t shard, Item&& item);
@@ -211,6 +224,8 @@ class ShardedAnalyzer {
     std::size_t shard = 0;
     util::Timestamp last;
   };
+  // dnh-lint: bounded(sweep_interval_packets) idle entries expire against
+  // the arriving packet and are swept on the flow table's cadence.
   std::unordered_map<flow::FlowKey, Route> routes_;
   std::uint64_t routed_packets_ = 0;
   std::uint64_t frames_dispatched_ = 0;

@@ -15,7 +15,14 @@
 //    capacity) instead of allocating a fresh buffer per frame.
 //
 // Capacity is rounded up to a power of two. Strictly SPSC: one thread may
-// call produce-side functions, one thread consume-side functions.
+// call produce-side functions (try_push/try_produce), one thread
+// consume-side functions (try_pop/try_consume). This confinement cannot
+// be expressed to the generic thread-safety analysis (the ring is
+// lock-free by design), so dnh-lint's `ring-role` rule enforces it
+// instead: every push/pop call site must carry a
+// `// dnh-lint: ring-producer` or `// dnh-lint: ring-consumer` tag
+// declaring which side of the contract its thread is on (see
+// docs/static-analysis.md).
 #pragma once
 
 #include <atomic>

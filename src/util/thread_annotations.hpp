@@ -1,0 +1,73 @@
+// Clang Thread Safety Analysis annotation macros (DNH_ prefix).
+//
+// Under Clang with -Wthread-safety (the DNH_THREAD_SAFETY CMake option,
+// enforced as -Werror=thread-safety by the static-analysis CI job) these
+// expand to the capability attributes and the compiler PROVES the lock
+// discipline they declare: a DNH_GUARDED_BY member read without its mutex
+// held is a compile error, not a race a test may or may not hit. Under
+// GCC (which has no such analysis) every macro expands to nothing, so the
+// annotations are free documentation.
+//
+// Vocabulary (see docs/static-analysis.md for the how-to):
+//  - DNH_CAPABILITY marks a type as a lockable capability (util::Mutex).
+//  - DNH_GUARDED_BY(mu) on a member: every access requires `mu` held.
+//  - DNH_PT_GUARDED_BY(mu): the pointee (not the pointer) is guarded.
+//  - DNH_REQUIRES(mu) on a function: callers must already hold `mu`.
+//  - DNH_ACQUIRE/DNH_RELEASE: the function takes / drops the capability.
+//  - DNH_EXCLUDES(mu): callers must NOT hold `mu` (deadlock guard).
+//  - DNH_NO_THREAD_SAFETY_ANALYSIS: escape hatch for code the analysis
+//    cannot model; always pair with a comment saying why it is safe.
+#pragma once
+
+#if defined(__clang__)
+#define DNH_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define DNH_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op outside Clang
+#endif
+
+#define DNH_CAPABILITY(x) DNH_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+#define DNH_SCOPED_CAPABILITY DNH_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+#define DNH_GUARDED_BY(x) DNH_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+#define DNH_PT_GUARDED_BY(x) DNH_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+#define DNH_ACQUIRED_BEFORE(...) \
+  DNH_THREAD_ANNOTATION_ATTRIBUTE(acquired_before(__VA_ARGS__))
+
+#define DNH_ACQUIRED_AFTER(...) \
+  DNH_THREAD_ANNOTATION_ATTRIBUTE(acquired_after(__VA_ARGS__))
+
+#define DNH_REQUIRES(...) \
+  DNH_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+#define DNH_REQUIRES_SHARED(...) \
+  DNH_THREAD_ANNOTATION_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
+#define DNH_ACQUIRE(...) \
+  DNH_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+#define DNH_ACQUIRE_SHARED(...) \
+  DNH_THREAD_ANNOTATION_ATTRIBUTE(acquire_shared_capability(__VA_ARGS__))
+
+#define DNH_RELEASE(...) \
+  DNH_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+#define DNH_RELEASE_SHARED(...) \
+  DNH_THREAD_ANNOTATION_ATTRIBUTE(release_shared_capability(__VA_ARGS__))
+
+#define DNH_TRY_ACQUIRE(...) \
+  DNH_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+#define DNH_EXCLUDES(...) \
+  DNH_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+#define DNH_ASSERT_CAPABILITY(x) \
+  DNH_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+
+#define DNH_RETURN_CAPABILITY(x) \
+  DNH_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+#define DNH_NO_THREAD_SAFETY_ANALYSIS \
+  DNH_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)

@@ -1,0 +1,17 @@
+// dnh-lint-fixture: path=src/core/bad_bound_mechanism.hpp expect=hot-path-bound
+// The bounded() tag names a mechanism that does not exist anywhere in the
+// scanned sources — a stale or made-up justification must not pass.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace dnh::core {
+
+class Cache {
+ private:
+  // dnh-lint: bounded(evict_oldest_entries)
+  std::unordered_map<std::uint64_t, std::uint64_t> entries_;
+};
+
+}  // namespace dnh::core

@@ -1,0 +1,13 @@
+// dnh-lint-fixture: path=src/obs/bad_metric_prefix.cpp expect=metric-name
+// Registers a metric without the mandatory dnh_ namespace prefix.
+namespace dnh::obs {
+
+struct FakeRegistry {
+  int counter(const char*) { return 0; }
+};
+
+void register_bad(FakeRegistry& reg) {
+  reg.counter("frames_total");  // missing dnh_ prefix
+}
+
+}  // namespace dnh::obs

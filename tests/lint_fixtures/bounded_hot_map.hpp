@@ -1,0 +1,31 @@
+// dnh-lint-fixture: path=src/core/bounded_hot_map.hpp expect=clean
+// A hot-path container whose growth bound is declared and whose named
+// mechanism (sweep_stale) actually exists in the code.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+namespace dnh::core {
+
+class SeenNames {
+ public:
+  void note(const std::string& name) {
+    ++seen_[name];
+    if (++since_sweep_ >= kSweepInterval) sweep_stale();
+  }
+
+ private:
+  void sweep_stale() {
+    seen_.clear();
+    since_sweep_ = 0;
+  }
+
+  static constexpr std::uint64_t kSweepInterval = 8192;
+  // dnh-lint: bounded(sweep_stale) cleared on the sweep cadence.
+  std::unordered_map<std::string, std::uint64_t> seen_;
+  std::uint64_t since_sweep_ = 0;
+};
+
+}  // namespace dnh::core

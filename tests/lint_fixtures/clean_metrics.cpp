@@ -1,0 +1,22 @@
+// dnh-lint-fixture: path=src/obs/clean_metrics.cpp expect=clean
+// Well-formed metric registrations: dnh_ prefix, documented base names,
+// labeled variants resolved through the shard helpers.
+#include <cstdint>
+
+namespace dnh::obs {
+
+struct FakeRegistry {
+  std::uint64_t counter(const char*) { return 0; }
+  std::uint64_t gauge(const char*) { return 0; }
+  std::uint64_t histogram(const char*) { return 0; }
+};
+
+void register_all(FakeRegistry& reg) {
+  reg.counter("dnh_frames_total");
+  reg.gauge("dnh_pipeline_routes");
+  reg.histogram("dnh_stage_decode_ns");
+  // A label block is stripped before the catalog lookup.
+  reg.gauge("dnh_shard_queue_depth{shard=3}");
+}
+
+}  // namespace dnh::obs

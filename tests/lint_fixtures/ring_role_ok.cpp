@@ -1,0 +1,24 @@
+// dnh-lint-fixture: path=src/pipeline/ring_role_ok.cpp expect=clean
+// Correctly confined SPSC usage: each site declares its side and the
+// operation matches the declared role.
+namespace dnh::pipeline {
+
+template <typename T>
+struct FakeRing {
+  bool try_push(const T&) { return true; }
+  bool try_pop(T&) { return false; }
+};
+
+void produce(FakeRing<int>& ring) {
+  // dnh-lint: ring-producer (dispatcher thread owns the push side)
+  ring.try_push(7);
+}
+
+void consume(FakeRing<int>& ring) {
+  int out = 0;
+  // dnh-lint: ring-consumer (worker thread owns the pop side)
+  while (ring.try_pop(out)) {
+  }
+}
+
+}  // namespace dnh::pipeline

@@ -1,0 +1,20 @@
+// dnh-lint-fixture: path=src/pipeline/ring_role_violation.cpp expect=ring-role
+// Two violations of SPSC role confinement: an untagged push site, and a
+// pop site tagged with the wrong role.
+namespace dnh::pipeline {
+
+template <typename T>
+struct FakeRing {
+  bool try_push(const T&) { return true; }
+  bool try_pop(T&) { return false; }
+};
+
+void misuse(FakeRing<int>& ring) {
+  ring.try_push(42);  // no role tag at all
+
+  int out = 0;
+  // dnh-lint: ring-producer
+  ring.try_pop(out);  // consumer-side op under a producer tag
+}
+
+}  // namespace dnh::pipeline

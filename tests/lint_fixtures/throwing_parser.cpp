@@ -1,0 +1,17 @@
+// dnh-lint-fixture: path=src/dns/throwing_parser.cpp expect=typed-errors
+// Parse code under src/dns must return typed errors; this one throws.
+#include <cstdint>
+#include <stdexcept>
+
+namespace dnh::dns {
+
+std::uint16_t parse_id(const std::uint8_t* data, std::size_t len) {
+  if (len < 2) {
+    throw std::runtime_error("short DNS header");
+  }
+  // Note "throw" in this comment or in a "throw-away string" must NOT
+  // count — only the statement above does.
+  return static_cast<std::uint16_t>(data[0] << 8 | data[1]);
+}
+
+}  // namespace dnh::dns

@@ -1,0 +1,20 @@
+// dnh-lint-fixture: path=src/core/unbounded_hot_map.hpp expect=hot-path-bound
+// A per-packet hot-path container with no declared bounding mechanism:
+// nothing ever evicts entries, so a hostile feed grows it forever.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+namespace dnh::core {
+
+class SeenNames {
+ public:
+  void note(const std::string& name) { ++seen_[name]; }
+
+ private:
+  std::unordered_map<std::string, std::uint64_t> seen_;
+};
+
+}  // namespace dnh::core

@@ -1,0 +1,14 @@
+// dnh-lint-fixture: path=src/obs/undocumented_metric.cpp expect=metric-name
+// Correct prefix, but the name is absent from the docs/observability.md
+// catalog — every metric must be documented before it ships.
+namespace dnh::obs {
+
+struct FakeRegistry {
+  int histogram(const char*) { return 0; }
+};
+
+void register_undocumented(FakeRegistry& reg) {
+  reg.histogram("dnh_bogus_widget_latency_ns");
+}
+
+}  // namespace dnh::obs

@@ -9,6 +9,7 @@
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -192,6 +193,44 @@ TEST(ObsRegistry, SamplerHandleUnregistersOnDestruction) {
   }
   (void)registry.snapshot();
   EXPECT_EQ(runs, 1);
+}
+
+// Regression: SamplerHandle used to hold a raw Registry* — a handle
+// outliving its registry dereferenced freed memory on reset()/destruction.
+// The handle now shares ownership of the sampler set, so destroying the
+// registry first must leave the handle safe (and its reset() a no-op).
+TEST(ObsRegistry, SamplerHandleOutlivesRegistry) {
+  int runs = 0;
+  obs::Registry::SamplerHandle handle;
+  {
+    obs::Registry registry;
+    handle = registry.add_sampler([&] { ++runs; });
+    (void)registry.snapshot();
+  }
+  EXPECT_EQ(runs, 1);
+  handle.reset();  // must not touch the destroyed registry
+}
+
+TEST(ObsRegistry, SamplerHandleDestructionAfterRegistryIsSafe) {
+  auto registry = std::make_unique<obs::Registry>();
+  auto handle = registry->add_sampler([] {});
+  registry.reset();
+  // handle's destructor fires at scope exit, after the registry is gone.
+}
+
+// Destroying the registry mid-lifetime detaches still-registered samplers:
+// no callback may fire once its registry is gone (the snapshot machinery
+// dies with it), but handles stay valid.
+TEST(ObsRegistry, RegistryDestructionDetachesSamplers) {
+  int runs = 0;
+  obs::Registry::SamplerHandle handle;
+  {
+    obs::Registry registry;
+    handle = registry.add_sampler([&] { ++runs; });
+  }
+  EXPECT_EQ(runs, 0);
+  handle.reset();
+  EXPECT_EQ(runs, 0);
 }
 
 TEST(ObsRegistry, ResetZeroesEverythingKeepsHandles) {
