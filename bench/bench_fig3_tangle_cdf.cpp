@@ -22,8 +22,8 @@ int main() {
   std::map<net::Ipv4Address, std::set<std::string>> fqdns_per_ip;
   for (const auto& flow : trace.db().flows()) {
     if (!flow.labeled()) continue;
-    ips_per_fqdn[flow.fqdn].insert(flow.key.server_ip);
-    fqdns_per_ip[flow.key.server_ip].insert(flow.fqdn);
+    ips_per_fqdn[std::string{flow.fqdn}].insert(flow.key.server_ip);
+    fqdns_per_ip[flow.key.server_ip].emplace(flow.fqdn);
   }
 
   util::CdfAccumulator ip_counts;

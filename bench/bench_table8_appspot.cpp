@@ -30,7 +30,7 @@ int main() {
     if (!flow.labeled() || flow.second_level() != "appspot.com") continue;
     Acc& acc =
         flow.protocol == flow::ProtocolClass::kP2p ? trackers : general;
-    acc.services.insert(flow.fqdn);
+    acc.services.emplace(flow.fqdn);
     ++acc.flows;
     acc.c2s += flow.bytes_c2s;
     acc.s2c += flow.bytes_s2c;

@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
   // Top servers for the busiest FQDN of that organization.
   const auto& indices = db.by_second_level(sld);
   if (!indices.empty()) {
-    const std::string& fqdn = db.flow(indices.front()).fqdn;
+    const std::string fqdn{db.flow(indices.front()).fqdn};
     const auto report = analytics::spatial_discovery(db, orgs, fqdn);
     std::printf("\nservers delivering %s:\n", fqdn.c_str());
     for (const auto& server : report.fqdn_servers) {

@@ -59,7 +59,7 @@ int main(int argc, char** argv) {
                 flow.key.server_ip.to_string().c_str(),
                 flow.key.server_port,
                 std::string{flow::protocol_class_name(flow.protocol)}.c_str(),
-                flow.fqdn.c_str(),
+                std::string{flow.fqdn}.c_str(),
                 util::with_commas(flow.bytes_c2s + flow.bytes_s2c).c_str());
     if (++shown == 15) break;
   }

@@ -17,7 +17,7 @@ std::optional<DnsAnomaly> DnsAnomalyDetector::observe(
     const core::DnsEvent& event) {
   ++responses_;
   if (event.servers.empty()) return std::nullopt;
-  Profile& profile = profiles_[event.fqdn];
+  Profile& profile = profiles_[std::string{event.fqdn}];
 
   std::optional<DnsAnomaly> anomaly;
   if (profile.responses >= config_.min_history) {

@@ -20,10 +20,9 @@ ContentReport build_report(const core::FlowDatabase& db,
       const auto& flow = db.flow(index);
       if (!flow.labeled()) continue;
       ++report.total_flows;
-      fqdns.insert(flow.fqdn);
-      const std::string key = fqdn_granularity
-                                  ? flow.fqdn
-                                  : std::string{flow.second_level()};
+      fqdns.emplace(flow.fqdn);
+      const std::string key = std::string{
+          fqdn_granularity ? flow.fqdn : flow.second_level()};
       ++counts[key];
     }
   }

@@ -48,7 +48,7 @@ util::TimeBinSeries distinct_fqdns_timeline(
     const auto t = flow.first_packet.seconds_since_epoch();
     if (!series.in_range(t)) continue;
     if (orgs.lookup_or(flow.key.server_ip) != provider) continue;
-    sets[series.bin_of(t)].insert(flow.fqdn);
+    sets[series.bin_of(t)].emplace(flow.fqdn);
   }
   for (std::size_t b = 0; b < bins; ++b)
     series.add(series.bin_start_seconds(b),
@@ -63,7 +63,7 @@ std::size_t distinct_fqdns_total(const core::FlowDatabase& db,
   for (const auto& flow : db.flows()) {
     if (flow.labeled() &&
         orgs.lookup_or(flow.key.server_ip) == provider)
-      fqdns.insert(flow.fqdn);
+      fqdns.emplace(flow.fqdn);
   }
   return fqdns.size();
 }
@@ -98,7 +98,7 @@ BirthProcess birth_process(const core::FlowDatabase& db,
       // database (unlabeled P2P peers would make serverIPs grow forever).
       const auto& flow = db.flow(order[next]);
       if (flow.labeled()) {
-        fqdns.insert(flow.fqdn);
+        fqdns.emplace(flow.fqdn);
         slds.insert(std::string{flow.second_level()});
         servers.insert(flow.key.server_ip.value());
       }

@@ -13,10 +13,16 @@ std::string_view TaggedFlow::second_level() const {
 }
 
 FlowDatabase::FlowIndex FlowDatabase::add(TaggedFlow flow) {
+  // dnh-lint: hot
   const FlowIndex index = static_cast<FlowIndex>(flows_.size());
+  // Re-intern: after this, the flow's label lives in OUR arena regardless
+  // of where the caller staged it (sniffer scratch, TSV line, another
+  // shard's table), and the indexes key on the 32-bit id.
+  flow.fqdn_id = table_->intern(flow.fqdn);
+  flow.fqdn = table_->view(flow.fqdn_id);
   if (flow.labeled()) {
-    fqdn_index_[flow.fqdn].push_back(index);
-    sld_index_[std::string{flow.second_level()}].push_back(index);
+    fqdn_index_[flow.fqdn_id].push_back(index);
+    sld_index_[table_->intern(flow.second_level())].push_back(index);
   }
   server_index_[flow.key.server_ip].push_back(index);
   port_index_[flow.key.server_port].push_back(index);
@@ -35,14 +41,18 @@ std::vector<TaggedFlow> FlowDatabase::take_flows() {
 }
 
 const std::vector<FlowDatabase::FlowIndex>& FlowDatabase::by_second_level(
-    const std::string& sld) const {
-  const auto it = sld_index_.find(sld);
+    std::string_view sld) const {
+  const auto id = table_->find(sld);
+  if (!id) return kEmpty;
+  const auto it = sld_index_.find(*id);
   return it == sld_index_.end() ? kEmpty : it->second;
 }
 
 const std::vector<FlowDatabase::FlowIndex>& FlowDatabase::by_fqdn(
-    const std::string& fqdn) const {
-  const auto it = fqdn_index_.find(fqdn);
+    std::string_view fqdn) const {
+  const auto id = table_->find(fqdn);
+  if (!id) return kEmpty;
+  const auto it = fqdn_index_.find(*id);
   return it == fqdn_index_.end() ? kEmpty : it->second;
 }
 
@@ -59,14 +69,14 @@ const std::vector<FlowDatabase::FlowIndex>& FlowDatabase::by_server_port(
 }
 
 std::set<net::Ipv4Address> FlowDatabase::servers_for_fqdn(
-    const std::string& fqdn) const {
+    std::string_view fqdn) const {
   std::set<net::Ipv4Address> out;
   for (const auto i : by_fqdn(fqdn)) out.insert(flows_[i].key.server_ip);
   return out;
 }
 
 std::set<net::Ipv4Address> FlowDatabase::servers_for_second_level(
-    const std::string& sld) const {
+    std::string_view sld) const {
   std::set<net::Ipv4Address> out;
   for (const auto i : by_second_level(sld))
     out.insert(flows_[i].key.server_ip);
@@ -77,14 +87,14 @@ std::set<std::string> FlowDatabase::fqdns_on_server(
     net::Ipv4Address server) const {
   std::set<std::string> out;
   for (const auto i : by_server(server)) {
-    if (flows_[i].labeled()) out.insert(flows_[i].fqdn);
+    if (flows_[i].labeled()) out.emplace(flows_[i].fqdn);
   }
   return out;
 }
 
 std::set<std::string> FlowDatabase::distinct_fqdns() const {
   std::set<std::string> out;
-  for (const auto& [fqdn, _] : fqdn_index_) out.insert(fqdn);
+  for (const auto& [id, _] : fqdn_index_) out.emplace(table_->view(id));
   return out;
 }
 

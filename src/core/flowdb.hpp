@@ -3,15 +3,24 @@
 // and protocol class, with secondary indexes matching the analytics
 // algorithms' query patterns (by 2nd-level domain for Alg. 2, by serverIP
 // for Alg. 3, by destination port for Alg. 4).
+//
+// FQDN storage is interned: every label lives once in the database's
+// DomainTable and flows carry a DomainId plus a string_view into the
+// table's arena. add() re-interns whatever text the caller supplies, so a
+// producer's fqdn view only has to stay valid across the add() call; the
+// indexes hash 32-bit ids instead of full strings.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "core/domain_table.hpp"
 #include "flow/flow.hpp"
 #include "net/ip.hpp"
 #include "util/time.hpp"
@@ -29,7 +38,14 @@ struct TaggedFlow {
   std::uint64_t bytes_s2c = 0;
   flow::ProtocolClass protocol = flow::ProtocolClass::kUnknown;
 
-  std::string fqdn;  ///< DN-Hunter label; empty when the lookup missed
+  /// DN-Hunter label; empty when the lookup missed. Once the flow is in a
+  /// FlowDatabase this view points into the database's DomainTable (valid
+  /// for the database's lifetime); before add(), it points at whatever
+  /// the producer staged and only needs to outlive the add() call.
+  std::string_view fqdn;
+  /// Interned id of `fqdn` in the owning database's DomainTable;
+  /// kEmptyDomainId (= unlabeled) until add() assigns it.
+  DomainId fqdn_id = kEmptyDomainId;
   /// When the DNS response that produced the label was sniffed; only
   /// meaningful when `fqdn` is non-empty.
   util::Timestamp dns_response_time;
@@ -60,23 +76,41 @@ class FlowDatabase {
  public:
   using FlowIndex = std::uint32_t;
 
-  /// Adds a flow and indexes it. Returns its index.
+  /// Standalone database with its own private DomainTable.
+  FlowDatabase() : table_{std::make_shared<DomainTable>()} {}
+
+  /// Database sharing a caller-owned table (the Sniffer hands its own so
+  /// resolver hits and flow labels intern once, and so window rotation
+  /// keeps one arena across databases).
+  explicit FlowDatabase(std::shared_ptr<DomainTable> table)
+      : table_{std::move(table)} {}
+
+  /// Adds a flow and indexes it: the flow's fqdn text is interned into
+  /// this database's DomainTable and its view/id rebound to the arena
+  /// copy. Returns the flow's index.
   FlowIndex add(TaggedFlow flow);
 
   /// Moves every flow out and resets the database (indexes included).
-  /// Used by the parallel pipeline's merge stage to re-add per-shard flows
-  /// in canonical order without copying them.
+  /// The DomainTable is retained — the moved-out flows' fqdn views point
+  /// into it, so re-adding them (the merge stage, canonicalize()) stays
+  /// valid. Used by the parallel pipeline's merge stage to re-add
+  /// per-shard flows in canonical order without copying them.
   std::vector<TaggedFlow> take_flows();
+
+  /// The interner backing this database's fqdn views.
+  const std::shared_ptr<DomainTable>& domain_table() const noexcept {
+    return table_;
+  }
 
   const std::vector<TaggedFlow>& flows() const noexcept { return flows_; }
   const TaggedFlow& flow(FlowIndex i) const { return flows_.at(i); }
   std::size_t size() const noexcept { return flows_.size(); }
 
   /// Flows whose label's 2nd-level domain is `sld` (Alg. 2 line 5).
-  const std::vector<FlowIndex>& by_second_level(const std::string& sld) const;
+  const std::vector<FlowIndex>& by_second_level(std::string_view sld) const;
 
   /// Flows labeled exactly `fqdn`.
-  const std::vector<FlowIndex>& by_fqdn(const std::string& fqdn) const;
+  const std::vector<FlowIndex>& by_fqdn(std::string_view fqdn) const;
 
   /// Flows to a given server address (Alg. 3 line 4).
   const std::vector<FlowIndex>& by_server(net::Ipv4Address server) const;
@@ -85,16 +119,17 @@ class FlowDatabase {
   const std::vector<FlowIndex>& by_server_port(std::uint16_t port) const;
 
   /// Distinct server IPs observed serving `fqdn`.
-  std::set<net::Ipv4Address> servers_for_fqdn(const std::string& fqdn) const;
+  std::set<net::Ipv4Address> servers_for_fqdn(std::string_view fqdn) const;
 
   /// Distinct server IPs observed for a whole organization (2LD).
   std::set<net::Ipv4Address> servers_for_second_level(
-      const std::string& sld) const;
+      std::string_view sld) const;
 
   /// Distinct FQDNs observed on a server.
   std::set<std::string> fqdns_on_server(net::Ipv4Address server) const;
 
-  /// All distinct labels in the database.
+  /// All distinct labels in the database. Strings at the boundary: the
+  /// analytics and I/O layers keep consuming owned strings.
   std::set<std::string> distinct_fqdns() const;
 
   /// Ports seen, most flows first.
@@ -102,12 +137,13 @@ class FlowDatabase {
       const;
 
  private:
+  std::shared_ptr<DomainTable> table_;
   std::vector<TaggedFlow> flows_;
   // dnh-lint: bounded(take_database) the database grows with its window
   // and is moved out whole on rotation; indexes die with the flows.
-  std::unordered_map<std::string, std::vector<FlowIndex>> fqdn_index_;
+  std::unordered_map<DomainId, std::vector<FlowIndex>> fqdn_index_;
   // dnh-lint: bounded(take_database)
-  std::unordered_map<std::string, std::vector<FlowIndex>> sld_index_;
+  std::unordered_map<DomainId, std::vector<FlowIndex>> sld_index_;
   // dnh-lint: bounded(take_database)
   std::unordered_map<net::Ipv4Address, std::vector<FlowIndex>> server_index_;
   // dnh-lint: bounded(take_database)

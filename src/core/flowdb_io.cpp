@@ -109,7 +109,8 @@ RowError parse_row(std::string_view line, TaggedFlow& flow) {
   flow.last_packet = util::Timestamp::from_micros(last_us);
   flow.dns_response_time = util::Timestamp::from_micros(dns_us);
   flow.tagged_at_start = tagged != 0;
-  flow.fqdn = std::string{fields[12]};
+  // View into the caller's line buffer; FlowDatabase::add re-interns it.
+  flow.fqdn = fields[12];
   flow.dpi_label = std::string{fields[15]};
   flow.cert_cn = std::string{fields[16]};
   if (!fields[17].empty()) {

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -23,6 +24,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/domain_table.hpp"
 #include "net/ip.hpp"
 #include "util/time.hpp"
 
@@ -43,8 +45,13 @@ struct UnorderedMapPolicy {
 /// Result of a successful lookup: the FQDN plus when its DNS response was
 /// observed (used for first-flow-delay analytics, Figs. 12-13).
 struct ResolverHit {
+  /// View into the resolver's DomainTable arena: valid for the table's
+  /// lifetime, not just until the Clist entry is evicted.
   std::string_view fqdn;
   util::Timestamp response_time;
+  /// Interned id of `fqdn` in the resolver's DomainTable; lets consumers
+  /// that share the table (the sniffer's pending tags) skip re-hashing.
+  DomainId fqdn_id = kEmptyDomainId;
 };
 
 /// How many historical labels a (client,server) key retains for the
@@ -69,15 +76,21 @@ struct ResolverStats {
 template <typename MapPolicy = OrderedMapPolicy>
 class BasicDnsResolver {
  public:
-  /// `clist_size` is the paper's L; it bounds live entries.
-  explicit BasicDnsResolver(std::size_t clist_size)
-      : clist_(clist_size > 0 ? clist_size : 1) {}
+  /// `clist_size` is the paper's L; it bounds live entries. The resolver
+  /// interns FQDNs in `table` when given (the sniffer shares one table
+  /// across resolver, DNS log and flow DB) or in a private table otherwise.
+  explicit BasicDnsResolver(std::size_t clist_size,
+                            std::shared_ptr<DomainTable> table = nullptr)
+      : table_{table ? std::move(table)
+                     : std::make_shared<DomainTable>()},
+        clist_(clist_size > 0 ? clist_size : 1) {}
 
-  /// INSERT(DNSresponse): records that `client` resolved `fqdn` to
-  /// `servers` at time `now`.
-  void insert(net::Ipv4Address client, std::string fqdn,
+  /// INSERT(DNSresponse) with a pre-interned name: the zero-allocation
+  /// sniffer path. `fqdn` must come from this resolver's DomainTable.
+  void insert(net::Ipv4Address client, DomainId fqdn,
               std::span<const net::Ipv4Address> servers,
               util::Timestamp now) {
+    // dnh-lint: hot
     ++stats_.inserts;
 
     // Recycle the next Clist slot (Alg. 1 lines 22-25): drop the old
@@ -88,13 +101,17 @@ class BasicDnsResolver {
       delete_back_references(slot);
     }
     const std::uint32_t index = static_cast<std::uint32_t>(next_);
-    next_ = (next_ + 1) % clist_.size();
+    // Increment-and-wrap: the modulo on every insert was a measurable
+    // per-response cost (integer division) for a counter that only ever
+    // advances by one.
+    if (++next_ == clist_.size()) next_ = 0;
 
     slot.in_use = true;
     slot.generation += 1;
-    slot.fqdn = std::move(fqdn);
+    slot.fqdn = fqdn;
     slot.response_time = now;
     slot.references.clear();
+    slot.references.reserve(servers.size());
 
     auto& server_map = client_map_[client];
     for (const auto server : servers) {
@@ -123,11 +140,21 @@ class BasicDnsResolver {
     }
   }
 
+  /// INSERT(DNSresponse) from text: interns `fqdn` first. Convenience for
+  /// the trace generator and tests; the sniffer uses the DomainId overload.
+  void insert(net::Ipv4Address client, std::string_view fqdn,
+              std::span<const net::Ipv4Address> servers,
+              util::Timestamp now) {
+    insert(client, table_->intern(fqdn), servers, now);
+  }
+
   /// LOOKUP(ClientIP, ServerIP): the FQDN `client` most recently resolved
-  /// for `server`, or nullopt. The returned view is valid until the entry
-  /// is evicted — callers copy it into their flow records immediately.
+  /// for `server`, or nullopt. The returned view points into the
+  /// DomainTable arena and stays valid for the table's lifetime (eviction
+  /// recycles the Clist slot, not the interned bytes).
   std::optional<ResolverHit> lookup(net::Ipv4Address client,
                                     net::Ipv4Address server) const {
+    // dnh-lint: hot
     ++stats_.lookups;
     const RefChain* chain = find_chain(client, server);
     if (chain) {
@@ -135,7 +162,8 @@ class BasicDnsResolver {
         const Entry& entry = clist_[ref.index];
         if (entry.in_use && entry.generation == ref.generation) {
           ++stats_.hits;
-          return ResolverHit{entry.fqdn, entry.response_time};
+          return ResolverHit{table_->view(entry.fqdn), entry.response_time,
+                             entry.fqdn};
         }
       }
     }
@@ -155,9 +183,10 @@ class BasicDnsResolver {
       const Entry& entry = clist_[ref.index];
       if (!entry.in_use || entry.generation != ref.generation) continue;
       bool duplicate = false;
-      for (const auto& hit : out) duplicate |= hit.fqdn == entry.fqdn;
+      for (const auto& hit : out) duplicate |= hit.fqdn_id == entry.fqdn;
       if (!duplicate)
-        out.push_back(ResolverHit{entry.fqdn, entry.response_time});
+        out.push_back(ResolverHit{table_->view(entry.fqdn),
+                                  entry.response_time, entry.fqdn});
     }
     return out;
   }
@@ -179,9 +208,15 @@ class BasicDnsResolver {
       const Entry& entry = clist_[ref.index];
       if (!entry.in_use || entry.generation != ref.generation) continue;
       if (entry.response_time > cutoff) continue;
-      return ResolverHit{entry.fqdn, entry.response_time};
+      return ResolverHit{table_->view(entry.fqdn), entry.response_time,
+                         entry.fqdn};
     }
     return std::nullopt;
+  }
+
+  /// The interner backing this resolver's FQDN storage.
+  const std::shared_ptr<DomainTable>& domain_table() const noexcept {
+    return table_;
   }
 
   const ResolverStats& stats() const noexcept { return stats_; }
@@ -192,7 +227,7 @@ class BasicDnsResolver {
 
  private:
   struct Entry {
-    std::string fqdn;
+    DomainId fqdn = kEmptyDomainId;
     util::Timestamp response_time;
     std::vector<std::pair<net::Ipv4Address, net::Ipv4Address>> references;
     std::uint32_t generation = 0;
@@ -240,6 +275,7 @@ class BasicDnsResolver {
     entry.in_use = false;
   }
 
+  std::shared_ptr<DomainTable> table_;
   std::vector<Entry> clist_;
   std::size_t next_ = 0;
   Map<net::Ipv4Address, ServerMap> client_map_;

@@ -1,8 +1,11 @@
 #include "core/sniffer.hpp"
 
+#include <cstring>
+
 #include "baseline/cert_inspection.hpp"
 #include "baseline/dpi.hpp"
 #include "dns/message.hpp"
+#include "dns/wire_scan.hpp"
 #include "packet/decode.hpp"
 #include "pcap/pcapng.hpp"
 
@@ -66,7 +69,11 @@ std::string shard_gauge_name(const char* base, std::size_t shard) {
 }  // namespace
 
 Sniffer::Sniffer(SnifferConfig config)
-    : config_{config}, resolver_{config.clist_size}, table_{config.table} {
+    : config_{config},
+      domains_{std::make_shared<DomainTable>()},
+      resolver_{config.clist_size, domains_},
+      table_{config.table},
+      database_{domains_} {
   table_.set_flow_start_observer(
       [this](const flow::FlowRecord& flow) { on_flow_start(flow); });
   table_.set_exporter(
@@ -85,6 +92,10 @@ Sniffer::Sniffer(SnifferConfig config)
       registry.gauge(shard_gauge_name("dnh_tcp_dns_buffers", shard));
   pending_tags_gauge_ =
       registry.gauge(shard_gauge_name("dnh_pending_tags", shard));
+  domain_table_bytes_gauge_ =
+      registry.gauge(shard_gauge_name("dnh_domain_table_bytes", shard));
+  domain_table_size_gauge_ =
+      registry.gauge(shard_gauge_name("dnh_domain_table_size", shard));
 }
 
 void Sniffer::publish_gauges() {
@@ -100,6 +111,9 @@ void Sniffer::publish_gauges() {
   tcp_buffers_gauge_.set(
       static_cast<std::int64_t>(tcp_dns_buffers_.size()));
   pending_tags_gauge_.set(static_cast<std::int64_t>(pending_tags_.size()));
+  domain_table_bytes_gauge_.set(
+      static_cast<std::int64_t>(domains_->arena_bytes()));
+  domain_table_size_gauge_.set(static_cast<std::int64_t>(domains_->size()));
 }
 
 void Sniffer::on_frame(net::BytesView frame, util::Timestamp ts) {
@@ -176,12 +190,39 @@ void Sniffer::on_frame(net::BytesView frame, util::Timestamp ts) {
 void Sniffer::handle_dns_message(net::BytesView wire,
                                  net::Ipv4Address client,
                                  util::Timestamp ts) {
+  // dnh-lint: hot
   SnifferMetrics& m = metrics();
   dns::MessageParseError parse_error = dns::MessageParseError::kNone;
   obs::SpanTimer parse_span{m.dns_parse_ns, dns_gate_};
-  const auto msg = dns::DnsMessage::decode(wire, parse_error);
+  bool parsed;
+  if (config_.legacy_dns_decode) {
+    // A/B reference path: full decode, then project the three facts the
+    // sniffer needs into the same scratch the scanner fills, so the tail
+    // below is shared and the two paths cannot drift in behaviour.
+    const auto msg = dns::DnsMessage::decode(wire, parse_error);
+    parsed = msg.has_value();
+    if (msg) {
+      dns_scratch_.is_response = msg->is_response;
+      // dnh-lint: allow(hot-path-noalloc) -- the legacy decode branch is
+      // the off-by-default reference path; only the scanner branch below
+      // carries the zero-allocation contract.
+      const std::string name = msg->canonical_query_name().to_string();
+      if (name == ".") {
+        dns_scratch_.name_len = 0;  // root/no-question sentinel
+      } else {
+        dns_scratch_.name_len =
+            std::min(name.size(), dns_scratch_.name.size());
+        std::memcpy(dns_scratch_.name.data(), name.data(),
+                    dns_scratch_.name_len);
+      }
+      const auto servers = msg->answer_addresses();
+      dns_scratch_.addresses.assign(servers.begin(), servers.end());
+    }
+  } else {
+    parsed = dns::scan_response(wire, dns_scratch_, parse_error);
+  }
   parse_span.stop();
-  if (!msg) {
+  if (!parsed) {
     ++stats_.dns_parse_failures;
     switch (parse_error) {
       case dns::MessageParseError::kTruncated:
@@ -208,7 +249,7 @@ void Sniffer::handle_dns_message(net::BytesView wire,
     }
     return;
   }
-  if (!msg->is_response) {
+  if (!dns_scratch_.is_response) {
     // Well-formed but not a response on the response port: odd, not hostile.
     ++stats_.dns_parse_failures;
     m.dns_err_not_response.inc();
@@ -216,11 +257,11 @@ void Sniffer::handle_dns_message(net::BytesView wire,
   }
   ++stats_.dns_responses;
   m.dns_responses.inc();
-  std::string fqdn = msg->canonical_query_name().to_string();
-  if (fqdn == ".") return;  // no question section: nothing to key on
-  auto servers = msg->answer_addresses();
+  if (dns_scratch_.name_len == 0)
+    return;  // no question section: nothing to key on
 
-  resolver_.insert(client, fqdn, servers, ts);
+  const DomainId fqdn = domains_->intern(dns_scratch_.name_view());
+  resolver_.insert(client, fqdn, dns_scratch_.addresses, ts);
   if (config_.record_dns_log) {
     if (config_.max_dns_log > 0 && dns_log_.size() >= config_.max_dns_log) {
       // Halving eviction keeps amortized cost O(1) per event and retains
@@ -231,7 +272,8 @@ void Sniffer::handle_dns_message(net::BytesView wire,
       stats_.degradation.dns_log_evictions += evict;
       m.dns_log_evictions.add(evict);
     }
-    dns_log_.push_back({ts, client, std::move(fqdn), std::move(servers)});
+    dns_log_.push_back(
+        {ts, client, domains_->view(fqdn), dns_scratch_.addresses, fqdn});
   }
 }
 
@@ -279,8 +321,7 @@ void Sniffer::on_tcp_dns_segment(const packet::DecodedPacket& pkt) {
 void Sniffer::on_flow_start(const flow::FlowRecord& flow) {
   const auto hit = resolver_.lookup(flow.key.client_ip, flow.key.server_ip);
   if (hit) {
-    pending_tags_[flow.key] =
-        PendingTag{std::string{hit->fqdn}, hit->response_time};
+    pending_tags_[flow.key] = PendingTag{hit->fqdn_id, hit->response_time};
   }
   if (flow_start_hook_)
     flow_start_hook_(flow, hit ? hit->fqdn : std::string_view{});
@@ -301,7 +342,8 @@ void Sniffer::on_flow_export(flow::FlowRecord&& flow) {
 
   const auto pending = pending_tags_.find(flow.key);
   if (pending != pending_tags_.end()) {
-    tagged.fqdn = std::move(pending->second.fqdn);
+    tagged.fqdn_id = pending->second.fqdn;
+    tagged.fqdn = domains_->view(tagged.fqdn_id);
     tagged.dns_response_time = pending->second.response_time;
     tagged.tagged_at_start = true;
     ++stats_.flows_tagged_at_start;
@@ -317,7 +359,8 @@ void Sniffer::on_flow_export(flow::FlowRecord&& flow) {
     // sharded and single-threaded runs label identically.
     if (const auto hit = resolver_.lookup_at_or_before(
             flow.key.client_ip, flow.key.server_ip, flow.last_packet)) {
-      tagged.fqdn = std::string{hit->fqdn};
+      tagged.fqdn_id = hit->fqdn_id;
+      tagged.fqdn = hit->fqdn;
       tagged.dns_response_time = hit->response_time;
       ++stats_.flows_tagged_at_export;
       m.flows_tagged_late.inc();

@@ -10,12 +10,16 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "core/domain_table.hpp"
 #include "core/flowdb.hpp"
 #include "core/resolver.hpp"
+#include "dns/wire_scan.hpp"
 #include "flow/table.hpp"
 #include "net/bytes.hpp"
 #include "obs/metrics.hpp"
@@ -29,8 +33,12 @@ namespace dnh::core {
 struct DnsEvent {
   util::Timestamp time;
   net::Ipv4Address client;
-  std::string fqdn;
+  /// View into the sniffer's DomainTable arena; valid while the table
+  /// lives (the sniffer's FlowDatabase shares and thereby retains it).
+  std::string_view fqdn;
   std::vector<net::Ipv4Address> servers;
+  /// Interned id of `fqdn` in that table.
+  DomainId fqdn_id = kEmptyDomainId;
 };
 
 struct SnifferConfig {
@@ -50,6 +58,11 @@ struct SnifferConfig {
   /// Read damaged pcap files in skip-and-resync mode instead of aborting
   /// at the first corrupt record (see pcap::Reader::Mode).
   bool resync_capture = false;
+  /// Decode DNS responses with the full DnsMessage codec instead of the
+  /// zero-allocation wire scanner. The two accept/reject and classify
+  /// identically (tested differentially); this switch exists for A/B
+  /// benchmarking and as a fallback while the scanner soaks.
+  bool legacy_dns_decode = false;
   /// Shard label on this sniffer's per-instance gauges
   /// (`dnh_resolver_cache_size{shard=N}`, ...). The sharded pipeline sets
   /// its worker index; the single-threaded path keeps 0. Counters are
@@ -143,11 +156,19 @@ class Sniffer {
 
   /// Moves the accumulated flow database out and starts a fresh one; the
   /// resolver and live flow table are untouched (window rotation for
-  /// long-running deployments — see core/live.hpp).
+  /// long-running deployments — see core/live.hpp). The fresh database
+  /// shares the sniffer's DomainTable, so labels interned in earlier
+  /// windows stay valid and are not re-copied.
   FlowDatabase take_database() {
     FlowDatabase out = std::move(database_);
-    database_ = FlowDatabase{};
+    database_ = FlowDatabase{domains_};
     return out;
+  }
+
+  /// The interner shared by this sniffer's resolver, DNS log and
+  /// databases. DnsEvent/TaggedFlow views point into it.
+  const std::shared_ptr<DomainTable>& domain_table() const noexcept {
+    return domains_;
   }
 
   /// Moves the DNS event log out and starts a fresh one.
@@ -166,7 +187,7 @@ class Sniffer {
 
  private:
   struct PendingTag {
-    std::string fqdn;
+    DomainId fqdn = kEmptyDomainId;
     util::Timestamp response_time;
   };
 
@@ -185,9 +206,13 @@ class Sniffer {
   void on_flow_export(flow::FlowRecord&& flow);
 
   SnifferConfig config_;
+  /// Declared before every member that shares it (resolver, database).
+  std::shared_ptr<DomainTable> domains_;
   DnsResolver resolver_;
   flow::FlowTable table_;
   FlowDatabase database_;
+  /// Reused decode buffers: steady-state DNS handling allocates nothing.
+  dns::ResponseScratch dns_scratch_;
   std::vector<DnsEvent> dns_log_;
   // dnh-lint: bounded(on_flow_export) one entry per live tagged flow,
   // erased when the flow exports; the flow table's idle sweep bounds
@@ -215,6 +240,8 @@ class Sniffer {
   obs::Gauge dns_log_gauge_;
   obs::Gauge tcp_buffers_gauge_;
   obs::Gauge pending_tags_gauge_;
+  obs::Gauge domain_table_bytes_gauge_;
+  obs::Gauge domain_table_size_gauge_;
 };
 
 }  // namespace dnh::core

@@ -1,0 +1,61 @@
+// Zero-allocation DNS response scanner for the sniffer hot path.
+//
+// `DnsMessage::decode` materializes every label, question and record as
+// owned strings/vectors — correct and convenient for the trace generator
+// and tests, but the sniffer only needs three facts per message: is it a
+// response, what is the canonical query name, and which IPv4 addresses do
+// the answers carry. `scan_response` extracts exactly those into a
+// caller-owned `ResponseScratch` whose buffers are reused across messages,
+// so steady state decodes allocate nothing.
+//
+// Contract: scan_response accepts and rejects EXACTLY the wire bytes that
+// `DnsMessage::decode` accepts and rejects, and classifies failures with
+// the same `MessageParseError` — the sniffer's degraded-mode accounting
+// must not change depending on which decoder ran. Every bound here
+// (section-count lie, label/name length, pointer-jump budget) mirrors the
+// full codec; tests/test_wire_scan.cpp differentially fuzzes the two.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "dns/message.hpp"
+#include "net/bytes.hpp"
+#include "net/ip.hpp"
+
+namespace dnh::dns {
+
+/// Reusable output buffers for scan_response. Construct once per sniffer
+/// (or per shard) and pass to every call; `addresses` keeps its capacity
+/// across messages so steady-state scans never touch the heap.
+struct ResponseScratch {
+  /// QR flag from the header; only meaningful when scan_response returned
+  /// true (the whole message parsed).
+  bool is_response = false;
+
+  /// Canonical query name (first question), lowercased presentation form
+  /// without trailing dot. name_len == 0 encodes the root / no-question
+  /// case (what DnsName::to_string renders as "."). 253 presentation
+  /// characters is the RFC ceiling; 255 keeps the array round.
+  std::array<char, 255> name{};
+  std::size_t name_len = 0;
+
+  /// IPv4 addresses of the answer-section A records, in wire order.
+  std::vector<net::Ipv4Address> addresses;
+
+  std::string_view name_view() const noexcept {
+    return {name.data(), name_len};
+  }
+};
+
+/// Scans a wire-format DNS message, filling `out` with the response bits
+/// the sniffer needs. Returns true iff `DnsMessage::decode` would have
+/// succeeded on the same bytes; on failure `error` carries the same
+/// classification decode would have reported. Allocates nothing beyond
+/// `out.addresses` growth (which amortizes to zero across calls).
+bool scan_response(net::BytesView wire, ResponseScratch& out,
+                   MessageParseError& error);
+
+}  // namespace dnh::dns

@@ -1,6 +1,7 @@
 #include "pipeline/pipeline.hpp"
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <deque>
 #include <map>
@@ -18,6 +19,13 @@
 namespace dnh::pipeline {
 
 namespace {
+
+// Ring batch sizes: how many frames move per acquire/release pair on the
+// produce (dispatcher staging) and consume (worker drain) sides. Small
+// enough that a batch adds negligible latency at line rate, large enough
+// to amortize the cross-core cache-line bounce.
+constexpr std::size_t kDispatchBatch = 8;
+constexpr std::size_t kConsumeBatch = 8;
 
 // Fibonacci-based avalanche (splitmix64 finalizer): adjacent client
 // addresses — the common case in access networks, where one /24 holds the
@@ -174,6 +182,23 @@ struct ShardedAnalyzer::MergeInbox {
 struct ShardedAnalyzer::Worker {
   Worker(const core::SnifferConfig& config, std::size_t queue_capacity)
       : queue(queue_capacity), sniffer(config) {}
+
+  /// Dispatcher-side staging buffer: frames accumulate here and enter the
+  /// ring kDispatchBatch at a time via try_produce_n, so the
+  /// acquire/release pair (and its cross-core cache-line bounce) is paid
+  /// per batch instead of per frame. Item buffers are recycled by
+  /// swapping with ring slots. Dispatcher-thread-owned.
+  struct Stage {
+    std::array<Item, kDispatchBatch> items;
+    std::size_t count = 0;
+    /// Set while the ring cannot absorb a whole flush. Under kDrop the
+    /// dispatcher then bypasses batching and offers each frame at
+    /// arrival, so shed-vs-accepted accounting reflects the ring's state
+    /// WHEN the frame arrived, not when a batch happened to fill —
+    /// exactly the semantics of the pre-batching per-frame push.
+    bool congested = false;
+  };
+  Stage stage;
 
   SpscRing<Item> queue;
   core::Sniffer sniffer;             ///< worker-thread-owned after start
@@ -353,32 +378,63 @@ void ShardedAnalyzer::dispatch_frame(net::BytesView frame,
   PipelineMetrics& m = pipeline_metrics();
   obs::SpanTimer span{m.dispatch_ns, dispatch_gate_};
   const std::size_t shard = route_frame(frame, ts);
+  Worker::Stage& stage = workers_[shard]->stage;
+  Item& staged = stage.items[stage.count++];
+  staged.kind = Item::Kind::kFrame;
+  staged.ts = ts;
+  staged.frame.assign(frame.begin(), frame.end());  // recycled capacity
+  if (stage.count == kDispatchBatch ||
+      (stage.congested && config_.backpressure == BackpressurePolicy::kDrop))
+    flush_stage(shard);
+}
+
+void ShardedAnalyzer::flush_stage(std::size_t shard) {
   Worker& worker = *workers_[shard];
+  Worker::Stage& stage = worker.stage;
+  if (stage.count == 0) return;
+  PipelineMetrics& m = pipeline_metrics();
   DispatchCounters& counters = dispatch_[shard];
-  const auto fill = [&](Item& slot) {
-    slot.kind = Item::Kind::kFrame;
-    slot.ts = ts;
-    slot.frame.assign(frame.begin(), frame.end());
+
+  std::size_t offset = 0;
+  const auto produce = [&] {
+    // dnh-lint: ring-producer (dispatcher thread owns every produce side)
+    return worker.queue.try_produce_n(
+        stage.count - offset, [&](Item& slot, std::size_t i) {
+          Item& staged = stage.items[offset + i];
+          slot.kind = staged.kind;
+          slot.ts = staged.ts;
+          // Swap keeps BOTH buffer pools warm: the ring slot's recycled
+          // capacity returns to the stage for the next frame.
+          std::swap(slot.frame, staged.frame);
+        });
   };
-  // dnh-lint: ring-producer (dispatcher thread owns every produce side)
-  if (!worker.queue.try_produce(fill)) {
+  offset = produce();
+  stage.congested = offset < stage.count;
+  if (offset < stage.count) {
     if (config_.backpressure == BackpressurePolicy::kDrop) {
-      ++counters.dropped;
-      m.frames_dropped.inc();
-      return;
+      const std::uint64_t shed = stage.count - offset;
+      counters.dropped += shed;
+      m.frames_dropped.add(shed);
+    } else {
+      ++counters.blocked;  // once per stalled flush, not per retry
+      m.blocked_pushes.inc();
+      unsigned spins = 0;
+      while (offset < stage.count) {
+        backoff(spins);
+        offset += produce();
+      }
     }
-    ++counters.blocked;  // once per stalled frame, not per retry
-    m.blocked_pushes.inc();
-    unsigned spins = 0;
-    // dnh-lint: ring-producer (same dispatcher thread, backpressure retry)
-    while (!worker.queue.try_produce(fill)) backoff(spins);
   }
-  ++counters.enqueued;
+  counters.enqueued += offset;
+  stage.count = 0;
   const std::size_t depth = worker.queue.size();
   if (depth > counters.high_water) counters.high_water = depth;
 }
 
 void ShardedAnalyzer::push_control(std::size_t shard, Item&& item) {
+  // Staged frames precede the control item in its shard's ring: rotation
+  // and stop ordering relies on the frame channel being FIFO end to end.
+  flush_stage(shard);
   // Control messages are lossless under every backpressure policy:
   // dropping a rotation would desynchronize the merge sequence.
   Worker& worker = *workers_[shard];
@@ -444,30 +500,35 @@ void ShardedAnalyzer::worker_loop(std::size_t index) {
     inbox_->cv.notify_one();
   };
   while (running) {
+    // Batch drain: one acquire/release pair covers up to kConsumeBatch
+    // items. Safe even around control items — kStop is the last item its
+    // ring will ever carry, so nothing can follow it within a batch.
     // dnh-lint: ring-consumer (this worker thread owns the consume side)
-    const bool got = worker.queue.try_consume([&](Item& item) {
-      switch (item.kind) {
-        case Item::Kind::kFrame: {
-          obs::SpanTimer span{pipeline_metrics().sniff_ns,
-                              worker.sniff_gate};
-          worker.sniffer.on_frame(item.frame, item.ts);
-          ++worker.frames_processed;
-          break;
-        }
-        case Item::Kind::kRotate:
-          // Open flows stay live in the flow table across rotations,
-          // exactly like LiveAnalyzer: a flow lands in the window it
-          // completes in.
-          emit(false, true, item.start, item.end);
-          break;
-        case Item::Kind::kStop:
-          worker.sniffer.finish();
-          emit(true, item.deliver, item.start, item.end);
-          running = false;
-          break;
-      }
-    });
-    if (got) {
+    const std::size_t got =
+        worker.queue.try_consume_n(kConsumeBatch, [&](Item& item,
+                                                      std::size_t) {
+          switch (item.kind) {
+            case Item::Kind::kFrame: {
+              obs::SpanTimer span{pipeline_metrics().sniff_ns,
+                                  worker.sniff_gate};
+              worker.sniffer.on_frame(item.frame, item.ts);
+              ++worker.frames_processed;
+              break;
+            }
+            case Item::Kind::kRotate:
+              // Open flows stay live in the flow table across rotations,
+              // exactly like LiveAnalyzer: a flow lands in the window it
+              // completes in.
+              emit(false, true, item.start, item.end);
+              break;
+            case Item::Kind::kStop:
+              worker.sniffer.finish();
+              emit(true, item.deliver, item.start, item.end);
+              running = false;
+              break;
+          }
+        });
+    if (got > 0) {
       spins = 0;
     } else {
       backoff(spins);
@@ -540,12 +601,20 @@ core::AnalysisWindow ShardedAnalyzer::merge_windows(
   std::vector<core::TaggedFlow> flows;
   flows.reserve(flow_count);
   out.dns_log.reserve(event_count);
+  // Shard-local DomainIds are meaningless in the merged window: re-intern
+  // every DNS event's label into the output database's table (flows are
+  // re-interned by out.db.add below). This also moves the label bytes out
+  // of the shard tables, which die with `parts`.
+  core::DomainTable& unified = *out.db.domain_table();
   for (auto& part : parts) {
     std::vector<core::TaggedFlow> shard_flows = part.window.db.take_flows();
     std::move(shard_flows.begin(), shard_flows.end(),
               std::back_inserter(flows));
-    std::move(part.window.dns_log.begin(), part.window.dns_log.end(),
-              std::back_inserter(out.dns_log));
+    for (auto& event : part.window.dns_log) {
+      event.fqdn_id = unified.intern(event.fqdn);
+      event.fqdn = unified.view(event.fqdn_id);
+      out.dns_log.push_back(std::move(event));
+    }
   }
   // The canonical sort is what makes shard count invisible: re-adding in
   // this order rebuilds the exact FlowDatabase (rows AND index order) a

@@ -197,6 +197,9 @@ class ShardedAnalyzer {
   // (sampled_peaks_).
   std::size_t route_frame(net::BytesView frame, util::Timestamp ts);
   void dispatch_frame(net::BytesView frame, util::Timestamp ts);
+  /// Drains shard's dispatcher-side staging buffer into its ring in one
+  /// batched produce (dropping or blocking per the backpressure policy).
+  void flush_stage(std::size_t shard);
   void push_control(std::size_t shard, Item&& item);
   void broadcast_rotation(util::Timestamp start, util::Timestamp end);
   void worker_loop(std::size_t index);

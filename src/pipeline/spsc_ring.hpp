@@ -14,9 +14,15 @@
 //    be copied INTO the ring's recycled buffer (vector::assign reuses
 //    capacity) instead of allocating a fresh buffer per frame.
 //
+//  - Batch variants (try_push_n/try_produce_n, try_pop_n/try_consume_n)
+//    move several elements per acquire/release pair, amortizing the
+//    cross-core cache-line bounce that dominates per-element cost at high
+//    frame rates.
+//
 // Capacity is rounded up to a power of two. Strictly SPSC: one thread may
-// call produce-side functions (try_push/try_produce), one thread
-// consume-side functions (try_pop/try_consume). This confinement cannot
+// call produce-side functions (try_push/try_produce and their _n batch
+// forms), one thread consume-side functions (try_pop/try_consume and
+// their _n batch forms). This confinement cannot
 // be expressed to the generic thread-safety analysis (the ring is
 // lock-free by design), so dnh-lint's `ring-role` rule enforces it
 // instead: every push/pop call site must carry a
@@ -68,6 +74,35 @@ class SpscRing {
     return true;
   }
 
+  /// Producer: batch try_produce. Invokes `fill(slot, i)` for i in
+  /// [0, n) on consecutive free slots, publishing them all with ONE
+  /// release store — the acquire/release pair is paid per batch, not per
+  /// element. Returns how many were produced: min(n, free slots), 0 when
+  /// full. Partial success is normal under backpressure; the caller
+  /// retries or sheds the remainder.
+  template <typename Fill>
+  std::size_t try_produce_n(std::size_t n, Fill&& fill) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    std::uint64_t free = mask_ + 1 - (tail - head_cache_);
+    if (free < n) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      free = mask_ + 1 - (tail - head_cache_);
+    }
+    const std::size_t count = free < n ? static_cast<std::size_t>(free) : n;
+    for (std::size_t i = 0; i < count; ++i)
+      fill(buffer_[(tail + i) & mask_], i);
+    if (count > 0)
+      tail_.store(tail + count, std::memory_order_release);
+    return count;
+  }
+
+  /// Producer: batch try_push. Moves elements from `first` until the ring
+  /// fills or `n` are pushed; returns how many were taken.
+  std::size_t try_push_n(T* first, std::size_t n) {
+    return try_produce_n(
+        n, [&](T& slot, std::size_t i) { slot = std::move(first[i]); });
+  }
+
   /// Consumer: moves the oldest element into `out`. False when empty.
   bool try_pop(T& out) {
     return try_consume([&](T& slot) { out = std::move(slot); });
@@ -85,6 +120,33 @@ class SpscRing {
     use(buffer_[head & mask_]);
     head_.store(head + 1, std::memory_order_release);
     return true;
+  }
+
+  /// Consumer: batch try_consume. Invokes `use(slot, i)` for i in
+  /// [0, count) over up to `max_n` pending elements, releasing them all
+  /// with ONE release store. Returns count (0 when empty).
+  template <typename Use>
+  std::size_t try_consume_n(std::size_t max_n, Use&& use) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    std::uint64_t avail = tail_cache_ - head;
+    if (avail < max_n) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      avail = tail_cache_ - head;
+    }
+    const std::size_t count =
+        avail < max_n ? static_cast<std::size_t>(avail) : max_n;
+    for (std::size_t i = 0; i < count; ++i)
+      use(buffer_[(head + i) & mask_], i);
+    if (count > 0)
+      head_.store(head + count, std::memory_order_release);
+    return count;
+  }
+
+  /// Consumer: batch try_pop. Moves up to `max_n` oldest elements into
+  /// `out`; returns how many were popped.
+  std::size_t try_pop_n(T* out, std::size_t max_n) {
+    return try_consume_n(
+        max_n, [&](T& slot, std::size_t i) { out[i] = std::move(slot); });
   }
 
   /// Approximate occupancy (exact only from the producer thread between

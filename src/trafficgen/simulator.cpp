@@ -1077,9 +1077,14 @@ EventTrace render_events(const Specs& specs) {
   out.start = specs.start;
   out.end = specs.end;
   out.dns_log.reserve(specs.dns.size());
-  for (const auto& dns : specs.dns)
-    out.dns_log.push_back({dns.response_time, dns.client, dns.fqdn,
-                           dns.answers});
+  // Spec strings die with `specs`; intern names into the trace's own
+  // table so the events' views outlive rendering.
+  core::DomainTable& domains = *out.db.domain_table();
+  for (const auto& dns : specs.dns) {
+    const core::DomainId id = domains.intern(dns.fqdn);
+    out.dns_log.push_back({dns.response_time, dns.client, domains.view(id),
+                           dns.answers, id});
+  }
 
   for (const auto& flow : specs.flows) {
     core::TaggedFlow tagged;

@@ -1,0 +1,27 @@
+// dnh-lint-fixture: path=src/dns/hot_noalloc_ok.cpp expect=clean
+// A hot-tagged function writing into a caller-provided scratch buffer,
+// plus an allocating helper OUTSIDE the tagged region (allowed), plus a
+// justified allow() suppression inside one.
+#include <cstddef>
+#include <string>
+
+namespace dnh::dns {
+
+std::size_t copy_name(const char* wire, std::size_t len, char* out) {
+  // dnh-lint: hot
+  for (std::size_t i = 0; i < len; ++i) out[i] = wire[i];
+  return len;
+}
+
+// Not tagged: cold setup code may allocate freely.
+std::string pretty(const char* wire) { return std::string{wire}; }
+
+int legacy_compare(const char* wire) {
+  // dnh-lint: hot
+  // dnh-lint: allow(hot-path-noalloc) A/B reference branch, measured but
+  // off by default; only the scanner path holds the contract.
+  const std::string reference{wire};
+  return reference.empty() ? 0 : 1;
+}
+
+}  // namespace dnh::dns

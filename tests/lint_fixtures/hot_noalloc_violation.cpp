@@ -1,0 +1,20 @@
+// dnh-lint-fixture: path=src/dns/hot_noalloc_violation.cpp expect=hot-path-noalloc
+// A tagged hot function that builds a std::string from wire bytes: the
+// exact allocation pattern the interning refactor removed.
+#include <string>
+
+namespace dnh::dns {
+
+struct Reader {
+  const char* data;
+  std::string read_string(int n);
+};
+
+std::string decode_name(Reader& r) {
+  // dnh-lint: hot
+  std::string name{r.data};  // allocates per message
+  name += r.read_string(4);
+  return name;
+}
+
+}  // namespace dnh::dns

@@ -1,0 +1,24 @@
+// dnh-lint-fixture: path=src/pipeline/ring_role_batch.cpp expect=ring-role
+// Batch (_n) ring operations carry the same role contract as the
+// single-item forms: the untagged try_push_n below must be flagged; the
+// tagged try_consume_n is fine.
+#include <cstddef>
+
+namespace dnh::pipeline {
+
+template <typename T>
+struct FakeRing {
+  std::size_t try_push_n(const T*, std::size_t) { return 0; }
+  std::size_t try_consume_n(std::size_t, int) { return 0; }
+};
+
+std::size_t flush(FakeRing<int>& ring, const int* items, std::size_t n) {
+  return ring.try_push_n(items, n);  // missing role tag
+}
+
+std::size_t drain(FakeRing<int>& ring) {
+  // dnh-lint: ring-consumer (worker thread owns the pop side)
+  return ring.try_consume_n(8, 0);
+}
+
+}  // namespace dnh::pipeline

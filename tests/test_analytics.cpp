@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <deque>
+
 #include "analytics/anomaly.hpp"
 #include "analytics/content.hpp"
 #include "analytics/delay.hpp"
@@ -70,7 +72,15 @@ TEST(Tokenizer, NoSubdomainYieldsNoTokens) {
 
 // --------------------------------------------------------- fixture data
 
-TaggedFlow flow(const std::string& fqdn, Ipv4Address client,
+// Gives a dynamically built name process lifetime so string_view fields
+// (DnsEvent::fqdn, TaggedFlow::fqdn) stay valid without a DomainTable.
+std::string_view pooled(std::string name) {
+  static auto* pool = new std::deque<std::string>;
+  pool->push_back(std::move(name));
+  return pool->back();
+}
+
+TaggedFlow flow(std::string_view fqdn, Ipv4Address client,
                 Ipv4Address server, std::uint16_t port,
                 std::int64_t t_seconds = 100,
                 std::int64_t dns_t_micros = -1) {
@@ -384,10 +394,10 @@ TEST(Dimensioning, EfficiencyGrowsWithClistSize) {
     const Ipv4Address client{10, 0, 0, static_cast<std::uint8_t>(i)};
     const Ipv4Address server{23, 0, 1, static_cast<std::uint8_t>(i)};
     const auto t = Timestamp::from_seconds(i);
-    log.push_back({t, client, "s" + std::to_string(i) + ".x.com", {server}});
-    auto f = flow("s" + std::to_string(i) + ".x.com", client, server, 80,
-                  1000 + i, t.micros_since_epoch());
-    db.add(std::move(f));
+    const auto name = pooled("s" + std::to_string(i) + ".x.com");
+    log.push_back({t, client, name, {server}});
+    db.add(flow(name, client, server, 80, 1000 + i,
+                t.micros_since_epoch()));
   }
   const auto sweep = clist_efficiency_sweep(log, db, {5, 25, 50, 100});
   ASSERT_EQ(sweep.size(), 4u);
@@ -448,7 +458,7 @@ orgdb::OrgDb anomaly_orgs() {
   return orgs;
 }
 
-DnsEvent dns_event(std::int64_t t, const std::string& fqdn,
+DnsEvent dns_event(std::int64_t t, std::string_view fqdn,
                    std::vector<Ipv4Address> servers) {
   return {Timestamp::from_seconds(t), Ipv4Address{10, 0, 0, 1}, fqdn,
           std::move(servers)};
@@ -564,7 +574,7 @@ namespace {
 
 core::FlowDatabase volume_db() {
   core::FlowDatabase db;
-  auto add = [&](const std::string& fqdn, std::uint64_t bytes,
+  auto add = [&](std::string_view fqdn, std::uint64_t bytes,
                  flow::ProtocolClass cls = flow::ProtocolClass::kHttp) {
     core::TaggedFlow f;
     f.key.client_ip = kC1;
@@ -749,7 +759,8 @@ TEST(Dga, DetectorFlagsInfectedClientOnly) {
     for (int j = 0; j < 12; ++j)
       name += static_cast<char>('a' + rng.uniform(0, 25));
     name += ".com";
-    core::DnsEvent event{Timestamp::from_seconds(i), infected, name, {}};
+    core::DnsEvent event{Timestamp::from_seconds(i), infected,
+                         pooled(std::move(name)), {}};
     if (i % 20 == 0) event.servers = {Ipv4Address{198, 18, 0, 1}};
     log.push_back(std::move(event));
   }

@@ -14,7 +14,7 @@ using util::Timestamp;
 
 // --------------------------------------------------------------- FlowDb
 
-TaggedFlow make_flow(const std::string& fqdn, Ipv4Address server,
+TaggedFlow make_flow(std::string_view fqdn, Ipv4Address server,
                      std::uint16_t port = 80,
                      Ipv4Address client = Ipv4Address{10, 0, 0, 1}) {
   TaggedFlow flow;

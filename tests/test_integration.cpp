@@ -77,12 +77,14 @@ TEST_F(IntegrationTest, LabelsAreConsistentWithDnsLog) {
   std::set<std::tuple<std::uint32_t, std::string, std::uint32_t>> valid;
   for (const auto& event : sniffer_->dns_log()) {
     for (const auto server : event.servers)
-      valid.insert({event.client.value(), event.fqdn, server.value()});
+      valid.insert(
+          {event.client.value(), std::string{event.fqdn}, server.value()});
   }
   std::uint64_t checked = 0;
   for (const auto& flow : sniffer_->database().flows()) {
     if (!flow.labeled()) continue;
-    EXPECT_TRUE(valid.count({flow.key.client_ip.value(), flow.fqdn,
+    EXPECT_TRUE(valid.count({flow.key.client_ip.value(),
+                             std::string{flow.fqdn},
                              flow.key.server_ip.value()}))
         << flow.fqdn << " -> " << flow.key.server_ip.to_string();
     ++checked;
@@ -126,7 +128,7 @@ TEST_F(IntegrationTest, SpatialServersAreSubsetOfOrganizationServers) {
   const auto& indices = db.by_second_level("zynga.com");
   ASSERT_FALSE(indices.empty());
   const auto report = analytics::spatial_discovery(
-      db, sim_->world().org_db(), db.flow(indices.front()).fqdn);
+      db, sim_->world().org_db(), std::string{db.flow(indices.front()).fqdn});
   std::set<net::Ipv4Address> org_servers;
   for (const auto& server : report.organization_servers)
     org_servers.insert(server.server);

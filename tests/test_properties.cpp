@@ -350,8 +350,10 @@ TEST(FlowTsvProperty, RandomDatabasesRoundTrip) {
       flow.packets_c2s = rng.uniform(0, 1000);
       flow.bytes_s2c = rng.uniform(0, 1 << 30);
       flow.protocol = static_cast<flow::ProtocolClass>(rng.uniform(0, 5));
+      std::string fqdn_storage;  // backs flow.fqdn until add() re-interns
       if (rng.chance(0.7)) {
-        flow.fqdn = random_fqdn(rng);
+        fqdn_storage = random_fqdn(rng);
+        flow.fqdn = fqdn_storage;
         flow.tagged_at_start = rng.chance(0.9);
       }
       if (rng.chance(0.3)) {

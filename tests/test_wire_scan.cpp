@@ -1,0 +1,205 @@
+// Differential tests for the zero-allocation DNS scanner: scan_response
+// must accept, reject and classify EXACTLY like DnsMessage::decode on the
+// same bytes (the contract in src/dns/wire_scan.hpp). Structured random
+// messages establish agreement on the accept path; mutation and raw-byte
+// fuzzing establish agreement on every rejection class.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "dns/message.hpp"
+#include "dns/name.hpp"
+#include "dns/wire_scan.hpp"
+#include "util/rng.hpp"
+
+namespace dnh::dns {
+namespace {
+
+DnsName name(std::string_view s) {
+  auto n = DnsName::from_string(s);
+  EXPECT_TRUE(n) << s;
+  return n.value_or(DnsName{});
+}
+
+std::string random_fqdn(util::Rng& rng) {
+  std::string out;
+  const std::size_t labels = 1 + rng.index(4);
+  for (std::size_t i = 0; i < labels; ++i) {
+    if (i) out += '.';
+    const std::size_t len = 1 + rng.index(12);
+    for (std::size_t j = 0; j < len; ++j) {
+      // Mixed case: the scanner must lowercase exactly like DnsName.
+      const char base = rng.chance(0.5) ? 'a' : 'A';
+      out += static_cast<char>(base + rng.index(26));
+    }
+  }
+  out += rng.chance(0.5) ? ".com" : ".net";
+  return out;
+}
+
+net::Ipv4Address random_ip(util::Rng& rng) {
+  return net::Ipv4Address{static_cast<std::uint32_t>(rng.next_u64())};
+}
+
+// Asserts the two decoders agree on `wire` in full: acceptance, error
+// class, response flag, canonical name, and answer addresses.
+void expect_parity(net::BytesView wire, ResponseScratch& scratch) {
+  MessageParseError decode_error = MessageParseError::kNone;
+  MessageParseError scan_error = MessageParseError::kNone;
+  const auto msg = DnsMessage::decode(wire, decode_error);
+  const bool scanned = scan_response(wire, scratch, scan_error);
+
+  ASSERT_EQ(msg.has_value(), scanned);
+  if (!scanned) {
+    EXPECT_EQ(decode_error, scan_error);
+    return;
+  }
+  EXPECT_EQ(scratch.is_response, msg->is_response);
+  const std::string canonical = msg->canonical_query_name().to_string();
+  const std::string scanned_name =
+      scratch.name_len == 0 ? "." : std::string{scratch.name_view()};
+  EXPECT_EQ(scanned_name, canonical);
+  EXPECT_EQ(scratch.addresses, msg->answer_addresses());
+}
+
+DnsMessage random_message(util::Rng& rng) {
+  DnsMessage msg;
+  msg.id = static_cast<std::uint16_t>(rng.next_u64());
+  msg.is_response = rng.chance(0.9);
+  if (!rng.chance(0.05))
+    msg.questions.push_back({name(random_fqdn(rng)), RecordType::kA,
+                             RecordClass::kIn});
+  auto add_record = [&](std::vector<DnsResourceRecord>& section) {
+    DnsResourceRecord rr;
+    rr.name = name(random_fqdn(rng));
+    rr.ttl = static_cast<std::uint32_t>(rng.index(86400));
+    switch (rng.index(9)) {
+      case 0: rr.type = RecordType::kA; rr.rdata = random_ip(rng); break;
+      case 1:
+        rr.type = RecordType::kAaaa;
+        rr.rdata = net::Ipv6Address::mapped_from(random_ip(rng));
+        break;
+      case 2:
+        rr.type = RecordType::kCname;
+        rr.rdata = name(random_fqdn(rng));
+        break;
+      case 3:
+        rr.type = RecordType::kNs;
+        rr.rdata = name(random_fqdn(rng));
+        break;
+      case 4:
+        rr.type = RecordType::kMx;
+        rr.rdata = MxData{10, name(random_fqdn(rng))};
+        break;
+      case 5:
+        rr.type = RecordType::kSrv;
+        rr.rdata = SrvData{1, 2, 443, name(random_fqdn(rng))};
+        break;
+      case 6:
+        rr.type = RecordType::kTxt;
+        rr.rdata = TxtData{{random_fqdn(rng), "x"}};
+        break;
+      case 7:
+        rr.type = RecordType::kSoa;
+        rr.rdata = SoaData{name(random_fqdn(rng)), name(random_fqdn(rng)),
+                           1, 2, 3, 4, 5};
+        break;
+      default:
+        rr.type = static_cast<RecordType>(200 + rng.index(20));
+        rr.rdata = net::Bytes(rng.index(12), 0xab);
+        break;
+    }
+    section.push_back(std::move(rr));
+  };
+  const std::size_t answers = rng.index(5);
+  for (std::size_t i = 0; i < answers; ++i) add_record(msg.answers);
+  const std::size_t authorities = rng.index(2);
+  for (std::size_t i = 0; i < authorities; ++i) add_record(msg.authorities);
+  const std::size_t additionals = rng.index(2);
+  for (std::size_t i = 0; i < additionals; ++i) add_record(msg.additionals);
+  return msg;
+}
+
+TEST(WireScan, AgreesOnStructuredRandomMessages) {
+  util::Rng rng{2012};
+  ResponseScratch scratch;
+  for (int iter = 0; iter < 2000; ++iter) {
+    const auto wire = random_message(rng).encode();
+    expect_parity(wire, scratch);
+  }
+}
+
+TEST(WireScan, AgreesOnMutatedMessages) {
+  util::Rng rng{54};
+  ResponseScratch scratch;
+  for (int iter = 0; iter < 4000; ++iter) {
+    auto wire = random_message(rng).encode();
+    // Truncate, corrupt, or both: hits every rejection class (truncated
+    // headers/rdata, count lies, bad labels, wild pointers).
+    if (rng.chance(0.5) && !wire.empty())
+      wire.resize(rng.index(wire.size()));
+    const std::size_t flips = rng.index(4);
+    for (std::size_t i = 0; i < flips && !wire.empty(); ++i)
+      wire[rng.index(wire.size())] ^=
+          static_cast<std::uint8_t>(1 + rng.index(255));
+    expect_parity(wire, scratch);
+  }
+}
+
+TEST(WireScan, AgreesOnRawRandomBytes) {
+  util::Rng rng{77};
+  ResponseScratch scratch;
+  for (int iter = 0; iter < 4000; ++iter) {
+    net::Bytes wire(rng.index(80), 0);
+    for (auto& b : wire) b = static_cast<std::uint8_t>(rng.next_u64());
+    expect_parity(wire, scratch);
+  }
+}
+
+TEST(WireScan, AgreesOnHandCraftedEdges) {
+  ResponseScratch scratch;
+  const std::vector<net::Bytes> wires = {
+      {},                                            // empty
+      {0x00, 0x01, 0x80},                            // truncated header
+      // Header claiming one question that is not present (count lie).
+      {0, 1, 0x80, 0, 0, 1, 0, 0, 0, 0, 0, 0},
+      // Root question: no labels, QTYPE/QCLASS present.
+      {0, 1, 0x80, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0x00, 0, 1, 0, 1},
+      // Question name is a self-pointing compression pointer (loop).
+      {0, 1, 0x80, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0xc0, 0x0c, 0, 1, 0, 1},
+      // Pointer past the end of the buffer.
+      {0, 1, 0x80, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0xc0, 0x50, 0, 1, 0, 1},
+      // Reserved label type 0b10.
+      {0, 1, 0x80, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0x80, 'a', 0, 0, 1, 0, 1},
+  };
+  for (const auto& wire : wires) expect_parity(wire, scratch);
+}
+
+TEST(WireScan, QueriesScanButAreNotResponses) {
+  ResponseScratch scratch;
+  const auto wire = make_query(7, name("maps.google.com")).encode();
+  MessageParseError error = MessageParseError::kNone;
+  ASSERT_TRUE(scan_response(wire, scratch, error));
+  EXPECT_FALSE(scratch.is_response);
+  EXPECT_EQ(scratch.name_view(), "maps.google.com");
+}
+
+TEST(WireScan, ReusedScratchResetsBetweenMessages) {
+  ResponseScratch scratch;
+  MessageParseError error = MessageParseError::kNone;
+  const auto first =
+      make_a_response(1, name("cdn.example.com"),
+                      {net::Ipv4Address{9, 9, 9, 9}}, 60).encode();
+  ASSERT_TRUE(scan_response(first, scratch, error));
+  ASSERT_EQ(scratch.addresses.size(), 1u);
+
+  const auto second = make_a_response(2, name("b.example.net"), {}, 60,
+                                      name("alias.example.net")).encode();
+  ASSERT_TRUE(scan_response(second, scratch, error));
+  EXPECT_EQ(scratch.name_view(), "b.example.net");
+  EXPECT_TRUE(scratch.addresses.empty());  // previous answers cleared
+}
+
+}  // namespace
+}  // namespace dnh::dns

@@ -351,7 +351,7 @@ int cmd_flows(const Args& args) {
                 flow.key.server_port,
                 std::string{flow::protocol_class_name(flow.protocol)}.c_str(),
                 util::with_commas(flow.bytes_c2s + flow.bytes_s2c).c_str(),
-                flow.labeled() ? flow.fqdn.c_str() : "-");
+                flow.labeled() ? std::string{flow.fqdn}.c_str() : "-");
     if (++shown == limit) break;
   }
   std::printf("(%zu of %zu flows shown)\n", shown,
