@@ -268,4 +268,134 @@ std::optional<FileFaultReport> corrupt_pcap_file(
   return report;
 }
 
+std::string_view spill_fault_mode_name(SpillFaultMode mode) {
+  switch (mode) {
+    case SpillFaultMode::kTornRecord: return "torn-record";
+    case SpillFaultMode::kBitFlip: return "bit-flip";
+    case SpillFaultMode::kTruncateManifest: return "truncate-manifest";
+    case SpillFaultMode::kGarbageAppend: return "garbage-append";
+  }
+  return "?";
+}
+
+namespace {
+
+/// The spill segment frame header (pipeline/spill.hpp): "DNHS" magic,
+/// u32le payload length, u32le payload CRC. Kept in sync by the spill
+/// round-trip chaos tests, which would fail loudly on drift.
+constexpr std::size_t kSpillFrameHeader = 12;
+
+std::optional<std::vector<std::uint8_t>> slurp_file(const std::string& path) {
+  std::unique_ptr<std::FILE, FileCloser> file{std::fopen(path.c_str(), "rb")};
+  if (!file) return std::nullopt;
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t buffer[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buffer, 1, sizeof buffer, file.get())) > 0)
+    bytes.insert(bytes.end(), buffer, buffer + n);
+  return bytes;
+}
+
+bool dump_file(const std::string& path, const std::vector<std::uint8_t>& b) {
+  std::unique_ptr<std::FILE, FileCloser> file{std::fopen(path.c_str(), "wb")};
+  if (!file) return false;
+  return std::fwrite(b.data(), 1, b.size(), file.get()) == b.size();
+}
+
+/// Byte extents of each well-formed framed record in a spill segment.
+struct RecordSpan {
+  std::size_t offset = 0;
+  std::size_t length = 0;  ///< header included
+};
+
+std::vector<RecordSpan> scan_segment_records(
+    const std::vector<std::uint8_t>& bytes) {
+  std::vector<RecordSpan> records;
+  std::size_t pos = 0;
+  while (pos + kSpillFrameHeader <= bytes.size()) {
+    if (std::memcmp(bytes.data() + pos, "DNHS", 4) != 0) break;
+    const std::uint32_t len =
+        static_cast<std::uint32_t>(bytes[pos + 4]) |
+        (static_cast<std::uint32_t>(bytes[pos + 5]) << 8) |
+        (static_cast<std::uint32_t>(bytes[pos + 6]) << 16) |
+        (static_cast<std::uint32_t>(bytes[pos + 7]) << 24);
+    if (pos + kSpillFrameHeader + len > bytes.size()) break;
+    records.push_back({pos, kSpillFrameHeader + len});
+    pos += kSpillFrameHeader + len;
+  }
+  return records;
+}
+
+}  // namespace
+
+std::optional<SpillFaultReport> corrupt_spill_dir(
+    const std::string& dir, const SpillFaultConfig& config) {
+  util::Rng rng{config.seed};
+  SpillFaultReport report;
+  const std::string manifest =
+      dir + (dir.empty() || dir.back() == '/' ? "" : "/") + "manifest.dnhm";
+
+  if (config.mode == SpillFaultMode::kTruncateManifest ||
+      config.mode == SpillFaultMode::kGarbageAppend) {
+    auto bytes = slurp_file(manifest);
+    if (!bytes || bytes->empty()) return std::nullopt;
+    report.target = manifest;
+    if (config.mode == SpillFaultMode::kTruncateManifest) {
+      // Cut mid-line: recovery must stop its trustworthy prefix at the
+      // torn line, not choke on it.
+      const std::size_t cut = static_cast<std::size_t>(
+          rng.uniform(1, std::max<std::uint64_t>(bytes->size() / 2, 1)));
+      report.bytes_removed = cut;
+      bytes->resize(bytes->size() - cut);
+    } else {
+      const std::size_t n = static_cast<std::size_t>(rng.uniform(8, 128));
+      for (std::size_t i = 0; i < n; ++i)
+        bytes->push_back(static_cast<std::uint8_t>(rng.uniform(0, 255)));
+      report.bytes_appended = n;
+    }
+    if (!dump_file(manifest, *bytes)) return std::nullopt;
+    return report;
+  }
+
+  // Segment modes: gather every shard segment that holds records, then
+  // pick the victim deterministically from the seed.
+  std::vector<std::pair<std::string, std::vector<std::uint8_t>>> segments;
+  for (std::uint32_t shard = 0; shard < 4096; ++shard) {
+    const std::string path = dir +
+                             (dir.empty() || dir.back() == '/' ? "" : "/") +
+                             "shard-" + std::to_string(shard) + ".dnhs";
+    auto bytes = slurp_file(path);
+    if (!bytes) break;  // segments are densely numbered from 0
+    if (!bytes->empty() && !scan_segment_records(*bytes).empty())
+      segments.emplace_back(path, std::move(*bytes));
+  }
+  if (segments.empty()) return std::nullopt;
+  auto& [path, bytes] = segments[rng.index(segments.size())];
+  const std::vector<RecordSpan> records = scan_segment_records(bytes);
+  report.target = path;
+  report.segment_records = records.size();
+
+  if (config.mode == SpillFaultMode::kTornRecord) {
+    // Chop into the FINAL record: exactly what a SIGKILL between write()
+    // and fsync() leaves behind.
+    const RecordSpan& last = records.back();
+    const std::size_t keep = static_cast<std::size_t>(
+        rng.uniform(1, last.length - 1));
+    report.bytes_removed = last.length - keep;
+    bytes.resize(last.offset + keep);
+  } else {  // kBitFlip
+    const RecordSpan& victim = records[rng.index(records.size())];
+    // Flip inside the payload (past the frame header) so the CRC check —
+    // not the magic/length sanity checks — is what must catch it.
+    const std::size_t at =
+        victim.offset + kSpillFrameHeader +
+        static_cast<std::size_t>(
+            rng.uniform(0, victim.length - kSpillFrameHeader - 1));
+    bytes[at] ^= static_cast<std::uint8_t>(1u << rng.uniform(0, 7));
+    report.bits_flipped = 1;
+  }
+  if (!dump_file(path, bytes)) return std::nullopt;
+  return report;
+}
+
 }  // namespace dnh::faultinject

@@ -138,4 +138,39 @@ std::optional<FileFaultReport> corrupt_pcap_file(const std::string& src,
                                                  const std::string& dst,
                                                  const FileFaultConfig& config);
 
+/// Spill-directory corruption modes: the crash/rot hazards the recovery
+/// path (docs/recovery.md) must degrade over instead of crashing on. Each
+/// models a concrete failure: a write torn by SIGKILL/power loss, silent
+/// media bit rot, and a manifest append cut mid-line.
+enum class SpillFaultMode : std::uint8_t {
+  kTornRecord = 0,    ///< chop the final segment record short (torn write)
+  kBitFlip,           ///< flip one bit inside a framed record's payload
+  kTruncateManifest,  ///< cut the manifest journal mid-line
+  kGarbageAppend,     ///< append a garbage tail to the manifest
+};
+inline constexpr std::size_t kSpillFaultModeCount = 4;
+
+/// Human-readable mode name ("torn-record", "bit-flip", ...).
+std::string_view spill_fault_mode_name(SpillFaultMode mode);
+
+struct SpillFaultConfig {
+  std::uint64_t seed = 1;
+  SpillFaultMode mode = SpillFaultMode::kBitFlip;
+};
+
+struct SpillFaultReport {
+  std::string target;                 ///< file that was damaged
+  std::uint64_t segment_records = 0;  ///< framed records found in target
+  std::uint64_t bytes_removed = 0;    ///< truncation modes
+  std::uint64_t bits_flipped = 0;     ///< kBitFlip
+  std::uint64_t bytes_appended = 0;   ///< kGarbageAppend
+};
+
+/// Damages a spill directory (shard-*.dnhs segments + manifest.dnhm) in
+/// place, deterministically for a given config. Returns nullopt when the
+/// directory has nothing the chosen mode can damage (no segments with
+/// records, or no manifest).
+std::optional<SpillFaultReport> corrupt_spill_dir(
+    const std::string& dir, const SpillFaultConfig& config);
+
 }  // namespace dnh::faultinject

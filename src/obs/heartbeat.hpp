@@ -1,0 +1,59 @@
+// Per-stage heartbeat counters: the liveness signal the pipeline watchdog
+// reads to tell "making progress" from "wedged".
+//
+// Each pipeline stage (dispatcher, every shard worker, the merge thread)
+// gets one cache-line-isolated relaxed atomic it bumps whenever it does a
+// unit of work — consumes a batch, seals a window, merges one. The
+// watchdog polls all counters from its own thread; stalls are detected by
+// group quiescence (no counter advanced while work was pending), never by
+// any single stage's rate, so a shard that is legitimately idle because
+// the hash spread it no frames can never trip a false positive.
+//
+// Stages are registered before the watched threads start; after that the
+// board is structurally immutable and beat()/count() are wait-free.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dnh::obs {
+
+class HeartbeatBoard {
+ public:
+  using StageId = std::size_t;
+
+  /// Registers a stage and returns its id. NOT thread-safe: call only
+  /// during pipeline setup, before any beat()/count() from other threads.
+  StageId add_stage(std::string name) {
+    cells_.push_back(std::make_unique<Cell>());
+    names_.push_back(std::move(name));
+    return cells_.size() - 1;
+  }
+
+  /// One unit of progress. Relaxed: the watchdog only needs eventual
+  /// visibility, and a beat carries no payload to order against.
+  void beat(StageId id) const noexcept {
+    cells_[id]->beats.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::uint64_t count(StageId id) const noexcept {
+    return cells_[id]->beats.load(std::memory_order_relaxed);
+  }
+
+  std::size_t stages() const noexcept { return cells_.size(); }
+  const std::string& name(StageId id) const noexcept { return names_[id]; }
+
+ private:
+  /// Cache-line sized so two stages' beats never share a line; held by
+  /// pointer so registration never moves a live atomic.
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> beats{0};
+  };
+  std::vector<std::unique_ptr<Cell>> cells_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace dnh::obs

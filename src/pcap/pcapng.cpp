@@ -225,6 +225,10 @@ bool read_any_capture(const std::string& path,
       options.resync ? Reader::Mode::kResync : Reader::Mode::kStrict;
   if (auto classic = Reader::open(path, mode)) {
     while (true) {
+      if (options.stop && options.stop()) {
+        report.stopped = true;
+        break;
+      }
       std::optional<Frame> frame;
       {
         obs::SpanTimer span{metrics.read_ns, gate};
@@ -245,6 +249,10 @@ bool read_any_capture(const std::string& path,
   }
   if (auto ng = NgReader::open(path)) {
     while (true) {
+      if (options.stop && options.stop()) {
+        report.stopped = true;
+        break;
+      }
       std::optional<Frame> frame;
       {
         obs::SpanTimer span{metrics.read_ns, gate};

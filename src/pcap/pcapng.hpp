@@ -77,11 +77,17 @@ struct CaptureReadOptions {
   /// classic pcap; pcapng always reads strictly (its per-block redundant
   /// lengths make silent resync unreliable).
   bool resync = false;
+  /// Cooperative abort, polled between frames: when set and returning
+  /// true the read stops cleanly (no error, report.stopped set). Used by
+  /// the pipeline's graceful drain so SIGINT does not have to wait out a
+  /// multi-gigabyte capture.
+  std::function<bool()> stop;
 };
 
 struct CaptureReadReport {
   std::string error;           ///< non-empty when the stream aborted
   std::uint64_t frames = 0;    ///< frames delivered to the sink
+  bool stopped = false;        ///< options.stop ended the read early
   CorruptionStats corruption;  ///< damage survived (classic resync mode)
 };
 

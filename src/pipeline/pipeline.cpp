@@ -4,7 +4,9 @@
 #include <array>
 #include <chrono>
 #include <deque>
+#include <filesystem>
 #include <map>
+#include <queue>
 #include <tuple>
 #include <utility>
 
@@ -102,6 +104,8 @@ struct PipelineMetrics {
   obs::Counter frames_dropped = r.counter("dnh_pipeline_frames_dropped_total");
   obs::Counter blocked_pushes = r.counter("dnh_pipeline_blocked_pushes_total");
   obs::Counter windows_merged = r.counter("dnh_pipeline_windows_merged_total");
+  obs::Counter spill_records = r.counter("dnh_spill_records_total");
+  obs::Counter stalls = r.counter("dnh_pipeline_stalls_total");
   obs::Histogram dispatch_ns = r.histogram("dnh_stage_dispatch_ns");
   obs::Histogram sniff_ns = r.histogram("dnh_stage_shard_sniff_ns");
   obs::Histogram merge_ns = r.histogram("dnh_stage_merge_ns");
@@ -158,24 +162,39 @@ struct ShardedAnalyzer::Item {
   util::Timestamp start;  ///< window bounds (kRotate/kStop)
   util::Timestamp end;
   bool deliver = true;    ///< kStop: hand the final window to the sink?
+  /// kStop: may the final window be spilled/journaled? False on a
+  /// drain-interrupted run — the flush window covers only the frames
+  /// ingested before the drain, so journaling it as sealed would make a
+  /// later --resume serve a truncated window where an uninterrupted run
+  /// computes a full one.
+  bool durable = true;
   net::Bytes frame;       ///< recycled across ring laps (vector::assign)
 };
 
-/// One shard's contribution to one merged window.
+/// One shard's contribution to one merged window, canonically pre-sorted
+/// by the worker (the k-way merge's input invariant).
 struct ShardedAnalyzer::ShardWindow {
   std::uint64_t seq = 0;      ///< window sequence number (global order)
   std::size_t shard = 0;
   bool final_window = false;  ///< emitted by kStop: merge loop exits after
   bool deliver = true;
+  bool spilled = false;       ///< durable on disk; extent below is valid
+  SpillExtent extent;         ///< where the record landed in the segment
   core::AnalysisWindow window;
 };
 
 struct ShardedAnalyzer::MergeInbox {
   util::Mutex mutex;
-  util::CondVar cv;
+  util::CondVar cv;        ///< data available (merge thread waits)
+  util::CondVar cv_space;  ///< capacity available (sealing workers wait)
+  /// Window messages the merge thread may hold at once; workers sealing
+  /// further ahead block in cv_space. This cap — not the capture length —
+  /// bounds merge-stage memory (the streaming guarantee).
+  std::size_t capacity = 0;
+  std::size_t peak DNH_GUARDED_BY(mutex) = 0;
   /// One entry per (shard, window) message, drained by the merge thread.
-  // dnh-lint: allow(hot-path-bound) per-window (not per-packet): at most
-  // shards x outstanding-rotations entries, each already off the hot path.
+  // dnh-lint: allow(hot-path-bound) per-window (not per-packet), and
+  // explicitly capped at `capacity` entries by the cv_space wait.
   std::deque<ShardWindow> queue DNH_GUARDED_BY(mutex);
 };
 
@@ -203,6 +222,10 @@ struct ShardedAnalyzer::Worker {
   SpscRing<Item> queue;
   core::Sniffer sniffer;             ///< worker-thread-owned after start
   std::uint64_t frames_processed = 0;  ///< worker-owned; read after join
+  // Spill accounting, worker-owned; folded into PipelineStats after join.
+  std::uint64_t windows_spilled = 0;
+  std::uint64_t spill_bytes = 0;
+  std::uint64_t spill_failures = 0;
   obs::SampleGate sniff_gate{64};    ///< worker-thread-owned span sampler
   std::thread thread;
 };
@@ -212,6 +235,52 @@ ShardedAnalyzer::ShardedAnalyzer(PipelineConfig config, WindowSink sink)
   if (config_.shards == 0) config_.shards = 1;
   dispatch_.resize(config_.shards);
   inbox_ = std::make_unique<MergeInbox>();
+  inbox_->capacity =
+      config_.merge_inbox_capacity != 0
+          ? config_.merge_inbox_capacity
+          : std::max<std::size_t>(2 * config_.shards, 4);
+
+  // Durability setup, before any thread exists. A resume replays the
+  // manifest first; an unusable directory (no valid header, or a window
+  // length that disagrees with this run's) degrades to a fresh spill —
+  // recorded in the recovery stats — rather than failing the run.
+  const bool spilling = !config_.spill_dir.empty();
+  if (spilling) {
+    std::error_code ec;
+    std::filesystem::create_directories(config_.spill_dir, ec);
+    bool truncate = !config_.resume;
+    if (config_.resume) {
+      plan_ = scan_spill_dir(config_.spill_dir);
+      if (plan_.usable() &&
+          plan_.window_us !=
+              static_cast<std::uint64_t>(config_.window.total_micros())) {
+        plan_.error = "spill window length mismatch: manifest has " +
+                      std::to_string(plan_.window_us) + "us, run has " +
+                      std::to_string(config_.window.total_micros()) + "us";
+        plan_.parts.clear();
+        plan_.complete_prefix = 0;
+      }
+      if (plan_.usable()) {
+        resume_prefix_ = plan_.complete_prefix;
+      } else {
+        truncate = true;  // start over; the directory gave us nothing
+      }
+    }
+    recovery_stats_ = plan_.stats;
+    spill_writers_.reserve(config_.shards);
+    for (std::size_t i = 0; i < config_.shards; ++i) {
+      spill_writers_.push_back(std::make_unique<SpillWriter>(
+          config_.spill_dir, static_cast<std::uint32_t>(i), truncate));
+      if (!spill_writers_.back()->ok() && error_.empty())
+        error_ = "cannot open spill segment in " + config_.spill_dir;
+    }
+    manifest_ = std::make_unique<ManifestJournal>(
+        config_.spill_dir, static_cast<std::uint32_t>(config_.shards),
+        static_cast<std::uint64_t>(config_.window.total_micros()), truncate);
+    if (!manifest_->ok() && error_.empty())
+      error_ = "cannot open manifest journal in " + config_.spill_dir;
+  }
+
   workers_.reserve(config_.shards);
   for (std::size_t i = 0; i < config_.shards; ++i) {
     core::SnifferConfig shard_config = config_.sniffer;
@@ -221,6 +290,9 @@ ShardedAnalyzer::ShardedAnalyzer(PipelineConfig config, WindowSink sink)
   }
   obs::Registry& registry = obs::Registry::global();
   routes_gauge_ = registry.gauge("dnh_pipeline_routes");
+  inbox_depth_gauge_ = registry.gauge("dnh_merge_inbox_depth");
+  spill_bytes_gauge_ = registry.gauge("dnh_spill_bytes");
+  inbox_depth_gauge_.set(0);
   depth_gauges_.reserve(config_.shards);
   for (std::size_t i = 0; i < config_.shards; ++i)
     depth_gauges_.push_back(
@@ -245,12 +317,48 @@ ShardedAnalyzer::ShardedAnalyzer(PipelineConfig config, WindowSink sink)
         peak.store(depth, std::memory_order_relaxed);
     }
   });
+  // Heartbeats registered before any watched thread exists: the board is
+  // structurally immutable once the watchdog and workers start.
+  dispatch_hb_ = heartbeats_.add_stage("dispatch");
+  worker_hb_.reserve(config_.shards);
+  for (std::size_t i = 0; i < config_.shards; ++i)
+    worker_hb_.push_back(
+        heartbeats_.add_stage("shard-" + std::to_string(i)));
+  merge_hb_ = heartbeats_.add_stage("merge");
+
   // Threads start only after every Worker exists: a worker never touches
   // another shard's state, but the merge loop walks workers_ indirectly
   // through inbox messages carrying shard indices.
   for (std::size_t i = 0; i < config_.shards; ++i)
     workers_[i]->thread = std::thread{[this, i] { worker_loop(i); }};
   merge_thread_ = std::thread{[this] { merge_loop(); }};
+
+  if (config_.watchdog_timeout.total_micros() > 0) {
+    WatchdogConfig watchdog;
+    watchdog.timeout = config_.watchdog_timeout;
+    // Group quiescence needs a pending-work signal: frames sitting in a
+    // ring (atomic cursors, safe cross-thread) or windows sitting in the
+    // inbox (its own mutex). Quiet with neither is idle, not a stall.
+    watchdog.pending = [this](std::string& desc) {
+      for (std::size_t i = 0; i < config_.shards; ++i) {
+        if (workers_[i]->queue.size() > 0) {
+          desc = "frames queued in shard " + std::to_string(i) + "'s ring";
+          return true;
+        }
+      }
+      util::MutexLock lock{inbox_->mutex};
+      if (!inbox_->queue.empty()) {
+        desc = "windows waiting in the merge inbox";
+        return true;
+      }
+      return false;
+    };
+    watchdog.on_stall = [this](const StallDiagnostic& diag) {
+      pipeline_metrics().stalls.inc();
+      if (config_.on_stall) config_.on_stall(diag);
+    };
+    watchdog_ = std::make_unique<Watchdog>(heartbeats_, std::move(watchdog));
+  }
 }
 
 ShardedAnalyzer::~ShardedAnalyzer() { finish(); }
@@ -349,7 +457,15 @@ std::size_t ShardedAnalyzer::route_frame(net::BytesView frame,
 }
 
 void ShardedAnalyzer::on_frame(net::BytesView frame, util::Timestamp ts) {
-  if (finished_) return;
+  if (finished_ || draining_) return;
+  // Drain polling is amortized: the check is an indirect call (usually a
+  // sig_atomic_t read), so once per 64 frames keeps it off the hot path
+  // while still reacting to SIGINT within a microsecond-scale burst.
+  if (config_.drain_check && (frames_dispatched_ & 63) == 0 &&
+      config_.drain_check()) {
+    draining_ = true;
+    return;
+  }
   if (!started_) {
     started_ = true;
     first_ts_ = ts;
@@ -427,6 +543,7 @@ void ShardedAnalyzer::flush_stage(std::size_t shard) {
   }
   counters.enqueued += offset;
   stage.count = 0;
+  heartbeats_.beat(dispatch_hb_);
   const std::size_t depth = worker.queue.size();
   if (depth > counters.high_water) counters.high_water = depth;
 }
@@ -459,6 +576,14 @@ void ShardedAnalyzer::broadcast_rotation(util::Timestamp start,
 bool ShardedAnalyzer::process_pcap(const std::string& path) {
   pcap::CaptureReadOptions options;
   options.resync = config_.sniffer.resync_capture;
+  if (config_.drain_check) {
+    // Abort the file read itself on drain: a multi-gigabyte capture must
+    // not stand between SIGINT and the seal-spill-merge shutdown path.
+    options.stop = [this] {
+      if (!draining_ && config_.drain_check()) draining_ = true;
+      return draining_;
+    };
+  }
   pcap::CaptureReadReport report;
   const bool ok = pcap::read_any_capture(
       path,
@@ -483,7 +608,7 @@ void ShardedAnalyzer::worker_loop(std::size_t index) {
   std::uint64_t seq = 0;
   bool running = true;
   unsigned spins = 0;
-  const auto emit = [&](bool final_window, bool deliver,
+  const auto emit = [&](bool final_window, bool deliver, bool durable,
                         util::Timestamp start, util::Timestamp end) {
     ShardWindow msg;
     msg.seq = seq++;
@@ -493,9 +618,43 @@ void ShardedAnalyzer::worker_loop(std::size_t index) {
     msg.window = core::AnalysisWindow{start, end,
                                       worker.sniffer.take_database(),
                                       worker.sniffer.take_dns_log()};
+    if (deliver) {
+      // Seal: canonical per-shard order, established here so (a) the sort
+      // cost parallelizes across workers instead of serializing on the
+      // merge thread and (b) the spilled record is already in its final
+      // order — a recovered window replays without re-sorting.
+      canonicalize(msg.window);
+      // Spill before the inbox hand-off. Windows inside the resume
+      // prefix are already durable from the crashed run and are skipped;
+      // a failed append degrades (the window just is not durable) and is
+      // tallied rather than fatal.
+      if (durable && !spill_writers_.empty() && msg.seq >= resume_prefix_) {
+        if (const auto extent =
+                spill_writers_[index]->append(msg.seq, msg.window)) {
+          msg.spilled = true;
+          msg.extent = *extent;
+          ++worker.windows_spilled;
+          worker.spill_bytes += extent->length;
+          spill_bytes_gauge_.add(static_cast<std::int64_t>(extent->length));
+          pipeline_metrics().spill_records.inc();
+        } else {
+          ++worker.spill_failures;
+        }
+      }
+    }
     {
       util::MutexLock lock{inbox_->mutex};
+      // Bounded inbox: sealing ahead of the merge thread parks here, so
+      // merge-stage memory is capped by `capacity` windows no matter how
+      // long the capture runs. Deadlock-free: the merge thread always
+      // drains whenever the queue is non-empty.
+      while (inbox_->queue.size() >= inbox_->capacity)
+        inbox_->cv_space.wait(lock);
       inbox_->queue.push_back(std::move(msg));
+      if (inbox_->queue.size() > inbox_->peak)
+        inbox_->peak = inbox_->queue.size();
+      inbox_depth_gauge_.set(
+          static_cast<std::int64_t>(inbox_->queue.size()));
     }
     inbox_->cv.notify_one();
   };
@@ -519,17 +678,18 @@ void ShardedAnalyzer::worker_loop(std::size_t index) {
               // Open flows stay live in the flow table across rotations,
               // exactly like LiveAnalyzer: a flow lands in the window it
               // completes in.
-              emit(false, true, item.start, item.end);
+              emit(false, true, true, item.start, item.end);
               break;
             case Item::Kind::kStop:
               worker.sniffer.finish();
-              emit(true, item.deliver, item.start, item.end);
+              emit(true, item.deliver, item.durable, item.start, item.end);
               running = false;
               break;
           }
         });
     if (got > 0) {
       spins = 0;
+      heartbeats_.beat(worker_hb_[index]);
     } else {
       backoff(spins);
     }
@@ -551,6 +711,19 @@ void ShardedAnalyzer::merge_loop() {
       while (inbox_->queue.empty()) inbox_->cv.wait(lock);
       msg = std::move(inbox_->queue.front());
       inbox_->queue.pop_front();
+      inbox_depth_gauge_.set(
+          static_cast<std::int64_t>(inbox_->queue.size()));
+    }
+    inbox_->cv_space.notify_one();
+    heartbeats_.beat(merge_hb_);
+    // Journal the seal as soon as the message arrives: the worker's
+    // segment fsync happened before the inbox hand-off, so the ordering
+    // invariant (record durable before the manifest references it)
+    // holds, and durability does not wait for the slowest shard.
+    if (msg.spilled && manifest_) {
+      manifest_->append_seal(msg.seq, static_cast<std::uint32_t>(msg.shard),
+                             spill_writers_[msg.shard]->segment(),
+                             msg.extent, seal_seq_++);
     }
     pending[msg.seq].push_back(std::move(msg));
     // Merge strictly in sequence order, only once every shard has
@@ -562,7 +735,7 @@ void ShardedAnalyzer::merge_loop() {
       const bool final_window = it->second.front().final_window;
       const bool deliver = it->second.front().deliver;
       const auto t0 = std::chrono::steady_clock::now();
-      core::AnalysisWindow merged = merge_windows(it->second);
+      core::AnalysisWindow merged = retire_window(next_seq, it->second);
       const auto t1 = std::chrono::steady_clock::now();
       const util::Duration elapsed = steady_elapsed(t0, t1);
       pending.erase(it);
@@ -586,44 +759,139 @@ void ShardedAnalyzer::merge_loop() {
   }
 }
 
+namespace {
+
+/// K-way merges canonically pre-sorted windows into `out`. Inputs must
+/// already carry event fqdn ids/views valid against out's table (the
+/// callers remap via intern or absorb first). Equal keys under
+/// canonical_less are value-identical rows, so pop order among ties
+/// cannot change a single output byte — which is why a k-way merge of
+/// per-shard-sorted runs reproduces the global canonical sort exactly.
+void kway_merge_into(std::vector<core::AnalysisWindow>& parts,
+                     core::AnalysisWindow& out) {
+  std::vector<std::vector<core::TaggedFlow>> flows(parts.size());
+  std::size_t event_total = 0;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    // The moved-out flows' fqdn views stay valid: each part's db retains
+    // its DomainTable, and `parts` outlives the merge.
+    flows[i] = parts[i].db.take_flows();
+    event_total += parts[i].dns_log.size();
+  }
+  out.dns_log.reserve(event_total);
+
+  // Index-heap pattern: the heap holds part indices, keyed by each
+  // part's current head. An index is popped, its head consumed, and the
+  // index re-pushed — the key only changes while the index is out.
+  std::vector<std::size_t> pos(parts.size(), 0);
+  const auto flow_greater = [&](std::size_t x, std::size_t y) {
+    return canonical_less(flows[y][pos[y]], flows[x][pos[x]]);
+  };
+  std::priority_queue<std::size_t, std::vector<std::size_t>,
+                      decltype(flow_greater)>
+      flow_heap{flow_greater};
+  for (std::size_t i = 0; i < parts.size(); ++i)
+    if (!flows[i].empty()) flow_heap.push(i);
+  while (!flow_heap.empty()) {
+    const std::size_t i = flow_heap.top();
+    flow_heap.pop();
+    out.db.add(std::move(flows[i][pos[i]]));
+    if (++pos[i] < flows[i].size()) flow_heap.push(i);
+  }
+
+  std::vector<std::size_t> event_pos(parts.size(), 0);
+  const auto event_greater = [&](std::size_t x, std::size_t y) {
+    return canonical_less(parts[y].dns_log[event_pos[y]],
+                          parts[x].dns_log[event_pos[x]]);
+  };
+  std::priority_queue<std::size_t, std::vector<std::size_t>,
+                      decltype(event_greater)>
+      event_heap{event_greater};
+  for (std::size_t i = 0; i < parts.size(); ++i)
+    if (!parts[i].dns_log.empty()) event_heap.push(i);
+  while (!event_heap.empty()) {
+    const std::size_t i = event_heap.top();
+    event_heap.pop();
+    out.dns_log.push_back(std::move(parts[i].dns_log[event_pos[i]]));
+    if (++event_pos[i] < parts[i].dns_log.size()) event_heap.push(i);
+  }
+}
+
+}  // namespace
+
 core::AnalysisWindow ShardedAnalyzer::merge_windows(
     std::vector<ShardWindow>& parts) {
   core::AnalysisWindow out;
   out.start = parts.front().window.start;
   out.end = parts.front().window.end;
 
-  std::size_t flow_count = 0;
-  std::size_t event_count = 0;
-  for (const auto& part : parts) {
-    flow_count += part.window.db.size();
-    event_count += part.window.dns_log.size();
-  }
-  std::vector<core::TaggedFlow> flows;
-  flows.reserve(flow_count);
-  out.dns_log.reserve(event_count);
   // Shard-local DomainIds are meaningless in the merged window: re-intern
   // every DNS event's label into the output database's table (flows are
-  // re-interned by out.db.add below). This also moves the label bytes out
-  // of the shard tables, which die with `parts`.
+  // re-interned by out.db.add inside the k-way merge). Per-event intern,
+  // not absorb: the shard tables accumulate names across the whole run,
+  // and a window must only pay for the names it actually references.
   core::DomainTable& unified = *out.db.domain_table();
+  std::vector<core::AnalysisWindow> windows;
+  windows.reserve(parts.size());
   for (auto& part : parts) {
-    std::vector<core::TaggedFlow> shard_flows = part.window.db.take_flows();
-    std::move(shard_flows.begin(), shard_flows.end(),
-              std::back_inserter(flows));
     for (auto& event : part.window.dns_log) {
       event.fqdn_id = unified.intern(event.fqdn);
       event.fqdn = unified.view(event.fqdn_id);
-      out.dns_log.push_back(std::move(event));
+    }
+    windows.push_back(std::move(part.window));
+  }
+  kway_merge_into(windows, out);
+  return out;
+}
+
+core::AnalysisWindow ShardedAnalyzer::merge_recovered(
+    std::vector<core::AnalysisWindow>& parts) {
+  core::AnalysisWindow out;
+  out.start = parts.front().start;
+  out.end = parts.front().end;
+
+  // Windows loaded from spill each carry a private table holding exactly
+  // the window's names, so absorb() — one bulk re-intern returning the
+  // id remap — is the right tool here, where it was not above.
+  core::DomainTable& unified = *out.db.domain_table();
+  for (auto& part : parts) {
+    const std::vector<core::DomainId> remap =
+        unified.absorb(*part.db.domain_table());
+    for (auto& event : part.dns_log) {
+      event.fqdn_id = event.fqdn_id < remap.size() ? remap[event.fqdn_id]
+                                                   : core::kEmptyDomainId;
+      event.fqdn = unified.view(event.fqdn_id);
     }
   }
-  // The canonical sort is what makes shard count invisible: re-adding in
-  // this order rebuilds the exact FlowDatabase (rows AND index order) a
-  // canonicalized single-threaded run produces.
-  std::sort(flows.begin(), flows.end(),
-            [](const auto& a, const auto& b) { return canonical_less(a, b); });
-  for (auto& flow : flows) out.db.add(std::move(flow));
-  canonicalize(out.dns_log);
+  kway_merge_into(parts, out);
   return out;
+}
+
+core::AnalysisWindow ShardedAnalyzer::retire_window(
+    std::uint64_t seq, std::vector<ShardWindow>& parts) {
+  if (config_.resume && seq < resume_prefix_) {
+    // The crashed run's spilled bytes are authoritative for the complete
+    // prefix. Any damaged record demotes the whole window to the
+    // recomputed parts — byte-identical output either way (determinism),
+    // just without crediting the spill.
+    std::vector<core::AnalysisWindow> loaded;
+    loaded.reserve(plan_.parts[seq].size());
+    bool intact = true;
+    for (const auto& entry : plan_.parts[seq]) {
+      auto window =
+          load_spilled_window(config_.spill_dir, entry, recovery_stats_);
+      if (!window) {
+        intact = false;
+        break;
+      }
+      loaded.push_back(std::move(*window));
+    }
+    if (intact && !loaded.empty()) {
+      ++windows_recovered_;
+      return merge_recovered(loaded);
+    }
+    ++windows_recomputed_;
+  }
+  return merge_windows(parts);
 }
 
 void ShardedAnalyzer::finish() {
@@ -649,12 +917,19 @@ void ShardedAnalyzer::finish() {
     item.start = start;
     item.end = end;
     // An empty run delivers no window, matching LiveAnalyzer; the stop
-    // window still flows through the merge stage to terminate it.
+    // window still flows through the merge stage to terminate it. A
+    // drained run's flush window is delivered but never journaled: it is
+    // truncated at the drain point, and --resume must recompute it.
     item.deliver = started_;
+    item.durable = !draining_;
     push_control(i, std::move(item));
   }
   for (auto& worker : workers_) worker->thread.join();
   merge_thread_.join();
+  // The watchdog keeps running until after the joins — a hang in the
+  // drain itself is exactly what it exists to catch — and stops here,
+  // before its stalled() verdict is folded into stats.
+  if (watchdog_) watchdog_->stop();
   // All threads joined: every worker- and merge-owned counter is now
   // safely readable from this thread. Unregister the depth sampler
   // (synchronously: reset() waits out an in-flight snapshot) before
@@ -679,11 +954,22 @@ void ShardedAnalyzer::finish() {
     shard.sniffer = workers_[i]->sniffer.stats();
     accumulate(stats_.merged, shard.sniffer);
     stats_.frames_dropped += shard.frames_dropped;
+    stats_.windows_spilled += workers_[i]->windows_spilled;
+    stats_.spill_bytes += workers_[i]->spill_bytes;
+    stats_.spill_failures += workers_[i]->spill_failures;
   }
   stats_.frames_dispatched = frames_dispatched_;
   stats_.windows_merged = windows_merged_;
   stats_.merge_total = merge_total_;
   stats_.merge_max = merge_max_;
+  {
+    util::MutexLock lock{inbox_->mutex};
+    stats_.merge_inbox_peak = inbox_->peak;
+  }
+  stats_.windows_recovered = windows_recovered_;
+  stats_.windows_recomputed = windows_recomputed_;
+  stats_.recovery = recovery_stats_;
+  stats_.stalled = watchdog_ && watchdog_->stalled();
   stats_.merged.degradation.pipeline_frames_dropped += stats_.frames_dropped;
   accumulate(stats_.merged.degradation, capture_degradation_);
 }

@@ -1,9 +1,9 @@
 // Sharded parallel ingestion: the scale-out layer between capture and
 // analytics (docs/pipeline.md has the full architecture discussion).
 //
-//           ┌─ SPSC ring ─▶ shard 0 (private Sniffer) ─┐
-//  capture ─┤─ SPSC ring ─▶ shard 1 (private Sniffer) ─┼─▶ merge ─▶ sink
-//  (dispatcher, client-IP hash)        ...             ┘  (canonical sort)
+//           ┌─ SPSC ring ─▶ shard 0 (private Sniffer) ─┬─▶ spill ─┐
+//  capture ─┤─ SPSC ring ─▶ shard 1 (private Sniffer) ─┼─▶ spill ─┼▶ merge ─▶ sink
+//  (dispatcher, client-IP hash)        ...             ┘ (fsync'd) ┘ (k-way)
 //
 // The dispatcher routes every frame to a shard by a hash of its CLIENT
 // address (the FlowDNS recipe: DNS/flow correlation is keyed by client, so
@@ -12,10 +12,26 @@
 // path). A connection-affinity table pins each 5-tuple to the shard its
 // first packet chose, so both directions of a connection stay together
 // even when per-packet orientation is ambiguous (ephemeral-to-ephemeral
-// port pairs). The merge stage combines per-shard AnalysisWindows into one
-// window whose FlowDatabase and DNS log are byte-identical to what the
-// single-threaded Sniffer would have produced, by re-adding flows and
-// events in canonical order.
+// port pairs). Each worker canonically sorts the windows it seals, so the
+// merge stage is an incremental k-way merge: a window is retired (merged
+// and handed to the sink) as soon as every shard has sealed it, through a
+// BOUNDED inbox — merge-stage memory scales with the window horizon, not
+// the capture length. The merged FlowDatabase and DNS log are
+// byte-identical to what the single-threaded Sniffer would have produced.
+//
+// Durability (docs/recovery.md): with a spill directory configured, every
+// sealed per-shard window is CRC-framed into that shard's spill segment
+// and fsync'd before the merge thread journals it in the manifest; a
+// crashed run resumes with `resume = true`, which re-ingests the capture
+// (cross-window resolver/flow state is not durable) but serves the
+// manifest's complete window prefix from the spilled bytes, falling back
+// to the recomputed window — with typed RecoveryStats — when a record is
+// torn or corrupt. Output is byte-identical either way.
+//
+// Lifecycle supervision (supervisor.hpp): per-stage heartbeats feed an
+// optional watchdog that turns a wedged pipeline into a typed
+// StallDiagnostic, and a drain check lets SIGINT/SIGTERM end ingestion
+// through the normal seal-spill-merge path.
 //
 // Determinism contract (see docs/pipeline.md for the full argument): on a
 // clean, time-ordered capture whose working set fits the per-shard bounds
@@ -36,8 +52,11 @@
 #include "core/sniffer.hpp"
 #include "flow/flow.hpp"
 #include "net/bytes.hpp"
+#include "obs/heartbeat.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "pipeline/spill.hpp"
+#include "pipeline/supervisor.hpp"
 #include "util/time.hpp"
 
 namespace dnh::pipeline {
@@ -78,6 +97,31 @@ struct PipelineConfig {
   /// first item. Tests block here to hold queues full and exercise the
   /// backpressure paths deterministically. Leave empty in production.
   std::function<void(std::size_t shard)> worker_start_hook;
+
+  /// Spill directory for sealed-window durability; empty disables
+  /// spilling. When set, each shard appends every window it seals to its
+  /// own CRC-framed segment (fsync'd) and the merge thread journals it in
+  /// the manifest before the window can be considered durable.
+  std::string spill_dir;
+  /// Resume from `spill_dir`: replay the manifest, serve the complete
+  /// window prefix from spilled bytes (falling back to recomputation on
+  /// damage), and append new seals after it. A fresh run (resume = false)
+  /// truncates any previous spill state in the directory.
+  bool resume = false;
+  /// Bounded merge-inbox capacity in window messages; 0 picks
+  /// max(2 * shards, 4). Workers sealing ahead of the merge thread block
+  /// here — this is the streaming-memory bound.
+  std::size_t merge_inbox_capacity = 0;
+  /// Watchdog stall timeout; zero (default) disables the watchdog.
+  util::Duration watchdog_timeout{};
+  /// Invoked on the watchdog thread when a stall is declared (see
+  /// WatchdogConfig::on_stall). The CLI prints the diagnostic and exits.
+  std::function<void(const StallDiagnostic&)> on_stall;
+  /// Polled by the dispatcher between frames: returning true stops
+  /// ingestion (frames are ignored from then on) so finish() runs the
+  /// ordinary seal-spill-merge path. Wire to pipeline::drain_requested
+  /// for signal-driven graceful shutdown.
+  std::function<bool()> drain_check;
 };
 
 /// Per-shard counters. Dispatcher-side fields (enqueued/dropped/blocked/
@@ -105,6 +149,18 @@ struct PipelineStats {
   std::uint64_t windows_merged = 0;     ///< merged windows delivered
   util::Duration merge_total{};         ///< wall time spent in merges
   util::Duration merge_max{};           ///< slowest single merge
+  /// Peak simultaneous window messages in the merge inbox (bounded by
+  /// PipelineConfig::merge_inbox_capacity — the streaming-memory claim).
+  std::size_t merge_inbox_peak = 0;
+  std::uint64_t windows_spilled = 0;    ///< per-shard windows made durable
+  std::uint64_t spill_bytes = 0;        ///< framed bytes appended to segments
+  std::uint64_t spill_failures = 0;     ///< appends that failed (I/O error)
+  /// Resume accounting: windows in the manifest's complete prefix served
+  /// from spilled bytes vs. recomputed because their records were damaged.
+  std::uint64_t windows_recovered = 0;
+  std::uint64_t windows_recomputed = 0;
+  RecoveryStats recovery;               ///< typed spill/manifest damage tally
+  bool stalled = false;                 ///< the watchdog declared a stall
   /// Field-wise sum of every shard's SnifferStats (plus capture-container
   /// corruption seen by the dispatcher and pipeline drop accounting): the
   /// counters a single-threaded Sniffer over the same stream would report.
@@ -204,7 +260,15 @@ class ShardedAnalyzer {
   void broadcast_rotation(util::Timestamp start, util::Timestamp end);
   void worker_loop(std::size_t index);
   void merge_loop();
+  /// K-way merge of canonically pre-sorted per-shard windows.
   core::AnalysisWindow merge_windows(std::vector<ShardWindow>& parts);
+  /// Merge of windows recovered from spill (DomainTable::absorb remap).
+  core::AnalysisWindow merge_recovered(
+      std::vector<core::AnalysisWindow>& parts);
+  /// Retires sequence `seq`: on resume, prefers the spilled bytes for the
+  /// recovered prefix; otherwise merges the recomputed parts.
+  core::AnalysisWindow retire_window(std::uint64_t seq,
+                                     std::vector<ShardWindow>& parts);
 
   PipelineConfig config_;
   WindowSink sink_;
@@ -237,7 +301,18 @@ class ShardedAnalyzer {
   util::Timestamp first_ts_;
   util::Timestamp last_ts_;
   std::uint64_t rotations_ = 0;
+  bool draining_ = false;  ///< drain_check fired; frames ignored
   core::DegradationStats capture_degradation_;  ///< resync damage seen
+
+  // Durability. Writers are indexed by shard and thread-confined to that
+  // shard's worker after construction; the manifest is appended only by
+  // the merge thread (after the worker's segment fsync, which the inbox
+  // hand-off sequences before it). The recovery plan is scanned in the
+  // constructor and read-only afterwards.
+  std::vector<std::unique_ptr<SpillWriter>> spill_writers_;
+  std::unique_ptr<ManifestJournal> manifest_;
+  RecoveryPlan plan_;
+  std::uint64_t resume_prefix_ = 0;  ///< windows served from spill
 
   // Merge channel (workers -> merge thread; per-window, off the hot path).
   struct MergeInbox;
@@ -248,6 +323,19 @@ class ShardedAnalyzer {
   std::uint64_t windows_merged_ = 0;
   util::Duration merge_total_{};
   util::Duration merge_max_{};
+  std::uint64_t seal_seq_ = 0;          ///< manifest append ordinal
+  std::uint64_t windows_recovered_ = 0;
+  std::uint64_t windows_recomputed_ = 0;
+  RecoveryStats recovery_stats_;
+
+  // Lifecycle supervision. The board is fully populated in the
+  // constructor before any thread starts; the watchdog (optional) is the
+  // only reader and stops before stats are folded.
+  obs::HeartbeatBoard heartbeats_;
+  obs::HeartbeatBoard::StageId dispatch_hb_ = 0;
+  std::vector<obs::HeartbeatBoard::StageId> worker_hb_;
+  obs::HeartbeatBoard::StageId merge_hb_ = 0;
+  std::unique_ptr<Watchdog> watchdog_;
 
   bool finished_ = false;
   PipelineStats stats_;
@@ -259,6 +347,8 @@ class ShardedAnalyzer {
   // finish() before the sampled peaks are folded into stats_.
   obs::SampleGate dispatch_gate_{64};
   obs::Gauge routes_gauge_;
+  obs::Gauge inbox_depth_gauge_;   ///< dnh_merge_inbox_depth
+  obs::Gauge spill_bytes_gauge_;   ///< dnh_spill_bytes
   std::vector<obs::Gauge> depth_gauges_;  ///< dnh_shard_queue_depth{shard=i}
   std::unique_ptr<std::atomic<std::size_t>[]> sampled_peaks_;
   obs::Registry::SamplerHandle depth_sampler_;

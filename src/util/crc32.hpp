@@ -1,0 +1,31 @@
+// CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320): the integrity
+// check framing every spill-segment record and manifest-journal line
+// (docs/recovery.md). Chosen over the internet checksum in net/checksum
+// because single-bit flips and short burst errors — the faults torn
+// writes and bit rot actually produce — must be detected with near
+// certainty, and CRC32's burst-detection guarantees cover them.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace dnh::util {
+
+/// One-shot CRC32 of a byte range (IEEE, reflected, init/final 0xFFFFFFFF).
+std::uint32_t crc32_ieee(const void* data, std::size_t size) noexcept;
+
+inline std::uint32_t crc32_ieee(std::string_view s) noexcept {
+  return crc32_ieee(s.data(), s.size());
+}
+
+/// Incremental form: feed `crc32_update` successive chunks starting from
+/// `kCrc32Init`, then finalize. Equivalent to the one-shot call.
+inline constexpr std::uint32_t kCrc32Init = 0xFFFFFFFFu;
+std::uint32_t crc32_update(std::uint32_t state, const void* data,
+                           std::size_t size) noexcept;
+inline constexpr std::uint32_t crc32_final(std::uint32_t state) noexcept {
+  return state ^ 0xFFFFFFFFu;
+}
+
+}  // namespace dnh::util

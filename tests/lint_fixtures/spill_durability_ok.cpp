@@ -1,0 +1,29 @@
+// dnh-lint-fixture: path=src/pipeline/spill_durability_ok.cpp expect=clean
+// Correct durability ordering: every raw write in spill/manifest code
+// carries its ordering tag and is fsync'd before anything references it.
+namespace dnh::pipeline {
+
+bool full_write(int fd, const void* data, unsigned long size);
+int fake_fsync(int fd);
+
+bool append_record(int fd, const char* frame, unsigned long size) {
+  // dnh-lint: spill-write(fsync) the record must be on disk before the
+  // manifest line that references it is appended.
+  if (!full_write(fd, frame, size)) return false;
+  return fake_fsync(fd) == 0;
+}
+
+bool append_manifest_line(int fd, const char* line, unsigned long size) {
+  // dnh-lint: manifest-append(fsync) journal lines become visible to
+  // recovery only once durable.
+  if (!full_write(fd, line, size)) return false;
+  return fake_fsync(fd) == 0;
+}
+
+bool helper_loop(int fd, const char* p, unsigned long size) {
+  // dnh-lint: allow(spill-durability) the retry loop is the durability
+  // helper itself; callers carry the ordering tag and the fsync.
+  return full_write(fd, p, size);
+}
+
+}  // namespace dnh::pipeline

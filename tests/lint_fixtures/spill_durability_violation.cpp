@@ -1,0 +1,20 @@
+// dnh-lint-fixture: path=src/pipeline/spill_durability_violation.cpp expect=spill-durability
+// Two broken durability sites: a raw write with no ordering tag at all,
+// and a tagged write whose fsync is missing — a crash between the write
+// and the (absent) fsync could leave the manifest pointing at bytes the
+// kernel never flushed.
+namespace dnh::pipeline {
+
+bool full_write(int fd, const void* data, unsigned long size);
+
+bool append_record_untagged(int fd, const char* frame, unsigned long size) {
+  return full_write(fd, frame, size);
+}
+
+bool append_manifest_no_fsync(int fd, const char* line, unsigned long size) {
+  // dnh-lint: manifest-append(fsync) tagged, but the paired fsync below
+  // was dropped.
+  return full_write(fd, line, size);
+}
+
+}  // namespace dnh::pipeline

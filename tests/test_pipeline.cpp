@@ -6,10 +6,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <filesystem>
 #include <mutex>
 #include <numeric>
+#include <optional>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -521,6 +523,114 @@ TEST(Canonicalize, SortsFlowsAndRebuildsIndexes) {
   ASSERT_EQ(db.by_fqdn("b.example.com").size(), 1u);
   EXPECT_EQ(db.by_fqdn("b.example.com")[0], 1u);
   EXPECT_EQ(db.by_server_port(443).size(), 2u);
+}
+
+// ------------------------------------------------- lifecycle supervision
+
+TEST(Supervisor, WatchdogFiresOnQuiescenceWithPendingWork) {
+  obs::HeartbeatBoard board;
+  board.add_stage("dispatch");
+  board.add_stage("shard-0");
+  std::mutex mu;
+  std::condition_variable cv;
+  std::optional<pipeline::StallDiagnostic> seen;
+  pipeline::WatchdogConfig config;
+  config.timeout = util::Duration::millis(50);
+  config.poll = util::Duration::millis(10);
+  config.pending = [](std::string& what) {
+    what = "frames queued in shard rings";
+    return true;  // work is always pending, and nothing ever beats
+  };
+  config.on_stall = [&](const pipeline::StallDiagnostic& diagnostic) {
+    std::lock_guard<std::mutex> lock{mu};
+    seen = diagnostic;
+    cv.notify_one();
+  };
+  pipeline::Watchdog watchdog{board, config};
+  {
+    std::unique_lock<std::mutex> lock{mu};
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(10),
+                            [&] { return seen.has_value(); }));
+  }
+  watchdog.stop();
+  EXPECT_TRUE(watchdog.stalled());
+  ASSERT_EQ(seen->stages.size(), 2u);
+  EXPECT_EQ(seen->stages[0].name, "dispatch");
+  EXPECT_EQ(seen->pending, "frames queued in shard rings");
+  EXPECT_GE(seen->stalled_for.total_micros(), 50'000);
+  // The rendering names the stages and the pending condition.
+  const std::string text = seen->to_string();
+  EXPECT_NE(text.find("shard-0"), std::string::npos);
+  EXPECT_NE(text.find("frames queued"), std::string::npos);
+}
+
+TEST(Supervisor, WatchdogStaysQuietWhenIdleOrBeating) {
+  obs::HeartbeatBoard board;
+  const auto stage = board.add_stage("worker");
+  std::atomic<bool> fired{false};
+  std::atomic<bool> pending{false};
+
+  pipeline::WatchdogConfig config;
+  config.timeout = util::Duration::millis(40);
+  config.poll = util::Duration::millis(10);
+  config.pending = [&](std::string&) { return pending.load(); };
+  config.on_stall = [&](const pipeline::StallDiagnostic&) { fired = true; };
+  pipeline::Watchdog watchdog{board, config};
+
+  // Idle (nothing pending): quiescence is not a stall.
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  EXPECT_FALSE(fired.load());
+
+  // Pending but beating: progress resets the clock.
+  pending = true;
+  for (int i = 0; i < 12; ++i) {
+    board.beat(stage);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  watchdog.stop();
+  EXPECT_FALSE(fired.load());
+  EXPECT_FALSE(watchdog.stalled());
+}
+
+TEST(Supervisor, DrainFlagRoundTrip) {
+  pipeline::reset_drain_flag();
+  EXPECT_FALSE(pipeline::drain_requested());
+  pipeline::request_drain();
+  EXPECT_TRUE(pipeline::drain_requested());
+  pipeline::reset_drain_flag();
+  EXPECT_FALSE(pipeline::drain_requested());
+}
+
+TEST(Supervisor, DrainCheckStopsIngestionThroughTheNormalPath) {
+  // A pipeline whose drain_check trips after the first frames must still
+  // deliver a merged (partial) window through finish(), not hang or drop
+  // the sink.
+  auto profile = trafficgen::profile_eu1_ftth();
+  profile.name = "drain-test";
+  profile.duration = util::Duration::minutes(5);
+  profile.n_clients = 8;
+  trafficgen::Simulator sim{profile};
+  const auto dir = fs::temp_directory_path() /
+                   ("dnh_drain_test_" + std::to_string(::getpid()));
+  fs::create_directories(dir);
+  const std::string pcap = (dir / "drain.pcap").string();
+  ASSERT_TRUE(sim.write_pcap(pcap));
+
+  std::atomic<std::uint64_t> frames{0};
+  pipeline::PipelineConfig config;
+  config.shards = 2;
+  config.drain_check = [&] { return frames.fetch_add(1) > 200; };
+  std::size_t windows = 0;
+  {
+    pipeline::ShardedAnalyzer analyzer{
+        config, [&](core::AnalysisWindow&&) { ++windows; }};
+    EXPECT_TRUE(analyzer.process_pcap(pcap));
+    analyzer.finish();
+    EXPECT_EQ(windows, 1u);
+    // Dispatch stopped early: far fewer frames than the capture holds.
+    EXPECT_LT(analyzer.stats().frames_dispatched, 100'000u);
+  }
+  fs::remove_all(dir);
 }
 
 TEST(Canonicalize, OrdersDnsEventsByTimeThenClientThenName) {

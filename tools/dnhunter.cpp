@@ -28,6 +28,19 @@
 // docs/pipeline.md). `policy` and `chaos` drive the sniffer directly and
 // always run single-threaded.
 //
+// Durability and lifecycle (docs/recovery.md): --spill-dir DIR makes
+// every sealed window durable (CRC-framed spill segments + manifest
+// journal) before it is merged; --resume replays DIR's manifest after a
+// crash and serves the recovered window prefix from the spilled bytes,
+// producing output byte-identical to an uninterrupted run. --window S
+// rotates analysis windows every S seconds (the streaming mode those
+// spills protect). SIGINT/SIGTERM drain gracefully — seal, spill, merge,
+// flush metrics, exit 0 with results covering the processed prefix.
+// --watchdog S arms a stall detector: a pipeline with pending work but no
+// stage progress for S seconds prints a typed diagnostic and exits 4
+// instead of hanging. Any of these flags routes ingestion through the
+// sharded pipeline even at --jobs 1.
+//
 // Observability (docs/observability.md): --metrics-out FILE streams a
 // JSON-lines metrics snapshot every --metrics-interval S seconds while
 // the command runs; --metrics-prom FILE writes one Prometheus text dump
@@ -112,6 +125,16 @@ struct Args {
                "(default 1; results are\n"
                "  bit-identical to --jobs 1; policy/chaos always run "
                "single-threaded)\n"
+               "durability options (docs/recovery.md): --spill-dir DIR "
+               "spill sealed windows\n"
+               "  durably before merging; --resume replay DIR's manifest "
+               "after a crash and\n"
+               "  serve the recovered prefix from spill; --window S "
+               "rotate analysis windows\n"
+               "  every S seconds; --watchdog S exit 4 with a stall "
+               "diagnostic after S\n"
+               "  seconds without pipeline progress; SIGINT/SIGTERM "
+               "drain gracefully (exit 0)\n"
                "metrics options: --metrics-out FILE stream JSON-lines "
                "snapshots while running;\n"
                "  --metrics-interval S snapshot cadence in seconds "
@@ -244,10 +267,49 @@ struct FatalError {
 /// from here to command completion is the analytics stage span.
 std::optional<std::chrono::steady_clock::time_point> g_ingest_end;
 
+/// Non-negative seconds option (fractions allowed), or zero when absent.
+util::Duration seconds_option(const Args& args, const char* name) {
+  const auto value = args.option(name);
+  if (!value) return util::Duration{};
+  const double seconds = std::strtod(value->c_str(), nullptr);
+  if (seconds <= 0)
+    usage((std::string{"--"} + name + " requires seconds > 0").c_str());
+  return util::Duration::micros(static_cast<std::int64_t>(seconds * 1e6));
+}
+
+/// Durability/lifecycle features all live in the sharded pipeline, so any
+/// of them routes ingestion through it even at --jobs 1.
+bool pipeline_requested(const Args& args) {
+  return jobs_from(args) > 1 || args.option("spill-dir").has_value() ||
+         args.flag("resume") || args.flag("window") || args.flag("watchdog");
+}
+
+/// Resume accounting on stderr: how much of the run was served from the
+/// spill, and what damage the recovery path degraded over.
+void report_recovery(const pipeline::PipelineStats& stats) {
+  const auto& r = stats.recovery;
+  std::fprintf(stderr,
+               "resume: %llu window(s) served from spill, %llu recomputed\n",
+               static_cast<unsigned long long>(stats.windows_recovered),
+               static_cast<unsigned long long>(stats.windows_recomputed));
+  if (r.total_anomalies() != 0) {
+    std::fprintf(stderr,
+                 "resume: degraded over %llu anomaly(ies): %llu torn "
+                 "manifest line(s), %llu bad-CRC record(s), %llu torn "
+                 "record(s), %llu row error(s)\n",
+                 static_cast<unsigned long long>(r.total_anomalies()),
+                 static_cast<unsigned long long>(r.manifest_torn_lines),
+                 static_cast<unsigned long long>(r.records_bad_crc),
+                 static_cast<unsigned long long>(r.records_torn),
+                 static_cast<unsigned long long>(r.flow_row_errors +
+                                                 r.dns_row_errors));
+  }
+}
+
 Capture sniff(const Args& args) {
   const std::size_t jobs = jobs_from(args);
   Capture capture;
-  if (jobs <= 1) {
+  if (!pipeline_requested(args)) {
     core::Sniffer sniffer{sniffer_config(args)};
     if (!sniffer.process_pcap(args.pcap))
       die_on_read_failure(args, sniffer.error());
@@ -256,19 +318,57 @@ Capture sniff(const Args& args) {
     capture.db = sniffer.take_database();
     capture.events = sniffer.take_dns_log();
   } else {
+    if (args.flag("resume") && !args.option("spill-dir"))
+      usage("--resume requires --spill-dir DIR");
     pipeline::PipelineConfig config;
     config.shards = jobs;
     config.sniffer = sniffer_config(args);
+    config.window = seconds_option(args, "window");
+    config.spill_dir = args.option("spill-dir").value_or("");
+    config.resume = args.flag("resume");
+    config.watchdog_timeout = seconds_option(args, "watchdog");
+    config.on_stall = [](const pipeline::StallDiagnostic& diagnostic) {
+      // Fail fast: the pipeline is wedged, so no clean unwind is
+      // possible — print the typed diagnostic and leave.
+      std::fprintf(stderr, "error: pipeline stalled\n%s",
+                   diagnostic.to_string().c_str());
+      std::fflush(stderr);
+      std::_Exit(4);
+    };
+    pipeline::install_drain_signal_handlers();
+    config.drain_check = [] { return pipeline::drain_requested(); };
+
+    // Windows arrive in order on the merge thread; accumulate them into
+    // the one Capture the analytics commands consume (whole-capture mode
+    // delivers exactly one). Flow fqdn views are re-interned by add();
+    // event views are remapped into the capture's own table here, so
+    // nothing dangles when the window's private table dies.
+    core::DomainTable& unified = *capture.db.domain_table();
     pipeline::ShardedAnalyzer analyzer{
-        config, [&capture](core::AnalysisWindow&& window) {
-          // Single-window mode: the one merged window IS the capture.
-          capture.db = std::move(window.db);
-          capture.events = std::move(window.dns_log);
+        config, [&capture, &unified](core::AnalysisWindow&& window) {
+          for (auto& flow : window.db.take_flows())
+            capture.db.add(std::move(flow));
+          for (auto& event : window.dns_log) {
+            event.fqdn_id = unified.intern(event.fqdn);
+            event.fqdn = unified.view(event.fqdn_id);
+            capture.events.push_back(std::move(event));
+          }
         }};
     const bool ok = analyzer.process_pcap(args.pcap);
     analyzer.finish();  // join threads before any exit path
     if (!ok) die_on_read_failure(args, analyzer.error());
-    capture.stats_data = analyzer.stats().merged;
+    const pipeline::PipelineStats& pstats = analyzer.stats();
+    if (config.resume) report_recovery(pstats);
+    if (pstats.spill_failures != 0)
+      std::fprintf(stderr,
+                   "warning: %llu spill append(s) failed; a crash now may "
+                   "not be fully recoverable\n",
+                   static_cast<unsigned long long>(pstats.spill_failures));
+    if (pipeline::drain_requested())
+      std::fprintf(stderr,
+                   "drain: ingestion stopped by signal; results cover the "
+                   "frames processed before the drain\n");
+    capture.stats_data = pstats.merged;
   }
   // Both paths canonicalize, so `--jobs N` output is bit-identical to
   // `--jobs 1` for every command (the merge stage already sorted, but
