@@ -1,5 +1,6 @@
 #include "core/sniffer.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 #include "baseline/cert_inspection.hpp"
@@ -53,6 +54,8 @@ struct SnifferMetrics {
   obs::Counter flows_tagged_start =
       r.counter("dnh_flows_tagged_start_total");
   obs::Counter flows_tagged_late = r.counter("dnh_flows_tagged_late_total");
+  obs::Counter export_records_ingested =
+      r.counter("dnh_flowexport_records_ingested_total");
   obs::Histogram decode_ns = r.histogram("dnh_stage_decode_ns");
   obs::Histogram dns_parse_ns = r.histogram("dnh_stage_dns_parse_ns");
 };
@@ -184,7 +187,107 @@ void Sniffer::on_frame(net::BytesView frame, util::Timestamp ts) {
     }
     return;
   }
+  if (config_.dns_only) return;  // flows arrive via on_export_record
   table_.on_packet(*pkt);
+}
+
+void Sniffer::on_export_record(const flowexport::OrientedRecord& record,
+                               util::Timestamp arrival) {
+  // dnh-lint: hot
+  ++stats_.export_records;
+  metrics().export_records_ingested.inc();
+
+  auto it = record_flows_.find(record.key);
+  if (it != record_flows_.end() &&
+      record.first > it->second.last_packet &&
+      record.first - it->second.last_packet > config_.table.idle_timeout) {
+    // Arrival-driven split, mirroring FlowTable: a record resuming an
+    // expired 5-tuple starts a new flow, so flow boundaries depend only on
+    // record timestamps, never on sweep cadence.
+    flow::FlowRecord expired = std::move(it->second);
+    record_flows_.erase(it);
+    on_flow_export(std::move(expired));
+    it = record_flows_.end();
+  }
+  if (it == record_flows_.end()) {
+    flow::FlowRecord fresh;
+    fresh.key = record.key;
+    fresh.first_packet = record.first;
+    fresh.last_packet = record.last;
+    it = record_flows_.emplace(record.key, std::move(fresh)).first;
+    // Start-tag parity with the packet path: resolver insertions are
+    // stream-ordered, so the newest entry at-or-before the flow's first
+    // packet is exactly what on_flow_start's lookup() saw at that instant
+    // — even though the export record reaches us seconds later.
+    std::string_view fqdn;
+    if (const auto hit = resolver_.lookup_at_or_before(
+            record.key.client_ip, record.key.server_ip, record.first)) {
+      pending_tags_[record.key] =
+          PendingTag{hit->fqdn_id, hit->response_time};
+      fqdn = hit->fqdn;
+    }
+    if (flow_start_hook_) flow_start_hook_(it->second, fqdn);
+  }
+
+  flow::FlowRecord& flow = it->second;
+  if (record.first < flow.first_packet) flow.first_packet = record.first;
+  if (record.last > flow.last_packet) flow.last_packet = record.last;
+  if (record.from_client) {
+    flow.packets_c2s += record.packets;
+    flow.bytes_c2s += record.bytes;
+  } else {
+    flow.packets_s2c += record.packets;
+    flow.bytes_s2c += record.bytes;
+  }
+  if (record.key.transport == flow::Transport::kTcp) {
+    if (record.tcp_flags & 0x02) flow.saw_syn = true;
+    if (record.tcp_flags & 0x04) flow.saw_rst = true;
+    if (record.tcp_flags & 0x01) {
+      if (record.from_client)
+        flow.saw_fin_client = true;
+      else
+        flow.saw_fin_server = true;
+    }
+  }
+
+  if (stats_.export_records % config_.table.sweep_interval_packets == 0) {
+    sweep_record_flows(arrival);
+    publish_gauges();
+  }
+}
+
+void Sniffer::sweep_record_flows(util::Timestamp now) {
+  // Memory bound only: the export-time label is a cutoff query at the
+  // flow's last packet, so flushing early or late cannot change it. Keys
+  // flush in sorted order so database insertion order is deterministic
+  // regardless of hash-map iteration order.
+  std::vector<flow::FlowKey> idle;
+  for (const auto& [key, flow] : record_flows_) {
+    if (now > flow.last_packet &&
+        now - flow.last_packet > config_.table.idle_timeout) {
+      idle.push_back(key);
+    }
+  }
+  std::sort(idle.begin(), idle.end());
+  for (const auto& key : idle) {
+    auto it = record_flows_.find(key);
+    flow::FlowRecord flow = std::move(it->second);
+    record_flows_.erase(it);
+    on_flow_export(std::move(flow));
+  }
+}
+
+void Sniffer::flush_record_flows() {
+  std::vector<flow::FlowKey> keys;
+  keys.reserve(record_flows_.size());
+  for (const auto& [key, flow] : record_flows_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  for (const auto& key : keys) {
+    auto it = record_flows_.find(key);
+    flow::FlowRecord flow = std::move(it->second);
+    record_flows_.erase(it);
+    on_flow_export(std::move(flow));
+  }
 }
 
 void Sniffer::handle_dns_message(net::BytesView wire,
@@ -404,6 +507,7 @@ bool Sniffer::process_pcap(const std::string& path) {
 
 void Sniffer::finish() {
   table_.flush();
+  flush_record_flows();
   publish_gauges();
 }
 

@@ -21,6 +21,7 @@
 #include "core/resolver.hpp"
 #include "dns/wire_scan.hpp"
 #include "flow/table.hpp"
+#include "flowexport/orient.hpp"
 #include "net/bytes.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -68,6 +69,11 @@ struct SnifferConfig {
   /// its worker index; the single-threaded path keeps 0. Counters are
   /// process-wide and unlabeled — they sum across shards by construction.
   std::size_t metrics_shard = 0;
+  /// Flow-export ingest mode: packets feed only the DNS side (resolver,
+  /// event log); the flow table never sees them. Flows arrive pre-summarized
+  /// through on_export_record() instead, so running the full capture through
+  /// on_frame() cannot double-count traffic the router already exported.
+  bool dns_only = false;
 };
 
 /// Typed accounting of every malformed input the pipeline survived. One
@@ -124,6 +130,7 @@ struct SnifferStats {
   std::uint64_t flows_exported = 0;
   std::uint64_t flows_tagged_at_start = 0;
   std::uint64_t flows_tagged_at_export = 0;  ///< late tag (rare)
+  std::uint64_t export_records = 0;  ///< flow-export records ingested
   DegradationStats degradation;  ///< typed malformed-input accounting
 };
 
@@ -138,6 +145,15 @@ class Sniffer {
 
   /// Feeds one link-layer frame.
   void on_frame(net::BytesView frame, util::Timestamp ts);
+
+  /// Feeds one oriented flow-export record (NetFlow/IPFIX ingest). Both
+  /// directions of a flow merge under the oriented key until an
+  /// arrival-driven idle gap or finish() flushes the flow through the same
+  /// tagging/export path packets take. `arrival` is when the export
+  /// datagram reached the collector (drives the idle sweep only — tag
+  /// decisions depend solely on the record's own timestamps).
+  void on_export_record(const flowexport::OrientedRecord& record,
+                        util::Timestamp arrival);
 
   /// Streams a pcap file through the sniffer. Returns false if the file
   /// cannot be opened or is corrupt (partial processing may have occurred;
@@ -204,6 +220,12 @@ class Sniffer {
                           util::Timestamp ts);
   void on_flow_start(const flow::FlowRecord& flow);
   void on_flow_export(flow::FlowRecord&& flow);
+  /// Flushes record-derived flows idle past the table's idle_timeout
+  /// relative to `now` (memory bound only; labels are cutoff queries and
+  /// never depend on when this runs).
+  void sweep_record_flows(util::Timestamp now);
+  /// Flushes every record-derived flow, in sorted key order.
+  void flush_record_flows();
 
   SnifferConfig config_;
   /// Declared before every member that shares it (resolver, database).
@@ -223,6 +245,11 @@ class Sniffer {
   // dnh-lint: bounded(max_tcp_dns_buffers) oldest-arbitrary eviction at
   // the cap, counted in tcp_dns_buffer_evictions.
   std::unordered_map<std::uint64_t, net::Bytes> tcp_dns_buffers_;
+  /// Record-derived flows mid-merge (flow-export ingest): the two
+  /// directional export records of one flow accumulate here until flushed.
+  // dnh-lint: bounded(sweep_record_flows) idle entries flushed on the
+  // table's sweep cadence; finish() drains the rest.
+  std::unordered_map<flow::FlowKey, flow::FlowRecord> record_flows_;
   FlowStartHook flow_start_hook_;
   SnifferStats stats_;
   bool have_last_frame_ts_ = false;

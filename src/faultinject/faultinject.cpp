@@ -5,6 +5,8 @@
 #include <cstring>
 #include <memory>
 
+#include "flowexport/stream.hpp"
+
 namespace dnh::faultinject {
 namespace {
 
@@ -395,6 +397,111 @@ std::optional<SpillFaultReport> corrupt_spill_dir(
     report.bits_flipped = 1;
   }
   if (!dump_file(path, bytes)) return std::nullopt;
+  return report;
+}
+
+std::string_view export_fault_mode_name(ExportFaultMode mode) {
+  switch (mode) {
+    case ExportFaultMode::kTruncateDatagram: return "truncate-datagram";
+    case ExportFaultMode::kReorderDatagrams: return "reorder-datagrams";
+    case ExportFaultMode::kGarbageDatagram: return "garbage-datagram";
+    case ExportFaultMode::kTemplateLoss: return "template-loss";
+  }
+  return "?";
+}
+
+namespace {
+
+/// True when the payload is an IPFIX message whose first set is a
+/// template set — the datagrams kTemplateLoss hunts. Scanning only the
+/// first set is enough for streams our encoder writes (templates travel
+/// at the front of a refresh datagram).
+bool carries_ipfix_template(const std::vector<std::uint8_t>& payload) {
+  if (payload.size() < 20) return false;
+  const std::uint16_t version =
+      static_cast<std::uint16_t>((payload[0] << 8) | payload[1]);
+  if (version != 10) return false;
+  const std::uint16_t first_set_id =
+      static_cast<std::uint16_t>((payload[16] << 8) | payload[17]);
+  return first_set_id == 2;
+}
+
+}  // namespace
+
+std::optional<ExportFaultReport> corrupt_export_stream(
+    const std::string& src, const std::string& dst,
+    const ExportFaultConfig& config) {
+  flowexport::DatagramReader reader;
+  if (!reader.open(src)) return std::nullopt;
+  struct Entry {
+    util::Timestamp arrival;
+    std::vector<std::uint8_t> payload;
+  };
+  std::vector<Entry> entries;
+  flowexport::Datagram datagram;
+  while (reader.next(datagram))
+    entries.push_back({datagram.arrival, std::move(datagram.payload)});
+
+  util::Rng rng{config.seed};
+  ExportFaultReport report;
+  report.datagrams_in = entries.size();
+
+  switch (config.mode) {
+    case ExportFaultMode::kTruncateDatagram:
+      for (Entry& entry : entries) {
+        if (entry.payload.size() < 2 || !rng.chance(config.rate)) continue;
+        entry.payload.resize(static_cast<std::size_t>(
+            rng.uniform(1, entry.payload.size() - 1)));
+        ++report.truncated;
+      }
+      break;
+    case ExportFaultMode::kReorderDatagrams:
+      // Swap whole entries, arrival stamps included: the replayed stream
+      // really does deliver a newer datagram first, which is what UDP
+      // reordering looks like to the collector.
+      for (std::size_t i = 0; i + 1 < entries.size(); ++i) {
+        if (!rng.chance(config.rate)) continue;
+        std::swap(entries[i], entries[i + 1]);
+        ++report.reorder_swaps;
+        ++i;  // do not re-swap the element just moved back
+      }
+      break;
+    case ExportFaultMode::kGarbageDatagram:
+      // The whole payload turns to noise — a foreign UDP stream spliced
+      // into the export port, or bit rot beyond recognition. A partial
+      // scribble would often leave v5 framing intact and merely change
+      // field values; total replacement guarantees the decoder sees an
+      // unparseable datagram and degrades with a typed error instead.
+      for (Entry& entry : entries) {
+        if (entry.payload.empty() || !rng.chance(config.rate)) continue;
+        for (std::uint8_t& byte : entry.payload)
+          byte = static_cast<std::uint8_t>(rng.uniform(0, 255));
+        ++report.garbage_runs;
+        report.garbage_bytes += entry.payload.size();
+      }
+      break;
+    case ExportFaultMode::kTemplateLoss: {
+      std::vector<Entry> kept;
+      kept.reserve(entries.size());
+      for (Entry& entry : entries) {
+        if (carries_ipfix_template(entry.payload) &&
+            rng.chance(config.rate)) {
+          ++report.templates_dropped;
+          continue;
+        }
+        kept.push_back(std::move(entry));
+      }
+      entries = std::move(kept);
+      break;
+    }
+  }
+
+  flowexport::DatagramWriter writer;
+  if (!writer.create(dst)) return std::nullopt;
+  for (const Entry& entry : entries)
+    if (!writer.write(entry.arrival, entry.payload)) return std::nullopt;
+  if (!writer.close()) return std::nullopt;
+  report.datagrams_out = entries.size();
   return report;
 }
 

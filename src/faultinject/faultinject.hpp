@@ -173,4 +173,49 @@ struct SpillFaultReport {
 std::optional<SpillFaultReport> corrupt_spill_dir(
     const std::string& dir, const SpillFaultConfig& config);
 
+/// Flow-export stream hazards: what a UDP export path between router and
+/// collector actually does to datagrams. Each mode models one failure the
+/// flowexport decoder must degrade over with typed stats, never a crash
+/// (docs/flow-export.md).
+enum class ExportFaultMode : std::uint8_t {
+  kTruncateDatagram = 0,  ///< datagram cut short in flight (fragment loss)
+  kReorderDatagrams,      ///< adjacent datagrams swapped (UDP reordering)
+  kGarbageDatagram,       ///< whole payload replaced with noise (foreign UDP)
+  kTemplateLoss,          ///< IPFIX template datagrams dropped entirely
+};
+inline constexpr std::size_t kExportFaultModeCount = 4;
+
+/// Human-readable mode name ("truncate-datagram", "template-loss", ...).
+std::string_view export_fault_mode_name(ExportFaultMode mode);
+
+struct ExportFaultConfig {
+  std::uint64_t seed = 1;
+  ExportFaultMode mode = ExportFaultMode::kTruncateDatagram;
+  /// Per-datagram probability of applying the mode.
+  double rate = 0.1;
+};
+
+struct ExportFaultReport {
+  std::uint64_t datagrams_in = 0;
+  std::uint64_t datagrams_out = 0;
+  std::uint64_t truncated = 0;       ///< kTruncateDatagram victims
+  std::uint64_t reorder_swaps = 0;   ///< kReorderDatagrams swaps applied
+  std::uint64_t garbage_runs = 0;    ///< kGarbageDatagram victims
+  std::uint64_t garbage_bytes = 0;
+  std::uint64_t templates_dropped = 0;  ///< kTemplateLoss victims
+
+  std::uint64_t faults() const noexcept {
+    return truncated + reorder_swaps + garbage_runs + templates_dropped;
+  }
+};
+
+/// Copies the DNHX export stream `src` to `dst` applying the configured
+/// mode. Deterministic for a given config. Returns nullopt when `src` is
+/// missing or not a DNHX stream, or `dst` cannot be written. kTemplateLoss
+/// only drops datagrams that carry an IPFIX template set; over a NetFlow
+/// v5 stream it is a faithful no-op (v5 has no templates to lose).
+std::optional<ExportFaultReport> corrupt_export_stream(
+    const std::string& src, const std::string& dst,
+    const ExportFaultConfig& config);
+
 }  // namespace dnh::faultinject

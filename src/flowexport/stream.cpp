@@ -1,0 +1,152 @@
+#include "flowexport/stream.hpp"
+
+#include <cstring>
+
+namespace dnh::flowexport {
+
+namespace {
+
+constexpr char kMagic[4] = {'D', 'N', 'H', 'X'};
+constexpr std::uint16_t kVersion = 1;
+
+void put_u16(std::uint8_t* p, std::uint16_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 8);
+  p[1] = static_cast<std::uint8_t>(v);
+}
+void put_u32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v);
+}
+void put_u64(std::uint8_t* p, std::uint64_t v) {
+  put_u32(p, static_cast<std::uint32_t>(v >> 32));
+  put_u32(p + 4, static_cast<std::uint32_t>(v));
+}
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return (std::uint32_t{p[0]} << 24) | (std::uint32_t{p[1]} << 16) |
+         (std::uint32_t{p[2]} << 8) | std::uint32_t{p[3]};
+}
+std::uint64_t get_u64(const std::uint8_t* p) {
+  return (std::uint64_t{get_u32(p)} << 32) | get_u32(p + 4);
+}
+
+}  // namespace
+
+DatagramReader::~DatagramReader() {
+  if (file_ && owns_file_) std::fclose(file_);
+}
+
+bool DatagramReader::open(const std::string& path) {
+  if (path == "-") {
+    file_ = stdin;
+    owns_file_ = false;
+  } else {
+    file_ = std::fopen(path.c_str(), "rb");
+    owns_file_ = true;
+    if (!file_) {
+      error_ = "cannot open " + path;
+      return false;
+    }
+  }
+  std::uint8_t header[8];
+  if (std::fread(header, 1, sizeof header, file_) != sizeof header ||
+      std::memcmp(header, kMagic, sizeof kMagic) != 0) {
+    error_ = path + " is not a DNHX flow-export stream (bad magic)";
+    return false;
+  }
+  const std::uint16_t version =
+      static_cast<std::uint16_t>((header[4] << 8) | header[5]);
+  if (version != kVersion) {
+    error_ = path + ": unsupported DNHX version " + std::to_string(version);
+    return false;
+  }
+  return true;
+}
+
+bool DatagramReader::next(Datagram& out) {
+  if (!file_) return false;
+  std::uint8_t header[12];
+  const std::size_t got = std::fread(header, 1, sizeof header, file_);
+  if (got == 0) return false;  // clean end of stream
+  if (got < sizeof header) {
+    ++corruption_.truncated_tails;
+    corruption_.bytes_skipped += got;
+    return false;
+  }
+  out.arrival = util::Timestamp::from_micros(
+      static_cast<std::int64_t>(get_u64(header)));
+  const std::uint32_t length = get_u32(header + 8);
+  if (length > kMaxPayload) {
+    // A length no UDP datagram can carry: the framing itself is damaged,
+    // and nothing downstream can be delimited. Typed stop, not a crash.
+    ++corruption_.oversize_records;
+    return false;
+  }
+  out.payload.resize(length);
+  const std::size_t body = std::fread(out.payload.data(), 1, length, file_);
+  if (body < length) {
+    ++corruption_.truncated_tails;
+    corruption_.bytes_skipped += body;
+    return false;
+  }
+  ++datagrams_;
+  return true;
+}
+
+DatagramWriter::~DatagramWriter() {
+  if (file_ && owns_file_) std::fclose(file_);
+}
+
+bool DatagramWriter::create(const std::string& path) {
+  if (path == "-") {
+    file_ = stdout;
+    owns_file_ = false;
+  } else {
+    file_ = std::fopen(path.c_str(), "wb");
+    owns_file_ = true;
+    if (!file_) {
+      error_ = "cannot create " + path;
+      return false;
+    }
+  }
+  std::uint8_t header[8] = {};
+  std::memcpy(header, kMagic, sizeof kMagic);
+  put_u16(header + 4, kVersion);
+  if (std::fwrite(header, 1, sizeof header, file_) != sizeof header) {
+    error_ = "cannot write DNHX header to " + path;
+    return false;
+  }
+  return true;
+}
+
+bool DatagramWriter::write(util::Timestamp arrival, net::BytesView payload) {
+  if (!file_) {
+    error_ = "writer not open";
+    return false;
+  }
+  std::uint8_t header[12];
+  put_u64(header,
+          static_cast<std::uint64_t>(arrival.micros_since_epoch()));
+  put_u32(header + 8, static_cast<std::uint32_t>(payload.size()));
+  if (std::fwrite(header, 1, sizeof header, file_) != sizeof header ||
+      std::fwrite(payload.data(), 1, payload.size(), file_) !=
+          payload.size()) {
+    error_ = "short write to DNHX stream";
+    return false;
+  }
+  ++datagrams_;
+  return true;
+}
+
+bool DatagramWriter::close() {
+  if (!file_) return true;
+  const bool flushed = std::fflush(file_) == 0;
+  bool closed = true;
+  if (owns_file_) closed = std::fclose(file_) == 0;
+  file_ = nullptr;
+  if (!(flushed && closed)) error_ = "failed flushing DNHX stream";
+  return flushed && closed;
+}
+
+}  // namespace dnh::flowexport

@@ -1,0 +1,102 @@
+// DNHX: the on-disk container for captured flow-export datagram streams.
+//
+// NetFlow/IPFIX travel as UDP datagrams; to replay them offline the way
+// pcap replays packets, each datagram must keep its boundaries and its
+// arrival clock. DNHX is the minimal framing that preserves both:
+//
+//   file   := magic "DNHX" (4 bytes) | u16 version (=1) | u16 reserved
+//   record := u64 arrival_micros (BE) | u32 payload_length (BE) | payload
+//
+// Arrival times are microseconds since the Unix epoch — the collector's
+// receive clock, which is what drives arrival-ordered replay against the
+// sniffed-DNS packet stream. The reader is pull-based like pcap::Reader
+// (open/next), reads from a file or stdin ("-"), and degrades typed on
+// damage: a record that would run past EOF is a truncated tail, counted
+// and reported, never a crash. Payload corruption is not DNHX's problem —
+// the export decoder handles garbage datagrams with its own typed errors.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "net/bytes.hpp"
+#include "util/time.hpp"
+
+namespace dnh::flowexport {
+
+/// One replayed export datagram: arrival instant plus raw payload.
+struct Datagram {
+  util::Timestamp arrival;
+  net::Bytes payload;
+};
+
+/// Damage accounting for a DNHX read (mirrors pcap::CorruptionStats).
+struct StreamCorruption {
+  std::uint64_t truncated_tails = 0;  ///< file ended mid-record
+  std::uint64_t oversize_records = 0; ///< length field past the sanity cap
+  std::uint64_t bytes_skipped = 0;    ///< bytes abandoned to damage
+  std::uint64_t total() const noexcept {
+    return truncated_tails + oversize_records;
+  }
+};
+
+/// Pull-based DNHX reader. `open("-")` reads the stream from stdin.
+class DatagramReader {
+ public:
+  /// Largest payload a record may claim; beyond this the stream is
+  /// considered damaged (UDP cannot carry it) and the read stops.
+  static constexpr std::uint32_t kMaxPayload = 1 << 16;
+
+  DatagramReader() = default;
+  ~DatagramReader();
+  DatagramReader(const DatagramReader&) = delete;
+  DatagramReader& operator=(const DatagramReader&) = delete;
+
+  /// Opens and validates the header. False (with error()) on a missing
+  /// file or a foreign/garbled header.
+  bool open(const std::string& path);
+
+  /// Reads the next datagram. False at end of stream or on damage; a
+  /// damaged stream sets corruption() and stops (what survives before the
+  /// tear was already delivered in order).
+  bool next(Datagram& out);
+
+  const std::string& error() const noexcept { return error_; }
+  const StreamCorruption& corruption() const noexcept { return corruption_; }
+  std::uint64_t datagrams_read() const noexcept { return datagrams_; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  bool owns_file_ = false;
+  std::string error_;
+  StreamCorruption corruption_;
+  std::uint64_t datagrams_ = 0;
+};
+
+/// Append-only DNHX writer. Callers supply records in arrival order (the
+/// reader replays file order verbatim, so order on disk IS the replay
+/// order — the reorder chaos mode exploits exactly that).
+class DatagramWriter {
+ public:
+  DatagramWriter() = default;
+  ~DatagramWriter();
+  DatagramWriter(const DatagramWriter&) = delete;
+  DatagramWriter& operator=(const DatagramWriter&) = delete;
+
+  /// Creates/truncates `path` ("-" writes to stdout) and writes the header.
+  bool create(const std::string& path);
+  bool write(util::Timestamp arrival, net::BytesView payload);
+  bool close();
+
+  const std::string& error() const noexcept { return error_; }
+  std::uint64_t datagrams_written() const noexcept { return datagrams_; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  bool owns_file_ = false;
+  std::string error_;
+  std::uint64_t datagrams_ = 0;
+};
+
+}  // namespace dnh::flowexport

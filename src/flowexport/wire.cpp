@@ -1,0 +1,557 @@
+#include "flowexport/wire.hpp"
+
+#include <algorithm>
+
+#include "obs/metrics.hpp"
+
+namespace dnh::flowexport {
+
+namespace {
+
+constexpr std::size_t kV5HeaderSize = 24;
+constexpr std::size_t kV5RecordSize = 48;
+constexpr std::size_t kV5MaxRecords = 30;
+constexpr std::size_t kIpfixHeaderSize = 16;
+constexpr std::size_t kIpfixSetHeaderSize = 4;
+constexpr std::uint16_t kIpfixVersion = 10;
+constexpr std::uint16_t kTemplateSetId = 2;
+constexpr std::uint16_t kOptionsTemplateSetId = 3;
+constexpr std::uint16_t kMinDataSetId = 256;
+
+/// Handles resolved once; bumped alongside ExportDecoderStats in the same
+/// code paths (docs/observability.md catalog).
+struct FlowExportMetrics {
+  obs::Registry& r = obs::Registry::global();
+  obs::Counter datagrams = r.counter("dnh_flowexport_datagrams_total");
+  obs::Counter records_v5 =
+      r.counter("dnh_flowexport_records_total{format=v5}");
+  obs::Counter records_ipfix =
+      r.counter("dnh_flowexport_records_total{format=ipfix}");
+  obs::Counter templates_added =
+      r.counter("dnh_flowexport_templates_total{event=added}");
+  obs::Counter templates_refreshed =
+      r.counter("dnh_flowexport_templates_total{event=refreshed}");
+  obs::Counter templates_evicted =
+      r.counter("dnh_flowexport_templates_total{event=evicted}");
+  obs::Counter err_truncated =
+      r.counter("dnh_flowexport_parse_errors_total{kind=truncated}");
+  obs::Counter err_bad_version =
+      r.counter("dnh_flowexport_parse_errors_total{kind=bad_version}");
+  obs::Counter err_count_lie =
+      r.counter("dnh_flowexport_parse_errors_total{kind=count_lie}");
+  obs::Counter err_bad_set_length =
+      r.counter("dnh_flowexport_parse_errors_total{kind=bad_set_length}");
+  obs::Counter err_bad_template =
+      r.counter("dnh_flowexport_parse_errors_total{kind=bad_template}");
+  obs::Counter err_unknown_template =
+      r.counter("dnh_flowexport_parse_errors_total{kind=unknown_template}");
+  obs::Counter err_bad_record =
+      r.counter("dnh_flowexport_parse_errors_total{kind=bad_record}");
+};
+
+FlowExportMetrics& metrics() {
+  static FlowExportMetrics m;
+  return m;
+}
+
+std::string shard_gauge_name(const char* base, std::size_t shard) {
+  return std::string{base} + "{shard=" + std::to_string(shard) + "}";
+}
+
+obs::Counter& error_counter(ExportParseError e) {
+  FlowExportMetrics& m = metrics();
+  switch (e) {
+    case ExportParseError::kTruncated: return m.err_truncated;
+    case ExportParseError::kBadVersion: return m.err_bad_version;
+    case ExportParseError::kCountLie: return m.err_count_lie;
+    case ExportParseError::kBadSetLength: return m.err_bad_set_length;
+    case ExportParseError::kBadTemplate: return m.err_bad_template;
+    case ExportParseError::kUnknownTemplate: return m.err_unknown_template;
+    case ExportParseError::kBadRecord:
+    case ExportParseError::kNone: break;
+  }
+  return m.err_bad_record;
+}
+
+std::uint64_t template_key(std::uint32_t domain, std::uint16_t id) {
+  return (std::uint64_t{domain} << 16) | id;
+}
+
+/// Millisecond truncation both codecs share: the wire carries ms, so a
+/// round trip is exact at ms precision and the encoder truncates rather
+/// than rounds (a record can never claim a time after the packet it saw).
+std::int64_t to_millis(util::Timestamp t) {
+  return t.micros_since_epoch() / 1000;
+}
+util::Timestamp from_millis(std::int64_t ms) {
+  return util::Timestamp::from_micros(ms * 1000);
+}
+
+}  // namespace
+
+std::string_view export_parse_error_name(ExportParseError e) noexcept {
+  switch (e) {
+    case ExportParseError::kNone: return "none";
+    case ExportParseError::kTruncated: return "truncated";
+    case ExportParseError::kBadVersion: return "bad_version";
+    case ExportParseError::kCountLie: return "count_lie";
+    case ExportParseError::kBadSetLength: return "bad_set_length";
+    case ExportParseError::kBadTemplate: return "bad_template";
+    case ExportParseError::kUnknownTemplate: return "unknown_template";
+    case ExportParseError::kBadRecord: return "bad_record";
+  }
+  return "unknown";
+}
+
+std::string_view export_format_name(ExportFormat f) noexcept {
+  return f == ExportFormat::kV5 ? "v5" : "ipfix";
+}
+
+ExportDecoder::ExportDecoder(DecoderConfig config) : config_{config} {
+  if (config_.template_cache_capacity == 0)
+    config_.template_cache_capacity = 1;
+  template_cache_gauge_ = obs::Registry::global().gauge(shard_gauge_name(
+      "dnh_flowexport_template_cache_size", config_.metrics_shard));
+}
+
+void ExportDecoder::note_error(ExportParseError e) {
+  ++stats_.errors[static_cast<std::size_t>(e)];
+  error_counter(e).inc();
+}
+
+void ExportDecoder::publish_gauge() {
+  template_cache_gauge_.set(static_cast<std::int64_t>(templates_.size()));
+}
+
+ExportParseError ExportDecoder::on_datagram(net::BytesView data,
+                                            std::vector<ExportRecord>& out) {
+  ++stats_.datagrams;
+  metrics().datagrams.inc();
+  if (data.size() < 2) {
+    note_error(ExportParseError::kTruncated);
+    return ExportParseError::kTruncated;
+  }
+  const std::uint16_t version =
+      static_cast<std::uint16_t>((data[0] << 8) | data[1]);
+  if (version == 5) {
+    net::ByteReader reader{data};
+    return decode_v5(reader, out);
+  }
+  if (version == kIpfixVersion) return decode_ipfix(data, out);
+  note_error(ExportParseError::kBadVersion);
+  return ExportParseError::kBadVersion;
+}
+
+ExportParseError ExportDecoder::decode_v5(net::ByteReader& r,
+                                          std::vector<ExportRecord>& out) {
+  if (r.remaining() < kV5HeaderSize) {
+    note_error(ExportParseError::kTruncated);
+    return ExportParseError::kTruncated;
+  }
+  r.skip(2);  // version, already checked
+  const std::uint16_t count = r.read_u16();
+  const std::uint32_t sys_uptime_ms = r.read_u32();
+  const std::uint32_t unix_secs = r.read_u32();
+  const std::uint32_t unix_nsecs = r.read_u32();
+  r.skip(4);  // flow_sequence (informational)
+  r.skip(4);  // engine type/id, sampling
+  // Router boot instant in absolute time: header wall clock minus uptime.
+  // v5 record First/Last are uptime-relative milliseconds.
+  const std::int64_t boot_us =
+      std::int64_t{unix_secs} * 1'000'000 + unix_nsecs / 1000 -
+      std::int64_t{sys_uptime_ms} * 1000;
+
+  const std::size_t fit = r.remaining() / kV5RecordSize;
+  ExportParseError result = ExportParseError::kNone;
+  std::size_t take = count;
+  if (fit < count) {
+    // The header promises more records than the datagram carries
+    // (truncation in flight or a lying exporter): decode what is whole.
+    note_error(ExportParseError::kCountLie);
+    result = ExportParseError::kCountLie;
+    take = fit;
+  }
+  for (std::size_t i = 0; i < take; ++i) {
+    ExportRecord rec;
+    rec.src_ip = r.read_ipv4();
+    rec.dst_ip = r.read_ipv4();
+    r.skip(4);  // nexthop
+    r.skip(4);  // input/output ifindex
+    rec.packets = r.read_u32();
+    rec.bytes = r.read_u32();
+    const std::uint32_t first_ms = r.read_u32();
+    const std::uint32_t last_ms = r.read_u32();
+    rec.src_port = r.read_u16();
+    rec.dst_port = r.read_u16();
+    r.skip(1);  // pad
+    rec.tcp_flags = r.read_u8();
+    rec.protocol = r.read_u8();
+    r.skip(1);  // tos
+    r.skip(8);  // src/dst AS, masks, pad
+    rec.first = util::Timestamp::from_micros(boot_us +
+                                             std::int64_t{first_ms} * 1000);
+    rec.last =
+        util::Timestamp::from_micros(boot_us + std::int64_t{last_ms} * 1000);
+    if (!r.ok()) {
+      note_error(ExportParseError::kBadRecord);
+      return ExportParseError::kBadRecord;
+    }
+    out.push_back(rec);
+    ++stats_.records_v5;
+    metrics().records_v5.inc();
+  }
+  return result;
+}
+
+ExportParseError ExportDecoder::decode_ipfix(net::BytesView message,
+                                             std::vector<ExportRecord>& out) {
+  net::ByteReader header{message};
+  if (header.remaining() < kIpfixHeaderSize) {
+    note_error(ExportParseError::kTruncated);
+    return ExportParseError::kTruncated;
+  }
+  header.skip(2);  // version, already checked
+  const std::uint16_t length = header.read_u16();
+  const std::uint32_t export_secs = header.read_u32();
+  header.skip(4);  // sequence
+  const std::uint32_t domain = header.read_u32();
+  if (length < kIpfixHeaderSize || length > message.size()) {
+    note_error(ExportParseError::kTruncated);
+    return ExportParseError::kTruncated;
+  }
+  const util::Timestamp export_time =
+      util::Timestamp::from_seconds(export_secs);
+
+  ExportParseError result = ExportParseError::kNone;
+  auto note_first = [&](ExportParseError e) {
+    note_error(e);
+    if (result == ExportParseError::kNone) result = e;
+  };
+
+  std::size_t offset = kIpfixHeaderSize;
+  while (offset + kIpfixSetHeaderSize <= length) {
+    const std::uint16_t set_id =
+        static_cast<std::uint16_t>((message[offset] << 8) |
+                                   message[offset + 1]);
+    const std::uint16_t set_length =
+        static_cast<std::uint16_t>((message[offset + 2] << 8) |
+                                   message[offset + 3]);
+    if (set_length < kIpfixSetHeaderSize || offset + set_length > length) {
+      // Without a trustworthy length the rest of the message cannot be
+      // delimited; abandon the datagram here.
+      note_first(ExportParseError::kBadSetLength);
+      return result;
+    }
+    const net::BytesView set =
+        message.subspan(offset + kIpfixSetHeaderSize,
+                        set_length - kIpfixSetHeaderSize);
+    if (set_id == kTemplateSetId) {
+      const ExportParseError e = decode_template_set(set, domain);
+      if (e != ExportParseError::kNone) note_first(e);
+    } else if (set_id == kOptionsTemplateSetId) {
+      ++stats_.options_sets_skipped;  // out of the lite profile's scope
+    } else if (set_id >= kMinDataSetId) {
+      const auto it = templates_.find(template_key(domain, set_id));
+      if (it == templates_.end()) {
+        // Lost or evicted template: the records cannot even be delimited,
+        // so the whole set degrades to a typed skip.
+        note_first(ExportParseError::kUnknownTemplate);
+      } else {
+        decode_data_set(set, it->second, export_time, out);
+      }
+    }
+    offset += set_length;
+  }
+  return result;
+}
+
+ExportParseError ExportDecoder::decode_template_set(net::BytesView set,
+                                                    std::uint32_t domain) {
+  net::ByteReader r{set};
+  ExportParseError result = ExportParseError::kNone;
+  // Multiple template records per set; trailing padding (< one header)
+  // is legal.
+  while (r.remaining() >= 4) {
+    const std::uint16_t id = r.read_u16();
+    const std::uint16_t field_count = r.read_u16();
+    if (id < kMinDataSetId || field_count == 0) {
+      note_error(ExportParseError::kBadTemplate);
+      return result == ExportParseError::kNone
+                 ? ExportParseError::kBadTemplate
+                 : result;
+    }
+    Template tmpl;
+    tmpl.fields.reserve(field_count);
+    for (std::uint16_t i = 0; i < field_count; ++i) {
+      std::uint16_t ie = r.read_u16();
+      const std::uint16_t field_len = r.read_u16();
+      if (ie & 0x8000) {
+        r.skip(4);        // enterprise number: tolerated, not interpreted
+        ie &= 0x7fff;
+        ie |= 0x8000;     // keep marked so it decodes as "unknown"
+      }
+      if (field_len == 0 || field_len == 0xffff) {
+        // Zero-length and variable-length fields are outside the lite
+        // profile and would make record delimiting ambiguous.
+        r.poison();
+        break;
+      }
+      tmpl.fields.push_back({ie, field_len});
+      tmpl.record_length += field_len;
+    }
+    if (!r.ok()) {
+      note_error(ExportParseError::kBadTemplate);
+      return result == ExportParseError::kNone
+                 ? ExportParseError::kBadTemplate
+                 : result;
+    }
+    remember_template(template_key(domain, id), std::move(tmpl));
+  }
+  return result;
+}
+
+void ExportDecoder::remember_template(std::uint64_t key, Template tmpl) {
+  const auto it = templates_.find(key);
+  if (it != templates_.end()) {
+    it->second = std::move(tmpl);
+    ++stats_.templates_refreshed;
+    metrics().templates_refreshed.inc();
+    return;
+  }
+  while (templates_.size() >= config_.template_cache_capacity) {
+    // FIFO eviction: drop the oldest surviving insertion. Entries whose
+    // key was refreshed stay keyed by their original insertion slot.
+    const std::uint64_t victim = insertion_order_.front();
+    insertion_order_.pop_front();
+    if (templates_.erase(victim) != 0) {
+      ++stats_.templates_evicted;
+      metrics().templates_evicted.inc();
+    }
+  }
+  templates_.emplace(key, std::move(tmpl));
+  insertion_order_.push_back(key);
+  ++stats_.templates_added;
+  metrics().templates_added.inc();
+  publish_gauge();
+}
+
+void ExportDecoder::decode_data_set(net::BytesView set, const Template& tmpl,
+                                    util::Timestamp export_time,
+                                    std::vector<ExportRecord>& out) {
+  net::ByteReader r{set};
+  // Records are back to back; trailing padding shorter than one record
+  // is legal per RFC 7011.
+  while (r.remaining() >= tmpl.record_length) {
+    ExportRecord rec;
+    bool have_times = false;
+    for (const TemplateField& field : tmpl.fields) {
+      switch (field.ie) {
+        case kIeSourceIpv4Address:
+          if (field.length == 4) { rec.src_ip = r.read_ipv4(); continue; }
+          break;
+        case kIeDestinationIpv4Address:
+          if (field.length == 4) { rec.dst_ip = r.read_ipv4(); continue; }
+          break;
+        case kIeSourceTransportPort:
+          if (field.length == 2) { rec.src_port = r.read_u16(); continue; }
+          break;
+        case kIeDestinationTransportPort:
+          if (field.length == 2) { rec.dst_port = r.read_u16(); continue; }
+          break;
+        case kIeProtocolIdentifier:
+          if (field.length == 1) { rec.protocol = r.read_u8(); continue; }
+          break;
+        case kIeTcpControlBits:
+          if (field.length == 1) { rec.tcp_flags = r.read_u8(); continue; }
+          break;
+        case kIePacketDeltaCount:
+          if (field.length == 4) { rec.packets = r.read_u32(); continue; }
+          if (field.length == 8) { rec.packets = r.read_u64(); continue; }
+          break;
+        case kIeOctetDeltaCount:
+          if (field.length == 4) { rec.bytes = r.read_u32(); continue; }
+          if (field.length == 8) { rec.bytes = r.read_u64(); continue; }
+          break;
+        case kIeFlowStartMilliseconds:
+          if (field.length == 8) {
+            rec.first = from_millis(static_cast<std::int64_t>(r.read_u64()));
+            have_times = true;
+            continue;
+          }
+          break;
+        case kIeFlowEndMilliseconds:
+          if (field.length == 8) {
+            rec.last = from_millis(static_cast<std::int64_t>(r.read_u64()));
+            have_times = true;
+            continue;
+          }
+          break;
+        default:
+          break;
+      }
+      // Unknown IE (or unexpected width for a known one): skip by the
+      // declared length — that is what templates are for.
+      r.skip(field.length);
+    }
+    if (!r.ok()) {
+      note_error(ExportParseError::kBadRecord);
+      return;
+    }
+    if (!have_times) {
+      // A record without flow times anchors to the message clock.
+      rec.first = export_time;
+      rec.last = export_time;
+    }
+    out.push_back(rec);
+    ++stats_.records_ipfix;
+    metrics().records_ipfix.inc();
+  }
+}
+
+// ---- encoder ---------------------------------------------------------------
+
+ExportEncoder::ExportEncoder(EncoderConfig config) : config_{config} {
+  if (config_.max_records_per_datagram == 0 ||
+      config_.max_records_per_datagram > kV5MaxRecords)
+    config_.max_records_per_datagram = kV5MaxRecords;
+  if (config_.template_refresh_interval == 0)
+    config_.template_refresh_interval = 1;
+}
+
+void ExportEncoder::add(const ExportRecord& record) {
+  pending_.push_back(record);
+  ++records_;
+  if (pending_.size() >= config_.max_records_per_datagram) seal();
+}
+
+void ExportEncoder::flush() {
+  if (!pending_.empty()) seal();
+}
+
+std::vector<ExportDatagram> ExportEncoder::take_datagrams() {
+  return std::move(sealed_);
+}
+
+void ExportEncoder::seal() {
+  util::Timestamp newest;
+  for (const ExportRecord& rec : pending_)
+    if (rec.last > newest) newest = rec.last;
+  const util::Timestamp export_time = newest + kExportDelay;
+  ExportDatagram datagram;
+  datagram.export_time = export_time;
+  if (config_.format == ExportFormat::kV5) {
+    datagram.payload = encode_v5(pending_, export_time);
+  } else {
+    const bool with_template =
+        datagrams_ % config_.template_refresh_interval == 0;
+    datagram.payload = encode_ipfix(pending_, export_time, with_template);
+  }
+  sealed_.push_back(std::move(datagram));
+  ++datagrams_;
+  pending_.clear();
+}
+
+net::Bytes ExportEncoder::encode_v5(const std::vector<ExportRecord>& batch,
+                                    util::Timestamp export_time) {
+  // Model a router that booted a day before the export: all uptime-
+  // relative fields stay comfortably positive 32-bit milliseconds.
+  const util::Timestamp boot = export_time - util::Duration::hours(24);
+  net::ByteWriter w;
+  w.write_u16(5);
+  w.write_u16(static_cast<std::uint16_t>(batch.size()));
+  w.write_u32(static_cast<std::uint32_t>((export_time - boot).total_micros() /
+                                         1000));  // sys_uptime ms
+  w.write_u32(static_cast<std::uint32_t>(export_time.seconds_since_epoch()));
+  w.write_u32(static_cast<std::uint32_t>(
+      (export_time.micros_since_epoch() % 1'000'000) * 1000));  // nsecs
+  w.write_u32(sequence_v5_);
+  w.write_u8(0);   // engine type
+  w.write_u8(0);   // engine id
+  w.write_u16(0);  // sampling
+  for (const ExportRecord& rec : batch) {
+    w.write_ipv4(rec.src_ip);
+    w.write_ipv4(rec.dst_ip);
+    w.write_u32(0);  // nexthop
+    w.write_u16(0);  // input ifindex
+    w.write_u16(0);  // output ifindex
+    w.write_u32(static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(rec.packets, 0xffffffffu)));
+    w.write_u32(static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(rec.bytes, 0xffffffffu)));
+    w.write_u32(static_cast<std::uint32_t>(
+        (to_millis(rec.first) - to_millis(boot))));
+    w.write_u32(static_cast<std::uint32_t>(
+        (to_millis(rec.last) - to_millis(boot))));
+    w.write_u16(rec.src_port);
+    w.write_u16(rec.dst_port);
+    w.write_u8(0);  // pad
+    w.write_u8(rec.tcp_flags);
+    w.write_u8(rec.protocol);
+    w.write_u8(0);   // tos
+    w.write_u16(0);  // src AS
+    w.write_u16(0);  // dst AS
+    w.write_u8(0);   // src mask
+    w.write_u8(0);   // dst mask
+    w.write_u16(0);  // pad2
+  }
+  sequence_v5_ += static_cast<std::uint32_t>(batch.size());
+  return w.take();
+}
+
+net::Bytes ExportEncoder::encode_ipfix(const std::vector<ExportRecord>& batch,
+                                       util::Timestamp export_time,
+                                       bool with_template) {
+  constexpr std::uint16_t kTemplateId = 256;
+  net::ByteWriter w;
+  w.write_u16(kIpfixVersion);
+  const std::size_t length_offset = w.size();
+  w.write_u16(0);  // total length, patched below
+  w.write_u32(static_cast<std::uint32_t>(export_time.seconds_since_epoch()));
+  w.write_u32(sequence_ipfix_);
+  w.write_u32(config_.observation_domain);
+
+  if (with_template) {
+    static constexpr struct {
+      std::uint16_t ie, len;
+    } kFields[] = {
+        {kIeSourceIpv4Address, 4},      {kIeDestinationIpv4Address, 4},
+        {kIeSourceTransportPort, 2},    {kIeDestinationTransportPort, 2},
+        {kIeProtocolIdentifier, 1},     {kIeTcpControlBits, 1},
+        {kIePacketDeltaCount, 8},       {kIeOctetDeltaCount, 8},
+        {kIeFlowStartMilliseconds, 8},  {kIeFlowEndMilliseconds, 8},
+    };
+    w.write_u16(kTemplateSetId);
+    w.write_u16(static_cast<std::uint16_t>(
+        kIpfixSetHeaderSize + 4 + sizeof(kFields) / sizeof(kFields[0]) * 4));
+    w.write_u16(kTemplateId);
+    w.write_u16(static_cast<std::uint16_t>(
+        sizeof(kFields) / sizeof(kFields[0])));
+    for (const auto& field : kFields) {
+      w.write_u16(field.ie);
+      w.write_u16(field.len);
+    }
+  }
+
+  w.write_u16(kTemplateId);  // data set id
+  const std::size_t set_length_offset = w.size();
+  w.write_u16(0);  // set length, patched below
+  for (const ExportRecord& rec : batch) {
+    w.write_ipv4(rec.src_ip);
+    w.write_ipv4(rec.dst_ip);
+    w.write_u16(rec.src_port);
+    w.write_u16(rec.dst_port);
+    w.write_u8(rec.protocol);
+    w.write_u8(rec.tcp_flags);
+    w.write_u64(rec.packets);
+    w.write_u64(rec.bytes);
+    w.write_u64(static_cast<std::uint64_t>(to_millis(rec.first)));
+    w.write_u64(static_cast<std::uint64_t>(to_millis(rec.last)));
+  }
+  w.patch_u16(set_length_offset,
+              static_cast<std::uint16_t>(w.size() - (set_length_offset - 2)));
+  w.patch_u16(length_offset, static_cast<std::uint16_t>(w.size()));
+  sequence_ipfix_ += static_cast<std::uint32_t>(batch.size());
+  return w.take();
+}
+
+}  // namespace dnh::flowexport

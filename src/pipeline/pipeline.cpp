@@ -84,6 +84,7 @@ void accumulate(core::SnifferStats& into, const core::SnifferStats& from) {
   into.flows_exported += from.flows_exported;
   into.flows_tagged_at_start += from.flows_tagged_at_start;
   into.flows_tagged_at_export += from.flows_tagged_at_export;
+  into.export_records += from.export_records;
   accumulate(into.degradation, from.degradation);
 }
 
@@ -101,6 +102,8 @@ struct PipelineMetrics {
   obs::Registry& r = obs::Registry::global();
   obs::Counter frames_dispatched =
       r.counter("dnh_pipeline_frames_dispatched_total");
+  obs::Counter records_dispatched =
+      r.counter("dnh_pipeline_records_dispatched_total");
   obs::Counter frames_dropped = r.counter("dnh_pipeline_frames_dropped_total");
   obs::Counter blocked_pushes = r.counter("dnh_pipeline_blocked_pushes_total");
   obs::Counter windows_merged = r.counter("dnh_pipeline_windows_merged_total");
@@ -156,11 +159,12 @@ void canonicalize(std::vector<core::DnsEvent>& log) {
 // the same channel as frames, so a shard processes every frame dispatched
 // before a window boundary before it rotates — ordering for free.
 struct ShardedAnalyzer::Item {
-  enum class Kind : std::uint8_t { kFrame, kRotate, kStop };
+  enum class Kind : std::uint8_t { kFrame, kRecord, kRotate, kStop };
   Kind kind = Kind::kFrame;
-  util::Timestamp ts;     ///< frame timestamp (kFrame)
+  util::Timestamp ts;     ///< frame timestamp (kFrame) / arrival (kRecord)
   util::Timestamp start;  ///< window bounds (kRotate/kStop)
   util::Timestamp end;
+  flowexport::OrientedRecord record;  ///< kRecord payload
   bool deliver = true;    ///< kStop: hand the final window to the sink?
   /// kStop: may the final window be spilled/journaled? False on a
   /// drain-interrupted run — the flush window covers only the frames
@@ -234,6 +238,13 @@ ShardedAnalyzer::ShardedAnalyzer(PipelineConfig config, WindowSink sink)
     : config_{std::move(config)}, sink_{std::move(sink)} {
   if (config_.shards == 0) config_.shards = 1;
   dispatch_.resize(config_.shards);
+  // Record orientation splits pairs exactly where the flow table splits
+  // flows: same idle timeout, same sweep cadence.
+  flowexport::OrienterConfig orienter_config;
+  orienter_config.idle_timeout = config_.sniffer.table.idle_timeout;
+  orienter_config.sweep_interval_records =
+      config_.sniffer.table.sweep_interval_packets;
+  orienter_ = flowexport::RecordOrienter{orienter_config};
   inbox_ = std::make_unique<MergeInbox>();
   inbox_->capacity =
       config_.merge_inbox_capacity != 0
@@ -489,6 +500,50 @@ void ShardedAnalyzer::on_frame(net::BytesView frame, util::Timestamp ts) {
   dispatch_frame(frame, ts);
 }
 
+void ShardedAnalyzer::on_export_record(const flowexport::ExportRecord& record,
+                                       util::Timestamp arrival) {
+  if (finished_ || draining_) return;
+  // A reordered export stream can deliver an older datagram after a newer
+  // one. Only the dispatch clock is clamped (it must never step back —
+  // window boundaries are monotone); the record's own timestamps pass
+  // through untouched, and they alone decide flow boundaries and labels.
+  if (started_ && arrival < last_ts_) arrival = last_ts_;
+  if (!started_) {
+    started_ = true;
+    first_ts_ = arrival;
+    last_ts_ = arrival;
+    if (config_.window.total_micros() > 0) {
+      const std::int64_t width = config_.window.total_micros();
+      window_start_ = util::Timestamp::from_micros(
+          arrival.micros_since_epoch() / width * width);
+    }
+  }
+  if (arrival > last_ts_) last_ts_ = arrival;
+  if (config_.window.total_micros() > 0) {
+    while (arrival >= window_start_ + config_.window)
+      broadcast_rotation(window_start_, window_start_ + config_.window);
+  }
+  ++records_dispatched_;
+  pipeline_metrics().records_dispatched.inc();
+
+  Item item;
+  item.kind = Item::Kind::kRecord;
+  item.ts = arrival;
+  item.record = orienter_.orient(record);
+  // Route by the oriented client: the shard whose resolver replica holds
+  // this client's DNS history — the same reduction dispatch_client feeds
+  // for DNS frames, so records and the responses that label them always
+  // meet on one shard. Records are per-flow (not per-packet), so the
+  // lossless control-item push is cheap enough.
+  const std::size_t shard =
+      config_.shards <= 1
+          ? 0
+          : static_cast<std::size_t>(
+                splitmix64(item.record.key.client_ip.value()) %
+                static_cast<std::uint64_t>(config_.shards));
+  push_control(shard, std::move(item));
+}
+
 void ShardedAnalyzer::dispatch_frame(net::BytesView frame,
                                      util::Timestamp ts) {
   PipelineMetrics& m = pipeline_metrics();
@@ -602,6 +657,13 @@ bool ShardedAnalyzer::process_pcap(const std::string& path) {
   return ok;
 }
 
+void ShardedAnalyzer::note_capture_corruption(
+    const pcap::CorruptionStats& corruption) {
+  capture_degradation_.capture_resyncs += corruption.resyncs;
+  capture_degradation_.capture_bytes_skipped += corruption.bytes_skipped;
+  capture_degradation_.capture_truncated_tails += corruption.truncated_tail;
+}
+
 void ShardedAnalyzer::worker_loop(std::size_t index) {
   if (config_.worker_start_hook) config_.worker_start_hook(index);
   Worker& worker = *workers_[index];
@@ -674,6 +736,9 @@ void ShardedAnalyzer::worker_loop(std::size_t index) {
               ++worker.frames_processed;
               break;
             }
+            case Item::Kind::kRecord:
+              worker.sniffer.on_export_record(item.record, item.ts);
+              break;
             case Item::Kind::kRotate:
               // Open flows stay live in the flow table across rotations,
               // exactly like LiveAnalyzer: a flow lands in the window it
@@ -959,6 +1024,7 @@ void ShardedAnalyzer::finish() {
     stats_.spill_failures += workers_[i]->spill_failures;
   }
   stats_.frames_dispatched = frames_dispatched_;
+  stats_.records_dispatched = records_dispatched_;
   stats_.windows_merged = windows_merged_;
   stats_.merge_total = merge_total_;
   stats_.merge_max = merge_max_;

@@ -51,6 +51,8 @@
 #include "core/live.hpp"
 #include "core/sniffer.hpp"
 #include "flow/flow.hpp"
+#include "flowexport/orient.hpp"
+#include "flowexport/wire.hpp"
 #include "net/bytes.hpp"
 #include "obs/heartbeat.hpp"
 #include "obs/metrics.hpp"
@@ -58,6 +60,10 @@
 #include "pipeline/spill.hpp"
 #include "pipeline/supervisor.hpp"
 #include "util/time.hpp"
+
+namespace dnh::pcap {
+struct CorruptionStats;
+}
 
 namespace dnh::pipeline {
 
@@ -145,6 +151,7 @@ struct ShardStats {
 struct PipelineStats {
   std::vector<ShardStats> shards;
   std::uint64_t frames_dispatched = 0;  ///< frames offered to the pipeline
+  std::uint64_t records_dispatched = 0; ///< flow-export records dispatched
   std::uint64_t frames_dropped = 0;     ///< total shed over all shards
   std::uint64_t windows_merged = 0;     ///< merged windows delivered
   util::Duration merge_total{};         ///< wall time spent in merges
@@ -202,6 +209,17 @@ class ShardedAnalyzer {
   /// determinism guarantee to hold (same contract as pcap replay).
   void on_frame(net::BytesView frame, util::Timestamp ts);
 
+  /// Dispatches one decoded flow-export record (flow-export ingest; see
+  /// docs/flow-export.md). The record is oriented here — one orienter must
+  /// see every record of a pair, and dispatcher-side orientation keeps
+  /// --jobs N identical to --jobs 1 — then routed to the shard owning its
+  /// client address, the shard whose resolver replica holds that client's
+  /// DNS history. `arrival` (the export datagram's collector-arrival time)
+  /// is clamped monotone against the dispatch clock, so a reordered export
+  /// stream cannot step the window clock backwards.
+  void on_export_record(const flowexport::ExportRecord& record,
+                        util::Timestamp arrival);
+
   /// Streams a capture file (classic pcap or pcapng) through the
   /// pipeline. Returns false if the file cannot be opened or aborts
   /// mid-stream (see error()); frames already dispatched are processed.
@@ -217,6 +235,14 @@ class ShardedAnalyzer {
 
   const std::string& error() const noexcept { return error_; }
   std::size_t shard_count() const noexcept { return config_.shards; }
+  /// The effective configuration (after shard-count fixups).
+  const PipelineConfig& config() const noexcept { return config_; }
+
+  /// Folds capture-container damage observed by an external reader (a
+  /// FlowSource that owns its own pcap read) into the merged degradation
+  /// stats, exactly as process_pcap does for the reader it owns. Call from
+  /// the dispatcher thread, before finish().
+  void note_capture_corruption(const pcap::CorruptionStats& corruption);
 
   /// The stateless dispatch heuristic, exposed for tests and dimensioning
   /// studies: which shard (0..shards-1) a frame would route to on first
@@ -294,8 +320,11 @@ class ShardedAnalyzer {
   // dnh-lint: bounded(sweep_interval_packets) idle entries expire against
   // the arriving packet and are swept on the flow table's cadence.
   std::unordered_map<flow::FlowKey, Route> routes_;
+  /// Record orientation state (flow-export ingest). Dispatcher-thread-only.
+  flowexport::RecordOrienter orienter_;
   std::uint64_t routed_packets_ = 0;
   std::uint64_t frames_dispatched_ = 0;
+  std::uint64_t records_dispatched_ = 0;
   bool started_ = false;
   util::Timestamp window_start_;  ///< current boundary (windowed mode)
   util::Timestamp first_ts_;

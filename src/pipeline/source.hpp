@@ -1,0 +1,111 @@
+// Pluggable flow-source front-ends for the sharded pipeline.
+//
+// A ShardedAnalyzer consumes two kinds of flow evidence: link-layer frames
+// (packet-derived flows, reconstructed by each shard's flow table) and
+// flow-export records (record-derived flows, pre-summarized by a router —
+// see docs/flow-export.md). A FlowSource is whatever produces that stream:
+// one capture file, a directory of rotated captures, or a NetFlow/IPFIX
+// datagram stream replayed against a DNS-only capture. The CLI picks the
+// source; the analyzer, merge stage, tagging and TSV output are identical
+// behind all of them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "flowexport/stream.hpp"
+#include "flowexport/wire.hpp"
+#include "pipeline/pipeline.hpp"
+
+namespace dnh::pipeline {
+
+/// One stream of flow evidence, pumped into an analyzer. run() feeds the
+/// whole source (frames and/or export records) but never calls
+/// analyzer.finish() — the caller owns the analyzer lifecycle.
+class FlowSource {
+ public:
+  virtual ~FlowSource() = default;
+
+  /// Streams the entire source through `analyzer`. Returns false when the
+  /// source cannot be opened or aborts mid-stream (partial processing may
+  /// have occurred; see error()).
+  virtual bool run(ShardedAnalyzer& analyzer) = 0;
+
+  const std::string& error() const noexcept { return error_; }
+
+ protected:
+  std::string error_;
+};
+
+/// Packet-derived flows from one capture file (classic pcap or pcapng).
+class PcapFileSource final : public FlowSource {
+ public:
+  explicit PcapFileSource(std::string path) : path_{std::move(path)} {}
+  bool run(ShardedAnalyzer& analyzer) override;
+
+ private:
+  std::string path_;
+};
+
+/// Packet-derived flows from a directory of rotated capture files,
+/// replayed in lexicographic filename order (rotation tools timestamp
+/// their names, so that is chronological order) through ONE analyzer:
+/// connections spanning a rotation boundary reassemble exactly as if the
+/// capture had been one file, so the result is byte-identical to running
+/// the concatenated capture.
+class CaptureDirSource final : public FlowSource {
+ public:
+  explicit CaptureDirSource(std::string dir) : dir_{std::move(dir)} {}
+  bool run(ShardedAnalyzer& analyzer) override;
+
+  /// The capture files (*.pcap, *.pcapng, *.cap) a scan of `dir` yields,
+  /// in replay order. Exposed for tests and the CLI's run summary.
+  static std::vector<std::string> list_captures(const std::string& dir);
+
+  std::size_t files_replayed() const noexcept { return files_replayed_; }
+
+ private:
+  std::string dir_;
+  std::size_t files_replayed_ = 0;
+};
+
+/// Record-derived flows: a DNHX flow-export datagram stream decoded
+/// (NetFlow v5 / IPFIX) into export records, merged by arrival time with
+/// an optional DNS capture. Before each DNS frame is dispatched, every
+/// datagram that had already arrived at the collector by that frame's
+/// timestamp is decoded and dispatched, so records meet the resolver state
+/// a live collector would have had — the property the tag-parity
+/// differential test asserts. Datagrams arriving after the last DNS frame
+/// flush at the end.
+class ExportStreamSource final : public FlowSource {
+ public:
+  /// `stream_path` is a DNHX file or "-" (stdin); `dns_pcap` may be empty
+  /// (records are then ingested without DNS, all flows untagged).
+  ExportStreamSource(std::string stream_path, std::string dns_pcap,
+                     flowexport::DecoderConfig decoder = {})
+      : stream_path_{std::move(stream_path)},
+        dns_pcap_{std::move(dns_pcap)},
+        decoder_config_{decoder} {}
+
+  bool run(ShardedAnalyzer& analyzer) override;
+
+  /// Typed decode accounting (parse errors per kind, template events).
+  const flowexport::ExportDecoderStats& decoder_stats() const noexcept {
+    return decoder_stats_;
+  }
+  /// DNHX container damage survived (truncated tail, oversize record).
+  const flowexport::StreamCorruption& stream_corruption() const noexcept {
+    return stream_corruption_;
+  }
+  std::uint64_t datagrams() const noexcept { return datagrams_; }
+
+ private:
+  std::string stream_path_;
+  std::string dns_pcap_;
+  flowexport::DecoderConfig decoder_config_;
+  flowexport::ExportDecoderStats decoder_stats_;
+  flowexport::StreamCorruption stream_corruption_;
+  std::uint64_t datagrams_ = 0;
+};
+
+}  // namespace dnh::pipeline

@@ -9,6 +9,7 @@
 
 #include "dns/domain.hpp"
 #include "dns/message.hpp"
+#include "flowexport/stream.hpp"
 #include "http/http.hpp"
 #include "packet/build.hpp"
 #include "pcap/pcap.hpp"
@@ -1146,6 +1147,80 @@ std::optional<PcapStats> Simulator::write_pcap(const std::string& path) {
   const Specs specs = engine.generate(1, 1.0, 0.0);
   PacketRenderer renderer{profile_, profile_.seed ^ 0x9e3779b9};
   return renderer.render(specs, path);
+}
+
+std::optional<FlowExportStats> Simulator::write_flow_export(
+    const std::string& path, flowexport::ExportFormat format) {
+  SimEngine engine{profile_, world_};
+  const Specs specs = engine.generate(1, 1.0, 0.0);
+
+  // A router summarizes each TCP connection as two unidirectional records.
+  // The client->server record is built first: on the wire the router sees
+  // the SYN before the server's reply, and NetFlow exporters create (and
+  // expire) the cache entries in that order. Packet/byte totals use the
+  // same arithmetic as render_events() so export-path volumes agree with
+  // what an ideal packet sniffer reports for the identical world.
+  std::vector<flowexport::ExportRecord> records;
+  records.reserve(specs.flows.size() * 2);
+  for (const FlowSpec& flow : specs.flows) {
+    const std::uint64_t req_packets = 4 + flow.request_bytes / 60000;
+    const std::uint64_t resp_packets = 3 + flow.response_bytes / 60000 + 1;
+
+    flowexport::ExportRecord c2s;
+    c2s.src_ip = flow.client;
+    c2s.dst_ip = flow.server;
+    c2s.src_port = flow.client_port;
+    c2s.dst_port = flow.server_port;
+    c2s.protocol = 6;
+    c2s.tcp_flags = 0x1b;  // SYN|FIN|PSH|ACK OR'd over the handshake+close
+    c2s.packets = req_packets;
+    c2s.bytes = flow.request_bytes + req_packets * 40;
+    c2s.first = flow.flow_start;
+    c2s.last = flow.flow_start + flow.duration;
+
+    flowexport::ExportRecord s2c = c2s;
+    s2c.src_ip = flow.server;
+    s2c.dst_ip = flow.client;
+    s2c.src_port = flow.server_port;
+    s2c.dst_port = flow.client_port;
+    s2c.packets = resp_packets;
+    s2c.bytes = flow.response_bytes + resp_packets * 40;
+
+    records.push_back(c2s);
+    records.push_back(s2c);
+  }
+
+  // Routers expire cache entries as flows go idle, so records leave in
+  // flow-end order. stable_sort keeps c2s ahead of its s2c twin (equal
+  // `last`), which the downstream orienter's first-seen fallback needs.
+  std::stable_sort(records.begin(), records.end(),
+                   [](const flowexport::ExportRecord& a,
+                      const flowexport::ExportRecord& b) {
+                     return a.last < b.last;
+                   });
+
+  flowexport::EncoderConfig config;
+  config.format = format;
+  flowexport::ExportEncoder encoder{config};
+  for (const flowexport::ExportRecord& record : records) encoder.add(record);
+  encoder.flush();
+
+  flowexport::DatagramWriter writer;
+  if (!writer.create(path)) return std::nullopt;
+  for (const flowexport::ExportDatagram& datagram : encoder.take_datagrams()) {
+    if (!writer.write(datagram.export_time,
+                      net::BytesView{datagram.payload.data(),
+                                     datagram.payload.size()})) {
+      return std::nullopt;
+    }
+  }
+  if (!writer.close()) return std::nullopt;
+
+  FlowExportStats stats;
+  stats.flows = specs.flows.size();
+  stats.records = encoder.records_encoded();
+  stats.datagrams = writer.datagrams_written();
+  return stats;
 }
 
 EventTrace Simulator::run_events(int days, double volume_scale,

@@ -15,6 +15,7 @@
 
 #include "core/flowdb.hpp"
 #include "core/sniffer.hpp"
+#include "flowexport/wire.hpp"
 #include "trafficgen/profiles.hpp"
 #include "trafficgen/world.hpp"
 #include "util/time.hpp"
@@ -29,6 +30,13 @@ struct PcapStats {
   std::uint64_t dns_queries = 0;
   /// Peak DNS responses in any one minute (Table 1's "Peak DNS rate").
   std::uint64_t peak_dns_per_min = 0;
+};
+
+/// Flow-export-mode result summary.
+struct FlowExportStats {
+  std::uint64_t flows = 0;      ///< flows summarized (two records each)
+  std::uint64_t records = 0;    ///< directional records encoded
+  std::uint64_t datagrams = 0;  ///< DNHX datagrams written
 };
 
 /// Event-mode result: what a loss-free sniffer would have produced.
@@ -52,6 +60,21 @@ class Simulator {
   /// Generates the capture into a pcap file at `path`. Deterministic for a
   /// given profile. Returns nullopt if the file cannot be created.
   std::optional<PcapStats> write_pcap(const std::string& path);
+
+  /// Emits the SAME simulated world as write_pcap(), summarized the way a
+  /// router at the vantage point would export it: two directional
+  /// NetFlow/IPFIX records per flow (client->server first, as the router
+  /// sees the SYN first), batched into datagrams in flow-expiry order and
+  /// written as a DNHX stream (flowexport/stream.hpp). Deterministic for a
+  /// given profile, so a pcap and an export stream from one Simulator
+  /// describe the same ground truth — the differential tagging tests rely
+  /// on exactly that. DNS traffic is NOT exported: port 53 is the labeled
+  /// input a flow-export deployment sniffs separately, not traffic to tag
+  /// (mirroring the sniffer, whose flow table never sees DNS packets).
+  /// Returns nullopt if the file cannot be created.
+  std::optional<FlowExportStats> write_flow_export(
+      const std::string& path,
+      flowexport::ExportFormat format = flowexport::ExportFormat::kV5);
 
   /// Runs `days` of traffic in event mode. `volume_scale` thins visit
   /// rates; `fresh_fqdn_per_visit` mints never-seen FQDNs (Fig. 6).

@@ -1,0 +1,36 @@
+// dnh-lint-fixture: path=src/flowexport/bounded_template_cache.hpp expect=clean
+// The same cache with its bound declared and the named FIFO-eviction
+// mechanism (evict_oldest) present in the code.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+namespace dnh::flowexport {
+
+class TemplateCache {
+ public:
+  void remember(std::uint64_t key, std::vector<std::uint16_t> fields) {
+    if (templates_.size() >= kCapacity) evict_oldest();
+    if (templates_.emplace(key, std::move(fields)).second)
+      insertion_order_.push_back(key);
+  }
+
+ private:
+  void evict_oldest() {
+    while (!insertion_order_.empty() && templates_.size() >= kCapacity) {
+      templates_.erase(insertion_order_.front());
+      insertion_order_.pop_front();
+    }
+  }
+
+  static constexpr std::size_t kCapacity = 1024;
+  // dnh-lint: bounded(evict_oldest)
+  std::map<std::uint64_t, std::vector<std::uint16_t>> templates_;
+  // dnh-lint: bounded(evict_oldest)
+  std::deque<std::uint64_t> insertion_order_;
+};
+
+}  // namespace dnh::flowexport

@@ -1,0 +1,16 @@
+// dnh-lint-fixture: path=src/flowexport/throwing_decoder.cpp expect=typed-errors
+// Export-datagram parse code must degrade through ExportParseError, never
+// exceptions: a hostile datagram would otherwise unwind the ingest thread.
+#include <cstdint>
+#include <stdexcept>
+
+namespace dnh::flowexport {
+
+std::uint16_t parse_version(const std::uint8_t* data, std::size_t len) {
+  if (len < 2) {
+    throw std::runtime_error("short export datagram");
+  }
+  return static_cast<std::uint16_t>(data[0] << 8 | data[1]);
+}
+
+}  // namespace dnh::flowexport

@@ -1,0 +1,22 @@
+// dnh-lint-fixture: path=src/flowexport/unbounded_template_cache.hpp expect=hot-path-bound
+// An IPFIX template cache keyed by (domain, id) with no declared bound: a
+// hostile exporter cycling observation domains grows it without limit.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace dnh::flowexport {
+
+class TemplateCache {
+ public:
+  void remember(std::uint64_t key, std::vector<std::uint16_t> fields) {
+    templates_[key] = std::move(fields);
+  }
+
+ private:
+  std::map<std::uint64_t, std::vector<std::uint16_t>> templates_;
+};
+
+}  // namespace dnh::flowexport

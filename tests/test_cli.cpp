@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <array>
 #include <cstdio>
 #include <filesystem>
@@ -42,6 +43,19 @@ CommandResult run_cli(const std::string& args) {
   return result;
 }
 
+std::string slurp(const std::string& path) {
+  std::string out;
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(file, nullptr) << path;
+  if (!file) return out;
+  std::array<char, 4096> buffer;
+  std::size_t n;
+  while ((n = std::fread(buffer.data(), 1, buffer.size(), file)) > 0)
+    out.append(buffer.data(), n);
+  std::fclose(file);
+  return out;
+}
+
 class CliTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
@@ -51,6 +65,7 @@ class CliTest : public ::testing::Test {
            ("dnh_cli_test_" + std::to_string(::getpid()));
     fs::create_directories(dir_);
     pcap_ = (dir_ / "cli.pcap").string();
+    flow_export_ = (dir_ / "cli.v5.dnhx").string();
     auto profile = trafficgen::profile_eu1_ftth();
     profile.name = "cli-test";
     profile.duration = util::Duration::minutes(40);
@@ -58,15 +73,18 @@ class CliTest : public ::testing::Test {
     profile.world.tail_organizations = 200;
     trafficgen::Simulator sim{profile};
     ASSERT_TRUE(sim.write_pcap(pcap_));
+    ASSERT_TRUE(sim.write_flow_export(flow_export_));
   }
   static void TearDownTestSuite() { fs::remove_all(dir_); }
 
   static fs::path dir_;
   static std::string pcap_;
+  static std::string flow_export_;
 };
 
 fs::path CliTest::dir_;
 std::string CliTest::pcap_;
+std::string CliTest::flow_export_;
 
 TEST_F(CliTest, HelpExitsCleanly) {
   const auto result = run_cli("--help");
@@ -225,18 +243,6 @@ TEST_F(CliTest, JobsShardedRunIsBitIdenticalToSingleThread) {
   ASSERT_EQ(
       run_cli("export " + pcap_ + " --jobs 4 --out " + tsv4).exit_code, 0);
 
-  const auto slurp = [](const std::string& path) {
-    std::string out;
-    std::FILE* file = std::fopen(path.c_str(), "rb");
-    EXPECT_NE(file, nullptr) << path;
-    if (!file) return out;
-    std::array<char, 4096> buffer;
-    std::size_t n;
-    while ((n = std::fread(buffer.data(), 1, buffer.size(), file)) > 0)
-      out.append(buffer.data(), n);
-    std::fclose(file);
-    return out;
-  };
   const std::string flows1 = slurp(tsv1);
   const std::string flows4 = slurp(tsv4);
   ASSERT_FALSE(flows1.empty());
@@ -254,6 +260,62 @@ TEST_F(CliTest, JobsShardedRunIsBitIdenticalToSingleThread) {
 TEST_F(CliTest, JobsRejectsBadShardCounts) {
   EXPECT_EQ(run_cli("summary " + pcap_ + " --jobs 0").exit_code, 2);
   EXPECT_EQ(run_cli("summary " + pcap_ + " --jobs -3").exit_code, 2);
+}
+
+TEST_F(CliTest, FlowExportStreamTagsFlowsAtAnyShardCount) {
+  const std::string tsv1 = (dir_ / "fe1.tsv").string();
+  const std::string tsv4 = (dir_ / "fe4.tsv").string();
+  const auto r1 = run_cli("export " + pcap_ + " --flow-export " +
+                          flow_export_ + " --out " + tsv1);
+  EXPECT_EQ(r1.exit_code, 0);
+  // The ingest report names the format split so an operator can tell a
+  // silent v5 exporter from a template-starved IPFIX one.
+  EXPECT_NE(r1.output.find("flow-export:"), std::string::npos);
+  const auto r4 = run_cli("export " + pcap_ + " --flow-export " +
+                          flow_export_ + " --jobs 4 --out " + tsv4);
+  EXPECT_EQ(r4.exit_code, 0);
+
+  const std::string flows1 = slurp(tsv1);
+  ASSERT_FALSE(flows1.empty());
+  EXPECT_EQ(flows1, slurp(tsv4));  // shard count invisible on record path
+  // The stream carries real flows: the TSV has more than just its header.
+  EXPECT_GT(std::count(flows1.begin(), flows1.end(), '\n'), 100);
+}
+
+TEST_F(CliTest, CaptureDirectoryMatchesSingleFile) {
+  const fs::path capdir = dir_ / "rotated";
+  fs::create_directories(capdir);
+  fs::copy_file(pcap_, capdir / "00-cli.pcap",
+                fs::copy_options::overwrite_existing);
+
+  const std::string tsv_dir = (dir_ / "dir.tsv").string();
+  const std::string tsv_one = (dir_ / "one.tsv").string();
+  const auto from_dir =
+      run_cli("export " + capdir.string() + " --out " + tsv_dir);
+  EXPECT_EQ(from_dir.exit_code, 0);
+  EXPECT_NE(from_dir.output.find("replayed 1 rotated file(s)"),
+            std::string::npos);
+  ASSERT_EQ(run_cli("export " + pcap_ + " --out " + tsv_one).exit_code, 0);
+
+  const std::string flows_dir = slurp(tsv_dir);
+  ASSERT_FALSE(flows_dir.empty());
+  EXPECT_EQ(flows_dir, slurp(tsv_one));
+}
+
+TEST_F(CliTest, EmptyCaptureDirectoryFails) {
+  const fs::path empty = dir_ / "empty-captures";
+  fs::create_directories(empty);
+  const auto result = run_cli("summary " + empty.string());
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.output.find("error"), std::string::npos);
+}
+
+TEST_F(CliTest, MissingFlowExportStreamFails) {
+  const auto result = run_cli("export " + pcap_ +
+                              " --flow-export /nonexistent/x.dnhx --out " +
+                              (dir_ / "nope.tsv").string());
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.output.find("error"), std::string::npos);
 }
 
 }  // namespace

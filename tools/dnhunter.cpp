@@ -28,6 +28,15 @@
 // docs/pipeline.md). `policy` and `chaos` drive the sniffer directly and
 // always run single-threaded.
 //
+// Flow sources (docs/flow-export.md): the capture argument may also be a
+// DIRECTORY of rotated captures (*.pcap, *.pcapng, *.cap), replayed in
+// filename order through one analyzer — output is identical to running
+// the concatenated capture. --flow-export FILE (or "-" for stdin) reads a
+// DNHX-framed NetFlow-v5/IPFIX datagram stream as the flow evidence; the
+// capture argument then supplies only DNS traffic, and flows are
+// record-derived instead of packet-derived (tagging and TSV output are
+// unchanged). Both route ingestion through the sharded pipeline.
+//
 // Durability and lifecycle (docs/recovery.md): --spill-dir DIR makes
 // every sealed window durable (CRC-framed spill segments + manifest
 // journal) before it is merged; --resume replays DIR's manifest after a
@@ -56,7 +65,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -81,6 +92,7 @@
 #include "obs/metrics.hpp"
 #include "pcap/pcapng.hpp"
 #include "pipeline/pipeline.hpp"
+#include "pipeline/source.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
@@ -115,7 +127,8 @@ struct Args {
 [[noreturn]] void usage(const char* error = nullptr) {
   if (error) std::fprintf(stderr, "error: %s\n\n", error);
   std::fprintf(stderr,
-               "usage: dnhunter <command> <capture.pcap> [options]\n"
+               "usage: dnhunter <command> <capture.pcap|capture-dir> "
+               "[options]\n"
                "commands: summary flows tags spatial tree content "
                "anomalies policy churn dga tangle export volume delays dimension chaos stats\n"
                "global options: --strict (default) abort on a corrupt "
@@ -125,6 +138,13 @@ struct Args {
                "(default 1; results are\n"
                "  bit-identical to --jobs 1; policy/chaos always run "
                "single-threaded)\n"
+               "flow sources (docs/flow-export.md): a capture DIRECTORY "
+               "replays its rotated\n"
+               "  files in name order as one capture; --flow-export "
+               "FILE|- ingests a DNHX\n"
+               "  NetFlow-v5/IPFIX datagram stream as the flow evidence "
+               "(the capture\n"
+               "  argument then carries the DNS traffic)\n"
                "durability options (docs/recovery.md): --spill-dir DIR "
                "spill sealed windows\n"
                "  durably before merging; --resume replay DIR's manifest "
@@ -278,10 +298,14 @@ util::Duration seconds_option(const Args& args, const char* name) {
 }
 
 /// Durability/lifecycle features all live in the sharded pipeline, so any
-/// of them routes ingestion through it even at --jobs 1.
+/// of them routes ingestion through it even at --jobs 1 — as do the
+/// non-default flow sources (capture directories, flow-export streams),
+/// which are pumped through a pipeline::FlowSource.
 bool pipeline_requested(const Args& args) {
   return jobs_from(args) > 1 || args.option("spill-dir").has_value() ||
-         args.flag("resume") || args.flag("window") || args.flag("watchdog");
+         args.flag("resume") || args.flag("window") || args.flag("watchdog") ||
+         args.option("flow-export").has_value() ||
+         std::filesystem::is_directory(args.pcap);
 }
 
 /// Resume accounting on stderr: how much of the run was served from the
@@ -323,6 +347,9 @@ Capture sniff(const Args& args) {
     pipeline::PipelineConfig config;
     config.shards = jobs;
     config.sniffer = sniffer_config(args);
+    // Flow-export mode: records carry the flow evidence, so the capture
+    // (when present) feeds only the DNS side of each shard's sniffer.
+    config.sniffer.dns_only = args.option("flow-export").has_value();
     config.window = seconds_option(args, "window");
     config.spill_dir = args.option("spill-dir").value_or("");
     config.resume = args.flag("resume");
@@ -354,9 +381,65 @@ Capture sniff(const Args& args) {
             capture.events.push_back(std::move(event));
           }
         }};
-    const bool ok = analyzer.process_pcap(args.pcap);
+    // Pick the flow source: an export datagram stream (with the capture
+    // as its DNS side), a directory of rotated captures, or one file.
+    std::unique_ptr<pipeline::FlowSource> source;
+    pipeline::ExportStreamSource* export_source = nullptr;
+    pipeline::CaptureDirSource* dir_source = nullptr;
+    if (const auto stream = args.option("flow-export")) {
+      auto src = std::make_unique<pipeline::ExportStreamSource>(
+          *stream, args.pcap);
+      export_source = src.get();
+      source = std::move(src);
+    } else if (std::filesystem::is_directory(args.pcap)) {
+      auto src = std::make_unique<pipeline::CaptureDirSource>(args.pcap);
+      dir_source = src.get();
+      source = std::move(src);
+    } else {
+      source = std::make_unique<pipeline::PcapFileSource>(args.pcap);
+    }
+    const bool ok = source->run(analyzer);
     analyzer.finish();  // join threads before any exit path
-    if (!ok) die_on_read_failure(args, analyzer.error());
+    if (!ok) die_on_read_failure(args, source->error());
+    if (dir_source)
+      std::fprintf(stderr, "captures: replayed %zu rotated file(s) from %s\n",
+                   dir_source->files_replayed(), args.pcap.c_str());
+    if (export_source) {
+      const auto& ds = export_source->decoder_stats();
+      std::fprintf(
+          stderr,
+          "flow-export: %llu datagram(s), %llu record(s) "
+          "(%llu v5, %llu ipfix)\n",
+          static_cast<unsigned long long>(export_source->datagrams()),
+          static_cast<unsigned long long>(ds.records()),
+          static_cast<unsigned long long>(ds.records_v5),
+          static_cast<unsigned long long>(ds.records_ipfix));
+      if (ds.parse_errors() != 0) {
+        std::string detail;
+        for (std::size_t kind = 1; kind < ds.errors.size(); ++kind) {
+          if (ds.errors[kind] == 0) continue;
+          if (!detail.empty()) detail += ", ";
+          detail += std::to_string(ds.errors[kind]);
+          detail += ' ';
+          detail += flowexport::export_parse_error_name(
+              static_cast<flowexport::ExportParseError>(kind));
+        }
+        std::fprintf(stderr,
+                     "warning: export stream degraded: %llu datagram "
+                     "parse error(s) (%s); salvaged records were kept\n",
+                     static_cast<unsigned long long>(ds.parse_errors()),
+                     detail.c_str());
+      }
+      const auto& sc = export_source->stream_corruption();
+      if (sc.total() != 0)
+        std::fprintf(stderr,
+                     "warning: export container damaged: %llu truncated "
+                     "tail(s), %llu oversize record(s), %llu byte(s) "
+                     "skipped\n",
+                     static_cast<unsigned long long>(sc.truncated_tails),
+                     static_cast<unsigned long long>(sc.oversize_records),
+                     static_cast<unsigned long long>(sc.bytes_skipped));
+    }
     const pipeline::PipelineStats& pstats = analyzer.stats();
     if (config.resume) report_recovery(pstats);
     if (pstats.spill_failures != 0)
