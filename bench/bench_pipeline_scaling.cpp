@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "bench/common.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "packet/decode.hpp"
 #include "pcap/pcapng.hpp"
@@ -196,6 +197,77 @@ void write_streaming_json(const std::string& path, std::size_t frames,
   std::fprintf(stderr, "[bench] wrote %s\n", path.c_str());
 }
 
+// ---- flight-recorder overhead A/B ------------------------------------------
+
+/// One arm of the traced-vs-untraced comparison. The flight recorder is
+/// always-on in production, so its cost budget is explicit: the traced
+/// arm must stay within a few percent of the disabled arm (gate below).
+struct TraceOverheadRun {
+  const char* mode = "";
+  double seconds = 0;  ///< best of the repetitions
+  double fps = 0;
+  std::uint64_t events = 0;  ///< trace events recorded during this arm
+};
+
+std::uint64_t total_trace_events() {
+  std::uint64_t sum = 0;
+  for (const auto& thread : obs::FlightRecorder::global().snapshot())
+    sum += thread.total;
+  return sum;
+}
+
+TraceOverheadRun run_trace_arm(const std::vector<pcap::Frame>& corpus,
+                               std::size_t jobs, bool traced, int reps) {
+  TraceOverheadRun run;
+  run.mode = traced ? "traced" : "untraced";
+  obs::FlightRecorder::global().set_enabled(traced);
+  const std::uint64_t before = total_trace_events();
+  run.seconds = 1e30;
+  for (int rep = 0; rep < reps; ++rep) {
+    obs::Registry::global().reset();
+    const RunResult result = run_sharded(corpus, jobs);
+    run.seconds = std::min(run.seconds, result.seconds);
+  }
+  run.fps = static_cast<double>(corpus.size()) / run.seconds;
+  run.events = total_trace_events() - before;
+  obs::FlightRecorder::global().set_enabled(true);
+  return run;
+}
+
+/// Appends the full A/B record as one JSON line. BENCH_obs.json is the
+/// BenchReporter's accumulating JSONL sink (common.hpp), so this must
+/// append a row, not truncate the series the reporter is building.
+void write_obs_json(const std::string& path, std::size_t frames,
+                    unsigned hw_threads, std::size_t jobs, double overhead_pct,
+                    bool gated, bool gate_passed,
+                    const std::vector<TraceOverheadRun>& runs) {
+  std::FILE* out = std::fopen(path.c_str(), "a");
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(out,
+               "{\"bench\":\"flight_recorder_overhead\",\"frames\":%zu,"
+               "\"hw_threads\":%u,\"jobs\":%zu,\"overhead_pct\":%.2f,"
+               "\"overhead_gate_applied\":%s,\"overhead_gate_passed\":%s,"
+               "\"runs\":[",
+               frames, hw_threads, jobs, overhead_pct, gated ? "true" : "false",
+               gate_passed ? "true" : "false");
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const TraceOverheadRun& r = runs[i];
+    std::fprintf(out,
+                 "{\"mode\":\"%s\",\"seconds\":%.4f,\"fps\":%.0f,"
+                 "\"events\":%llu}%s",
+                 r.mode, r.seconds, r.fps,
+                 static_cast<unsigned long long>(r.events),
+                 i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(out, "]}\n");
+  std::fclose(out);
+  std::fprintf(stderr, "[bench] appended flight-recorder overhead to %s\n",
+               path.c_str());
+}
+
 // ---- FQDN-interning A/B phase ----------------------------------------------
 
 struct InternRun {
@@ -329,6 +401,8 @@ int main(int argc, char** argv) {
   std::size_t intern_frames = 1000000;
   std::string intern_out = "BENCH_intern.json";
   std::string streaming_out = "BENCH_streaming.json";
+  std::string obs_out = "BENCH_obs.json";
+  bool obs_gate = true;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--frames") == 0 && i + 1 < argc)
       target_frames = std::strtoul(argv[++i], nullptr, 10);
@@ -340,6 +414,10 @@ int main(int argc, char** argv) {
       intern_out = argv[++i];
     else if (std::strcmp(argv[i], "--streaming-out") == 0 && i + 1 < argc)
       streaming_out = argv[++i];
+    else if (std::strcmp(argv[i], "--obs-out") == 0 && i + 1 < argc)
+      obs_out = argv[++i];
+    else if (std::strcmp(argv[i], "--no-obs-gate") == 0)
+      obs_gate = false;  // sanitizer builds skew the A/B; record, don't gate
   }
 
   bench::print_header(
@@ -455,6 +533,41 @@ int main(int argc, char** argv) {
   }
   write_streaming_json(streaming_out, corpus.size(), hardware, inbox_bounded,
                        streaming);
+
+  // Flight-recorder overhead: the same sharded run with rings recording
+  // vs disabled. Always-on tracing is only defensible if this stays in
+  // the noise; the gate makes the budget (<=5%) a tested claim instead
+  // of a docs promise. Best-of-3 per arm flattens scheduler noise.
+  const std::size_t trace_jobs = hardware >= 4 ? 4 : 2;
+  std::printf("\nflight-recorder overhead A/B (jobs=%zu, best of 3):\n",
+              trace_jobs);
+  std::vector<TraceOverheadRun> trace_runs;
+  trace_runs.push_back(run_trace_arm(corpus, trace_jobs, false, 3));
+  trace_runs.push_back(run_trace_arm(corpus, trace_jobs, true, 3));
+  const double overhead_pct =
+      (trace_runs[0].fps / trace_runs[1].fps - 1.0) * 100.0;
+  util::TextTable trace_table{{"mode", "seconds", "frames/s", "events"}};
+  for (const auto& run : trace_runs) {
+    std::snprintf(buffer, sizeof buffer, "%.2f", run.seconds);
+    std::string seconds{buffer};
+    trace_table.add_row(
+        {run.mode, seconds,
+         util::with_commas(static_cast<std::uint64_t>(run.fps)),
+         util::with_commas(run.events)});
+  }
+  std::printf("%s", trace_table.render().c_str());
+  const bool overhead_passed = overhead_pct <= 5.0;
+  if (obs_gate) {
+    std::printf("flight-recorder overhead: %.2f%% (<=5%% required): %s\n",
+                overhead_pct, overhead_passed ? "PASS" : "FAIL");
+    if (!overhead_passed) ok = false;
+  } else {
+    std::printf("flight-recorder overhead: %.2f%% (gate disabled)\n",
+                overhead_pct);
+  }
+  reporter.report("trace_overhead_pct", overhead_pct);
+  write_obs_json(obs_out, corpus.size(), hardware, trace_jobs, overhead_pct,
+                 obs_gate, !obs_gate || overhead_passed, trace_runs);
 
   const auto dns = dns_slice(corpus);
   std::printf("\nFQDN interning A/B over %s DNS-response frames "

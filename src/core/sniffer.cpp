@@ -6,6 +6,7 @@
 #include "baseline/cert_inspection.hpp"
 #include "baseline/dpi.hpp"
 #include "dns/message.hpp"
+#include "obs/flight.hpp"
 #include "dns/wire_scan.hpp"
 #include "packet/decode.hpp"
 #include "pcap/pcapng.hpp"
@@ -117,6 +118,11 @@ void Sniffer::publish_gauges() {
   domain_table_bytes_gauge_.set(
       static_cast<std::int64_t>(domains_->arena_bytes()));
   domain_table_size_gauge_.set(static_cast<std::int64_t>(domains_->size()));
+  // Piggybacked on the gauge cadence (every 4096 frames): a cheap "this
+  // shard was sniffing at T" marker for stall forensics.
+  obs::trace_event(obs::TraceStage::kShard, obs::TraceKind::kSniffProgress,
+                   obs::kNoSeq, static_cast<unsigned>(config_.metrics_shard),
+                   stats_.frames);
 }
 
 void Sniffer::on_frame(net::BytesView frame, util::Timestamp ts) {

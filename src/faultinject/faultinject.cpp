@@ -1,9 +1,12 @@
 #include "faultinject/faultinject.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <thread>
 
 #include "flowexport/stream.hpp"
 
@@ -503,6 +506,24 @@ std::optional<ExportFaultReport> corrupt_export_stream(
   if (!writer.close()) return std::nullopt;
   report.datagrams_out = entries.size();
   return report;
+}
+
+std::optional<StallPlan> stall_plan_from_env() {
+  const char* raw = std::getenv("DNH_FAULT_STALL");
+  if (raw == nullptr || *raw == '\0') return std::nullopt;
+  char* end = nullptr;
+  const unsigned long shard = std::strtoul(raw, &end, 10);
+  if (end == raw || *end != '\0') return std::nullopt;
+  StallPlan plan;
+  plan.shard = static_cast<std::size_t>(shard);
+  return plan;
+}
+
+void enter_injected_stall() {
+  // A deliberately wedged thread: no exit condition, no interruption
+  // point. The watchdog (or a signal) is the only way out — exactly the
+  // production failure being rehearsed.
+  for (;;) std::this_thread::sleep_for(std::chrono::hours{1});
 }
 
 }  // namespace dnh::faultinject

@@ -218,4 +218,24 @@ std::optional<ExportFaultReport> corrupt_export_stream(
     const std::string& src, const std::string& dst,
     const ExportFaultConfig& config);
 
+/// Injected pipeline stall: the hazard class the watchdog and the flight
+/// recorder's stall forensics exist for (a worker thread wedged on a lock,
+/// a blocking syscall, or a livelock). `DNH_FAULT_STALL=<shard>` makes the
+/// named shard's worker park forever at startup; the dispatcher then backs
+/// up behind its full ring, group quiescence trips the watchdog, and the
+/// stall dump must show every OTHER stage alive. Wired by dnhunter through
+/// PipelineConfig::worker_start_hook — the injection is opt-in per
+/// process, never compiled into the pipeline itself.
+struct StallPlan {
+  std::size_t shard = 0;  ///< worker to park
+};
+
+/// Parses DNH_FAULT_STALL from the environment. nullopt when unset or
+/// unparseable (injection disabled).
+std::optional<StallPlan> stall_plan_from_env();
+
+/// Parks the calling thread forever (uninterruptible sleep loop). Never
+/// returns; the process ends via the watchdog's exit path or a signal.
+[[noreturn]] void enter_injected_stall();
+
 }  // namespace dnh::faultinject

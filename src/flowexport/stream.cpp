@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "obs/flight.hpp"
+
 namespace dnh::flowexport {
 
 namespace {
@@ -91,6 +93,11 @@ bool DatagramReader::next(Datagram& out) {
     return false;
   }
   ++datagrams_;
+  // Causal breadcrumb per datagram: ties a frozen decode/dispatch back to
+  // the exact export datagram ordinal it was working on. The ring write
+  // is tens of ns against a file read, so it stays on unconditionally.
+  obs::trace_event(obs::TraceStage::kExport, obs::TraceKind::kExportDatagram,
+                   obs::kNoSeq, obs::kNoShard, datagrams_);
   return true;
 }
 

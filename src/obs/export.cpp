@@ -3,6 +3,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <string_view>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -41,7 +42,24 @@ std::string split_labels(const std::string& name, std::string& labels) {
   return name.substr(0, brace);
 }
 
-/// `k=v,k2=v2` -> `k="v",k2="v2"` (values we emit never contain quotes).
+/// Exposition-format escaping. Label values escape backslash, double
+/// quote, and line feed; HELP text escapes backslash and line feed only
+/// (quotes are legal there) — per the Prometheus text-format spec.
+void append_escaped(std::string& out, std::string_view text,
+                    bool escape_quotes) {
+  for (const char c : text) {
+    if (c == '\\')
+      out += "\\\\";
+    else if (c == '\n')
+      out += "\\n";
+    else if (c == '"' && escape_quotes)
+      out += "\\\"";
+    else
+      out += c;
+  }
+}
+
+/// `k=v,k2=v2` -> `k="v",k2="v2"`, escaping each value.
 std::string quote_labels(const std::string& labels) {
   std::string out;
   for (const auto pair : util::split(labels, ',')) {
@@ -53,10 +71,91 @@ std::string quote_labels(const std::string& labels) {
     }
     out += pair.substr(0, eq);
     out += "=\"";
-    out += pair.substr(eq + 1);
+    append_escaped(out, pair.substr(eq + 1), /*escape_quotes=*/true);
     out += '"';
   }
   return out;
+}
+
+/// HELP text per metric family. Kept next to the exporter (not on each
+/// metric handle) so the hot path never carries strings; unknown names
+/// get a derived fallback, so every family still exposes a HELP line.
+std::string_view help_for(const std::string& base) {
+  static constexpr std::pair<std::string_view, std::string_view> kHelp[] = {
+      {"dnh_decode_errors_total", "Frames the packet decoder rejected."},
+      {"dnh_dns_log_evictions_total",
+       "DNS log entries evicted by the retention cap."},
+      {"dnh_dns_log_size", "DNS events currently retained in the log."},
+      {"dnh_dns_parse_errors_total", "Malformed DNS messages skipped."},
+      {"dnh_dns_queries_total", "DNS query messages seen."},
+      {"dnh_dns_responses_total", "DNS response messages parsed."},
+      {"dnh_dns_tcp_messages_total",
+       "DNS messages reassembled from TCP streams."},
+      {"dnh_domain_table_bytes", "Bytes held by the FQDN intern arena."},
+      {"dnh_domain_table_size", "Distinct FQDNs interned."},
+      {"dnh_flow_table_live", "Flows currently tracked."},
+      {"dnh_flowexport_datagrams_total", "Flow-export datagrams decoded."},
+      {"dnh_flowexport_parse_errors_total",
+       "Flow-export datagrams that failed to parse, by kind."},
+      {"dnh_flowexport_records_ingested_total",
+       "Flow-export records dispatched into the pipeline."},
+      {"dnh_flowexport_records_total",
+       "Flow records decoded from export datagrams, by protocol."},
+      {"dnh_flowexport_template_cache_size",
+       "IPFIX templates currently cached."},
+      {"dnh_flowexport_templates_total", "IPFIX template records seen."},
+      {"dnh_flows_exported_total", "Flows expired into the flow database."},
+      {"dnh_flows_tagged_late_total",
+       "Flows tagged after their first data packet."},
+      {"dnh_flows_tagged_start_total",
+       "Flows tagged at their first data packet."},
+      {"dnh_frames_total", "Frames ingested by the sniffer."},
+      {"dnh_merge_inbox_depth", "Sealed windows queued at the merge stage."},
+      {"dnh_pcap_bytes_skipped_total",
+       "Capture bytes lost to corrupt regions (resync mode)."},
+      {"dnh_pcap_bytes_total", "Capture payload bytes read."},
+      {"dnh_pcap_frames_total", "Capture records read."},
+      {"dnh_pcap_resyncs_total",
+       "Scan-forward recoveries over damaged capture regions."},
+      {"dnh_pcap_truncated_tails_total",
+       "Captures whose final record was cut short."},
+      {"dnh_pending_tags", "DNS-tagged endpoints awaiting their flow."},
+      {"dnh_pipeline_blocked_pushes_total",
+       "Dispatcher pushes that waited on a full shard ring."},
+      {"dnh_pipeline_frames_dispatched_total",
+       "Frames fanned out to shard workers."},
+      {"dnh_pipeline_frames_dropped_total",
+       "Frames dropped at dispatch (drain requested)."},
+      {"dnh_pipeline_records_dispatched_total",
+       "Flow-export records fanned out to shard workers."},
+      {"dnh_pipeline_routes", "Distinct flow keys routed to shards."},
+      {"dnh_pipeline_stalls_total", "Watchdog stall declarations."},
+      {"dnh_pipeline_windows_merged_total",
+       "Analysis windows merged in sequence order."},
+      {"dnh_resolver_cache_size", "Client-resolution cache entries."},
+      {"dnh_resolver_clients", "Distinct clients with resolved names."},
+      {"dnh_shard_queue_depth", "Sampled shard ring occupancy."},
+      {"dnh_shard_queue_depth_samples", "Shard ring occupancy samples."},
+      {"dnh_spill_bytes", "Bytes appended to spill segments."},
+      {"dnh_spill_records_total", "Windows appended to spill segments."},
+      {"dnh_stage_analytics_ns", "Analytics command latency."},
+      {"dnh_stage_decode_ns", "Frame decode latency (sampled)."},
+      {"dnh_stage_dispatch_ns", "Dispatch fan-out latency (sampled)."},
+      {"dnh_stage_dns_parse_ns", "DNS parse latency (sampled)."},
+      {"dnh_stage_merge_ns", "Window merge latency."},
+      {"dnh_stage_pcap_read_ns", "Capture read latency (sampled)."},
+      {"dnh_stage_shard_sniff_ns", "Per-window shard sniff latency."},
+      {"dnh_tcp_dns_buffer_evictions_total",
+       "TCP DNS reassembly buffers evicted by the cap."},
+      {"dnh_tcp_dns_buffers", "TCP DNS reassembly buffers live."},
+      {"dnh_tcp_dns_overflows_total",
+       "TCP DNS streams dropped for exceeding the buffer limit."},
+      {"dnh_timestamp_regressions_total",
+       "Frames whose capture timestamp stepped backwards."},
+  };
+  for (const auto& [name, help] : kHelp)
+    if (name == base) return help;
+  return "DN-Hunter metric.";
 }
 
 }  // namespace
@@ -113,13 +212,17 @@ std::string to_json_line(const Snapshot& snap) {
 std::string to_prometheus(const Snapshot& snap) {
   std::string out;
   std::string labels;
-  // TYPE lines are emitted once per base name; the maps are sorted, so
-  // all labeled series of one base are adjacent.
+  // HELP+TYPE lines are emitted once per base name; the maps are sorted,
+  // so all labeled series of one base are adjacent.
   std::string last_typed;
   const auto type_line = [&](const std::string& base, const char* type) {
     if (base == last_typed) return;
     last_typed = base;
-    out += "# TYPE ";
+    out += "# HELP ";
+    out += base;
+    out += ' ';
+    append_escaped(out, help_for(base), /*escape_quotes=*/false);
+    out += "\n# TYPE ";
     out += base;
     out += ' ';
     out += type;

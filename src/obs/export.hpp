@@ -24,9 +24,11 @@ namespace dnh::obs {
 ///  "histograms":{"name":{"count":C,"sum":S,"buckets":[[upper,count],...]}}}
 std::string to_json_line(const Snapshot& snap);
 
-/// Prometheus text format. Internal label syntax `name{k=v,...}` is
-/// rewritten to quoted Prometheus labels; histograms expand into
-/// cumulative `_bucket{le="..."}` series plus `_sum` and `_count`.
+/// Prometheus text format. Each family gets `# HELP` and `# TYPE`
+/// headers; internal label syntax `name{k=v,...}` is rewritten to quoted
+/// Prometheus labels (values escaped per the exposition spec: backslash,
+/// quote, newline); histograms expand into cumulative
+/// `_bucket{le="..."}` series plus `_sum` and `_count`.
 std::string to_prometheus(const Snapshot& snap);
 
 /// Terminal summary: per-stage latency table (count, p50/p90/p99, total,

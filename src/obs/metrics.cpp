@@ -211,7 +211,10 @@ void Registry::SamplerHandle::reset() {
   // the state the sampler captured. This is what lets an owner destroy
   // sampled state right after reset(). Works identically whether the
   // registry is alive or already destroyed (the set is shared state).
-  util::MutexLock run_lock{set_->run_mu};
+  // Acquire-then-release only: run_mu must be unlocked *before* the
+  // shared_ptr drops, because releasing the last reference destroys the
+  // set — and the mutex a still-held guard would then try to unlock.
+  { util::MutexLock run_lock{set_->run_mu}; }
   set_.reset();
   id_ = 0;
 }

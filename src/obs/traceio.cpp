@@ -1,0 +1,462 @@
+#include "obs/traceio.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "util/crc32.hpp"
+
+namespace dnh::obs {
+
+namespace {
+
+constexpr std::size_t kFrameHeaderBytes = 12;  // magic + len + crc
+
+void put_u32le(std::vector<unsigned char>& out, std::uint32_t v) {
+  out.push_back(static_cast<unsigned char>(v & 0xff));
+  out.push_back(static_cast<unsigned char>((v >> 8) & 0xff));
+  out.push_back(static_cast<unsigned char>((v >> 16) & 0xff));
+  out.push_back(static_cast<unsigned char>((v >> 24) & 0xff));
+}
+
+void put_u64le(std::vector<unsigned char>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<unsigned char>((v >> (8 * i)) & 0xff));
+}
+
+std::uint32_t get_u32le(const unsigned char* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t get_u64le(const unsigned char* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+/// JSON string escaping for ring labels and names.
+void append_json_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+bool full_write_fd(int fd, const void* data, std::size_t size) noexcept {
+  const char* p = static_cast<const char*>(data);
+  while (size > 0) {
+    const ::ssize_t n = ::write(fd, p, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Decodes one ring body starting at `p` (after ring_count); appends to
+/// `out`. Returns bytes consumed, or 0 on malformed input.
+std::size_t decode_ring(const unsigned char* p, std::size_t avail,
+                        std::vector<ThreadTrace>& out) {
+  constexpr std::size_t kRingHeader = 4 + 4;  // ring_id + label_len
+  if (avail < kRingHeader) return 0;
+  ThreadTrace trace;
+  trace.ring_id = get_u32le(p);
+  const std::uint32_t label_len = get_u32le(p + 4);
+  std::size_t off = kRingHeader;
+  if (label_len > 256 || avail < off + label_len + 16) return 0;
+  trace.label.assign(reinterpret_cast<const char*>(p + off), label_len);
+  off += label_len;
+  trace.total = get_u64le(p + off);
+  off += 8;
+  const std::uint64_t count = get_u64le(p + off);
+  off += 8;
+  if (count > (avail - off) / TraceRing::kEventBytes) return 0;
+  trace.events.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    TraceEvent ev;
+    ev.ts_ns = get_u64le(p + off);
+    ev.arg = get_u64le(p + off + 8);
+    ev.seq = get_u64le(p + off + 16);
+    const std::uint64_t packed = get_u64le(p + off + 24);
+    ev.stage = TraceEvent::unpack_stage(packed);
+    ev.kind = TraceEvent::unpack_kind(packed);
+    ev.shard = TraceEvent::unpack_shard(packed);
+    trace.events.push_back(ev);
+    off += TraceRing::kEventBytes;
+  }
+  out.push_back(std::move(trace));
+  return off;
+}
+
+}  // namespace
+
+std::string to_chrome_trace(const std::vector<ThreadTrace>& threads) {
+  // Chrome trace-event format, JSON-object flavor: Perfetto and
+  // chrome://tracing both accept {"traceEvents": [...]}. Timestamps are
+  // microseconds (fractional keeps the ns precision).
+  std::string out;
+  out += "{\"traceEvents\":[";
+  bool first = true;
+  char buf[160];
+  for (const ThreadTrace& t : threads) {
+    if (!first) out += ",";
+    first = false;
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                  "\"tid\":%u,\"args\":{\"name\":\"",
+                  t.ring_id);
+    out += buf;
+    append_json_escaped(out, t.label);
+    out += "\"}}";
+    for (const TraceEvent& ev : t.events) {
+      out += ",{\"name\":\"";
+      out += trace_kind_name(ev.kind);
+      std::snprintf(buf, sizeof(buf),
+                    "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%llu.%03u,"
+                    "\"pid\":1,\"tid\":%u,\"args\":{\"stage\":\"",
+                    static_cast<unsigned long long>(ev.ts_ns / 1000),
+                    static_cast<unsigned>(ev.ts_ns % 1000), t.ring_id);
+      out += buf;
+      out += trace_stage_name(ev.stage);
+      out += "\"";
+      if (ev.seq != kNoSeq) {
+        std::snprintf(buf, sizeof(buf), ",\"seq\":%llu",
+                      static_cast<unsigned long long>(ev.seq));
+        out += buf;
+      }
+      if (ev.shard != kNoShard) {
+        std::snprintf(buf, sizeof(buf), ",\"shard\":%u", ev.shard);
+        out += buf;
+      }
+      std::snprintf(buf, sizeof(buf), ",\"arg\":%llu}}",
+                    static_cast<unsigned long long>(ev.arg));
+      out += buf;
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+bool write_chrome_trace(const std::string& path,
+                        const std::vector<ThreadTrace>& threads) {
+  std::ofstream file{path, std::ios::trunc};
+  if (!file) return false;
+  file << to_chrome_trace(threads) << '\n';
+  file.flush();
+  return static_cast<bool>(file);
+}
+
+std::vector<unsigned char> encode_trace_frame(
+    const std::vector<ThreadTrace>& threads) {
+  std::vector<unsigned char> payload;
+  put_u32le(payload, kTraceFormatVersion);
+  put_u32le(payload, static_cast<std::uint32_t>(threads.size()));
+  for (const ThreadTrace& t : threads) {
+    put_u32le(payload, t.ring_id);
+    put_u32le(payload, static_cast<std::uint32_t>(t.label.size()));
+    payload.insert(payload.end(), t.label.begin(), t.label.end());
+    put_u64le(payload, t.total);
+    put_u64le(payload, static_cast<std::uint64_t>(t.events.size()));
+    for (const TraceEvent& ev : t.events) {
+      put_u64le(payload, ev.ts_ns);
+      put_u64le(payload, ev.arg);
+      put_u64le(payload, ev.seq);
+      put_u64le(payload, TraceEvent::pack(ev.stage, ev.kind, ev.shard));
+    }
+  }
+  std::vector<unsigned char> frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  for (const char c : kTraceMagic)
+    frame.push_back(static_cast<unsigned char>(c));
+  put_u32le(frame, static_cast<std::uint32_t>(payload.size()));
+  put_u32le(frame, util::crc32_ieee(payload.data(), payload.size()));
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  return frame;
+}
+
+bool write_binary_dump(const std::string& path,
+                       const std::vector<ThreadTrace>& threads) {
+  const std::vector<unsigned char> frame = encode_trace_frame(threads);
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  const bool wrote = full_write_fd(fd, frame.data(), frame.size());
+  const bool synced = wrote && ::fsync(fd) == 0;
+  ::close(fd);
+  if (!synced) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  // rename is atomic: a reader (or the next boot after kill -9) sees
+  // either the previous complete dump or this one, never a torn mix.
+  return ::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+std::optional<std::vector<ThreadTrace>> read_binary_dump(
+    const std::string& path, std::string* error) {
+  std::ifstream file{path, std::ios::binary};
+  if (!file) {
+    if (error) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::vector<unsigned char> bytes{std::istreambuf_iterator<char>{file},
+                                   std::istreambuf_iterator<char>{}};
+  std::vector<ThreadTrace> out;
+  std::size_t off = 0;
+  std::string damage;
+  while (off + kFrameHeaderBytes <= bytes.size()) {
+    if (std::memcmp(bytes.data() + off, kTraceMagic, 4) != 0) {
+      damage = "bad frame magic at offset " + std::to_string(off);
+      break;
+    }
+    const std::uint32_t len = get_u32le(bytes.data() + off + 4);
+    const std::uint32_t crc = get_u32le(bytes.data() + off + 8);
+    if (off + kFrameHeaderBytes + len > bytes.size()) {
+      damage = "torn frame at offset " + std::to_string(off);
+      break;
+    }
+    const unsigned char* payload = bytes.data() + off + kFrameHeaderBytes;
+    if (util::crc32_ieee(payload, len) != crc) {
+      damage = "frame CRC mismatch at offset " + std::to_string(off);
+      off += kFrameHeaderBytes + len;  // skip, later frames may be intact
+      continue;
+    }
+    if (len < 8 || get_u32le(payload) != kTraceFormatVersion) {
+      damage = "unsupported trace format version";
+      off += kFrameHeaderBytes + len;
+      continue;
+    }
+    const std::uint32_t ring_count = get_u32le(payload + 4);
+    std::size_t body = 8;
+    bool ok = true;
+    for (std::uint32_t i = 0; i < ring_count && ok; ++i) {
+      const std::size_t used = decode_ring(payload + body, len - body, out);
+      if (used == 0) {
+        damage = "malformed ring body in frame at offset " +
+                 std::to_string(off);
+        ok = false;
+        break;
+      }
+      body += used;
+    }
+    off += kFrameHeaderBytes + len;
+  }
+  if (out.empty()) {
+    if (error)
+      *error = damage.empty() ? "no trace frames in " + path : damage;
+    return std::nullopt;
+  }
+  if (error) *error = damage;
+  return out;
+}
+
+PeriodicTraceDump::PeriodicTraceDump(FlightRecorder& recorder,
+                                     std::string path,
+                                     util::Duration interval)
+    : recorder_{recorder}, path_{std::move(path)}, interval_{interval} {}
+
+PeriodicTraceDump::~PeriodicTraceDump() { stop(); }
+
+void PeriodicTraceDump::start() {
+  {
+    util::MutexLock lock{mu_};
+    if (started_) return;
+    started_ = true;
+    stopping_ = false;
+  }
+  // First dump happens synchronously: a run shorter than the interval
+  // (or killed right after start) still leaves a recoverable file.
+  if (write_binary_dump(path_, recorder_.snapshot()))
+    dumps_.fetch_add(1, std::memory_order_relaxed);
+  thread_ = std::thread{[this] { loop(); }};
+}
+
+void PeriodicTraceDump::stop() {
+  {
+    util::MutexLock lock{mu_};
+    if (!started_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  {
+    util::MutexLock lock{mu_};
+    started_ = false;
+  }
+  if (write_binary_dump(path_, recorder_.snapshot()))
+    dumps_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void PeriodicTraceDump::loop() {
+  const auto interval = std::chrono::microseconds{
+      interval_.total_micros() > 0 ? interval_.total_micros() : 100000};
+  while (true) {
+    {
+      util::MutexLock lock{mu_};
+      if (stopping_) return;
+      cv_.wait_for(lock, interval);
+      if (stopping_) return;
+    }
+    if (write_binary_dump(path_, recorder_.snapshot()))
+      dumps_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+namespace {
+
+// ---- fatal-signal dump ---------------------------------------------------
+//
+// Everything the handler touches lives in static storage and is written
+// with async-signal-safe calls only: open/write/fsync/close, atomic
+// loads, memcpy into a static buffer, and the crc32 table lookups.
+
+char g_fatal_dump_path[512] = {0};
+std::atomic<bool> g_fatal_dump_armed{false};
+std::atomic<bool> g_fatal_dump_taken{false};
+
+/// Scratch for one per-ring frame. Sized for the default ring capacity;
+/// larger (test-configured) rings are skipped by the signal path.
+constexpr std::size_t kSignalRingHeaderBytes = 4 + 4 + 4 + 4 + 32 + 8 + 8;
+constexpr std::size_t kSignalBufBytes =
+    kFrameHeaderBytes + kSignalRingHeaderBytes +
+    FlightRecorder::kDefaultRingCapacity * TraceRing::kEventBytes;
+unsigned char g_signal_buf[kSignalBufBytes];
+std::atomic<bool> g_signal_buf_busy{false};
+
+std::size_t sput_u32le(unsigned char* p, std::uint32_t v) noexcept {
+  p[0] = static_cast<unsigned char>(v & 0xff);
+  p[1] = static_cast<unsigned char>((v >> 8) & 0xff);
+  p[2] = static_cast<unsigned char>((v >> 16) & 0xff);
+  p[3] = static_cast<unsigned char>((v >> 24) & 0xff);
+  return 4;
+}
+
+std::size_t sput_u64le(unsigned char* p, std::uint64_t v) noexcept {
+  for (int i = 0; i < 8; ++i)
+    p[i] = static_cast<unsigned char>((v >> (8 * i)) & 0xff);
+  return 8;
+}
+
+extern "C" void fatal_signal_handler(int signo) {
+  // One-shot: the first fatal signal dumps, nested faults (including a
+  // fault inside the dump itself) fall straight through to the default
+  // disposition re-raised below.
+  if (!g_fatal_dump_taken.exchange(true)) {
+    // Quiesce writers so the copied rings stop moving. Racing threads
+    // that are mid-record at most mix one event's words — each word is
+    // atomic, and the CRC is computed after the copy, so the dump still
+    // validates.
+    FlightRecorder::global().set_enabled(false);
+    const int fd = ::open(g_fatal_dump_path,
+                          O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd >= 0) {
+      signal_safe_dump(fd, FlightRecorder::global());
+      ::fsync(fd);
+      ::close(fd);
+    }
+  }
+  ::signal(signo, SIG_DFL);
+  ::raise(signo);
+}
+
+}  // namespace
+
+bool signal_safe_dump(int fd, const FlightRecorder& recorder) noexcept {
+  if (g_signal_buf_busy.exchange(true)) return false;
+  FlightRecorder::RawRing rings[FlightRecorder::kMaxRings];
+  const std::size_t n = recorder.raw_rings(rings, FlightRecorder::kMaxRings);
+  bool ok = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    const TraceRing& ring = *rings[i].ring;
+    const std::size_t cap = ring.capacity();
+    if (cap > FlightRecorder::kDefaultRingCapacity) continue;
+    const std::uint64_t head = ring.total();
+    const std::uint64_t first = head > cap ? head - cap : 0;
+    const std::uint64_t count = head - first;
+    std::size_t label_len = 0;
+    while (label_len < 31 && rings[i].label[label_len] != '\0') ++label_len;
+
+    unsigned char* payload = g_signal_buf + kFrameHeaderBytes;
+    std::size_t off = 0;
+    off += sput_u32le(payload + off, kTraceFormatVersion);
+    off += sput_u32le(payload + off, 1);  // ring_count
+    off += sput_u32le(payload + off, rings[i].ring_id);
+    off += sput_u32le(payload + off, static_cast<std::uint32_t>(label_len));
+    std::memcpy(payload + off, rings[i].label, label_len);
+    off += label_len;
+    off += sput_u64le(payload + off, head);
+    off += sput_u64le(payload + off, count);
+    const std::atomic<std::uint64_t>* words = ring.words();
+    const std::size_t mask = cap - 1;
+    for (std::uint64_t idx = first; idx < head; ++idx) {
+      const std::atomic<std::uint64_t>* slot =
+          &words[(idx & mask) * TraceRing::kWordsPerEvent];
+      for (std::size_t w = 0; w < TraceRing::kWordsPerEvent; ++w)
+        off += sput_u64le(payload + off,
+                          slot[w].load(std::memory_order_relaxed));
+    }
+    unsigned char* frame = g_signal_buf;
+    std::memcpy(frame, kTraceMagic, 4);
+    sput_u32le(frame + 4, static_cast<std::uint32_t>(off));
+    sput_u32le(frame + 8, util::crc32_ieee(payload, off));
+    if (!full_write_fd(fd, frame, kFrameHeaderBytes + off)) {
+      ok = false;
+      break;
+    }
+  }
+  g_signal_buf_busy.store(false);
+  return ok;
+}
+
+void install_fatal_signal_dump(const std::string& path) {
+  const std::size_t n =
+      std::min(path.size(), sizeof(g_fatal_dump_path) - 1);
+  std::memcpy(g_fatal_dump_path, path.data(), n);
+  g_fatal_dump_path[n] = '\0';
+  if (g_fatal_dump_armed.exchange(true)) return;  // handlers already set
+  struct sigaction action {};
+  action.sa_handler = fatal_signal_handler;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;
+  const int signals[] = {SIGSEGV, SIGABRT, SIGBUS, SIGFPE, SIGILL};
+  for (const int signo : signals) ::sigaction(signo, &action, nullptr);
+}
+
+}  // namespace dnh::obs

@@ -1,0 +1,112 @@
+// Flight-recorder dump formats (docs/observability.md, "Flight recorder
+// & tracing"):
+//
+//  - Chrome trace-event JSON (loads in Perfetto / chrome://tracing):
+//    what `dnhunter --trace-out` writes at exit and what `dnhunter
+//    trace-cat` renders binary dumps into.
+//  - CRC-framed binary ("DNHT"): the crash-surviving format written next
+//    to --spill-dir. Framing mirrors the spill segments (magic | u32 len
+//    | u32 crc32 | payload, little-endian), so the same torn-write and
+//    bit-rot detection applies. A file holds one or more frames; the
+//    normal writer emits a single frame with every ring, the
+//    fatal-signal writer emits one frame per ring so it never needs an
+//    allocation.
+//
+// Plus the two crash-forensics drivers: PeriodicTraceDump (tmp+rename
+// rewrites that survive `kill -9`) and the fatal-signal hook
+// (async-signal-safe dump on SIGSEGV/SIGABRT/SIGBUS/SIGFPE/SIGILL).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/flight.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+#include "util/time.hpp"
+
+namespace dnh::obs {
+
+/// Binary dump magic ("DNHT" = DN-Hunter Trace).
+inline constexpr char kTraceMagic[4] = {'D', 'N', 'H', 'T'};
+/// Binary payload format version.
+inline constexpr std::uint32_t kTraceFormatVersion = 1;
+
+/// Renders a recorder snapshot as Chrome trace-event JSON. Each ring
+/// becomes one Perfetto thread track (with a thread_name metadata
+/// record); each event becomes a thread-scoped instant event carrying
+/// stage/kind/seq/shard/arg args.
+std::string to_chrome_trace(const std::vector<ThreadTrace>& threads);
+
+/// Writes to_chrome_trace() output to `path`. Returns false on I/O error.
+bool write_chrome_trace(const std::string& path,
+                        const std::vector<ThreadTrace>& threads);
+
+/// Serializes a snapshot into one CRC-framed binary frame.
+std::vector<unsigned char> encode_trace_frame(
+    const std::vector<ThreadTrace>& threads);
+
+/// Writes a binary dump atomically: serialize, write `path`.tmp, fsync,
+/// rename over `path`. A reader (or a crash) never observes a partial
+/// file — the previous complete dump survives until the rename.
+bool write_binary_dump(const std::string& path,
+                       const std::vector<ThreadTrace>& threads);
+
+/// Reads every intact frame of a binary dump. Returns nullopt when the
+/// file is missing, carries no magic, or contains no intact frame; a
+/// trailing torn/corrupt frame degrades (intact prefix is returned and
+/// `error` notes the damage).
+std::optional<std::vector<ThreadTrace>> read_binary_dump(
+    const std::string& path, std::string* error = nullptr);
+
+/// Background thread rewriting `path` from the recorder every
+/// `interval`, via the atomic tmp+rename protocol, so the last completed
+/// dump survives `kill -9`. Mirrors JsonlExporter's lifecycle: start()
+/// writes an immediate first dump (a run shorter than the interval still
+/// leaves forensics), stop() writes the final one.
+class PeriodicTraceDump {
+ public:
+  PeriodicTraceDump(FlightRecorder& recorder, std::string path,
+                    util::Duration interval);
+  ~PeriodicTraceDump();
+
+  void start();
+  void stop();
+
+  /// Completed dump rewrites so far.
+  std::uint64_t dumps() const noexcept {
+    return dumps_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void loop();
+
+  FlightRecorder& recorder_;
+  const std::string path_;
+  const util::Duration interval_;
+  std::atomic<std::uint64_t> dumps_{0};
+
+  util::Mutex mu_;
+  util::CondVar cv_;
+  bool stopping_ DNH_GUARDED_BY(mu_) = false;
+  bool started_ DNH_GUARDED_BY(mu_) = false;
+  std::thread thread_;
+};
+
+/// Installs fatal-signal handlers (SIGSEGV, SIGABRT, SIGBUS, SIGFPE,
+/// SIGILL) that dump the global recorder's rings to `path` using only
+/// async-signal-safe calls, then re-raise the signal so the default
+/// disposition (core dump / termination) still happens. `path` is copied
+/// into static storage; later calls replace it. One-shot per process:
+/// the first fatal signal wins, nested faults are ignored.
+void install_fatal_signal_dump(const std::string& path);
+
+/// The handler body, exposed for tests: dumps the recorder's rings to an
+/// already-open file descriptor using write(2) only. Returns false if
+/// any write failed. Async-signal-safe for rings with capacity up to
+/// FlightRecorder::kDefaultRingCapacity (larger rings are skipped).
+bool signal_safe_dump(int fd, const FlightRecorder& recorder) noexcept;
+
+}  // namespace dnh::obs

@@ -12,6 +12,7 @@
 
 #include "dns/message.hpp"
 #include "flow/table.hpp"
+#include "obs/flight.hpp"
 #include "packet/decode.hpp"
 #include "pcap/pcapng.hpp"
 #include "pipeline/spsc_ring.hpp"
@@ -331,6 +332,11 @@ ShardedAnalyzer::ShardedAnalyzer(PipelineConfig config, WindowSink sink)
   // Heartbeats registered before any watched thread exists: the board is
   // structurally immutable once the watchdog and workers start.
   dispatch_hb_ = heartbeats_.add_stage("dispatch");
+  // The dispatcher runs on the constructing (caller) thread; claim its
+  // flight-recorder ring here so every later dispatch event is labeled.
+  obs::FlightRecorder::global().set_thread_label("dispatch");
+  obs::trace_event(obs::TraceStage::kDispatch, obs::TraceKind::kThreadStart,
+                   obs::kNoSeq, obs::kNoShard, config_.shards);
   worker_hb_.reserve(config_.shards);
   for (std::size_t i = 0; i < config_.shards; ++i)
     worker_hb_.push_back(
@@ -475,6 +481,9 @@ void ShardedAnalyzer::on_frame(net::BytesView frame, util::Timestamp ts) {
   if (config_.drain_check && (frames_dispatched_ & 63) == 0 &&
       config_.drain_check()) {
     draining_ = true;
+    obs::trace_event(obs::TraceStage::kDispatch,
+                     obs::TraceKind::kDrainRequested, rotations_, obs::kNoShard,
+                     frames_dispatched_);
     return;
   }
   if (!started_) {
@@ -589,6 +598,9 @@ void ShardedAnalyzer::flush_stage(std::size_t shard) {
     } else {
       ++counters.blocked;  // once per stalled flush, not per retry
       m.blocked_pushes.inc();
+      obs::trace_event(obs::TraceStage::kDispatch,
+                       obs::TraceKind::kBackpressureWait, rotations_,
+                       static_cast<unsigned>(shard), stage.count - offset);
       unsigned spins = 0;
       while (offset < stage.count) {
         backoff(spins);
@@ -596,6 +608,13 @@ void ShardedAnalyzer::flush_stage(std::size_t shard) {
       }
     }
   }
+  // Progress marker once per ~512 enqueued frames per shard: frequent
+  // enough that a stall dump shows the dispatcher was alive moments
+  // before, rare enough not to evict window-lifecycle events.
+  if (((counters.enqueued ^ (counters.enqueued + offset)) >> 9) != 0)
+    obs::trace_event(obs::TraceStage::kDispatch, obs::TraceKind::kFrameBatch,
+                     rotations_, static_cast<unsigned>(shard),
+                     counters.enqueued + offset);
   counters.enqueued += offset;
   stage.count = 0;
   heartbeats_.beat(dispatch_hb_);
@@ -624,6 +643,12 @@ void ShardedAnalyzer::broadcast_rotation(util::Timestamp start,
     item.end = end;
     push_control(i, std::move(item));
   }
+  // The WindowTraceId is the rotation's sequence number: every shard's
+  // worker assigns exactly this seq when it seals its slice, so the
+  // dispatched/sealed/spilled/ingested/emitted events all correlate.
+  obs::trace_event(obs::TraceStage::kDispatch,
+                   obs::TraceKind::kWindowDispatched, rotations_,
+                   obs::kNoShard, config_.shards);
   window_start_ = end;
   ++rotations_;
 }
@@ -635,7 +660,12 @@ bool ShardedAnalyzer::process_pcap(const std::string& path) {
     // Abort the file read itself on drain: a multi-gigabyte capture must
     // not stand between SIGINT and the seal-spill-merge shutdown path.
     options.stop = [this] {
-      if (!draining_ && config_.drain_check()) draining_ = true;
+      if (!draining_ && config_.drain_check()) {
+        draining_ = true;
+        obs::trace_event(obs::TraceStage::kDispatch,
+                         obs::TraceKind::kDrainRequested, rotations_,
+                         obs::kNoShard, frames_dispatched_);
+      }
       return draining_;
     };
   }
@@ -665,6 +695,13 @@ void ShardedAnalyzer::note_capture_corruption(
 }
 
 void ShardedAnalyzer::worker_loop(std::size_t index) {
+  // Label + thread-start before the test hook: an injected stall that
+  // parks this worker forever must still leave its shard visible in the
+  // stall dump.
+  obs::FlightRecorder::global().set_thread_label("shard-" +
+                                                 std::to_string(index));
+  obs::trace_event(obs::TraceStage::kShard, obs::TraceKind::kThreadStart,
+                   obs::kNoSeq, static_cast<unsigned>(index));
   if (config_.worker_start_hook) config_.worker_start_hook(index);
   Worker& worker = *workers_[index];
   std::uint64_t seq = 0;
@@ -686,6 +723,9 @@ void ShardedAnalyzer::worker_loop(std::size_t index) {
       // merge thread and (b) the spilled record is already in its final
       // order — a recovered window replays without re-sorting.
       canonicalize(msg.window);
+      obs::trace_event(obs::TraceStage::kShard, obs::TraceKind::kWindowSealed,
+                       msg.seq, static_cast<unsigned>(index),
+                       worker.frames_processed);
       // Spill before the inbox hand-off. Windows inside the resume
       // prefix are already durable from the crashed run and are skipped;
       // a failed append degrades (the window just is not durable) and is
@@ -762,6 +802,8 @@ void ShardedAnalyzer::worker_loop(std::size_t index) {
 }
 
 void ShardedAnalyzer::merge_loop() {
+  obs::FlightRecorder::global().set_thread_label("merge");
+  obs::trace_event(obs::TraceStage::kMerge, obs::TraceKind::kThreadStart);
   // dnh-lint: allow(hot-path-bound) holds at most one in-flight window
   // set per shard; erased as soon as every shard reports the sequence.
   std::map<std::uint64_t, std::vector<ShardWindow>> pending;
@@ -781,6 +823,9 @@ void ShardedAnalyzer::merge_loop() {
     }
     inbox_->cv_space.notify_one();
     heartbeats_.beat(merge_hb_);
+    obs::trace_event(obs::TraceStage::kMerge, obs::TraceKind::kMergeIngested,
+                     msg.seq, static_cast<unsigned>(msg.shard),
+                     msg.spilled ? msg.extent.length : 0);
     // Journal the seal as soon as the message arrives: the worker's
     // segment fsync happened before the inbox hand-off, so the ordering
     // invariant (record durable before the manifest references it)
@@ -789,6 +834,9 @@ void ShardedAnalyzer::merge_loop() {
       manifest_->append_seal(msg.seq, static_cast<std::uint32_t>(msg.shard),
                              spill_writers_[msg.shard]->segment(),
                              msg.extent, seal_seq_++);
+      obs::trace_event(obs::TraceStage::kMerge,
+                       obs::TraceKind::kWindowJournaled, msg.seq,
+                       static_cast<unsigned>(msg.shard), msg.extent.length);
     }
     pending[msg.seq].push_back(std::move(msg));
     // Merge strictly in sequence order, only once every shard has
@@ -815,6 +863,12 @@ void ShardedAnalyzer::merge_loop() {
                 .count()));
         pipeline_metrics().windows_merged.inc();
         if (sink_) sink_(std::move(merged));
+        obs::trace_event(
+            obs::TraceStage::kMerge, obs::TraceKind::kWindowEmitted,
+            next_seq - 1, obs::kNoShard,
+            static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                    .count()));
       }
       if (final_window) {
         done = true;
@@ -952,6 +1006,9 @@ core::AnalysisWindow ShardedAnalyzer::retire_window(
     }
     if (intact && !loaded.empty()) {
       ++windows_recovered_;
+      obs::trace_event(obs::TraceStage::kMerge,
+                       obs::TraceKind::kWindowRecovered, seq, obs::kNoShard,
+                       loaded.size());
       return merge_recovered(loaded);
     }
     ++windows_recomputed_;
@@ -962,6 +1019,8 @@ core::AnalysisWindow ShardedAnalyzer::retire_window(
 void ShardedAnalyzer::finish() {
   if (finished_) return;
   finished_ = true;
+  obs::trace_event(obs::TraceStage::kDispatch, obs::TraceKind::kPipelineFinish,
+                   rotations_, obs::kNoShard, frames_dispatched_);
 
   // The final window's bounds: windowed mode closes the current grid
   // window (LiveAnalyzer parity); single-window mode spans the stream.

@@ -3,13 +3,17 @@
 #include <algorithm>
 #include <filesystem>
 
+#include "obs/flight.hpp"
 #include "pcap/pcapng.hpp"
 
 namespace dnh::pipeline {
 
 bool PcapFileSource::run(ShardedAnalyzer& analyzer) {
+  obs::trace_event(obs::TraceStage::kSource, obs::TraceKind::kSourceOpen);
   const bool ok = analyzer.process_pcap(path_);
   if (!ok) error_ = analyzer.error();
+  obs::trace_event(obs::TraceStage::kSource, obs::TraceKind::kSourceDone,
+                   obs::kNoSeq, obs::kNoShard, ok ? 1 : 0);
   return ok;
 }
 
@@ -34,12 +38,18 @@ bool CaptureDirSource::run(ShardedAnalyzer& analyzer) {
     return false;
   }
   for (const std::string& file : files) {
+    // arg = ordinal within the rotation sequence, so the trace shows
+    // which capture file the pipeline was inside when something froze.
+    obs::trace_event(obs::TraceStage::kSource, obs::TraceKind::kSourceOpen,
+                     obs::kNoSeq, obs::kNoShard, files_replayed_);
     if (!analyzer.process_pcap(file)) {
       error_ = file + ": " + analyzer.error();
       return false;
     }
     ++files_replayed_;
   }
+  obs::trace_event(obs::TraceStage::kSource, obs::TraceKind::kSourceDone,
+                   obs::kNoSeq, obs::kNoShard, files_replayed_);
   return true;
 }
 
@@ -49,6 +59,7 @@ bool ExportStreamSource::run(ShardedAnalyzer& analyzer) {
     error_ = reader.error();
     return false;
   }
+  obs::trace_event(obs::TraceStage::kSource, obs::TraceKind::kSourceOpen);
   flowexport::ExportDecoder decoder{decoder_config_};
   flowexport::Datagram held;
   bool have_held = reader.next(held);
@@ -89,6 +100,8 @@ bool ExportStreamSource::run(ShardedAnalyzer& analyzer) {
   decoder_stats_ = decoder.stats();
   stream_corruption_ = reader.corruption();
   datagrams_ = reader.datagrams_read();
+  obs::trace_event(obs::TraceStage::kSource, obs::TraceKind::kSourceDone,
+                   obs::kNoSeq, obs::kNoShard, datagrams_);
   if (!reader.error().empty() && error_.empty()) error_ = reader.error();
   return ok;
 }

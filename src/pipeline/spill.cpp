@@ -13,6 +13,7 @@
 #include <sstream>
 
 #include "core/flowdb_io.hpp"
+#include "obs/flight.hpp"
 #include "util/crc32.hpp"
 #include "util/strings.hpp"
 
@@ -120,7 +121,7 @@ std::string encode_payload(std::uint64_t seq,
 
 SpillWriter::SpillWriter(const std::string& dir, std::uint32_t shard,
                          bool truncate)
-    : segment_{segment_name(shard)} {
+    : shard_{shard}, segment_{segment_name(shard)} {
   const std::string path = join_path(dir, segment_);
   int flags = O_WRONLY | O_CREAT | O_APPEND;
   if (truncate) flags |= O_TRUNC;
@@ -154,6 +155,10 @@ std::optional<SpillExtent> SpillWriter::append(
   const SpillExtent extent{end_offset_, frame.size()};
   end_offset_ += frame.size();
   bytes_written_ += frame.size();
+  // The window is durable as of the fsync above — the point the causal
+  // trace calls "spilled".
+  obs::trace_event(obs::TraceStage::kSpill, obs::TraceKind::kWindowSpilled,
+                   seq, shard_, frame.size());
   return extent;
 }
 

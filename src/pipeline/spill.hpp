@@ -72,6 +72,7 @@ class SpillWriter {
 
  private:
   int fd_ = -1;
+  std::uint32_t shard_ = 0;
   std::string segment_;
   std::uint64_t end_offset_ = 0;  ///< current end of the segment file
   std::uint64_t bytes_written_ = 0;

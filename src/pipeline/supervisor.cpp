@@ -4,6 +4,8 @@
 #include <chrono>
 #include <sstream>
 
+#include "obs/flight.hpp"
+
 namespace dnh::pipeline {
 
 std::string StallDiagnostic::to_string() const {
@@ -13,6 +15,7 @@ std::string StallDiagnostic::to_string() const {
       << pending << "); per-stage beats at detection:";
   for (const auto& stage : stages)
     out << ' ' << stage.name << '=' << stage.beats;
+  if (!trace_excerpt.empty()) out << '\n' << trace_excerpt;
   return std::move(out).str();
 }
 
@@ -88,6 +91,13 @@ void Watchdog::run() {
     diag.stages.reserve(last.size());
     for (std::size_t i = 0; i < last.size(); ++i)
       diag.stages.push_back({board_.name(i), last[i]});
+    // Forensics: record the declaration itself, then attach the flight
+    // recorder's recent history so exit-4 output explains the freeze.
+    obs::FlightRecorder::global().set_thread_label("watchdog");
+    obs::trace_event(obs::TraceStage::kWatchdog, obs::TraceKind::kStallDeclared,
+                     obs::kNoSeq, obs::kNoShard,
+                     static_cast<std::uint64_t>(diag.stalled_for.total_micros()));
+    diag.trace_excerpt = obs::FlightRecorder::global().excerpt(6);
     stalled_.store(true, std::memory_order_relaxed);
     if (config_.on_stall) config_.on_stall(diag);
     return;  // one diagnostic per watchdog: fail fast, don't spam

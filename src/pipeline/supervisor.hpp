@@ -44,6 +44,10 @@ struct StallDiagnostic {
   /// Which pending-work signal was set ("frames queued in shard rings",
   /// "windows waiting in merge inbox", ...).
   std::string pending;
+  /// Flight-recorder excerpt (last few events per stage) captured at
+  /// detection: the event history that says WHERE the pipeline froze,
+  /// not just that it did (docs/observability.md).
+  std::string trace_excerpt;
 
   /// One-paragraph human rendering for logs / stderr.
   std::string to_string() const;

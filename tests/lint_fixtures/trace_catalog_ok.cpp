@@ -1,0 +1,20 @@
+// dnh-lint-fixture: path=src/pipeline/trace_catalog_ok.cpp expect=clean
+// Recording catalogued kinds is fine wherever it happens; kind names in
+// strings or comments (kNotARealKind, "TraceKind::kMadeUp") never count
+// as usage because the rule scans string-stripped code.
+#include "obs/flight.hpp"
+
+namespace dnh::pipeline {
+
+void trace_window_lifecycle(std::uint64_t seq, unsigned shard) {
+  obs::trace_event(obs::TraceStage::kDispatch,
+                   obs::TraceKind::kWindowDispatched, seq);
+  obs::trace_event(obs::TraceStage::kShard, obs::TraceKind::kWindowSealed,
+                   seq, shard);
+  obs::trace_event(obs::TraceStage::kMerge, obs::TraceKind::kWindowEmitted,
+                   seq);
+  const char* prose = "TraceKind::kMadeUp stays inert inside a string";
+  (void)prose;
+}
+
+}  // namespace dnh::pipeline

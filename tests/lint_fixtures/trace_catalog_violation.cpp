@@ -1,0 +1,14 @@
+// dnh-lint-fixture: path=src/pipeline/trace_catalog_violation.cpp expect=trace-catalog
+// A recorded kind that is missing from the docs/observability.md
+// trace-event catalog: stall excerpts and trace-cat output would show an
+// event no table explains. Add the catalog row in the same change.
+#include "obs/flight.hpp"
+
+namespace dnh::pipeline {
+
+void record_mystery_event() {
+  obs::trace_event(obs::TraceStage::kDispatch,
+                   obs::TraceKind::kUndocumentedMysteryEvent);
+}
+
+}  // namespace dnh::pipeline

@@ -310,6 +310,46 @@ TEST_F(CliTest, EmptyCaptureDirectoryFails) {
   EXPECT_NE(result.output.find("error"), std::string::npos);
 }
 
+TEST_F(CliTest, TraceOutWritesChromeTraceJson) {
+  const std::string trace = (dir_ / "cli_trace.json").string();
+  const auto result =
+      run_cli("summary " + pcap_ + " --jobs 2 --trace-out " + trace);
+  ASSERT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("trace: " + trace + " written"),
+            std::string::npos);
+  const std::string json = slurp(trace);
+  ASSERT_FALSE(json.empty());
+  // Chrome/Perfetto trace-event envelope with named pipeline threads and
+  // window-lifecycle instants.
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"dispatch\""), std::string::npos);
+  EXPECT_NE(json.find("\"merge\""), std::string::npos);
+  EXPECT_NE(json.find("window-emitted"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+}
+
+TEST_F(CliTest, TraceCatRoundTripsSpillDirDump) {
+  const std::string spill = (dir_ / "trace_spill").string();
+  const std::string out = (dir_ / "trace_spill.tsv").string();
+  const auto run = run_cli("export " + pcap_ + " --out " + out +
+                           " --jobs 2 --spill-dir " + spill + " --window 300");
+  ASSERT_EQ(run.exit_code, 0) << run.output;
+  const auto rendered = run_cli("trace-cat " + spill + "/flight.dnht");
+  ASSERT_EQ(rendered.exit_code, 0) << rendered.output;
+  EXPECT_EQ(rendered.output.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(rendered.output.find("window-sealed"), std::string::npos);
+  EXPECT_EQ(rendered.output.find("warning:"), std::string::npos)
+      << rendered.output;
+}
+
+TEST_F(CliTest, TraceCatOnMissingOrForeignFileFails) {
+  EXPECT_EQ(run_cli("trace-cat /nonexistent/flight.dnht").exit_code, 2);
+  const auto foreign = run_cli("trace-cat " + pcap_);
+  EXPECT_EQ(foreign.exit_code, 2);
+  EXPECT_NE(foreign.output.find("error"), std::string::npos);
+}
+
 TEST_F(CliTest, MissingFlowExportStreamFails) {
   const auto result = run_cli("export " + pcap_ +
                               " --flow-export /nonexistent/x.dnhx --out " +

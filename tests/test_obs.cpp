@@ -2,22 +2,28 @@
 // counter thread-local cells and flush-on-thread-exit, registry
 // snapshots and samplers, span gates, and all three exporters (JSON
 // lines, Prometheus text, human summary).
+#include <fcntl.h>
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <map>
 #include <memory>
+#include <set>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "obs/export.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "obs/traceio.hpp"
 
 namespace {
 
@@ -353,10 +359,15 @@ TEST(ObsExport, PrometheusRoundTrip) {
   std::istringstream in{text};
   std::string line;
   int type_lines = 0;
+  int help_lines = 0;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
     if (line.rfind("# TYPE ", 0) == 0) {
       ++type_lines;
+      continue;
+    }
+    if (line.rfind("# HELP ", 0) == 0) {
+      ++help_lines;
       continue;
     }
     ASSERT_NE(line.front(), '#') << "unexpected comment: " << line;
@@ -366,6 +377,7 @@ TEST(ObsExport, PrometheusRoundTrip) {
         std::strtod(line.c_str() + space + 1, nullptr);
   }
   EXPECT_EQ(type_lines, 3);  // one per base name
+  EXPECT_EQ(help_lines, 3);  // paired with every TYPE line
   EXPECT_EQ(values.at("dnh_events_total{kind=\"a\"}"), 7);
   EXPECT_EQ(values.at("dnh_events_total{kind=\"b\"}"), 3);
   EXPECT_EQ(values.at("dnh_depth{shard=\"1\"}"), 12);
@@ -434,6 +446,336 @@ TEST(ObsExport, FormatNs) {
   EXPECT_EQ(obs::format_ns(870), "870ns");
   EXPECT_EQ(obs::format_ns(12400), "12.4us");
   EXPECT_EQ(obs::format_ns(1.03e9), "1.03s");
+}
+
+TEST(ObsExport, PrometheusEscapesLabelValues) {
+  // Exposition-format conformance: backslashes and quotes inside a label
+  // value must be escaped or scrapers reject the whole exposition.
+  obs::Snapshot snap;
+  snap.counters["dnh_weird_total{path=a\"b\\c}"] = 1;
+  const std::string text = obs::to_prometheus(snap);
+  EXPECT_NE(text.find("dnh_weird_total{path=\"a\\\"b\\\\c\"} 1"),
+            std::string::npos)
+      << text;
+}
+
+TEST(ObsExport, PrometheusPairsHelpWithEveryType) {
+  obs::Snapshot snap;
+  snap.counters["dnh_frames_total"] = 3;
+  snap.gauges["dnh_made_up_gauge"] = 1;  // unknown name -> fallback help
+  const std::string text = obs::to_prometheus(snap);
+  EXPECT_NE(text.find("# HELP dnh_frames_total "), std::string::npos);
+  EXPECT_NE(text.find("# TYPE dnh_frames_total counter"), std::string::npos);
+  EXPECT_NE(text.find("# HELP dnh_made_up_gauge "), std::string::npos);
+  // HELP precedes TYPE for the same family.
+  EXPECT_LT(text.find("# HELP dnh_frames_total"),
+            text.find("# TYPE dnh_frames_total"));
+}
+
+TEST(ObsExport, JsonlExporterSubIntervalRunStillWritesSnapshots) {
+  // Regression: a run shorter than --metrics-interval must still leave a
+  // first (t=0) line and a final line — monitoring of short runs depends
+  // on it. The interval here is far longer than the test.
+  obs::Registry registry;
+  registry.counter("dnh_test_short_run_total").add(7);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "dnh_test_obs_short.jsonl")
+          .string();
+  std::remove(path.c_str());
+  {
+    obs::JsonlExporter::Options options;
+    options.path = path;
+    options.interval = util::Duration::hours(1);
+    obs::JsonlExporter exporter{registry, options};
+    ASSERT_TRUE(exporter.start());
+    exporter.stop();
+    EXPECT_GE(exporter.lines_written(), 2u);  // t=0 baseline + final
+  }
+  std::ifstream in{path};
+  ASSERT_TRUE(in.is_open());
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_GE(lines.size(), 2u);
+  for (const auto& l : lines) {
+    EXPECT_TRUE(looks_like_snapshot_json(l)) << l;
+    EXPECT_EQ(json_uint_field(l, "dnh_test_short_run_total"), 7u);
+  }
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------
+// Flight recorder: rings, recorder, excerpt.
+
+TEST(ObsFlight, RingKeepsNewestEventsAcrossWraparound) {
+  obs::TraceRing ring{16};
+  EXPECT_EQ(ring.capacity(), 16u);
+  for (std::uint64_t i = 0; i < 16 * 10 + 3; ++i)
+    ring.record(i, obs::TraceStage::kShard, obs::TraceKind::kFrameBatch,
+                /*seq=*/i, /*shard=*/2, /*arg=*/i);
+  const auto events = ring.snapshot();
+  ASSERT_EQ(events.size(), 16u);
+  EXPECT_EQ(ring.total(), 163u);
+  // Exactly the newest `capacity` events, oldest first, nothing torn.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].arg, 163 - 16 + i);
+    EXPECT_EQ(events[i].seq, events[i].arg);
+    EXPECT_EQ(events[i].stage, obs::TraceStage::kShard);
+    EXPECT_EQ(events[i].kind, obs::TraceKind::kFrameBatch);
+    EXPECT_EQ(events[i].shard, 2u);
+  }
+}
+
+TEST(ObsFlight, RingCapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(obs::TraceRing{1}.capacity(), 8u);
+  EXPECT_EQ(obs::TraceRing{9}.capacity(), 16u);
+  EXPECT_EQ(obs::TraceRing{64}.capacity(), 64u);
+}
+
+TEST(ObsFlight, RecorderSnapshotCarriesLabelsAndEvents) {
+  obs::FlightRecorder recorder{64};
+  recorder.set_thread_label("test-thread");
+  recorder.record(obs::TraceStage::kDispatch,
+                  obs::TraceKind::kWindowDispatched, /*seq=*/7, obs::kNoShard,
+                  /*arg=*/4);
+  recorder.record(obs::TraceStage::kMerge, obs::TraceKind::kWindowEmitted,
+                  /*seq=*/7);
+  const auto threads = recorder.snapshot();
+  ASSERT_EQ(threads.size(), 1u);
+  EXPECT_EQ(threads[0].label, "test-thread");
+  EXPECT_EQ(threads[0].total, 2u);
+  ASSERT_EQ(threads[0].events.size(), 2u);
+  EXPECT_EQ(threads[0].events[0].kind, obs::TraceKind::kWindowDispatched);
+  EXPECT_EQ(threads[0].events[0].seq, 7u);
+  EXPECT_EQ(threads[0].events[0].arg, 4u);
+  EXPECT_EQ(threads[0].events[1].kind, obs::TraceKind::kWindowEmitted);
+  EXPECT_LE(threads[0].events[0].ts_ns, threads[0].events[1].ts_ns);
+}
+
+TEST(ObsFlight, DisabledRecorderDropsEventsButKeepsDumps) {
+  obs::FlightRecorder recorder{64};
+  recorder.record(obs::TraceStage::kCli, obs::TraceKind::kThreadStart);
+  recorder.set_enabled(false);
+  recorder.record(obs::TraceStage::kCli, obs::TraceKind::kSourceOpen);
+  recorder.set_enabled(true);
+  const auto threads = recorder.snapshot();
+  ASSERT_EQ(threads.size(), 1u);
+  EXPECT_EQ(threads[0].total, 1u);
+  EXPECT_EQ(threads[0].events[0].kind, obs::TraceKind::kThreadStart);
+}
+
+TEST(ObsFlight, ConcurrentWritersSnapshotAndExcerptRaceFree) {
+  // The TSan contract: dump/excerpt readers race the per-thread writers
+  // and must stay warning-free while never returning a torn event.
+  obs::FlightRecorder recorder{256};
+  constexpr int kWriters = 4;
+  constexpr std::uint64_t kEvents = 20000;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&recorder, w] {
+      recorder.set_thread_label("writer-" + std::to_string(w));
+      for (std::uint64_t i = 0; i < kEvents; ++i)
+        recorder.record(obs::TraceStage::kShard, obs::TraceKind::kFrameBatch,
+                        /*seq=*/i, static_cast<unsigned>(w), /*arg=*/i);
+    });
+  }
+  std::thread reader{[&recorder, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (const auto& thread : recorder.snapshot()) {
+        // Untorn invariant: within one ring, args are consecutive.
+        for (std::size_t i = 1; i < thread.events.size(); ++i)
+          EXPECT_EQ(thread.events[i].arg, thread.events[i - 1].arg + 1);
+      }
+      (void)recorder.excerpt(3);
+    }
+  }};
+  for (auto& w : writers) w.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  const auto threads = recorder.snapshot();
+  ASSERT_EQ(threads.size(), static_cast<std::size_t>(kWriters));
+  for (const auto& thread : threads) {
+    EXPECT_EQ(thread.total, kEvents);
+    ASSERT_EQ(thread.events.size(), std::size_t{256});
+    EXPECT_EQ(thread.events.back().arg, kEvents - 1);
+  }
+}
+
+TEST(ObsFlight, ExcerptGroupsByStageAndCapsPerStage) {
+  obs::FlightRecorder recorder{64};
+  recorder.set_thread_label("solo");
+  for (std::uint64_t i = 0; i < 10; ++i)
+    recorder.record(obs::TraceStage::kShard, obs::TraceKind::kWindowSealed,
+                    /*seq=*/i, /*shard=*/0, /*arg=*/i);
+  recorder.record(obs::TraceStage::kMerge, obs::TraceKind::kWindowEmitted,
+                  /*seq=*/9);
+  const std::string text = recorder.excerpt(2);
+  EXPECT_NE(text.find("[shard]"), std::string::npos) << text;
+  EXPECT_NE(text.find("[merge]"), std::string::npos) << text;
+  EXPECT_NE(text.find("window-emitted"), std::string::npos);
+  // Capped at 2 events for the shard stage: seq=8 survives, seq=7 not.
+  EXPECT_NE(text.find("seq=8"), std::string::npos) << text;
+  EXPECT_EQ(text.find("seq=7"), std::string::npos) << text;
+}
+
+TEST(ObsFlight, StageAndKindNamesAreStableAndDistinct) {
+  std::set<std::string_view> stage_names;
+  for (std::size_t i = 0; i < obs::kTraceStageCount; ++i)
+    stage_names.insert(
+        obs::trace_stage_name(static_cast<obs::TraceStage>(i)));
+  EXPECT_EQ(stage_names.size(), obs::kTraceStageCount);
+  std::set<std::string_view> kind_names;
+  for (std::size_t i = 0; i < obs::kTraceKindCount; ++i) {
+    const auto name =
+        obs::trace_kind_name(static_cast<obs::TraceKind>(i));
+    EXPECT_FALSE(name.empty());
+    kind_names.insert(name);
+  }
+  EXPECT_EQ(kind_names.size(), obs::kTraceKindCount);
+}
+
+// ---------------------------------------------------------------------
+// Trace IO: binary dumps, chrome trace, crash paths.
+
+std::vector<obs::ThreadTrace> sample_threads() {
+  obs::ThreadTrace a;
+  a.ring_id = 0;
+  a.label = "dispatch";
+  a.total = 2;
+  obs::TraceEvent e;
+  e.ts_ns = 1500;
+  e.seq = 0;
+  e.stage = obs::TraceStage::kDispatch;
+  e.kind = obs::TraceKind::kWindowDispatched;
+  e.arg = 4;
+  a.events.push_back(e);
+  e.ts_ns = 2750;
+  e.kind = obs::TraceKind::kPipelineFinish;
+  a.events.push_back(e);
+  obs::ThreadTrace b;
+  b.ring_id = 1;
+  b.label = "shard-0";
+  b.total = 1;
+  e.ts_ns = 2000;
+  e.stage = obs::TraceStage::kShard;
+  e.kind = obs::TraceKind::kWindowSealed;
+  e.shard = 0;
+  b.events.push_back(e);
+  return {a, b};
+}
+
+TEST(ObsTraceIo, BinaryDumpRoundTripIsByteExact) {
+  const auto threads = sample_threads();
+  const auto frame = obs::encode_trace_frame(threads);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "dnh_test_trace.dnht")
+          .string();
+  ASSERT_TRUE(obs::write_binary_dump(path, threads));
+  std::string error;
+  const auto loaded = obs::read_binary_dump(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_TRUE(error.empty()) << error;
+  // Re-encoding the decoded dump reproduces the original bytes exactly:
+  // nothing was lost, reordered, or re-quantized on the way through.
+  EXPECT_EQ(obs::encode_trace_frame(*loaded), frame);
+  ASSERT_EQ(loaded->size(), 2u);
+  EXPECT_EQ((*loaded)[0].label, "dispatch");
+  EXPECT_EQ((*loaded)[1].label, "shard-0");
+  ASSERT_EQ((*loaded)[0].events.size(), 2u);
+  EXPECT_EQ((*loaded)[0].events[1].kind, obs::TraceKind::kPipelineFinish);
+  EXPECT_EQ((*loaded)[1].events[0].shard, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(ObsTraceIo, ReadDegradesOverTornTrailingFrame) {
+  const auto threads = sample_threads();
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "dnh_test_trace_torn.dnht")
+          .string();
+  ASSERT_TRUE(obs::write_binary_dump(path, threads));
+  {
+    // A second frame whose payload was cut off mid-write (crash while
+    // appending): the intact first frame must still be served.
+    std::ofstream out{path, std::ios::binary | std::ios::app};
+    const char torn[] = {'D', 'N', 'H', 'T', 0x40, 0, 0, 0, 1, 2, 3, 4, 9};
+    out.write(torn, sizeof torn);
+  }
+  std::string error;
+  const auto loaded = obs::read_binary_dump(path, &error);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->size(), 2u);
+  EXPECT_FALSE(error.empty());  // damage is reported, not hidden
+  std::remove(path.c_str());
+}
+
+TEST(ObsTraceIo, ReadRejectsMissingAndForeignFiles) {
+  std::string error;
+  EXPECT_FALSE(obs::read_binary_dump("/nonexistent/x.dnht", &error));
+  EXPECT_FALSE(error.empty());
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "dnh_test_trace_bad.dnht")
+          .string();
+  std::ofstream{path} << "this is not a trace dump";
+  EXPECT_FALSE(obs::read_binary_dump(path, &error));
+  std::remove(path.c_str());
+}
+
+TEST(ObsTraceIo, ChromeTraceShapesEventsAndThreadNames) {
+  const std::string json = obs::to_chrome_trace(sample_threads());
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u) << json;
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"dispatch\""), std::string::npos);
+  EXPECT_NE(json.find("\"window-sealed\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  // 1500 ns -> 1.500 us: the ns fraction survives the us-based format.
+  EXPECT_NE(json.find("\"ts\":1.500"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"stage\":\"shard\""), std::string::npos);
+}
+
+TEST(ObsTraceIo, SignalSafeDumpReadsBackIntact) {
+  obs::FlightRecorder recorder{64};
+  recorder.set_thread_label("sig-test");
+  for (std::uint64_t i = 0; i < 20; ++i)
+    recorder.record(obs::TraceStage::kSpill, obs::TraceKind::kWindowSpilled,
+                    /*seq=*/i, /*shard=*/1, /*arg=*/i * 100);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "dnh_test_trace_sig.dnht")
+          .string();
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  ASSERT_GE(fd, 0);
+  EXPECT_TRUE(obs::signal_safe_dump(fd, recorder));
+  ::close(fd);
+  std::string error;
+  const auto loaded = obs::read_binary_dump(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  ASSERT_EQ(loaded->size(), 1u);
+  EXPECT_EQ((*loaded)[0].label, "sig-test");
+  ASSERT_EQ((*loaded)[0].events.size(), 20u);
+  EXPECT_EQ((*loaded)[0].events[19].arg, 1900u);
+  std::remove(path.c_str());
+}
+
+TEST(ObsTraceIo, PeriodicDumpWritesFirstDumpSynchronously) {
+  obs::FlightRecorder recorder{64};
+  recorder.record(obs::TraceStage::kCli, obs::TraceKind::kThreadStart);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "dnh_test_trace_per.dnht")
+          .string();
+  std::remove(path.c_str());
+  obs::PeriodicTraceDump dump{recorder, path, util::Duration::hours(1)};
+  dump.start();
+  // The interval never elapses in this test, yet the file already holds a
+  // complete dump: kill -9 right after start still leaves forensics.
+  EXPECT_TRUE(obs::read_binary_dump(path).has_value());
+  recorder.record(obs::TraceStage::kCli, obs::TraceKind::kSourceDone);
+  dump.stop();
+  const auto loaded = obs::read_binary_dump(path);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), 1u);
+  EXPECT_EQ((*loaded)[0].events.size(), 2u);  // final dump covers stop()
+  EXPECT_GE(dump.dumps(), 2u);
+  std::remove(path.c_str());
 }
 
 }  // namespace

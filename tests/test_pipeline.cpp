@@ -9,9 +9,11 @@
 #include <chrono>
 #include <condition_variable>
 #include <filesystem>
+#include <map>
 #include <mutex>
 #include <numeric>
 #include <optional>
+#include <set>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -19,6 +21,9 @@
 #include "core/flowdb_io.hpp"
 #include "core/live.hpp"
 #include "core/sniffer.hpp"
+#include "faultinject/faultinject.hpp"
+#include "obs/flight.hpp"
+#include "obs/metrics.hpp"
 #include "packet/build.hpp"
 #include "pcap/pcapng.hpp"
 #include "pipeline/pipeline.hpp"
@@ -558,10 +563,14 @@ TEST(Supervisor, WatchdogFiresOnQuiescenceWithPendingWork) {
   EXPECT_EQ(seen->stages[0].name, "dispatch");
   EXPECT_EQ(seen->pending, "frames queued in shard rings");
   EXPECT_GE(seen->stalled_for.total_micros(), 50'000);
-  // The rendering names the stages and the pending condition.
+  // The rendering names the stages and the pending condition, and ships
+  // the flight-recorder excerpt so a stall report is actionable on its
+  // own (the forensic contract of docs/observability.md).
   const std::string text = seen->to_string();
   EXPECT_NE(text.find("shard-0"), std::string::npos);
   EXPECT_NE(text.find("frames queued"), std::string::npos);
+  EXPECT_FALSE(seen->trace_excerpt.empty());
+  EXPECT_NE(text.find("trace excerpt"), std::string::npos);
 }
 
 TEST(Supervisor, WatchdogStaysQuietWhenIdleOrBeating) {
@@ -631,6 +640,126 @@ TEST(Supervisor, DrainCheckStopsIngestionThroughTheNormalPath) {
     EXPECT_LT(analyzer.stats().frames_dispatched, 100'000u);
   }
   fs::remove_all(dir);
+}
+
+// ------------------------------------------------ metrics/stats parity
+
+TEST_F(PipelineTest, MetricsSnapshotMatchesStatsAfterShardedChaosRun) {
+  // The metrics a monitoring agent scrapes and the stats the CLI prints
+  // come from different plumbing (registry counters vs struct fields);
+  // after a sharded run over a damaged capture they must tell the same
+  // story, or one of them is lying.
+  obs::Registry::global().reset();
+
+  faultinject::FileFaultConfig file_faults;
+  file_faults.seed = 7;
+  file_faults.garbage_run_rate = 0.002;
+  file_faults.length_lie_rate = 0.001;
+  file_faults.truncate_tail = true;
+  const std::string chaos_path = (dir_ / "chaos_metrics.pcap").string();
+  const auto report =
+      faultinject::corrupt_pcap_file(pcap_path_, chaos_path, file_faults);
+  ASSERT_TRUE(report.has_value());
+  ASSERT_GT(report->faults(), 0u);
+
+  pipeline::PipelineConfig config;
+  config.shards = 4;
+  config.sniffer.resync_capture = true;
+  core::AnalysisWindow merged;
+  pipeline::ShardedAnalyzer analyzer{
+      config, [&](core::AnalysisWindow&& w) { merged = std::move(w); }};
+  ASSERT_TRUE(analyzer.process_pcap(chaos_path));
+  analyzer.finish();
+
+  const pipeline::PipelineStats& stats = analyzer.stats();
+  const core::SnifferStats& sniff = stats.merged;
+  const obs::Snapshot snap = obs::Registry::global().snapshot();
+  const auto counter = [&](const std::string& name) -> std::uint64_t {
+    const auto it = snap.counters.find(name);
+    return it == snap.counters.end() ? 0 : it->second;
+  };
+  const auto family_sum = [&](const std::string& prefix) {
+    std::uint64_t sum = 0;
+    for (const auto& [name, value] : snap.counters)
+      if (name.rfind(prefix, 0) == 0) sum += value;
+    return sum;
+  };
+
+  // SnifferStats (merged across shards) vs counters.
+  EXPECT_EQ(counter("dnh_frames_total"), sniff.frames);
+  EXPECT_EQ(family_sum("dnh_decode_errors_total"), sniff.decode_failures);
+  EXPECT_EQ(counter("dnh_dns_responses_total"), sniff.dns_responses);
+  EXPECT_EQ(family_sum("dnh_dns_parse_errors_total"),
+            sniff.dns_parse_failures);
+  EXPECT_EQ(counter("dnh_dns_queries_total"), sniff.dns_queries);
+  EXPECT_EQ(counter("dnh_dns_tcp_messages_total"), sniff.dns_tcp_messages);
+  EXPECT_EQ(counter("dnh_flows_exported_total"), sniff.flows_exported);
+  EXPECT_EQ(counter("dnh_flows_tagged_start_total"),
+            sniff.flows_tagged_at_start);
+  EXPECT_EQ(counter("dnh_flows_tagged_late_total"),
+            sniff.flows_tagged_at_export);
+
+  // PipelineStats vs counters.
+  EXPECT_EQ(counter("dnh_pipeline_frames_dispatched_total"),
+            stats.frames_dispatched);
+  EXPECT_EQ(counter("dnh_pipeline_frames_dropped_total"),
+            stats.frames_dropped);
+  EXPECT_EQ(counter("dnh_pipeline_windows_merged_total"),
+            stats.windows_merged);
+
+  // Capture corruption (the chaos actually hit) vs the pcap counters.
+  EXPECT_GT(sniff.degradation.capture_resyncs, 0u);
+  EXPECT_EQ(counter("dnh_pcap_resyncs_total"),
+            sniff.degradation.capture_resyncs);
+  EXPECT_EQ(counter("dnh_pcap_bytes_skipped_total"),
+            sniff.degradation.capture_bytes_skipped);
+  EXPECT_EQ(counter("dnh_pcap_truncated_tails_total"),
+            sniff.degradation.capture_truncated_tails);
+}
+
+// ------------------------------------------------ causal window tracing
+
+TEST_F(PipelineTest, WindowLifecycleLeavesCausalTraceChain) {
+  // Every rotated window must leave a dispatched -> sealed -> ingested ->
+  // emitted chain in the flight recorder, all stamped with the same
+  // WindowTraceId (the window sequence number). Only events recorded
+  // after t0 count — the global recorder also holds earlier tests' runs.
+  auto& recorder = obs::FlightRecorder::global();
+  recorder.set_enabled(true);
+  const std::uint64_t t0 = recorder.now_ns();
+
+  pipeline::PipelineConfig config;
+  config.shards = 2;
+  config.window = util::Duration::minutes(10);
+  std::size_t windows = 0;
+  pipeline::ShardedAnalyzer analyzer{
+      config, [&](core::AnalysisWindow&&) { ++windows; }};
+  for (const auto& frame : *frames_)
+    analyzer.on_frame(frame.data, frame.timestamp);
+  analyzer.finish();
+  ASSERT_GE(windows, 4u);
+
+  std::map<std::uint64_t, std::set<obs::TraceKind>> by_seq;
+  std::uint64_t max_emitted = 0;
+  for (const auto& thread : recorder.snapshot()) {
+    for (const auto& event : thread.events) {
+      if (event.ts_ns < t0 || event.seq == obs::kNoSeq) continue;
+      by_seq[event.seq].insert(event.kind);
+      if (event.kind == obs::TraceKind::kWindowEmitted)
+        max_emitted = std::max(max_emitted, event.seq);
+    }
+  }
+  // The final (partial) window is sealed by shutdown, not by a rotation
+  // broadcast, so the full four-stage chain is asserted for the rotated
+  // windows only.
+  for (std::uint64_t seq = 0; seq + 1 < windows; ++seq) {
+    const auto& kinds = by_seq[seq];
+    EXPECT_TRUE(kinds.count(obs::TraceKind::kWindowDispatched)) << seq;
+    EXPECT_TRUE(kinds.count(obs::TraceKind::kWindowSealed)) << seq;
+    EXPECT_TRUE(kinds.count(obs::TraceKind::kMergeIngested)) << seq;
+    EXPECT_TRUE(kinds.count(obs::TraceKind::kWindowEmitted)) << seq;
+  }
+  EXPECT_EQ(max_emitted, windows - 1);  // every window reached the sink
 }
 
 TEST(Canonicalize, OrdersDnsEventsByTimeThenClientThenName) {

@@ -253,6 +253,37 @@ TEST_F(RecoveryTest, ResumeOverCorruptedSpillDegradesWithTypedStats) {
   }
 }
 
+TEST_F(RecoveryTest, KillNineLeavesRecoverableFlightRecorderDump) {
+  // The flight recorder keeps DIR/flight.dnht current while a --spill-dir
+  // run is alive (synchronous first dump, then a 100ms refresh via
+  // tmp+rename). After SIGKILL — no atexit, no signal handler — the last
+  // completed dump must still be there and render cleanly, because the
+  // rename never exposes a half-written file (docs/observability.md).
+  const std::string spill = (dir_ / "spill_trace_kill").string();
+  const std::string out = (dir_ / "trace_kill.tsv").string();
+  fs::remove_all(spill);
+  // 150ms grace: past the first 100ms refresh, so the recovered dump
+  // carries window-lifecycle events, not just the startup thread-starts.
+  if (!run_and_kill({"export", pcap_, "--out", out, "--jobs", "4",
+                     "--spill-dir", spill, "--window", "300"},
+                    150'000)) {
+    GTEST_LOG_(INFO) << "child finished before the kill; skipping";
+    return;
+  }
+  const std::string dump = spill + "/flight.dnht";
+  ASSERT_TRUE(fs::exists(dump))
+      << "flight.dnht missing after SIGKILL mid-run";
+  const auto rendered = run_cli("trace-cat " + dump);
+  ASSERT_EQ(rendered.exit_code, 0) << rendered.output;
+  EXPECT_NE(rendered.output.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(rendered.output.find("thread_name"), std::string::npos);
+  EXPECT_NE(rendered.output.find("window-dispatched"), std::string::npos)
+      << "dump should carry dispatcher lifecycle events";
+  // Complete frames only: a torn trailing frame would print a warning.
+  EXPECT_EQ(rendered.output.find("warning:"), std::string::npos)
+      << rendered.output;
+}
+
 TEST_F(RecoveryTest, ResumeWithoutSpillDirIsAUsageError) {
   EXPECT_EQ(run_cli("export " + pcap_ + " --out /dev/null --resume")
                 .exit_code,

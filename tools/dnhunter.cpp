@@ -20,6 +20,7 @@
 //   dnhunter dimension <pcap> [--sizes L1,L2,...]
 //   dnhunter chaos     <pcap> [--rate R] [--seed S]
 //   dnhunter stats     <pcap>
+//   dnhunter trace-cat <trace.dnht>
 //
 // Every pcap-reading command accepts --resync to keep going over damaged
 // captures (skip-and-resync with a corruption report on stderr) instead
@@ -89,7 +90,9 @@
 #include "core/sniffer.hpp"
 #include "faultinject/faultinject.hpp"
 #include "obs/export.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
+#include "obs/traceio.hpp"
 #include "pcap/pcapng.hpp"
 #include "pipeline/pipeline.hpp"
 #include "pipeline/source.hpp"
@@ -163,6 +166,14 @@ struct Args {
                "exit;\n"
                "  --stats print the metrics summary at exit (the `stats` "
                "command implies it)\n"
+               "tracing options: --trace-out FILE write a Chrome/Perfetto "
+               "trace of the run at\n"
+               "  exit; with --spill-dir the flight recorder also keeps "
+               "DIR/flight.dnht\n"
+               "  current (binary ring dump, refreshed while running and "
+               "on crash/stall);\n"
+               "  `dnhunter trace-cat FILE.dnht` renders a binary dump as "
+               "trace JSON\n"
                "run with a command and no further args for its options\n");
   std::exit(error ? 2 : 0);
 }
@@ -354,11 +365,40 @@ Capture sniff(const Args& args) {
     config.spill_dir = args.option("spill-dir").value_or("");
     config.resume = args.flag("resume");
     config.watchdog_timeout = seconds_option(args, "watchdog");
-    config.on_stall = [](const pipeline::StallDiagnostic& diagnostic) {
-      // Fail fast: the pipeline is wedged, so no clean unwind is
-      // possible — print the typed diagnostic and leave.
-      std::fprintf(stderr, "error: pipeline stalled\n%s",
+    // Injected stall (DNH_FAULT_STALL=<shard>): park that worker forever,
+    // so the watchdog -> forensic-dump path can be exercised end to end
+    // against a live process. Opt-in per process, never on by default.
+    if (const auto stall = faultinject::stall_plan_from_env()) {
+      config.worker_start_hook = [plan = *stall](std::size_t shard) {
+        if (shard != plan.shard) return;
+        obs::trace_event(obs::TraceStage::kShard,
+                         obs::TraceKind::kStallInjected, obs::kNoSeq,
+                         static_cast<unsigned>(shard));
+        faultinject::enter_injected_stall();
+      };
+    }
+    // Stall forensics: the watchdog fires on a wedged pipeline, so no
+    // clean unwind is possible — dump the flight-recorder rings (binary
+    // next to the spill data, trace JSON if --trace-out asked for one),
+    // print the typed diagnostic, and leave via _Exit.
+    const std::string trace_bin_path =
+        config.spill_dir.empty() ? std::string{}
+                                 : config.spill_dir + "/flight.dnht";
+    const std::optional<std::string> trace_out = args.option("trace-out");
+    config.on_stall = [trace_bin_path,
+                       trace_out](const pipeline::StallDiagnostic& diagnostic) {
+      std::fprintf(stderr, "error: pipeline stalled\n%s\n",
                    diagnostic.to_string().c_str());
+      const std::vector<obs::ThreadTrace> threads =
+          obs::FlightRecorder::global().snapshot();
+      if (!trace_bin_path.empty() &&
+          obs::write_binary_dump(trace_bin_path, threads))
+        std::fprintf(stderr,
+                     "trace: rings dumped to %s (render with `dnhunter "
+                     "trace-cat`)\n",
+                     trace_bin_path.c_str());
+      if (trace_out && obs::write_chrome_trace(*trace_out, threads))
+        std::fprintf(stderr, "trace: %s written\n", trace_out->c_str());
       std::fflush(stderr);
       std::_Exit(4);
     };
@@ -370,6 +410,23 @@ Capture sniff(const Args& args) {
     // delivers exactly one). Flow fqdn views are re-interned by add();
     // event views are remapped into the capture's own table here, so
     // nothing dangles when the window's private table dies.
+    // Crash forensics ride along with durability: keep DIR/flight.dnht
+    // current from the moment the spill directory exists — a fatal-signal
+    // hook dumps the rings from the handler, and the periodic writer
+    // refreshes the file so even SIGKILL (which runs no handler) leaves a
+    // complete dump at most one interval stale. Started before the
+    // analyzer: its constructor does ~100ms of per-shard setup, and a
+    // kill landing in that window must still find a dump.
+    std::unique_ptr<obs::PeriodicTraceDump> trace_dump;
+    if (!trace_bin_path.empty()) {
+      std::error_code ec;
+      std::filesystem::create_directories(config.spill_dir, ec);
+      obs::install_fatal_signal_dump(trace_bin_path);
+      trace_dump = std::make_unique<obs::PeriodicTraceDump>(
+          obs::FlightRecorder::global(), trace_bin_path,
+          util::Duration::millis(100));
+      trace_dump->start();
+    }
     core::DomainTable& unified = *capture.db.domain_table();
     pipeline::ShardedAnalyzer analyzer{
         config, [&capture, &unified](core::AnalysisWindow&& window) {
@@ -400,6 +457,7 @@ Capture sniff(const Args& args) {
     }
     const bool ok = source->run(analyzer);
     analyzer.finish();  // join threads before any exit path
+    if (trace_dump) trace_dump->stop();  // final dump covers the whole run
     if (!ok) die_on_read_failure(args, source->error());
     if (dir_source)
       std::fprintf(stderr, "captures: replayed %zu rotated file(s) from %s\n",
@@ -964,6 +1022,25 @@ int cmd_stats(const Args& args) {
   return 0;
 }
 
+/// Renders a binary flight-recorder dump (DIR/flight.dnht, written by
+/// --spill-dir runs and by the fatal-signal hook) as Chrome trace-event
+/// JSON on stdout. The capture argument slot carries the dump path.
+int cmd_trace_cat(const Args& args) {
+  std::string error;
+  const auto threads = obs::read_binary_dump(args.pcap, &error);
+  if (!threads)
+    throw FatalError{2, "error: " + args.pcap + ": " +
+                            (error.empty() ? "unreadable trace dump" : error) +
+                            "\n"};
+  if (!error.empty())
+    std::fprintf(stderr, "warning: %s: %s (intact frames rendered)\n",
+                 args.pcap.c_str(), error.c_str());
+  const std::string json = obs::to_chrome_trace(*threads);
+  std::fwrite(json.data(), 1, json.size(), stdout);
+  std::fputc('\n', stdout);
+  return 0;
+}
+
 /// The one finalization point for every run: owns the live JSONL exporter
 /// and performs the at-exit dumps. main() constructs it before dispatch
 /// and calls finish() exactly once on every path, normal or fatal —
@@ -973,7 +1050,10 @@ class ObsSession {
  public:
   explicit ObsSession(const Args& args)
       : prom_path_{args.option("metrics-prom")},
+        trace_path_{args.option("trace-out")},
         print_stats_{args.flag("stats") || args.command == "stats"} {
+    obs::FlightRecorder::global().set_thread_label("cli");
+    obs::trace_event(obs::TraceStage::kCli, obs::TraceKind::kThreadStart);
     if (const auto out = args.option("metrics-out")) {
       obs::JsonlExporter::Options options;
       options.path = *out;
@@ -1008,6 +1088,14 @@ class ObsSession {
       exporter_->stop();  // writes the final snapshot line
       exporter_.reset();
     }
+    if (trace_path_) {
+      if (obs::write_chrome_trace(*trace_path_,
+                                  obs::FlightRecorder::global().snapshot()))
+        std::fprintf(stderr, "trace: %s written\n", trace_path_->c_str());
+      else
+        std::fprintf(stderr, "error: cannot write trace file %s\n",
+                     trace_path_->c_str());
+    }
     if (!prom_path_ && !print_stats_) return;
     const obs::Snapshot snap = obs::Registry::global().snapshot();
     if (prom_path_) {
@@ -1027,6 +1115,7 @@ class ObsSession {
 
  private:
   std::optional<std::string> prom_path_;
+  std::optional<std::string> trace_path_;
   bool print_stats_ = false;
   std::unique_ptr<obs::JsonlExporter> exporter_;
 };
@@ -1049,6 +1138,7 @@ int run_command(const Args& args) {
   if (args.command == "dimension") return cmd_dimension(args);
   if (args.command == "chaos") return cmd_chaos(args);
   if (args.command == "stats") return cmd_stats(args);
+  if (args.command == "trace-cat") return cmd_trace_cat(args);
   usage(("unknown command: " + args.command).c_str());
 }
 
