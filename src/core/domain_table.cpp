@@ -20,6 +20,7 @@ DomainTable::DomainTable() {
   views_.push_back({});  // id 0: the empty string
 }
 
+// dnh-analyze: hot
 DomainId DomainTable::intern(std::string_view s) {
   // dnh-lint: hot
   if (s.empty()) return kEmptyDomainId;

@@ -12,6 +12,7 @@ std::string_view TaggedFlow::second_level() const {
   return dns::second_level_domain(fqdn);
 }
 
+// dnh-analyze: hot
 FlowDatabase::FlowIndex FlowDatabase::add(TaggedFlow flow) {
   // dnh-lint: hot
   const FlowIndex index = static_cast<FlowIndex>(flows_.size());

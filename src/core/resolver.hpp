@@ -87,6 +87,7 @@ class BasicDnsResolver {
 
   /// INSERT(DNSresponse) with a pre-interned name: the zero-allocation
   /// sniffer path. `fqdn` must come from this resolver's DomainTable.
+  // dnh-analyze: hot
   void insert(net::Ipv4Address client, DomainId fqdn,
               std::span<const net::Ipv4Address> servers,
               util::Timestamp now) {
@@ -152,6 +153,7 @@ class BasicDnsResolver {
   /// for `server`, or nullopt. The returned view points into the
   /// DomainTable arena and stays valid for the table's lifetime (eviction
   /// recycles the Clist slot, not the interned bytes).
+  // dnh-analyze: hot
   std::optional<ResolverHit> lookup(net::Ipv4Address client,
                                     net::Ipv4Address server) const {
     // dnh-lint: hot

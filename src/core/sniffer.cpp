@@ -197,6 +197,7 @@ void Sniffer::on_frame(net::BytesView frame, util::Timestamp ts) {
   table_.on_packet(*pkt);
 }
 
+// dnh-analyze: hot
 void Sniffer::on_export_record(const flowexport::OrientedRecord& record,
                                util::Timestamp arrival) {
   // dnh-lint: hot
@@ -296,6 +297,7 @@ void Sniffer::flush_record_flows() {
   }
 }
 
+// dnh-analyze: hot
 void Sniffer::handle_dns_message(net::BytesView wire,
                                  net::Ipv4Address client,
                                  util::Timestamp ts) {
@@ -308,6 +310,9 @@ void Sniffer::handle_dns_message(net::BytesView wire,
     // A/B reference path: full decode, then project the three facts the
     // sniffer needs into the same scratch the scanner fills, so the tail
     // below is shared and the two paths cannot drift in behaviour.
+    // dnh-analyze: allow(alloc, legacy_dns_decode is the off-by-default
+    // A/B reference path; only the scanner branch carries the
+    // zero-allocation contract)
     const auto msg = dns::DnsMessage::decode(wire, parse_error);
     parsed = msg.has_value();
     if (msg) {
@@ -315,6 +320,8 @@ void Sniffer::handle_dns_message(net::BytesView wire,
       // dnh-lint: allow(hot-path-noalloc) -- the legacy decode branch is
       // the off-by-default reference path; only the scanner branch below
       // carries the zero-allocation contract.
+      // dnh-analyze: allow(alloc, same off-by-default reference branch as
+      // above)
       const std::string name = msg->canonical_query_name().to_string();
       if (name == ".") {
         dns_scratch_.name_len = 0;  // root/no-question sentinel
@@ -477,10 +484,15 @@ void Sniffer::on_flow_export(flow::FlowRecord&& flow) {
   }
 
   tagged.protocol = baseline::classify(flow);
+  // dnh-analyze: allow(alloc, baseline DPI labeling runs once per expired
+  // flow, amortized across the flow's packets; the per-packet ingest path
+  // above stays allocation-free)
   if (auto label = baseline::dpi_label(flow)) {
     tagged.dpi_label = std::move(*label);
   }
   if (tagged.protocol == flow::ProtocolClass::kTls) {
+    // dnh-analyze: allow(alloc, certificate parse is once per expired TLS
+    // flow, same amortization argument as the DPI label above)
     if (const auto info = baseline::inspect_certificate(flow)) {
       tagged.has_certificate = true;
       tagged.cert_cn = info->subject_cn;

@@ -30,6 +30,7 @@ MessageParseError project(NameParseError e) {
 // Mirrors DnsName::decode step for step. When `out` is non-null the
 // lowercased presentation form (labels joined by '.') is written there and
 // `*out_len` set; when null the name is validated and skipped only.
+// dnh-analyze: hot
 bool scan_name(net::ByteReader& r, NameParseError& error, char* out,
                std::size_t* out_len) {
   // dnh-lint: hot
@@ -101,6 +102,7 @@ bool scan_name(net::ByteReader& r, NameParseError& error, char* out,
 
 // Mirrors decode_rdata. For answer-section A records (`collect` non-null)
 // the address is appended; everything else is validated and skipped.
+// dnh-analyze: hot
 bool scan_rdata(RecordType type, net::ByteReader& r, std::size_t rdlength,
                 std::vector<net::Ipv4Address>* collect,
                 MessageParseError& error) {
@@ -188,6 +190,7 @@ bool scan_rdata(RecordType type, net::ByteReader& r, std::size_t rdlength,
 }
 
 // Mirrors decode_rr. `collect` is non-null only for the answer section.
+// dnh-analyze: hot
 bool scan_rr(net::ByteReader& r, std::vector<net::Ipv4Address>* collect,
              MessageParseError& error) {
   // dnh-lint: hot
@@ -209,6 +212,7 @@ bool scan_rr(net::ByteReader& r, std::vector<net::Ipv4Address>* collect,
 
 }  // namespace
 
+// dnh-analyze: hot
 bool scan_response(net::BytesView wire, ResponseScratch& out,
                    MessageParseError& error) {
   // dnh-lint: hot

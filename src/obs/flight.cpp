@@ -138,6 +138,13 @@ FlightRecorder::FlightRecorder(std::size_t ring_capacity)
     entries_[i].store(nullptr, std::memory_order_relaxed);
 }
 
+// dnh-analyze: allow(signal-safety, the lazy `new` runs once at startup
+// -- install_fatal_signal_dump() touches global() before arming handlers,
+// so by the time a fatal signal can reach this path the static is a
+// plain pointer read)
+// dnh-analyze: allow(alloc, one-time lazy init -- the first trace_event
+// call constructs the recorder; every later hot-path call is a plain
+// pointer read)
 FlightRecorder& FlightRecorder::global() {
   // Leaked: rings must outlive every recording thread, including threads
   // still running during static destruction.

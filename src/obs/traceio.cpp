@@ -374,6 +374,7 @@ std::size_t sput_u64le(unsigned char* p, std::uint64_t v) noexcept {
   return 8;
 }
 
+// dnh-analyze: signal-safe
 extern "C" void fatal_signal_handler(int signo) {
   // One-shot: the first fatal signal dumps, nested faults (including a
   // fault inside the dump itself) fall straight through to the default
@@ -398,6 +399,7 @@ extern "C" void fatal_signal_handler(int signo) {
 
 }  // namespace
 
+// dnh-analyze: signal-safe
 bool signal_safe_dump(int fd, const FlightRecorder& recorder) noexcept {
   if (g_signal_buf_busy.exchange(true)) return false;
   FlightRecorder::RawRing rings[FlightRecorder::kMaxRings];
@@ -450,6 +452,10 @@ void install_fatal_signal_dump(const std::string& path) {
       std::min(path.size(), sizeof(g_fatal_dump_path) - 1);
   std::memcpy(g_fatal_dump_path, path.data(), n);
   g_fatal_dump_path[n] = '\0';
+  // Force the recorder singleton into existence before any handler can
+  // fire: fatal_signal_handler must only ever see global() as a plain
+  // pointer read (its lazy `new` is not async-signal-safe).
+  FlightRecorder::global();
   if (g_fatal_dump_armed.exchange(true)) return;  // handlers already set
   struct sigaction action {};
   action.sa_handler = fatal_signal_handler;

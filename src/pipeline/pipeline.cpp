@@ -694,6 +694,7 @@ void ShardedAnalyzer::note_capture_corruption(
   capture_degradation_.capture_truncated_tails += corruption.truncated_tail;
 }
 
+// dnh-analyze: shard-local-ids
 void ShardedAnalyzer::worker_loop(std::size_t index) {
   // Label + thread-start before the test hook: an injected stall that
   // parks this worker forever must still leave its shard visible in the
@@ -886,6 +887,7 @@ namespace {
 /// canonical_less are value-identical rows, so pop order among ties
 /// cannot change a single output byte — which is why a k-way merge of
 /// per-shard-sorted runs reproduces the global canonical sort exactly.
+// dnh-analyze: merge-boundary
 void kway_merge_into(std::vector<core::AnalysisWindow>& parts,
                      core::AnalysisWindow& out) {
   std::vector<std::vector<core::TaggedFlow>> flows(parts.size());
@@ -937,6 +939,8 @@ void kway_merge_into(std::vector<core::AnalysisWindow>& parts,
 
 }  // namespace
 
+// dnh-analyze: id-remap(per-event intern into the unified table below;
+// flows are re-interned by out.db.add inside the k-way merge)
 core::AnalysisWindow ShardedAnalyzer::merge_windows(
     std::vector<ShardWindow>& parts) {
   core::AnalysisWindow out;

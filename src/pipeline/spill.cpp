@@ -396,6 +396,7 @@ bool decode_payload(const std::string& payload, std::uint64_t expected_seq,
 
 }  // namespace
 
+// dnh-analyze: shard-local-ids
 std::optional<core::AnalysisWindow> load_spilled_window(
     const std::string& dir, const ManifestEntry& entry,
     RecoveryStats& stats) {

@@ -1,0 +1,12 @@
+// dnh-analyze-fixture: path=fix/allow_stacked_clean.cpp expect=clean
+// Stacked tags: one function is both a signal-safe and a hot root, and
+// one evidence line is exempted from both rules by two stacked allows
+// sitting directly above the flagged line.
+// dnh-analyze: signal-safe
+// dnh-analyze: hot
+int* emergency_buffer() {
+  // dnh-analyze: allow(signal-safety, the buffer is grabbed once at
+  // startup before handlers are armed)
+  // dnh-analyze: allow(alloc, same startup-only path)
+  return new int[64];
+}

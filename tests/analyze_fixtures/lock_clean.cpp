@@ -1,0 +1,19 @@
+// dnh-analyze-fixture: path=fix/lock_clean.cpp expect=clean
+// Consistent acquisition order everywhere: no cycle, no finding.
+struct Mutex {};
+Mutex mu_first;
+Mutex mu_second;
+
+void update() {
+  MutexLock a{mu_first};
+  MutexLock b{mu_second};
+  (void)a;
+  (void)b;
+}
+
+void publish() {
+  MutexLock a{mu_first};
+  MutexLock b{mu_second};
+  (void)a;
+  (void)b;
+}

@@ -1,0 +1,20 @@
+// dnh-analyze-fixture: path=fix/lock_cycle.cpp expect=lock-order@10
+// Classic AB/BA inversion inside one translation unit: two functions
+// acquire the same pair of mutexes in opposite orders.
+struct Mutex {};
+Mutex mu_a;
+Mutex mu_b;
+
+void forward() {
+  MutexLock la{mu_a};
+  MutexLock lb{mu_b};
+  (void)la;
+  (void)lb;
+}
+
+void backward() {
+  MutexLock lb{mu_b};
+  MutexLock la{mu_a};
+  (void)la;
+  (void)lb;
+}

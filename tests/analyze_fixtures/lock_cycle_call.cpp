@@ -1,0 +1,21 @@
+// dnh-analyze-fixture: path=fix/lock_cycle_call.cpp expect=lock-order@19
+// Inversion only visible interprocedurally: one leg of the cycle is a
+// call made with a mutex held into a function that acquires the other.
+struct Mutex {};
+Mutex mu_reg;
+Mutex mu_cells;
+
+void flush_cells() {
+  MutexLock lock{mu_cells};
+}
+
+void export_all() {
+  MutexLock lock{mu_reg};
+  flush_cells();
+}
+
+void rebalance() {
+  MutexLock lock{mu_cells};
+  MutexLock inner{mu_reg};
+  (void)inner;
+}

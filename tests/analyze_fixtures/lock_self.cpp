@@ -1,0 +1,16 @@
+// dnh-analyze-fixture: path=fix/lock_self.cpp expect=lock-order@11
+// Re-acquiring a mutex already held on the same path: self-deadlock with
+// a non-recursive mutex.
+struct Mutex {};
+struct Registry {
+  Mutex mu;
+  int total;
+  int flush() {
+    MutexLock lock{mu};
+    if (total > 0) {
+      MutexLock again{mu};
+      total = 0;
+    }
+    return total;
+  }
+};

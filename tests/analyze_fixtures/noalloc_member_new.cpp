@@ -1,0 +1,18 @@
+// dnh-analyze-fixture: path=fix/noalloc_member_new.cpp expect=no-alloc@6
+// `new` reached through a typed member chain: intern -> Table::add ->
+// Arena::grow (receiver type recovered from the member map).
+struct Arena {
+  char* base;
+  void grow() { base = new char[4096]; }
+};
+
+struct Table {
+  Arena arena;
+  int add(int v) {
+    arena.grow();
+    return v;
+  }
+};
+
+// dnh-analyze: hot
+int intern(Table& t, int v) { return t.add(v); }

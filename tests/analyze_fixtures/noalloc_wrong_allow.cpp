@@ -1,0 +1,11 @@
+// dnh-analyze-fixture: path=fix/noalloc_wrong_allow.cpp expect=no-alloc@9
+// An allow naming the wrong rule attaches (no tag-syntax error: the site
+// exists) but must not suppress the rule that actually fires.
+#include <string>
+
+// dnh-analyze: hot
+int on_packet(int code) {
+  // dnh-analyze: allow(signal-safety, wrong rule name for this site)
+  std::string label = "x";
+  return code + static_cast<int>(label.size());
+}

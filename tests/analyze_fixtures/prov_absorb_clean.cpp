@@ -1,0 +1,23 @@
+// dnh-analyze-fixture: path=fix/prov_absorb_clean.cpp expect=clean
+// The sanctioned shape: the function that touches shard-local windows
+// remaps through DomainTable::absorb() before handing off to the merge.
+struct DomainTable {
+  int absorb(const DomainTable& other) {
+    (void)other;
+    return 0;
+  }
+};
+
+struct Window { DomainTable table; };
+
+// dnh-analyze: merge-boundary
+void kway_merge(Window& w) { (void)w; }
+
+// dnh-analyze: shard-local-ids
+Window load_window() { return Window{}; }
+
+void retire(DomainTable& unified) {
+  Window w = load_window();
+  unified.absorb(w.table);
+  kway_merge(w);
+}

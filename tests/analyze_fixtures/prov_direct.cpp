@@ -1,0 +1,15 @@
+// dnh-analyze-fixture: path=fix/prov_direct.cpp expect=id-provenance@14
+// A carrier (it called the tagged producer) hands shard-local ids to the
+// merge boundary without any DomainTable::absorb() remap in between.
+struct Window { int ids[8]; };
+
+// dnh-analyze: merge-boundary
+void kway_merge(Window& w) { (void)w; }
+
+// dnh-analyze: shard-local-ids
+Window load_window() { return Window{}; }
+
+void retire() {
+  Window w = load_window();
+  kway_merge(w);
+}

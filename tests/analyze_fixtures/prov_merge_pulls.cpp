@@ -1,0 +1,13 @@
+// dnh-analyze-fixture: path=fix/prov_merge_pulls.cpp expect=id-provenance@10
+// The merge-boundary function itself fetches shard-local ids: flagged on
+// the function, not on any one call.
+struct Window { int ids[8]; };
+
+// dnh-analyze: shard-local-ids
+Window load_window() { return Window{}; }
+
+// dnh-analyze: merge-boundary
+void merge_all() {
+  Window w = load_window();
+  (void)w;
+}

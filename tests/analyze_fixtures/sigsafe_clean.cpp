@@ -1,0 +1,12 @@
+// dnh-analyze-fixture: path=fix/sigsafe_clean.cpp expect=clean
+// A well-behaved dump path: POSIX async-signal-safe calls and arithmetic
+// helpers only.
+int encode(int v) { return v * 2 + 1; }
+
+// dnh-analyze: signal-safe
+void fatal_dump(int fd) {
+  const int v = encode(7);
+  ::write(fd, &v, sizeof(v));
+  ::fsync(fd);
+  ::close(fd);
+}

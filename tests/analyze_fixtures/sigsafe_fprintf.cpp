@@ -1,0 +1,23 @@
+// dnh-analyze-fixture: path=fix/sigsafe_fprintf.cpp expect=signal-safety@16
+// A fatal-signal dump path that grew an fprintf: the exact regression the
+// signal-safety rule exists to catch (mirrors src/obs/traceio.cpp). The
+// finding must carry the full call chain from the tagged root.
+struct Recorder {
+  int rings() const noexcept { return 3; }
+};
+
+bool dump_rings(int fd, const Recorder& recorder) {
+  const int n = recorder.rings();
+  ::write(fd, &n, sizeof(n));
+  debug_banner(fd);
+  return true;
+}
+
+void debug_banner(int fd) { fprintf(stderr, "dumping fd=%d\n", fd); }
+
+// dnh-analyze: signal-safe
+void fatal_handler(int signo) {
+  Recorder r;
+  dump_rings(2, r);
+  ::raise(signo);
+}

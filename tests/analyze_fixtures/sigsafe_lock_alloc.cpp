@@ -1,0 +1,19 @@
+// dnh-analyze-fixture: path=fix/sigsafe_lock_alloc.cpp expect=signal-safety@9,signal-safety@17
+// Two distinct kinds of signal-unsafety reached from one root: a mutex
+// acquisition inside a transitively-called method, and a direct `new`.
+struct Mutex {};
+struct Registry {
+  Mutex mu;
+  int count;
+  int snapshot() {
+    MutexLock lock{mu};
+    return count;
+  }
+};
+
+// dnh-analyze: signal-safe
+void crash_dump(Registry& reg) {
+  reg.snapshot();
+  char* buf = new char[64];
+  (void)buf;
+}

@@ -1,0 +1,12 @@
+// dnh-analyze-fixture: path=fix/tags_allow_noop.cpp expect=tag-syntax@12
+// A well-formed allow that anchors to nothing — no function signature, no
+// call, no lock, no evidence within reach — is itself a finding: it
+// documents an exemption that does not exist.
+int plain(int v) { return v + 1; }
+
+int caller(int v) {
+  int doubled = v * 2;
+  return plain(doubled);
+}
+
+// dnh-analyze: allow(alloc, there is nothing down here to exempt)

@@ -1,0 +1,13 @@
+// dnh-analyze-fixture: path=fix/tags_bad.cpp expect=tag-syntax@4,tag-syntax@7,tag-syntax@9,tag-syntax@11
+// Every malformed or floating tag is a finding: a tag that silently does
+// nothing is worse than no tag.
+// dnh-analyze: hot
+int orphaned_by_distance = 0;
+
+// dnh-analyze: allow(bogus-rule, not one of the four rules)
+
+// dnh-analyze: allow(alloc)
+
+// dnh-analyze: frobnicate
+
+int well_below_every_tag() { return orphaned_by_distance; }

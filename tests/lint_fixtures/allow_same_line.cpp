@@ -1,0 +1,13 @@
+// dnh-lint-fixture: path=src/dns/allow_same_line.cpp expect=clean
+// Suppression edge case: the allow tag rides the flagged line itself.
+#include <string>
+
+namespace dnh::dns {
+
+int compare(const char* wire) {
+  // dnh-lint: hot
+  const auto ref = std::string{wire};  // dnh-lint: allow(hot-path-noalloc) A/B
+  return ref.empty() ? 0 : 1;
+}
+
+}  // namespace dnh::dns

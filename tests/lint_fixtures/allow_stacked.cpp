@@ -1,0 +1,21 @@
+// dnh-lint-fixture: path=src/dns/allow_stacked.cpp expect=clean
+// Suppression edge case: two stacked allow tags above one site, each
+// naming a different rule; both sites below stay suppressed.
+#include <string>
+
+namespace dnh::dns {
+
+struct Reader {
+  std::string read_string(int n);
+};
+
+int drain(Reader& r) {
+  // dnh-lint: hot
+  // dnh-lint: allow(hot-path-noalloc) reference branch, off by default
+  // dnh-lint: allow(typed-errors) wraps a legacy API that throws
+  const std::string blob = r.read_string(8);
+  if (blob.empty()) throw 1;
+  return static_cast<int>(blob.size());
+}
+
+}  // namespace dnh::dns

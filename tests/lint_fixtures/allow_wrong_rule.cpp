@@ -1,0 +1,14 @@
+// dnh-lint-fixture: path=src/dns/allow_wrong_rule.cpp expect=hot-path-noalloc
+// Suppression edge case: an allow naming a DIFFERENT rule sits right
+// above the violation; it must not suppress hot-path-noalloc.
+#include <string>
+
+namespace dnh::dns {
+
+int mislabeled(const char* wire) {
+  // dnh-lint: hot
+  // dnh-lint: allow(metric-name) wrong rule for this site
+  return std::string{wire}.empty() ? 0 : 1;
+}
+
+}  // namespace dnh::dns

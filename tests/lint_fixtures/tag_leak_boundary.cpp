@@ -1,0 +1,21 @@
+// dnh-lint-fixture: path=src/dns/tag_leak_boundary.cpp expect=hot-path-noalloc
+// Regression for the TAG_LOOKBACK leak: the allow() at the end of the
+// first function sits within six raw lines of the violation in the
+// second one, but the `}` between them is a scope boundary the window
+// must not cross. The second function's violation must still be flagged.
+#include <string>
+
+namespace dnh::dns {
+
+int sanctioned(const char* wire) {
+  // dnh-lint: hot
+  // dnh-lint: allow(hot-path-noalloc) measured reference branch
+  return std::string{wire}.empty() ? 0 : 1;
+}
+
+std::size_t leaky_neighbor(const char* wire) {
+  // dnh-lint: hot
+  return std::string{wire}.size();  // must NOT inherit the allow above
+}
+
+}  // namespace dnh::dns

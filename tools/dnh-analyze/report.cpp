@@ -1,0 +1,139 @@
+// Finding output for dnh-analyze: human text with call chains, SARIF
+// 2.1.0 for CI annotation rendering, and a line-insensitive baseline
+// format so a known-findings file survives unrelated edits.
+#include "analyze.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace dnh::analyze {
+
+namespace {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void print_findings(const std::vector<Finding>& findings) {
+  for (const Finding& f : findings) {
+    std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                f.message.c_str());
+    for (std::size_t i = 0; i < f.chain.size(); ++i)
+      std::printf("    %s%s\n", i == 0 ? "" : "-> ", f.chain[i].c_str());
+  }
+}
+
+std::string to_sarif(const std::vector<Finding>& findings) {
+  std::set<std::string> rules;
+  for (const Finding& f : findings) rules.insert(f.rule);
+  std::ostringstream out;
+  out << "{\n"
+         "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+         "  \"version\": \"2.1.0\",\n"
+         "  \"runs\": [\n"
+         "    {\n"
+         "      \"tool\": {\n"
+         "        \"driver\": {\n"
+         "          \"name\": \"dnh-analyze\",\n"
+         "          \"informationUri\": \"docs/static-analysis.md\",\n"
+         "          \"rules\": [";
+  bool first = true;
+  for (const std::string& r : rules) {
+    out << (first ? "" : ",") << "\n            {\"id\": \""
+        << json_escape(r) << "\"}";
+    first = false;
+  }
+  out << "\n          ]\n"
+         "        }\n"
+         "      },\n"
+         "      \"results\": [";
+  first = true;
+  for (const Finding& f : findings) {
+    std::string text = f.message;
+    for (const std::string& hop : f.chain) text += "\n" + hop;
+    out << (first ? "" : ",")
+        << "\n        {\n"
+           "          \"ruleId\": \"" << json_escape(f.rule) << "\",\n"
+           "          \"level\": \"error\",\n"
+           "          \"message\": {\"text\": \"" << json_escape(text)
+        << "\"},\n"
+           "          \"locations\": [\n"
+           "            {\n"
+           "              \"physicalLocation\": {\n"
+           "                \"artifactLocation\": {\"uri\": \""
+        << json_escape(f.file) << "\"},\n"
+           "                \"region\": {\"startLine\": " << f.line << "}\n"
+           "              }\n"
+           "            }\n"
+           "          ]\n"
+           "        }";
+    first = false;
+  }
+  out << "\n      ]\n"
+         "    }\n"
+         "  ]\n"
+         "}\n";
+  return out.str();
+}
+
+bool write_text_file(const std::string& path, std::string_view content) {
+  std::ofstream out{path, std::ios::binary | std::ios::trunc};
+  if (!out) return false;
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  return static_cast<bool>(out);
+}
+
+std::string baseline_key(const Finding& finding) {
+  // Line numbers drift on unrelated edits: key on rule|file|message-hash.
+  const std::uint64_t h = fnv1a64(finding.message, 0xcbf29ce484222325ULL);
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(h));
+  return finding.rule + "|" + finding.file + "|" + buf;
+}
+
+std::set<std::string> read_baseline(const std::string& path) {
+  std::set<std::string> keys;
+  std::ifstream in{path};
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line.front() == '#') continue;
+    keys.insert(line);
+  }
+  return keys;
+}
+
+std::string to_baseline(const std::vector<Finding>& findings) {
+  std::string out =
+      "# dnh-analyze baseline: one rule|file|message-hash key per known\n"
+      "# finding. Regenerate with --write-baseline; keep this reviewed.\n";
+  std::set<std::string> keys;
+  for (const Finding& f : findings) keys.insert(baseline_key(f));
+  for (const std::string& k : keys) out += k + "\n";
+  return out;
+}
+
+}  // namespace dnh::analyze
