@@ -103,11 +103,12 @@ RunResult run_single_threaded(const std::vector<pcap::Frame>& corpus) {
 }
 
 RunResult run_sharded(const std::vector<pcap::Frame>& corpus,
-                      std::size_t jobs) {
+                      std::size_t jobs, bool pin_shards) {
   RunResult result;
   result.jobs = jobs;
   pipeline::PipelineConfig config;
   config.shards = jobs;
+  config.pin_shards = pin_shards;
   std::size_t flows = 0;
   const auto t0 = std::chrono::steady_clock::now();
   pipeline::ShardedAnalyzer analyzer{
@@ -225,7 +226,7 @@ TraceOverheadRun run_trace_arm(const std::vector<pcap::Frame>& corpus,
   run.seconds = 1e30;
   for (int rep = 0; rep < reps; ++rep) {
     obs::Registry::global().reset();
-    const RunResult result = run_sharded(corpus, jobs);
+    const RunResult result = run_sharded(corpus, jobs, /*pin_shards=*/false);
     run.seconds = std::min(run.seconds, result.seconds);
   }
   run.fps = static_cast<double>(corpus.size()) / run.seconds;
@@ -357,7 +358,7 @@ void write_intern_json(const std::string& path, std::size_t dns_frames,
 
 void write_json(const std::string& path, std::size_t frames,
                 unsigned hardware, bool gated, bool gate_passed,
-                const std::vector<RunResult>& runs) {
+                bool pin_shards, const std::vector<RunResult>& runs) {
   std::FILE* out = std::fopen(path.c_str(), "w");
   if (!out) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -366,17 +367,22 @@ void write_json(const std::string& path, std::size_t frames,
   // `hw_threads` is the key the CI perf-smoke job reads to decide whether
   // cross-core comparisons (the speedup gate) are physically meaningful
   // on this box; `hardware_concurrency` is kept as its historical alias.
+  // `lookup_backend` records which hot-path container build produced
+  // these rows (flat_hash since the open-addressing rework;
+  // docs/performance.md keeps the node-map "before" numbers).
   std::fprintf(out,
                "{\n"
                "  \"bench\": \"pipeline_scaling\",\n"
                "  \"frames\": %zu,\n"
                "  \"hw_threads\": %u,\n"
                "  \"hardware_concurrency\": %u,\n"
+               "  \"lookup_backend\": \"flat_hash\",\n"
+               "  \"pin_shards\": %s,\n"
                "  \"speedup_gate_applied\": %s,\n"
                "  \"speedup_gate_passed\": %s,\n"
                "  \"runs\": [\n",
-               frames, hardware, hardware, gated ? "true" : "false",
-               gate_passed ? "true" : "false");
+               frames, hardware, hardware, pin_shards ? "true" : "false",
+               gated ? "true" : "false", gate_passed ? "true" : "false");
   for (std::size_t i = 0; i < runs.size(); ++i) {
     const RunResult& r = runs[i];
     std::fprintf(out,
@@ -403,6 +409,7 @@ int main(int argc, char** argv) {
   std::string streaming_out = "BENCH_streaming.json";
   std::string obs_out = "BENCH_obs.json";
   bool obs_gate = true;
+  bool pin_shards = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--frames") == 0 && i + 1 < argc)
       target_frames = std::strtoul(argv[++i], nullptr, 10);
@@ -418,6 +425,8 @@ int main(int argc, char** argv) {
       obs_out = argv[++i];
     else if (std::strcmp(argv[i], "--no-obs-gate") == 0)
       obs_gate = false;  // sanitizer builds skew the A/B; record, don't gate
+    else if (std::strcmp(argv[i], "--pin-shards") == 0)
+      pin_shards = true;  // mirror the CLI flag; recorded in the JSON
   }
 
   bench::print_header(
@@ -446,7 +455,7 @@ int main(int argc, char** argv) {
   runs.push_back(run_single_threaded(corpus));
   for (const std::size_t jobs : {2u, 4u, 8u}) {
     obs::Registry::global().reset();
-    runs.push_back(run_sharded(corpus, jobs));
+    runs.push_back(run_sharded(corpus, jobs, pin_shards));
   }
   for (auto& run : runs) run.speedup = run.fps / runs.front().fps;
   for (const auto& run : runs) {
@@ -497,7 +506,8 @@ int main(int argc, char** argv) {
                 "(threading cannot beat physics)\n",
                 hardware);
   }
-  write_json(out_path, corpus.size(), hardware, gate, gate_passed, runs);
+  write_json(out_path, corpus.size(), hardware, gate, gate_passed,
+             pin_shards, runs);
 
   // Streaming phase: many 5-minute windows retired through a bounded
   // inbox. The peak must stay at or under the configured bound however

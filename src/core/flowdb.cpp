@@ -69,33 +69,64 @@ const std::vector<FlowDatabase::FlowIndex>& FlowDatabase::by_server_port(
   return it == port_index_.end() ? kEmpty : it->second;
 }
 
-std::set<net::Ipv4Address> FlowDatabase::servers_for_fqdn(
+namespace {
+
+// Collect-sort-unique: one contiguous buffer instead of a red-black node
+// per distinct element, and no per-element string copies for FQDNs.
+template <typename T>
+void sort_unique(std::vector<T>& v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+}  // namespace
+
+std::vector<net::Ipv4Address> FlowDatabase::servers_for_fqdn(
     std::string_view fqdn) const {
-  std::set<net::Ipv4Address> out;
-  for (const auto i : by_fqdn(fqdn)) out.insert(flows_[i].key.server_ip);
+  std::vector<net::Ipv4Address> out;
+  const auto& indices = by_fqdn(fqdn);
+  out.reserve(indices.size());
+  for (const auto i : indices) out.push_back(flows_[i].key.server_ip);
+  sort_unique(out);
   return out;
 }
 
-std::set<net::Ipv4Address> FlowDatabase::servers_for_second_level(
+std::vector<net::Ipv4Address> FlowDatabase::servers_for_second_level(
     std::string_view sld) const {
-  std::set<net::Ipv4Address> out;
-  for (const auto i : by_second_level(sld))
-    out.insert(flows_[i].key.server_ip);
+  std::vector<net::Ipv4Address> out;
+  const auto& indices = by_second_level(sld);
+  out.reserve(indices.size());
+  for (const auto i : indices) out.push_back(flows_[i].key.server_ip);
+  sort_unique(out);
   return out;
 }
 
-std::set<std::string> FlowDatabase::fqdns_on_server(
+std::vector<DomainId> FlowDatabase::fqdns_on_server(
     net::Ipv4Address server) const {
-  std::set<std::string> out;
-  for (const auto i : by_server(server)) {
-    if (flows_[i].labeled()) out.emplace(flows_[i].fqdn);
+  std::vector<DomainId> out;
+  const auto& indices = by_server(server);
+  out.reserve(indices.size());
+  for (const auto i : indices) {
+    if (flows_[i].labeled()) out.push_back(flows_[i].fqdn_id);
   }
+  sort_unique(out);
   return out;
 }
 
-std::set<std::string> FlowDatabase::distinct_fqdns() const {
-  std::set<std::string> out;
-  for (const auto& [id, _] : fqdn_index_) out.emplace(table_->view(id));
+std::vector<DomainId> FlowDatabase::distinct_fqdns() const {
+  std::vector<DomainId> out;
+  out.reserve(fqdn_index_.size());
+  for (const auto& [id, _] : fqdn_index_) out.push_back(id);
+  std::sort(out.begin(), out.end());  // index keys are already unique
+  return out;
+}
+
+std::vector<std::string_view> FlowDatabase::fqdn_views(
+    std::span<const DomainId> ids) const {
+  std::vector<std::string_view> out;
+  out.reserve(ids.size());
+  for (const auto id : ids) out.push_back(table_->view(id));
+  std::sort(out.begin(), out.end());
   return out;
 }
 

@@ -14,7 +14,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <set>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -118,19 +118,32 @@ class FlowDatabase {
   /// Flows to a given destination (server) port (Alg. 4 line 4).
   const std::vector<FlowIndex>& by_server_port(std::uint16_t port) const;
 
-  /// Distinct server IPs observed serving `fqdn`.
-  std::set<net::Ipv4Address> servers_for_fqdn(std::string_view fqdn) const;
+  // Distinct-value queries return SORTED deduplicated vectors instead of
+  // the node-per-element std::set they used to build: one contiguous
+  // allocation plus a sort, and FQDNs stay interned 32-bit DomainIds (use
+  // fqdn_views() to materialize text at the presentation boundary).
 
-  /// Distinct server IPs observed for a whole organization (2LD).
-  std::set<net::Ipv4Address> servers_for_second_level(
+  /// Distinct server IPs observed serving `fqdn`, ascending.
+  std::vector<net::Ipv4Address> servers_for_fqdn(
+      std::string_view fqdn) const;
+
+  /// Distinct server IPs observed for a whole organization (2LD),
+  /// ascending.
+  std::vector<net::Ipv4Address> servers_for_second_level(
       std::string_view sld) const;
 
-  /// Distinct FQDNs observed on a server.
-  std::set<std::string> fqdns_on_server(net::Ipv4Address server) const;
+  /// Distinct FQDNs observed on a server, as interned ids (ascending by
+  /// id — an arbitrary but stable order).
+  std::vector<DomainId> fqdns_on_server(net::Ipv4Address server) const;
 
-  /// All distinct labels in the database. Strings at the boundary: the
-  /// analytics and I/O layers keep consuming owned strings.
-  std::set<std::string> distinct_fqdns() const;
+  /// All distinct labels in the database, as interned ids (ascending).
+  std::vector<DomainId> distinct_fqdns() const;
+
+  /// Thin string adapter for the id-returning queries: maps each id to
+  /// its arena view (valid for the DomainTable's lifetime), sorted
+  /// lexicographically — the order the old set<string> API surfaced.
+  std::vector<std::string_view> fqdn_views(
+      std::span<const DomainId> ids) const;
 
   /// Ports seen, most flows first.
   std::vector<std::pair<std::uint16_t, std::size_t>> ports_by_flow_count()

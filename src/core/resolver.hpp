@@ -4,14 +4,23 @@
 //  - FQDN entries live in a fixed-size circular FIFO (the "Clist" of size
 //    L), which bounds memory and implicitly ages entries out — L must be
 //    dimensioned against the monitored hosts' cache lifetime (Sec. 6).
-//  - Two nested maps implement lookup: clientIP -> (serverIP -> entry),
-//    giving O(log Nc + log Ns(c)) with ordered maps.
-//  - Entries keep back-references to their map slots so an overwritten
+//  - A (clientIP, serverIP) -> entry index implements lookup. The paper's
+//    primary design is two nested ordered maps (O(log Nc + log Ns(c)));
+//    footnote 2 notes hash tables as the alternative. Both live on as
+//    policies, but the DEFAULT is now FlatMapPolicy: the two IPs are
+//    packed into one 64-bit key probed in a single open-addressing
+//    FlatHash — one cache-friendly probe instead of two node-walks on
+//    every lookup/insert (docs/performance.md "Flat-hash hot path";
+//    bench_lookup_micro measures all three).
+//  - Entries keep back-references to their index keys so an overwritten
 //    Clist slot (line 23-25 of Alg. 1) can remove exactly its own keys.
 //
-// The map container is a policy template parameter because the paper's
-// footnote 2 notes hash tables as an alternative; `bench_resolver_micro`
-// compares the two.
+// Determinism note: no query ever ITERATES the index — every answer goes
+// key -> Clist entry — so the index's iteration order (undefined for the
+// flat and unordered policies) can never leak into output. That is why
+// swapping the default policy keeps the tag TSV byte-identical, which the
+// differential tests (sharded vs single-threaded, policy vs policy)
+// enforce.
 #pragma once
 
 #include <cstdint>
@@ -26,20 +35,136 @@
 
 #include "core/domain_table.hpp"
 #include "net/ip.hpp"
+#include "util/flat_hash.hpp"
 #include "util/time.hpp"
 
 namespace dnh::core {
+
+template <typename MapPolicy, typename V>
+class NestedPairIndex;
+template <typename V>
+class FlatPairIndex;
 
 /// Ordered maps: the paper's primary design (strict weak ordering on IPs).
 struct OrderedMapPolicy {
   template <typename K, typename V>
   using Map = std::map<K, V>;
+  template <typename V>
+  using PairIndex = NestedPairIndex<OrderedMapPolicy, V>;
 };
 
-/// Hash maps: the footnote-2 alternative.
+/// Hash maps: the footnote-2 alternative, still node-based.
 struct UnorderedMapPolicy {
   template <typename K, typename V>
   using Map = std::unordered_map<K, V>;
+  template <typename V>
+  using PairIndex = NestedPairIndex<UnorderedMapPolicy, V>;
+};
+
+/// Open-addressing flat table over a packed (client, server) 64-bit key:
+/// one probe, no per-entry heap nodes. The default policy.
+struct FlatMapPolicy {
+  template <typename V>
+  using PairIndex = FlatPairIndex<V>;
+};
+
+/// The nested clientIP -> (serverIP -> V) index shape shared by the
+/// Ordered and Unordered policies — exactly the pre-flat-hash layout, kept
+/// both as the paper-faithful reference and as the differential-test
+/// oracle for FlatPairIndex.
+template <typename MapPolicy, typename V>
+class NestedPairIndex {
+ public:
+  const V* find(net::Ipv4Address client, net::Ipv4Address server) const {
+    const auto client_it = client_map_.find(client);
+    if (client_it == client_map_.end()) return nullptr;
+    const auto server_it = client_it->second.find(server);
+    if (server_it == client_it->second.end()) return nullptr;
+    return &server_it->second;
+  }
+  V* find(net::Ipv4Address client, net::Ipv4Address server) {
+    return const_cast<V*>(std::as_const(*this).find(client, server));
+  }
+
+  /// Value slot for (client, server), created value-initialized if absent.
+  std::pair<V*, bool> try_emplace(net::Ipv4Address client,
+                                  net::Ipv4Address server) {
+    auto [it, inserted] = client_map_[client].try_emplace(server);
+    return {&it->second, inserted};
+  }
+
+  /// Removes the (client, server) key; prunes the client's inner map when
+  /// it empties so client_count() stays exact.
+  void erase_key(net::Ipv4Address client, net::Ipv4Address server) {
+    const auto client_it = client_map_.find(client);
+    if (client_it == client_map_.end()) return;
+    client_it->second.erase(server);
+    if (client_it->second.empty()) client_map_.erase(client_it);
+  }
+
+  std::size_t client_count() const noexcept { return client_map_.size(); }
+  void reserve(std::size_t) {}  // node-based maps have no useful reserve
+
+ private:
+  template <typename K, typename W>
+  using Map = typename MapPolicy::template Map<K, W>;
+  // Bounded by Clist recycling: every key is a back-reference of a live
+  // Clist entry and delete_back_references removes it on eviction.
+  // dnh-lint: bounded(delete_back_references)
+  Map<net::Ipv4Address, Map<net::Ipv4Address, V>> client_map_;
+};
+
+/// Single flat open-addressing table keyed by the packed 64-bit
+/// (client, server) pair. A small side table keeps per-client key counts
+/// so client_count() (dimensioning studies, Sec. 6) stays O(1) and exact;
+/// it is touched only when a key is created or destroyed, never on the
+/// per-packet lookup path.
+template <typename V>
+class FlatPairIndex {
+ public:
+  // dnh-analyze: hot
+  const V* find(net::Ipv4Address client, net::Ipv4Address server) const {
+    const auto it = table_.find(pack(client, server));
+    return it == table_.end() ? nullptr : &it->second;
+  }
+  V* find(net::Ipv4Address client, net::Ipv4Address server) {
+    return const_cast<V*>(std::as_const(*this).find(client, server));
+  }
+
+  std::pair<V*, bool> try_emplace(net::Ipv4Address client,
+                                  net::Ipv4Address server) {
+    auto [it, inserted] = table_.try_emplace(pack(client, server));
+    if (inserted) ++client_refs_[client.value()];
+    return {&it->second, inserted};
+  }
+
+  void erase_key(net::Ipv4Address client, net::Ipv4Address server) {
+    if (table_.erase(pack(client, server)) == 0) return;
+    const auto it = client_refs_.find(client.value());
+    if (it != client_refs_.end() && --it->second == 0)
+      client_refs_.erase(it);
+  }
+
+  std::size_t client_count() const noexcept { return client_refs_.size(); }
+
+  void reserve(std::size_t n) {
+    table_.reserve(n);
+    client_refs_.reserve(n / 4 + 1);
+  }
+
+ private:
+  static std::uint64_t pack(net::Ipv4Address client,
+                            net::Ipv4Address server) noexcept {
+    return (std::uint64_t{client.value()} << 32) | server.value();
+  }
+
+  // Bounded by Clist recycling, same as the nested shape: eviction calls
+  // delete_back_references -> erase_key for every key the slot created.
+  // dnh-lint: bounded(delete_back_references)
+  util::FlatHash<std::uint64_t, V> table_;
+  /// client -> number of live (client, *) keys; emptied with table_.
+  // dnh-lint: bounded(delete_back_references)
+  util::FlatHash<std::uint32_t, std::uint32_t> client_refs_;
 };
 
 /// Result of a successful lookup: the FQDN plus when its DNS response was
@@ -73,7 +198,7 @@ struct ResolverStats {
   std::uint64_t replaced_same_fqdn = 0;
 };
 
-template <typename MapPolicy = OrderedMapPolicy>
+template <typename MapPolicy = FlatMapPolicy>
 class BasicDnsResolver {
  public:
   /// `clist_size` is the paper's L; it bounds live entries. The resolver
@@ -83,7 +208,12 @@ class BasicDnsResolver {
                             std::shared_ptr<DomainTable> table = nullptr)
       : table_{table ? std::move(table)
                      : std::make_shared<DomainTable>()},
-        clist_(clist_size > 0 ? clist_size : 1) {}
+        clist_(clist_size > 0 ? clist_size : 1) {
+    // Warm the index for small/medium Clists so steady state does not
+    // rehash; capped because live keys track traffic, not L, and a
+    // default L of 2^20 per shard must not pre-commit megabytes.
+    index_.reserve(std::min(clist_.size(), std::size_t{1} << 12));
+  }
 
   /// INSERT(DNSresponse) with a pre-interned name: the zero-allocation
   /// sniffer path. `fqdn` must come from this resolver's DomainTable.
@@ -95,7 +225,7 @@ class BasicDnsResolver {
     ++stats_.inserts;
 
     // Recycle the next Clist slot (Alg. 1 lines 22-25): drop the old
-    // entry's keys from the maps before reusing the slot.
+    // entry's keys from the index before reusing the slot.
     Entry& slot = clist_[next_];
     if (slot.in_use) {
       ++stats_.evictions;
@@ -114,25 +244,23 @@ class BasicDnsResolver {
     slot.references.clear();
     slot.references.reserve(servers.size());
 
-    auto& server_map = client_map_[client];
     for (const auto server : servers) {
       // Push the new reference in front of any older ones for this
       // (client,server) key (Alg. 1 lines 11-15; older labels are kept
       // for the lookup_all extension instead of being dropped).
-      auto [it, inserted] = server_map.try_emplace(server, RefChain{});
-      RefChain& chain = it->second;
-      if (!inserted && !chain.empty()) {
-        const Entry& newest = clist_[chain.front().index];
+      auto [chain, inserted] = index_.try_emplace(client, server);
+      if (!inserted && !chain->empty()) {
+        const Entry& newest = clist_[chain->front().index];
         if (newest.in_use &&
-            newest.generation == chain.front().generation) {
+            newest.generation == chain->front().generation) {
           if (newest.fqdn == slot.fqdn)
             ++stats_.replaced_same_fqdn;
           else
             ++stats_.replaced_different_fqdn;
         }
       }
-      chain.insert(chain.begin(), EntryRef{index, slot.generation});
-      if (chain.size() > kMaxLabelsPerKey) chain.resize(kMaxLabelsPerKey);
+      chain->insert(chain->begin(), EntryRef{index, slot.generation});
+      if (chain->size() > kMaxLabelsPerKey) chain->resize(kMaxLabelsPerKey);
       slot.references.push_back({client, server});
     }
     if (slot.references.empty()) {
@@ -224,8 +352,10 @@ class BasicDnsResolver {
   const ResolverStats& stats() const noexcept { return stats_; }
   std::size_t capacity() const noexcept { return clist_.size(); }
 
-  /// Number of clients currently present in the client map.
-  std::size_t client_count() const noexcept { return client_map_.size(); }
+  /// Number of clients currently present in the index.
+  std::size_t client_count() const noexcept {
+    return index_.client_count();
+  }
 
  private:
   struct Entry {
@@ -244,34 +374,22 @@ class BasicDnsResolver {
   };
   /// Newest-first bounded history of labels for one (client,server) key.
   using RefChain = std::vector<EntryRef>;
-  template <typename K, typename V>
-  using Map = typename MapPolicy::template Map<K, V>;
-  using ServerMap = Map<net::Ipv4Address, RefChain>;
+  using PairIndex = typename MapPolicy::template PairIndex<RefChain>;
 
   const RefChain* find_chain(net::Ipv4Address client,
                              net::Ipv4Address server) const {
-    const auto client_it = client_map_.find(client);
-    if (client_it == client_map_.end()) return nullptr;
-    const auto server_it = client_it->second.find(server);
-    if (server_it == client_it->second.end()) return nullptr;
-    return &server_it->second;
+    return index_.find(client, server);
   }
 
   void delete_back_references(Entry& entry) {
     for (const auto& [client, server] : entry.references) {
-      const auto client_it = client_map_.find(client);
-      if (client_it == client_map_.end()) continue;
-      const auto server_it = client_it->second.find(server);
-      if (server_it == client_it->second.end()) continue;
-      RefChain& chain = server_it->second;
-      std::erase_if(chain, [&](const EntryRef& ref) {
+      RefChain* chain = index_.find(client, server);
+      if (chain == nullptr) continue;
+      std::erase_if(*chain, [&](const EntryRef& ref) {
         return &clist_[ref.index] == &entry &&
                ref.generation == entry.generation;
       });
-      if (chain.empty()) {
-        client_it->second.erase(server_it);
-        if (client_it->second.empty()) client_map_.erase(client_it);
-      }
+      if (chain->empty()) index_.erase_key(client, server);
     }
     entry.references.clear();
     entry.in_use = false;
@@ -280,11 +398,14 @@ class BasicDnsResolver {
   std::shared_ptr<DomainTable> table_;
   std::vector<Entry> clist_;
   std::size_t next_ = 0;
-  Map<net::Ipv4Address, ServerMap> client_map_;
+  PairIndex index_;
   mutable ResolverStats stats_;
 };
 
-using DnsResolver = BasicDnsResolver<OrderedMapPolicy>;
+/// The production default: flat single-probe index.
+using DnsResolver = BasicDnsResolver<FlatMapPolicy>;
+/// The paper's nested ordered-map design — the differential oracle.
+using DnsResolverOrdered = BasicDnsResolver<OrderedMapPolicy>;
 using DnsResolverUnordered = BasicDnsResolver<UnorderedMapPolicy>;
 
 }  // namespace dnh::core

@@ -78,6 +78,13 @@ Sniffer::Sniffer(SnifferConfig config)
       resolver_{config.clist_size, domains_},
       table_{config.table},
       database_{domains_} {
+  // Pre-size the per-flow side tables from config so steady state never
+  // rehashes: pending tags track live flows; the TCP-DNS buffer table is
+  // hard-capped at max_tcp_dns_buffers.
+  pending_tags_.reserve(config_.table.expected_flows);
+  tcp_dns_buffers_.reserve(
+      std::min<std::size_t>(config_.max_tcp_dns_buffers, 1 << 16));
+  if (config_.dns_only) record_flows_.reserve(config_.table.expected_flows);
   table_.set_flow_start_observer(
       [this](const flow::FlowRecord& flow) { on_flow_start(flow); });
   table_.set_exporter(

@@ -13,7 +13,6 @@
 #include <memory>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
 #include "core/domain_table.hpp"
@@ -25,6 +24,7 @@
 #include "net/bytes.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/flat_hash.hpp"
 #include "util/time.hpp"
 
 namespace dnh::core {
@@ -236,20 +236,24 @@ class Sniffer {
   /// Reused decode buffers: steady-state DNS handling allocates nothing.
   dns::ResponseScratch dns_scratch_;
   std::vector<DnsEvent> dns_log_;
+  // Flat open-addressing tables (docs/performance.md "Flat-hash hot
+  // path"): probed per flow start / per TCP-DNS segment / per export
+  // record. Flush paths sort keys before export, so iteration order never
+  // reaches the output.
   // dnh-lint: bounded(on_flow_export) one entry per live tagged flow,
   // erased when the flow exports; the flow table's idle sweep bounds
   // live flows.
-  std::unordered_map<flow::FlowKey, PendingTag> pending_tags_;
+  util::FlatHash<flow::FlowKey, PendingTag> pending_tags_;
   /// Per-connection reassembly of length-prefixed DNS-over-TCP responses,
   /// keyed by (clientIP, client port).
   // dnh-lint: bounded(max_tcp_dns_buffers) oldest-arbitrary eviction at
   // the cap, counted in tcp_dns_buffer_evictions.
-  std::unordered_map<std::uint64_t, net::Bytes> tcp_dns_buffers_;
+  util::FlatHash<std::uint64_t, net::Bytes> tcp_dns_buffers_;
   /// Record-derived flows mid-merge (flow-export ingest): the two
   /// directional export records of one flow accumulate here until flushed.
   // dnh-lint: bounded(sweep_record_flows) idle entries flushed on the
   // table's sweep cadence; finish() drains the rest.
-  std::unordered_map<flow::FlowKey, flow::FlowRecord> record_flows_;
+  util::FlatHash<flow::FlowKey, flow::FlowRecord> record_flows_;
   FlowStartHook flow_start_hook_;
   SnifferStats stats_;
   bool have_last_frame_ts_ = false;

@@ -5,7 +5,13 @@
 
 namespace dnh::flow {
 
-FlowTable::FlowTable(TableConfig config) : config_{config} {}
+FlowTable::FlowTable(TableConfig config) : config_{config} {
+  // Size from config so steady state never rehashes (reasm state exists
+  // only for TCP flows still filling their head bytes — typically a
+  // fraction of live flows).
+  flows_.reserve(config_.expected_flows);
+  reasm_.reserve(config_.expected_flows / 4 + 1);
+}
 
 OrientedKey orient(const packet::DecodedPacket& pkt) {
   OrientedKey out;

@@ -4,10 +4,10 @@
 
 #include <functional>
 #include <map>
-#include <unordered_map>
 
 #include "flow/flow.hpp"
 #include "packet/decode.hpp"
+#include "util/flat_hash.hpp"
 
 namespace dnh::flow {
 
@@ -22,6 +22,10 @@ struct TableConfig {
   util::Duration idle_timeout = util::Duration::minutes(5);
   /// Idle sweep cadence, counted in processed packets.
   std::uint64_t sweep_interval_packets = 8192;
+  /// Pre-sized flow-table capacity (concurrent live flows expected per
+  /// sniffer/shard): steady state then never rehashes. Growth past it is
+  /// automatic, just amortized instead of free.
+  std::size_t expected_flows = 4096;
 };
 
 /// Reconstructs flows from a packet stream and exports them on completion
@@ -75,11 +79,16 @@ class FlowTable {
                    const packet::DecodedPacket& pkt);
 
   TableConfig config_;
+  // Flat open-addressing tables (docs/performance.md "Flat-hash hot
+  // path"): every packet probes flows_ once (twice on orientation miss),
+  // so the lookup structure is the per-packet cost center. Export order
+  // stays deterministic because flush()/sweep_idle() sort keys before
+  // exporting — iteration order never reaches the output.
   // dnh-lint: bounded(sweep_idle) idle flows exported and erased on the
   // sweep cadence; reasm_ entries die with their flow.
-  std::unordered_map<FlowKey, FlowRecord> flows_;
+  util::FlatHash<FlowKey, FlowRecord> flows_;
   // dnh-lint: bounded(sweep_idle)
-  std::unordered_map<FlowKey, ReasmState> reasm_;
+  util::FlatHash<FlowKey, ReasmState> reasm_;
   Exporter exporter_;
   FlowStartObserver on_flow_start_;
   std::uint64_t flows_seen_ = 0;

@@ -1,6 +1,11 @@
 #include "pipeline/pipeline.hpp"
 
+#ifdef __linux__
+#include <sched.h>
+#endif
+
 #include <algorithm>
+#include <thread>
 #include <array>
 #include <chrono>
 #include <deque>
@@ -52,6 +57,25 @@ void backoff(unsigned& spins) {
     return;
   }
   std::this_thread::sleep_for(std::chrono::microseconds(50));
+}
+
+// Best-effort shard pinning (PipelineConfig::pin_shards): affine the
+// calling worker to one CPU so its flat hash tables and Clist stay warm
+// in a single core's cache. CPU 0 is left to the dispatcher/merge/OS;
+// shard i takes (i+1) mod hw_threads. Every failure mode — non-Linux,
+// single-core box, cpuset-restricted container — degrades to a silent
+// no-op: pinning is a locality hint and must never affect correctness.
+void pin_to_cpu(std::size_t shard) {
+#ifdef __linux__
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw <= 1) return;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<int>((shard + 1) % hw), &set);
+  (void)sched_setaffinity(0, sizeof(set), &set);
+#else
+  (void)shard;
+#endif
 }
 
 void accumulate(core::DegradationStats& into,
@@ -696,6 +720,7 @@ void ShardedAnalyzer::note_capture_corruption(
 
 // dnh-analyze: shard-local-ids
 void ShardedAnalyzer::worker_loop(std::size_t index) {
+  if (config_.pin_shards) pin_to_cpu(index);
   // Label + thread-start before the test hook: an injected stall that
   // parks this worker forever must still leave its shard visible in the
   // stall dump.

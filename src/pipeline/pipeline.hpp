@@ -99,6 +99,13 @@ struct PipelineConfig {
   /// core::LiveAnalyzer: boundaries aligned to multiples of the length,
   /// one merged window delivered per boundary crossed.
   util::Duration window{};
+  /// Best-effort CPU pinning (the CLI's --pin-shards): shard worker i is
+  /// affined to CPU (i+1) % hw_threads via sched_setaffinity, keeping each
+  /// shard's flat tables warm in one core's cache instead of migrating.
+  /// Silent no-op off Linux, when hw_threads == 1, or when the syscall is
+  /// refused (restricted cpusets). Output is unaffected either way — this
+  /// is purely a locality hint.
+  bool pin_shards = false;
   /// Test seam: invoked on each worker thread before it consumes its
   /// first item. Tests block here to hold queues full and exercise the
   /// backpressure paths deterministically. Leave empty in production.

@@ -1,0 +1,463 @@
+// Cache-friendly open-addressing hash table for the per-packet hot path.
+//
+// Every lookup structure the tagging pipeline consults per packet used to
+// be a node-based std::map/std::unordered_map: one heap node per entry,
+// one cache miss per node on every probe. FlatHash is the SwissTable-style
+// replacement (docs/performance.md "Flat-hash hot path"):
+//
+//  - One METADATA byte per slot (0x80 = empty, else the hash's low 7 bits,
+//    "h2") in a contiguous array: a probe scans metadata — 8 bytes per
+//    64-bit load, 64 slots per cache line — and touches the slot array
+//    only on an h2 match, so misses usually cost a single cache line.
+//  - Flat SLOT array of std::pair<K, V>: no per-entry allocation, no
+//    pointer chasing; a hit reads exactly one slot.
+//  - Linear probing over a power-of-two capacity. Group loads are
+//    word-wise (SWAR, no SIMD dependency); the first 8 metadata bytes are
+//    mirrored past the end so a group load never has to split at the
+//    wrap.
+//  - TOMBSTONE-FREE deletion by backward shift (Knuth 6.4 Algorithm R):
+//    erasing an entry walks the cluster behind it and moves the first
+//    element whose home slot lies at-or-before the hole back into it,
+//    repeating until the cluster is tight again. Probes therefore stop at
+//    the FIRST empty byte forever — churn-heavy tables (flow tables see
+//    constant insert/erase) never accumulate tombstones and never need a
+//    rehash to stay fast.
+//  - reserve() pre-sizes so steady state does no allocation; growth (when
+//    it does happen) doubles and re-inserts, amortized O(1).
+//  - Heterogeneous lookup: find/contains/count/erase accept any key type
+//    the Hash and Eq functors take (Eq defaults to the transparent
+//    std::equal_to<>), so a string-keyed table can be probed with a
+//    string_view without materializing a std::string.
+//
+// The table is NOT thread-safe (same ownership rule as every per-shard
+// structure: one thread at a time, hand-off through the pipeline's
+// synchronized channels). Iterators and references are invalidated by
+// rehash AND by erase (backward shift moves neighbors); the sweep pattern
+// used across this repo — collect keys, then erase by key — is the safe
+// idiom, or use erase_if().
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace dnh::util {
+
+/// Default bit-mixer: splitmix64 finalizer. std::hash of an integer is
+/// the identity on common stdlibs; probing quality comes from this final
+/// mix, so callers can hand in cheap hashes without thinking about it.
+inline std::uint64_t flat_hash_mix(std::uint64_t x) noexcept {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+template <typename K, typename V, typename Hash = std::hash<K>,
+          typename Eq = std::equal_to<>>
+class FlatHash {
+ public:
+  using value_type = std::pair<K, V>;
+
+  FlatHash() = default;
+  ~FlatHash() { destroy(); }
+
+  FlatHash(const FlatHash& other) { copy_from(other); }
+  FlatHash& operator=(const FlatHash& other) {
+    if (this != &other) {
+      destroy();
+      copy_from(other);
+    }
+    return *this;
+  }
+  FlatHash(FlatHash&& other) noexcept { steal(other); }
+  FlatHash& operator=(FlatHash&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      steal(other);
+    }
+    return *this;
+  }
+
+  /// Forward iterator over occupied slots, yielding pair<K, V>&. Scan
+  /// order is metadata order: stable between mutations, meaningless as an
+  /// ordering — deterministic consumers sort, exactly as they did with
+  /// std::unordered_map.
+  template <bool Const>
+  class Iter {
+   public:
+    using table_t = std::conditional_t<Const, const FlatHash, FlatHash>;
+    using ref_t = std::conditional_t<Const, const value_type, value_type>&;
+    using ptr_t = std::conditional_t<Const, const value_type, value_type>*;
+
+    Iter() = default;
+    Iter(table_t* table, std::size_t index) : table_{table}, index_{index} {
+      skip_empty();
+    }
+    ref_t operator*() const { return table_->slots_[index_]; }
+    ptr_t operator->() const { return &table_->slots_[index_]; }
+    Iter& operator++() {
+      ++index_;
+      skip_empty();
+      return *this;
+    }
+    bool operator==(const Iter& o) const { return index_ == o.index_; }
+    bool operator!=(const Iter& o) const { return index_ != o.index_; }
+
+   private:
+    friend class FlatHash;
+    void skip_empty() {
+      while (index_ < table_->capacity_ &&
+             table_->ctrl_[index_] == kEmpty)
+        ++index_;
+    }
+    table_t* table_ = nullptr;
+    std::size_t index_ = 0;
+  };
+  using iterator = Iter<false>;
+  using const_iterator = Iter<true>;
+
+  iterator begin() { return iterator{this, 0}; }
+  iterator end() { return iterator{this, capacity_}; }
+  const_iterator begin() const { return const_iterator{this, 0}; }
+  const_iterator end() const { return const_iterator{this, capacity_}; }
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Ensures `n` entries fit without rehashing: the config-driven sizing
+  /// hook that makes steady state allocation-free (docs/performance.md).
+  void reserve(std::size_t n) {
+    if (n == 0) return;
+    // Grow until n stays strictly under the 7/8 load limit.
+    std::size_t cap = capacity_ ? capacity_ : kMinCapacity;
+    while (n >= cap - cap / 8) cap <<= 1;
+    if (cap > capacity_) rehash(cap);
+  }
+
+  void clear() {
+    if (capacity_ == 0) return;
+    for (std::size_t i = 0; i < capacity_ && size_ > 0; ++i) {
+      if (ctrl_[i] != kEmpty) {
+        slots_[i].~value_type();
+        --size_;
+      }
+    }
+    std::memset(ctrl_, kEmpty, capacity_ + kGroup);
+    size_ = 0;
+  }
+
+  template <typename Q>
+  iterator find(const Q& key) {
+    const std::size_t i = find_index(key);
+    return i == kNotFound ? end() : iterator{this, i};
+  }
+  template <typename Q>
+  const_iterator find(const Q& key) const {
+    const std::size_t i = find_index(key);
+    return i == kNotFound ? end() : const_iterator{this, i};
+  }
+  template <typename Q>
+  bool contains(const Q& key) const {
+    return find_index(key) != kNotFound;
+  }
+  template <typename Q>
+  std::size_t count(const Q& key) const {
+    return contains(key) ? 1 : 0;
+  }
+
+  /// Inserts value-initialized V under `key` if absent. Returns the slot
+  /// and whether it was inserted — the try_emplace shape the resolver and
+  /// flow table use.
+  template <typename... Args>
+  std::pair<iterator, bool> try_emplace(const K& key, Args&&... args) {
+    const std::uint64_t h = mixed(key);
+    std::size_t i = find_index_hashed(key, h);
+    if (i != kNotFound) return {iterator{this, i}, false};
+    i = insert_slot(h);
+    // dnh-analyze: allow(alloc, placement new into the preallocated slot
+    // array -- constructs in place, never touches the heap)
+    ::new (&slots_[i]) value_type{
+        std::piecewise_construct, std::forward_as_tuple(key),
+        std::forward_as_tuple(std::forward<Args>(args)...)};
+    return {iterator{this, i}, true};
+  }
+
+  std::pair<iterator, bool> emplace(const K& key, V value) {
+    return try_emplace(key, std::move(value));
+  }
+
+  std::pair<iterator, bool> insert_or_assign(const K& key, V value) {
+    auto [it, inserted] = try_emplace(key, std::move(value));
+    if (!inserted) it->second = std::move(value);
+    return {it, inserted};
+  }
+
+  V& operator[](const K& key) { return try_emplace(key).first->second; }
+
+  /// Erases by key; returns how many entries were removed (0 or 1).
+  template <typename Q>
+  std::size_t erase(const Q& key) {
+    const std::size_t i = find_index(key);
+    if (i == kNotFound) return 0;
+    erase_index(i);
+    return 1;
+  }
+
+  /// Erases the entry an iterator points at. The backward shift moves
+  /// later cluster members, so the iterator (and every other one) is
+  /// invalidated — do not continue a scan through it; use erase_if().
+  void erase(iterator it) { erase_index(it.index_); }
+
+  /// Erases every entry matching `pred(const value_type&)`, backward
+  /// shift handled correctly mid-scan. Returns the number erased.
+  template <typename Pred>
+  std::size_t erase_if(Pred pred) {
+    std::size_t erased = 0;
+    for (std::size_t i = 0; i < capacity_; ++i) {
+      if (ctrl_[i] == kEmpty) continue;
+      if (!pred(const_cast<const value_type&>(slots_[i]))) continue;
+      erase_index(i);
+      ++erased;
+      // The shift may have moved an unexamined element into slot i (from
+      // later in this cluster) — re-examine it. An element pulled across
+      // the wrap (cluster spanning the array end) lands at an index we
+      // already passed; it was examined there only if it sat there
+      // before, so re-scan from the cluster start is not needed: wrapped
+      // movers come from indices < i that we already visited.
+      --i;
+    }
+    return erased;
+  }
+
+ private:
+  static constexpr std::uint8_t kEmpty = 0x80;
+  static constexpr std::size_t kGroup = 8;  ///< SWAR probe width (bytes)
+  static constexpr std::size_t kMinCapacity = 8;
+  static constexpr std::size_t kNotFound = ~std::size_t{0};
+
+  template <typename Q>
+  std::uint64_t mixed(const Q& key) const {
+    return flat_hash_mix(static_cast<std::uint64_t>(Hash{}(key)));
+  }
+  static std::uint8_t h2_of(std::uint64_t h) noexcept {
+    return static_cast<std::uint8_t>(h & 0x7f);
+  }
+
+  /// Metadata write with the wrap mirror: the first kGroup bytes are
+  /// replicated at ctrl_[capacity_..capacity_+kGroup) so an unaligned
+  /// group load starting near the end reads valid bytes.
+  void set_ctrl(std::size_t i, std::uint8_t v) noexcept {
+    ctrl_[i] = v;
+    if (i < kGroup) ctrl_[capacity_ + i] = v;
+  }
+
+  static std::uint64_t load_group(const std::uint8_t* p) noexcept {
+    std::uint64_t g;
+    std::memcpy(&g, p, sizeof g);  // little-endian assumed (x86/ARM)
+    return g;
+  }
+  /// SWAR zero-byte detector: bit 7 of each byte set where the byte is 0.
+  static std::uint64_t match_zero(std::uint64_t x) noexcept {
+    return (x - 0x0101010101010101ULL) & ~x & 0x8080808080808080ULL;
+  }
+  /// Bytes equal to `b` (b < 0x80).
+  static std::uint64_t match_byte(std::uint64_t g, std::uint8_t b) noexcept {
+    return match_zero(g ^ (0x0101010101010101ULL * b));
+  }
+  /// Bytes with the empty bit set.
+  static std::uint64_t match_empty(std::uint64_t g) noexcept {
+    return g & 0x8080808080808080ULL;
+  }
+  static unsigned lowest_byte_index(std::uint64_t mask) noexcept {
+    return static_cast<unsigned>(__builtin_ctzll(mask)) / 8;
+  }
+
+  template <typename Q>
+  std::size_t find_index(const Q& key) const {
+    if (size_ == 0) return kNotFound;
+    return find_index_hashed(key, mixed(key));
+  }
+
+  // dnh-analyze: hot
+  template <typename Q>
+  std::size_t find_index_hashed(const Q& key, std::uint64_t h) const {
+    if (capacity_ == 0) return kNotFound;
+    const std::uint8_t h2 = h2_of(h);
+    std::size_t idx = (h >> 7) & mask_;
+    // Linear probing in kGroup strides. Within a group, candidates are
+    // checked left-to-right but only up to the first empty byte: the
+    // cluster containing `key` is contiguous from its home slot (the
+    // backward-shift invariant), so a genuine match can never sit past an
+    // empty, and anything after one is another cluster's metadata whose
+    // coincidental h2 match the key comparison would reject anyway.
+    while (true) {
+      const std::uint64_t group = load_group(ctrl_ + idx);
+      std::uint64_t candidates = match_byte(group, h2);
+      const std::uint64_t empties = match_empty(group);
+      if (empties) {
+        const std::uint64_t before_empty =
+            (empties & (~empties + 1)) - 1;  // bits below the first empty
+        candidates &= before_empty;
+      }
+      while (candidates) {
+        const std::size_t slot =
+            (idx + lowest_byte_index(candidates)) & mask_;
+        if (Eq{}(slots_[slot].first, key)) return slot;
+        candidates &= candidates - 1;
+      }
+      if (empties) return kNotFound;
+      idx = (idx + kGroup) & mask_;
+    }
+  }
+
+  /// First empty slot on `h`'s probe chain; caller constructs into it.
+  /// Grows first when at the load limit, so the chain always terminates.
+  std::size_t insert_slot(std::uint64_t h) {
+    if (size_ + 1 > max_load()) rehash(capacity_ ? capacity_ * 2 : kMinCapacity);
+    std::size_t idx = (h >> 7) & mask_;
+    while (true) {
+      const std::uint64_t empties = match_empty(load_group(ctrl_ + idx));
+      if (empties) {
+        const std::size_t slot = (idx + lowest_byte_index(empties)) & mask_;
+        set_ctrl(slot, h2_of(h));
+        ++size_;
+        return slot;
+      }
+      idx = (idx + kGroup) & mask_;
+    }
+  }
+
+  /// Backward-shift deletion: restore the "clusters are contiguous"
+  /// invariant without tombstones. Walk forward from the hole; the first
+  /// element whose home position is NOT inside (hole, here] can legally
+  /// move back into the hole (the hole lies on its probe path); move it
+  /// and the hole advances. An empty byte ends the cluster.
+  void erase_index(std::size_t hole) {
+    slots_[hole].~value_type();
+    --size_;
+    std::size_t probe = hole;
+    while (true) {
+      probe = (probe + 1) & mask_;
+      if (ctrl_[probe] == kEmpty) break;
+      const std::size_t home = (mixed(slots_[probe].first) >> 7) & mask_;
+      // Cyclic distance from home: `probe` sits dist_probe steps down its
+      // chain; the hole sits dist_hole steps. The element may move to the
+      // hole iff the hole is EARLIER on its chain.
+      const std::size_t dist_probe = (probe - home) & mask_;
+      const std::size_t dist_hole = (hole - home) & mask_;
+      if (dist_hole < dist_probe) {
+        // dnh-analyze: allow(alloc, placement new moving a slot into the
+        // hole during backward-shift deletion -- no heap allocation)
+        ::new (&slots_[hole]) value_type{std::move(slots_[probe])};
+        slots_[probe].~value_type();
+        set_ctrl(hole, ctrl_[probe]);
+        hole = probe;
+      }
+    }
+    set_ctrl(hole, kEmpty);
+  }
+
+  std::size_t max_load() const noexcept {
+    return capacity_ - capacity_ / 8;  // 7/8 occupancy ceiling
+  }
+
+  void rehash(std::size_t new_capacity) {
+    FlatHash old;
+    old.steal(*this);
+    allocate(new_capacity);
+    if (old.capacity_ == 0) return;
+    for (std::size_t i = 0; i < old.capacity_; ++i) {
+      if (old.ctrl_[i] == kEmpty) continue;
+      const std::uint64_t h = mixed(old.slots_[i].first);
+      const std::size_t slot = insert_slot(h);
+      // dnh-analyze: allow(alloc, placement new re-seating an entry into
+      // the freshly allocated slot array; the growth allocation itself is
+      // amortized and pre-empted by reserve() on the hot tables)
+      ::new (&slots_[slot]) value_type{std::move(old.slots_[i])};
+    }
+    // `old` destroys the moved-out shells on scope exit.
+  }
+
+  void allocate(std::size_t cap) {
+    capacity_ = cap;
+    mask_ = cap - 1;
+    size_ = 0;
+    // One block: metadata (plus the wrap mirror) in front, slots behind,
+    // slot alignment respected because the metadata span is rounded up.
+    const std::size_t ctrl_bytes =
+        (cap + kGroup + alignof(value_type) - 1) &
+        ~(alignof(value_type) - 1);
+    const std::size_t bytes = ctrl_bytes + cap * sizeof(value_type);
+    // Plain operator new unless the slot type is over-aligned: keeps the
+    // allocation visible to tools (benchmarks, sanitizers) that override
+    // only the unaligned global forms.
+    if constexpr (alignof(value_type) > __STDCPP_DEFAULT_NEW_ALIGNMENT__) {
+      block_ = ::operator new(bytes, std::align_val_t{alignof(value_type)});
+    } else {
+      block_ = ::operator new(bytes);
+    }
+    ctrl_ = static_cast<std::uint8_t*>(block_);
+    slots_ = reinterpret_cast<value_type*>(
+        static_cast<std::uint8_t*>(block_) + ctrl_bytes);
+    std::memset(ctrl_, kEmpty, cap + kGroup);
+  }
+
+  void destroy() {
+    if (block_ == nullptr) return;
+    for (std::size_t i = 0; i < capacity_ && size_ > 0; ++i) {
+      if (ctrl_[i] != kEmpty) {
+        slots_[i].~value_type();
+        --size_;
+      }
+    }
+    if constexpr (alignof(value_type) > __STDCPP_DEFAULT_NEW_ALIGNMENT__) {
+      ::operator delete(block_, std::align_val_t{alignof(value_type)});
+    } else {
+      ::operator delete(block_);
+    }
+    block_ = nullptr;
+    ctrl_ = nullptr;
+    slots_ = nullptr;
+    capacity_ = mask_ = size_ = 0;
+  }
+
+  void copy_from(const FlatHash& other) {
+    block_ = nullptr;
+    ctrl_ = nullptr;
+    slots_ = nullptr;
+    capacity_ = mask_ = size_ = 0;
+    if (other.size_ == 0) return;
+    reserve(other.size_);
+    for (std::size_t i = 0; i < other.capacity_; ++i) {
+      if (other.ctrl_[i] == kEmpty) continue;
+      const std::uint64_t h = mixed(other.slots_[i].first);
+      const std::size_t slot = insert_slot(h);
+      ::new (&slots_[slot]) value_type{other.slots_[i]};
+    }
+  }
+
+  void steal(FlatHash& other) noexcept {
+    block_ = std::exchange(other.block_, nullptr);
+    ctrl_ = std::exchange(other.ctrl_, nullptr);
+    slots_ = std::exchange(other.slots_, nullptr);
+    capacity_ = std::exchange(other.capacity_, 0);
+    mask_ = std::exchange(other.mask_, 0);
+    size_ = std::exchange(other.size_, 0);
+  }
+
+  void* block_ = nullptr;
+  std::uint8_t* ctrl_ = nullptr;    ///< capacity_ + kGroup metadata bytes
+  value_type* slots_ = nullptr;     ///< capacity_ flat slots
+  std::size_t capacity_ = 0;        ///< power of two (or 0 before first use)
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace dnh::util

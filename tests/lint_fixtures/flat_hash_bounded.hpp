@@ -1,0 +1,29 @@
+// dnh-lint-fixture: path=src/flow/flat_hash_bounded.hpp expect=clean
+// A hot-path util::FlatHash member with a declared bound: the
+// hot-path-bound rule must accept FlatHash declarations exactly like the
+// std:: containers when they carry a bounded(<mechanism>) tag naming a
+// real mechanism.
+#pragma once
+
+#include <cstdint>
+
+#include "util/flat_hash.hpp"
+
+namespace dnh::flow {
+
+class TagCache {
+ public:
+  void note(std::uint64_t key) {
+    ++cache_[key];
+    if (cache_.size() >= kMaxEntries) sweep_idle();
+  }
+
+ private:
+  void sweep_idle() { cache_.clear(); }
+
+  static constexpr std::size_t kMaxEntries = 4096;
+  // dnh-lint: bounded(sweep_idle) cleared when the entry cap is hit.
+  util::FlatHash<std::uint64_t, std::uint32_t> cache_;
+};
+
+}  // namespace dnh::flow

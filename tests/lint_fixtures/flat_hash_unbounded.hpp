@@ -1,0 +1,21 @@
+// dnh-lint-fixture: path=src/core/flat_hash_unbounded.hpp expect=hot-path-bound
+// A hot-path util::FlatHash member with no bounded() tag: open-addressing
+// tables grow without limit just like std::unordered_map, so the
+// hot-path-bound rule must flag the declaration.
+#pragma once
+
+#include <cstdint>
+
+#include "util/flat_hash.hpp"
+
+namespace dnh::core {
+
+class UnboundedTagCache {
+ public:
+  void note(std::uint64_t key) { ++cache_[key]; }
+
+ private:
+  util::FlatHash<std::uint64_t, std::uint32_t> cache_;
+};
+
+}  // namespace dnh::core

@@ -51,10 +51,23 @@ TEST(FlowDb, ServersForDomainQueries) {
   db.add(make_flow("a.zynga.com", s1));
   db.add(make_flow("a.zynga.com", s2));
   db.add(make_flow("b.zynga.com", s2));
-  EXPECT_EQ(db.servers_for_fqdn("a.zynga.com").size(), 2u);
+  db.add(make_flow("a.zynga.com", s2));  // duplicate (fqdn, server) pair
+  const auto servers = db.servers_for_fqdn("a.zynga.com");
+  ASSERT_EQ(servers.size(), 2u);  // deduplicated
+  EXPECT_EQ(servers[0], s1);      // ascending
+  EXPECT_EQ(servers[1], s2);
   EXPECT_EQ(db.servers_for_second_level("zynga.com").size(), 2u);
-  EXPECT_EQ(db.fqdns_on_server(s2).size(), 2u);
+  const auto on_s2 = db.fqdns_on_server(s2);
+  ASSERT_EQ(on_s2.size(), 2u);
+  EXPECT_LT(on_s2[0], on_s2[1]);  // sorted, distinct ids
   EXPECT_EQ(db.distinct_fqdns().size(), 2u);
+  // The string adapter surfaces the old set<string> view of the world:
+  // lexicographically sorted arena views.
+  const auto names = db.fqdn_views(db.fqdns_on_server(s2));
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a.zynga.com");
+  EXPECT_EQ(names[1], "b.zynga.com");
+  EXPECT_TRUE(db.servers_for_fqdn("absent.example.com").empty());
 }
 
 TEST(FlowDb, SecondLevelAccessor) {

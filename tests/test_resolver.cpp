@@ -142,7 +142,7 @@ TEST(Resolver, ZeroCapacityClampedToOne) {
 }
 
 TEST(Resolver, UnorderedPolicyBehavesIdentically) {
-  DnsResolver ordered{8};
+  DnsResolverOrdered ordered{8};
   DnsResolverUnordered unordered{8};
   util::Rng rng{99};
   for (int i = 0; i < 500; ++i) {
@@ -168,6 +168,72 @@ TEST(Resolver, UnorderedPolicyBehavesIdentically) {
     }
   }
 }
+
+// Property test for the flat-index default: drive FlatMapPolicy and
+// OrderedMapPolicy (the paper-faithful oracle) through MANY full Clist
+// wraps with randomized (client, server) keys — heavy slot recycling and
+// delete_back_references churn — and require identical answers from all
+// three query shapes at every step. Parameterized over Clist sizes so the
+// wrap frequency varies from "every insert" to "rarely".
+class FlatPolicyEquivalence : public ::testing::TestWithParam<std::size_t> {
+};
+
+TEST_P(FlatPolicyEquivalence, MatchesOrderedThroughFullClistWrap) {
+  const std::size_t L = GetParam();
+  BasicDnsResolver<FlatMapPolicy> flat{L};
+  BasicDnsResolver<OrderedMapPolicy> ordered{L};
+  util::Rng rng{0xC1157ULL * (L + 1)};
+
+  const std::size_t steps = 4000;  // >> L for every parameterized size
+  for (std::size_t step = 0; step < steps; ++step) {
+    const Ipv4Address client{10, 0, 0,
+                             static_cast<std::uint8_t>(rng.index(6))};
+    const Ipv4Address server{
+        static_cast<std::uint32_t>(0xC0A80000u + rng.index(24))};
+    if (rng.chance(0.55)) {
+      const std::string fqdn =
+          "svc" + std::to_string(rng.index(16)) + ".example.com";
+      std::vector<Ipv4Address> answers;
+      const std::size_t n = 1 + rng.index(3);
+      for (std::size_t i = 0; i < n; ++i)
+        answers.emplace_back(static_cast<std::uint32_t>(
+            0xC0A80000u + rng.index(24)));
+      flat.insert(client, fqdn, std::span{answers},
+                  Timestamp::from_seconds(static_cast<std::int64_t>(step)));
+      ordered.insert(client, fqdn, std::span{answers},
+                     Timestamp::from_seconds(static_cast<std::int64_t>(step)));
+    } else {
+      // lookup
+      const auto a = flat.lookup(client, server);
+      const auto b = ordered.lookup(client, server);
+      ASSERT_EQ(a.has_value(), b.has_value()) << "lookup step " << step;
+      if (a) {
+        EXPECT_EQ(a->fqdn, b->fqdn);
+        EXPECT_EQ(a->response_time.seconds_since_epoch(),
+                  b->response_time.seconds_since_epoch());
+      }
+      // lookup_all
+      const auto all_a = flat.lookup_all(client, server);
+      const auto all_b = ordered.lookup_all(client, server);
+      ASSERT_EQ(all_a.size(), all_b.size()) << "lookup_all step " << step;
+      for (std::size_t i = 0; i < all_a.size(); ++i)
+        EXPECT_EQ(all_a[i].fqdn, all_b[i].fqdn) << "step " << step;
+      // lookup_at_or_before, with a cutoff somewhere inside the history
+      const auto cutoff = Timestamp::from_seconds(
+          static_cast<std::int64_t>(rng.index(step + 1)));
+      const auto at_a = flat.lookup_at_or_before(client, server, cutoff);
+      const auto at_b = ordered.lookup_at_or_before(client, server, cutoff);
+      ASSERT_EQ(at_a.has_value(), at_b.has_value())
+          << "lookup_at_or_before step " << step;
+      if (at_a) EXPECT_EQ(at_a->fqdn, at_b->fqdn);
+    }
+    ASSERT_EQ(flat.client_count(), ordered.client_count()) << step;
+    ASSERT_EQ(flat.stats().evictions, ordered.stats().evictions) << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ClistSizes, FlatPolicyEquivalence,
+                         ::testing::Values(1, 2, 7, 32, 256));
 
 // Invariant sweep: after arbitrary insert sequences with a small Clist,
 // every successful lookup returns the most recent FQDN inserted for that

@@ -141,6 +141,10 @@ struct Args {
                "(default 1; results are\n"
                "  bit-identical to --jobs 1; policy/chaos always run "
                "single-threaded)\n"
+               "  --pin-shards best-effort pin of shard workers to "
+               "distinct CPUs (locality\n"
+               "  hint; silent no-op on single-core boxes or restricted "
+               "cpusets)\n"
                "flow sources (docs/flow-export.md): a capture DIRECTORY "
                "replays its rotated\n"
                "  files in name order as one capture; --flow-export "
@@ -357,6 +361,7 @@ Capture sniff(const Args& args) {
       usage("--resume requires --spill-dir DIR");
     pipeline::PipelineConfig config;
     config.shards = jobs;
+    config.pin_shards = args.flag("pin-shards");
     config.sniffer = sniffer_config(args);
     // Flow-export mode: records carry the flow evidence, so the capture
     // (when present) feeds only the DNS side of each shard's sniffer.
